@@ -1,0 +1,253 @@
+//! Anomaly detection over the state representation (Sec. 4.4).
+//!
+//! Frequency-based hot-spot detection: states (or per-signal symbols) that
+//! occur rarely are ranked by severity and presented to the developer; the
+//! paper also proposes turning confirmed anomalies into extension rules to
+//! catch recurrences automatically.
+
+use std::collections::HashMap;
+
+use ivnt_frame::prelude::*;
+
+use crate::error::Result;
+
+/// One detected anomaly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Anomaly {
+    /// Timestamp of the first occurrence.
+    pub first_t: f64,
+    /// The anomalous state or symbol.
+    pub label: String,
+    /// Occurrences.
+    pub count: u64,
+    /// Severity in `[0, 1]`: rarer is more severe.
+    pub severity: f64,
+}
+
+/// Parameters for frequency-based anomaly detection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnomalyConfig {
+    /// States with frequency below this fraction are anomalies.
+    pub max_frequency: f64,
+    /// At most this many anomalies are returned (most severe first).
+    pub top_k: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig {
+            max_frequency: 0.01,
+            top_k: 20,
+        }
+    }
+}
+
+/// Detects rare values in one column of the state representation.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn rare_values(
+    state: &DataFrame,
+    column: &str,
+    config: &AnomalyConfig,
+) -> Result<Vec<Anomaly>> {
+    let times = state.column_values("t")?;
+    let values = state.column_values(column)?;
+    let mut counts: HashMap<String, (u64, f64)> = HashMap::new();
+    let mut total = 0u64;
+    for (t, v) in times.iter().zip(&values) {
+        let Some(label) = v.as_str() else { continue };
+        let ts = t.as_float().unwrap_or(f64::NAN);
+        let entry = counts.entry(label.to_string()).or_insert((0, ts));
+        entry.0 += 1;
+        total += 1;
+    }
+    Ok(rank(counts, total, config))
+}
+
+/// Detects rare full states (all columns but time, `|`-joined).
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn rare_states(state: &DataFrame, config: &AnomalyConfig) -> Result<Vec<Anomaly>> {
+    let rows = state.collect_rows()?;
+    let mut counts: HashMap<String, (u64, f64)> = HashMap::new();
+    let total = rows.len() as u64;
+    for r in &rows {
+        let t = r[0].as_float().unwrap_or(f64::NAN);
+        let label = r
+            .iter()
+            .skip(1)
+            .map(|v| match v {
+                Value::Null => "-".to_string(),
+                other => other.to_string(),
+            })
+            .collect::<Vec<_>>()
+            .join("|");
+        let entry = counts.entry(label).or_insert((0, t));
+        entry.0 += 1;
+    }
+    Ok(rank(counts, total, config))
+}
+
+/// Flags every `outlier`-marked cell of the state representation — the
+/// paper's "outliers as potential errors are automatically discovered".
+///
+/// Returns `(t, column, cell)` triples in time order.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn outlier_cells(state: &DataFrame) -> Result<Vec<(f64, String, String)>> {
+    let schema = state.schema();
+    let rows = state.collect_rows()?;
+    let mut out = Vec::new();
+    for r in rows {
+        let t = r[0].as_float().unwrap_or(f64::NAN);
+        for (i, v) in r.iter().enumerate().skip(1) {
+            if let Some(s) = v.as_str() {
+                if s.starts_with("outlier") {
+                    out.push((t, schema.fields()[i].name().to_string(), s.to_string()));
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn rank(
+    counts: HashMap<String, (u64, f64)>,
+    total: u64,
+    config: &AnomalyConfig,
+) -> Vec<Anomaly> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut anomalies: Vec<Anomaly> = counts
+        .into_iter()
+        .filter_map(|(label, (count, first_t))| {
+            let freq = count as f64 / total as f64;
+            (freq <= config.max_frequency).then(|| Anomaly {
+                first_t,
+                label,
+                count,
+                severity: 1.0 - freq / config.max_frequency.max(f64::MIN_POSITIVE),
+            })
+        })
+        .collect();
+    anomalies.sort_by(|a, b| {
+        b.severity
+            .total_cmp(&a.severity)
+            .then_with(|| a.label.cmp(&b.label))
+    });
+    anomalies.truncate(config.top_k);
+    anomalies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> DataFrame {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let mut rows: Vec<Vec<Value>> = (0..99)
+            .map(|i| vec![Value::Float(i as f64), Value::from("normal")])
+            .collect();
+        rows.push(vec![Value::Float(99.0), Value::from("weird")]);
+        DataFrame::from_rows(schema, rows).unwrap()
+    }
+
+    #[test]
+    fn rare_value_detected() {
+        let anomalies = rare_values(
+            &state(),
+            "s",
+            &AnomalyConfig {
+                max_frequency: 0.05,
+                top_k: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].label, "weird");
+        assert_eq!(anomalies[0].count, 1);
+        assert_eq!(anomalies[0].first_t, 99.0);
+        assert!(anomalies[0].severity > 0.5);
+    }
+
+    #[test]
+    fn common_values_not_flagged() {
+        let anomalies = rare_values(&state(), "s", &AnomalyConfig::default()).unwrap();
+        assert!(anomalies.iter().all(|a| a.label != "normal"));
+    }
+
+    #[test]
+    fn top_k_truncates() {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let rows: Vec<Vec<Value>> = (0..100)
+            .map(|i| vec![Value::Float(i as f64), Value::from(format!("v{i}"))])
+            .collect();
+        let df = DataFrame::from_rows(schema, rows).unwrap();
+        let anomalies = rare_values(
+            &df,
+            "s",
+            &AnomalyConfig {
+                max_frequency: 0.5,
+                top_k: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(anomalies.len(), 5);
+    }
+
+    #[test]
+    fn rare_full_states() {
+        let anomalies = rare_states(
+            &state(),
+            &AnomalyConfig {
+                max_frequency: 0.05,
+                top_k: 10,
+            },
+        )
+        .unwrap();
+        assert_eq!(anomalies.len(), 1);
+        assert_eq!(anomalies[0].label, "weird");
+    }
+
+    #[test]
+    fn outlier_cells_found() {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("speed", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let df = DataFrame::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(1.0), Value::from("(c,steady)")],
+                vec![Value::Float(2.0), Value::from("outlier v = 800")],
+            ],
+        )
+        .unwrap();
+        let cells = outlier_cells(&df).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(cells[0].0, 2.0);
+        assert_eq!(cells[0].1, "speed");
+    }
+
+    #[test]
+    fn empty_state() {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let df = DataFrame::empty(schema);
+        assert!(rare_values(&df, "s", &AnomalyConfig::default())
+            .unwrap()
+            .is_empty());
+        assert!(rare_states(&df, &AnomalyConfig::default()).unwrap().is_empty());
+    }
+}

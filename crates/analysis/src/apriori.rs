@@ -1,0 +1,408 @@
+//! Association rule mining on the state representation (Sec. 4.4).
+//!
+//! Each state-representation row is an item-set of `(signal, value)` items;
+//! Apriori finds frequent item-sets and IF-THEN rules such as
+//! `IF T < -10 AND WiperActivated THEN WiperErrorBlocked`, letting
+//! developers inspect error causes.
+
+use std::collections::{BTreeSet, HashMap};
+
+use ivnt_frame::prelude::*;
+
+use crate::error::{Error, Result};
+
+/// One item: a `(signal, value)` pair.
+pub type Item = (String, String);
+
+/// A mined association rule `antecedent => consequent`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// The IF side.
+    pub antecedent: Vec<Item>,
+    /// The THEN side.
+    pub consequent: Vec<Item>,
+    /// Fraction of rows containing both sides.
+    pub support: f64,
+    /// `support(ante ∪ cons) / support(ante)`.
+    pub confidence: f64,
+    /// `confidence / support(cons)`; > 1 means positive correlation.
+    pub lift: f64,
+}
+
+impl std::fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let side = |items: &[Item]| {
+            items
+                .iter()
+                .map(|(s, v)| format!("{s}={v}"))
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        };
+        write!(
+            f,
+            "IF {} THEN {} (sup {:.3}, conf {:.3}, lift {:.2})",
+            side(&self.antecedent),
+            side(&self.consequent),
+            self.support,
+            self.confidence,
+            self.lift
+        )
+    }
+}
+
+/// Parameters for [`mine_rules`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AprioriConfig {
+    /// Minimum item-set support in `(0, 1]`.
+    pub min_support: f64,
+    /// Minimum rule confidence in `(0, 1]`.
+    pub min_confidence: f64,
+    /// Largest item-set size explored.
+    pub max_len: usize,
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        AprioriConfig {
+            min_support: 0.1,
+            min_confidence: 0.8,
+            max_len: 3,
+        }
+    }
+}
+
+/// Converts a state representation into transactions: one item per non-null
+/// signal column per row (the time column is skipped).
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn transactions_from_state(state: &DataFrame) -> Result<Vec<BTreeSet<Item>>> {
+    let schema = state.schema();
+    let names: Vec<String> = schema
+        .fields()
+        .iter()
+        .skip(1)
+        .map(|f| f.name().to_string())
+        .collect();
+    let rows = state.collect_rows()?;
+    Ok(rows
+        .into_iter()
+        .map(|r| {
+            r.into_iter()
+                .skip(1)
+                .zip(&names)
+                .filter_map(|(v, name)| {
+                    v.as_str().map(|s| (name.clone(), s.to_string()))
+                })
+                .collect()
+        })
+        .collect())
+}
+
+/// Mines frequent item-sets with the Apriori level-wise algorithm.
+///
+/// Returns `(itemset, support)` pairs, ordered by descending support then
+/// item-set order (deterministic).
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] for out-of-range parameters.
+pub fn frequent_itemsets(
+    transactions: &[BTreeSet<Item>],
+    config: &AprioriConfig,
+) -> Result<Vec<(BTreeSet<Item>, f64)>> {
+    if !(0.0..=1.0).contains(&config.min_support) || config.min_support == 0.0 {
+        return Err(Error::InvalidArgument(
+            "min_support must be in (0, 1]".into(),
+        ));
+    }
+    let n = transactions.len();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    let min_count = (config.min_support * n as f64).ceil() as usize;
+
+    // Level 1.
+    let mut counts: HashMap<BTreeSet<Item>, usize> = HashMap::new();
+    for t in transactions {
+        for item in t {
+            counts
+                .entry(BTreeSet::from([item.clone()]))
+                .or_default();
+        }
+    }
+    for t in transactions {
+        for item in t {
+            *counts.get_mut(&BTreeSet::from([item.clone()])).unwrap() += 1;
+        }
+    }
+    let mut current: Vec<BTreeSet<Item>> = counts
+        .iter()
+        .filter(|(_, &c)| c >= min_count)
+        .map(|(s, _)| s.clone())
+        .collect();
+    let mut all: Vec<(BTreeSet<Item>, f64)> = counts
+        .into_iter()
+        .filter(|(_, c)| *c >= min_count)
+        .map(|(s, c)| (s, c as f64 / n as f64))
+        .collect();
+
+    let mut level = 1;
+    while !current.is_empty() && level < config.max_len {
+        level += 1;
+        // Candidate generation: join item-sets sharing all but one item.
+        let mut candidates: BTreeSet<BTreeSet<Item>> = BTreeSet::new();
+        for (i, a) in current.iter().enumerate() {
+            for b in &current[i + 1..] {
+                let union: BTreeSet<Item> = a.union(b).cloned().collect();
+                if union.len() == level {
+                    candidates.insert(union);
+                }
+            }
+        }
+        // Support counting.
+        let mut level_counts: HashMap<&BTreeSet<Item>, usize> = HashMap::new();
+        for t in transactions {
+            for cand in &candidates {
+                if cand.is_subset(t) {
+                    *level_counts.entry(cand).or_default() += 1;
+                }
+            }
+        }
+        current = level_counts
+            .iter()
+            .filter(|(_, &c)| c >= min_count)
+            .map(|(s, _)| (*s).clone())
+            .collect();
+        all.extend(
+            level_counts
+                .into_iter()
+                .filter(|(_, c)| *c >= min_count)
+                .map(|(s, c)| (s.clone(), c as f64 / n as f64)),
+        );
+    }
+    all.sort_by(|a, b| b.1.total_cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    Ok(all)
+}
+
+/// Mines association rules from the frequent item-sets of `transactions`.
+///
+/// Rules are ordered by descending confidence, then support (deterministic).
+///
+/// # Examples
+///
+/// ```
+/// use std::collections::BTreeSet;
+/// use ivnt_analysis::apriori::{mine_rules, AprioriConfig};
+///
+/// # fn main() -> ivnt_analysis::Result<()> {
+/// let item = |s: &str, v: &str| (s.to_string(), v.to_string());
+/// // Whenever the wiper ran, the temperature was cold.
+/// let transactions = vec![
+///     BTreeSet::from([item("wiper", "on"), item("temp", "cold")]),
+///     BTreeSet::from([item("wiper", "on"), item("temp", "cold")]),
+///     BTreeSet::from([item("wiper", "off"), item("temp", "warm")]),
+/// ];
+/// let rules = mine_rules(&transactions, &AprioriConfig {
+///     min_support: 0.5,
+///     min_confidence: 0.9,
+///     max_len: 2,
+/// })?;
+/// assert!(rules.iter().any(|r| r.antecedent == vec![item("wiper", "on")]
+///     && r.consequent == vec![item("temp", "cold")]));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidArgument`] for out-of-range parameters.
+pub fn mine_rules(
+    transactions: &[BTreeSet<Item>],
+    config: &AprioriConfig,
+) -> Result<Vec<AssociationRule>> {
+    if !(0.0..=1.0).contains(&config.min_confidence) || config.min_confidence == 0.0 {
+        return Err(Error::InvalidArgument(
+            "min_confidence must be in (0, 1]".into(),
+        ));
+    }
+    let itemsets = frequent_itemsets(transactions, config)?;
+    let support: HashMap<&BTreeSet<Item>, f64> =
+        itemsets.iter().map(|(s, sup)| (s, *sup)).collect();
+    let mut rules = Vec::new();
+    for (itemset, sup) in &itemsets {
+        if itemset.len() < 2 {
+            continue;
+        }
+        // Every non-empty strict subset as antecedent.
+        let items: Vec<Item> = itemset.iter().cloned().collect();
+        for mask in 1..(1u32 << items.len()) - 1 {
+            let antecedent: BTreeSet<Item> = items
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, it)| it.clone())
+                .collect();
+            let consequent: BTreeSet<Item> =
+                itemset.difference(&antecedent).cloned().collect();
+            let Some(&ante_sup) = support.get(&antecedent) else {
+                continue;
+            };
+            let Some(&cons_sup) = support.get(&consequent) else {
+                continue;
+            };
+            let confidence = sup / ante_sup;
+            if confidence >= config.min_confidence {
+                rules.push(AssociationRule {
+                    antecedent: antecedent.into_iter().collect(),
+                    consequent: consequent.into_iter().collect(),
+                    support: *sup,
+                    confidence,
+                    lift: confidence / cons_sup,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .total_cmp(&a.confidence)
+            .then(b.support.total_cmp(&a.support))
+            .then_with(|| a.antecedent.cmp(&b.antecedent))
+    });
+    Ok(rules)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(s: &str, v: &str) -> Item {
+        (s.to_string(), v.to_string())
+    }
+
+    fn transactions() -> Vec<BTreeSet<Item>> {
+        // wiper=on always co-occurs with temp=cold; lights=on is mixed.
+        vec![
+            BTreeSet::from([item("wiper", "on"), item("temp", "cold"), item("lights", "on")]),
+            BTreeSet::from([item("wiper", "on"), item("temp", "cold")]),
+            BTreeSet::from([item("wiper", "off"), item("temp", "warm"), item("lights", "on")]),
+            BTreeSet::from([item("wiper", "on"), item("temp", "cold"), item("lights", "off")]),
+            BTreeSet::from([item("wiper", "off"), item("temp", "cold")]),
+        ]
+    }
+
+    #[test]
+    fn frequent_itemsets_found() {
+        let sets = frequent_itemsets(
+            &transactions(),
+            &AprioriConfig {
+                min_support: 0.5,
+                min_confidence: 0.5,
+                max_len: 2,
+            },
+        )
+        .unwrap();
+        // temp=cold appears 4/5 times.
+        assert!(sets
+            .iter()
+            .any(|(s, sup)| s == &BTreeSet::from([item("temp", "cold")]) && *sup == 0.8));
+        // {wiper=on, temp=cold} appears 3/5 times.
+        assert!(sets.iter().any(|(s, sup)| {
+            s == &BTreeSet::from([item("wiper", "on"), item("temp", "cold")]) && *sup == 0.6
+        }));
+    }
+
+    #[test]
+    fn rule_confidence_and_lift() {
+        let rules = mine_rules(
+            &transactions(),
+            &AprioriConfig {
+                min_support: 0.4,
+                min_confidence: 0.9,
+                max_len: 2,
+            },
+        )
+        .unwrap();
+        // wiper=on -> temp=cold with confidence 1.0, lift 1/0.8 = 1.25.
+        let r = rules
+            .iter()
+            .find(|r| r.antecedent == vec![item("wiper", "on")])
+            .expect("rule found");
+        assert_eq!(r.consequent, vec![item("temp", "cold")]);
+        assert!((r.confidence - 1.0).abs() < 1e-9);
+        assert!((r.lift - 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let cfg = AprioriConfig {
+            min_support: 0.0,
+            ..Default::default()
+        };
+        assert!(frequent_itemsets(&transactions(), &cfg).is_err());
+        let cfg = AprioriConfig {
+            min_confidence: 1.5,
+            ..Default::default()
+        };
+        assert!(mine_rules(&transactions(), &cfg).is_err());
+    }
+
+    #[test]
+    fn empty_transactions() {
+        let sets = frequent_itemsets(&[], &AprioriConfig::default()).unwrap();
+        assert!(sets.is_empty());
+    }
+
+    #[test]
+    fn transactions_from_state_rows() {
+        let schema = Schema::from_pairs([
+            ("t", DataType::Float),
+            ("wiper", DataType::Str),
+            ("temp", DataType::Str),
+        ])
+        .unwrap()
+        .into_shared();
+        let state = DataFrame::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(0.0), Value::from("on"), Value::Null],
+                vec![Value::Float(1.0), Value::from("off"), Value::from("cold")],
+            ],
+        )
+        .unwrap();
+        let ts = transactions_from_state(&state).unwrap();
+        assert_eq!(ts.len(), 2);
+        assert_eq!(ts[0].len(), 1); // null column skipped
+        assert!(ts[1].contains(&item("temp", "cold")));
+    }
+
+    #[test]
+    fn display_rule() {
+        let r = AssociationRule {
+            antecedent: vec![item("a", "1")],
+            consequent: vec![item("b", "2")],
+            support: 0.5,
+            confidence: 0.9,
+            lift: 1.2,
+        };
+        assert_eq!(
+            r.to_string(),
+            "IF a=1 THEN b=2 (sup 0.500, conf 0.900, lift 1.20)"
+        );
+    }
+
+    #[test]
+    fn max_len_limits_exploration() {
+        let sets = frequent_itemsets(
+            &transactions(),
+            &AprioriConfig {
+                min_support: 0.2,
+                min_confidence: 0.5,
+                max_len: 1,
+            },
+        )
+        .unwrap();
+        assert!(sets.iter().all(|(s, _)| s.len() == 1));
+    }
+}

@@ -1,0 +1,165 @@
+//! Error diagnosis helpers (Sec. 4.4, first application).
+//!
+//! When an outlier occurs, the developer wants "the state of the car when
+//! the outlier occurred and the chain of states prior to it". These helpers
+//! slice the state representation accordingly.
+
+use ivnt_frame::prelude::*;
+
+use crate::anomaly::outlier_cells;
+use crate::error::Result;
+
+/// The context of one diagnosed event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventContext {
+    /// Event timestamp.
+    pub t: f64,
+    /// The signal column the event occurred in.
+    pub column: String,
+    /// The event cell text.
+    pub cell: String,
+    /// The full state row at the event (column name, cell) pairs.
+    pub state_at: Vec<(String, String)>,
+    /// The chain of state rows strictly before the event, oldest first.
+    pub prior_states: Vec<Vec<(String, String)>>,
+}
+
+/// Extracts the state at, and the chain of states before, every outlier in
+/// the state representation.
+///
+/// `chain_len` limits how many prior states are kept per event.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn diagnose_outliers(state: &DataFrame, chain_len: usize) -> Result<Vec<EventContext>> {
+    let events = outlier_cells(state)?;
+    let schema = state.schema();
+    let rows = state.collect_rows()?;
+    let names: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
+
+    let to_pairs = |row: &[Value]| -> Vec<(String, String)> {
+        row.iter()
+            .enumerate()
+            .skip(1)
+            .map(|(i, v)| {
+                let s = match v {
+                    Value::Null => "-".to_string(),
+                    other => other.to_string(),
+                };
+                (names[i].clone(), s)
+            })
+            .collect()
+    };
+
+    let mut out = Vec::with_capacity(events.len());
+    for (t, column, cell) in events {
+        let pos = rows
+            .iter()
+            .position(|r| r[0].as_float() == Some(t))
+            .unwrap_or(0);
+        let start = pos.saturating_sub(chain_len);
+        out.push(EventContext {
+            t,
+            column,
+            cell,
+            state_at: to_pairs(&rows[pos]),
+            prior_states: rows[start..pos].iter().map(|r| to_pairs(r)).collect(),
+        });
+    }
+    Ok(out)
+}
+
+/// Renders one event context as a short human-readable report.
+pub fn render_report(ctx: &EventContext) -> String {
+    let mut out = format!(
+        "outlier in '{}' at t={:.3}: {}\nstate at event:\n",
+        ctx.column, ctx.t, ctx.cell
+    );
+    for (name, cell) in &ctx.state_at {
+        out.push_str(&format!("  {name} = {cell}\n"));
+    }
+    out.push_str(&format!("prior chain ({} states):\n", ctx.prior_states.len()));
+    for (i, s) in ctx.prior_states.iter().enumerate() {
+        let brief = s
+            .iter()
+            .map(|(n, c)| format!("{n}={c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        out.push_str(&format!("  -{} | {brief}\n", ctx.prior_states.len() - i));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> DataFrame {
+        let schema = Schema::from_pairs([
+            ("t", DataType::Float),
+            ("speed", DataType::Str),
+            ("lights", DataType::Str),
+        ])
+        .unwrap()
+        .into_shared();
+        DataFrame::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(1.0), Value::from("(b,steady)"), Value::from("off")],
+                vec![Value::Float(2.0), Value::from("(c,increasing)"), Value::from("off")],
+                vec![
+                    Value::Float(3.0),
+                    Value::from("outlier v = 800"),
+                    Value::from("on"),
+                ],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn finds_outlier_with_context() {
+        let ctxs = diagnose_outliers(&state(), 5).unwrap();
+        assert_eq!(ctxs.len(), 1);
+        let ctx = &ctxs[0];
+        assert_eq!(ctx.t, 3.0);
+        assert_eq!(ctx.column, "speed");
+        assert_eq!(ctx.prior_states.len(), 2);
+        assert_eq!(ctx.prior_states[0][0].1, "(b,steady)");
+        assert_eq!(ctx.state_at[1], ("lights".to_string(), "on".to_string()));
+    }
+
+    #[test]
+    fn chain_length_limited() {
+        let ctxs = diagnose_outliers(&state(), 1).unwrap();
+        assert_eq!(ctxs[0].prior_states.len(), 1);
+        assert_eq!(ctxs[0].prior_states[0][0].1, "(c,increasing)");
+    }
+
+    #[test]
+    fn clean_state_yields_nothing() {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let df = DataFrame::from_rows(
+            schema,
+            vec![vec![Value::Float(0.0), Value::from("fine")]],
+        )
+        .unwrap();
+        assert!(diagnose_outliers(&df, 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn report_renders() {
+        let ctxs = diagnose_outliers(&state(), 5).unwrap();
+        let report = render_report(&ctxs[0]);
+        assert!(report.contains("outlier in 'speed' at t=3.000"));
+        assert!(report.contains("lights = on"));
+        assert!(report.contains("prior chain (2 states)"));
+    }
+}

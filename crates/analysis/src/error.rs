@@ -1,0 +1,50 @@
+//! Error type for the analysis crate.
+
+use std::fmt;
+
+/// Result alias used throughout [`ivnt_analysis`](crate).
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by analyses on the state representation.
+#[derive(Debug)]
+pub enum Error {
+    /// Failure inside the tabular engine.
+    Frame(ivnt_frame::Error),
+    /// Malformed analysis parameters.
+    InvalidArgument(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frame(e) => write!(f, "frame error: {e}"),
+            Error::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivnt_frame::Error> for Error {
+    fn from(e: ivnt_frame::Error) -> Self {
+        Error::Frame(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = Error::InvalidArgument("min_support must be in (0, 1]".into());
+        assert!(e.to_string().contains("min_support"));
+    }
+}

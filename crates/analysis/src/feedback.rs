@@ -1,0 +1,164 @@
+//! Closing the loop: turning confirmed anomalies into extension rules.
+//!
+//! The paper's final application note (Sec. 4.4): "Detected anomalies can
+//! be ranked in terms of severity and presented to the developer **or can
+//! automatically be transformed into extensions `w` to detect similar
+//! anomalies in further runs**." This module implements that feedback path:
+//! an [`Anomaly`] found on one trace becomes an
+//! [`ExtensionRule`] that marks recurrences in
+//! every future run's output.
+
+use std::sync::Arc;
+
+use ivnt_core::extend::ExtensionRule;
+use ivnt_core::split::SignalSequence;
+
+use crate::anomaly::Anomaly;
+use crate::error::Result;
+
+/// Builds an extension rule that emits `1.0` whenever `signal` takes the
+/// anomalous value again. The produced `w_id` is
+/// `"<signal>Anomaly:<label>"`.
+///
+/// The match is against the signal's textual value, or its numeric value
+/// formatted the way the state representation formats it — i.e. exactly
+/// what [`rare_values`](crate::anomaly::rare_values) reported.
+pub fn anomaly_to_extension(signal: &str, anomaly: &Anomaly) -> ExtensionRule {
+    let label = anomaly.label.clone();
+    let alias = format!("{signal}Anomaly:{label}");
+    let signal_owned = signal.to_string();
+    ExtensionRule::Custom {
+        signal: signal_owned,
+        alias,
+        func: Arc::new(move |seq: &SignalSequence| -> Result2 {
+            let times = seq.times()?;
+            let texts = seq.text_values()?;
+            let nums = seq.numeric_values()?;
+            let mut hits = Vec::new();
+            for i in 0..times.len() {
+                let matches = match (&texts[i], nums[i]) {
+                    (Some(t), _) => *t == label,
+                    (None, Some(v)) => format!("{v}") == label,
+                    (None, None) => false,
+                };
+                if matches {
+                    hits.push((times[i], 1.0));
+                }
+            }
+            Ok(hits)
+        }),
+    }
+}
+
+type Result2 = ivnt_core::error::Result<Vec<(f64, f64)>>;
+
+/// Convenience: one extension per anomaly, in ranking order.
+pub fn anomalies_to_extensions(signal: &str, anomalies: &[Anomaly]) -> Vec<ExtensionRule> {
+    anomalies
+        .iter()
+        .map(|a| anomaly_to_extension(signal, a))
+        .collect()
+}
+
+/// End-to-end helper used in tests and examples: detect rare values on a
+/// first run's state, return the extensions to install for future runs.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn learn_extensions(
+    state: &ivnt_frame::DataFrame,
+    signal: &str,
+    config: &crate::anomaly::AnomalyConfig,
+) -> Result<Vec<ExtensionRule>> {
+    let anomalies = crate::anomaly::rare_values(state, signal, config)?;
+    Ok(anomalies_to_extensions(signal, &anomalies))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::anomaly::AnomalyConfig;
+    use ivnt_frame::prelude::*;
+
+    fn sequence(labels: &[&str]) -> SignalSequence {
+        let schema = Schema::from_pairs([
+            ("t", DataType::Float),
+            ("s_id", DataType::Str),
+            ("b_id", DataType::Str),
+            ("v_num", DataType::Float),
+            ("v_text", DataType::Str),
+        ])
+        .unwrap()
+        .into_shared();
+        let frame = DataFrame::from_rows(
+            schema,
+            labels.iter().enumerate().map(|(i, &l)| {
+                vec![
+                    Value::Float(i as f64),
+                    Value::from("wstat"),
+                    Value::from("ETH"),
+                    Value::Null,
+                    Value::from(l),
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "wstat".into(),
+            frame,
+        }
+    }
+
+    fn anomaly(label: &str) -> Anomaly {
+        Anomaly {
+            first_t: 2.0,
+            label: label.into(),
+            count: 1,
+            severity: 0.9,
+        }
+    }
+
+    #[test]
+    fn extension_fires_on_recurrence() {
+        let rule = anomaly_to_extension("wstat", &anomaly("invalid"));
+        assert_eq!(rule.signal(), "wstat");
+        assert_eq!(rule.alias(), "wstatAnomaly:invalid");
+        let seq = sequence(&["idle", "invalid", "idle", "invalid"]);
+        let w = rule.apply(&seq).unwrap();
+        assert_eq!(w.num_rows(), 2);
+        let rows = w.collect_rows().unwrap();
+        assert_eq!(rows[0][0], Value::Float(1.0));
+        assert_eq!(rows[1][0], Value::Float(3.0));
+    }
+
+    #[test]
+    fn extension_silent_without_recurrence() {
+        let rule = anomaly_to_extension("wstat", &anomaly("invalid"));
+        let seq = sequence(&["idle", "wiping"]);
+        assert!(rule.apply(&seq).unwrap().is_empty());
+    }
+
+    #[test]
+    fn learn_from_state() {
+        let schema = Schema::from_pairs([("t", DataType::Float), ("wstat", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let mut rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Float(i as f64), Value::from("idle")])
+            .collect();
+        rows.push(vec![Value::Float(50.0), Value::from("blocked")]);
+        let state = DataFrame::from_rows(schema, rows).unwrap();
+        let rules = learn_extensions(
+            &state,
+            "wstat",
+            &AnomalyConfig {
+                max_frequency: 0.05,
+                top_k: 5,
+            },
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 1);
+        assert_eq!(rules[0].alias(), "wstatAnomaly:blocked");
+    }
+}

@@ -1,0 +1,203 @@
+//! Human-readable preprocessing reports.
+//!
+//! The paper's deliverable is a representation domain experts inspect; this
+//! module renders a pipeline run as a markdown report: per-signal
+//! classification and reduction figures, dedup coverage, discovered
+//! outliers with context, rare transitions — everything a test engineer
+//! reads first.
+
+use std::fmt::Write as _;
+
+use ivnt_core::pipeline::PipelineOutput;
+
+use crate::anomaly::{rare_states, AnomalyConfig};
+use crate::diagnosis::diagnose_outliers;
+use crate::error::Result;
+use crate::transition::TransitionGraph;
+
+/// Report options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportConfig {
+    /// Prior states shown per outlier.
+    pub chain_len: usize,
+    /// Rare transitions listed per signal.
+    pub top_transitions: usize,
+    /// Rare-state detection parameters.
+    pub anomaly: AnomalyConfig,
+}
+
+impl Default for ReportConfig {
+    fn default() -> Self {
+        ReportConfig {
+            chain_len: 3,
+            top_transitions: 3,
+            anomaly: AnomalyConfig::default(),
+        }
+    }
+}
+
+/// Renders a pipeline run as markdown.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn render_report(
+    domain: &str,
+    output: &PipelineOutput,
+    config: &ReportConfig,
+) -> Result<String> {
+    let mut md = String::new();
+    let _ = writeln!(md, "# Preprocessing report — domain `{domain}`\n");
+
+    // Signal overview.
+    let interpreted: usize = output.signals.iter().map(|s| s.rows_interpreted).sum();
+    let reduced: usize = output.signals.iter().map(|s| s.rows_reduced).sum();
+    let _ = writeln!(
+        md,
+        "{} signals; {} interpreted instances reduced to {} ({:.1}% kept); {} extension elements; {} state rows.\n",
+        output.signals.len(),
+        interpreted,
+        reduced,
+        100.0 * reduced as f64 / interpreted.max(1) as f64,
+        output.extensions.num_rows(),
+        output.state.num_rows(),
+    );
+    let _ = writeln!(
+        md,
+        "| signal | branch | data class | rate [Hz] | distinct | rows in | rows kept | channels covered |"
+    );
+    let _ = writeln!(md, "|---|---|---|---|---|---|---|---|");
+    for s in &output.signals {
+        let mut channels = vec![s.representative_channel.clone()];
+        channels.extend(s.corresponding_channels.iter().cloned());
+        let _ = writeln!(
+            md,
+            "| {} | {} | {:?} | {:.2} | {} | {} | {} | {} |",
+            s.signal,
+            s.classification.branch,
+            s.classification.data_class,
+            s.classification.criteria.measured_rate_hz,
+            s.classification.criteria.z_num,
+            s.rows_interpreted,
+            s.rows_reduced,
+            channels.join(", "),
+        );
+    }
+    md.push('\n');
+
+    // Channel health.
+    let mismatched: Vec<&_> = output
+        .signals
+        .iter()
+        .filter(|s| !s.mismatched_channels.is_empty())
+        .collect();
+    if !mismatched.is_empty() {
+        let _ = writeln!(md, "## Gateway mismatches (potential forwarding faults)\n");
+        for s in mismatched {
+            let _ = writeln!(
+                md,
+                "- `{}`: copies on {} disagree with {}",
+                s.signal,
+                s.mismatched_channels.join(", "),
+                s.representative_channel
+            );
+        }
+        md.push('\n');
+    }
+
+    // Outliers with prior-state context.
+    let outliers = diagnose_outliers(&output.state, config.chain_len)?;
+    let _ = writeln!(md, "## Outliers ({})\n", outliers.len());
+    for ctx in outliers.iter().take(10) {
+        let _ = writeln!(md, "- t={:.3}s `{}`: {}", ctx.t, ctx.column, ctx.cell);
+        if let Some(prior) = ctx.prior_states.last() {
+            let brief: Vec<String> = prior
+                .iter()
+                .map(|(n, v)| format!("{n}={v}"))
+                .collect();
+            let _ = writeln!(md, "  - preceding state: {}", brief.join(", "));
+        }
+    }
+    if outliers.len() > 10 {
+        let _ = writeln!(md, "- ... {} more", outliers.len() - 10);
+    }
+    md.push('\n');
+
+    // Rare full states.
+    let anomalies = rare_states(&output.state, &config.anomaly)?;
+    if !anomalies.is_empty() {
+        let _ = writeln!(md, "## Rare states (top {})\n", anomalies.len().min(5));
+        for a in anomalies.iter().take(5) {
+            let _ = writeln!(
+                md,
+                "- x{} (severity {:.2}, first at t={:.1}s): `{}`",
+                a.count, a.severity, a.first_t, a.label
+            );
+        }
+        md.push('\n');
+    }
+
+    // Rare transitions per signal column.
+    let _ = writeln!(md, "## Rare transitions\n");
+    for field in output.state.schema().fields().iter().skip(1) {
+        let graph = TransitionGraph::from_column(&output.state, field.name())?;
+        let rare = graph.rare_transitions();
+        if rare.is_empty() {
+            continue;
+        }
+        let shown: Vec<String> = rare
+            .iter()
+            .take(config.top_transitions)
+            .map(|t| format!("`{}` → `{}` (x{})", t.from, t.to, t.count))
+            .collect();
+        let _ = writeln!(md, "- {}: {}", field.name(), shown.join(", "));
+    }
+    Ok(md)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivnt_core::prelude::*;
+    use ivnt_simulator::functions;
+    use ivnt_simulator::prelude::*;
+
+    fn output_with_fault() -> PipelineOutput {
+        let mut n = NetworkModel::new(ivnt_protocol::Catalog::new());
+        n.add_function(functions::drivetrain().unwrap()).unwrap();
+        n.auto_senders();
+        let faults = FaultPlan::new().with(Fault::OutlierSpike {
+            signal: "speed".into(),
+            at_s: 3.0,
+            duration_s: 0.05,
+            value: 650.0,
+        });
+        let trace = n.simulate(6.0, 5, &faults).unwrap();
+        Pipeline::new(
+            RuleSet::from_network(&n),
+            DomainProfile::new("report-test").with_signals(["speed", "gear"]),
+        )
+        .unwrap()
+        .run(&trace)
+        .unwrap()
+    }
+
+    #[test]
+    fn report_contains_all_sections() {
+        let output = output_with_fault();
+        let md = render_report("drivetrain", &output, &ReportConfig::default()).unwrap();
+        assert!(md.starts_with("# Preprocessing report — domain `drivetrain`"));
+        assert!(md.contains("| signal | branch |"));
+        assert!(md.contains("| speed | alpha |"));
+        assert!(md.contains("## Outliers"));
+        assert!(md.contains("outlier v ="));
+        assert!(md.contains("## Rare transitions"));
+    }
+
+    #[test]
+    fn report_shows_preceding_state() {
+        let output = output_with_fault();
+        let md = render_report("drivetrain", &output, &ReportConfig::default()).unwrap();
+        assert!(md.contains("preceding state:"), "{md}");
+    }
+}

@@ -1,0 +1,30 @@
+//! Ablation: gateway dedup (Algorithm 1 line 9) on vs. off. With dedup the
+//! pipeline processes one representative channel per signal and reuses the
+//! result for the gateway copies; without it, every duplicated channel is
+//! carried through reduction and branch processing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivnt_bench::u_rel_with_hints;
+use ivnt_core::prelude::*;
+use ivnt_simulator::prelude::*;
+
+fn dedup(c: &mut Criterion) {
+    // The SYN set mirrors every message onto a gateway channel, so half of
+    // all signal instances are duplicates.
+    let data = generate(&DataSetSpec::syn().with_target_examples(40_000)).expect("generate");
+    let u_rel = u_rel_with_hints(&data);
+
+    let mut group = c.benchmark_group("ablation_dedup");
+    group.sample_size(10);
+    for (label, enabled) in [("dedup_on", true), ("dedup_off", false)] {
+        let profile = DomainProfile::new("dedup").with_dedup(enabled);
+        let pipeline = Pipeline::new(u_rel.clone(), profile).expect("pipeline");
+        group.bench_function(label, |b| {
+            b.iter(|| pipeline.run(&data.trace).expect("run"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dedup);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Ablation: partition-count sweep of the embedded engine — the "cluster
+//! size" of the Spark substitute. On multi-core hosts this shows the
+//! distribution speedup the paper's approach is built around; on a 1-core
+//! container it measures the partitioning overhead instead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ivnt_bench::u_rel_with_hints;
+use ivnt_core::prelude::*;
+use ivnt_simulator::prelude::*;
+
+fn partitions(c: &mut Criterion) {
+    let data = generate(&DataSetSpec::syn().with_target_examples(40_000)).expect("generate");
+    let u_rel = u_rel_with_hints(&data);
+
+    let mut group = c.benchmark_group("ablation_partitions");
+    group.sample_size(10);
+    for parts in [1usize, 2, 4, 8] {
+        ivnt_frame::exec::set_default_workers(parts);
+        let profile = DomainProfile::new("sweep").with_partitions(parts);
+        let pipeline = Pipeline::new(u_rel.clone(), profile).expect("pipeline");
+        group.bench_with_input(
+            BenchmarkId::from_parameter(parts),
+            &data.trace,
+            |b, trace| b.iter(|| pipeline.extract_reduced(trace).expect("extract")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, partitions);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! Ablation: interpretation *with* vs. *without* preselection (Algorithm 1
+//! line 3). The paper argues interpretation is expensive, so "early
+//! reduction is required" — dropping preselection forces the join to touch
+//! every raw row.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
+
+fn preselection(c: &mut Criterion) {
+    let data = vehicle_journey(30_000, 0).expect("generate");
+    let signals = select_signals_for_fraction(&data, 9, 0.027);
+    let pipeline = domain_pipeline(&data, &signals).expect("pipeline");
+
+    let mut group = c.benchmark_group("ablation_preselection");
+    group.sample_size(10);
+    group.bench_function("with_preselection", |b| {
+        b.iter(|| pipeline.extract(&data.trace).expect("extract"))
+    });
+    group.bench_function("without_preselection", |b| {
+        b.iter(|| {
+            pipeline
+                .extract_without_preselection(&data.trace)
+                .expect("extract")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, preselection);
+criterion_main!(benches);

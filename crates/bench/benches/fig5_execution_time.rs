@@ -1,0 +1,35 @@
+//! Criterion form of Fig. 5: interpretation + reduction (Algorithm 1 lines
+//! 3–11) over growing example counts, per data set. The paper's claim is
+//! linear O(n) scaling; criterion's per-size estimates make the slope
+//! visible.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivnt_bench::domain_pipeline;
+use ivnt_simulator::prelude::*;
+
+fn fig5(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_interpret_reduce");
+    group.sample_size(10);
+    for spec in [DataSetSpec::syn(), DataSetSpec::lig(), DataSetSpec::sta()] {
+        let name = spec.name.clone();
+        let data = generate(&spec.with_target_examples(40_000)).expect("generate");
+        let signals = data.signal_names();
+        let pipeline = domain_pipeline(&data, &signals).expect("pipeline");
+        for frac in [4usize, 2, 1] {
+            let n = data.trace.len() / frac;
+            let prefix = data.trace.prefix(n);
+            group.throughput(Throughput::Elements(n as u64));
+            group.bench_with_input(
+                BenchmarkId::new(name.clone(), n),
+                &prefix,
+                |b, prefix| {
+                    b.iter(|| pipeline.extract_reduced(prefix).expect("extract"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig5);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion form of Table 6: extraction time of the proposed pipeline vs.
+//! the sequential in-house tool, for a few-signal and a many-signal domain
+//! on the full-vehicle workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use ivnt_baseline::SequentialAnalyzer;
+use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
+
+fn table6(c: &mut Criterion) {
+    let data = vehicle_journey(40_000, 0).expect("generate");
+    let few = select_signals_for_fraction(&data, 9, 0.027);
+    let many = select_signals_for_fraction(&data, 89, 0.165);
+
+    let mut group = c.benchmark_group("table6_extraction");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(data.trace.len() as u64));
+
+    for (label, signals) in [("9_signals", &few), ("89_signals", &many)] {
+        let pipeline = domain_pipeline(&data, signals).expect("pipeline");
+        group.bench_with_input(
+            BenchmarkId::new("proposed", label),
+            &data.trace,
+            |b, trace| b.iter(|| pipeline.extract_reduced(trace).expect("extract")),
+        );
+        let tool = SequentialAnalyzer::new(data.network.clone());
+        let selected: Vec<&str> = signals.iter().map(String::as_str).collect();
+        group.bench_with_input(
+            BenchmarkId::new("in_house", label),
+            &data.trace,
+            |b, trace| b.iter(|| tool.extract_signals(trace, &selected)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table6);
+criterion_main!(benches);

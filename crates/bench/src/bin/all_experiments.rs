@@ -1,0 +1,22 @@
+//! Runs every table/figure regeneration in sequence (Table 5, Fig. 5,
+//! Table 6, the storage ablation) — the one-command reproduction of the
+//! paper's evaluation section.
+//!
+//! ```sh
+//! cargo run --release -p ivnt-bench --bin all_experiments
+//! ```
+
+use std::process::Command;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let exe = std::env::current_exe()?;
+    let dir = exe.parent().expect("binary directory");
+    for bin in ["table5", "fig5", "table6", "storage"] {
+        println!("\n=== {bin} ===\n");
+        let status = Command::new(dir.join(bin)).status()?;
+        if !status.success() {
+            return Err(format!("{bin} failed with {status}").into());
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Diagnostic: one-shot proposed-vs-baseline timing on the LIG workload
+//! (quick crossover check; the reportable numbers come from `table6`).
+
+use std::time::Instant;
+use ivnt_core::prelude::*;
+use ivnt_baseline::SequentialAnalyzer;
+use ivnt_simulator::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DataSetSpec::lig().with_target_examples(120_000);
+    let data = generate(&spec)?;
+    println!("trace rows: {}", data.trace.len());
+    let names = data.signal_names();
+    let u_rel = RuleSet::from_network(&data.network);
+
+    for n_sig in [9usize, 89] {
+        let selected: Vec<&str> = names.iter().take(n_sig).map(String::as_str).collect();
+        let profile = DomainProfile::new("t6").with_signals(selected.clone());
+        let p = Pipeline::new(u_rel.clone(), profile)?;
+        let t0 = Instant::now();
+        let reduced = p.extract_reduced(&data.trace)?;
+        let kept: usize = reduced.iter().map(|(s,_,_)| s.len()).sum();
+        let t_prop = t0.elapsed();
+
+        let tool = SequentialAnalyzer::new(data.network.clone());
+        let t0 = Instant::now();
+        let rows = tool.extract_signals(&data.trace, &selected);
+        let t_base = t0.elapsed();
+        println!("{n_sig} signals: proposed {:?} ({kept} rows) vs baseline {:?} ({rows} rows) speedup {:.2}x",
+            t_prop, t_base, t_base.as_secs_f64()/t_prop.as_secs_f64());
+    }
+    Ok(())
+}

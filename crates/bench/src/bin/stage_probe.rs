@@ -1,0 +1,37 @@
+//! Diagnostic: per-stage wall times of Algorithm 1 lines 3-11 on the LIG
+//! workload (used to find pipeline hot spots).
+
+use std::time::Instant;
+use ivnt_core::prelude::*;
+use ivnt_core::{dedup, interpret, reduce, split, tabular};
+use ivnt_simulator::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let spec = DataSetSpec::lig().with_target_examples(120_000);
+    let data = generate(&spec)?;
+    let names = data.signal_names();
+    let u_rel = RuleSet::from_network(&data.network);
+    let selected: Vec<&str> = names.iter().take(89).map(String::as_str).collect();
+    let profile = DomainProfile::new("probe").with_signals(selected.clone());
+    let p = Pipeline::new(u_rel.clone(), profile)?;
+
+    let t0 = Instant::now();
+    let raw = tabular::trace_to_frame(&data.trace, 8)?;
+    println!("to_frame:   {:?} ({} rows)", t0.elapsed(), raw.num_rows());
+    let t0 = Instant::now();
+    let pre = interpret::preselect(&raw, p.u_comb())?;
+    println!("preselect:  {:?} ({} rows)", t0.elapsed(), pre.num_rows());
+    let t0 = Instant::now();
+    let ks = interpret::interpret(&pre, p.u_comb())?;
+    println!("interpret:  {:?} ({} rows)", t0.elapsed(), ks.num_rows());
+    let t0 = Instant::now();
+    let seqs = split::split_by_signal(&ks)?;
+    println!("split:      {:?} ({} seqs)", t0.elapsed(), seqs.len());
+    let t0 = Instant::now();
+    let ds = dedup::deduplicate_all(&seqs, p.u_comb())?;
+    println!("dedup:      {:?}", t0.elapsed());
+    let t0 = Instant::now();
+    let reduced: Vec<_> = ds.iter().map(|d| reduce::apply_constraints(&d.representative, &p.profile().constraints)).collect::<Result<Vec<_>,_>>()?;
+    println!("reduce:     {:?} ({} rows kept)", t0.elapsed(), reduced.iter().map(|s| s.len()).sum::<usize>());
+    Ok(())
+}

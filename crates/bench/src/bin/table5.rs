@@ -1,0 +1,110 @@
+//! Regenerates **Table 5** of the paper: statistics of the three data sets
+//! (SYN, LIG, STA) — signal-type counts per processing branch, example
+//! counts, mean signal types per message.
+//!
+//! Branch counts are *measured* by running each data set through the
+//! pipeline's classifier (not read from the generator's ground truth), so
+//! this binary also validates that classification reproduces the designed
+//! shape.
+//!
+//! ```sh
+//! cargo run --release -p ivnt-bench --bin table5
+//! ```
+
+use ivnt_bench::{scale, u_rel_with_hints};
+use ivnt_core::prelude::*;
+use ivnt_simulator::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let examples = (60_000.0 * scale()) as usize;
+    let specs = [
+        DataSetSpec::syn().with_target_examples(examples),
+        DataSetSpec::lig().with_target_examples(examples),
+        DataSetSpec::sta().with_target_examples(examples / 2),
+    ];
+
+    struct Row {
+        name: String,
+        signals: usize,
+        alpha: usize,
+        beta: usize,
+        gamma: usize,
+        examples: usize,
+        density: f64,
+    }
+    let mut rows = Vec::new();
+    for spec in &specs {
+        eprintln!("generating {} (~{} examples)...", spec.name, examples);
+        let data = generate(spec)?;
+        let pipeline = Pipeline::new(u_rel_with_hints(&data), DomainProfile::new("table5"))?;
+        let reduced = pipeline.extract_reduced(&data.trace)?;
+        let mut alpha = 0;
+        let mut beta = 0;
+        let mut gamma = 0;
+        for (seq, _, _) in &reduced {
+            let comparable = pipeline
+                .u_comb()
+                .rules()
+                .iter()
+                .find(|r| r.signal == seq.signal)
+                .map(|r| r.info.comparable)
+                .unwrap_or(true);
+            let class =
+                ivnt_core::classify::classify(seq, comparable, &pipeline.profile().classify)?;
+            match class.branch {
+                Branch::Alpha => alpha += 1,
+                Branch::Beta => beta += 1,
+                Branch::Gamma => gamma += 1,
+            }
+        }
+        let n_signals: usize = data
+            .network
+            .catalog()
+            .messages()
+            .iter()
+            .map(|m| m.signals().len())
+            .sum();
+        rows.push(Row {
+            name: spec.name.clone(),
+            signals: data.signal_classes.len(),
+            alpha,
+            beta,
+            gamma,
+            examples: data.trace.len(),
+            density: n_signals as f64 / data.network.catalog().num_messages() as f64,
+        });
+    }
+
+    println!("\nTable 5: Statistics of our three data sets (measured)");
+    println!("{:<28} {:>10} {:>10} {:>10}", "", rows[0].name, rows[1].name, rows[2].name);
+    let line = |label: &str, f: &dyn Fn(&Row) -> String| {
+        println!(
+            "{label:<28} {:>10} {:>10} {:>10}",
+            f(&rows[0]),
+            f(&rows[1]),
+            f(&rows[2])
+        );
+    };
+    line("# signal types", &|r| r.signals.to_string());
+    line("# signal types - alpha", &|r| r.alpha.to_string());
+    line("# signal types - beta", &|r| r.beta.to_string());
+    line("# signal types - gamma", &|r| r.gamma.to_string());
+    line("# examples", &|r| r.examples.to_string());
+    line("avg signal types / message", &|r| format!("{:.2}", r.density));
+
+    println!("\npaper reference (20 h of recording; branch counts from Table 5):");
+    println!("{:<28} {:>10} {:>10} {:>10}", "", "SYN", "LIG", "STA");
+    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types", 13, 180, 78);
+    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - alpha", 6, 27, 6);
+    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - beta", 4, 71, 1);
+    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - gamma", 3, 82, 71);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "# examples", "13197983", "12306327", "4807891"
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "avg signal types / message", "1.47", "5.11", "3.66"
+    );
+    Ok(())
+}

@@ -1,0 +1,108 @@
+//! Minimal argument parsing: `--key value` flags plus positional operands.
+
+use std::collections::HashMap;
+
+/// Parsed command line: flag map plus positionals, in order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    flags: HashMap<String, String>,
+    positionals: Vec<String>,
+}
+
+impl Args {
+    /// Parses `--key value` pairs and positionals from raw arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when a `--flag` lacks its value.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter();
+        while let Some(token) = iter.next() {
+            if let Some(key) = token.strip_prefix("--") {
+                let value = iter
+                    .next()
+                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                args.flags.insert(key.to_string(), value);
+            } else {
+                args.positionals.push(token);
+            }
+        }
+        Ok(args)
+    }
+
+    /// String flag.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).map(String::as_str)
+    }
+
+    /// String flag with default.
+    pub fn get_or<'a>(&'a self, key: &str, default: &'a str) -> &'a str {
+        self.get(key).unwrap_or(default)
+    }
+
+    /// Parsed flag (int, float, ...).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when present but unparsable.
+    pub fn get_parsed<T: std::str::FromStr>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v
+                .parse()
+                .map(Some)
+                .map_err(|_| format!("flag --{key} has invalid value {v:?}")),
+        }
+    }
+
+    /// Required positional operand.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the operand when missing.
+    pub fn positional(&self, index: usize, name: &str) -> Result<&str, String> {
+        self.positionals
+            .get(index)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing operand: <{name}>"))
+    }
+
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(tokens: &[&str]) -> Args {
+        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn flags_and_positionals() {
+        let a = parse(&["--scenario", "syn", "trace.ivnt", "--seed", "7"]);
+        assert_eq!(a.get("scenario"), Some("syn"));
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(7));
+        assert_eq!(a.positional(0, "trace").unwrap(), "trace.ivnt");
+        assert_eq!(a.get_or("missing", "x"), "x");
+    }
+
+    #[test]
+    fn missing_value_rejected() {
+        let err = Args::parse(vec!["--seed".to_string()]).unwrap_err();
+        assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn bad_parse_reported() {
+        let a = parse(&["--seed", "abc"]);
+        assert!(a.get_parsed::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn missing_positional_reported() {
+        let a = parse(&[]);
+        assert!(a.positional(0, "trace").unwrap_err().contains("<trace>"));
+    }
+}

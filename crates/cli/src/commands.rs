@@ -1,0 +1,205 @@
+//! The CLI subcommands.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use ivnt_core::prelude::*;
+use ivnt_core::represent::render_state_table;
+use ivnt_simulator::prelude::*;
+use ivnt_simulator::scenario;
+
+use crate::args::Args;
+
+type CmdResult = Result<(), String>;
+
+fn err(e: impl std::fmt::Display) -> String {
+    e.to_string()
+}
+
+/// Resolves a `--scenario` name (with optional `--seed`) to its spec.
+fn scenario_spec(args: &Args) -> Result<DataSetSpec, String> {
+    let name = args.get_or("scenario", "syn");
+    let mut spec = match name {
+        "syn" => DataSetSpec::syn(),
+        "lig" => DataSetSpec::lig(),
+        "sta" => DataSetSpec::sta(),
+        other => return Err(format!("unknown scenario {other:?} (use syn|lig|sta)")),
+    };
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        spec = spec.with_seed(seed);
+    }
+    if let Some(examples) = args.get_parsed::<usize>("examples")? {
+        spec = spec.with_target_examples(examples);
+    }
+    Ok(spec)
+}
+
+/// `ivnt record --scenario syn --examples 50000 --seed 7 <out.ivnt>`
+///
+/// # Errors
+///
+/// Reports generation and I/O failures as messages.
+pub fn record(args: &Args) -> CmdResult {
+    let out_path = args.positional(0, "out.ivnt")?;
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec).map_err(err)?;
+    let file = File::create(out_path).map_err(err)?;
+    data.trace.write_to(BufWriter::new(file)).map_err(err)?;
+    println!(
+        "recorded {}: {} records, {:.1} s, {} signal types ({})",
+        out_path,
+        data.trace.len(),
+        data.trace.duration_s(),
+        data.signal_classes.len(),
+        spec.name,
+    );
+    Ok(())
+}
+
+/// `ivnt inspect <trace.ivnt>` — structural statistics of a trace file.
+///
+/// # Errors
+///
+/// Reports I/O and format failures as messages.
+pub fn inspect(args: &Args) -> CmdResult {
+    let path = args.positional(0, "trace.ivnt")?;
+    let file = File::open(path).map_err(err)?;
+    let trace = Trace::read_from(BufReader::new(file)).map_err(err)?;
+
+    let stats = ivnt_simulator::stats::trace_stats(&trace);
+    println!(
+        "{path}: {} records over {:.1} s ({:.0} msg/s, {} payload bytes)",
+        stats.records,
+        stats.duration_s,
+        stats.rate_hz,
+        stats.payload_bytes,
+    );
+    println!("channels: {}", stats.channels.join(", "));
+    println!("top message streams:");
+    println!(
+        "  {:<10} {:<12} {:>8} {:>12} {:>12} {:>12}",
+        "m_id", "bus", "count", "mean gap", "max gap", "jitter"
+    );
+    for m in stats.top_talkers(12) {
+        println!(
+            "  {:<10} {:<12} {:>8} {:>10.1}ms {:>10.1}ms {:>10.2}ms",
+            m.message_id,
+            m.bus,
+            m.count,
+            m.mean_gap_s * 1e3,
+            m.max_gap_s * 1e3,
+            m.jitter_s * 1e3,
+        );
+    }
+    Ok(())
+}
+
+/// `ivnt extract --scenario syn --seed 7 [--signals a,b] [--state-csv out.csv] <trace.ivnt>`
+///
+/// Rebuilds the scenario's network (the catalog/documentation role), runs
+/// the full pipeline and prints or exports the state representation. The
+/// `--scenario`/`--seed` must match the recording.
+///
+/// # Errors
+///
+/// Reports pipeline and I/O failures as messages.
+pub fn extract(args: &Args) -> CmdResult {
+    let path = args.positional(0, "trace.ivnt")?;
+    let file = File::open(path).map_err(err)?;
+    let trace = Trace::read_from(BufReader::new(file)).map_err(err)?;
+
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
+    let mut u_rel = RuleSet::from_network(&data.network);
+    for (signal, (_, comparable)) in &data.signal_classes {
+        let _ = u_rel.set_comparable(signal, *comparable);
+    }
+
+    let mut profile = DomainProfile::new("cli");
+    if let Some(list) = args.get("signals") {
+        let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
+        profile = profile.with_signals(names);
+    }
+    let output = Pipeline::new(u_rel, profile)
+        .map_err(err)?
+        .run(&trace)
+        .map_err(err)?;
+
+    println!("extracted {} signals:", output.signals.len());
+    for s in &output.signals {
+        println!(
+            "  {:<14} branch {:<6} {:>8} -> {:>8} rows",
+            s.signal, s.classification.branch, s.rows_interpreted, s.rows_reduced
+        );
+    }
+    if let Some(report_path) = args.get("report") {
+        let md = ivnt_analysis::report::render_report(
+            "cli",
+            &output,
+            &ivnt_analysis::report::ReportConfig::default(),
+        )
+        .map_err(err)?;
+        std::fs::write(report_path, md).map_err(err)?;
+        println!("report written to {report_path}");
+    }
+    if let Some(csv_path) = args.get("state-csv") {
+        let file = File::create(csv_path).map_err(err)?;
+        ivnt_frame::csv::write_csv(&output.state, BufWriter::new(file)).map_err(err)?;
+        println!("state representation written to {csv_path}");
+    } else {
+        let rows = args.get_parsed::<usize>("rows")?.unwrap_or(15);
+        println!("\n{}", render_state_table(&output.state, rows).map_err(err)?);
+    }
+    Ok(())
+}
+
+/// `ivnt dbc <file.dbc> [--bus NAME]` — parse and summarize a DBC file.
+///
+/// # Errors
+///
+/// Reports parse failures (with line numbers) as messages.
+pub fn dbc(args: &Args) -> CmdResult {
+    let path = args.positional(0, "file.dbc")?;
+    let bus = args.get_or("bus", "CAN");
+    let text = std::fs::read_to_string(path).map_err(err)?;
+    let catalog = ivnt_protocol::dbc::parse_dbc(&text, bus).map_err(err)?;
+    println!(
+        "{path}: {} messages, {} signals on channel {bus}",
+        catalog.num_messages(),
+        catalog.num_signals()
+    );
+    for m in catalog.messages() {
+        let cycle = m
+            .cycle_time_ms()
+            .map(|ms| format!("{ms} ms"))
+            .unwrap_or_else(|| "event".into());
+        println!("  BO_ {:<6} {:<24} dlc {} cycle {}", m.id(), m.name(), m.dlc(), cycle);
+        for s in m.signals() {
+            let kind = if s.is_enumerated() {
+                format!("enum[{}]", s.enumeration().len())
+            } else {
+                format!("num x{} {}", s.factor(), s.unit().unwrap_or(""))
+            };
+            println!(
+                "    SG_ {:<20} {:>3}|{:<2} {kind}",
+                s.name(),
+                s.start_bit(),
+                s.bit_len()
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Usage text.
+pub fn usage() -> &'static str {
+    "ivnt — in-vehicle network trace preprocessing (DAC'18 reproduction)
+
+USAGE:
+  ivnt record  --scenario syn|lig|sta [--examples N] [--seed S] <out.ivnt>
+  ivnt inspect <trace.ivnt>
+  ivnt extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
+               [--state-csv out.csv] [--report out.md] [--rows N] <trace.ivnt>
+  ivnt dbc     <file.dbc> [--bus NAME]
+"
+}

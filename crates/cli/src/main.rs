@@ -1,0 +1,37 @@
+//! `ivnt` — command-line front end for the trace-preprocessing pipeline.
+
+mod args;
+mod commands;
+
+use args::Args;
+
+fn main() {
+    let mut raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        eprint!("{}", commands::usage());
+        std::process::exit(2);
+    }
+    let command = raw.remove(0);
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let result = match command.as_str() {
+        "record" => commands::record(&parsed),
+        "inspect" => commands::inspect(&parsed),
+        "extract" => commands::extract(&parsed),
+        "dbc" => commands::dbc(&parsed),
+        "help" | "--help" | "-h" => {
+            print!("{}", commands::usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n\n{}", commands::usage())),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

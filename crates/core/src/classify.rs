@@ -1,0 +1,330 @@
+//! Type-dependent classification (Sec. 4.2, Table 3).
+//!
+//! Each reduced sequence `K_red` is classified with the criteria
+//! `Z = (z_type, z_rate, z_num, z_val)` and assigned one of three
+//! processing branches. The criteria were determined in the paper by
+//! inspecting over 1000 signal types; comparability (`z_val`) is domain
+//! knowledge carried by the interpretation rules.
+
+use crate::error::Result;
+use crate::split::SignalSequence;
+
+/// `z_type`: textual (`S`) or numeric (`N`) values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ZType {
+    /// String-valued.
+    Textual,
+    /// Number-valued.
+    Numeric,
+}
+
+/// `z_rate`: high or low change rate relative to the threshold `T`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Rate {
+    /// `n / Δt > T`.
+    High,
+    /// Otherwise.
+    Low,
+}
+
+/// The classification criteria `Z` computed for one sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Criteria {
+    /// Value kind.
+    pub z_type: ZType,
+    /// Change rate class.
+    pub z_rate: Rate,
+    /// Number of distinct values observed.
+    pub z_num: u64,
+    /// Comparable valence (domain knowledge).
+    pub z_val: bool,
+    /// Measured rate in values per second (diagnostic).
+    pub measured_rate_hz: f64,
+}
+
+/// The resolved data type of Table 3's "Data Type" column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataClass {
+    /// Continuous numeric.
+    Numeric,
+    /// Ranked discrete values.
+    Ordinal,
+    /// Exactly two values.
+    Binary,
+    /// Unordered labels.
+    Nominal,
+}
+
+/// The processing branch of Table 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Branch {
+    /// Numeric: outliers → smoothing → SWAB → SAX.
+    Alpha,
+    /// Ordinal: functional/validity split, numeric translation, gradient.
+    Beta,
+    /// Nominal/binary passthrough.
+    Gamma,
+}
+
+impl std::fmt::Display for Branch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Branch::Alpha => "alpha",
+            Branch::Beta => "beta",
+            Branch::Gamma => "gamma",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Parameters of the classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifyConfig {
+    /// The rate threshold `T` in values per second separating `H` from `L`.
+    pub rate_threshold_hz: f64,
+}
+
+impl Default for ClassifyConfig {
+    fn default() -> Self {
+        ClassifyConfig {
+            rate_threshold_hz: 1.0,
+        }
+    }
+}
+
+/// A classified sequence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// The computed criteria `Z`.
+    pub criteria: Criteria,
+    /// The resolved data type.
+    pub data_class: DataClass,
+    /// The assigned processing branch.
+    pub branch: Branch,
+}
+
+/// Computes `Z` for a sequence and maps it through Table 3.
+///
+/// `comparable` is the domain-knowledge `z_val` hint from the
+/// interpretation rule. Rate is measured on the (already reduced) sequence
+/// as values per second of covered duration; single-element or empty
+/// sequences count as low-rate.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn classify(
+    seq: &SignalSequence,
+    comparable: bool,
+    config: &ClassifyConfig,
+) -> Result<Classification> {
+    let nums = seq.numeric_values()?;
+    let texts = seq.text_values()?;
+    let times = seq.times()?;
+
+    let textual = texts.iter().any(Option::is_some);
+    let z_type = if textual { ZType::Textual } else { ZType::Numeric };
+
+    let mut distinct: std::collections::HashSet<(Option<u64>, Option<&str>)> =
+        Default::default();
+    for (n, t) in nums.iter().zip(&texts) {
+        if n.is_some() || t.is_some() {
+            distinct.insert((n.map(f64::to_bits), t.as_deref()));
+        }
+    }
+    let z_num = distinct.len() as u64;
+
+    let duration = match (times.first(), times.last()) {
+        (Some(a), Some(b)) if b > a => b - a,
+        _ => 0.0,
+    };
+    let measured_rate_hz = if duration > 0.0 {
+        times.len() as f64 / duration
+    } else {
+        0.0
+    };
+    let z_rate = if measured_rate_hz > config.rate_threshold_hz {
+        Rate::High
+    } else {
+        Rate::Low
+    };
+
+    let criteria = Criteria {
+        z_type,
+        z_rate,
+        z_num,
+        z_val: comparable,
+        measured_rate_hz,
+    };
+    let (data_class, branch) = table3(&criteria);
+    Ok(Classification {
+        criteria,
+        data_class,
+        branch,
+    })
+}
+
+/// The mapping of Table 3 (rows in paper order, with the natural closure
+/// for combinations the table leaves implicit: non-comparable numerics and
+/// near-constant sequences fall through to γ).
+pub fn table3(z: &Criteria) -> (DataClass, Branch) {
+    match (z.z_type, z.z_rate, z.z_num, z.z_val) {
+        (ZType::Numeric, Rate::High, n, true) if n > 2 => (DataClass::Numeric, Branch::Alpha),
+        (ZType::Numeric, Rate::Low, n, true) if n > 2 => (DataClass::Ordinal, Branch::Beta),
+        (ZType::Textual, _, n, true) if n > 2 => (DataClass::Ordinal, Branch::Beta),
+        (ZType::Textual, _, 2, true) => (DataClass::Binary, Branch::Gamma),
+        (ZType::Textual, _, n, false) if n > 2 => (DataClass::Nominal, Branch::Gamma),
+        (ZType::Numeric, _, 2, true) => (DataClass::Binary, Branch::Gamma),
+        // Closure: everything else (constants, non-comparable numerics,
+        // two-valued non-comparable labels) is treated nominally in γ.
+        (_, _, 2, false) => (DataClass::Binary, Branch::Gamma),
+        (_, _, _, _) => (DataClass::Nominal, Branch::Gamma),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::signal_schema;
+    use ivnt_frame::prelude::*;
+
+    fn numeric_seq(times_and_vals: &[(f64, f64)]) -> SignalSequence {
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            times_and_vals.iter().map(|&(t, v)| {
+                vec![
+                    Value::Float(t),
+                    Value::from("x"),
+                    Value::from("FC"),
+                    Value::Float(v),
+                    Value::Null,
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "x".into(),
+            frame,
+        }
+    }
+
+    fn text_seq(times_and_vals: &[(f64, &str)]) -> SignalSequence {
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            times_and_vals.iter().map(|&(t, v)| {
+                vec![
+                    Value::Float(t),
+                    Value::from("x"),
+                    Value::from("FC"),
+                    Value::Null,
+                    Value::from(v),
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "x".into(),
+            frame,
+        }
+    }
+
+    fn cfg() -> ClassifyConfig {
+        ClassifyConfig::default()
+    }
+
+    #[test]
+    fn fast_numeric_is_alpha() {
+        // 50 values over 5 s = 10 Hz > 1 Hz threshold.
+        let vals: Vec<(f64, f64)> = (0..50).map(|i| (i as f64 * 0.1, i as f64)).collect();
+        let c = classify(&numeric_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Alpha);
+        assert_eq!(c.data_class, DataClass::Numeric);
+        assert_eq!(c.criteria.z_rate, Rate::High);
+        assert!(c.criteria.z_num > 2);
+    }
+
+    #[test]
+    fn slow_numeric_multilevel_is_beta() {
+        // 5 values over 40 s = 0.125 Hz.
+        let vals = [(0.0, 0.0), (10.0, 1.0), (20.0, 2.0), (30.0, 3.0), (40.0, 4.0)];
+        let c = classify(&numeric_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Beta);
+        assert_eq!(c.data_class, DataClass::Ordinal);
+    }
+
+    #[test]
+    fn comparable_text_multilevel_is_beta() {
+        let vals = [(0.0, "low"), (10.0, "medium"), (20.0, "high")];
+        let c = classify(&text_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Beta);
+        assert_eq!(c.data_class, DataClass::Ordinal);
+    }
+
+    #[test]
+    fn two_valued_text_is_binary_gamma() {
+        let vals = [(0.0, "ON"), (10.0, "OFF"), (20.0, "ON")];
+        let c = classify(&text_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Gamma);
+        assert_eq!(c.data_class, DataClass::Binary);
+    }
+
+    #[test]
+    fn noncomparable_text_is_nominal_gamma() {
+        let vals = [(0.0, "driving"), (10.0, "parking"), (20.0, "standby")];
+        let c = classify(&text_seq(&vals), false, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Gamma);
+        assert_eq!(c.data_class, DataClass::Nominal);
+    }
+
+    #[test]
+    fn two_valued_numeric_is_binary_gamma() {
+        let vals = [(0.0, 0.0), (5.0, 1.0), (10.0, 0.0)];
+        let c = classify(&numeric_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Gamma);
+        assert_eq!(c.data_class, DataClass::Binary);
+    }
+
+    #[test]
+    fn constant_sequence_falls_to_gamma() {
+        let vals = [(0.0, 7.0), (10.0, 7.0)];
+        let c = classify(&numeric_seq(&vals), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Gamma);
+    }
+
+    #[test]
+    fn rate_threshold_is_parameter() {
+        let vals: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, i as f64)).collect();
+        // 1 Hz-ish rate: high under a 0.5 Hz threshold, low under 2 Hz.
+        let fast = classify(
+            &numeric_seq(&vals),
+            true,
+            &ClassifyConfig {
+                rate_threshold_hz: 0.5,
+            },
+        )
+        .unwrap();
+        assert_eq!(fast.branch, Branch::Alpha);
+        let slow = classify(
+            &numeric_seq(&vals),
+            true,
+            &ClassifyConfig {
+                rate_threshold_hz: 2.0,
+            },
+        )
+        .unwrap();
+        assert_eq!(slow.branch, Branch::Beta);
+    }
+
+    #[test]
+    fn empty_sequence_is_gamma() {
+        let c = classify(&numeric_seq(&[]), true, &cfg()).unwrap();
+        assert_eq!(c.branch, Branch::Gamma);
+        assert_eq!(c.criteria.z_num, 0);
+        assert_eq!(c.criteria.measured_rate_hz, 0.0);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Branch::Alpha.to_string(), "alpha");
+    }
+}

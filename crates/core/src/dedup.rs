@@ -1,0 +1,255 @@
+//! Gateway deduplication (Algorithm 1, line 9).
+//!
+//! Signals forwarded through gateways are recorded once per channel. The
+//! equality check `e : K_s^{s_id} -> (K_rep, K_cor)` verifies the channel
+//! copies carry identical value sequences and keeps one *representative*
+//! channel for processing; results then apply to all *corresponding*
+//! channels, cutting computational cost by the duplication factor.
+
+use ivnt_frame::prelude::*;
+
+use crate::error::Result;
+use crate::rules::RuleSet;
+use crate::split::SignalSequence;
+use crate::tabular::columns as c;
+
+/// Outcome of the equality check `e` for one signal.
+#[derive(Debug, Clone)]
+pub struct Dedup {
+    /// The representative sequence `K_rep` (single channel, time-ordered).
+    pub representative: SignalSequence,
+    /// Channel chosen as representative.
+    pub representative_channel: String,
+    /// Channels whose copies matched the representative (`K_cor`).
+    pub corresponding: Vec<String>,
+    /// Channels whose copies disagreed — kept out of `K_cor`, reported for
+    /// diagnosis (a forwarding fault is itself a finding).
+    pub mismatched: Vec<String>,
+}
+
+/// Runs the equality check for one signal's multi-channel sequence.
+///
+/// The representative is the signal's home channel when the rules identify
+/// one, otherwise the lexicographically smallest channel. Two channel
+/// copies are equal when their value sequences (numeric and textual) agree
+/// element-wise in time order — timestamps may differ by the gateway
+/// forwarding delay and are not compared.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn deduplicate(seq: &SignalSequence, rules: &RuleSet) -> Result<Dedup> {
+    let channels = seq.channels()?;
+    if channels.len() <= 1 {
+        let channel = channels.into_iter().next().unwrap_or_default();
+        return Ok(Dedup {
+            representative: seq.clone(),
+            representative_channel: channel,
+            corresponding: Vec::new(),
+            mismatched: Vec::new(),
+        });
+    }
+    let home = rules
+        .rules()
+        .iter()
+        .find(|r| r.signal == seq.signal && r.info.home_channel)
+        .map(|r| r.bus.clone());
+    let representative_channel = home
+        .filter(|h| channels.contains(h))
+        .unwrap_or_else(|| channels[0].clone());
+
+    let bus_idx = seq.frame.schema().index_of(c::BUS)?;
+    let per_channel = |bus: &str| -> Result<DataFrame> {
+        // Direct columnar scan: this runs once per channel per signal over
+        // potentially millions of rows.
+        let parts = seq
+            .frame
+            .partitions()
+            .iter()
+            .map(|batch| {
+                let buses = batch.column(bus_idx).as_str_slice().unwrap_or(&[]);
+                let mask: Vec<bool> = buses
+                    .iter()
+                    .map(|b| b.as_deref() == Some(bus))
+                    .collect();
+                batch.filter(&mask)
+            })
+            .collect::<std::result::Result<Vec<_>, _>>()?;
+        Ok(DataFrame::from_partitions(seq.frame.schema().clone(), parts)?)
+    };
+    let rep_frame = per_channel(&representative_channel)?;
+    let rep_values = value_signature(&rep_frame)?;
+
+    let mut corresponding = Vec::new();
+    let mut mismatched = Vec::new();
+    for ch in &channels {
+        if *ch == representative_channel {
+            continue;
+        }
+        let other = value_signature(&per_channel(ch)?)?;
+        if other == rep_values {
+            corresponding.push(ch.clone());
+        } else {
+            mismatched.push(ch.clone());
+        }
+    }
+    Ok(Dedup {
+        representative: SignalSequence {
+            signal: seq.signal.clone(),
+            frame: rep_frame,
+        },
+        representative_channel,
+        corresponding,
+        mismatched,
+    })
+}
+
+/// Runs [`deduplicate`] over every sequence.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn deduplicate_all(seqs: &[SignalSequence], rules: &RuleSet) -> Result<Vec<Dedup>> {
+    seqs.iter().map(|s| deduplicate(s, rules)).collect()
+}
+
+/// One compared element of `e`'s value signature: `(v_num bits, v_text)`.
+type SignatureElem = (Option<u64>, Option<std::sync::Arc<str>>);
+
+/// The value sequence compared by `e`, in time order.
+fn value_signature(frame: &DataFrame) -> Result<Vec<SignatureElem>> {
+    let num_idx = frame.schema().index_of(c::VALUE_NUM)?;
+    let text_idx = frame.schema().index_of(c::VALUE_TEXT)?;
+    let mut out = Vec::with_capacity(frame.num_rows());
+    for batch in frame.partitions() {
+        let nums = batch.column(num_idx).as_float_slice().unwrap_or(&[]);
+        let texts = batch.column(text_idx).as_str_slice().unwrap_or(&[]);
+        for row in 0..batch.num_rows() {
+            out.push((
+                nums.get(row).copied().flatten().map(f64::to_bits),
+                texts.get(row).cloned().flatten(),
+            ));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::signal_schema;
+    use crate::rules::{Rule, RuleInfo, RuleSet};
+    use ivnt_protocol::signal::SignalSpec;
+
+    fn seq(rows: Vec<(f64, &str, Option<f64>)>) -> SignalSequence {
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            rows.into_iter().map(|(t, bus, v)| {
+                vec![
+                    Value::Float(t),
+                    Value::from("wpos"),
+                    Value::from(bus),
+                    Value::from(v),
+                    Value::Null,
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "wpos".into(),
+            frame,
+        }
+    }
+
+    fn rules_with_home(home: &str) -> RuleSet {
+        let mut rs = RuleSet::new();
+        for bus in ["FC", "DC"] {
+            rs.push(Rule {
+                signal: "wpos".into(),
+                bus: bus.into(),
+                message_id: 3,
+                info: RuleInfo {
+                    spec: SignalSpec::builder("wpos", 0, 16).build().unwrap(),
+                    packing: crate::rules::Packing::Fixed { first_byte: 0, num_bytes: 2 },
+                    home_channel: bus == home,
+                    comparable: true,
+                    expected_cycle_s: None,
+                },
+            });
+        }
+        rs
+    }
+
+    #[test]
+    fn identical_copies_deduplicate() {
+        let s = seq(vec![
+            (2.0, "FC", Some(45.0)),
+            (2.0001, "DC", Some(45.0)),
+            (2.5, "FC", Some(60.0)),
+            (2.5001, "DC", Some(60.0)),
+        ]);
+        let d = deduplicate(&s, &rules_with_home("FC")).unwrap();
+        assert_eq!(d.representative_channel, "FC");
+        assert_eq!(d.corresponding, vec!["DC".to_string()]);
+        assert!(d.mismatched.is_empty());
+        assert_eq!(d.representative.len(), 2);
+        assert_eq!(
+            d.representative.numeric_values().unwrap(),
+            vec![Some(45.0), Some(60.0)]
+        );
+    }
+
+    #[test]
+    fn home_channel_preferred() {
+        let s = seq(vec![(1.0, "FC", Some(1.0)), (1.1, "DC", Some(1.0))]);
+        let d = deduplicate(&s, &rules_with_home("DC")).unwrap();
+        assert_eq!(d.representative_channel, "DC");
+    }
+
+    #[test]
+    fn single_channel_passthrough() {
+        let s = seq(vec![(1.0, "FC", Some(1.0)), (2.0, "FC", Some(2.0))]);
+        let d = deduplicate(&s, &RuleSet::new()).unwrap();
+        assert_eq!(d.representative_channel, "FC");
+        assert!(d.corresponding.is_empty());
+        assert_eq!(d.representative.len(), 2);
+    }
+
+    #[test]
+    fn corrupted_copy_reported_as_mismatch() {
+        let s = seq(vec![
+            (2.0, "FC", Some(45.0)),
+            (2.0001, "DC", Some(44.0)), // forwarding corrupted the value
+            (2.5, "FC", Some(60.0)),
+            (2.5001, "DC", Some(60.0)),
+        ]);
+        let d = deduplicate(&s, &rules_with_home("FC")).unwrap();
+        assert!(d.corresponding.is_empty());
+        assert_eq!(d.mismatched, vec!["DC".to_string()]);
+    }
+
+    #[test]
+    fn missing_copy_reported_as_mismatch() {
+        let s = seq(vec![
+            (2.0, "FC", Some(45.0)),
+            (2.5, "FC", Some(60.0)),
+            (2.0001, "DC", Some(45.0)), // DC missed one frame
+        ]);
+        let d = deduplicate(&s, &rules_with_home("FC")).unwrap();
+        assert_eq!(d.mismatched, vec!["DC".to_string()]);
+    }
+
+    #[test]
+    fn no_home_falls_back_to_smallest_channel() {
+        let s = seq(vec![(1.0, "ZC", Some(1.0)), (1.1, "AC", Some(1.0))]);
+        let d = deduplicate(&s, &RuleSet::new()).unwrap();
+        assert_eq!(d.representative_channel, "AC");
+    }
+
+    #[test]
+    fn dedup_all_processes_every_signal() {
+        let s1 = seq(vec![(1.0, "FC", Some(1.0))]);
+        let ds = deduplicate_all(&[s1.clone(), s1], &RuleSet::new()).unwrap();
+        assert_eq!(ds.len(), 2);
+    }
+}

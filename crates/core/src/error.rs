@@ -1,0 +1,77 @@
+//! Error type for the preprocessing pipeline.
+
+use std::fmt;
+
+/// Result alias used throughout [`ivnt_core`](crate).
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the preprocessing pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// Failure inside the tabular engine.
+    Frame(ivnt_frame::Error),
+    /// Failure decoding a payload.
+    Protocol(ivnt_protocol::Error),
+    /// A requested signal has no interpretation rule.
+    UnknownSignal(String),
+    /// Gateway-duplicated sequences disagree where they must be identical.
+    DedupMismatch {
+        /// Signal whose channel copies disagree.
+        signal: String,
+        /// Explanation of the first disagreement.
+        detail: String,
+    },
+    /// Inconsistent pipeline parameterization.
+    InvalidProfile(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Frame(e) => write!(f, "frame error: {e}"),
+            Error::Protocol(e) => write!(f, "protocol error: {e}"),
+            Error::UnknownSignal(s) => write!(f, "no interpretation rule for signal: {s}"),
+            Error::DedupMismatch { signal, detail } => {
+                write!(f, "channel copies of {signal} disagree: {detail}")
+            }
+            Error::InvalidProfile(msg) => write!(f, "invalid domain profile: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Frame(e) => Some(e),
+            Error::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivnt_frame::Error> for Error {
+    fn from(e: ivnt_frame::Error) -> Self {
+        Error::Frame(e)
+    }
+}
+
+impl From<ivnt_protocol::Error> for Error {
+    fn from(e: ivnt_protocol::Error) -> Self {
+        Error::Protocol(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::UnknownSignal("wpos".into());
+        assert_eq!(e.to_string(), "no interpretation rule for signal: wpos");
+        assert!(e.source().is_none());
+        let e = Error::from(ivnt_frame::Error::ColumnNotFound("x".into()));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,399 @@
+//! Preselection and interpretation (Algorithm 1, lines 3–6).
+//!
+//! * **Preselection** (line 3): σ over `K_b` keeping only `(m_id, b_id)`
+//!   pairs that carry a selected signal, so the expensive interpretation
+//!   never touches irrelevant messages.
+//! * **Interpretation** (lines 4–6): join `K_pre ⋈ U_comb` on
+//!   `(m_id, b_id)` — every raw message row meets every rule that extracts
+//!   a signal from it — then apply `u1` (relevant-byte slice) and `u2`
+//!   (value decode) row-wise, yielding the signal table `K_s`.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use ivnt_frame::prelude::*;
+use ivnt_protocol::signal::PhysicalValue;
+
+use crate::error::Result;
+use crate::rules::{Rule, RuleSet};
+use crate::tabular::columns as c;
+
+/// Internal column: the joined rule index.
+const RULE_IDX: &str = "rule_idx";
+
+/// Preselection (line 3): keeps only rows whose `(b_id, m_id)` occurs in
+/// `U_comb`.
+///
+/// Implemented as a vectorized columnar scan (no per-row allocation): this
+/// step runs over the *entire* raw trace, so it must be the cheapest
+/// operator in the pipeline — that is exactly why the paper performs it
+/// before the expensive interpretation.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn preselect(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+    let keys: Arc<HashSet<(&str, i64)>> = Arc::new(
+        u_comb
+            .rules()
+            .iter()
+            .map(|r| (r.bus.as_str(), r.message_id as i64))
+            .collect(),
+    );
+    let bus_idx = raw.schema().index_of(c::BUS)?;
+    let mid_idx = raw.schema().index_of(c::MESSAGE_ID)?;
+    let parts: Vec<Batch> = raw
+        .executor()
+        .map_ref(raw.partitions(), |batch| {
+            let buses = batch
+                .column(bus_idx)
+                .as_str_slice()
+                .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+                    expected: "str".into(),
+                    actual: batch.column(bus_idx).data_type().to_string(),
+                })?;
+            let mids = batch
+                .column(mid_idx)
+                .as_int_slice()
+                .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+                    expected: "int".into(),
+                    actual: batch.column(mid_idx).data_type().to_string(),
+                })?;
+            let mask: Vec<bool> = buses
+                .iter()
+                .zip(mids)
+                .map(|(b, m)| match (b, m) {
+                    (Some(b), Some(m)) => keys.contains(&(b.as_ref(), *m)),
+                    _ => false,
+                })
+                .collect();
+            batch.filter(&mask)
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(DataFrame::from_partitions(raw.schema().clone(), parts)?
+        .with_executor(raw.executor()))
+}
+
+/// Schema of the interpreted signal table `K_s`.
+pub fn signal_schema() -> Arc<Schema> {
+    Schema::from_pairs([
+        (c::T, DataType::Float),
+        (c::SIGNAL, DataType::Str),
+        (c::BUS, DataType::Str),
+        (c::VALUE_NUM, DataType::Float),
+        (c::VALUE_TEXT, DataType::Str),
+    ])
+    .expect("static schema is valid")
+    .into_shared()
+}
+
+/// Builds the tabular form of `U_comb` for the interpretation join:
+/// one row `(s_id, rule_bus, rule_mid, rule_idx)` per rule.
+fn rules_frame(u_comb: &RuleSet) -> Result<DataFrame> {
+    let schema = Schema::from_pairs([
+        (c::SIGNAL, DataType::Str),
+        ("rule_bus", DataType::Str),
+        ("rule_mid", DataType::Int),
+        (RULE_IDX, DataType::Int),
+    ])?
+    .into_shared();
+    let rows = u_comb.rules().iter().enumerate().map(|(i, r)| {
+        vec![
+            Value::from(r.signal.as_str()),
+            Value::from(r.bus.as_str()),
+            Value::Int(r.message_id as i64),
+            Value::Int(i as i64),
+        ]
+    });
+    Ok(DataFrame::from_rows(schema, rows)?)
+}
+
+/// Interpretation (lines 4–6): join with the rule table and decode.
+///
+/// Returns `K_s` with one row per signal instance:
+/// `(t, s_id, b_id, v_num, v_text)`. Undecodable instances (truncated
+/// payloads, unlabeled raw values) decode to null values rather than
+/// failing the batch — on real traces single corrupt frames must not abort
+/// fleet-scale extraction.
+///
+/// The `u1`/`u2` mappings run as one fused columnar pass per partition:
+/// logically `u1` (relevant-byte slice) feeds `u2` (value decode) per row,
+/// but the intermediate `l_rel` never hits a column, which matters on
+/// traces with hundreds of millions of instances.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+    let rules = rules_frame(u_comb)?;
+    // Line 4: K_join = K_pre ⋈ U_comb on (b_id, m_id).
+    let joined = pre.join(
+        &rules,
+        &[c::BUS, c::MESSAGE_ID],
+        &["rule_bus", "rule_mid"],
+        JoinType::Inner,
+    )?;
+
+    // Lines 5–6: u1 ∘ u2 per row, vectorized per partition.
+    let rule_vec: Arc<Vec<Arc<Rule>>> = Arc::new(u_comb.rules().to_vec());
+    let schema = joined.schema();
+    let idx_t = schema.index_of(c::T)?;
+    let idx_sig = schema.index_of(c::SIGNAL)?;
+    let idx_bus = schema.index_of(c::BUS)?;
+    let idx_payload = schema.index_of(c::PAYLOAD)?;
+    let idx_rule = schema.index_of(RULE_IDX)?;
+    let out_schema = signal_schema();
+
+    let parts: Vec<ivnt_frame::Batch> = joined
+        .executor()
+        .map_ref(joined.partitions(), |batch| {
+            let rule_idx = batch.column(idx_rule).as_int_slice().unwrap_or(&[]);
+            let payloads = batch.column(idx_payload).as_bytes_slice().unwrap_or(&[]);
+            let n = batch.num_rows();
+            let mut v_num: Vec<Option<f64>> = Vec::with_capacity(n);
+            let mut v_text: Vec<Option<Arc<str>>> = Vec::with_capacity(n);
+            // Presence-conditional fields (SOME/IP optional fields) may be
+            // absent from an instance; such rows produce no signal instance
+            // and are dropped.
+            let mut present: Vec<bool> = Vec::with_capacity(n);
+            for row in 0..n {
+                let rule_and_payload = rule_idx
+                    .get(row)
+                    .copied()
+                    .flatten()
+                    .and_then(|i| usize::try_from(i).ok())
+                    .and_then(|i| rule_vec.get(i))
+                    .zip(payloads.get(row).and_then(Option::as_ref));
+                // u1: relevant bytes, then u2: physical value. Decode
+                // *errors* yield a null-valued instance (kept, flagged
+                // downstream); *absence* yields no instance at all.
+                let decoded = match rule_and_payload {
+                    Some((rule, payload)) => match rule.relevant_bytes(payload) {
+                        Ok(Some(rel)) => Some(rule.decode_relevant(rel).ok()),
+                        Ok(None) => None,
+                        Err(_) => Some(None),
+                    },
+                    None => Some(None),
+                };
+                match decoded {
+                    Some(Some(PhysicalValue::Num(v))) => {
+                        v_num.push(Some(v));
+                        v_text.push(None);
+                        present.push(true);
+                    }
+                    Some(Some(PhysicalValue::Text(s))) => {
+                        v_num.push(None);
+                        v_text.push(Some(Arc::from(s.as_str())));
+                        present.push(true);
+                    }
+                    Some(None) => {
+                        v_num.push(None);
+                        v_text.push(None);
+                        present.push(true);
+                    }
+                    None => {
+                        v_num.push(None);
+                        v_text.push(None);
+                        present.push(false);
+                    }
+                }
+            }
+            let columns = vec![
+                batch.column(idx_t).clone(),
+                batch.column(idx_sig).clone(),
+                batch.column(idx_bus).clone(),
+                ivnt_frame::Column::Float(v_num),
+                ivnt_frame::Column::Str(v_text),
+            ];
+            let out = ivnt_frame::Batch::new(out_schema.clone(), columns)?;
+            if present.iter().all(|&p| p) {
+                Ok(out)
+            } else {
+                out.filter(&present)
+            }
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(joined.executor()))
+}
+
+/// Convenience: preselection followed by interpretation (lines 3–6).
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn extract_signals(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+    let pre = preselect(raw, u_comb)?;
+    interpret(&pre, u_comb)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::RuleSet;
+    use crate::tabular::trace_to_frame;
+    use ivnt_protocol::catalog::Catalog;
+    use ivnt_protocol::message::{MessageSpec, Protocol};
+    use ivnt_protocol::signal::SignalSpec;
+    use ivnt_simulator::network::NetworkModel;
+    use ivnt_simulator::trace::{Trace, TraceRecord};
+
+    fn network() -> NetworkModel {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_message(
+                MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+                    .dlc(4)
+                    .signal(
+                        SignalSpec::builder("wpos", 0, 16)
+                            .factor(0.5)
+                            .build()
+                            .unwrap(),
+                    )
+                    .signal(SignalSpec::builder("wvel", 16, 16).build().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .add_message(
+                MessageSpec::builder(9, "Noise", "FC", Protocol::Can)
+                    .dlc(2)
+                    .signal(SignalSpec::builder("noise", 0, 8).build().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        NetworkModel::new(catalog)
+    }
+
+    fn trace() -> Trace {
+        // Fig. 2's example: wpos 45° then 60°, wvel constant 1.
+        let rec = |t_us: u64, id: u32, payload: Vec<u8>| TraceRecord {
+            timestamp_us: t_us,
+            bus: Arc::from("FC"),
+            message_id: id,
+            payload,
+            protocol: Protocol::Can,
+        };
+        Trace::from_records(vec![
+            rec(2_000_000, 3, vec![0x5A, 0x00, 0x01, 0x00]),
+            rec(2_200_000, 9, vec![0xFF, 0xFF]),
+            rec(2_500_000, 3, vec![0x78, 0x00, 0x01, 0x00]),
+        ])
+    }
+
+    #[test]
+    fn preselect_filters_irrelevant_messages() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos", "wvel"]).unwrap();
+        let raw = trace_to_frame(&trace(), 2).unwrap();
+        let pre = preselect(&raw, &u_comb).unwrap();
+        assert_eq!(pre.num_rows(), 2); // the Noise message is dropped
+    }
+
+    #[test]
+    fn interpretation_matches_fig2() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos", "wvel"]).unwrap();
+        let raw = trace_to_frame(&trace(), 2).unwrap();
+        let ks = extract_signals(&raw, &u_comb).unwrap();
+        // 2 relevant messages x 2 signals = 4 signal instances.
+        assert_eq!(ks.num_rows(), 4);
+        let rows = ks.sort_by(&[c::T, c::SIGNAL], &[true, true]).unwrap();
+        let rows = rows.collect_rows().unwrap();
+        // t=2s: wpos=45, wvel=1.
+        assert_eq!(rows[0][1], Value::from("wpos"));
+        assert_eq!(rows[0][3], Value::Float(45.0));
+        assert_eq!(rows[1][1], Value::from("wvel"));
+        assert_eq!(rows[1][3], Value::Float(1.0));
+        // t=2.5s: wpos=60.
+        assert_eq!(rows[2][3], Value::Float(60.0));
+        // Numeric signals have null text.
+        assert!(rows[0][4].is_null());
+    }
+
+    #[test]
+    fn selecting_one_signal_extracts_only_it() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos"]).unwrap();
+        let raw = trace_to_frame(&trace(), 1).unwrap();
+        let ks = extract_signals(&raw, &u_comb).unwrap();
+        assert_eq!(ks.num_rows(), 2);
+        assert!(ks
+            .column_values(c::SIGNAL)
+            .unwrap()
+            .iter()
+            .all(|v| v == &Value::from("wpos")));
+    }
+
+    #[test]
+    fn truncated_payload_yields_null_not_error() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wvel"]).unwrap();
+        let t = Trace::from_records(vec![TraceRecord {
+            timestamp_us: 0,
+            bus: Arc::from("FC"),
+            message_id: 3,
+            payload: vec![0x01], // too short for wvel (bytes 2..4)
+            protocol: Protocol::Can,
+        }]);
+        let raw = trace_to_frame(&t, 1).unwrap();
+        let ks = extract_signals(&raw, &u_comb).unwrap();
+        assert_eq!(ks.num_rows(), 1);
+        assert!(ks.column_values(c::VALUE_NUM).unwrap()[0].is_null());
+    }
+
+    #[test]
+    fn enumerated_signal_fills_text_column() {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_message(
+                MessageSpec::builder(5, "Belt", "BC", Protocol::Can)
+                    .dlc(1)
+                    .signal(
+                        SignalSpec::builder("belt", 0, 1)
+                            .labels([(0u64, "OFF"), (1, "ON")])
+                            .build()
+                            .unwrap(),
+                    )
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let n = NetworkModel::new(catalog);
+        let u_comb = RuleSet::from_network(&n);
+        let t = Trace::from_records(vec![TraceRecord {
+            timestamp_us: 1_400_000,
+            bus: Arc::from("BC"),
+            message_id: 5,
+            payload: vec![0x01],
+            protocol: Protocol::Can,
+        }]);
+        let raw = trace_to_frame(&t, 1).unwrap();
+        let ks = extract_signals(&raw, &u_comb).unwrap();
+        let rows = ks.collect_rows().unwrap();
+        assert_eq!(rows[0][4], Value::from("ON"));
+        assert!(rows[0][3].is_null());
+    }
+
+    #[test]
+    fn interpretation_deterministic_across_partitions() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos", "wvel"]).unwrap();
+        let a = extract_signals(&trace_to_frame(&trace(), 1).unwrap(), &u_comb)
+            .unwrap()
+            .sort_by(&[c::T, c::SIGNAL], &[true, true])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        let b = extract_signals(&trace_to_frame(&trace(), 3).unwrap(), &u_comb)
+            .unwrap()
+            .sort_by(&[c::T, c::SIGNAL], &[true, true])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+}

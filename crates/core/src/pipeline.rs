@@ -1,0 +1,572 @@
+//! The end-to-end pipeline: Algorithm 1, parameterized per domain.
+//!
+//! A [`DomainProfile`] is the *one-time parameterization* the paper
+//! requires: which signals the domain analyzes (`U_comb`), its reduction
+//! constraints `C`, extension rules `E` and processing thresholds. A
+//! [`Pipeline`] then turns any raw trace into the domain's homogeneous
+//! state representation, fully automatically.
+
+use ivnt_frame::prelude::*;
+use ivnt_simulator::trace::Trace;
+
+use crate::branch::{process, BranchConfig};
+use crate::classify::{classify, Classification, ClassifyConfig};
+use crate::dedup::{deduplicate, Dedup};
+use crate::error::{Error, Result};
+use crate::extend::{extend_all, ExtensionRule};
+use crate::interpret::{extract_signals, preselect};
+use crate::reduce::{apply_constraints, ConditionFn, Constraint};
+use crate::represent::{merge_results, state_representation};
+use crate::rules::RuleSet;
+use crate::split::{split_by_signal, SignalSequence};
+use crate::tabular::trace_to_frame;
+
+/// One domain's one-time parameterization of the framework.
+#[derive(Debug, Clone)]
+pub struct DomainProfile {
+    /// Domain name (e.g. `"wiper-analysis"`).
+    pub name: String,
+    /// Signals the domain inspects (`U_comb` selection); empty = all
+    /// signals in `U_rel`.
+    pub signals: Vec<String>,
+    /// Which reduction technique to apply (constraints or clustering).
+    pub reduction: crate::reduce::Reduction,
+    /// Reduction constraint set `C` (used by
+    /// [`Reduction::Constraints`](crate::reduce::Reduction::Constraints)).
+    pub constraints: Vec<Constraint>,
+    /// Extension rules `E`.
+    pub extensions: Vec<ExtensionRule>,
+    /// Classification thresholds.
+    pub classify: ClassifyConfig,
+    /// Branch-processing parameters.
+    pub branch: BranchConfig,
+    /// Whether to run the gateway equality check (line 9).
+    pub dedup: bool,
+    /// Horizontal partitions for the tabular engine.
+    pub partitions: usize,
+}
+
+impl DomainProfile {
+    /// Creates a profile with the paper's canonical defaults: all signals,
+    /// unchanged-repeat removal as the reduction, no extensions, gateway
+    /// dedup on, and one partition per available core.
+    pub fn new(name: impl Into<String>) -> DomainProfile {
+        DomainProfile {
+            name: name.into(),
+            signals: Vec::new(),
+            reduction: crate::reduce::Reduction::Constraints,
+            constraints: vec![Constraint::global(vec![ConditionFn::ValueChanged])],
+            extensions: Vec::new(),
+            classify: ClassifyConfig::default(),
+            branch: BranchConfig::default(),
+            dedup: true,
+            partitions: ivnt_frame::exec::default_workers(),
+        }
+    }
+
+    /// Restricts the domain to the given signals.
+    pub fn with_signals<I, S>(mut self, signals: I) -> DomainProfile
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.signals = signals.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the constraint set.
+    pub fn with_constraints(mut self, constraints: Vec<Constraint>) -> DomainProfile {
+        self.constraints = constraints;
+        self
+    }
+
+    /// Switches the reduction technique.
+    pub fn with_reduction(mut self, reduction: crate::reduce::Reduction) -> DomainProfile {
+        self.reduction = reduction;
+        self
+    }
+
+    /// Adds an extension rule.
+    pub fn with_extension(mut self, rule: ExtensionRule) -> DomainProfile {
+        self.extensions.push(rule);
+        self
+    }
+
+    /// Overrides the partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> DomainProfile {
+        self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Turns the gateway equality check on or off.
+    pub fn with_dedup(mut self, dedup: bool) -> DomainProfile {
+        self.dedup = dedup;
+        self
+    }
+}
+
+/// Result for one signal after the full pipeline.
+#[derive(Debug, Clone)]
+pub struct SignalOutput {
+    /// Signal identifier.
+    pub signal: String,
+    /// Classification (`Z` criteria, data class, branch).
+    pub classification: Classification,
+    /// Channel processed as representative.
+    pub representative_channel: String,
+    /// Channels covered by the representative (gateway copies).
+    pub corresponding_channels: Vec<String>,
+    /// Channels whose copies disagreed (potential forwarding faults).
+    pub mismatched_channels: Vec<String>,
+    /// Signal instances before reduction (representative channel).
+    pub rows_interpreted: usize,
+    /// Signal instances after constraint reduction.
+    pub rows_reduced: usize,
+    /// The homogeneous result `K_res`.
+    pub frame: DataFrame,
+}
+
+/// Everything the pipeline produces for one trace.
+#[derive(Debug, Clone)]
+pub struct PipelineOutput {
+    /// Per-signal results, sorted by signal name.
+    pub signals: Vec<SignalOutput>,
+    /// The combined extension frame `W`.
+    pub extensions: DataFrame,
+    /// The merged homogeneous sequence `K_rep`.
+    pub merged: DataFrame,
+    /// The forward-filled state representation (Table 4).
+    pub state: DataFrame,
+}
+
+impl PipelineOutput {
+    /// Result for a signal by name.
+    pub fn signal(&self, name: &str) -> Option<&SignalOutput> {
+        self.signals.iter().find(|s| s.signal == name)
+    }
+
+    /// Total outlier instances flagged across all signals.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn outlier_count(&self) -> Result<usize> {
+        let mut n = 0;
+        for s in &self.signals {
+            n += s
+                .frame
+                .column_values(crate::branch::res_columns::OUTLIER)?
+                .iter()
+                .filter(|v| v.as_bool() == Some(true))
+                .count();
+        }
+        Ok(n)
+    }
+}
+
+/// The end-to-end preprocessing pipeline for one domain.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_core::pipeline::{DomainProfile, Pipeline};
+/// use ivnt_core::rules::RuleSet;
+/// use ivnt_simulator::prelude::*;
+/// use ivnt_simulator::functions;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut network = NetworkModel::new(ivnt_protocol::Catalog::new());
+/// network.add_function(functions::wiper()?)?;
+/// network.auto_senders();
+/// let trace = network.simulate(5.0, 42, &FaultPlan::new())?;
+///
+/// let u_rel = RuleSet::from_network(&network);
+/// let profile = DomainProfile::new("wiper-domain").with_signals(["wpos", "wvel"]);
+/// let pipeline = Pipeline::new(u_rel, profile)?;
+/// let output = pipeline.run(&trace)?;
+/// assert_eq!(output.signals.len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    u_rel: RuleSet,
+    u_comb: RuleSet,
+    profile: DomainProfile,
+}
+
+impl Pipeline {
+    /// Builds a pipeline from the full rule table `U_rel` and a domain
+    /// profile; the profile's signal selection forms `U_comb`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownSignal`] for selected signals without rules
+    /// and [`Error::InvalidProfile`] for an empty resulting `U_comb`.
+    pub fn new(u_rel: RuleSet, profile: DomainProfile) -> Result<Pipeline> {
+        let u_comb = if profile.signals.is_empty() {
+            u_rel.clone()
+        } else {
+            let names: Vec<&str> = profile.signals.iter().map(String::as_str).collect();
+            u_rel.select(&names)?
+        };
+        if u_comb.is_empty() {
+            return Err(Error::InvalidProfile(format!(
+                "domain {} selects no signals",
+                profile.name
+            )));
+        }
+        Ok(Pipeline {
+            u_rel,
+            u_comb,
+            profile,
+        })
+    }
+
+    /// The full rule table.
+    pub fn u_rel(&self) -> &RuleSet {
+        &self.u_rel
+    }
+
+    /// The domain's selected rules.
+    pub fn u_comb(&self) -> &RuleSet {
+        &self.u_comb
+    }
+
+    /// The domain profile.
+    pub fn profile(&self) -> &DomainProfile {
+        &self.profile
+    }
+
+    /// Lines 3–6: preselection and interpretation, producing `K_s`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn extract(&self, trace: &Trace) -> Result<DataFrame> {
+        let raw = trace_to_frame(trace, self.profile.partitions)?;
+        extract_signals(&raw, &self.u_comb)
+    }
+
+    /// Interpretation *without* preselection — the ablation showing why
+    /// line 3 matters: every rule joins against every raw row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn extract_without_preselection(&self, trace: &Trace) -> Result<DataFrame> {
+        let raw = trace_to_frame(trace, self.profile.partitions)?;
+        crate::interpret::interpret(&raw, &self.u_comb)
+    }
+
+    /// Lines 3–11: extraction, splitting, gateway dedup and constraint
+    /// reduction — the portion of Algorithm 1 the paper's Fig. 5 measures.
+    ///
+    /// Returns the reduced per-signal sequences together with their dedup
+    /// reports.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn extract_reduced(&self, trace: &Trace) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
+        let ks = self.extract(trace)?;
+        let seqs = split_by_signal(&ks)?;
+        let mut out = Vec::with_capacity(seqs.len());
+        for seq in &seqs {
+            let dedup = if self.profile.dedup {
+                deduplicate(seq, &self.u_comb)?
+            } else {
+                Dedup {
+                    representative: seq.clone(),
+                    representative_channel: seq
+                        .channels()?
+                        .into_iter()
+                        .next()
+                        .unwrap_or_default(),
+                    corresponding: Vec::new(),
+                    mismatched: Vec::new(),
+                }
+            };
+            let rows_interpreted = dedup.representative.len();
+            let reduced = match &self.profile.reduction {
+                crate::reduce::Reduction::Constraints => {
+                    apply_constraints(&dedup.representative, &self.profile.constraints)?
+                }
+                crate::reduce::Reduction::Cluster { k, max_iterations } => {
+                    crate::reduce::cluster_reduce(&dedup.representative, *k, *max_iterations)?
+                }
+            };
+            out.push((reduced, dedup, rows_interpreted));
+        }
+        Ok(out)
+    }
+
+    /// The full Algorithm 1: extraction, reduction, extension,
+    /// classification, branch processing, merging and the state
+    /// representation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn run(&self, trace: &Trace) -> Result<PipelineOutput> {
+        let reduced = self.extract_reduced(trace)?;
+        let sequences: Vec<SignalSequence> =
+            reduced.iter().map(|(s, _, _)| s.clone()).collect();
+
+        // Line 12: extensions on the reduced sequences.
+        let extensions = extend_all(&sequences, &self.profile.extensions)?;
+
+        // Lines 13–28: classification and branch processing per signal.
+        let mut signals = Vec::with_capacity(reduced.len());
+        let mut frames = Vec::with_capacity(reduced.len());
+        for (seq, dedup, rows_interpreted) in reduced {
+            let comparable = self
+                .u_comb
+                .rules()
+                .iter()
+                .find(|r| r.signal == seq.signal)
+                .map(|r| r.info.comparable)
+                .unwrap_or(true);
+            let classification = classify(&seq, comparable, &self.profile.classify)?;
+            let home_rule = self
+                .u_comb
+                .rules()
+                .iter()
+                .find(|r| r.signal == seq.signal && r.info.home_channel)
+                .or_else(|| {
+                    self.u_comb
+                        .rules()
+                        .iter()
+                        .find(|r| r.signal == seq.signal)
+                });
+            let frame = process(
+                &seq,
+                &classification,
+                home_rule.map(|r| r.as_ref()),
+                &self.profile.branch,
+            )?;
+            frames.push(frame.clone());
+            signals.push(SignalOutput {
+                signal: seq.signal.clone(),
+                classification,
+                representative_channel: dedup.representative_channel,
+                corresponding_channels: dedup.corresponding,
+                mismatched_channels: dedup.mismatched,
+                rows_interpreted,
+                rows_reduced: seq.len(),
+                frame,
+            });
+        }
+
+        // Line 29 + Sec. 4.3: merge and pivot.
+        let merged = merge_results(&frames, &extensions)?;
+        let state = state_representation(&merged)?;
+        Ok(PipelineOutput {
+            signals,
+            extensions,
+            merged,
+            state,
+        })
+    }
+
+    /// Preselection only (line 3) — exposed for benchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn preselect(&self, trace: &Trace) -> Result<DataFrame> {
+        let raw = trace_to_frame(trace, self.profile.partitions)?;
+        preselect(&raw, &self.u_comb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivnt_protocol::catalog::Catalog;
+    use ivnt_simulator::faults::{Fault, FaultPlan};
+    use ivnt_simulator::functions;
+    use ivnt_simulator::network::{GatewayRoute, NetworkModel};
+
+    fn vehicle() -> NetworkModel {
+        let mut n = NetworkModel::new(Catalog::new());
+        n.add_function(functions::wiper().unwrap()).unwrap();
+        n.add_function(functions::drivetrain().unwrap()).unwrap();
+        n.add_function(functions::body().unwrap()).unwrap();
+        n.add_gateway(GatewayRoute {
+            from_bus: "FC".into(),
+            to_bus: "DC".into(),
+            message_ids: vec![3],
+            delay_us: 100,
+        });
+        n.auto_senders();
+        n
+    }
+
+    fn run_pipeline(duration_s: f64, faults: &FaultPlan) -> PipelineOutput {
+        let network = vehicle();
+        let trace = network.simulate(duration_s, 11, faults).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("test").with_partitions(3);
+        Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap()
+    }
+
+    #[test]
+    fn full_pipeline_produces_all_outputs() {
+        let out = run_pipeline(5.0, &FaultPlan::new());
+        assert!(!out.signals.is_empty());
+        assert!(!out.merged.is_empty());
+        assert!(!out.state.is_empty());
+        // State columns: t + one per signal that produced rows.
+        assert_eq!(out.state.schema().len(), 1 + out.signals.len());
+    }
+
+    #[test]
+    fn reduction_shrinks_repetitive_signals() {
+        let out = run_pipeline(5.0, &FaultPlan::new());
+        // The body 'belt' signal changes rarely but is sent at 4 Hz.
+        let belt = out.signal("belt").expect("belt present");
+        assert!(belt.rows_reduced < belt.rows_interpreted);
+        assert!(belt.rows_reduced >= 1);
+    }
+
+    #[test]
+    fn dedup_covers_gateway_channel() {
+        let out = run_pipeline(5.0, &FaultPlan::new());
+        let wpos = out.signal("wpos").expect("wpos present");
+        assert_eq!(wpos.representative_channel, "FC");
+        assert_eq!(wpos.corresponding_channels, vec!["DC".to_string()]);
+        assert!(wpos.mismatched_channels.is_empty());
+    }
+
+    #[test]
+    fn classification_spreads_across_branches() {
+        let out = run_pipeline(5.0, &FaultPlan::new());
+        use crate::classify::Branch;
+        let speed = out.signal("speed").unwrap();
+        assert_eq!(speed.classification.branch, Branch::Alpha);
+        let belt = out.signal("belt").unwrap();
+        assert_eq!(belt.classification.branch, Branch::Gamma);
+    }
+
+    #[test]
+    fn planted_outlier_is_flagged() {
+        let faults = FaultPlan::new().with(Fault::OutlierSpike {
+            signal: "speed".into(),
+            at_s: 2.0,
+            duration_s: 0.05,
+            value: 650.0, // fits 16-bit*0.01 raw range but wildly implausible
+        });
+        let out = run_pipeline(6.0, &faults);
+        assert!(out.outlier_count().unwrap() >= 1);
+        let speed = out.signal("speed").unwrap();
+        let outliers = speed
+            .frame
+            .column_values(crate::branch::res_columns::OUTLIER)
+            .unwrap();
+        assert!(outliers.iter().any(|v| v.as_bool() == Some(true)));
+    }
+
+    #[test]
+    fn cycle_violation_detected_via_extension() {
+        let faults = FaultPlan::new().with(Fault::CycleViolation {
+            bus: "FC".into(),
+            message_id: 3,
+            from_s: 2.0,
+            to_s: 3.0,
+        });
+        let network = vehicle();
+        let trace = network.simulate(6.0, 11, &faults).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("cycle-check")
+            .with_signals(["wpos"])
+            .with_constraints(vec![Constraint::global(vec![
+                ConditionFn::ValueChanged,
+                ConditionFn::GapExceeds { max_gap_s: 0.5 },
+            ])])
+            .with_extension(ExtensionRule::CycleViolation {
+                signal: "wpos".into(),
+                expected_cycle_s: 0.1,
+                factor: 3.0,
+                alias: "wposCycleViolation".into(),
+            });
+        let out = Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap();
+        assert!(
+            out.extensions.num_rows() >= 1,
+            "cycle violation extension should fire"
+        );
+        // The extension appears as a column in the state representation.
+        assert!(out.state.schema().contains("wposCycleViolation"));
+    }
+
+    #[test]
+    fn signal_selection_restricts_output() {
+        let network = vehicle();
+        let trace = network.simulate(3.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("narrow").with_signals(["speed", "rpm"]);
+        let out = Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap();
+        assert_eq!(out.signals.len(), 2);
+    }
+
+    #[test]
+    fn unknown_signal_selection_fails() {
+        let network = vehicle();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("bad").with_signals(["does_not_exist"]);
+        assert!(matches!(
+            Pipeline::new(u_rel, profile),
+            Err(Error::UnknownSignal(_))
+        ));
+    }
+
+    #[test]
+    fn pipeline_is_deterministic_across_partitioning() {
+        let network = vehicle();
+        let trace = network.simulate(4.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let run_with = |parts: usize| {
+            let profile = DomainProfile::new("det").with_partitions(parts);
+            Pipeline::new(u_rel.clone(), profile)
+                .unwrap()
+                .run(&trace)
+                .unwrap()
+                .merged
+                .collect_rows()
+                .unwrap()
+        };
+        assert_eq!(run_with(1), run_with(7));
+    }
+
+    #[test]
+    fn extract_without_preselection_same_result_more_work() {
+        let network = vehicle();
+        let trace = network.simulate(2.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("ablate").with_signals(["wpos"]);
+        let p = Pipeline::new(u_rel, profile).unwrap();
+        let with = p.extract(&trace).unwrap();
+        let without = p.extract_without_preselection(&trace).unwrap();
+        assert_eq!(
+            with.sort_by(&["t"], &[true]).unwrap().collect_rows().unwrap(),
+            without.sort_by(&["t"], &[true]).unwrap().collect_rows().unwrap()
+        );
+    }
+
+    #[test]
+    fn dedup_can_be_disabled() {
+        let network = vehicle();
+        let trace = network.simulate(2.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("nodedup")
+            .with_signals(["wpos"])
+            .with_dedup(false);
+        let p = Pipeline::new(u_rel, profile).unwrap();
+        let reduced = p.extract_reduced(&trace).unwrap();
+        // Without dedup the pre-reduction sequence keeps both channels'
+        // copies (reduction then drops the value-identical twins anyway).
+        let (_, dedup, _) = &reduced[0];
+        assert!(dedup.corresponding.is_empty());
+        assert_eq!(dedup.representative.channels().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,523 @@
+//! Constraint reduction (Algorithm 1, lines 10–11).
+//!
+//! A constraint set `C = {c = (s_id, d, F)}` marks the task-relevant
+//! elements of each sequence: if the constraint is enabled (`d`), every
+//! condition function `f ∈ F` is evaluated per row, and per Eq. (1) the
+//! row's mark `e` is true when *any* `f` fires. Line 11 then keeps marked
+//! rows only.
+//!
+//! The evaluation section's canonical reduction — "identical subsequent
+//! signal instances are removed" — is the [`ConditionFn::ValueChanged`]
+//! function; temporal-gap and range conditions express cycle-time and
+//! plausibility constraints.
+
+use std::sync::Arc;
+
+use ivnt_frame::prelude::*;
+
+use crate::error::Result;
+use crate::split::SignalSequence;
+
+
+/// Context a custom condition function receives per row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowCtx {
+    /// Timestamp in seconds.
+    pub t: f64,
+    /// Numeric value (if numeric).
+    pub num: Option<f64>,
+    /// Textual value (if textual).
+    pub text: Option<String>,
+    /// Previous row's timestamp.
+    pub prev_t: Option<f64>,
+    /// Previous row's numeric value.
+    pub prev_num: Option<f64>,
+    /// Previous row's textual value.
+    pub prev_text: Option<String>,
+    /// Row position in the sequence.
+    pub index: usize,
+}
+
+/// Signature of custom condition functions.
+pub type CustomFn = dyn Fn(&RowCtx) -> bool + Send + Sync;
+
+/// A condition function `f` applied row-wise to a sequence.
+#[derive(Clone)]
+pub enum ConditionFn {
+    /// Fires when the value differs from the previous row (the first row
+    /// always fires) — removes cyclic repeats.
+    ValueChanged,
+    /// Fires when the temporal gap to the previous row exceeds
+    /// `max_gap_s` — preserves cycle-time violations even when the value
+    /// did not change.
+    GapExceeds {
+        /// Maximum allowed inter-arrival gap in seconds.
+        max_gap_s: f64,
+    },
+    /// Fires for numeric values outside `[min, max]` — preserves
+    /// implausible values (potential errors).
+    OutOfRange {
+        /// Lower plausibility bound.
+        min: f64,
+        /// Upper plausibility bound.
+        max: f64,
+    },
+    /// Fires on every `n`-th row — systematic subsampling.
+    EveryNth {
+        /// Keep period (1 = every row).
+        n: usize,
+    },
+    /// User-defined condition.
+    Custom {
+        /// Display name.
+        name: String,
+        /// The condition.
+        func: Arc<CustomFn>,
+    },
+}
+
+impl std::fmt::Debug for ConditionFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConditionFn::ValueChanged => write!(f, "ValueChanged"),
+            ConditionFn::GapExceeds { max_gap_s } => write!(f, "GapExceeds({max_gap_s})"),
+            ConditionFn::OutOfRange { min, max } => write!(f, "OutOfRange({min}, {max})"),
+            ConditionFn::EveryNth { n } => write!(f, "EveryNth({n})"),
+            ConditionFn::Custom { name, .. } => write!(f, "Custom({name})"),
+        }
+    }
+}
+
+impl ConditionFn {
+    fn evaluate(&self, ctx: &RowCtx) -> bool {
+        match self {
+            ConditionFn::ValueChanged => {
+                ctx.index == 0 || ctx.num != ctx.prev_num || ctx.text != ctx.prev_text
+            }
+            ConditionFn::GapExceeds { max_gap_s } => match ctx.prev_t {
+                Some(prev) => ctx.t - prev > *max_gap_s,
+                None => false,
+            },
+            ConditionFn::OutOfRange { min, max } => match ctx.num {
+                Some(v) => v < *min || v > *max,
+                None => false,
+            },
+            ConditionFn::EveryNth { n } => ctx.index.is_multiple_of((*n).max(1)),
+            ConditionFn::Custom { func, .. } => func(ctx),
+        }
+    }
+}
+
+/// One constraint `c = (s_id, d, F)`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sequence the constraint applies to; `None` applies to every signal.
+    pub signal: Option<String>,
+    /// The enable flag `d`.
+    pub enabled: bool,
+    /// The condition functions `F`.
+    pub functions: Vec<ConditionFn>,
+}
+
+impl Constraint {
+    /// A constraint applying to every signal.
+    pub fn global(functions: Vec<ConditionFn>) -> Constraint {
+        Constraint {
+            signal: None,
+            enabled: true,
+            functions,
+        }
+    }
+
+    /// A constraint for one signal.
+    pub fn for_signal(signal: impl Into<String>, functions: Vec<ConditionFn>) -> Constraint {
+        Constraint {
+            signal: Some(signal.into()),
+            enabled: true,
+            functions,
+        }
+    }
+
+    fn applies_to(&self, signal: &str) -> bool {
+        self.enabled
+            && self
+                .signal
+                .as_deref()
+                .map(|s| s == signal)
+                .unwrap_or(true)
+    }
+}
+
+/// Applies the constraint set to one sequence (lines 10–11): joins the
+/// matching constraints, computes the mark `e` per row (true when any `f`
+/// fires) and keeps marked rows.
+///
+/// A sequence no constraint applies to is returned unchanged (nothing marks
+/// it, so nothing can be dropped without a parameterized reduction).
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn apply_constraints(
+    seq: &SignalSequence,
+    constraints: &[Constraint],
+) -> Result<SignalSequence> {
+    let active: Vec<&Constraint> = constraints
+        .iter()
+        .filter(|c| c.applies_to(&seq.signal))
+        .collect();
+    if active.is_empty() || seq.is_empty() {
+        return Ok(seq.clone());
+    }
+    let times = seq.times()?;
+    let nums = seq.numeric_values()?;
+    let texts = seq.text_values()?;
+    let mut mask = Vec::with_capacity(times.len());
+    for i in 0..times.len() {
+        let ctx = RowCtx {
+            t: times[i],
+            num: nums[i],
+            text: texts[i].clone(),
+            prev_t: (i > 0).then(|| times[i - 1]),
+            prev_num: if i > 0 { nums[i - 1] } else { None },
+            prev_text: if i > 0 { texts[i - 1].clone() } else { None },
+            index: i,
+        };
+        let e = active
+            .iter()
+            .flat_map(|c| c.functions.iter())
+            .any(|f| f.evaluate(&ctx));
+        mask.push(e);
+    }
+    let batch = seq.frame.to_single_batch()?;
+    let reduced = batch.filter(&mask)?;
+    let frame = DataFrame::from_partitions(reduced.schema().clone(), vec![reduced])?;
+    Ok(SignalSequence {
+        signal: seq.signal.clone(),
+        frame,
+    })
+}
+
+/// Applies the constraint set to every sequence.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn reduce_all(
+    seqs: &[SignalSequence],
+    constraints: &[Constraint],
+) -> Result<Vec<SignalSequence>> {
+    seqs.iter()
+        .map(|s| apply_constraints(s, constraints))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interpret::signal_schema;
+
+    fn seq(vals: Vec<(f64, Option<f64>, Option<&str>)>) -> SignalSequence {
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            vals.into_iter().map(|(t, n, s)| {
+                vec![
+                    Value::Float(t),
+                    Value::from("x"),
+                    Value::from("FC"),
+                    Value::from(n),
+                    match s {
+                        Some(s) => Value::from(s),
+                        None => Value::Null,
+                    },
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "x".into(),
+            frame,
+        }
+    }
+
+    #[test]
+    fn value_changed_removes_repeats() {
+        let s = seq(vec![
+            (0.0, Some(1.0), None),
+            (0.1, Some(1.0), None),
+            (0.2, Some(2.0), None),
+            (0.3, Some(2.0), None),
+            (0.4, Some(1.0), None),
+        ]);
+        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
+            .unwrap();
+        assert_eq!(r.len(), 3);
+        assert_eq!(
+            r.numeric_values().unwrap(),
+            vec![Some(1.0), Some(2.0), Some(1.0)]
+        );
+    }
+
+    #[test]
+    fn textual_repeats_also_removed() {
+        let s = seq(vec![
+            (0.0, None, Some("ON")),
+            (0.1, None, Some("ON")),
+            (0.2, None, Some("OFF")),
+        ]);
+        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
+            .unwrap();
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn gap_violation_preserved_even_without_change() {
+        let s = seq(vec![
+            (0.0, Some(1.0), None),
+            (0.1, Some(1.0), None),
+            (0.9, Some(1.0), None), // 0.8 s gap: cycle violation
+        ]);
+        let r = apply_constraints(
+            &s,
+            &[Constraint::global(vec![
+                ConditionFn::ValueChanged,
+                ConditionFn::GapExceeds { max_gap_s: 0.5 },
+            ])],
+        )
+        .unwrap();
+        // Row 0 (first), row 2 (gap) kept; row 1 dropped.
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.times().unwrap(), vec![0.0, 0.9]);
+    }
+
+    #[test]
+    fn out_of_range_preserved() {
+        let s = seq(vec![
+            (0.0, Some(1.0), None),
+            (0.1, Some(900.0), None), // implausible
+            (0.2, Some(1.0), None),
+        ]);
+        let r = apply_constraints(
+            &s,
+            &[Constraint::global(vec![ConditionFn::OutOfRange {
+                min: 0.0,
+                max: 300.0,
+            }])],
+        )
+        .unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.numeric_values().unwrap(), vec![Some(900.0)]);
+    }
+
+    #[test]
+    fn per_signal_constraint_scoping() {
+        let s = seq(vec![(0.0, Some(1.0), None), (0.1, Some(1.0), None)]);
+        let other = Constraint::for_signal("other", vec![ConditionFn::ValueChanged]);
+        let r = apply_constraints(&s, &[other]).unwrap();
+        assert_eq!(r.len(), 2); // untouched: no constraint applies
+        let mine = Constraint::for_signal("x", vec![ConditionFn::ValueChanged]);
+        let r = apply_constraints(&s, &[mine]).unwrap();
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn disabled_constraint_ignored() {
+        let s = seq(vec![(0.0, Some(1.0), None), (0.1, Some(1.0), None)]);
+        let mut c = Constraint::global(vec![ConditionFn::ValueChanged]);
+        c.enabled = false;
+        assert_eq!(apply_constraints(&s, &[c]).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn every_nth_subsamples() {
+        let s = seq((0..10).map(|i| (i as f64, Some(i as f64), None)).collect());
+        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::EveryNth { n: 3 }])])
+            .unwrap();
+        assert_eq!(r.len(), 4); // rows 0, 3, 6, 9
+    }
+
+    #[test]
+    fn custom_condition() {
+        let s = seq(vec![(0.0, Some(1.0), None), (1.0, Some(-1.0), None)]);
+        let c = Constraint::global(vec![ConditionFn::Custom {
+            name: "negative".into(),
+            func: Arc::new(|ctx| ctx.num.map(|v| v < 0.0).unwrap_or(false)),
+        }]);
+        let r = apply_constraints(&s, &[c]).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.numeric_values().unwrap(), vec![Some(-1.0)]);
+    }
+
+    #[test]
+    fn empty_sequence_passthrough() {
+        let s = seq(vec![]);
+        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
+            .unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(
+            format!("{:?}", ConditionFn::GapExceeds { max_gap_s: 0.5 }),
+            "GapExceeds(0.5)"
+        );
+    }
+}
+
+/// Which Sec. 4.1 reduction technique a domain uses.
+#[derive(Debug, Clone, PartialEq)]
+#[derive(Default)]
+pub enum Reduction {
+    /// The lossless constraint formalism `C` (Eq. 1) — the paper's default.
+    #[default]
+    Constraints,
+    /// Lossy clustering onto `k` representative levels, then repeat
+    /// removal.
+    Cluster {
+        /// Number of representative levels.
+        k: usize,
+        /// k-means iteration cap.
+        max_iterations: usize,
+    },
+}
+
+
+/// Alternative reduction technique (Sec. 4.1: "by clustering"): quantizes a
+/// sequence's numeric values onto `k` cluster representatives
+/// (deterministic 1-D k-means), then removes unchanged repeats. Values
+/// collapse onto representative levels, so small jitter no longer defeats
+/// repeat-removal — the trade-off is lossy values (the representative
+/// replaces the original), which is why the paper's default reduction is
+/// the lossless constraint formalism.
+///
+/// Textual instances pass through untouched.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn cluster_reduce(
+    seq: &SignalSequence,
+    k: usize,
+    max_iterations: usize,
+) -> Result<SignalSequence> {
+    if seq.is_empty() {
+        return Ok(seq.clone());
+    }
+    let nums = seq.numeric_values()?;
+    let numeric: Vec<f64> = nums.iter().filter_map(|v| *v).collect();
+    if numeric.is_empty() {
+        return apply_constraints(seq, &[Constraint::global(vec![ConditionFn::ValueChanged])]);
+    }
+    let quantized = ivnt_series::cluster::quantize(&numeric, k, max_iterations);
+    let mut qi = 0usize;
+    let replaced: Vec<Option<f64>> = nums
+        .iter()
+        .map(|v| {
+            v.map(|_| {
+                let q = quantized[qi];
+                qi += 1;
+                q
+            })
+        })
+        .collect();
+    let batch = seq.frame.to_single_batch()?;
+    let v_num_idx = batch.schema().index_of(crate::tabular::columns::VALUE_NUM)?;
+    let batch = batch.replace_column(
+        crate::tabular::columns::VALUE_NUM,
+        ivnt_frame::Column::Float(replaced),
+    )?;
+    debug_assert_eq!(
+        batch.schema().fields()[v_num_idx].name(),
+        crate::tabular::columns::VALUE_NUM
+    );
+    let frame = DataFrame::from_partitions(batch.schema().clone(), vec![batch])?;
+    let quantized_seq = SignalSequence {
+        signal: seq.signal.clone(),
+        frame,
+    };
+    apply_constraints(
+        &quantized_seq,
+        &[Constraint::global(vec![ConditionFn::ValueChanged])],
+    )
+}
+
+#[cfg(test)]
+mod cluster_tests {
+    use super::*;
+    use crate::interpret::signal_schema;
+    
+
+    fn noisy_seq() -> SignalSequence {
+        // Two levels with jitter: plain repeat-removal keeps everything,
+        // cluster reduction collapses each level run to one row.
+        let values = [10.0, 10.1, 9.9, 10.05, 50.2, 49.9, 50.1, 10.0, 9.95];
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            values.iter().enumerate().map(|(i, &v)| {
+                vec![
+                    Value::Float(i as f64 * 0.1),
+                    Value::from("x"),
+                    Value::from("FC"),
+                    Value::Float(v),
+                    Value::Null,
+                ]
+            }),
+        )
+        .unwrap();
+        SignalSequence {
+            signal: "x".into(),
+            frame,
+        }
+    }
+
+    #[test]
+    fn cluster_reduction_collapses_jittery_levels() {
+        let seq = noisy_seq();
+        let plain = apply_constraints(
+            &seq,
+            &[Constraint::global(vec![ConditionFn::ValueChanged])],
+        )
+        .unwrap();
+        assert_eq!(plain.len(), 9); // jitter defeats repeat removal
+        let clustered = cluster_reduce(&seq, 2, 50).unwrap();
+        assert_eq!(clustered.len(), 3); // low run, high run, low run
+        let vals = clustered.numeric_values().unwrap();
+        assert!(vals[0].unwrap() < 20.0);
+        assert!(vals[1].unwrap() > 40.0);
+        assert!(vals[2].unwrap() < 20.0);
+    }
+
+    #[test]
+    fn textual_sequences_fall_back_to_repeat_removal() {
+        let frame = DataFrame::from_rows(
+            signal_schema(),
+            [("ON", 0.0), ("ON", 0.1), ("OFF", 0.2)].iter().map(|&(l, t)| {
+                vec![
+                    Value::Float(t),
+                    Value::from("x"),
+                    Value::from("FC"),
+                    Value::Null,
+                    Value::from(l),
+                ]
+            }),
+        )
+        .unwrap();
+        let seq = SignalSequence {
+            signal: "x".into(),
+            frame,
+        };
+        let reduced = cluster_reduce(&seq, 4, 10).unwrap();
+        assert_eq!(reduced.len(), 2);
+    }
+
+    #[test]
+    fn empty_sequence_passthrough() {
+        let frame = DataFrame::empty(signal_schema());
+        let seq = SignalSequence {
+            signal: "x".into(),
+            frame,
+        };
+        assert!(cluster_reduce(&seq, 3, 10).unwrap().is_empty());
+    }
+}

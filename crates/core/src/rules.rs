@@ -1,0 +1,711 @@
+//! Interpretation rules: the paper's `U_rel` / `U_comb` tables.
+//!
+//! Each rule is a translation tuple `u_rel = (s_id, b_id, m_id, u_info)`
+//! (Sec. 3.1, Table 1): which signal to extract, on which channel/message
+//! it occurs, the relevant payload bytes and how to evaluate them to a
+//! physical value. A signal forwarded through a gateway occurs on several
+//! channels, so it may have several rules differing only in `b_id`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use ivnt_protocol::bits::ByteOrder;
+use ivnt_protocol::signal::{PhysicalValue, SignalSpec};
+use ivnt_simulator::network::NetworkModel;
+
+use crate::error::{Error, Result};
+
+/// One translation tuple `u_rel = (s_id, b_id, m_id, u_info)`.
+#[derive(Debug, Clone)]
+pub struct Rule {
+    /// Signal identifier (`s_id`).
+    pub signal: String,
+    /// Channel the signal occurs on (`b_id`).
+    pub bus: String,
+    /// Message carrying the signal (`m_id`).
+    pub message_id: u32,
+    /// Extraction/evaluation information (`u_info`).
+    pub info: RuleInfo,
+}
+
+/// How a rule locates its relevant bytes within the payload.
+///
+/// [`Packing::OptionalField`] models the SOME/IP peculiarity the paper
+/// calls out in Sec. 3.2: "rules where values of preceding bytes define the
+/// presence of a signal type in succeeding bytes" — the byte position (and
+/// presence) of the field depends on a presence mask earlier in the
+/// payload.
+#[derive(Debug, Clone)]
+pub enum Packing {
+    /// Fixed byte range (`rel.B` of Table 1).
+    Fixed {
+        /// First relevant payload byte.
+        first_byte: usize,
+        /// Number of relevant payload bytes.
+        num_bytes: usize,
+    },
+    /// A presence-conditional field of a SOME/IP optional-field payload.
+    OptionalField {
+        /// The payload's optional-field layout (presence mask + widths).
+        layout: ivnt_protocol::someip::OptionalFieldLayout,
+        /// Index of the field this rule extracts.
+        field: usize,
+    },
+    /// A multiplexed CAN signal (DBC `m<k>` indicator): the fixed byte
+    /// range is only valid when the message's multiplexor signal carries
+    /// `selector_value`.
+    Multiplexed {
+        /// Decode spec of the multiplexor signal (payload-relative).
+        selector: SignalSpec,
+        /// Raw multiplexor value gating this signal's presence.
+        selector_value: u64,
+        /// First relevant payload byte when present.
+        first_byte: usize,
+        /// Number of relevant payload bytes.
+        num_bytes: usize,
+    },
+}
+
+/// The `u_info` of a rule: relevant bytes, decode spec and domain hints.
+#[derive(Debug, Clone)]
+pub struct RuleInfo {
+    /// The packing/coding spec of the signal, rebased to the relevant
+    /// bytes.
+    pub spec: SignalSpec,
+    /// How the relevant bytes are located.
+    pub packing: Packing,
+    /// Whether this channel is the signal's home (non-forwarded) channel.
+    pub home_channel: bool,
+    /// Domain knowledge: do the signal's values have a comparable valence
+    /// (`z_val` of the classification criteria)?
+    pub comparable: bool,
+    /// Expected cycle time in seconds, when documented.
+    pub expected_cycle_s: Option<f64>,
+}
+
+impl RuleInfo {
+    /// First relevant byte for fixed packings (0 for conditional ones,
+    /// whose offset depends on the instance).
+    pub fn first_byte(&self) -> usize {
+        match &self.packing {
+            Packing::Fixed { first_byte, .. } => *first_byte,
+            Packing::OptionalField { .. } => 0,
+            Packing::Multiplexed { first_byte, .. } => *first_byte,
+        }
+    }
+
+    /// Relevant byte count for fixed packings, or the field width for
+    /// conditional ones.
+    pub fn num_bytes(&self) -> usize {
+        match &self.packing {
+            Packing::Fixed { num_bytes, .. } => *num_bytes,
+            Packing::OptionalField { layout: _, field: _ } => {
+                self.spec.bit_len().div_ceil(8) as usize
+            }
+            Packing::Multiplexed { num_bytes, .. } => *num_bytes,
+        }
+    }
+}
+
+impl Rule {
+    /// The `u1 : (l, u_info) -> l_rel` mapping: locates the relevant bytes
+    /// in the payload. Returns `Ok(None)` when a presence-conditional field
+    /// is absent from this instance (no signal instance is produced).
+    ///
+    /// # Errors
+    ///
+    /// Returns truncation errors when the payload ends inside the field.
+    pub fn relevant_bytes<'l>(&self, payload: &'l [u8]) -> Result<Option<&'l [u8]>> {
+        match &self.info.packing {
+            Packing::Fixed {
+                first_byte,
+                num_bytes,
+            } => {
+                let end = first_byte + num_bytes;
+                if payload.len() < end {
+                    return Err(Error::Protocol(ivnt_protocol::Error::TruncatedFrame {
+                        expected: end,
+                        actual: payload.len(),
+                    }));
+                }
+                Ok(Some(&payload[*first_byte..end]))
+            }
+            Packing::OptionalField { layout, field } => {
+                let Some(offset) = layout.field_offset(payload, *field)? else {
+                    return Ok(None);
+                };
+                let size = self.info.spec.bit_len().div_ceil(8) as usize;
+                if payload.len() < offset + size {
+                    return Err(Error::Protocol(ivnt_protocol::Error::TruncatedFrame {
+                        expected: offset + size,
+                        actual: payload.len(),
+                    }));
+                }
+                Ok(Some(&payload[offset..offset + size]))
+            }
+            Packing::Multiplexed {
+                selector,
+                selector_value,
+                first_byte,
+                num_bytes,
+            } => {
+                // The multiplexor gates presence: extract it first.
+                let raw = selector.decode_raw(payload)?;
+                if raw != *selector_value {
+                    return Ok(None);
+                }
+                let end = first_byte + num_bytes;
+                if payload.len() < end {
+                    return Err(Error::Protocol(ivnt_protocol::Error::TruncatedFrame {
+                        expected: end,
+                        actual: payload.len(),
+                    }));
+                }
+                Ok(Some(&payload[*first_byte..end]))
+            }
+        }
+    }
+
+    /// Decodes the physical value from the relevant bytes — the
+    /// `u2 : (l_rel, m_info, u_info) -> (t, (v, s_id))` mapping.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bit-range and enumeration failures.
+    pub fn decode_relevant(&self, relevant: &[u8]) -> Result<PhysicalValue> {
+        // The spec was rebased to the relevant-byte slice at rule build time.
+        Ok(self.info.spec.decode(relevant)?)
+    }
+
+    /// Convenience: `u2 ∘ u1` applied to the full payload. `Ok(None)` means
+    /// the (conditional) signal is absent from this instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Rule::relevant_bytes`] / [`Rule::decode_relevant`].
+    pub fn decode(&self, payload: &[u8]) -> Result<Option<PhysicalValue>> {
+        match self.relevant_bytes(payload)? {
+            Some(rel) => Ok(Some(self.decode_relevant(rel)?)),
+            None => Ok(None),
+        }
+    }
+}
+
+/// A set of interpretation rules (the table `U_rel`, or a domain's
+/// preselected `U_comb` subset).
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_core::rules::RuleSet;
+/// use ivnt_simulator::prelude::*;
+/// use ivnt_protocol::prelude::*;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut catalog = Catalog::new();
+/// catalog.add_message(
+///     MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+///         .dlc(4)
+///         .signal(SignalSpec::builder("wpos", 0, 16).factor(0.5).build()?)
+///         .signal(SignalSpec::builder("wvel", 16, 16).build()?)
+///         .build()?,
+/// )?;
+/// let network = NetworkModel::new(catalog);
+/// let u_rel = RuleSet::from_network(&network);
+/// assert_eq!(u_rel.len(), 2);
+/// let u_comb = u_rel.select(&["wpos"])?; // a domain picks its signals
+/// assert_eq!(u_comb.len(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RuleSet {
+    rules: Vec<Arc<Rule>>,
+}
+
+impl RuleSet {
+    /// Creates an empty rule set.
+    pub fn new() -> RuleSet {
+        RuleSet::default()
+    }
+
+    /// Derives the full `U_rel` from a network model: one rule per signal
+    /// per observable channel (home channel plus gateway copies).
+    ///
+    /// Comparability defaults to `true` for numeric signals and `false`
+    /// for enumerated ones; override with
+    /// [`RuleSet::set_comparable`] where domain knowledge says otherwise
+    /// (e.g. ordinal label sets).
+    pub fn from_network(network: &NetworkModel) -> RuleSet {
+        let mut rules = Vec::new();
+        for m in network.catalog().messages() {
+            let channels = network.channels_of(m);
+            for s in m.signals() {
+                for (ci, bus) in channels.iter().enumerate() {
+                    rules.push(Arc::new(build_rule(
+                        s,
+                        bus,
+                        m.id(),
+                        ci == 0,
+                        !s.is_enumerated(),
+                        m.cycle_time_ms().map(|ms| ms as f64 / 1e3),
+                    )));
+                }
+            }
+        }
+        RuleSet { rules }
+    }
+
+    /// Derives `U_rel` from a bare catalog (e.g. a parsed DBC): one fixed
+    /// rule per signal on its home channel. Use
+    /// [`RuleSet::from_network`] when gateway topology is known.
+    pub fn from_catalog(catalog: &ivnt_protocol::Catalog) -> RuleSet {
+        let mut rules = Vec::new();
+        for m in catalog.messages() {
+            for s in m.signals() {
+                rules.push(Arc::new(build_rule(
+                    s,
+                    m.bus(),
+                    m.id(),
+                    true,
+                    !s.is_enumerated(),
+                    m.cycle_time_ms().map(|ms| ms as f64 / 1e3),
+                )));
+            }
+        }
+        RuleSet { rules }
+    }
+
+    /// Adds the presence-conditional rule for one multiplexed DBC signal
+    /// (from [`ivnt_protocol::dbc::parse_dbc_extended`]); the payload-
+    /// relative spec is rebased onto its relevant bytes automatically.
+    pub fn push_dbc_mux(
+        &mut self,
+        bus: impl Into<String>,
+        entry: &ivnt_protocol::dbc::MuxEntry,
+        expected_cycle_s: Option<f64>,
+    ) {
+        let fixed = build_rule(
+            &entry.signal,
+            "", // bus unused; we only need the rebased spec + byte range
+            entry.message_id,
+            true,
+            !entry.signal.is_enumerated(),
+            expected_cycle_s,
+        );
+        let (first_byte, num_bytes) = match fixed.info.packing {
+            Packing::Fixed {
+                first_byte,
+                num_bytes,
+            } => (first_byte, num_bytes),
+            _ => unreachable!("build_rule produces fixed packings"),
+        };
+        self.push_multiplexed(
+            bus,
+            entry.message_id,
+            entry.selector.clone(),
+            entry.selector_value,
+            first_byte,
+            num_bytes,
+            fixed.info.spec,
+            expected_cycle_s,
+        );
+    }
+
+    /// Adds a rule.
+    pub fn push(&mut self, rule: Rule) {
+        self.rules.push(Arc::new(rule));
+    }
+
+    /// Adds a presence-conditional rule for one optional field of a
+    /// SOME/IP service (the Sec. 3.2 case: preceding bytes gate the
+    /// field's presence and position). `spec` must be field-relative
+    /// (bit positions within the field's own bytes).
+    pub fn push_optional_field(
+        &mut self,
+        bus: impl Into<String>,
+        message_id: u32,
+        layout: ivnt_protocol::someip::OptionalFieldLayout,
+        field: usize,
+        spec: SignalSpec,
+        expected_cycle_s: Option<f64>,
+    ) {
+        let comparable = !spec.is_enumerated();
+        self.push(Rule {
+            signal: spec.name().to_string(),
+            bus: bus.into(),
+            message_id,
+            info: RuleInfo {
+                spec,
+                packing: Packing::OptionalField { layout, field },
+                home_channel: true,
+                comparable,
+                expected_cycle_s,
+            },
+        });
+    }
+
+    /// Adds a multiplexed-signal rule (DBC `m<k>`): the signal's fixed
+    /// payload-relative packing `spec` is valid only in instances whose
+    /// multiplexor (`selector`, payload-relative) carries `selector_value`.
+    /// `rel_spec` must be rebased to the relevant bytes like fixed rules.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_multiplexed(
+        &mut self,
+        bus: impl Into<String>,
+        message_id: u32,
+        selector: SignalSpec,
+        selector_value: u64,
+        first_byte: usize,
+        num_bytes: usize,
+        rel_spec: SignalSpec,
+        expected_cycle_s: Option<f64>,
+    ) {
+        let comparable = !rel_spec.is_enumerated();
+        self.push(Rule {
+            signal: rel_spec.name().to_string(),
+            bus: bus.into(),
+            message_id,
+            info: RuleInfo {
+                spec: rel_spec,
+                packing: Packing::Multiplexed {
+                    selector,
+                    selector_value,
+                    first_byte,
+                    num_bytes,
+                },
+                home_channel: true,
+                comparable,
+                expected_cycle_s,
+            },
+        });
+    }
+
+    /// The rules.
+    pub fn rules(&self) -> &[Arc<Rule>] {
+        &self.rules
+    }
+
+    /// Number of rules (channel copies count separately).
+    pub fn len(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// `true` if no rules are present.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty()
+    }
+
+    /// Distinct signal identifiers, sorted.
+    pub fn signal_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self
+            .rules
+            .iter()
+            .map(|r| r.signal.clone())
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        names.sort();
+        names
+    }
+
+    /// Selects the subset `U_comb` for the given signals (all their
+    /// channel copies).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownSignal`] if a name has no rule.
+    pub fn select(&self, signals: &[&str]) -> Result<RuleSet> {
+        let mut out = Vec::new();
+        for &name in signals {
+            let matched: Vec<Arc<Rule>> = self
+                .rules
+                .iter()
+                .filter(|r| r.signal == name)
+                .cloned()
+                .collect();
+            if matched.is_empty() {
+                return Err(Error::UnknownSignal(name.to_string()));
+            }
+            out.extend(matched);
+        }
+        Ok(RuleSet { rules: out })
+    }
+
+    /// Overrides the comparability hint (`z_val`) for a signal on all its
+    /// channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownSignal`] if the signal has no rule.
+    pub fn set_comparable(&mut self, signal: &str, comparable: bool) -> Result<()> {
+        let mut found = false;
+        for r in &mut self.rules {
+            if r.signal == signal {
+                Arc::make_mut(r).info.comparable = comparable;
+                found = true;
+            }
+        }
+        if found {
+            Ok(())
+        } else {
+            Err(Error::UnknownSignal(signal.to_string()))
+        }
+    }
+
+    /// The distinct `(b_id, m_id)` pairs the rules touch — the preselection
+    /// predicate of Algorithm 1 line 3.
+    pub fn message_keys(&self) -> Vec<(String, u32)> {
+        let mut keys: Vec<(String, u32)> = self
+            .rules
+            .iter()
+            .map(|r| (r.bus.clone(), r.message_id))
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
+        keys.sort();
+        keys
+    }
+
+    /// Groups rule indices by `(b_id, m_id)` for join-style lookup.
+    pub fn index_by_message(&self) -> HashMap<(String, u32), Vec<usize>> {
+        let mut map: HashMap<(String, u32), Vec<usize>> = HashMap::new();
+        for (i, r) in self.rules.iter().enumerate() {
+            map.entry((r.bus.clone(), r.message_id)).or_default().push(i);
+        }
+        map
+    }
+}
+
+/// Builds a rule for one signal occurrence, rebasing the packing spec onto
+/// the relevant-byte slice so `u2` can decode `l_rel` directly.
+fn build_rule(
+    spec: &SignalSpec,
+    bus: &str,
+    message_id: u32,
+    home_channel: bool,
+    comparable: bool,
+    expected_cycle_s: Option<f64>,
+) -> Rule {
+    let (first_byte, num_bytes) = relevant_byte_range(spec);
+    let rebased_start = spec.start_bit() - (first_byte as u16) * 8;
+    let mut builder = SignalSpec::builder(spec.name(), rebased_start, spec.bit_len())
+        .byte_order(spec.byte_order())
+        .raw_kind(spec.raw_kind())
+        .factor(spec.factor())
+        .offset(spec.offset());
+    if let Some(unit) = spec.unit() {
+        builder = builder.unit(unit);
+    }
+    for (&raw, label) in spec.enumeration() {
+        builder = builder.label(raw, label.clone());
+    }
+    let rebased = builder
+        .build()
+        .expect("rebasing a valid spec preserves validity");
+    Rule {
+        signal: spec.name().to_string(),
+        bus: bus.to_string(),
+        message_id,
+        info: RuleInfo {
+            spec: rebased,
+            packing: Packing::Fixed {
+                first_byte,
+                num_bytes,
+            },
+            home_channel,
+            comparable,
+            expected_cycle_s,
+        },
+    }
+}
+
+/// Computes the payload byte range containing the signal's bit field
+/// (`rel.B` of Table 1).
+fn relevant_byte_range(spec: &SignalSpec) -> (usize, usize) {
+    let start = spec.start_bit() as usize;
+    let len = spec.bit_len() as usize;
+    match spec.byte_order() {
+        ByteOrder::Intel => {
+            let first = start / 8;
+            let last = (start + len - 1) / 8;
+            (first, last - first + 1)
+        }
+        ByteOrder::Motorola => {
+            // Walk the sawtooth to find the final bit's byte.
+            let mut pos = start;
+            for _ in 1..len {
+                pos = if pos.is_multiple_of(8) { pos + 15 } else { pos - 1 };
+            }
+            let first = start / 8;
+            let last = pos / 8;
+            (first, last - first + 1)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivnt_protocol::catalog::Catalog;
+    use ivnt_protocol::message::{MessageSpec, Protocol};
+    use ivnt_simulator::network::GatewayRoute;
+
+    fn network() -> NetworkModel {
+        let mut catalog = Catalog::new();
+        catalog
+            .add_message(
+                MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+                    .dlc(4)
+                    .cycle_time_ms(100)
+                    .signal(
+                        SignalSpec::builder("wpos", 0, 16)
+                            .factor(0.5)
+                            .build()
+                            .unwrap(),
+                    )
+                    .signal(SignalSpec::builder("wvel", 16, 16).build().unwrap())
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        catalog
+            .add_message(
+                MessageSpec::builder(11, "WiperType", "K-LIN", Protocol::Lin)
+                    .dlc(1)
+                    .signal(
+                        SignalSpec::builder("wtype", 0, 4)
+                            .labels([(0u64, "front"), (1, "rear")])
+                            .build()
+                            .unwrap(),
+                    )
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let mut n = NetworkModel::new(catalog);
+        n.add_gateway(GatewayRoute {
+            from_bus: "FC".into(),
+            to_bus: "DC".into(),
+            message_ids: vec![3],
+            delay_us: 100,
+        });
+        n
+    }
+
+    #[test]
+    fn from_network_expands_gateway_channels() {
+        let rs = RuleSet::from_network(&network());
+        // wpos and wvel on FC and DC, wtype on K-LIN only.
+        assert_eq!(rs.len(), 5);
+        assert_eq!(rs.signal_names(), vec!["wpos", "wtype", "wvel"]);
+        let keys = rs.message_keys();
+        assert_eq!(
+            keys,
+            vec![
+                ("DC".to_string(), 3),
+                ("FC".to_string(), 3),
+                ("K-LIN".to_string(), 11)
+            ]
+        );
+    }
+
+    #[test]
+    fn home_channel_marked() {
+        let rs = RuleSet::from_network(&network());
+        let homes: Vec<(&str, bool)> = rs
+            .rules()
+            .iter()
+            .filter(|r| r.signal == "wpos")
+            .map(|r| (r.bus.as_str(), r.info.home_channel))
+            .collect();
+        assert!(homes.contains(&("FC", true)));
+        assert!(homes.contains(&("DC", false)));
+    }
+
+    #[test]
+    fn select_builds_u_comb() {
+        let rs = RuleSet::from_network(&network());
+        let sel = rs.select(&["wpos"]).unwrap();
+        assert_eq!(sel.len(), 2); // both channels
+        assert!(rs.select(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn decode_via_relevant_bytes() {
+        let rs = RuleSet::from_network(&network());
+        let rule = rs
+            .rules()
+            .iter()
+            .find(|r| r.signal == "wvel" && r.bus == "FC")
+            .unwrap();
+        // wvel occupies bytes 2..4.
+        assert_eq!(rule.info.first_byte(), 2);
+        assert_eq!(rule.info.num_bytes(), 2);
+        let payload = [0x5A, 0x00, 0x07, 0x00];
+        let rel = rule.relevant_bytes(&payload).unwrap();
+        assert_eq!(rel, Some(&[0x07, 0x00][..]));
+        assert_eq!(rule.decode(&payload).unwrap().unwrap().as_num(), Some(7.0));
+    }
+
+    #[test]
+    fn truncated_payload_rejected() {
+        let rs = RuleSet::from_network(&network());
+        let rule = rs
+            .rules()
+            .iter()
+            .find(|r| r.signal == "wvel")
+            .unwrap();
+        assert!(rule.relevant_bytes(&[0x00]).is_err());
+    }
+
+    #[test]
+    fn comparable_hint_defaults_and_overrides() {
+        let mut rs = RuleSet::from_network(&network());
+        let wtype = rs.rules().iter().find(|r| r.signal == "wtype").unwrap();
+        assert!(!wtype.info.comparable); // enumerated -> not comparable
+        let wpos = rs.rules().iter().find(|r| r.signal == "wpos").unwrap();
+        assert!(wpos.info.comparable);
+        rs.set_comparable("wtype", true).unwrap();
+        assert!(rs
+            .rules()
+            .iter()
+            .find(|r| r.signal == "wtype")
+            .unwrap()
+            .info
+            .comparable);
+        assert!(rs.set_comparable("zz", true).is_err());
+    }
+
+    #[test]
+    fn motorola_byte_range() {
+        let spec = SignalSpec::builder("m", 7, 16)
+            .byte_order(ByteOrder::Motorola)
+            .build()
+            .unwrap();
+        assert_eq!(relevant_byte_range(&spec), (0, 2));
+        let spec = SignalSpec::builder("m", 19, 12)
+            .byte_order(ByteOrder::Motorola)
+            .build()
+            .unwrap();
+        // start bit 19 = byte 2 bit 3; 12 bits walk into byte 3.
+        assert_eq!(relevant_byte_range(&spec), (2, 2));
+    }
+
+    #[test]
+    fn index_by_message_groups() {
+        let rs = RuleSet::from_network(&network());
+        let idx = rs.index_by_message();
+        assert_eq!(idx[&("FC".to_string(), 3)].len(), 2);
+        assert_eq!(idx[&("K-LIN".to_string(), 11)].len(), 1);
+    }
+
+    #[test]
+    fn expected_cycle_propagated() {
+        let rs = RuleSet::from_network(&network());
+        let wpos = rs.rules().iter().find(|r| r.signal == "wpos").unwrap();
+        assert_eq!(wpos.info.expected_cycle_s, Some(0.1));
+        let wtype = rs.rules().iter().find(|r| r.signal == "wtype").unwrap();
+        assert_eq!(wtype.info.expected_cycle_s, None);
+    }
+}

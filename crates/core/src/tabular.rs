@@ -1,0 +1,128 @@
+//! Conversion of raw traces into the tabular engine.
+
+use std::sync::Arc;
+
+use ivnt_frame::prelude::*;
+use ivnt_simulator::trace::Trace;
+
+use crate::error::Result;
+
+/// Column names of the raw-trace frame (the tabular `K_b`).
+pub mod columns {
+    /// Timestamp in seconds (`t`).
+    pub const T: &str = "t";
+    /// Payload bytes (`l`).
+    pub const PAYLOAD: &str = "l";
+    /// Channel identifier (`b_id`).
+    pub const BUS: &str = "b_id";
+    /// Message identifier (`m_id`).
+    pub const MESSAGE_ID: &str = "m_id";
+    /// Protocol tag (`m_info`).
+    pub const INFO: &str = "m_info";
+    /// Signal identifier (`s_id`), present from interpretation onwards.
+    pub const SIGNAL: &str = "s_id";
+    /// Numeric physical value (null for textual signals).
+    pub const VALUE_NUM: &str = "v_num";
+    /// Textual physical value (null for numeric signals).
+    pub const VALUE_TEXT: &str = "v_text";
+}
+
+/// Schema of the tabular raw trace `K_b`.
+pub fn raw_schema() -> Arc<Schema> {
+    Schema::from_pairs([
+        (columns::T, DataType::Float),
+        (columns::PAYLOAD, DataType::Bytes),
+        (columns::BUS, DataType::Str),
+        (columns::MESSAGE_ID, DataType::Int),
+        (columns::INFO, DataType::Str),
+    ])
+    .expect("static schema is valid")
+    .into_shared()
+}
+
+/// Converts a recorded trace into the partitioned tabular form `K_b`,
+/// splitting into `partitions` horizontal slices for parallel operators.
+///
+/// Traces are kept raw (bytes, not signals) at this stage — the paper's
+/// memory argument: storing `K_b` beats storing the up-to-8× larger `K_s`.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn trace_to_frame(trace: &Trace, partitions: usize) -> Result<DataFrame> {
+    let schema = raw_schema();
+    let n = trace.len();
+    let parts = partitions.max(1);
+    let chunk = n.div_ceil(parts).max(1);
+    let mut batches = Vec::with_capacity(parts);
+    let mut records = trace.records();
+    while !records.is_empty() {
+        let take = chunk.min(records.len());
+        let (head, tail) = records.split_at(take);
+        let batch = Batch::from_rows(
+            schema.clone(),
+            head.iter().map(|r| {
+                vec![
+                    Value::Float(r.timestamp_s()),
+                    Value::from(r.payload.clone()),
+                    Value::Str(Arc::from(r.bus.as_ref())),
+                    Value::Int(r.message_id as i64),
+                    Value::from(r.protocol.to_string()),
+                ]
+            }),
+        )?;
+        batches.push(batch);
+        records = tail;
+    }
+    if batches.is_empty() {
+        batches.push(Batch::empty(schema.clone()));
+    }
+    Ok(DataFrame::from_partitions(schema, batches)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ivnt_protocol::message::Protocol;
+    use ivnt_simulator::trace::TraceRecord;
+
+    fn trace(n: usize) -> Trace {
+        Trace::from_records(
+            (0..n)
+                .map(|i| TraceRecord {
+                    timestamp_us: i as u64 * 1000,
+                    bus: Arc::from("FC"),
+                    message_id: 3,
+                    payload: vec![i as u8],
+                    protocol: Protocol::Can,
+                })
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn converts_all_records() {
+        let df = trace_to_frame(&trace(10), 3).unwrap();
+        assert_eq!(df.num_rows(), 10);
+        assert_eq!(df.num_partitions(), 3);
+        let rows = df.collect_rows().unwrap();
+        assert_eq!(rows[1][0], Value::Float(0.001));
+        assert_eq!(rows[1][3], Value::Int(3));
+        assert_eq!(rows[1][4], Value::from("CAN"));
+    }
+
+    #[test]
+    fn empty_trace_gives_empty_frame() {
+        let df = trace_to_frame(&Trace::new(), 4).unwrap();
+        assert_eq!(df.num_rows(), 0);
+        assert_eq!(df.schema().len(), 5);
+    }
+
+    #[test]
+    fn partition_count_clamped() {
+        let df = trace_to_frame(&trace(2), 10).unwrap();
+        assert!(df.num_partitions() <= 2);
+        let df = trace_to_frame(&trace(5), 0).unwrap();
+        assert_eq!(df.num_partitions(), 1);
+    }
+}

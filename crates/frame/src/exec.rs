@@ -1,0 +1,217 @@
+//! Partition-parallel execution.
+//!
+//! The paper executes Algorithm 1 inside Apache Spark, whose essential
+//! property for this workload is *partition parallelism*: every row-wise
+//! operator (σ, row maps, per-partition joins) runs independently on
+//! horizontal slices of the table. This module provides that property on a
+//! single machine via a crossbeam-scoped worker pool. Results are returned
+//! in partition order, so output is deterministic regardless of worker count
+//! (the paper's "preserving determinism" requirement).
+
+use parking_lot::RwLock;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Global default worker count used by [`parallel_map`] when no explicit
+/// executor is supplied.
+static DEFAULT_WORKERS: OnceLock<RwLock<usize>> = OnceLock::new();
+
+fn default_workers_lock() -> &'static RwLock<usize> {
+    DEFAULT_WORKERS.get_or_init(|| {
+        RwLock::new(
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(4),
+        )
+    })
+}
+
+/// Returns the process-wide default worker count.
+pub fn default_workers() -> usize {
+    *default_workers_lock().read()
+}
+
+/// Sets the process-wide default worker count (minimum 1).
+///
+/// Benchmarks use this to sweep the "cluster size" of the embedded engine.
+pub fn set_default_workers(workers: usize) {
+    *default_workers_lock().write() = workers.max(1);
+}
+
+/// A bounded worker pool that maps a function over indexed work items.
+///
+/// `Executor` is intentionally minimal: it is created per query (threads are
+/// scoped, not pooled across calls), which keeps the engine free of global
+/// mutable state beyond the default worker count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Executor {
+    workers: usize,
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new(default_workers())
+    }
+}
+
+impl Executor {
+    /// Creates an executor with `workers` threads (minimum 1).
+    pub fn new(workers: usize) -> Self {
+        Executor {
+            workers: workers.max(1),
+        }
+    }
+
+    /// Worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Applies `f` to every item by reference, in parallel, returning
+    /// outputs in input order — the zero-copy twin of [`Executor::map`]
+    /// used by operators that only read their partitions.
+    pub fn map_ref<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&T) -> R + Send + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            return items.iter().map(f).collect();
+        }
+        let outputs: Vec<parking_lot::Mutex<Option<R>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.min(n);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let out = f(&items[i]);
+                    *outputs[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("executor worker panicked");
+        outputs
+            .into_iter()
+            .map(|m| m.into_inner().expect("every work item produced output"))
+            .collect()
+    }
+
+    /// Applies `f` to every item, in parallel, returning outputs in input
+    /// order.
+    ///
+    /// Work is distributed by an atomic cursor, so uneven partition sizes
+    /// balance across workers. With a single worker (or a single item) the
+    /// map runs inline on the caller's thread.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Send + Sync,
+    {
+        let n = items.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        if self.workers == 1 || n == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let inputs: Vec<parking_lot::Mutex<Option<T>>> = items
+            .into_iter()
+            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .collect();
+        let outputs: Vec<parking_lot::Mutex<Option<R>>> =
+            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        let threads = self.workers.min(n);
+        crossbeam::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|_| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = inputs[i]
+                        .lock()
+                        .take()
+                        .expect("work item taken exactly once");
+                    let out = f(item);
+                    *outputs[i].lock() = Some(out);
+                });
+            }
+        })
+        .expect("executor worker panicked");
+        outputs
+            .into_iter()
+            .map(|m| m.into_inner().expect("every work item produced output"))
+            .collect()
+    }
+}
+
+/// Maps `f` over items with the process-default executor.
+pub fn parallel_map<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Send + Sync,
+{
+    Executor::default().map(items, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_preserves_order() {
+        let exec = Executor::new(4);
+        let out = exec.map((0..100).collect(), |i: i32| i * 2);
+        assert_eq!(out, (0..100).map(|i| i * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let exec = Executor::new(1);
+        let out = exec.map(vec![1, 2, 3], |i| i + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let exec = Executor::new(8);
+        let out: Vec<i32> = exec.map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn worker_count_clamped() {
+        assert_eq!(Executor::new(0).workers(), 1);
+    }
+
+    #[test]
+    fn results_identical_across_worker_counts() {
+        let items: Vec<i64> = (0..57).collect();
+        let f = |i: i64| i * i - 3;
+        let a = Executor::new(1).map(items.clone(), f);
+        let b = Executor::new(7).map(items, f);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn default_workers_settable() {
+        let orig = default_workers();
+        set_default_workers(3);
+        assert_eq!(default_workers(), 3);
+        set_default_workers(orig);
+    }
+}

@@ -1,0 +1,617 @@
+//! Expression AST evaluated against [`Batch`]es.
+//!
+//! Expressions drive [`DataFrame::filter`](crate::frame::DataFrame::filter)
+//! and [`DataFrame::with_column`](crate::frame::DataFrame::with_column); they
+//! are the row-wise mapping functions (`u1`, `u2`, constraint functions `f`)
+//! of the paper's Algorithm 1, expressed over tabular data so that evaluation
+//! distributes over partitions.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::datatype::DataType;
+use crate::error::{Error, Result};
+use crate::value::Value;
+
+/// Signature of a user-defined row function: receives one [`Value`] per
+/// argument expression and produces the output cell.
+pub type UdfFn = dyn Fn(&[Value]) -> Result<Value> + Send + Sync;
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Numeric addition.
+    Add,
+    /// Numeric subtraction.
+    Sub,
+    /// Numeric multiplication.
+    Mul,
+    /// Numeric division (float semantics).
+    Div,
+    /// Equality (null-safe: `null == null` is null).
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater or equal.
+    Ge,
+    /// Logical AND (three-valued).
+    And,
+    /// Logical OR (three-valued).
+    Or,
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::Eq => "==",
+            BinOp::Ne => "!=",
+            BinOp::Lt => "<",
+            BinOp::Le => "<=",
+            BinOp::Gt => ">",
+            BinOp::Ge => ">=",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Numeric negation.
+    Neg,
+    /// Null test (never null itself).
+    IsNull,
+}
+
+/// A row-wise expression over the columns of a [`Batch`].
+#[derive(Clone)]
+pub enum Expr {
+    /// Reference to a column by name.
+    Col(String),
+    /// A literal value broadcast to every row.
+    Lit(Value),
+    /// Unary operation.
+    Unary(UnaryOp, Box<Expr>),
+    /// Binary operation.
+    Binary(Box<Expr>, BinOp, Box<Expr>),
+    /// Membership test against a fixed list.
+    InList(Box<Expr>, Vec<Value>),
+    /// User-defined row function.
+    Udf {
+        /// Display name (for `Debug`/error messages).
+        name: String,
+        /// Argument expressions, evaluated left to right.
+        args: Vec<Expr>,
+        /// The function itself.
+        func: Arc<UdfFn>,
+    },
+}
+
+impl fmt::Debug for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Col(name) => write!(f, "col({name})"),
+            Expr::Lit(v) => write!(f, "lit({v})"),
+            Expr::Unary(op, e) => write!(f, "{op:?}({e:?})"),
+            Expr::Binary(l, op, r) => write!(f, "({l:?} {op} {r:?})"),
+            Expr::InList(e, list) => write!(f, "({e:?} in {list:?})"),
+            Expr::Udf { name, args, .. } => write!(f, "{name}({args:?})"),
+        }
+    }
+}
+
+/// References column `name`.
+pub fn col(name: impl Into<String>) -> Expr {
+    Expr::Col(name.into())
+}
+
+/// A literal expression.
+pub fn lit(value: impl Into<Value>) -> Expr {
+    Expr::Lit(value.into())
+}
+
+/// Wraps a Rust closure as a named user-defined function expression.
+pub fn udf<F>(name: impl Into<String>, args: Vec<Expr>, func: F) -> Expr
+where
+    F: Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+{
+    Expr::Udf {
+        name: name.into(),
+        args,
+        func: Arc::new(func),
+    }
+}
+
+#[allow(clippy::should_implement_trait)] // builder methods mirror SQL, not std::ops
+impl Expr {
+    fn binary(self, op: BinOp, rhs: Expr) -> Expr {
+        Expr::Binary(Box::new(self), op, Box::new(rhs))
+    }
+
+    /// `self + rhs`.
+    pub fn add(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Add, rhs)
+    }
+    /// `self - rhs`.
+    pub fn sub(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Sub, rhs)
+    }
+    /// `self * rhs`.
+    pub fn mul(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Mul, rhs)
+    }
+    /// `self / rhs` (float division).
+    pub fn div(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Div, rhs)
+    }
+    /// `self == rhs`.
+    pub fn eq(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Eq, rhs)
+    }
+    /// `self != rhs`.
+    pub fn ne(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ne, rhs)
+    }
+    /// `self < rhs`.
+    pub fn lt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Lt, rhs)
+    }
+    /// `self <= rhs`.
+    pub fn le(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Le, rhs)
+    }
+    /// `self > rhs`.
+    pub fn gt(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Gt, rhs)
+    }
+    /// `self >= rhs`.
+    pub fn ge(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Ge, rhs)
+    }
+    /// Three-valued logical AND.
+    pub fn and(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::And, rhs)
+    }
+    /// Three-valued logical OR.
+    pub fn or(self, rhs: Expr) -> Expr {
+        self.binary(BinOp::Or, rhs)
+    }
+    /// Logical negation.
+    pub fn not(self) -> Expr {
+        Expr::Unary(UnaryOp::Not, Box::new(self))
+    }
+    /// Numeric negation.
+    pub fn neg(self) -> Expr {
+        Expr::Unary(UnaryOp::Neg, Box::new(self))
+    }
+    /// Null test.
+    pub fn is_null(self) -> Expr {
+        Expr::Unary(UnaryOp::IsNull, Box::new(self))
+    }
+    /// Membership test against `list`.
+    pub fn in_list<I, V>(self, list: I) -> Expr
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Expr::InList(
+            Box::new(self),
+            list.into_iter().map(Into::into).collect(),
+        )
+    }
+
+    /// Evaluates the expression on every row of `batch`, producing a column.
+    ///
+    /// The output data type is inferred from the first non-null result; an
+    /// all-null result column defaults to [`DataType::Bool`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::ColumnNotFound`] for unknown column references,
+    /// [`Error::Eval`] for operator/type errors and whatever a UDF reports.
+    pub fn eval(&self, batch: &Batch) -> Result<Column> {
+        // Fast paths that stay columnar.
+        match self {
+            Expr::Col(name) => return batch.column_by_name(name).cloned(),
+            Expr::Lit(v) => {
+                let dt = v.data_type().unwrap_or(DataType::Bool);
+                let mut c = Column::with_capacity(dt, batch.num_rows());
+                for _ in 0..batch.num_rows() {
+                    c.push(v.clone())?;
+                }
+                return Ok(c);
+            }
+            _ => {}
+        }
+        let values = (0..batch.num_rows())
+            .map(|row| self.eval_row(batch, row))
+            .collect::<Result<Vec<_>>>()?;
+        let dt = values
+            .iter()
+            .find_map(Value::data_type)
+            .unwrap_or(DataType::Bool);
+        Column::from_values(dt, values)
+    }
+
+    /// Evaluates the expression for a single row.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Expr::eval`].
+    pub fn eval_row(&self, batch: &Batch, row: usize) -> Result<Value> {
+        match self {
+            Expr::Col(name) => Ok(batch.column_by_name(name)?.get(row)),
+            Expr::Lit(v) => Ok(v.clone()),
+            Expr::Unary(op, e) => {
+                let v = e.eval_row(batch, row)?;
+                eval_unary(*op, v)
+            }
+            Expr::Binary(l, op, r) => {
+                let lv = l.eval_row(batch, row)?;
+                let rv = r.eval_row(batch, row)?;
+                eval_binary(lv, *op, rv)
+            }
+            Expr::InList(e, list) => {
+                let v = e.eval_row(batch, row)?;
+                if v.is_null() {
+                    return Ok(Value::Null);
+                }
+                Ok(Value::Bool(list.contains(&v)))
+            }
+            Expr::Udf { args, func, .. } => {
+                let vals = args
+                    .iter()
+                    .map(|a| a.eval_row(batch, row))
+                    .collect::<Result<Vec<_>>>()?;
+                func(&vals)
+            }
+        }
+    }
+
+    /// Evaluates the expression as a boolean row mask.
+    ///
+    /// Null results count as `false` (SQL `WHERE` semantics).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Eval`] if the expression produces a non-boolean,
+    /// non-null value, plus the conditions of [`Expr::eval`].
+    pub fn eval_mask(&self, batch: &Batch) -> Result<Vec<bool>> {
+        let col = self.eval(batch)?;
+        match col {
+            Column::Bool(v) => Ok(v.into_iter().map(|b| b.unwrap_or(false)).collect()),
+            other => Err(Error::Eval(format!(
+                "predicate evaluated to {} column, expected bool",
+                other.data_type()
+            ))),
+        }
+    }
+}
+
+fn eval_unary(op: UnaryOp, v: Value) -> Result<Value> {
+    match op {
+        UnaryOp::IsNull => Ok(Value::Bool(v.is_null())),
+        UnaryOp::Not => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Bool(b) => Ok(Value::Bool(!b)),
+            other => Err(Error::Eval(format!("cannot apply NOT to {other:?}"))),
+        },
+        UnaryOp::Neg => match v {
+            Value::Null => Ok(Value::Null),
+            Value::Int(i) => Ok(Value::Int(-i)),
+            Value::Float(f) => Ok(Value::Float(-f)),
+            other => Err(Error::Eval(format!("cannot negate {other:?}"))),
+        },
+    }
+}
+
+fn eval_binary(l: Value, op: BinOp, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And => {
+            // Three-valued logic: false dominates null.
+            return Ok(match (l.as_bool(), r.as_bool(), l.is_null(), r.is_null()) {
+                (Some(false), _, _, _) | (_, Some(false), _, _) => Value::Bool(false),
+                (Some(true), Some(true), _, _) => Value::Bool(true),
+                (_, _, true, _) | (_, _, _, true) => Value::Null,
+                _ => return Err(Error::Eval("AND expects booleans".into())),
+            });
+        }
+        Or => {
+            return Ok(match (l.as_bool(), r.as_bool(), l.is_null(), r.is_null()) {
+                (Some(true), _, _, _) | (_, Some(true), _, _) => Value::Bool(true),
+                (Some(false), Some(false), _, _) => Value::Bool(false),
+                (_, _, true, _) | (_, _, _, true) => Value::Null,
+                _ => return Err(Error::Eval("OR expects booleans".into())),
+            });
+        }
+        _ => {}
+    }
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match op {
+        Add | Sub | Mul | Div => eval_arith(l, op, r),
+        Eq => Ok(Value::Bool(l == r)),
+        Ne => Ok(Value::Bool(l != r)),
+        Lt | Le | Gt | Ge => {
+            let ord = l.total_cmp(&r);
+            let b = match op {
+                Lt => ord.is_lt(),
+                Le => ord.is_le(),
+                Gt => ord.is_gt(),
+                Ge => ord.is_ge(),
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+        And | Or => unreachable!(),
+    }
+}
+
+fn eval_arith(l: Value, op: BinOp, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let a = *a;
+            let b = *b;
+            Ok(match op {
+                Add => Value::Int(a.wrapping_add(b)),
+                Sub => Value::Int(a.wrapping_sub(b)),
+                Mul => Value::Int(a.wrapping_mul(b)),
+                Div => Value::Float(a as f64 / b as f64),
+                _ => unreachable!(),
+            })
+        }
+        _ => {
+            let a = l
+                .as_float()
+                .ok_or_else(|| Error::Eval(format!("{op} expects numbers, got {l:?}")))?;
+            let b = r
+                .as_float()
+                .ok_or_else(|| Error::Eval(format!("{op} expects numbers, got {r:?}")))?;
+            Ok(Value::Float(match op {
+                Add => a + b,
+                Sub => a - b,
+                Mul => a * b,
+                Div => a / b,
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::Schema;
+
+    fn batch() -> Batch {
+        let schema = Schema::from_pairs([
+            ("x", DataType::Int),
+            ("y", DataType::Float),
+            ("s", DataType::Str),
+        ])
+        .unwrap()
+        .into_shared();
+        Batch::from_rows(
+            schema,
+            vec![
+                vec![Value::Int(1), Value::Float(0.5), Value::from("a")],
+                vec![Value::Int(2), Value::Null, Value::from("b")],
+                vec![Value::Int(3), Value::Float(1.5), Value::Null],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_comparison() {
+        let b = batch();
+        let c = col("x").mul(lit(10i64)).eval(&b).unwrap();
+        assert_eq!(c.get(2), Value::Int(30));
+        let mask = col("x").ge(lit(2i64)).eval_mask(&b).unwrap();
+        assert_eq!(mask, vec![false, true, true]);
+    }
+
+    #[test]
+    fn mixed_int_float_promotes() {
+        let b = batch();
+        let c = col("x").add(col("y")).eval(&b).unwrap();
+        assert_eq!(c.get(0), Value::Float(1.5));
+        assert!(c.get(1).is_null());
+    }
+
+    #[test]
+    fn int_division_is_float() {
+        let b = batch();
+        let c = col("x").div(lit(2i64)).eval(&b).unwrap();
+        assert_eq!(c.get(1), Value::Float(1.0));
+        assert_eq!(c.get(0), Value::Float(0.5));
+    }
+
+    #[test]
+    fn null_propagates_and_mask_treats_null_as_false() {
+        let b = batch();
+        let mask = col("y").lt(lit(1.0)).eval_mask(&b).unwrap();
+        assert_eq!(mask, vec![true, false, false]);
+    }
+
+    #[test]
+    fn three_valued_logic() {
+        let b = batch();
+        // false AND null = false
+        let e = lit(false).and(col("y").is_null());
+        assert_eq!(e.eval_row(&b, 0).unwrap(), Value::Bool(false));
+        // null OR true = true
+        let e = col("y").eq(lit(9.9)).or(lit(true));
+        assert_eq!(e.eval_row(&b, 1).unwrap(), Value::Bool(true));
+        // null AND true = null
+        let null_expr = col("y").gt(lit(0.0));
+        let e = null_expr.and(lit(true));
+        assert!(e.eval_row(&b, 1).unwrap().is_null());
+    }
+
+    #[test]
+    fn in_list_membership() {
+        let b = batch();
+        let mask = col("s")
+            .in_list(["a", "c"])
+            .eval_mask(&b)
+            .unwrap();
+        assert_eq!(mask, vec![true, false, false]);
+    }
+
+    #[test]
+    fn is_null_and_not() {
+        let b = batch();
+        let mask = col("s").is_null().eval_mask(&b).unwrap();
+        assert_eq!(mask, vec![false, false, true]);
+        let mask = col("s").is_null().not().eval_mask(&b).unwrap();
+        assert_eq!(mask, vec![true, true, false]);
+    }
+
+    #[test]
+    fn udf_row_function() {
+        let b = batch();
+        let e = udf("double_or_zero", vec![col("y")], |args| {
+            Ok(match args[0].as_float() {
+                Some(f) => Value::Float(2.0 * f),
+                None => Value::Float(0.0),
+            })
+        });
+        let c = e.eval(&b).unwrap();
+        assert_eq!(c.get(0), Value::Float(1.0));
+        assert_eq!(c.get(1), Value::Float(0.0));
+    }
+
+    #[test]
+    fn non_bool_predicate_rejected() {
+        let b = batch();
+        assert!(matches!(col("x").eval_mask(&b), Err(Error::Eval(_))));
+    }
+
+    #[test]
+    fn unknown_column_error() {
+        let b = batch();
+        assert!(matches!(
+            col("zz").eval(&b),
+            Err(Error::ColumnNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn debug_formats() {
+        let e = col("x").add(lit(1i64));
+        assert_eq!(format!("{e:?}"), "(col(x) + lit(1))");
+    }
+}
+
+impl Expr {
+    /// Absolute value (numeric; null passes through).
+    pub fn abs(self) -> Expr {
+        udf("abs", vec![self], |args| {
+            Ok(match &args[0] {
+                Value::Int(i) => Value::Int(i.wrapping_abs()),
+                Value::Float(f) => Value::Float(f.abs()),
+                Value::Null => Value::Null,
+                other => {
+                    return Err(Error::Eval(format!("abs expects a number, got {other:?}")))
+                }
+            })
+        })
+    }
+
+    /// First non-null of `self` and `fallback`.
+    pub fn coalesce(self, fallback: Expr) -> Expr {
+        udf("coalesce", vec![self, fallback], |args| {
+            Ok(if args[0].is_null() {
+                args[1].clone()
+            } else {
+                args[0].clone()
+            })
+        })
+    }
+
+    /// Clamps a numeric value into `[lo, hi]` (null passes through).
+    pub fn clamp(self, lo: f64, hi: f64) -> Expr {
+        udf("clamp", vec![self], move |args| {
+            Ok(match args[0].as_float() {
+                Some(v) => Value::Float(v.clamp(lo, hi)),
+                None if args[0].is_null() => Value::Null,
+                None => {
+                    return Err(Error::Eval(format!(
+                        "clamp expects a number, got {:?}",
+                        args[0]
+                    )))
+                }
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod helper_tests {
+    use super::*;
+    use crate::datatype::Schema;
+
+    fn batch() -> Batch {
+        let schema = Schema::from_pairs([("x", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        Batch::from_rows(
+            schema,
+            vec![
+                vec![Value::Float(-2.5)],
+                vec![Value::Null],
+                vec![Value::Float(9.0)],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn abs_and_clamp() {
+        let b = batch();
+        let c = col("x").abs().eval(&b).unwrap();
+        assert_eq!(c.get(0), Value::Float(2.5));
+        assert!(c.get(1).is_null());
+        let c = col("x").clamp(0.0, 5.0).eval(&b).unwrap();
+        assert_eq!(c.get(0), Value::Float(0.0));
+        assert_eq!(c.get(2), Value::Float(5.0));
+        assert!(c.get(1).is_null());
+    }
+
+    #[test]
+    fn coalesce_fills_nulls() {
+        let b = batch();
+        let c = col("x").coalesce(lit(0.0)).eval(&b).unwrap();
+        assert_eq!(c.get(1), Value::Float(0.0));
+        assert_eq!(c.get(0), Value::Float(-2.5));
+    }
+
+    #[test]
+    fn abs_rejects_strings() {
+        let schema = Schema::from_pairs([("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
+        let b = Batch::from_rows(schema, vec![vec![Value::from("x")]]).unwrap();
+        assert!(col("s").abs().eval(&b).is_err());
+    }
+}

@@ -1,0 +1,431 @@
+//! Grouped aggregation.
+
+use std::collections::HashMap;
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::datatype::{DataType, Field, Schema};
+use crate::error::{Error, Result};
+use crate::exec::Executor;
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Aggregation function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggOp {
+    /// Number of non-null values (or rows, when applied to a key column).
+    Count,
+    /// Numeric sum.
+    Sum,
+    /// Minimum by total order.
+    Min,
+    /// Maximum by total order.
+    Max,
+    /// Arithmetic mean.
+    Mean,
+    /// First value in row order.
+    First,
+    /// Last value in row order.
+    Last,
+    /// Number of distinct non-null values.
+    CountDistinct,
+}
+
+/// One aggregation to compute: `op(column) AS alias`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Agg {
+    /// Function to apply.
+    pub op: AggOp,
+    /// Input column.
+    pub column: String,
+    /// Output column name.
+    pub alias: String,
+}
+
+impl Agg {
+    /// Creates an aggregation spec.
+    pub fn new(op: AggOp, column: impl Into<String>, alias: impl Into<String>) -> Self {
+        Agg {
+            op,
+            column: column.into(),
+            alias: alias.into(),
+        }
+    }
+}
+
+/// Partial (mergeable) accumulator state per group and aggregation.
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(u64),
+    Sum(f64, bool),
+    Min(Option<Value>),
+    Max(Option<Value>),
+    Mean { sum: f64, n: u64 },
+    First(Option<Value>),
+    Last(Option<Value>),
+    Distinct(std::collections::HashSet<Value>),
+}
+
+impl Acc {
+    fn new(op: AggOp) -> Acc {
+        match op {
+            AggOp::Count => Acc::Count(0),
+            AggOp::Sum => Acc::Sum(0.0, false),
+            AggOp::Min => Acc::Min(None),
+            AggOp::Max => Acc::Max(None),
+            AggOp::Mean => Acc::Mean { sum: 0.0, n: 0 },
+            AggOp::First => Acc::First(None),
+            AggOp::Last => Acc::Last(None),
+            AggOp::CountDistinct => Acc::Distinct(Default::default()),
+        }
+    }
+
+    fn update(&mut self, v: Value) -> Result<()> {
+        match self {
+            Acc::Count(n) => {
+                if !v.is_null() {
+                    *n += 1;
+                }
+            }
+            Acc::Sum(s, seen) => {
+                if let Some(f) = v.as_float() {
+                    *s += f;
+                    *seen = true;
+                } else if !v.is_null() {
+                    return Err(Error::Eval(format!("sum expects numbers, got {v:?}")));
+                }
+            }
+            Acc::Min(cur) => {
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .map(|c| v.total_cmp(c).is_lt())
+                        .unwrap_or(true)
+                {
+                    *cur = Some(v);
+                }
+            }
+            Acc::Max(cur) => {
+                if !v.is_null()
+                    && cur
+                        .as_ref()
+                        .map(|c| v.total_cmp(c).is_gt())
+                        .unwrap_or(true)
+                {
+                    *cur = Some(v);
+                }
+            }
+            Acc::Mean { sum, n } => {
+                if let Some(f) = v.as_float() {
+                    *sum += f;
+                    *n += 1;
+                } else if !v.is_null() {
+                    return Err(Error::Eval(format!("mean expects numbers, got {v:?}")));
+                }
+            }
+            Acc::First(cur) => {
+                if cur.is_none() && !v.is_null() {
+                    *cur = Some(v);
+                }
+            }
+            Acc::Last(cur) => {
+                if !v.is_null() {
+                    *cur = Some(v);
+                }
+            }
+            Acc::Distinct(set) => {
+                if !v.is_null() {
+                    set.insert(v);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Merges `other` (a later partition's partial state) into `self`.
+    fn merge(&mut self, other: Acc) {
+        match (self, other) {
+            (Acc::Count(a), Acc::Count(b)) => *a += b,
+            (Acc::Sum(a, sa), Acc::Sum(b, sb)) => {
+                *a += b;
+                *sa |= sb;
+            }
+            (Acc::Min(a), Acc::Min(Some(b))) => {
+                if a.as_ref().map(|c| b.total_cmp(c).is_lt()).unwrap_or(true) {
+                    *a = Some(b);
+                }
+            }
+            (Acc::Max(a), Acc::Max(Some(b))) => {
+                if a.as_ref().map(|c| b.total_cmp(c).is_gt()).unwrap_or(true) {
+                    *a = Some(b);
+                }
+            }
+            (Acc::Mean { sum: a, n: na }, Acc::Mean { sum: b, n: nb }) => {
+                *a += b;
+                *na += nb;
+            }
+            (Acc::First(a), Acc::First(b)) => {
+                if a.is_none() {
+                    *a = b;
+                }
+            }
+            (Acc::Last(a), Acc::Last(b)) => {
+                if b.is_some() {
+                    *a = b;
+                }
+            }
+            (Acc::Distinct(a), Acc::Distinct(b)) => a.extend(b),
+            (Acc::Min(_), Acc::Min(None)) | (Acc::Max(_), Acc::Max(None)) => {}
+            _ => unreachable!("merging accumulators of different aggregation ops"),
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            Acc::Count(n) => Value::Int(n as i64),
+            Acc::Sum(s, seen) => {
+                if seen {
+                    Value::Float(s)
+                } else {
+                    Value::Null
+                }
+            }
+            Acc::Min(v) | Acc::Max(v) | Acc::First(v) | Acc::Last(v) => {
+                v.unwrap_or(Value::Null)
+            }
+            Acc::Mean { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            Acc::Distinct(set) => Value::Int(set.len() as i64),
+        }
+    }
+
+    fn output_type(op: AggOp, input: DataType) -> DataType {
+        match op {
+            AggOp::Count | AggOp::CountDistinct => DataType::Int,
+            AggOp::Sum | AggOp::Mean => DataType::Float,
+            AggOp::Min | AggOp::Max | AggOp::First | AggOp::Last => input,
+        }
+    }
+}
+
+type GroupMap = HashMap<Vec<Value>, Vec<Acc>>;
+
+fn aggregate_partition(
+    batch: &Batch,
+    key_idx: &[usize],
+    agg_idx: &[usize],
+    aggs: &[Agg],
+) -> Result<GroupMap> {
+    let mut groups: GroupMap = HashMap::new();
+    for row in 0..batch.num_rows() {
+        let key: Vec<Value> = key_idx.iter().map(|&i| batch.column(i).get(row)).collect();
+        let accs = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| Acc::new(a.op)).collect());
+        for (ai, &ci) in agg_idx.iter().enumerate() {
+            accs[ai].update(batch.column(ci).get(row))?;
+        }
+    }
+    Ok(groups)
+}
+
+/// Two-phase grouped aggregation: per-partition partials in parallel, then a
+/// single merge. Output rows are sorted by group key, making results
+/// independent of partitioning and worker count.
+pub(crate) fn group_by(
+    frame: &DataFrame,
+    keys: &[&str],
+    aggs: &[Agg],
+    exec: Executor,
+) -> Result<DataFrame> {
+    if keys.is_empty() {
+        return Err(Error::InvalidArgument("group_by requires keys".into()));
+    }
+    let schema = frame.schema();
+    let key_idx: Vec<usize> = keys
+        .iter()
+        .map(|k| schema.index_of(k))
+        .collect::<Result<_>>()?;
+    let agg_idx: Vec<usize> = aggs
+        .iter()
+        .map(|a| schema.index_of(&a.column))
+        .collect::<Result<_>>()?;
+
+    let mut fields: Vec<Field> = key_idx
+        .iter()
+        .map(|&i| schema.fields()[i].clone())
+        .collect();
+    for (a, &ci) in aggs.iter().zip(&agg_idx) {
+        fields.push(Field::new(
+            &a.alias,
+            Acc::output_type(a.op, schema.fields()[ci].data_type()),
+        ));
+    }
+    let out_schema = Schema::new(fields)?.into_shared();
+
+    let partials: Vec<Result<GroupMap>> = exec.map_ref(frame.partitions(), |b| {
+        aggregate_partition(b, &key_idx, &agg_idx, aggs)
+    });
+    let mut merged: GroupMap = HashMap::new();
+    for partial in partials {
+        for (key, accs) in partial? {
+            match merged.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut e) => {
+                    for (dst, src) in e.get_mut().iter_mut().zip(accs) {
+                        dst.merge(src);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    e.insert(accs);
+                }
+            }
+        }
+    }
+
+    let mut rows: Vec<(Vec<Value>, Vec<Acc>)> = merged.into_iter().collect();
+    rows.sort_by(|a, b| {
+        a.0.iter()
+            .zip(&b.0)
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut columns: Vec<Column> = out_schema
+        .fields()
+        .iter()
+        .map(|f| Column::with_capacity(f.data_type(), rows.len()))
+        .collect();
+    for (key, accs) in rows {
+        for (ci, v) in key.into_iter().enumerate() {
+            columns[ci].push(v)?;
+        }
+        for (ai, acc) in accs.into_iter().enumerate() {
+            columns[key_idx.len() + ai].push(acc.finish())?;
+        }
+    }
+    let batch = Batch::new(out_schema.clone(), columns)?;
+    DataFrame::from_partitions(out_schema, vec![batch])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+
+    fn frame() -> DataFrame {
+        DataFrame::from_rows(
+            Schema::from_pairs([("sid", DataType::Str), ("v", DataType::Float)])
+                .unwrap()
+                .into_shared(),
+            vec![
+                vec![Value::from("a"), Value::Float(1.0)],
+                vec![Value::from("b"), Value::Float(10.0)],
+                vec![Value::from("a"), Value::Float(3.0)],
+                vec![Value::from("a"), Value::Null],
+                vec![Value::from("b"), Value::Float(10.0)],
+            ],
+        )
+        .unwrap()
+        .repartition(2)
+        .unwrap()
+    }
+
+    #[test]
+    fn count_sum_mean() {
+        let g = frame()
+            .group_by(
+                &["sid"],
+                &[
+                    Agg::new(AggOp::Count, "v", "n"),
+                    Agg::new(AggOp::Sum, "v", "s"),
+                    Agg::new(AggOp::Mean, "v", "m"),
+                ],
+            )
+            .unwrap();
+        let rows = g.collect_rows().unwrap();
+        assert_eq!(rows.len(), 2);
+        // sorted by key: "a" first
+        assert_eq!(rows[0][0], Value::from("a"));
+        assert_eq!(rows[0][1], Value::Int(2));
+        assert_eq!(rows[0][2], Value::Float(4.0));
+        assert_eq!(rows[0][3], Value::Float(2.0));
+        assert_eq!(rows[1][1], Value::Int(2));
+        assert_eq!(rows[1][2], Value::Float(20.0));
+    }
+
+    #[test]
+    fn min_max_first_last_distinct() {
+        let g = frame()
+            .group_by(
+                &["sid"],
+                &[
+                    Agg::new(AggOp::Min, "v", "lo"),
+                    Agg::new(AggOp::Max, "v", "hi"),
+                    Agg::new(AggOp::First, "v", "f"),
+                    Agg::new(AggOp::Last, "v", "l"),
+                    Agg::new(AggOp::CountDistinct, "v", "d"),
+                ],
+            )
+            .unwrap();
+        let rows = g.collect_rows().unwrap();
+        assert_eq!(rows[0][1], Value::Float(1.0));
+        assert_eq!(rows[0][2], Value::Float(3.0));
+        assert_eq!(rows[0][3], Value::Float(1.0));
+        assert_eq!(rows[0][4], Value::Float(3.0));
+        assert_eq!(rows[0][5], Value::Int(2));
+        assert_eq!(rows[1][5], Value::Int(1));
+    }
+
+    #[test]
+    fn empty_keys_rejected() {
+        let err = frame().group_by(&[], &[]).unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn sum_of_all_null_group_is_null() {
+        let df = DataFrame::from_rows(
+            Schema::from_pairs([("k", DataType::Int), ("v", DataType::Float)])
+                .unwrap()
+                .into_shared(),
+            vec![vec![Value::Int(1), Value::Null]],
+        )
+        .unwrap();
+        let g = df
+            .group_by(&["k"], &[Agg::new(AggOp::Sum, "v", "s")])
+            .unwrap();
+        assert!(g.collect_rows().unwrap()[0][1].is_null());
+    }
+
+    #[test]
+    fn deterministic_across_partitioning() {
+        let base = frame();
+        let a = base
+            .group_by(&["sid"], &[Agg::new(AggOp::Sum, "v", "s")])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        let b = base
+            .repartition(5)
+            .unwrap()
+            .group_by(&["sid"], &[Agg::new(AggOp::Sum, "v", "s")])
+            .unwrap()
+            .collect_rows()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sum_rejects_strings() {
+        let err = frame()
+            .group_by(&["sid"], &[Agg::new(AggOp::Sum, "sid", "s")])
+            .unwrap_err();
+        assert!(matches!(err, Error::Eval(_)));
+    }
+}

@@ -1,0 +1,270 @@
+//! Hash joins between DataFrames.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::batch::Batch;
+use crate::column::Column;
+use crate::datatype::{Field, Schema};
+use crate::error::{Error, Result};
+use crate::exec::Executor;
+use crate::frame::DataFrame;
+use crate::value::Value;
+
+/// Join flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinType {
+    /// Keep only matching rows.
+    Inner,
+    /// Keep all left rows; unmatched right columns become null.
+    Left,
+}
+
+/// Hash-join implementation: builds a hash table over the (usually smaller)
+/// right side, then probes left partitions in parallel.
+///
+/// This mirrors a Spark broadcast join, which is exactly the paper's use:
+/// the raw trace `K_pre` (huge, partitioned) is joined with the rule table
+/// `U_comb` (tiny, broadcast) on `(m_id, b_id)`.
+pub(crate) fn hash_join(
+    left: &DataFrame,
+    right: &DataFrame,
+    left_keys: &[&str],
+    right_keys: &[&str],
+    join_type: JoinType,
+    exec: Executor,
+) -> Result<DataFrame> {
+    if left_keys.is_empty() || left_keys.len() != right_keys.len() {
+        return Err(Error::InvalidArgument(
+            "join requires equally many non-empty left and right keys".into(),
+        ));
+    }
+    let left_schema = left.schema();
+    let right_schema = right.schema();
+    let left_key_idx: Vec<usize> = left_keys
+        .iter()
+        .map(|k| left_schema.index_of(k))
+        .collect::<Result<_>>()?;
+    let right_key_idx: Vec<usize> = right_keys
+        .iter()
+        .map(|k| right_schema.index_of(k))
+        .collect::<Result<_>>()?;
+
+    // Output carries all left columns plus the right side's non-key columns.
+    let right_out_idx: Vec<usize> = (0..right_schema.len())
+        .filter(|i| !right_key_idx.contains(i))
+        .collect();
+    let mut fields: Vec<Field> = left_schema.fields().to_vec();
+    for &i in &right_out_idx {
+        let f = &right_schema.fields()[i];
+        if left_schema.contains(f.name()) {
+            return Err(Error::DuplicateColumn(f.name().to_string()));
+        }
+        fields.push(f.clone());
+    }
+    let out_schema = Schema::new(fields)?.into_shared();
+
+    // Build: right key -> list of (partition, row).
+    let mut table: HashMap<Vec<Value>, Vec<(usize, usize)>> = HashMap::new();
+    for (pi, batch) in right.partitions().iter().enumerate() {
+        for row in 0..batch.num_rows() {
+            let key: Vec<Value> = right_key_idx
+                .iter()
+                .map(|&ci| batch.column(ci).get(row))
+                .collect();
+            if key.iter().any(Value::is_null) {
+                continue; // null keys never match, as in SQL
+            }
+            table.entry(key).or_default().push((pi, row));
+        }
+    }
+    let table = Arc::new(table);
+    let right_parts: Arc<Vec<Batch>> = Arc::new(right.partitions().to_vec());
+
+    let probed: Vec<Result<Batch>> = exec.map_ref(left.partitions(), |lbatch| {
+        probe_partition(
+            lbatch,
+            &left_key_idx,
+            &table,
+            &right_parts,
+            &right_out_idx,
+            join_type,
+            &out_schema,
+        )
+    });
+    let partitions = probed.into_iter().collect::<Result<Vec<_>>>()?;
+    DataFrame::from_partitions(out_schema, partitions)
+}
+
+fn probe_partition(
+    lbatch: &Batch,
+    left_key_idx: &[usize],
+    table: &HashMap<Vec<Value>, Vec<(usize, usize)>>,
+    right_parts: &[Batch],
+    right_out_idx: &[usize],
+    join_type: JoinType,
+    out_schema: &Arc<Schema>,
+) -> Result<Batch> {
+    // Gather match coordinates first, then materialize with typed takes
+    // (no per-cell boxing on the usually wide left side).
+    let mut left_rows: Vec<usize> = Vec::new();
+    let mut right_rows: Vec<Option<(usize, usize)>> = Vec::new();
+    let mut key = Vec::with_capacity(left_key_idx.len());
+    for row in 0..lbatch.num_rows() {
+        key.clear();
+        key.extend(left_key_idx.iter().map(|&ci| lbatch.column(ci).get(row)));
+        let matches = if key.iter().any(Value::is_null) {
+            None
+        } else {
+            table.get(&key)
+        };
+        match matches {
+            Some(hits) => {
+                for &hit in hits {
+                    left_rows.push(row);
+                    right_rows.push(Some(hit));
+                }
+            }
+            None => {
+                if join_type == JoinType::Left {
+                    left_rows.push(row);
+                    right_rows.push(None);
+                }
+            }
+        }
+    }
+    let left_out = lbatch.take(&left_rows);
+    let n_left = lbatch.num_columns();
+    let mut columns: Vec<Column> = left_out.columns().to_vec();
+    for (out_off, &rci) in right_out_idx.iter().enumerate() {
+        let dtype = out_schema.fields()[n_left + out_off].data_type();
+        let mut col = Column::with_capacity(dtype, right_rows.len());
+        for hit in &right_rows {
+            match hit {
+                Some((pi, ri)) => col.push(right_parts[*pi].column(rci).get(*ri))?,
+                None => col.push(Value::Null)?,
+            }
+        }
+        columns.push(col);
+    }
+    Batch::new(out_schema.clone(), columns)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datatype::DataType;
+    use crate::frame::DataFrame;
+
+    fn left() -> DataFrame {
+        DataFrame::from_rows(
+            Schema::from_pairs([("m_id", DataType::Int), ("payload", DataType::Str)])
+                .unwrap()
+                .into_shared(),
+            vec![
+                vec![Value::Int(3), Value::from("aa")],
+                vec![Value::Int(7), Value::from("bb")],
+                vec![Value::Int(3), Value::from("cc")],
+                vec![Value::Null, Value::from("dd")],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn right() -> DataFrame {
+        DataFrame::from_rows(
+            Schema::from_pairs([("id", DataType::Int), ("rule", DataType::Str)])
+                .unwrap()
+                .into_shared(),
+            vec![
+                vec![Value::Int(3), Value::from("wpos")],
+                vec![Value::Int(3), Value::from("wvel")],
+                vec![Value::Int(9), Value::from("xx")],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn inner_join_one_to_many() {
+        let j = left()
+            .join(&right(), &["m_id"], &["id"], JoinType::Inner)
+            .unwrap();
+        // rows with m_id=3 each match two rules
+        assert_eq!(j.num_rows(), 4);
+        let rows = j.collect_rows().unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| r[0] == Value::Int(3)));
+    }
+
+    #[test]
+    fn left_join_keeps_unmatched_with_nulls() {
+        let j = left()
+            .join(&right(), &["m_id"], &["id"], JoinType::Left)
+            .unwrap();
+        assert_eq!(j.num_rows(), 6); // 2 + 2 matches for the two m_id=3 rows, plus 7 and null rows
+        let rows = j.collect_rows().unwrap();
+        let unmatched: Vec<_> = rows.iter().filter(|r| r[2].is_null()).collect();
+        assert_eq!(unmatched.len(), 2);
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let j = left()
+            .join(&right(), &["m_id"], &["id"], JoinType::Inner)
+            .unwrap();
+        assert!(j
+            .collect_rows()
+            .unwrap()
+            .iter()
+            .all(|r| !r[0].is_null()));
+    }
+
+    #[test]
+    fn duplicate_output_name_rejected() {
+        let r = DataFrame::from_rows(
+            Schema::from_pairs([("id", DataType::Int), ("payload", DataType::Str)])
+                .unwrap()
+                .into_shared(),
+            vec![vec![Value::Int(3), Value::from("zz")]],
+        )
+        .unwrap();
+        let err = left()
+            .join(&r, &["m_id"], &["id"], JoinType::Inner)
+            .unwrap_err();
+        assert!(matches!(err, Error::DuplicateColumn(_)));
+    }
+
+    #[test]
+    fn key_arity_validated() {
+        let err = left()
+            .join(&right(), &[], &[], JoinType::Inner)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+        let err = left()
+            .join(&right(), &["m_id"], &["id", "rule"], JoinType::Inner)
+            .unwrap_err();
+        assert!(matches!(err, Error::InvalidArgument(_)));
+    }
+
+    #[test]
+    fn join_deterministic_across_worker_counts() {
+        let l = left().repartition(3).unwrap();
+        let a = {
+            crate::exec::set_default_workers(1);
+            l.join(&right(), &["m_id"], &["id"], JoinType::Inner)
+                .unwrap()
+                .collect_rows()
+                .unwrap()
+        };
+        let b = {
+            crate::exec::set_default_workers(8);
+            l.join(&right(), &["m_id"], &["id"], JoinType::Inner)
+                .unwrap()
+                .collect_rows()
+                .unwrap()
+        };
+        assert_eq!(a, b);
+    }
+}

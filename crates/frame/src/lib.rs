@@ -1,0 +1,86 @@
+//! # ivnt-frame — embedded columnar DataFrame engine
+//!
+//! A small, partition-parallel relational engine standing in for Apache
+//! Spark in the DAC'18 reproduction *"Automated Interpretation and Reduction
+//! of In-Vehicle Network Traces at a Large Scale"*. The paper's Algorithm 1
+//! is written in relational algebra (selection σ, join ⋈, row-wise map `F`,
+//! union ∪) over horizontally partitioned tables; this crate provides
+//! exactly those operators:
+//!
+//! * [`DataFrame`] — immutable, horizontally partitioned
+//!   table of typed [`Column`]s,
+//! * [`Expr`] — row-wise expressions and user-defined functions,
+//! * hash [`join`](frame::DataFrame::join), grouped
+//!   [`aggregation`](frame::DataFrame::group_by), sorting, window helpers
+//!   ([`lag`](frame::DataFrame::with_lag),
+//!   [`diff`](frame::DataFrame::with_diff),
+//!   [`forward_fill`](frame::DataFrame::forward_fill)),
+//! * an [`Executor`] that runs row-wise operators on all
+//!   partitions in parallel with deterministic output order.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivnt_frame::prelude::*;
+//!
+//! # fn main() -> ivnt_frame::Result<()> {
+//! let schema = Schema::from_pairs([
+//!     ("t", DataType::Float),
+//!     ("m_id", DataType::Int),
+//!     ("b_id", DataType::Str),
+//! ])?
+//! .into_shared();
+//! let trace = DataFrame::from_rows(
+//!     schema,
+//!     vec![
+//!         vec![Value::Float(2.0), Value::Int(3), Value::from("FC")],
+//!         vec![Value::Float(2.5), Value::Int(3), Value::from("FC")],
+//!         vec![Value::Float(2.6), Value::Int(11), Value::from("K-LIN")],
+//!     ],
+//! )?
+//! .repartition(2)?;
+//!
+//! // Preselection: keep only messages relevant to the wiper domain.
+//! let pre = trace.filter(&col("m_id").eq(lit(3i64)).and(col("b_id").eq(lit("FC"))))?;
+//! assert_eq!(pre.num_rows(), 2);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod batch;
+pub mod column;
+pub mod csv;
+pub mod datatype;
+pub mod error;
+pub mod exec;
+pub mod expr;
+pub mod frame;
+pub mod groupby;
+pub mod join;
+pub mod value;
+
+pub use batch::Batch;
+pub use column::Column;
+pub use datatype::{DataType, Field, Schema};
+pub use error::{Error, Result};
+pub use exec::Executor;
+pub use expr::{col, lit, udf, BinOp, Expr, UnaryOp};
+pub use frame::DataFrame;
+pub use groupby::{Agg, AggOp};
+pub use join::JoinType;
+pub use value::Value;
+
+/// Convenient glob import of the engine's common types.
+pub mod prelude {
+    pub use crate::batch::Batch;
+    pub use crate::column::Column;
+    pub use crate::datatype::{DataType, Field, Schema};
+    pub use crate::exec::Executor;
+    pub use crate::expr::{col, lit, udf, Expr};
+    pub use crate::frame::DataFrame;
+    pub use crate::groupby::{Agg, AggOp};
+    pub use crate::join::JoinType;
+    pub use crate::value::Value;
+}

@@ -1,0 +1,121 @@
+//! Edge cases: empty frames, empty groups, empty join sides — paths that
+//! real pipelines hit whenever a preselection matches nothing.
+
+use ivnt_frame::prelude::*;
+
+fn schema() -> std::sync::Arc<Schema> {
+    Schema::from_pairs([("k", DataType::Int), ("v", DataType::Float)])
+        .unwrap()
+        .into_shared()
+}
+
+fn empty() -> DataFrame {
+    DataFrame::empty(schema())
+}
+
+fn one_row() -> DataFrame {
+    DataFrame::from_rows(schema(), vec![vec![Value::Int(1), Value::Float(2.0)]]).unwrap()
+}
+
+#[test]
+fn filter_select_sort_on_empty() {
+    let e = empty();
+    assert_eq!(e.filter(&col("k").gt(lit(0i64))).unwrap().num_rows(), 0);
+    assert_eq!(e.select(&["v"]).unwrap().schema().len(), 1);
+    assert_eq!(e.sort_by(&["k"], &[true]).unwrap().num_rows(), 0);
+    assert_eq!(e.distinct().unwrap().num_rows(), 0);
+    assert_eq!(e.limit(5).num_rows(), 0);
+    assert!(e.collect_rows().unwrap().is_empty());
+}
+
+#[test]
+fn join_with_empty_right_side() {
+    let left = one_row();
+    let right = DataFrame::empty(
+        Schema::from_pairs([("k2", DataType::Int), ("w", DataType::Str)])
+            .unwrap()
+            .into_shared(),
+    );
+    let inner = left.join(&right, &["k"], &["k2"], JoinType::Inner).unwrap();
+    assert_eq!(inner.num_rows(), 0);
+    assert_eq!(inner.schema().len(), 3);
+    let outer = left.join(&right, &["k"], &["k2"], JoinType::Left).unwrap();
+    assert_eq!(outer.num_rows(), 1);
+    assert!(outer.collect_rows().unwrap()[0][2].is_null());
+}
+
+#[test]
+fn join_with_empty_left_side() {
+    // Right carries distinct column names so the output schema is valid.
+    let right = one_row()
+        .rename_column("k", "k2")
+        .unwrap()
+        .rename_column("v", "w")
+        .unwrap();
+    let joined = empty()
+        .join(&right, &["k"], &["k2"], JoinType::Inner)
+        .unwrap();
+    assert_eq!(joined.num_rows(), 0);
+}
+
+#[test]
+fn group_by_on_empty() {
+    let g = empty()
+        .group_by(&["k"], &[Agg::new(AggOp::Sum, "v", "s")])
+        .unwrap();
+    assert_eq!(g.num_rows(), 0);
+    assert_eq!(g.schema().len(), 2);
+}
+
+#[test]
+fn union_empty_with_nonempty() {
+    let u = empty().union(&one_row()).unwrap();
+    assert_eq!(u.num_rows(), 1);
+    let u = one_row().union(&empty()).unwrap();
+    assert_eq!(u.num_rows(), 1);
+}
+
+#[test]
+fn window_ops_on_empty() {
+    let e = empty();
+    let lagged = e.with_lag("v", 1, "prev").unwrap();
+    assert_eq!(lagged.num_rows(), 0);
+    assert!(lagged.schema().contains("prev"));
+    let filled = e.forward_fill("v").unwrap();
+    assert_eq!(filled.num_rows(), 0);
+}
+
+#[test]
+fn repartition_empty() {
+    let r = empty().repartition(4).unwrap();
+    assert_eq!(r.num_rows(), 0);
+    // A single empty partition keeps operators working.
+    assert!(r.num_partitions() <= 1);
+}
+
+#[test]
+fn describe_on_empty() {
+    let d = empty().describe().unwrap();
+    // Both numeric columns described, zero counts.
+    assert_eq!(d.num_rows(), 2);
+    assert_eq!(d.collect_rows().unwrap()[0][1], Value::Int(0));
+}
+
+#[test]
+fn csv_roundtrip_empty() {
+    let mut buf = Vec::new();
+    ivnt_frame::csv::write_csv(&empty(), &mut buf).unwrap();
+    let parsed = ivnt_frame::csv::read_csv(buf.as_slice(), schema()).unwrap();
+    assert_eq!(parsed.num_rows(), 0);
+}
+
+#[test]
+fn single_row_sort_and_lag() {
+    let df = one_row();
+    let s = df.sort_by(&["v"], &[false]).unwrap();
+    assert_eq!(s.num_rows(), 1);
+    let l = df.with_lag("v", 1, "prev").unwrap();
+    assert!(l.collect_rows().unwrap()[0][2].is_null());
+    let d = df.with_diff("v", "gap").unwrap();
+    assert!(d.collect_rows().unwrap()[0][2].is_null());
+}

@@ -1,0 +1,140 @@
+//! Property-based tests for the frame engine's relational invariants.
+
+use ivnt_frame::prelude::*;
+use proptest::prelude::*;
+
+fn arb_rows() -> impl Strategy<Value = Vec<(i64, f64, bool)>> {
+    prop::collection::vec((-1000i64..1000, -1e6f64..1e6, any::<bool>()), 0..200)
+}
+
+fn frame_of(rows: &[(i64, f64, bool)], parts: usize) -> DataFrame {
+    let schema = Schema::from_pairs([
+        ("k", DataType::Int),
+        ("x", DataType::Float),
+        ("b", DataType::Bool),
+    ])
+    .unwrap()
+    .into_shared();
+    DataFrame::from_rows(
+        schema,
+        rows.iter()
+            .map(|&(k, x, b)| vec![Value::Int(k), Value::Float(x), Value::Bool(b)]),
+    )
+    .unwrap()
+    .repartition(parts.max(1))
+    .unwrap()
+}
+
+proptest! {
+    /// Filtering then counting equals counting matching rows directly.
+    #[test]
+    fn filter_matches_reference(rows in arb_rows(), parts in 1usize..8) {
+        let df = frame_of(&rows, parts);
+        let out = df.filter(&col("k").ge(lit(0i64))).unwrap();
+        let expected = rows.iter().filter(|(k, _, _)| *k >= 0).count();
+        prop_assert_eq!(out.num_rows(), expected);
+    }
+
+    /// Repartitioning never changes content or global order.
+    #[test]
+    fn repartition_is_content_preserving(rows in arb_rows(), a in 1usize..7, b in 1usize..7) {
+        let df = frame_of(&rows, a);
+        let re = df.repartition(b).unwrap();
+        prop_assert_eq!(df.collect_rows().unwrap(), re.collect_rows().unwrap());
+    }
+
+    /// Results are bit-identical for 1 worker and many workers.
+    #[test]
+    fn parallelism_is_deterministic(rows in arb_rows(), parts in 1usize..8) {
+        let df = frame_of(&rows, parts);
+        let expr = col("x").mul(lit(2.0)).add(col("k"));
+        let serial = df.clone().with_executor(Executor::new(1))
+            .with_column("y", &expr).unwrap().collect_rows().unwrap();
+        let parallel = df.with_executor(Executor::new(6))
+            .with_column("y", &expr).unwrap().collect_rows().unwrap();
+        prop_assert_eq!(serial, parallel);
+    }
+
+    /// Sorting yields a non-decreasing key column and preserves multiset.
+    #[test]
+    fn sort_orders_and_preserves(rows in arb_rows(), parts in 1usize..8) {
+        let df = frame_of(&rows, parts);
+        let sorted = df.sort_by(&["k"], &[true]).unwrap();
+        let keys: Vec<i64> = sorted
+            .column_values("k").unwrap()
+            .iter().map(|v| v.as_int().unwrap()).collect();
+        prop_assert!(keys.windows(2).all(|w| w[0] <= w[1]));
+        let mut orig: Vec<i64> = rows.iter().map(|r| r.0).collect();
+        orig.sort_unstable();
+        prop_assert_eq!(keys, orig);
+    }
+
+    /// group_by count over a key equals a hand-rolled hash count.
+    #[test]
+    fn group_count_matches_reference(rows in arb_rows(), parts in 1usize..8) {
+        let df = frame_of(&rows, parts);
+        if rows.is_empty() { return Ok(()); }
+        let g = df.group_by(&["k"], &[Agg::new(AggOp::Count, "k", "n")]).unwrap();
+        let mut expected = std::collections::HashMap::new();
+        for (k, _, _) in &rows {
+            *expected.entry(*k).or_insert(0i64) += 1;
+        }
+        let got: std::collections::HashMap<i64, i64> = g
+            .collect_rows().unwrap()
+            .into_iter()
+            .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Join with a key subset behaves like nested-loop reference on small input.
+    #[test]
+    fn join_matches_nested_loop(rows in prop::collection::vec((-5i64..5, -5i64..5), 0..40)) {
+        let schema_l = Schema::from_pairs([("k", DataType::Int), ("a", DataType::Int)])
+            .unwrap().into_shared();
+        let schema_r = Schema::from_pairs([("k2", DataType::Int), ("b", DataType::Int)])
+            .unwrap().into_shared();
+        let left = DataFrame::from_rows(
+            schema_l,
+            rows.iter().map(|&(k, a)| vec![Value::Int(k), Value::Int(a)]),
+        ).unwrap().repartition(3).unwrap();
+        let right = DataFrame::from_rows(
+            schema_r,
+            rows.iter().map(|&(k, a)| vec![Value::Int(k + 1), Value::Int(a)]),
+        ).unwrap();
+        let joined = left.join(&right, &["k"], &["k2"], JoinType::Inner).unwrap();
+        let mut expected = 0usize;
+        for &(lk, _) in &rows {
+            expected += rows.iter().filter(|&&(rk, _)| rk + 1 == lk).count();
+        }
+        prop_assert_eq!(joined.num_rows(), expected);
+    }
+
+    /// union then distinct of a frame with itself is distinct of the frame.
+    #[test]
+    fn union_distinct_idempotent(rows in arb_rows()) {
+        let df = frame_of(&rows, 2);
+        let u = df.union(&df).unwrap().distinct().unwrap();
+        let d = df.distinct().unwrap();
+        prop_assert_eq!(u.collect_rows().unwrap(), d.collect_rows().unwrap());
+    }
+
+    /// forward_fill leaves no interior nulls after the first non-null.
+    #[test]
+    fn forward_fill_no_interior_nulls(vals in prop::collection::vec(prop::option::of(-100i64..100), 0..100)) {
+        let schema = Schema::from_pairs([("v", DataType::Int)]).unwrap().into_shared();
+        let df = DataFrame::from_rows(
+            schema,
+            vals.iter().map(|v| vec![Value::from(*v)]),
+        ).unwrap().repartition(3).unwrap();
+        let filled = df.forward_fill("v").unwrap();
+        let out = filled.column_values("v").unwrap();
+        let first_set = vals.iter().position(|v| v.is_some());
+        for (i, v) in out.iter().enumerate() {
+            match first_set {
+                Some(p) if i >= p => prop_assert!(!v.is_null()),
+                _ => prop_assert!(v.is_null()),
+            }
+        }
+    }
+}

@@ -1,0 +1,373 @@
+//! Classic CAN frames.
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+
+/// A CAN identifier, standard (11-bit) or extended (29-bit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CanId {
+    /// 11-bit base identifier.
+    Standard(u16),
+    /// 29-bit extended identifier.
+    Extended(u32),
+}
+
+impl CanId {
+    /// Creates a standard id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when the value exceeds 11 bits.
+    pub fn standard(id: u16) -> Result<CanId> {
+        if id > 0x7FF {
+            return Err(Error::InvalidSpec(format!(
+                "standard CAN id {id:#x} exceeds 11 bits"
+            )));
+        }
+        Ok(CanId::Standard(id))
+    }
+
+    /// Creates an extended id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when the value exceeds 29 bits.
+    pub fn extended(id: u32) -> Result<CanId> {
+        if id > 0x1FFF_FFFF {
+            return Err(Error::InvalidSpec(format!(
+                "extended CAN id {id:#x} exceeds 29 bits"
+            )));
+        }
+        Ok(CanId::Extended(id))
+    }
+
+    /// The raw identifier value.
+    pub fn raw(&self) -> u32 {
+        match self {
+            CanId::Standard(id) => *id as u32,
+            CanId::Extended(id) => *id,
+        }
+    }
+
+    /// `true` for extended (29-bit) ids.
+    pub fn is_extended(&self) -> bool {
+        matches!(self, CanId::Extended(_))
+    }
+}
+
+impl std::fmt::Display for CanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CanId::Standard(id) => write!(f, "{id:#05x}"),
+            CanId::Extended(id) => write!(f, "{id:#010x}x"),
+        }
+    }
+}
+
+/// One CAN frame on the wire.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_protocol::can::{CanFrame, CanId};
+///
+/// # fn main() -> ivnt_protocol::Result<()> {
+/// let frame = CanFrame::new(CanId::standard(3)?, &[0x5A, 0x01])?;
+/// assert_eq!(frame.dlc(), 2);
+/// let wire = frame.to_wire();
+/// assert_eq!(CanFrame::from_wire(&wire)?, frame);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanFrame {
+    id: CanId,
+    data: Bytes,
+}
+
+impl CanFrame {
+    /// Creates a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when `data` exceeds 8 bytes.
+    pub fn new(id: CanId, data: &[u8]) -> Result<CanFrame> {
+        if data.len() > 8 {
+            return Err(Error::InvalidSpec(format!(
+                "classic CAN payload limited to 8 bytes, got {}",
+                data.len()
+            )));
+        }
+        Ok(CanFrame {
+            id,
+            data: Bytes::copy_from_slice(data),
+        })
+    }
+
+    /// The frame identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Data length code (payload size in bytes).
+    pub fn dlc(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Serializes to a compact wire format:
+    /// `flags(1) | id(4 LE) | dlc(1) | data`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.data.len());
+        out.push(if self.id.is_extended() { 1 } else { 0 });
+        out.extend_from_slice(&self.id.raw().to_le_bytes());
+        out.push(self.data.len() as u8);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses the wire format produced by [`CanFrame::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TruncatedFrame`] for short input and
+    /// [`Error::InvalidSpec`] for malformed ids or DLC.
+    pub fn from_wire(wire: &[u8]) -> Result<CanFrame> {
+        if wire.len() < 6 {
+            return Err(Error::TruncatedFrame {
+                expected: 6,
+                actual: wire.len(),
+            });
+        }
+        let extended = wire[0] == 1;
+        let raw = u32::from_le_bytes([wire[1], wire[2], wire[3], wire[4]]);
+        let dlc = wire[5] as usize;
+        if wire.len() < 6 + dlc {
+            return Err(Error::TruncatedFrame {
+                expected: 6 + dlc,
+                actual: wire.len(),
+            });
+        }
+        let id = if extended {
+            CanId::extended(raw)?
+        } else {
+            CanId::standard(raw as u16)?
+        };
+        CanFrame::new(id, &wire[6..6 + dlc])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_limits() {
+        assert!(CanId::standard(0x7FF).is_ok());
+        assert!(CanId::standard(0x800).is_err());
+        assert!(CanId::extended(0x1FFF_FFFF).is_ok());
+        assert!(CanId::extended(0x2000_0000).is_err());
+    }
+
+    #[test]
+    fn frame_payload_limit() {
+        let id = CanId::standard(1).unwrap();
+        assert!(CanFrame::new(id, &[0; 8]).is_ok());
+        assert!(CanFrame::new(id, &[0; 9]).is_err());
+    }
+
+    #[test]
+    fn wire_roundtrip_standard_and_extended() {
+        let f = CanFrame::new(CanId::standard(0x123).unwrap(), &[1, 2, 3]).unwrap();
+        assert_eq!(CanFrame::from_wire(&f.to_wire()).unwrap(), f);
+        let f = CanFrame::new(CanId::extended(0x1ABCDEF).unwrap(), &[]).unwrap();
+        assert_eq!(CanFrame::from_wire(&f.to_wire()).unwrap(), f);
+    }
+
+    #[test]
+    fn truncated_wire_rejected() {
+        assert!(matches!(
+            CanFrame::from_wire(&[0, 1, 0]),
+            Err(Error::TruncatedFrame { .. })
+        ));
+        let f = CanFrame::new(CanId::standard(5).unwrap(), &[1, 2, 3, 4]).unwrap();
+        let wire = f.to_wire();
+        assert!(matches!(
+            CanFrame::from_wire(&wire[..wire.len() - 1]),
+            Err(Error::TruncatedFrame { .. })
+        ));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(CanId::standard(3).unwrap().to_string(), "0x003");
+        assert!(CanId::extended(0x1234).unwrap().to_string().ends_with('x'));
+    }
+}
+
+/// Valid CAN FD payload lengths (DLC codes 0–15).
+pub const CAN_FD_LENGTHS: [usize; 16] = [0, 1, 2, 3, 4, 5, 6, 7, 8, 12, 16, 20, 24, 32, 48, 64];
+
+/// A CAN FD frame: up to 64 payload bytes in the discrete lengths the DLC
+/// code can express, plus the bit-rate-switch flag.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_protocol::can::{CanFdFrame, CanId};
+///
+/// # fn main() -> ivnt_protocol::Result<()> {
+/// let frame = CanFdFrame::new(CanId::standard(0x1A)?, &[0u8; 20], true)?;
+/// assert_eq!(frame.dlc_code(), 11); // 20 bytes -> DLC code 11
+/// assert_eq!(CanFdFrame::from_wire(&frame.to_wire())?, frame);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CanFdFrame {
+    id: CanId,
+    data: Bytes,
+    bit_rate_switch: bool,
+}
+
+impl CanFdFrame {
+    /// Creates a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when `data.len()` is not one of the
+    /// lengths a CAN FD DLC code can express.
+    pub fn new(id: CanId, data: &[u8], bit_rate_switch: bool) -> Result<CanFdFrame> {
+        if !CAN_FD_LENGTHS.contains(&data.len()) {
+            return Err(Error::InvalidSpec(format!(
+                "CAN FD payload length {} is not DLC-expressible (valid: {CAN_FD_LENGTHS:?})",
+                data.len()
+            )));
+        }
+        Ok(CanFdFrame {
+            id,
+            data: Bytes::copy_from_slice(data),
+            bit_rate_switch,
+        })
+    }
+
+    /// The frame identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// `true` when the data phase uses the higher bit rate.
+    pub fn bit_rate_switch(&self) -> bool {
+        self.bit_rate_switch
+    }
+
+    /// The 4-bit DLC code encoding the payload length.
+    pub fn dlc_code(&self) -> u8 {
+        CAN_FD_LENGTHS
+            .iter()
+            .position(|&l| l == self.data.len())
+            .expect("constructor enforces a valid length") as u8
+    }
+
+    /// Serializes to `flags(1) | id(4 LE) | dlc_code(1) | data`; flag bit 0
+    /// = extended id, bit 1 = bit-rate switch.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.data.len());
+        let mut flags = 0u8;
+        if self.id.is_extended() {
+            flags |= 1;
+        }
+        if self.bit_rate_switch {
+            flags |= 2;
+        }
+        out.push(flags);
+        out.extend_from_slice(&self.id.raw().to_le_bytes());
+        out.push(self.dlc_code());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses the wire format of [`CanFdFrame::to_wire`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TruncatedFrame`] for short input and
+    /// [`Error::InvalidSpec`] for malformed ids or DLC codes.
+    pub fn from_wire(wire: &[u8]) -> Result<CanFdFrame> {
+        if wire.len() < 6 {
+            return Err(Error::TruncatedFrame {
+                expected: 6,
+                actual: wire.len(),
+            });
+        }
+        let flags = wire[0];
+        let raw = u32::from_le_bytes([wire[1], wire[2], wire[3], wire[4]]);
+        let code = wire[5] as usize;
+        let len = *CAN_FD_LENGTHS
+            .get(code)
+            .ok_or_else(|| Error::InvalidSpec(format!("bad CAN FD DLC code {code}")))?;
+        if wire.len() < 6 + len {
+            return Err(Error::TruncatedFrame {
+                expected: 6 + len,
+                actual: wire.len(),
+            });
+        }
+        let id = if flags & 1 != 0 {
+            CanId::extended(raw)?
+        } else {
+            CanId::standard(raw as u16)?
+        };
+        CanFdFrame::new(id, &wire[6..6 + len], flags & 2 != 0)
+    }
+}
+
+#[cfg(test)]
+mod fd_tests {
+    use super::*;
+
+    #[test]
+    fn dlc_codes_match_table() {
+        let id = CanId::standard(1).unwrap();
+        for (code, &len) in CAN_FD_LENGTHS.iter().enumerate() {
+            let f = CanFdFrame::new(id, &vec![0u8; len], false).unwrap();
+            assert_eq!(f.dlc_code() as usize, code);
+        }
+    }
+
+    #[test]
+    fn odd_lengths_rejected() {
+        let id = CanId::standard(1).unwrap();
+        for bad in [9usize, 13, 33, 63, 65] {
+            assert!(CanFdFrame::new(id, &vec![0u8; bad], false).is_err());
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_with_flags() {
+        let f = CanFdFrame::new(CanId::extended(0x1ABCDE).unwrap(), &[7u8; 48], true).unwrap();
+        let parsed = CanFdFrame::from_wire(&f.to_wire()).unwrap();
+        assert_eq!(parsed, f);
+        assert!(parsed.bit_rate_switch());
+    }
+
+    #[test]
+    fn bad_dlc_code_rejected() {
+        let f = CanFdFrame::new(CanId::standard(2).unwrap(), &[1, 2], false).unwrap();
+        let mut wire = f.to_wire();
+        wire[5] = 16;
+        assert!(matches!(
+            CanFdFrame::from_wire(&wire),
+            Err(Error::InvalidSpec(_))
+        ));
+    }
+}

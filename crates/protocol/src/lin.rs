@@ -1,0 +1,221 @@
+//! LIN frames (the paper's `K-LIN` channel).
+
+use bytes::Bytes;
+
+use crate::error::{Error, Result};
+
+/// A LIN frame: protected identifier, up to 8 data bytes, checksum.
+///
+/// The checksum follows LIN 2.x "enhanced" semantics: the inverted modulo-256
+/// carry sum over the protected id and all data bytes.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_protocol::lin::LinFrame;
+///
+/// # fn main() -> ivnt_protocol::Result<()> {
+/// let frame = LinFrame::new(0x11, &[0x03])?;
+/// assert!(frame.verify_checksum());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinFrame {
+    pid: u8,
+    data: Bytes,
+    checksum: u8,
+}
+
+/// Computes the LIN 2.x enhanced checksum over pid and data.
+pub fn checksum(pid: u8, data: &[u8]) -> u8 {
+    let mut sum: u16 = pid as u16;
+    for &b in data {
+        sum += b as u16;
+        if sum >= 256 {
+            sum -= 255;
+        }
+    }
+    !(sum as u8)
+}
+
+impl LinFrame {
+    /// Creates a frame, computing its checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] when the identifier exceeds 6 bits or
+    /// the payload exceeds 8 bytes.
+    pub fn new(id: u8, data: &[u8]) -> Result<LinFrame> {
+        if id > 0x3F {
+            return Err(Error::InvalidSpec(format!(
+                "LIN id {id:#x} exceeds 6 bits"
+            )));
+        }
+        if data.len() > 8 {
+            return Err(Error::InvalidSpec(format!(
+                "LIN payload limited to 8 bytes, got {}",
+                data.len()
+            )));
+        }
+        let pid = protected_id(id);
+        Ok(LinFrame {
+            pid,
+            data: Bytes::copy_from_slice(data),
+            checksum: checksum(pid, data),
+        })
+    }
+
+    /// The 6-bit frame identifier (parity bits stripped).
+    pub fn id(&self) -> u8 {
+        self.pid & 0x3F
+    }
+
+    /// The protected identifier (id plus parity bits).
+    pub fn pid(&self) -> u8 {
+        self.pid
+    }
+
+    /// The payload.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// The carried checksum.
+    pub fn checksum(&self) -> u8 {
+        self.checksum
+    }
+
+    /// Recomputes and compares the checksum.
+    pub fn verify_checksum(&self) -> bool {
+        checksum(self.pid, &self.data) == self.checksum
+    }
+
+    /// Serializes to `pid(1) | len(1) | data | checksum(1)`.
+    pub fn to_wire(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(3 + self.data.len());
+        out.push(self.pid);
+        out.push(self.data.len() as u8);
+        out.extend_from_slice(&self.data);
+        out.push(self.checksum);
+        out
+    }
+
+    /// Parses the wire format of [`LinFrame::to_wire`], verifying parity and
+    /// checksum.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::TruncatedFrame`] for short input,
+    /// [`Error::ChecksumMismatch`] when the checksum does not verify, and
+    /// [`Error::InvalidSpec`] for bad parity.
+    pub fn from_wire(wire: &[u8]) -> Result<LinFrame> {
+        if wire.len() < 3 {
+            return Err(Error::TruncatedFrame {
+                expected: 3,
+                actual: wire.len(),
+            });
+        }
+        let pid = wire[0];
+        if protected_id(pid & 0x3F) != pid {
+            return Err(Error::InvalidSpec(format!(
+                "LIN pid {pid:#04x} fails parity check"
+            )));
+        }
+        let len = wire[1] as usize;
+        if wire.len() < 3 + len {
+            return Err(Error::TruncatedFrame {
+                expected: 3 + len,
+                actual: wire.len(),
+            });
+        }
+        let data = &wire[2..2 + len];
+        let stored = wire[2 + len];
+        let computed = checksum(pid, data);
+        if stored != computed {
+            return Err(Error::ChecksumMismatch { stored, computed });
+        }
+        Ok(LinFrame {
+            pid,
+            data: Bytes::copy_from_slice(data),
+            checksum: stored,
+        })
+    }
+}
+
+/// Computes the protected identifier: 6-bit id plus two parity bits
+/// (P0 = id0^id1^id2^id4, P1 = !(id1^id3^id4^id5)).
+pub fn protected_id(id: u8) -> u8 {
+    let bit = |n: u8| (id >> n) & 1;
+    let p0 = bit(0) ^ bit(1) ^ bit(2) ^ bit(4);
+    let p1 = 1 ^ (bit(1) ^ bit(3) ^ bit(4) ^ bit(5));
+    (id & 0x3F) | (p0 << 6) | (p1 << 7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn id_and_payload_limits() {
+        assert!(LinFrame::new(0x3F, &[0; 8]).is_ok());
+        assert!(LinFrame::new(0x40, &[]).is_err());
+        assert!(LinFrame::new(0, &[0; 9]).is_err());
+    }
+
+    #[test]
+    fn checksum_verifies() {
+        let f = LinFrame::new(0x11, &[0x03, 0x07]).unwrap();
+        assert!(f.verify_checksum());
+    }
+
+    #[test]
+    fn wire_roundtrip() {
+        let f = LinFrame::new(0x2A, &[1, 2, 3]).unwrap();
+        let parsed = LinFrame::from_wire(&f.to_wire()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.id(), 0x2A);
+    }
+
+    #[test]
+    fn corrupted_checksum_detected() {
+        let f = LinFrame::new(0x10, &[9]).unwrap();
+        let mut wire = f.to_wire();
+        let last = wire.len() - 1;
+        wire[last] ^= 0xFF;
+        assert!(matches!(
+            LinFrame::from_wire(&wire),
+            Err(Error::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn corrupted_data_detected() {
+        let f = LinFrame::new(0x10, &[9, 8]).unwrap();
+        let mut wire = f.to_wire();
+        wire[2] ^= 0x01;
+        assert!(matches!(
+            LinFrame::from_wire(&wire),
+            Err(Error::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn parity_checked() {
+        let f = LinFrame::new(0x01, &[]).unwrap();
+        let mut wire = f.to_wire();
+        wire[0] ^= 0x80; // flip P1
+        assert!(matches!(
+            LinFrame::from_wire(&wire),
+            Err(Error::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn known_parity_vectors() {
+        // id 0x00 -> P0=0, P1=1 -> 0x80
+        assert_eq!(protected_id(0x00), 0x80);
+        // id 0x3F: bits all 1 -> P0 = 1^1^1^1 = 0, P1 = 1^(1^1^1^1) = 1 -> 0xBF
+        assert_eq!(protected_id(0x3F), 0xBF);
+    }
+}

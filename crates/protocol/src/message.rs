@@ -1,0 +1,325 @@
+//! Message specifications: a set of signals sharing one frame.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Error, Result};
+use crate::signal::{PhysicalValue, SignalSpec};
+
+/// The protocol family a message travels on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Controller Area Network (classic, up to 8 data bytes).
+    Can,
+    /// CAN FD (up to 64 data bytes in discrete DLC lengths).
+    CanFd,
+    /// Local Interconnect Network (up to 8 data bytes + checksum).
+    Lin,
+    /// Scalable service-Oriented MiddlewarE over IP (variable payload).
+    SomeIp,
+}
+
+impl std::fmt::Display for Protocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Protocol::Can => "CAN",
+            Protocol::CanFd => "CAN FD",
+            Protocol::Lin => "LIN",
+            Protocol::SomeIp => "SOME/IP",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Definition of a message type `m = (S, m_id, b_id)`: its identifier, the
+/// channel it occurs on, its payload geometry and the signal set it carries.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_protocol::message::{MessageSpec, Protocol};
+/// use ivnt_protocol::signal::SignalSpec;
+///
+/// # fn main() -> ivnt_protocol::Result<()> {
+/// // The paper's wiper message: id 3 on FA-CAN, carrying wpos and wvel.
+/// let m = MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+///     .dlc(4)
+///     .cycle_time_ms(500)
+///     .signal(SignalSpec::builder("wpos", 0, 16).factor(0.5).build()?)
+///     .signal(SignalSpec::builder("wvel", 16, 16).build()?)
+///     .build()?;
+/// assert_eq!(m.signals().len(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MessageSpec {
+    id: u32,
+    name: String,
+    bus: String,
+    protocol: Protocol,
+    dlc: usize,
+    cycle_time_ms: Option<u32>,
+    signals: Vec<SignalSpec>,
+}
+
+impl MessageSpec {
+    /// Starts building a message spec.
+    pub fn builder(
+        id: u32,
+        name: impl Into<String>,
+        bus: impl Into<String>,
+        protocol: Protocol,
+    ) -> MessageSpecBuilder {
+        MessageSpecBuilder {
+            spec: MessageSpec {
+                id,
+                name: name.into(),
+                bus: bus.into(),
+                protocol,
+                dlc: 8,
+                cycle_time_ms: None,
+                signals: Vec::new(),
+            },
+        }
+    }
+
+    /// Message identifier (the paper's `m_id`; the CAN id for CAN).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Human-readable message name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Channel identifier (the paper's `b_id`, e.g. `"FC"` for FA-CAN).
+    pub fn bus(&self) -> &str {
+        &self.bus
+    }
+
+    /// Protocol family.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Payload length in bytes (DLC for CAN/LIN).
+    pub fn dlc(&self) -> usize {
+        self.dlc
+    }
+
+    /// Nominal cycle time, if the message is sent cyclically.
+    pub fn cycle_time_ms(&self) -> Option<u32> {
+        self.cycle_time_ms
+    }
+
+    /// The signal set `S` carried by every instance of this message.
+    pub fn signals(&self) -> &[SignalSpec] {
+        &self.signals
+    }
+
+    /// Looks up a signal by name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownSignal`] when absent.
+    pub fn signal(&self, name: &str) -> Result<&SignalSpec> {
+        self.signals
+            .iter()
+            .find(|s| s.name() == name)
+            .ok_or_else(|| Error::UnknownSignal(name.to_string()))
+    }
+
+    /// Decodes every signal of the message from `payload`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first signal decode failure.
+    pub fn decode_all(&self, payload: &[u8]) -> Result<Vec<(String, PhysicalValue)>> {
+        self.signals
+            .iter()
+            .map(|s| Ok((s.name().to_string(), s.decode(payload)?)))
+            .collect()
+    }
+
+    /// Encodes the given `(name, value)` pairs into a fresh payload of
+    /// `dlc` bytes; unspecified bits stay zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::UnknownSignal`] for names outside the signal set and
+    /// propagates per-signal encode failures.
+    pub fn encode(&self, values: &[(&str, PhysicalValue)]) -> Result<Vec<u8>> {
+        let mut payload = vec![0u8; self.dlc];
+        for (name, value) in values {
+            self.signal(name)?.encode(&mut payload, value)?;
+        }
+        Ok(payload)
+    }
+}
+
+/// Builder for [`MessageSpec`].
+#[derive(Debug, Clone)]
+pub struct MessageSpecBuilder {
+    spec: MessageSpec,
+}
+
+impl MessageSpecBuilder {
+    /// Sets the payload length in bytes (default 8).
+    pub fn dlc(mut self, dlc: usize) -> Self {
+        self.spec.dlc = dlc;
+        self
+    }
+
+    /// Declares a nominal cycle time in milliseconds.
+    pub fn cycle_time_ms(mut self, ms: u32) -> Self {
+        self.spec.cycle_time_ms = Some(ms);
+        self
+    }
+
+    /// Adds a signal to the message.
+    pub fn signal(mut self, signal: SignalSpec) -> Self {
+        self.spec.signals.push(signal);
+        self
+    }
+
+    /// Validates and finishes the spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidSpec`] for duplicate signal names, a zero or
+    /// oversized DLC for the protocol, or a signal whose bit range exceeds
+    /// the payload.
+    pub fn build(self) -> Result<MessageSpec> {
+        let m = self.spec;
+        if m.dlc == 0 {
+            return Err(Error::InvalidSpec(format!(
+                "message {} has zero-length payload",
+                m.name
+            )));
+        }
+        let max_dlc = match m.protocol {
+            Protocol::Can | Protocol::Lin => 8,
+            Protocol::CanFd => 64,
+            Protocol::SomeIp => 1400,
+        };
+        if m.dlc > max_dlc {
+            return Err(Error::InvalidSpec(format!(
+                "message {} dlc {} exceeds {} limit of {max_dlc}",
+                m.name, m.dlc, m.protocol
+            )));
+        }
+        let mut names = std::collections::HashSet::new();
+        for s in &m.signals {
+            if !names.insert(s.name()) {
+                return Err(Error::InvalidSpec(format!(
+                    "message {} has duplicate signal {}",
+                    m.name,
+                    s.name()
+                )));
+            }
+            // Verify the bit range fits by probing a zero payload.
+            let zeros = vec![0u8; m.dlc];
+            crate::bits::extract(&zeros, s.start_bit(), s.bit_len(), s.byte_order()).map_err(
+                |_| {
+                    Error::InvalidSpec(format!(
+                        "signal {} does not fit message {} payload ({} bytes)",
+                        s.name(),
+                        m.name,
+                        m.dlc
+                    ))
+                },
+            )?;
+        }
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wiper() -> MessageSpec {
+        MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+            .dlc(4)
+            .cycle_time_ms(500)
+            .signal(
+                SignalSpec::builder("wpos", 0, 16)
+                    .factor(0.5)
+                    .build()
+                    .unwrap(),
+            )
+            .signal(SignalSpec::builder("wvel", 16, 16).build().unwrap())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let m = wiper();
+        let payload = m
+            .encode(&[
+                ("wpos", PhysicalValue::Num(45.0)),
+                ("wvel", PhysicalValue::Num(1.0)),
+            ])
+            .unwrap();
+        assert_eq!(payload.len(), 4);
+        let decoded = m.decode_all(&payload).unwrap();
+        assert_eq!(decoded[0], ("wpos".to_string(), PhysicalValue::Num(45.0)));
+        assert_eq!(decoded[1], ("wvel".to_string(), PhysicalValue::Num(1.0)));
+    }
+
+    #[test]
+    fn unknown_signal_rejected() {
+        let m = wiper();
+        assert!(matches!(
+            m.encode(&[("nope", PhysicalValue::Num(0.0))]),
+            Err(Error::UnknownSignal(_))
+        ));
+        assert!(m.signal("wpos").is_ok());
+    }
+
+    #[test]
+    fn duplicate_signal_names_rejected() {
+        let r = MessageSpec::builder(1, "M", "B", Protocol::Can)
+            .signal(SignalSpec::builder("x", 0, 8).build().unwrap())
+            .signal(SignalSpec::builder("x", 8, 8).build().unwrap())
+            .build();
+        assert!(matches!(r, Err(Error::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn signal_must_fit_payload() {
+        let r = MessageSpec::builder(1, "M", "B", Protocol::Can)
+            .dlc(1)
+            .signal(SignalSpec::builder("x", 0, 16).build().unwrap())
+            .build();
+        assert!(matches!(r, Err(Error::InvalidSpec(_))));
+    }
+
+    #[test]
+    fn protocol_dlc_limits() {
+        assert!(MessageSpec::builder(1, "M", "B", Protocol::Can)
+            .dlc(9)
+            .build()
+            .is_err());
+        assert!(MessageSpec::builder(1, "M", "B", Protocol::SomeIp)
+            .dlc(64)
+            .build()
+            .is_ok());
+        assert!(MessageSpec::builder(1, "M", "B", Protocol::Can)
+            .dlc(0)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn metadata_accessors() {
+        let m = wiper();
+        assert_eq!(m.id(), 3);
+        assert_eq!(m.bus(), "FC");
+        assert_eq!(m.cycle_time_ms(), Some(500));
+        assert_eq!(m.protocol(), Protocol::Can);
+        assert_eq!(m.protocol().to_string(), "CAN");
+    }
+}

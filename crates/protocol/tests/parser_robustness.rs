@@ -1,0 +1,40 @@
+//! Robustness: the DBC parser and frame decoders must never panic on
+//! arbitrary text/bytes.
+
+use ivnt_protocol::can::{CanFdFrame, CanFrame};
+use ivnt_protocol::dbc::parse_dbc_extended;
+use ivnt_protocol::lin::LinFrame;
+use ivnt_protocol::someip::SomeIpMessage;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary text never panics the DBC parser.
+    #[test]
+    fn dbc_parser_never_panics(text in "\\PC{0,400}") {
+        let _ = parse_dbc_extended(&text, "B");
+    }
+
+    /// DBC-looking garbage (keywords + junk) never panics either.
+    #[test]
+    fn dbc_keyword_fuzz(
+        parts in prop::collection::vec(
+            prop::sample::select(vec![
+                "BO_ ", "SG_ ", "VAL_ ", "BA_ ", "CM_ ", ":", "|", "@", "(", ")",
+                "[", "]", "\"", " 1 ", " x ", "\n", "m0 ", "M ", "0|8@1+ ",
+            ]),
+            0..60,
+        )
+    ) {
+        let text: String = parts.concat();
+        let _ = parse_dbc_extended(&text, "B");
+    }
+
+    /// Arbitrary bytes never panic the frame wire parsers.
+    #[test]
+    fn wire_parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+        let _ = CanFrame::from_wire(&bytes);
+        let _ = CanFdFrame::from_wire(&bytes);
+        let _ = LinFrame::from_wire(&bytes);
+        let _ = SomeIpMessage::from_wire(&bytes);
+    }
+}

@@ -1,0 +1,205 @@
+//! One-dimensional k-means clustering.
+//!
+//! Sec. 4.1 of the paper lists clustering as one of the reduction
+//! techniques its constraint formalism can express ("by mapping multiple
+//! trace segments on a representative symbol, by clustering or by using
+//! sampling techniques"); related work (Agarwal et al., CODS 2015) reduces vehicular sensor data
+//! exactly this way. This module provides the deterministic 1-D k-means
+//! used by the cluster-based reducer in `ivnt-core`.
+
+/// Result of a k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centers, ascending.
+    pub centers: Vec<f64>,
+    /// Per-input cluster assignment (index into `centers`).
+    pub assignment: Vec<usize>,
+    /// Sum of squared distances to assigned centers.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+/// Deterministic 1-D k-means (Lloyd's algorithm, quantile initialization).
+///
+/// `k` is clamped to the number of distinct values; an empty input yields
+/// an empty clustering. Initialization by quantiles makes the run
+/// deterministic — no RNG, per the pipeline's determinism requirement.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_series::cluster::kmeans_1d;
+///
+/// // Gear-position readings hover around two levels.
+/// let data = [2.0, 2.1, 1.9, 6.0, 6.1, 5.9];
+/// let c = kmeans_1d(&data, 2, 50);
+/// assert_eq!(c.centers.len(), 2);
+/// assert!((c.centers[0] - 2.0).abs() < 0.1);
+/// assert!((c.centers[1] - 6.0).abs() < 0.1);
+/// ```
+pub fn kmeans_1d(data: &[f64], k: usize, max_iterations: usize) -> Clustering {
+    if data.is_empty() || k == 0 {
+        return Clustering {
+            centers: Vec::new(),
+            assignment: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let mut distinct: Vec<f64> = data.to_vec();
+    distinct.sort_by(|a, b| a.total_cmp(b));
+    distinct.dedup_by(|a, b| a.to_bits() == b.to_bits());
+    let k = k.min(distinct.len());
+
+    // Quantile initialization over distinct values.
+    let mut centers: Vec<f64> = (0..k)
+        .map(|i| {
+            let pos = if k == 1 {
+                0
+            } else {
+                i * (distinct.len() - 1) / (k - 1)
+            };
+            distinct[pos]
+        })
+        .collect();
+    centers.dedup_by(|a, b| a.to_bits() == b.to_bits());
+
+    let mut assignment = vec![0usize; data.len()];
+    let mut iterations = 0usize;
+    for _ in 0..max_iterations.max(1) {
+        iterations += 1;
+        // Assign.
+        let mut changed = false;
+        for (i, &x) in data.iter().enumerate() {
+            let nearest = nearest_center(&centers, x);
+            if assignment[i] != nearest {
+                assignment[i] = nearest;
+                changed = true;
+            }
+        }
+        // Update.
+        let mut sums = vec![0.0f64; centers.len()];
+        let mut counts = vec![0usize; centers.len()];
+        for (i, &x) in data.iter().enumerate() {
+            sums[assignment[i]] += x;
+            counts[assignment[i]] += 1;
+        }
+        for (c, (s, n)) in centers.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *n > 0 {
+                *c = s / *n as f64;
+            }
+        }
+        centers.sort_by(|a, b| a.total_cmp(b));
+        if !changed && iterations > 1 {
+            break;
+        }
+    }
+    // Final assignment against sorted centers.
+    for (i, &x) in data.iter().enumerate() {
+        assignment[i] = nearest_center(&centers, x);
+    }
+    let inertia = data
+        .iter()
+        .zip(&assignment)
+        .map(|(&x, &a)| (x - centers[a]) * (x - centers[a]))
+        .sum();
+    Clustering {
+        centers,
+        assignment,
+        inertia,
+        iterations,
+    }
+}
+
+fn nearest_center(centers: &[f64], x: f64) -> usize {
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (i, &c) in centers.iter().enumerate() {
+        let d = (x - c).abs();
+        if d < best_d {
+            best_d = d;
+            best = i;
+        }
+    }
+    best
+}
+
+/// Maps each value to its cluster center — the "representative symbol"
+/// reduction: runs of equal representatives then collapse under
+/// unchanged-repeat removal.
+pub fn quantize(data: &[f64], k: usize, max_iterations: usize) -> Vec<f64> {
+    let clustering = kmeans_1d(data, k, max_iterations);
+    data.iter()
+        .zip(&clustering.assignment)
+        .map(|(_, &a)| clustering.centers[a])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn separates_obvious_clusters() {
+        let data = [1.0, 1.1, 0.9, 10.0, 10.2, 9.8, 20.0, 19.9];
+        let c = kmeans_1d(&data, 3, 50);
+        assert_eq!(c.centers.len(), 3);
+        assert!((c.centers[0] - 1.0).abs() < 0.2);
+        assert!((c.centers[1] - 10.0).abs() < 0.2);
+        assert!((c.centers[2] - 19.95).abs() < 0.2);
+        // All members of a cluster share the assignment.
+        assert_eq!(c.assignment[0], c.assignment[1]);
+        assert_eq!(c.assignment[3], c.assignment[4]);
+        assert_ne!(c.assignment[0], c.assignment[3]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let data: Vec<f64> = (0..200).map(|i| ((i * 37) % 97) as f64).collect();
+        let a = kmeans_1d(&data, 5, 100);
+        let b = kmeans_1d(&data, 5, 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn k_clamped_to_distinct_values() {
+        let data = [3.0, 3.0, 7.0];
+        let c = kmeans_1d(&data, 10, 50);
+        assert_eq!(c.centers.len(), 2);
+        assert_eq!(c.inertia, 0.0);
+    }
+
+    #[test]
+    fn empty_and_degenerate() {
+        let c = kmeans_1d(&[], 3, 10);
+        assert!(c.centers.is_empty());
+        let c = kmeans_1d(&[5.0], 3, 10);
+        assert_eq!(c.centers, vec![5.0]);
+        let c = kmeans_1d(&[1.0, 2.0], 0, 10);
+        assert!(c.centers.is_empty());
+    }
+
+    #[test]
+    fn quantize_maps_to_centers() {
+        let data = [1.0, 1.2, 9.0, 9.4];
+        let q = quantize(&data, 2, 50);
+        assert_eq!(q[0], q[1]);
+        assert_eq!(q[2], q[3]);
+        assert!(q[0] < q[2]);
+        // Representatives are the cluster means.
+        assert!((q[0] - 1.1).abs() < 1e-9);
+        assert!((q[2] - 9.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inertia_decreases_with_k() {
+        let data: Vec<f64> = (0..100).map(|i| (i % 10) as f64).collect();
+        let c2 = kmeans_1d(&data, 2, 100);
+        let c5 = kmeans_1d(&data, 5, 100);
+        let c10 = kmeans_1d(&data, 10, 100);
+        assert!(c2.inertia >= c5.inertia);
+        assert!(c5.inertia >= c10.inertia);
+        assert_eq!(c10.inertia, 0.0);
+    }
+}

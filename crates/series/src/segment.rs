@@ -1,0 +1,144 @@
+//! Linear segments fitted to time-series windows.
+
+/// One linear segment over `data[start..end]` with its least-squares fit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Segment {
+    /// First index (inclusive).
+    pub start: usize,
+    /// Last index (exclusive).
+    pub end: usize,
+    /// Fitted slope (per index step).
+    pub slope: f64,
+    /// Fitted value at `start`.
+    pub intercept: f64,
+    /// Residual sum of squares of the fit.
+    pub error: f64,
+}
+
+impl Segment {
+    /// Fits `data[start..end]` with least squares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or out of bounds.
+    pub fn fit(data: &[f64], start: usize, end: usize) -> Segment {
+        assert!(start < end && end <= data.len(), "invalid segment range");
+        let window = &data[start..end];
+        let n = window.len() as f64;
+        if window.len() == 1 {
+            return Segment {
+                start,
+                end,
+                slope: 0.0,
+                intercept: window[0],
+                error: 0.0,
+            };
+        }
+        // x = 0..len within the window.
+        let sum_x = (n - 1.0) * n / 2.0;
+        let sum_x2 = (n - 1.0) * n * (2.0 * n - 1.0) / 6.0;
+        let sum_y: f64 = window.iter().sum();
+        let sum_xy: f64 = window.iter().enumerate().map(|(i, y)| i as f64 * y).sum();
+        let denom = n * sum_x2 - sum_x * sum_x;
+        let slope = if denom.abs() < 1e-12 {
+            0.0
+        } else {
+            (n * sum_xy - sum_x * sum_y) / denom
+        };
+        let intercept = (sum_y - slope * sum_x) / n;
+        let error = window
+            .iter()
+            .enumerate()
+            .map(|(i, y)| {
+                let fit = intercept + slope * i as f64;
+                (y - fit) * (y - fit)
+            })
+            .sum();
+        Segment {
+            start,
+            end,
+            slope,
+            intercept,
+            error,
+        }
+    }
+
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// `true` for zero-length segments (cannot be produced by [`Segment::fit`]).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Fitted value at absolute index `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds when `i` lies outside the segment.
+    pub fn value_at(&self, i: usize) -> f64 {
+        debug_assert!(i >= self.start && i < self.end);
+        self.intercept + self.slope * (i - self.start) as f64
+    }
+
+    /// Mean fitted value over the segment.
+    pub fn mean_value(&self) -> f64 {
+        self.intercept + self.slope * (self.len() as f64 - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_perfect_line_has_zero_error() {
+        let data: Vec<f64> = (0..10).map(|i| 2.0 * i as f64 + 1.0).collect();
+        let s = Segment::fit(&data, 0, 10);
+        assert!((s.slope - 2.0).abs() < 1e-9);
+        assert!((s.intercept - 1.0).abs() < 1e-9);
+        assert!(s.error < 1e-12);
+        assert_eq!(s.len(), 10);
+        assert!((s.value_at(3) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fit_subrange_uses_local_x() {
+        let data = [0.0, 0.0, 1.0, 2.0, 3.0];
+        let s = Segment::fit(&data, 2, 5);
+        assert!((s.slope - 1.0).abs() < 1e-9);
+        assert!((s.intercept - 1.0).abs() < 1e-9);
+        assert!((s.value_at(4) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_point_segment() {
+        let s = Segment::fit(&[5.0, 9.0], 1, 2);
+        assert_eq!(s.slope, 0.0);
+        assert_eq!(s.intercept, 9.0);
+        assert_eq!(s.error, 0.0);
+    }
+
+    #[test]
+    fn constant_series_zero_slope() {
+        let s = Segment::fit(&[4.0; 8], 0, 8);
+        assert_eq!(s.slope, 0.0);
+        assert_eq!(s.mean_value(), 4.0);
+    }
+
+    #[test]
+    fn noisy_line_has_positive_error() {
+        let data = [0.0, 1.2, 1.8, 3.1, 3.9];
+        let s = Segment::fit(&data, 0, 5);
+        assert!(s.error > 0.0);
+        assert!(s.slope > 0.9 && s.slope < 1.1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_range_panics() {
+        let _ = Segment::fit(&[1.0], 1, 1);
+    }
+}

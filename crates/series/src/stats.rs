@@ -1,0 +1,130 @@
+//! Basic descriptive statistics used by the other modules.
+
+/// Arithmetic mean; `0.0` for empty input.
+pub fn mean(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    data.iter().sum::<f64>() / data.len() as f64
+}
+
+/// Population variance; `0.0` for fewer than two points.
+pub fn variance(data: &[f64]) -> f64 {
+    if data.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(data);
+    data.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / data.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(data: &[f64]) -> f64 {
+    variance(data).sqrt()
+}
+
+/// Median; `0.0` for empty input.
+pub fn median(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+    }
+}
+
+/// Linear-interpolated quantile `q` in `[0, 1]`; `0.0` for empty input.
+///
+/// # Panics
+///
+/// Panics in debug builds if `q` is outside `[0, 1]`.
+pub fn quantile(data: &[f64], q: f64) -> f64 {
+    debug_assert!((0.0..=1.0).contains(&q), "quantile q must be in [0, 1]");
+    if data.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = data.to_vec();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Median absolute deviation (scaled by 1.4826 to estimate σ under
+/// normality).
+pub fn mad(data: &[f64]) -> f64 {
+    if data.is_empty() {
+        return 0.0;
+    }
+    let m = median(data);
+    let deviations: Vec<f64> = data.iter().map(|x| (x - m).abs()).collect();
+    1.4826 * median(&deviations)
+}
+
+/// Z-normalizes the series (mean 0, std 1); a constant series maps to zeros.
+pub fn znormalize(data: &[f64]) -> Vec<f64> {
+    let m = mean(data);
+    let s = std_dev(data);
+    if s < 1e-12 {
+        return vec![0.0; data.len()];
+    }
+    data.iter().map(|x| (x - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_std() {
+        let d = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(mean(&d), 2.5);
+        assert!((variance(&d) - 1.25).abs() < 1e-12);
+        assert!((std_dev(&d) - 1.25f64.sqrt()).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn quantiles() {
+        let d = [0.0, 1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&d, 0.0), 0.0);
+        assert_eq!(quantile(&d, 1.0), 4.0);
+        assert_eq!(quantile(&d, 0.5), 2.0);
+        assert_eq!(quantile(&d, 0.25), 1.0);
+        assert_eq!(quantile(&d, 0.1), 0.4);
+    }
+
+    #[test]
+    fn mad_robust_to_outlier() {
+        let clean = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let dirty = [1.0, 2.0, 3.0, 4.0, 500.0];
+        assert!((mad(&clean) - mad(&dirty)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn znormalize_properties() {
+        let d = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let z = znormalize(&d);
+        assert!(mean(&z).abs() < 1e-12);
+        assert!((std_dev(&z) - 1.0).abs() < 1e-12);
+        assert_eq!(znormalize(&[7.0, 7.0, 7.0]), vec![0.0, 0.0, 0.0]);
+    }
+}

@@ -1,0 +1,469 @@
+//! Signal behaviour models: what value a signal takes over time.
+//!
+//! Behaviours are deterministic given the master seed: each signal's random
+//! state is derived from the scenario seed and the signal name, so
+//! regenerating a scenario reproduces the identical trace (the paper's
+//! "preserving determinism" requirement extends to the data substitute).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ivnt_protocol::signal::PhysicalValue;
+
+/// Time-dependent value generator for one signal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Behavior {
+    /// Always the same value.
+    Constant(PhysicalValue),
+    /// `offset + amplitude * sin(2π t / period_s)` — fast numeric (α class).
+    Sine {
+        /// Peak deviation from `offset`.
+        amplitude: f64,
+        /// Period in seconds.
+        period_s: f64,
+        /// Mid-level.
+        offset: f64,
+    },
+    /// Sawtooth ramp from `from` to `to` every `period_s` — fast numeric.
+    Ramp {
+        /// Start value of every period.
+        from: f64,
+        /// End value of every period.
+        to: f64,
+        /// Period in seconds.
+        period_s: f64,
+    },
+    /// Bounded random walk — fast numeric with irregular shape.
+    RandomWalk {
+        /// Initial level.
+        start: f64,
+        /// Maximum per-emission step magnitude.
+        step: f64,
+        /// Lower clamp.
+        min: f64,
+        /// Upper clamp.
+        max: f64,
+    },
+    /// Slow numeric level switching between a few discrete levels
+    /// (ordinal / β class when levels > 2).
+    SteppedLevel {
+        /// The levels cycled through (pseudo-randomly).
+        levels: Vec<f64>,
+        /// Mean dwell time per level in seconds.
+        mean_dwell_s: f64,
+    },
+    /// Labelled state machine dwelling in each state (γ nominal when
+    /// labels > 2, binary when exactly 2; β ordinal when labels are ranked).
+    StateMachine {
+        /// State labels.
+        labels: Vec<String>,
+        /// Mean dwell time per state in seconds.
+        mean_dwell_s: f64,
+    },
+    /// Monotone counter modulo `modulo` incrementing per emission
+    /// (e.g. alive counters).
+    Counter {
+        /// Wrap-around value.
+        modulo: u64,
+    },
+    /// A journey profile: cycles through `(duration_s, behaviour)` phases —
+    /// e.g. city driving, highway cruising, parking — each with its own
+    /// dynamics.
+    Phased {
+        /// The phases, visited in order and repeated.
+        phases: Vec<(f64, Behavior)>,
+    },
+}
+
+/// Mutable evaluation state for one signal's behaviour.
+#[derive(Debug, Clone)]
+pub struct BehaviorState {
+    rng: StdRng,
+    derived_seed: u64,
+    emissions: u64,
+    level_idx: usize,
+    walk: f64,
+    next_switch_s: f64,
+    initialized: bool,
+    /// Per-phase sub-states for [`Behavior::Phased`], created on demand.
+    children: Vec<BehaviorState>,
+}
+
+impl BehaviorState {
+    /// Creates the evaluation state for a signal, deriving its private RNG
+    /// from `seed` and the signal name.
+    pub fn new(seed: u64, signal_name: &str) -> BehaviorState {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in signal_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        BehaviorState::from_seed(seed ^ h)
+    }
+
+    fn from_seed(derived_seed: u64) -> BehaviorState {
+        BehaviorState {
+            rng: StdRng::seed_from_u64(derived_seed),
+            derived_seed,
+            emissions: 0,
+            level_idx: 0,
+            walk: f64::NAN,
+            next_switch_s: 0.0,
+            initialized: false,
+            children: Vec::new(),
+        }
+    }
+
+    /// Sub-state for phase `i`, derived deterministically.
+    fn child(&mut self, i: usize) -> &mut BehaviorState {
+        while self.children.len() <= i {
+            let n = self.children.len() as u64;
+            let child = BehaviorState::from_seed(
+                self.derived_seed ^ (n + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            self.children.push(child);
+        }
+        &mut self.children[i]
+    }
+}
+
+impl Behavior {
+    /// Evaluates the behaviour at time `t_s`, advancing `state`.
+    ///
+    /// Callers must evaluate with non-decreasing timestamps per signal.
+    pub fn value_at(&self, t_s: f64, state: &mut BehaviorState) -> PhysicalValue {
+        state.emissions += 1;
+        match self {
+            Behavior::Constant(v) => v.clone(),
+            Behavior::Sine {
+                amplitude,
+                period_s,
+                offset,
+            } => PhysicalValue::Num(
+                offset + amplitude * (std::f64::consts::TAU * t_s / period_s).sin(),
+            ),
+            Behavior::Ramp { from, to, period_s } => {
+                let phase = (t_s / period_s).fract();
+                PhysicalValue::Num(from + (to - from) * phase)
+            }
+            Behavior::RandomWalk {
+                start,
+                step,
+                min,
+                max,
+            } => {
+                if !state.initialized {
+                    state.walk = *start;
+                    state.initialized = true;
+                }
+                let delta = state.rng.gen_range(-step..=*step);
+                state.walk = (state.walk + delta).clamp(*min, *max);
+                PhysicalValue::Num(state.walk)
+            }
+            Behavior::SteppedLevel {
+                levels,
+                mean_dwell_s,
+            } => {
+                debug_assert!(!levels.is_empty());
+                self.maybe_switch(t_s, state, levels.len(), *mean_dwell_s);
+                PhysicalValue::Num(levels[state.level_idx])
+            }
+            Behavior::StateMachine {
+                labels,
+                mean_dwell_s,
+            } => {
+                debug_assert!(!labels.is_empty());
+                self.maybe_switch(t_s, state, labels.len(), *mean_dwell_s);
+                PhysicalValue::Text(labels[state.level_idx].clone())
+            }
+            Behavior::Counter { modulo } => {
+                PhysicalValue::Num(((state.emissions - 1) % (*modulo).max(1)) as f64)
+            }
+            Behavior::Phased { phases } => {
+                debug_assert!(!phases.is_empty());
+                let total: f64 = phases.iter().map(|(d, _)| d.max(1e-9)).sum();
+                let mut offset = t_s % total;
+                let mut idx = 0usize;
+                for (i, (d, _)) in phases.iter().enumerate() {
+                    let d = d.max(1e-9);
+                    if offset < d {
+                        idx = i;
+                        break;
+                    }
+                    offset -= d;
+                    idx = i;
+                }
+                let behavior = phases[idx].1.clone();
+                behavior.value_at(t_s, state.child(idx))
+            }
+        }
+    }
+
+    fn maybe_switch(&self, t_s: f64, state: &mut BehaviorState, n: usize, mean_dwell_s: f64) {
+        if !state.initialized {
+            state.initialized = true;
+            state.level_idx = state.rng.gen_range(0..n);
+            state.next_switch_s = t_s + sample_dwell(&mut state.rng, mean_dwell_s);
+        }
+        while t_s >= state.next_switch_s {
+            if n > 1 {
+                // Move to a different state (uniform over the others).
+                let offset = state.rng.gen_range(1..n);
+                state.level_idx = (state.level_idx + offset) % n;
+            }
+            state.next_switch_s += sample_dwell(&mut state.rng, mean_dwell_s);
+        }
+    }
+
+    /// `true` when the behaviour produces text labels.
+    pub fn is_textual(&self) -> bool {
+        match self {
+            Behavior::StateMachine { .. } => true,
+            Behavior::Constant(PhysicalValue::Text(_)) => true,
+            Behavior::Phased { phases } => phases.iter().any(|(_, b)| b.is_textual()),
+            _ => false,
+        }
+    }
+}
+
+fn sample_dwell(rng: &mut StdRng, mean_s: f64) -> f64 {
+    // Exponential dwell with the given mean, floored to avoid zero-length dwells.
+    let u: f64 = rng.gen_range(1e-6..1.0);
+    (-u.ln() * mean_s).max(mean_s * 0.05)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state(name: &str) -> BehaviorState {
+        BehaviorState::new(42, name)
+    }
+
+    #[test]
+    fn constant_and_sine() {
+        let b = Behavior::Constant(PhysicalValue::Num(5.0));
+        assert_eq!(b.value_at(0.0, &mut state("c")), PhysicalValue::Num(5.0));
+        let b = Behavior::Sine {
+            amplitude: 2.0,
+            period_s: 1.0,
+            offset: 10.0,
+        };
+        assert_eq!(b.value_at(0.0, &mut state("s")), PhysicalValue::Num(10.0));
+        let v = b.value_at(0.25, &mut state("s")).as_num().unwrap();
+        assert!((v - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ramp_wraps() {
+        let b = Behavior::Ramp {
+            from: 0.0,
+            to: 100.0,
+            period_s: 10.0,
+        };
+        let mut s = state("r");
+        assert_eq!(b.value_at(5.0, &mut s).as_num(), Some(50.0));
+        assert_eq!(b.value_at(15.0, &mut s).as_num(), Some(50.0));
+    }
+
+    #[test]
+    fn random_walk_stays_bounded_and_deterministic() {
+        let b = Behavior::RandomWalk {
+            start: 50.0,
+            step: 5.0,
+            min: 0.0,
+            max: 100.0,
+        };
+        let mut s1 = state("w");
+        let mut s2 = state("w");
+        for i in 0..500 {
+            let t = i as f64 * 0.01;
+            let v1 = b.value_at(t, &mut s1).as_num().unwrap();
+            let v2 = b.value_at(t, &mut s2).as_num().unwrap();
+            assert_eq!(v1, v2);
+            assert!((0.0..=100.0).contains(&v1));
+        }
+    }
+
+    #[test]
+    fn different_signals_get_different_streams() {
+        let b = Behavior::RandomWalk {
+            start: 50.0,
+            step: 5.0,
+            min: 0.0,
+            max: 100.0,
+        };
+        let mut sa = state("a");
+        let mut sb = state("b");
+        let va: Vec<f64> = (0..20)
+            .map(|i| b.value_at(i as f64, &mut sa).as_num().unwrap())
+            .collect();
+        let vb: Vec<f64> = (0..20)
+            .map(|i| b.value_at(i as f64, &mut sb).as_num().unwrap())
+            .collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn state_machine_dwells_and_switches() {
+        let b = Behavior::StateMachine {
+            labels: vec!["driving".into(), "parking".into()],
+            mean_dwell_s: 1.0,
+        };
+        let mut s = state("st");
+        let labels: Vec<String> = (0..200)
+            .map(|i| {
+                b.value_at(i as f64 * 0.1, &mut s)
+                    .as_text()
+                    .unwrap()
+                    .to_string()
+            })
+            .collect();
+        // Both states visited over 20 s with 1 s dwell.
+        assert!(labels.iter().any(|l| l == "driving"));
+        assert!(labels.iter().any(|l| l == "parking"));
+        // Runs exist (not flipping every sample).
+        let flips = labels.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(flips < 100, "too many flips: {flips}");
+    }
+
+    #[test]
+    fn stepped_level_uses_given_levels() {
+        let levels = vec![0.0, 2.0, 4.0, 6.0];
+        let b = Behavior::SteppedLevel {
+            levels: levels.clone(),
+            mean_dwell_s: 0.5,
+        };
+        let mut s = state("lvl");
+        for i in 0..100 {
+            let v = b.value_at(i as f64 * 0.1, &mut s).as_num().unwrap();
+            assert!(levels.contains(&v));
+        }
+    }
+
+    #[test]
+    fn counter_wraps() {
+        let b = Behavior::Counter { modulo: 4 };
+        let mut s = state("cnt");
+        let vals: Vec<f64> = (0..6)
+            .map(|i| b.value_at(i as f64, &mut s).as_num().unwrap())
+            .collect();
+        assert_eq!(vals, vec![0.0, 1.0, 2.0, 3.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn textual_flag() {
+        assert!(Behavior::StateMachine {
+            labels: vec!["a".into()],
+            mean_dwell_s: 1.0
+        }
+        .is_textual());
+        assert!(!Behavior::Counter { modulo: 2 }.is_textual());
+    }
+}
+
+#[cfg(test)]
+mod phased_tests {
+    use super::*;
+
+    #[test]
+    fn phases_switch_dynamics() {
+        // City (slow walk around 30) for 10 s, then highway (walk around
+        // 120) for 10 s, repeating.
+        let b = Behavior::Phased {
+            phases: vec![
+                (
+                    10.0,
+                    Behavior::RandomWalk {
+                        start: 30.0,
+                        step: 0.5,
+                        min: 0.0,
+                        max: 60.0,
+                    },
+                ),
+                (
+                    10.0,
+                    Behavior::RandomWalk {
+                        start: 120.0,
+                        step: 0.5,
+                        min: 80.0,
+                        max: 160.0,
+                    },
+                ),
+            ],
+        };
+        let mut s = BehaviorState::new(9, "speed");
+        let city: Vec<f64> = (0..50)
+            .map(|i| b.value_at(i as f64 * 0.1, &mut s).as_num().unwrap())
+            .collect();
+        let highway: Vec<f64> = (0..50)
+            .map(|i| b.value_at(10.0 + i as f64 * 0.1, &mut s).as_num().unwrap())
+            .collect();
+        assert!(city.iter().all(|&v| v <= 60.0));
+        assert!(highway.iter().all(|&v| v >= 80.0));
+    }
+
+    #[test]
+    fn phases_cycle() {
+        let b = Behavior::Phased {
+            phases: vec![
+                (1.0, Behavior::Constant(PhysicalValue::Num(1.0))),
+                (1.0, Behavior::Constant(PhysicalValue::Num(2.0))),
+            ],
+        };
+        let mut s = BehaviorState::new(1, "x");
+        assert_eq!(b.value_at(0.5, &mut s).as_num(), Some(1.0));
+        assert_eq!(b.value_at(1.5, &mut s).as_num(), Some(2.0));
+        assert_eq!(b.value_at(2.5, &mut s).as_num(), Some(1.0)); // wrapped
+        assert_eq!(b.value_at(3.5, &mut s).as_num(), Some(2.0));
+    }
+
+    #[test]
+    fn phased_is_deterministic() {
+        let b = Behavior::Phased {
+            phases: vec![
+                (
+                    5.0,
+                    Behavior::RandomWalk {
+                        start: 0.0,
+                        step: 1.0,
+                        min: -10.0,
+                        max: 10.0,
+                    },
+                ),
+                (
+                    5.0,
+                    Behavior::StateMachine {
+                        labels: vec!["a".into(), "b".into()],
+                        mean_dwell_s: 1.0,
+                    },
+                ),
+            ],
+        };
+        let run = || {
+            let mut s = BehaviorState::new(3, "sig");
+            (0..100)
+                .map(|i| format!("{}", b.value_at(i as f64 * 0.2, &mut s)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn phased_textual_flag() {
+        let textual = Behavior::Phased {
+            phases: vec![(
+                1.0,
+                Behavior::StateMachine {
+                    labels: vec!["x".into()],
+                    mean_dwell_s: 1.0,
+                },
+            )],
+        };
+        assert!(textual.is_textual());
+        let numeric = Behavior::Phased {
+            phases: vec![(1.0, Behavior::Counter { modulo: 4 })],
+        };
+        assert!(!numeric.is_textual());
+    }
+}

@@ -1,0 +1,67 @@
+//! Error type for the simulator.
+
+use std::fmt;
+
+/// Result alias used throughout [`ivnt_simulator`](crate).
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by trace generation and (de)serialization.
+#[derive(Debug)]
+pub enum Error {
+    /// Protocol-level failure while encoding a payload.
+    Protocol(ivnt_protocol::Error),
+    /// Trace I/O failure.
+    Io(std::io::Error),
+    /// Malformed trace file.
+    Format(String),
+    /// Inconsistent simulation setup.
+    InvalidScenario(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Protocol(e) => write!(f, "protocol error: {e}"),
+            Error::Io(e) => write!(f, "trace i/o error: {e}"),
+            Error::Format(msg) => write!(f, "malformed trace: {msg}"),
+            Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Protocol(e) => Some(e),
+            Error::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ivnt_protocol::Error> for Error {
+    fn from(e: ivnt_protocol::Error) -> Self {
+        Error::Protocol(e)
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        let e = Error::Format("bad magic".into());
+        assert_eq!(e.to_string(), "malformed trace: bad magic");
+        assert!(e.source().is_none());
+        let e = Error::from(ivnt_protocol::Error::InvalidBitLength(0));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,223 @@
+//! Fault injection.
+//!
+//! The paper's downstream applications hunt for exactly these anomalies:
+//! outliers as potential errors, violations of expected cycle times, and
+//! invalid/validity-flag events. The simulator plants them at known
+//! positions so tests and experiments can assert they are found.
+
+use ivnt_protocol::signal::PhysicalValue;
+
+/// One planted fault.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Fault {
+    /// Suppresses the cyclic emissions of a message within a time window,
+    /// producing a temporal gap larger than the nominal cycle time.
+    CycleViolation {
+        /// Channel of the affected message.
+        bus: String,
+        /// Message identifier.
+        message_id: u32,
+        /// Window start (seconds).
+        from_s: f64,
+        /// Window end (seconds).
+        to_s: f64,
+    },
+    /// Forces a numeric signal to an implausible spike value for a window.
+    OutlierSpike {
+        /// Affected signal.
+        signal: String,
+        /// Window start (seconds).
+        at_s: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+        /// Spike value.
+        value: f64,
+    },
+    /// Freezes a numeric signal at a constant value for a window.
+    StuckSignal {
+        /// Affected signal.
+        signal: String,
+        /// Window start (seconds).
+        from_s: f64,
+        /// Window end (seconds).
+        to_s: f64,
+        /// Frozen value.
+        value: f64,
+    },
+    /// Forces an enumerated signal to a given label (e.g. `"invalid"`).
+    ForcedLabel {
+        /// Affected signal.
+        signal: String,
+        /// Window start (seconds).
+        at_s: f64,
+        /// Window length (seconds).
+        duration_s: f64,
+        /// Forced label.
+        label: String,
+    },
+}
+
+/// The set of faults planted into one simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// Creates an empty (fault-free) plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault.
+    pub fn with(mut self, fault: Fault) -> FaultPlan {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The planted faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` if an emission of `(bus, message_id)` at `t_s` must be
+    /// suppressed by a [`Fault::CycleViolation`].
+    pub fn suppresses(&self, bus: &str, message_id: u32, t_s: f64) -> bool {
+        self.faults.iter().any(|f| match f {
+            Fault::CycleViolation {
+                bus: b,
+                message_id: id,
+                from_s,
+                to_s,
+            } => b == bus && *id == message_id && t_s >= *from_s && t_s < *to_s,
+            _ => false,
+        })
+    }
+
+    /// Applies value-level faults to a freshly generated signal value.
+    pub fn apply(&self, signal: &str, t_s: f64, value: PhysicalValue) -> PhysicalValue {
+        let mut out = value;
+        for f in &self.faults {
+            match f {
+                Fault::OutlierSpike {
+                    signal: s,
+                    at_s,
+                    duration_s,
+                    value: v,
+                } if s == signal && t_s >= *at_s && t_s < at_s + duration_s => {
+                    out = PhysicalValue::Num(*v);
+                }
+                Fault::StuckSignal {
+                    signal: s,
+                    from_s,
+                    to_s,
+                    value: v,
+                } if s == signal && t_s >= *from_s && t_s < *to_s => {
+                    out = PhysicalValue::Num(*v);
+                }
+                Fault::ForcedLabel {
+                    signal: s,
+                    at_s,
+                    duration_s,
+                    label,
+                } if s == signal && t_s >= *at_s && t_s < at_s + duration_s => {
+                    out = PhysicalValue::Text(label.clone());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_violation_window() {
+        let plan = FaultPlan::new().with(Fault::CycleViolation {
+            bus: "FC".into(),
+            message_id: 3,
+            from_s: 1.0,
+            to_s: 2.0,
+        });
+        assert!(!plan.suppresses("FC", 3, 0.5));
+        assert!(plan.suppresses("FC", 3, 1.5));
+        assert!(!plan.suppresses("FC", 3, 2.0));
+        assert!(!plan.suppresses("FC", 4, 1.5));
+        assert!(!plan.suppresses("DC", 3, 1.5));
+    }
+
+    #[test]
+    fn spike_and_stuck_override() {
+        let plan = FaultPlan::new()
+            .with(Fault::OutlierSpike {
+                signal: "speed".into(),
+                at_s: 10.0,
+                duration_s: 0.1,
+                value: 800.0,
+            })
+            .with(Fault::StuckSignal {
+                signal: "speed".into(),
+                from_s: 20.0,
+                to_s: 25.0,
+                value: 42.0,
+            });
+        assert_eq!(
+            plan.apply("speed", 10.05, PhysicalValue::Num(50.0)),
+            PhysicalValue::Num(800.0)
+        );
+        assert_eq!(
+            plan.apply("speed", 22.0, PhysicalValue::Num(50.0)),
+            PhysicalValue::Num(42.0)
+        );
+        assert_eq!(
+            plan.apply("speed", 5.0, PhysicalValue::Num(50.0)),
+            PhysicalValue::Num(50.0)
+        );
+        assert_eq!(
+            plan.apply("rpm", 10.05, PhysicalValue::Num(1.0)),
+            PhysicalValue::Num(1.0)
+        );
+    }
+
+    #[test]
+    fn forced_label() {
+        let plan = FaultPlan::new().with(Fault::ForcedLabel {
+            signal: "belt".into(),
+            at_s: 3.0,
+            duration_s: 1.0,
+            label: "invalid".into(),
+        });
+        assert_eq!(
+            plan.apply("belt", 3.5, PhysicalValue::Text("ON".into())),
+            PhysicalValue::Text("invalid".into())
+        );
+        assert_eq!(
+            plan.apply("belt", 4.5, PhysicalValue::Text("ON".into())),
+            PhysicalValue::Text("ON".into())
+        );
+    }
+
+    #[test]
+    fn later_faults_win() {
+        let plan = FaultPlan::new()
+            .with(Fault::StuckSignal {
+                signal: "x".into(),
+                from_s: 0.0,
+                to_s: 10.0,
+                value: 1.0,
+            })
+            .with(Fault::OutlierSpike {
+                signal: "x".into(),
+                at_s: 5.0,
+                duration_s: 1.0,
+                value: 999.0,
+            });
+        assert_eq!(
+            plan.apply("x", 5.5, PhysicalValue::Num(0.0)),
+            PhysicalValue::Num(999.0)
+        );
+    }
+}

@@ -1,0 +1,594 @@
+//! Vehicle function models: realistic message/signal sets with behaviours.
+//!
+//! Each model bundles the messages a function exchanges (as they would be
+//! documented in the vehicle's communication matrix) with behaviours
+//! generating realistic trajectories. The wiper and lights models mirror
+//! the paper's running examples (Fig. 2 and Table 4).
+
+use ivnt_protocol::bits::ByteOrder;
+use ivnt_protocol::message::{MessageSpec, Protocol};
+use ivnt_protocol::signal::{PhysicalValue, SignalSpec};
+
+use crate::behavior::Behavior;
+use crate::error::Result;
+use crate::network::NetworkModel;
+
+/// A function's contribution to the network: message specs plus signal
+/// behaviours.
+#[derive(Debug, Clone)]
+pub struct FunctionModel {
+    /// Function name (for documentation/grouping).
+    pub name: String,
+    /// Messages the function sends.
+    pub messages: Vec<MessageSpec>,
+    /// Behaviour per signal name.
+    pub behaviors: Vec<(String, Behavior)>,
+}
+
+impl NetworkModel {
+    /// Installs a function model: registers its messages in the catalog and
+    /// its behaviours in the network.
+    ///
+    /// # Errors
+    ///
+    /// Propagates catalog conflicts (duplicate message ids or signal names).
+    pub fn add_function(&mut self, function: FunctionModel) -> Result<()> {
+        for m in function.messages {
+            self.catalog_mut().add_message(m)?;
+        }
+        for (signal, behavior) in function.behaviors {
+            self.set_behavior(signal, behavior);
+        }
+        Ok(())
+    }
+}
+
+/// The wiper function (the paper's Fig. 2 example): position and velocity
+/// on FA-CAN, wiper type on LIN, wiper status on SOME/IP.
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn wiper() -> Result<FunctionModel> {
+    let status = MessageSpec::builder(3, "WiperStatus", "FC", Protocol::Can)
+        .dlc(4)
+        .cycle_time_ms(100)
+        .signal(
+            SignalSpec::builder("wpos", 0, 16)
+                .factor(0.5)
+                .unit("deg")
+                .build()?,
+        )
+        .signal(SignalSpec::builder("wvel", 16, 16).unit("rad/min").build()?)
+        .build()?;
+    let kind = MessageSpec::builder(11, "WiperType", "K-LIN", Protocol::Lin)
+        .dlc(1)
+        .cycle_time_ms(1000)
+        .signal(
+            SignalSpec::builder("wtype", 0, 4)
+                .labels([(0u64, "front"), (1, "rear"), (2, "combined")])
+                .build()?,
+        )
+        .build()?;
+    let stat = MessageSpec::builder(212, "WiperService", "ETH", Protocol::SomeIp)
+        .dlc(24)
+        .cycle_time_ms(200)
+        .signal(
+            SignalSpec::builder("wstat", 80, 8)
+                .labels([
+                    (0u64, "idle"),
+                    (1, "wiping"),
+                    (2, "interval"),
+                    (3, "washing"),
+                    (255, "invalid"),
+                ])
+                .build()?,
+        )
+        .build()?;
+    Ok(FunctionModel {
+        name: "wiper".into(),
+        messages: vec![status, kind, stat],
+        behaviors: vec![
+            (
+                "wpos".into(),
+                Behavior::Sine {
+                    amplitude: 60.0,
+                    period_s: 3.0,
+                    offset: 90.0,
+                },
+            ),
+            (
+                "wvel".into(),
+                Behavior::SteppedLevel {
+                    levels: vec![0.0, 1.0, 2.0],
+                    mean_dwell_s: 15.0,
+                },
+            ),
+            (
+                "wtype".into(),
+                Behavior::Constant(PhysicalValue::Text("front".into())),
+            ),
+            (
+                "wstat".into(),
+                Behavior::StateMachine {
+                    labels: vec![
+                        "idle".into(),
+                        "wiping".into(),
+                        "interval".into(),
+                        "washing".into(),
+                    ],
+                    mean_dwell_s: 20.0,
+                },
+            ),
+        ],
+    })
+}
+
+/// The lights function (the paper's Table 4 state-representation example).
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn lights() -> Result<FunctionModel> {
+    let state = MessageSpec::builder(40, "LightState", "DC", Protocol::Can)
+        .dlc(8)
+        .cycle_time_ms(200)
+        .signal(
+            SignalSpec::builder("headlight", 0, 2)
+                .labels([(0u64, "off"), (1, "parklight on"), (2, "headlight on")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("indicatorlight", 2, 2)
+                .labels([(0u64, "off"), (1, "left on"), (2, "right on")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("brightness", 8, 8)
+                .factor(0.5)
+                .unit("%")
+                .build()?,
+        )
+        .build()?;
+    let controls = MessageSpec::builder(41, "LightControls", "DC", Protocol::Can)
+        .dlc(2)
+        .cycle_time_ms(100)
+        .signal(
+            SignalSpec::builder("levercontrol", 0, 2)
+                .labels([(0u64, "default"), (1, "pushed up"), (2, "pushed down")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("lightswitch", 2, 2)
+                .labels([(0u64, "default"), (1, "turned halfway"), (2, "turned full")])
+                .build()?,
+        )
+        .build()?;
+    Ok(FunctionModel {
+        name: "lights".into(),
+        messages: vec![state, controls],
+        behaviors: vec![
+            (
+                "headlight".into(),
+                Behavior::StateMachine {
+                    labels: vec!["off".into(), "parklight on".into(), "headlight on".into()],
+                    mean_dwell_s: 30.0,
+                },
+            ),
+            (
+                "indicatorlight".into(),
+                Behavior::StateMachine {
+                    labels: vec!["off".into(), "left on".into(), "right on".into()],
+                    mean_dwell_s: 8.0,
+                },
+            ),
+            (
+                "brightness".into(),
+                Behavior::RandomWalk {
+                    start: 60.0,
+                    step: 1.0,
+                    min: 0.0,
+                    max: 100.0,
+                },
+            ),
+            (
+                "levercontrol".into(),
+                Behavior::StateMachine {
+                    labels: vec!["default".into(), "pushed up".into(), "pushed down".into()],
+                    mean_dwell_s: 10.0,
+                },
+            ),
+            (
+                "lightswitch".into(),
+                Behavior::StateMachine {
+                    labels: vec![
+                        "default".into(),
+                        "turned halfway".into(),
+                        "turned full".into(),
+                    ],
+                    mean_dwell_s: 25.0,
+                },
+            ),
+        ],
+    })
+}
+
+/// The drivetrain: fast numeric signals (speed, rpm, pedal) plus the gear.
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn drivetrain() -> Result<FunctionModel> {
+    let dynamics = MessageSpec::builder(80, "Dynamics", "PT", Protocol::Can)
+        .dlc(8)
+        .cycle_time_ms(20)
+        .signal(
+            SignalSpec::builder("speed", 0, 16)
+                .factor(0.01)
+                .unit("km/h")
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("rpm", 16, 16)
+                .factor(0.25)
+                .unit("1/min")
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("pedal", 32, 8)
+                .factor(0.4)
+                .unit("%")
+                .build()?,
+        )
+        .build()?;
+    let gearbox = MessageSpec::builder(81, "Gearbox", "PT", Protocol::Can)
+        .dlc(1)
+        .cycle_time_ms(500)
+        .signal(SignalSpec::builder("gear", 0, 4).build()?)
+        .build()?;
+    Ok(FunctionModel {
+        name: "drivetrain".into(),
+        messages: vec![dynamics, gearbox],
+        behaviors: vec![
+            (
+                "speed".into(),
+                Behavior::RandomWalk {
+                    start: 50.0,
+                    step: 0.8,
+                    min: 0.0,
+                    max: 250.0,
+                },
+            ),
+            (
+                "rpm".into(),
+                Behavior::Sine {
+                    amplitude: 1500.0,
+                    period_s: 60.0,
+                    offset: 2500.0,
+                },
+            ),
+            (
+                "pedal".into(),
+                Behavior::RandomWalk {
+                    start: 20.0,
+                    step: 2.0,
+                    min: 0.0,
+                    max: 100.0,
+                },
+            ),
+            (
+                "gear".into(),
+                Behavior::SteppedLevel {
+                    levels: (0..=8).map(f64::from).collect(),
+                    mean_dwell_s: 12.0,
+                },
+            ),
+        ],
+    })
+}
+
+/// Body and car-state signals: belt, doors, driving state, alive counter.
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn body() -> Result<FunctionModel> {
+    let state = MessageSpec::builder(120, "CarState", "BC", Protocol::Can)
+        .dlc(4)
+        .cycle_time_ms(250)
+        .signal(
+            SignalSpec::builder("state", 0, 2)
+                .labels([(0u64, "parking"), (1, "standby"), (2, "driving")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("belt", 2, 1)
+                .labels([(0u64, "OFF"), (1, "ON")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("door_fl", 3, 1)
+                .labels([(0u64, "closed"), (1, "open")])
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("alive", 8, 8)
+                .byte_order(ByteOrder::Intel)
+                .build()?,
+        )
+        .build()?;
+    Ok(FunctionModel {
+        name: "body".into(),
+        messages: vec![state],
+        behaviors: vec![
+            (
+                "state".into(),
+                Behavior::StateMachine {
+                    labels: vec!["parking".into(), "standby".into(), "driving".into()],
+                    mean_dwell_s: 60.0,
+                },
+            ),
+            (
+                "belt".into(),
+                Behavior::StateMachine {
+                    labels: vec!["OFF".into(), "ON".into()],
+                    mean_dwell_s: 90.0,
+                },
+            ),
+            (
+                "door_fl".into(),
+                Behavior::StateMachine {
+                    labels: vec!["closed".into(), "open".into()],
+                    mean_dwell_s: 120.0,
+                },
+            ),
+            ("alive".into(), Behavior::Counter { modulo: 256 }),
+        ],
+    })
+}
+
+/// Climate signals on LIN: ordinal heat level, fan stage, cabin temperature.
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn climate() -> Result<FunctionModel> {
+    let clima = MessageSpec::builder(20, "Climate", "K-LIN", Protocol::Lin)
+        .dlc(4)
+        .cycle_time_ms(500)
+        .signal(
+            SignalSpec::builder("heat", 0, 2)
+                .labels([(0u64, "low"), (1, "medium"), (2, "high")])
+                .build()?,
+        )
+        .signal(SignalSpec::builder("fan_stage", 2, 3).build()?)
+        .signal(
+            SignalSpec::builder("temp_inside", 8, 8)
+                .factor(0.5)
+                .offset(-20.0)
+                .unit("C")
+                .build()?,
+        )
+        .build()?;
+    Ok(FunctionModel {
+        name: "climate".into(),
+        messages: vec![clima],
+        behaviors: vec![
+            (
+                "heat".into(),
+                Behavior::StateMachine {
+                    labels: vec!["low".into(), "medium".into(), "high".into()],
+                    mean_dwell_s: 45.0,
+                },
+            ),
+            (
+                "fan_stage".into(),
+                Behavior::SteppedLevel {
+                    levels: (0..=5).map(f64::from).collect(),
+                    mean_dwell_s: 30.0,
+                },
+            ),
+            (
+                "temp_inside".into(),
+                Behavior::RandomWalk {
+                    start: 21.0,
+                    step: 0.1,
+                    min: 15.0,
+                    max: 30.0,
+                },
+            ),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use ivnt_protocol::catalog::Catalog;
+
+    fn full_vehicle() -> NetworkModel {
+        let mut n = NetworkModel::new(Catalog::new());
+        for f in [wiper(), lights(), drivetrain(), body(), climate()] {
+            n.add_function(f.unwrap()).unwrap();
+        }
+        n.auto_senders();
+        n
+    }
+
+    #[test]
+    fn all_functions_install_cleanly() {
+        let n = full_vehicle();
+        assert_eq!(n.catalog().num_messages(), 9);
+        assert!(n.catalog().num_signals() >= 18);
+    }
+
+    #[test]
+    fn full_vehicle_simulates() {
+        let n = full_vehicle();
+        let trace = n.simulate(5.0, 3, &FaultPlan::new()).unwrap();
+        assert!(trace.len() > 300, "got {} records", trace.len());
+        // Every record decodes through the catalog.
+        for r in trace.iter().take(500) {
+            let spec = n.resolve(&r.bus, r.message_id).unwrap();
+            spec.decode_all(&r.payload).unwrap();
+        }
+    }
+
+    #[test]
+    fn wiper_signals_behave_physically() {
+        let n = full_vehicle();
+        let trace = n.simulate(6.0, 3, &FaultPlan::new()).unwrap();
+        let spec = n.catalog().message("FC", 3).unwrap();
+        let wpos = spec.signal("wpos").unwrap();
+        let positions: Vec<f64> = trace
+            .iter()
+            .filter(|r| r.bus.as_ref() == "FC" && r.message_id == 3)
+            .map(|r| wpos.decode(&r.payload).unwrap().as_num().unwrap())
+            .collect();
+        assert!(positions.len() > 50);
+        assert!(positions.iter().all(|&p| (0.0..=180.0).contains(&p)));
+        let spread = positions.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+            - positions.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(spread > 60.0, "wiper should sweep, spread {spread}");
+    }
+
+    #[test]
+    fn function_duplicate_rejected() {
+        let mut n = NetworkModel::new(Catalog::new());
+        n.add_function(wiper().unwrap()).unwrap();
+        assert!(n.add_function(wiper().unwrap()).is_err());
+    }
+
+    #[test]
+    fn someip_signal_decodes_with_labels() {
+        let n = full_vehicle();
+        let trace = n.simulate(2.0, 3, &FaultPlan::new()).unwrap();
+        let rec = trace
+            .iter()
+            .find(|r| r.bus.as_ref() == "ETH")
+            .expect("SOME/IP records present");
+        let spec = n.resolve("ETH", 212).unwrap();
+        let v = spec.signal("wstat").unwrap().decode(&rec.payload).unwrap();
+        assert!(v.as_text().is_some());
+    }
+}
+
+/// A camera ECU publishing lane data on CAN FD (32-byte payload): exercises
+/// the FD frame path end to end.
+///
+/// # Errors
+///
+/// Propagates spec-building failures (none for the built-in geometry).
+pub fn camera() -> Result<FunctionModel> {
+    let lanes = MessageSpec::builder(200, "LaneData", "FD", Protocol::CanFd)
+        .dlc(32)
+        .cycle_time_ms(50)
+        .signal(
+            SignalSpec::builder("lane_offset", 0, 16)
+                .raw_kind(ivnt_protocol::signal::RawKind::Signed)
+                .factor(0.001)
+                .unit("m")
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("lane_curvature", 16, 16)
+                .raw_kind(ivnt_protocol::signal::RawKind::Signed)
+                .factor(0.0001)
+                .unit("1/m")
+                .build()?,
+        )
+        .signal(
+            SignalSpec::builder("lane_quality", 32, 8)
+                .labels([(0u64, "none"), (1, "low"), (2, "medium"), (3, "high")])
+                .build()?,
+        )
+        .signal(SignalSpec::builder("lane_count", 40, 4).build()?)
+        // Wide diagnostic blob occupying the FD-only payload region.
+        .signal(SignalSpec::builder("cam_exposure", 128, 16).factor(0.01).unit("ms").build()?)
+        .build()?;
+    Ok(FunctionModel {
+        name: "camera".into(),
+        messages: vec![lanes],
+        behaviors: vec![
+            (
+                "lane_offset".into(),
+                Behavior::Sine {
+                    amplitude: 0.8,
+                    period_s: 12.0,
+                    offset: 0.0,
+                },
+            ),
+            (
+                "lane_curvature".into(),
+                Behavior::RandomWalk {
+                    start: 0.0,
+                    step: 0.002,
+                    min: -1.0,
+                    max: 1.0,
+                },
+            ),
+            (
+                "lane_quality".into(),
+                Behavior::StateMachine {
+                    labels: vec!["none".into(), "low".into(), "medium".into(), "high".into()],
+                    mean_dwell_s: 25.0,
+                },
+            ),
+            (
+                "lane_count".into(),
+                Behavior::SteppedLevel {
+                    levels: vec![1.0, 2.0, 3.0],
+                    mean_dwell_s: 40.0,
+                },
+            ),
+            (
+                "cam_exposure".into(),
+                Behavior::RandomWalk {
+                    start: 16.0,
+                    step: 0.3,
+                    min: 1.0,
+                    max: 60.0,
+                },
+            ),
+        ],
+    })
+}
+
+#[cfg(test)]
+mod camera_tests {
+    use super::*;
+    use crate::faults::FaultPlan;
+    use ivnt_protocol::catalog::Catalog;
+
+    #[test]
+    fn camera_runs_on_can_fd() {
+        let mut n = NetworkModel::new(Catalog::new());
+        n.add_function(camera().unwrap()).unwrap();
+        n.auto_senders();
+        let trace = n.simulate(2.0, 6, &FaultPlan::new()).unwrap();
+        assert!(trace.len() >= 38);
+        let rec = trace.iter().next().unwrap();
+        assert_eq!(rec.protocol, ivnt_protocol::message::Protocol::CanFd);
+        assert_eq!(rec.payload.len(), 32);
+        let spec = n.catalog().message("FD", 200).unwrap();
+        let decoded = spec.decode_all(&rec.payload).unwrap();
+        assert_eq!(decoded.len(), 5);
+    }
+
+    #[test]
+    fn signed_fd_signals_roundtrip_negative_values() {
+        let mut n = NetworkModel::new(Catalog::new());
+        n.add_function(camera().unwrap()).unwrap();
+        n.auto_senders();
+        let trace = n.simulate(15.0, 6, &FaultPlan::new()).unwrap();
+        let spec = n.catalog().message("FD", 200).unwrap();
+        let offset = spec.signal("lane_offset").unwrap();
+        let values: Vec<f64> = trace
+            .iter()
+            .map(|r| offset.decode(&r.payload).unwrap().as_num().unwrap())
+            .collect();
+        assert!(values.iter().any(|&v| v < -0.1), "sine should go negative");
+        assert!(values.iter().any(|&v| v > 0.1));
+    }
+}

@@ -1,0 +1,190 @@
+//! Structural trace statistics.
+//!
+//! The quantities the paper's Table 5 reports (example counts, densities)
+//! plus the timing characteristics the reduction exploits (cyclic repeats,
+//! inter-arrival jitter, busload per channel). Used by the CLI's `inspect`
+//! command, the bench harness and tests validating generated workloads.
+
+use std::collections::BTreeMap;
+
+use crate::trace::Trace;
+
+/// Statistics for one `(bus, message id)` stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MessageStats {
+    /// Channel identifier.
+    pub bus: String,
+    /// Message identifier.
+    pub message_id: u32,
+    /// Instances recorded.
+    pub count: usize,
+    /// Mean inter-arrival time in seconds (NaN for fewer than 2 instances).
+    pub mean_gap_s: f64,
+    /// Largest inter-arrival gap in seconds.
+    pub max_gap_s: f64,
+    /// Standard deviation of the inter-arrival time (jitter).
+    pub jitter_s: f64,
+    /// Payload bytes carried in total.
+    pub payload_bytes: usize,
+}
+
+/// Statistics for a whole trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Total records.
+    pub records: usize,
+    /// Recording duration in seconds.
+    pub duration_s: f64,
+    /// Records per second over the whole recording.
+    pub rate_hz: f64,
+    /// Total payload bytes.
+    pub payload_bytes: usize,
+    /// Distinct channels.
+    pub channels: Vec<String>,
+    /// Per-message-stream statistics, keyed by `(bus, message id)`.
+    pub messages: Vec<MessageStats>,
+}
+
+impl TraceStats {
+    /// Stats for one stream, if present.
+    pub fn message(&self, bus: &str, message_id: u32) -> Option<&MessageStats> {
+        self.messages
+            .iter()
+            .find(|m| m.bus == bus && m.message_id == message_id)
+    }
+
+    /// Streams sorted by instance count, descending (the "top talkers").
+    pub fn top_talkers(&self, n: usize) -> Vec<&MessageStats> {
+        let mut sorted: Vec<&MessageStats> = self.messages.iter().collect();
+        sorted.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.message_id.cmp(&b.message_id)));
+        sorted.truncate(n);
+        sorted
+    }
+}
+
+/// Computes [`TraceStats`] in one pass (plus one pass per stream for gaps).
+pub fn trace_stats(trace: &Trace) -> TraceStats {
+    let mut per_message: BTreeMap<(String, u32), (Vec<f64>, usize)> = BTreeMap::new();
+    let mut channels: Vec<String> = Vec::new();
+    let mut payload_bytes = 0usize;
+    for r in trace.iter() {
+        payload_bytes += r.payload.len();
+        let key = (r.bus.to_string(), r.message_id);
+        let entry = per_message.entry(key).or_default();
+        entry.0.push(r.timestamp_s());
+        entry.1 += r.payload.len();
+        if !channels.iter().any(|c| c.as_str() == r.bus.as_ref()) {
+            channels.push(r.bus.to_string());
+        }
+    }
+    channels.sort();
+
+    let messages = per_message
+        .into_iter()
+        .map(|((bus, message_id), (mut times, bytes))| {
+            times.sort_by(|a, b| a.total_cmp(b));
+            let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let (mean_gap_s, max_gap_s, jitter_s) = if gaps.is_empty() {
+                (f64::NAN, 0.0, 0.0)
+            } else {
+                let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+                let max = gaps.iter().cloned().fold(0.0f64, f64::max);
+                let var =
+                    gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>() / gaps.len() as f64;
+                (mean, max, var.sqrt())
+            };
+            MessageStats {
+                bus,
+                message_id,
+                count: times.len(),
+                mean_gap_s,
+                max_gap_s,
+                jitter_s,
+                payload_bytes: bytes,
+            }
+        })
+        .collect();
+
+    let duration_s = trace.duration_s();
+    TraceStats {
+        records: trace.len(),
+        duration_s,
+        rate_hz: if duration_s > 0.0 {
+            trace.len() as f64 / duration_s
+        } else {
+            0.0
+        },
+        payload_bytes,
+        channels,
+        messages,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::faults::{Fault, FaultPlan};
+    use crate::functions;
+    use crate::network::NetworkModel;
+    use ivnt_protocol::catalog::Catalog;
+
+    fn trace_with(faults: &FaultPlan) -> (NetworkModel, Trace) {
+        let mut n = NetworkModel::new(Catalog::new());
+        n.add_function(functions::wiper().unwrap()).unwrap();
+        n.auto_senders();
+        let t = n.simulate(10.0, 9, faults).unwrap();
+        (n, t)
+    }
+
+    #[test]
+    fn counts_and_channels() {
+        let (_, trace) = trace_with(&FaultPlan::new());
+        let stats = trace_stats(&trace);
+        assert_eq!(stats.records, trace.len());
+        assert_eq!(stats.channels, vec!["ETH", "FC", "K-LIN"]);
+        assert!(stats.rate_hz > 10.0);
+        assert!(stats.payload_bytes > 0);
+    }
+
+    #[test]
+    fn cyclic_message_has_low_jitter() {
+        let (_, trace) = trace_with(&FaultPlan::new());
+        let stats = trace_stats(&trace);
+        let wiper = stats.message("FC", 3).expect("wiper stream");
+        assert!((wiper.mean_gap_s - 0.1).abs() < 0.01, "mean {}", wiper.mean_gap_s);
+        assert!(wiper.jitter_s < 0.01, "jitter {}", wiper.jitter_s);
+    }
+
+    #[test]
+    fn cycle_violation_visible_in_max_gap() {
+        let faults = FaultPlan::new().with(Fault::CycleViolation {
+            bus: "FC".into(),
+            message_id: 3,
+            from_s: 4.0,
+            to_s: 5.0,
+        });
+        let (_, trace) = trace_with(&faults);
+        let stats = trace_stats(&trace);
+        let wiper = stats.message("FC", 3).expect("wiper stream");
+        assert!(wiper.max_gap_s > 0.9, "max gap {}", wiper.max_gap_s);
+    }
+
+    #[test]
+    fn top_talkers_ordered() {
+        let (_, trace) = trace_with(&FaultPlan::new());
+        let stats = trace_stats(&trace);
+        let top = stats.top_talkers(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].count >= top[1].count);
+        // The 100 ms wiper message talks most.
+        assert_eq!(top[0].message_id, 3);
+    }
+
+    #[test]
+    fn empty_trace() {
+        let stats = trace_stats(&Trace::new());
+        assert_eq!(stats.records, 0);
+        assert_eq!(stats.rate_hz, 0.0);
+        assert!(stats.messages.is_empty());
+    }
+}

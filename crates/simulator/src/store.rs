@@ -1,0 +1,354 @@
+//! The off-board trace repository.
+//!
+//! Fig. 1 of the paper: traces recorded on-board are stored in a common
+//! repository and analyzed off-board, journey by journey (Table 6 processes
+//! 1/7/12 journeys). This module is that repository at laptop scale: a
+//! directory of binary journey files plus a plain-text index.
+
+use std::fs::{self, File};
+use std::io::{BufReader, BufWriter};
+use std::path::{Path, PathBuf};
+
+use crate::error::{Error, Result};
+use crate::trace::Trace;
+
+/// Metadata of one stored journey.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JourneyMeta {
+    /// Journey name (unique within the store).
+    pub name: String,
+    /// Records in the trace.
+    pub records: usize,
+    /// Recording duration in seconds.
+    pub duration_s: f64,
+    /// File name within the store directory.
+    pub file: String,
+}
+
+/// A directory-backed store of journey traces with a text index.
+///
+/// # Examples
+///
+/// ```no_run
+/// use ivnt_simulator::store::TraceStore;
+/// use ivnt_simulator::trace::Trace;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut store = TraceStore::open("/tmp/fleet")?;
+/// store.add_journey("monday-commute", &Trace::new())?;
+/// for meta in store.journeys() {
+///     println!("{}: {} records", meta.name, meta.records);
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceStore {
+    root: PathBuf,
+    index: Vec<JourneyMeta>,
+}
+
+const INDEX_FILE: &str = "index.txt";
+
+impl TraceStore {
+    /// Opens (or creates) a store at `root`, loading its index.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures and malformed index lines.
+    pub fn open(root: impl AsRef<Path>) -> Result<TraceStore> {
+        let root = root.as_ref().to_path_buf();
+        fs::create_dir_all(&root)?;
+        let index_path = root.join(INDEX_FILE);
+        let mut index = Vec::new();
+        if index_path.exists() {
+            for (i, line) in fs::read_to_string(&index_path)?.lines().enumerate() {
+                if line.is_empty() {
+                    continue;
+                }
+                let mut parts = line.split('|');
+                let parse = |p: Option<&str>| {
+                    p.map(str::to_string)
+                        .ok_or_else(|| Error::Format(format!("index line {} malformed", i + 1)))
+                };
+                let name = parse(parts.next())?;
+                let records: usize = parse(parts.next())?
+                    .parse()
+                    .map_err(|_| Error::Format(format!("index line {} malformed", i + 1)))?;
+                let duration_us: u64 = parse(parts.next())?
+                    .parse()
+                    .map_err(|_| Error::Format(format!("index line {} malformed", i + 1)))?;
+                let file = parse(parts.next())?;
+                index.push(JourneyMeta {
+                    name,
+                    records,
+                    duration_s: duration_us as f64 / 1e6,
+                    file,
+                });
+            }
+        }
+        Ok(TraceStore { root, index })
+    }
+
+    /// The store's directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// All stored journeys, in insertion order.
+    pub fn journeys(&self) -> &[JourneyMeta] {
+        &self.index
+    }
+
+    /// Metadata for one journey.
+    pub fn journey(&self, name: &str) -> Option<&JourneyMeta> {
+        self.index.iter().find(|j| j.name == name)
+    }
+
+    /// Stores a journey under `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScenario`] for duplicate names or names with
+    /// path separators, and propagates I/O failures.
+    pub fn add_journey(&mut self, name: &str, trace: &Trace) -> Result<()> {
+        if name.is_empty() || name.contains('/') || name.contains('|') || name.contains('\\') {
+            return Err(Error::InvalidScenario(format!(
+                "journey name {name:?} must be non-empty without '/', '\\\\' or '|'"
+            )));
+        }
+        if self.journey(name).is_some() {
+            return Err(Error::InvalidScenario(format!(
+                "journey {name:?} already stored"
+            )));
+        }
+        let file = format!("{name}.ivnt");
+        let f = File::create(self.root.join(&file))?;
+        trace.write_to(BufWriter::new(f))?;
+        self.index.push(JourneyMeta {
+            name: name.to_string(),
+            records: trace.len(),
+            duration_s: trace.duration_s(),
+            file,
+        });
+        self.write_index()
+    }
+
+    /// Loads one journey's full trace.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScenario`] for unknown names and propagates
+    /// I/O/format failures.
+    pub fn load(&self, name: &str) -> Result<Trace> {
+        let meta = self
+            .journey(name)
+            .ok_or_else(|| Error::InvalidScenario(format!("unknown journey {name:?}")))?;
+        let f = File::open(self.root.join(&meta.file))?;
+        Trace::read_from(BufReader::new(f))
+    }
+
+    /// Loads the records of a journey within `[from_s, to_s)`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceStore::load`].
+    pub fn load_range(&self, name: &str, from_s: f64, to_s: f64) -> Result<Trace> {
+        let full = self.load(name)?;
+        Ok(full
+            .into_iter()
+            .filter(|r| {
+                let t = r.timestamp_s();
+                t >= from_s && t < to_s
+            })
+            .collect())
+    }
+
+    /// Loads several journeys merged into one time-sorted trace (the
+    /// multi-journey workloads of Table 6 — timestamps are per-journey
+    /// relative, so merging interleaves; use [`TraceStore::load`] per
+    /// journey when journeys must stay separate).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceStore::load`].
+    pub fn load_merged(&self, names: &[&str]) -> Result<Trace> {
+        let mut merged = Trace::new();
+        for name in names {
+            merged.merge(self.load(name)?);
+        }
+        Ok(merged)
+    }
+
+    /// Removes a journey and its file.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidScenario`] for unknown names and propagates
+    /// I/O failures.
+    pub fn remove(&mut self, name: &str) -> Result<()> {
+        let pos = self
+            .index
+            .iter()
+            .position(|j| j.name == name)
+            .ok_or_else(|| Error::InvalidScenario(format!("unknown journey {name:?}")))?;
+        let meta = self.index.remove(pos);
+        let path = self.root.join(&meta.file);
+        if path.exists() {
+            fs::remove_file(path)?;
+        }
+        self.write_index()
+    }
+
+    fn write_index(&self) -> Result<()> {
+        let mut text = String::new();
+        for j in &self.index {
+            text.push_str(&format!(
+                "{}|{}|{}|{}\n",
+                j.name,
+                j.records,
+                (j.duration_s * 1e6) as u64,
+                j.file
+            ));
+        }
+        fs::write(self.root.join(INDEX_FILE), text)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{generate, DataSetSpec};
+
+    fn temp_store(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "ivnt-store-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_trace(seed: u64) -> Trace {
+        generate(&DataSetSpec::syn().with_duration_s(1.0).with_seed(seed))
+            .unwrap()
+            .trace
+    }
+
+    #[test]
+    fn add_load_roundtrip() {
+        let root = temp_store("roundtrip");
+        let mut store = TraceStore::open(&root).unwrap();
+        let trace = sample_trace(1);
+        store.add_journey("j1", &trace).unwrap();
+        assert_eq!(store.journeys().len(), 1);
+        assert_eq!(store.journey("j1").unwrap().records, trace.len());
+        let loaded = store.load("j1").unwrap();
+        assert_eq!(loaded, trace);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn index_survives_reopen() {
+        let root = temp_store("reopen");
+        {
+            let mut store = TraceStore::open(&root).unwrap();
+            store.add_journey("a", &sample_trace(1)).unwrap();
+            store.add_journey("b", &sample_trace(2)).unwrap();
+        }
+        let store = TraceStore::open(&root).unwrap();
+        assert_eq!(store.journeys().len(), 2);
+        assert!(store.load("b").is_ok());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn duplicate_and_bad_names_rejected() {
+        let root = temp_store("names");
+        let mut store = TraceStore::open(&root).unwrap();
+        store.add_journey("j", &Trace::new()).unwrap();
+        assert!(store.add_journey("j", &Trace::new()).is_err());
+        assert!(store.add_journey("a/b", &Trace::new()).is_err());
+        assert!(store.add_journey("a|b", &Trace::new()).is_err());
+        assert!(store.add_journey("", &Trace::new()).is_err());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn load_range_filters_by_time() {
+        let root = temp_store("range");
+        let mut store = TraceStore::open(&root).unwrap();
+        let trace = sample_trace(3);
+        store.add_journey("j", &trace).unwrap();
+        let slice = store.load_range("j", 0.2, 0.4).unwrap();
+        assert!(!slice.is_empty());
+        assert!(slice.len() < trace.len());
+        for r in slice.iter() {
+            assert!((0.2..0.4).contains(&r.timestamp_s()));
+        }
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn merged_load_is_time_sorted() {
+        let root = temp_store("merge");
+        let mut store = TraceStore::open(&root).unwrap();
+        store.add_journey("a", &sample_trace(1)).unwrap();
+        store.add_journey("b", &sample_trace(2)).unwrap();
+        let merged = store.load_merged(&["a", "b"]).unwrap();
+        assert_eq!(
+            merged.len(),
+            store.journey("a").unwrap().records + store.journey("b").unwrap().records
+        );
+        let times: Vec<u64> = merged.iter().map(|r| r.timestamp_us).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn remove_deletes_file_and_index() {
+        let root = temp_store("remove");
+        let mut store = TraceStore::open(&root).unwrap();
+        store.add_journey("gone", &sample_trace(4)).unwrap();
+        store.remove("gone").unwrap();
+        assert!(store.journeys().is_empty());
+        assert!(store.load("gone").is_err());
+        assert!(store.remove("gone").is_err());
+        // Reopen shows the removal persisted.
+        let store = TraceStore::open(&root).unwrap();
+        assert!(store.journeys().is_empty());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn simulated_fleet_workflow() {
+        // Record journeys from different seeds into the store, then process
+        // them like Table 6's multi-journey extraction.
+        let root = temp_store("fleet");
+        let mut store = TraceStore::open(&root).unwrap();
+        for i in 0..3u64 {
+            let data = generate(
+                &DataSetSpec::syn().with_duration_s(0.5).with_seed(100 + i),
+            )
+            .unwrap();
+            store
+                .add_journey(&format!("journey-{i}"), &data.trace)
+                .unwrap();
+        }
+        assert_eq!(store.journeys().len(), 3);
+        let total: usize = store.journeys().iter().map(|j| j.records).sum();
+        assert!(total > 0);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn malformed_index_reported() {
+        let root = temp_store("badindex");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join(INDEX_FILE), "only|two\n").unwrap();
+        assert!(TraceStore::open(&root).is_err());
+        let _ = fs::remove_dir_all(root);
+    }
+
+}

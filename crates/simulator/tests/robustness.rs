@@ -1,0 +1,50 @@
+//! Robustness: hostile or corrupt input must produce errors, never panics.
+//! Recorded traces come from real vehicles through flaky capture hardware —
+//! the reader is the first line of defence.
+
+use ivnt_simulator::trace::Trace;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary bytes never panic the trace reader.
+    #[test]
+    fn trace_reader_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+        let _ = Trace::read_from(bytes.as_slice());
+    }
+
+    /// A valid stream with a flipped byte either still parses or errors —
+    /// never panics, and never produces more records than declared.
+    #[test]
+    fn corrupted_valid_stream_is_safe(
+        seed in 0u64..50,
+        flip_at in 0usize..200,
+        flip_bit in 0u8..8,
+    ) {
+        let data = ivnt_simulator::scenario::generate(
+            &ivnt_simulator::scenario::DataSetSpec::syn()
+                .with_duration_s(0.2)
+                .with_seed(seed),
+        )
+        .expect("generate");
+        let mut buf = Vec::new();
+        data.trace.write_to(&mut buf).expect("write");
+        let idx = flip_at % buf.len();
+        buf[idx] ^= 1 << flip_bit;
+        if let Ok(parsed) = Trace::read_from(buf.as_slice()) {
+            prop_assert!(parsed.len() <= data.trace.len() * 2 + 1);
+        }
+    }
+
+    /// Truncation at any point either errors or returns a prefix.
+    #[test]
+    fn truncated_stream_is_safe(cut in 0usize..2000) {
+        let data = ivnt_simulator::scenario::generate(
+            &ivnt_simulator::scenario::DataSetSpec::syn().with_duration_s(0.2),
+        )
+        .expect("generate");
+        let mut buf = Vec::new();
+        data.trace.write_to(&mut buf).expect("write");
+        let cut = cut.min(buf.len());
+        let _ = Trace::read_from(&buf[..cut]);
+    }
+}

@@ -1,0 +1,108 @@
+//! Fault diagnosis workflow: plant cycle-time violations and outliers,
+//! preprocess the trace, and isolate the faults via extensions, rare
+//! transitions and association rules (Sec. 4.4 applications).
+//!
+//! ```sh
+//! cargo run --example fault_diagnosis
+//! ```
+
+use ivnt::analysis::anomaly::{rare_values, AnomalyConfig};
+use ivnt::analysis::apriori::{mine_rules, transactions_from_state, AprioriConfig};
+use ivnt::analysis::transition::TransitionGraph;
+use ivnt::core::prelude::*;
+use ivnt::simulator::functions;
+use ivnt::simulator::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut network = NetworkModel::new(ivnt::protocol::Catalog::new());
+    network.add_function(functions::wiper()?)?;
+    network.add_function(functions::body()?)?;
+    network.auto_senders();
+
+    // Plant two faults: the wiper message skips cycles around t = 20 s and
+    // the wiper status reports "invalid" around t = 40 s.
+    let faults = FaultPlan::new()
+        .with(Fault::CycleViolation {
+            bus: "FC".into(),
+            message_id: 3,
+            from_s: 20.0,
+            to_s: 21.5,
+        })
+        .with(Fault::ForcedLabel {
+            signal: "wstat".into(),
+            at_s: 40.0,
+            duration_s: 1.0,
+            label: "invalid".into(),
+        });
+    let trace = network.simulate(60.0, 99, &faults)?;
+
+    // Domain profile: keep changes AND cycle gaps; extend with the
+    // expected-cycle-time check the paper proposes.
+    let u_rel = RuleSet::from_network(&network);
+    let profile = DomainProfile::new("fault-hunt")
+        .with_signals(["wpos", "wstat", "state", "belt"])
+        .with_constraints(vec![Constraint::global(vec![
+            ConditionFn::ValueChanged,
+            ConditionFn::GapExceeds { max_gap_s: 0.5 },
+        ])])
+        .with_extension(ExtensionRule::CycleViolation {
+            signal: "wpos".into(),
+            expected_cycle_s: 0.1,
+            factor: 3.0,
+            alias: "wposCycleViolation".into(),
+        });
+    let output = Pipeline::new(u_rel, profile)?.run(&trace)?;
+
+    // 1. Cycle violations surface as extension elements.
+    println!(
+        "cycle-violation extension fired {} time(s):",
+        output.extensions.num_rows()
+    );
+    for row in output.extensions.collect_rows()? {
+        println!(
+            "  t={:.2}s gap={:.3}s",
+            row[0].as_float().unwrap_or(f64::NAN),
+            row[3].as_float().unwrap_or(f64::NAN)
+        );
+    }
+
+    // 2. The forced "invalid" label shows up as a rare value.
+    let anomalies = rare_values(
+        &output.state,
+        "wstat",
+        &AnomalyConfig {
+            max_frequency: 0.05,
+            top_k: 5,
+        },
+    )?;
+    println!("\nrare wstat values:");
+    for a in &anomalies {
+        println!(
+            "  {:?} x{} (severity {:.2}, first at t={:.1}s)",
+            a.label, a.count, a.severity, a.first_t
+        );
+    }
+
+    // 3. Transition graph: transitions into "invalid" are rare.
+    let graph = TransitionGraph::from_column(&output.state, "wstat")?;
+    println!("\nrarest wstat transitions:");
+    for t in graph.rare_transitions().iter().take(3) {
+        println!("  {} -> {} (x{})", t.from, t.to, t.count);
+    }
+
+    // 4. Association rules over the state rows.
+    let transactions = transactions_from_state(&output.state)?;
+    let rules = mine_rules(
+        &transactions,
+        &AprioriConfig {
+            min_support: 0.2,
+            min_confidence: 0.9,
+            max_len: 2,
+        },
+    )?;
+    println!("\ntop association rules:");
+    for r in rules.iter().take(5) {
+        println!("  {r}");
+    }
+    Ok(())
+}

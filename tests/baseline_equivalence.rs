@@ -1,0 +1,87 @@
+//! Cross-validation: the distributed pipeline's interpretation must agree
+//! value-for-value with the sequential in-house tool — both implement the
+//! same protocol semantics, so any disagreement is a bug in one of them.
+
+use std::collections::HashMap;
+
+use ivnt::baseline::SequentialAnalyzer;
+use ivnt::core::prelude::*;
+use ivnt::core::tabular::columns as c;
+use ivnt::simulator::prelude::*;
+
+#[test]
+fn pipeline_and_baseline_decode_identically() {
+    let data = generate(&DataSetSpec::syn().with_target_examples(10_000)).expect("generate");
+    let signals = data.signal_names();
+    let selected: Vec<&str> = signals.iter().map(String::as_str).collect();
+
+    // Proposed: K_s straight after interpretation (no reduction).
+    let pipeline = Pipeline::new(
+        RuleSet::from_network(&data.network),
+        DomainProfile::new("equiv").with_signals(selected.clone()),
+    )
+    .expect("pipeline");
+    let ks = pipeline.extract(&data.trace).expect("extract");
+
+    // Baseline: interpret-on-ingest store.
+    let tool = SequentialAnalyzer::new(data.network.clone());
+    let ingested = tool.ingest(&data.trace);
+
+    // Group the pipeline rows per (signal, bus) in time order.
+    type Instances = Vec<(f64, Option<f64>, Option<String>)>;
+    let mut pipe: HashMap<(String, String), Instances> =
+        HashMap::new();
+    let sorted = ks
+        .sort_by(&[c::T, c::SIGNAL, c::BUS], &[true, true, true])
+        .expect("sort");
+    for row in sorted.collect_rows().expect("rows") {
+        let signal = row[1].as_str().expect("s_id").to_string();
+        let bus = row[2].as_str().expect("b_id").to_string();
+        pipe.entry((signal, bus)).or_default().push((
+            row[0].as_float().expect("t"),
+            row[3].as_float(),
+            row[4].as_str().map(str::to_string),
+        ));
+    }
+
+    let mut compared = 0usize;
+    for name in &signals {
+        let base = ingested.signal_instances(name);
+        assert!(!base.is_empty(), "baseline decoded no {name}");
+        // Group baseline instances per bus too.
+        let mut base_by_bus: HashMap<&str, Vec<&ivnt::baseline::IngestedInstance>> =
+            HashMap::new();
+        for inst in base {
+            base_by_bus.entry(inst.bus.as_str()).or_default().push(inst);
+        }
+        for (bus, instances) in base_by_bus {
+            let key = (name.clone(), bus.to_string());
+            let pipe_rows = pipe.get(&key).unwrap_or_else(|| {
+                panic!("pipeline produced no rows for {name} on {bus}")
+            });
+            assert_eq!(
+                pipe_rows.len(),
+                instances.len(),
+                "instance count differs for {name} on {bus}"
+            );
+            for (p, b) in pipe_rows.iter().zip(instances) {
+                assert!((p.0 - b.t).abs() < 1e-9, "timestamps differ for {name}");
+                match &b.value {
+                    ivnt::protocol::PhysicalValue::Num(v) => {
+                        assert_eq!(p.1, Some(*v), "numeric value differs for {name} at t={}", b.t)
+                    }
+                    ivnt::protocol::PhysicalValue::Text(s) => {
+                        assert_eq!(
+                            p.2.as_deref(),
+                            Some(s.as_str()),
+                            "label differs for {name} at t={}",
+                            b.t
+                        )
+                    }
+                }
+                compared += 1;
+            }
+        }
+    }
+    assert!(compared > 5_000, "only {compared} instances compared");
+}

@@ -1,0 +1,78 @@
+//! The paper's "preserving determinism" requirement: identical inputs and
+//! parameterization must give bit-identical results, regardless of how the
+//! work is partitioned or parallelized.
+
+use ivnt::core::prelude::*;
+use ivnt::simulator::prelude::*;
+
+fn dataset() -> GeneratedDataSet {
+    generate(&DataSetSpec::syn().with_target_examples(8_000)).expect("generate")
+}
+
+#[test]
+fn simulation_is_reproducible() {
+    let a = dataset();
+    let b = dataset();
+    assert_eq!(a.trace, b.trace);
+}
+
+#[test]
+fn pipeline_output_identical_across_partition_counts() {
+    let data = dataset();
+    let u_rel = RuleSet::from_network(&data.network);
+    let run = |parts: usize| {
+        let profile = DomainProfile::new("det").with_partitions(parts);
+        Pipeline::new(u_rel.clone(), profile)
+            .expect("pipeline")
+            .run(&data.trace)
+            .expect("run")
+    };
+    let reference = run(1);
+    for parts in [2usize, 3, 8] {
+        let out = run(parts);
+        assert_eq!(
+            reference.merged.collect_rows().expect("rows"),
+            out.merged.collect_rows().expect("rows"),
+            "merged output differs at {parts} partitions"
+        );
+        assert_eq!(
+            reference.state.collect_rows().expect("rows"),
+            out.state.collect_rows().expect("rows"),
+            "state differs at {parts} partitions"
+        );
+    }
+}
+
+#[test]
+fn pipeline_output_identical_across_worker_counts() {
+    let data = dataset();
+    let u_rel = RuleSet::from_network(&data.network);
+    let run = |workers: usize| {
+        ivnt::frame::exec::set_default_workers(workers);
+        let profile = DomainProfile::new("det").with_partitions(4);
+        let out = Pipeline::new(u_rel.clone(), profile)
+            .expect("pipeline")
+            .run(&data.trace)
+            .expect("run");
+        out.merged.collect_rows().expect("rows")
+    };
+    let serial = run(1);
+    let parallel = run(8);
+    ivnt::frame::exec::set_default_workers(4);
+    assert_eq!(serial, parallel);
+}
+
+#[test]
+fn repeated_runs_are_identical() {
+    let data = dataset();
+    let u_rel = RuleSet::from_network(&data.network);
+    let profile = DomainProfile::new("det");
+    let pipeline = Pipeline::new(u_rel, profile).expect("pipeline");
+    let a = pipeline.run(&data.trace).expect("run");
+    let b = pipeline.run(&data.trace).expect("run");
+    assert_eq!(
+        a.state.collect_rows().expect("rows"),
+        b.state.collect_rows().expect("rows")
+    );
+    assert_eq!(a.outlier_count().expect("count"), b.outlier_count().expect("count"));
+}

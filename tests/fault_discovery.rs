@@ -1,0 +1,146 @@
+//! Fault-injection integration: every planted fault class is discovered by
+//! the mechanism the paper designates for it (Sec. 4.4).
+
+use ivnt::analysis::anomaly::{rare_values, AnomalyConfig};
+use ivnt::analysis::diagnosis::diagnose_outliers;
+use ivnt::core::prelude::*;
+use ivnt::simulator::functions;
+use ivnt::simulator::prelude::*;
+
+fn network() -> NetworkModel {
+    let mut n = NetworkModel::new(ivnt::protocol::Catalog::new());
+    n.add_function(functions::wiper().expect("wiper")).expect("install");
+    n.add_function(functions::drivetrain().expect("drivetrain"))
+        .expect("install");
+    n.auto_senders();
+    n
+}
+
+#[test]
+fn outlier_spike_is_flagged_and_diagnosable() {
+    let network = network();
+    let faults = FaultPlan::new().with(Fault::OutlierSpike {
+        signal: "speed".into(),
+        at_s: 5.0,
+        duration_s: 0.05,
+        value: 640.0,
+    });
+    let trace = network.simulate(10.0, 5, &faults).expect("simulate");
+    let output = Pipeline::new(
+        RuleSet::from_network(&network),
+        DomainProfile::new("outliers").with_signals(["speed", "rpm"]),
+    )
+    .expect("pipeline")
+    .run(&trace)
+    .expect("run");
+
+    assert!(output.outlier_count().expect("count") >= 1);
+    // Diagnosis produces the event context with prior states.
+    let contexts = diagnose_outliers(&output.state, 4).expect("diagnose");
+    assert!(!contexts.is_empty());
+    let ctx = &contexts[0];
+    assert_eq!(ctx.column, "speed");
+    assert!((ctx.t - 5.0).abs() < 0.5, "outlier at t={}", ctx.t);
+    assert!(!ctx.prior_states.is_empty());
+}
+
+#[test]
+fn cycle_violation_is_preserved_and_extended() {
+    let network = network();
+    let faults = FaultPlan::new().with(Fault::CycleViolation {
+        bus: "FC".into(),
+        message_id: 3,
+        from_s: 4.0,
+        to_s: 5.0,
+    });
+    let trace = network.simulate(10.0, 5, &faults).expect("simulate");
+    let output = Pipeline::new(
+        RuleSet::from_network(&network),
+        DomainProfile::new("cycles")
+            .with_signals(["wpos"])
+            .with_constraints(vec![Constraint::global(vec![
+                ConditionFn::ValueChanged,
+                ConditionFn::GapExceeds { max_gap_s: 0.4 },
+            ])])
+            .with_extension(ExtensionRule::CycleViolation {
+                signal: "wpos".into(),
+                expected_cycle_s: 0.1,
+                factor: 4.0,
+                alias: "wposCycleViolation".into(),
+            }),
+    )
+    .expect("pipeline")
+    .run(&trace)
+    .expect("run");
+
+    // The violation appears as an extension element near t = 5 s.
+    let rows = output.extensions.collect_rows().expect("rows");
+    assert!(!rows.is_empty(), "cycle violation not detected");
+    let t = rows[0][0].as_float().expect("t");
+    assert!((4.0..6.0).contains(&t), "violation at t={t}");
+    let gap = rows[0][3].as_float().expect("gap");
+    assert!(gap >= 0.9, "gap {gap} should reflect the 1 s silence");
+}
+
+#[test]
+fn forced_invalid_label_surfaces_as_rare_value() {
+    let network = network();
+    let faults = FaultPlan::new().with(Fault::ForcedLabel {
+        signal: "wstat".into(),
+        at_s: 8.0,
+        duration_s: 0.6,
+        label: "invalid".into(),
+    });
+    // A long recording so the dwelling status signal changes often enough
+    // for the single forced label to be *rare* among the kept changes.
+    let trace = network.simulate(240.0, 5, &faults).expect("simulate");
+    let output = Pipeline::new(
+        RuleSet::from_network(&network),
+        DomainProfile::new("validity").with_signals(["wstat"]),
+    )
+    .expect("pipeline")
+    .run(&trace)
+    .expect("run");
+
+    let anomalies = rare_values(
+        &output.state,
+        "wstat",
+        &AnomalyConfig {
+            max_frequency: 0.25,
+            top_k: 10,
+        },
+    )
+    .expect("anomalies");
+    assert!(
+        anomalies.iter().any(|a| a.label == "invalid"),
+        "invalid label not surfaced: {anomalies:?}"
+    );
+}
+
+#[test]
+fn stuck_signal_changes_reduction_profile() {
+    let network = network();
+    let faults = FaultPlan::new().with(Fault::StuckSignal {
+        signal: "speed".into(),
+        from_s: 2.0,
+        to_s: 9.0,
+        value: 77.0,
+    });
+    let clean = network
+        .simulate(10.0, 5, &FaultPlan::new())
+        .expect("simulate");
+    let stuck = network.simulate(10.0, 5, &faults).expect("simulate");
+    let pipeline = Pipeline::new(
+        RuleSet::from_network(&network),
+        DomainProfile::new("stuck").with_signals(["speed"]),
+    )
+    .expect("pipeline");
+    let clean_rows = pipeline.run(&clean).expect("run").signals[0].rows_reduced;
+    let stuck_rows = pipeline.run(&stuck).expect("run").signals[0].rows_reduced;
+    // A stuck signal repeats its value, so unchanged-repeat removal keeps
+    // far fewer rows.
+    assert!(
+        (stuck_rows as f64) < 0.6 * clean_rows as f64,
+        "stuck {stuck_rows} vs clean {clean_rows}"
+    );
+}

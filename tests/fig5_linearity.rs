@@ -1,0 +1,39 @@
+//! The Fig. 5 claim as an executable assertion: extraction time is O(n) in
+//! the number of examples. A very loose per-row-cost band is asserted — it
+//! would catch an accidental O(n²) operator (whose per-row cost would grow
+//! ~8× over an 8× size range) without flaking on machine noise.
+
+use std::time::Instant;
+
+use ivnt_bench::domain_pipeline;
+use ivnt_simulator::prelude::*;
+
+#[test]
+fn extraction_scales_linearly() {
+    let data = generate(&DataSetSpec::syn().with_target_examples(60_000)).expect("generate");
+    let signals = data.signal_names();
+    let pipeline = domain_pipeline(&data, &signals).expect("pipeline");
+
+    let time_per_row = |n: usize| -> f64 {
+        let prefix = data.trace.prefix(n);
+        // Warm up once, then take the median of three runs.
+        pipeline.extract_reduced(&prefix).expect("extract");
+        let mut samples: Vec<f64> = (0..3)
+            .map(|_| {
+                let t0 = Instant::now();
+                pipeline.extract_reduced(&prefix).expect("extract");
+                t0.elapsed().as_secs_f64() / n as f64
+            })
+            .collect();
+        samples.sort_by(|a, b| a.total_cmp(b));
+        samples[1]
+    };
+
+    let small = time_per_row(data.trace.len() / 8);
+    let large = time_per_row(data.trace.len());
+    let ratio = large / small.max(1e-12);
+    assert!(
+        ratio < 4.0,
+        "per-row cost grew {ratio:.2}x over an 8x size range — super-linear scaling"
+    );
+}

@@ -1,0 +1,81 @@
+//! The Table 5 shape as an executable assertion: each generated data set,
+//! run through the real classifier (with the data sets' comparability
+//! hints), must reproduce the paper's per-branch signal counts.
+
+use ivnt::core::classify::classify;
+use ivnt::core::prelude::*;
+use ivnt::simulator::prelude::*;
+
+fn measure(spec: DataSetSpec) -> (usize, usize, usize) {
+    // Long enough that every stepped/dwelling signal visits its full value
+    // range; at very short durations slow β signals degenerate to binary.
+    let data = generate(&spec.with_target_examples(60_000)).expect("generate");
+    let mut u_rel = RuleSet::from_network(&data.network);
+    for (signal, (_, comparable)) in &data.signal_classes {
+        u_rel
+            .set_comparable(signal, *comparable)
+            .expect("hint applies");
+    }
+    let pipeline =
+        Pipeline::new(u_rel, DomainProfile::new("table5-test")).expect("pipeline");
+    let reduced = pipeline.extract_reduced(&data.trace).expect("extract");
+    let mut counts = (0usize, 0usize, 0usize);
+    for (seq, _, _) in &reduced {
+        let comparable = pipeline
+            .u_comb()
+            .rules()
+            .iter()
+            .find(|r| r.signal == seq.signal)
+            .map(|r| r.info.comparable)
+            .unwrap_or(true);
+        let class = classify(seq, comparable, &pipeline.profile().classify).expect("classify");
+        match class.branch {
+            Branch::Alpha => counts.0 += 1,
+            Branch::Beta => counts.1 += 1,
+            Branch::Gamma => counts.2 += 1,
+        }
+    }
+    counts
+}
+
+#[test]
+fn syn_reproduces_table5_branches() {
+    // Paper Table 5, SYN column: 6 / 4 / 3.
+    assert_eq!(measure(DataSetSpec::syn()), (6, 4, 3));
+}
+
+#[test]
+fn lig_reproduces_table5_branches() {
+    // Paper Table 5, LIG column: 27 / 71 / 82.
+    assert_eq!(measure(DataSetSpec::lig()), (27, 71, 82));
+}
+
+#[test]
+fn sta_reproduces_table5_branches() {
+    // Paper Table 5, STA column: 6 / 1 / 71.
+    assert_eq!(measure(DataSetSpec::sta()), (6, 1, 71));
+}
+
+#[test]
+fn signals_per_message_density_close_to_paper() {
+    for (spec, expected) in [
+        (DataSetSpec::syn(), 1.47),
+        (DataSetSpec::lig(), 5.11),
+        (DataSetSpec::sta(), 3.66),
+    ] {
+        let data = generate(&spec.with_target_examples(5_000)).expect("generate");
+        let signals: usize = data
+            .network
+            .catalog()
+            .messages()
+            .iter()
+            .map(|m| m.signals().len())
+            .sum();
+        let density = signals as f64 / data.network.catalog().num_messages() as f64;
+        assert!(
+            (density - expected).abs() < 0.9,
+            "{}: density {density} vs paper {expected}",
+            data.spec.name
+        );
+    }
+}
