@@ -117,11 +117,7 @@ pub fn outlier_cells(state: &DataFrame) -> Result<Vec<(f64, String, String)>> {
     Ok(out)
 }
 
-fn rank(
-    counts: HashMap<String, (u64, f64)>,
-    total: u64,
-    config: &AnomalyConfig,
-) -> Vec<Anomaly> {
+fn rank(counts: HashMap<String, (u64, f64)>, total: u64, config: &AnomalyConfig) -> Vec<Anomaly> {
     if total == 0 {
         return Vec::new();
     }
@@ -248,6 +244,8 @@ mod tests {
         assert!(rare_values(&df, "s", &AnomalyConfig::default())
             .unwrap()
             .is_empty());
-        assert!(rare_states(&df, &AnomalyConfig::default()).unwrap().is_empty());
+        assert!(rare_states(&df, &AnomalyConfig::default())
+            .unwrap()
+            .is_empty());
     }
 }

@@ -92,9 +92,7 @@ pub fn transactions_from_state(state: &DataFrame) -> Result<Vec<BTreeSet<Item>>>
             r.into_iter()
                 .skip(1)
                 .zip(&names)
-                .filter_map(|(v, name)| {
-                    v.as_str().map(|s| (name.clone(), s.to_string()))
-                })
+                .filter_map(|(v, name)| v.as_str().map(|s| (name.clone(), s.to_string())))
                 .collect()
         })
         .collect())
@@ -127,9 +125,7 @@ pub fn frequent_itemsets(
     let mut counts: HashMap<BTreeSet<Item>, usize> = HashMap::new();
     for t in transactions {
         for item in t {
-            counts
-                .entry(BTreeSet::from([item.clone()]))
-                .or_default();
+            counts.entry(BTreeSet::from([item.clone()])).or_default();
         }
     }
     for t in transactions {
@@ -244,8 +240,7 @@ pub fn mine_rules(
                 .filter(|(i, _)| mask & (1 << i) != 0)
                 .map(|(_, it)| it.clone())
                 .collect();
-            let consequent: BTreeSet<Item> =
-                itemset.difference(&antecedent).cloned().collect();
+            let consequent: BTreeSet<Item> = itemset.difference(&antecedent).cloned().collect();
             let Some(&ante_sup) = support.get(&antecedent) else {
                 continue;
             };
@@ -284,10 +279,22 @@ mod tests {
     fn transactions() -> Vec<BTreeSet<Item>> {
         // wiper=on always co-occurs with temp=cold; lights=on is mixed.
         vec![
-            BTreeSet::from([item("wiper", "on"), item("temp", "cold"), item("lights", "on")]),
+            BTreeSet::from([
+                item("wiper", "on"),
+                item("temp", "cold"),
+                item("lights", "on"),
+            ]),
             BTreeSet::from([item("wiper", "on"), item("temp", "cold")]),
-            BTreeSet::from([item("wiper", "off"), item("temp", "warm"), item("lights", "on")]),
-            BTreeSet::from([item("wiper", "on"), item("temp", "cold"), item("lights", "off")]),
+            BTreeSet::from([
+                item("wiper", "off"),
+                item("temp", "warm"),
+                item("lights", "on"),
+            ]),
+            BTreeSet::from([
+                item("wiper", "on"),
+                item("temp", "cold"),
+                item("lights", "off"),
+            ]),
             BTreeSet::from([item("wiper", "off"), item("temp", "cold")]),
         ]
     }

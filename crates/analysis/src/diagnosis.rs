@@ -83,7 +83,10 @@ pub fn render_report(ctx: &EventContext) -> String {
     for (name, cell) in &ctx.state_at {
         out.push_str(&format!("  {name} = {cell}\n"));
     }
-    out.push_str(&format!("prior chain ({} states):\n", ctx.prior_states.len()));
+    out.push_str(&format!(
+        "prior chain ({} states):\n",
+        ctx.prior_states.len()
+    ));
     for (i, s) in ctx.prior_states.iter().enumerate() {
         let brief = s
             .iter()
@@ -110,8 +113,16 @@ mod tests {
         DataFrame::from_rows(
             schema,
             vec![
-                vec![Value::Float(1.0), Value::from("(b,steady)"), Value::from("off")],
-                vec![Value::Float(2.0), Value::from("(c,increasing)"), Value::from("off")],
+                vec![
+                    Value::Float(1.0),
+                    Value::from("(b,steady)"),
+                    Value::from("off"),
+                ],
+                vec![
+                    Value::Float(2.0),
+                    Value::from("(c,increasing)"),
+                    Value::from("off"),
+                ],
                 vec![
                     Value::Float(3.0),
                     Value::from("outlier v = 800"),
@@ -146,11 +157,8 @@ mod tests {
         let schema = Schema::from_pairs([("t", DataType::Float), ("s", DataType::Str)])
             .unwrap()
             .into_shared();
-        let df = DataFrame::from_rows(
-            schema,
-            vec![vec![Value::Float(0.0), Value::from("fine")]],
-        )
-        .unwrap();
+        let df = DataFrame::from_rows(schema, vec![vec![Value::Float(0.0), Value::from("fine")]])
+            .unwrap();
         assert!(diagnose_outliers(&df, 3).unwrap().is_empty());
     }
 

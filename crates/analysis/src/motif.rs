@@ -58,7 +58,11 @@ pub fn count_motifs(state: &DataFrame, column: &str, n: usize) -> Result<Vec<Mot
             frequency: count as f64 / windows.max(1) as f64,
         })
         .collect();
-    motifs.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.symbols.cmp(&b.symbols)));
+    motifs.sort_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then_with(|| a.symbols.cmp(&b.symbols))
+    });
     Ok(motifs)
 }
 

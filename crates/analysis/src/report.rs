@@ -111,10 +111,7 @@ pub fn render_report(
     for ctx in outliers.iter().take(10) {
         let _ = writeln!(md, "- t={:.3}s `{}`: {}", ctx.t, ctx.column, ctx.cell);
         if let Some(prior) = ctx.prior_states.last() {
-            let brief: Vec<String> = prior
-                .iter()
-                .map(|(n, v)| format!("{n}={v}"))
-                .collect();
+            let brief: Vec<String> = prior.iter().map(|(n, v)| format!("{n}={v}")).collect();
             let _ = writeln!(md, "  - preceding state: {}", brief.join(", "));
         }
     }

@@ -90,10 +90,7 @@ impl IngestedTrace {
     /// Extracts the requested signals from the store — the cheap second
     /// phase of the in-house workflow. Returns `(signal, instances)` in
     /// request order.
-    pub fn extract<'a>(
-        &'a self,
-        signals: &[&str],
-    ) -> Vec<(&'a str, &'a [IngestedInstance])> {
+    pub fn extract<'a>(&'a self, signals: &[&str]) -> Vec<(&'a str, &'a [IngestedInstance])> {
         signals
             .iter()
             .filter_map(|&s| {
@@ -165,11 +162,7 @@ impl SequentialAnalyzer {
     /// count — the quantity Table 6's "Extracted rows" column reports.
     pub fn extract_signals(&self, trace: &Trace, signals: &[&str]) -> usize {
         let ingested = self.ingest(trace);
-        ingested
-            .extract(signals)
-            .iter()
-            .map(|(_, v)| v.len())
-            .sum()
+        ingested.extract(signals).iter().map(|(_, v)| v.len()).sum()
     }
 }
 

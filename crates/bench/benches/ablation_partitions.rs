@@ -15,8 +15,9 @@ fn partitions(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_partitions");
     group.sample_size(10);
     for parts in [1usize, 2, 4, 8] {
-        ivnt_frame::exec::set_default_workers(parts);
-        let profile = DomainProfile::new("sweep").with_partitions(parts);
+        let profile = DomainProfile::new("sweep")
+            .with_partitions(parts)
+            .with_workers(parts);
         let pipeline = Pipeline::new(u_rel.clone(), profile).expect("pipeline");
         group.bench_with_input(
             BenchmarkId::from_parameter(parts),

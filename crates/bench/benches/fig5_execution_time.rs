@@ -19,13 +19,9 @@ fn fig5(c: &mut Criterion) {
             let n = data.trace.len() / frac;
             let prefix = data.trace.prefix(n);
             group.throughput(Throughput::Elements(n as u64));
-            group.bench_with_input(
-                BenchmarkId::new(name.clone(), n),
-                &prefix,
-                |b, prefix| {
-                    b.iter(|| pipeline.extract_reduced(prefix).expect("extract"));
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(name.clone(), n), &prefix, |b, prefix| {
+                b.iter(|| pipeline.extract_reduced(prefix).expect("extract"));
+            });
         }
     }
     group.finish();

@@ -6,16 +6,33 @@ use ivnt_simulator::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = generate(&DataSetSpec::syn().with_target_examples(48_000))?;
-    let pipeline = Pipeline::new(ivnt_bench::u_rel_with_hints(&data), DomainProfile::new("probe"))?;
+    let pipeline = Pipeline::new(
+        ivnt_bench::u_rel_with_hints(&data),
+        DomainProfile::new("probe"),
+    )?;
     let reduced = pipeline.extract_reduced(&data.trace)?;
     for (seq, _, _) in &reduced {
         let hint = &data.signal_classes[&seq.signal];
-        let comparable = pipeline.u_comb().rules().iter()
-            .find(|r| r.signal == seq.signal).map(|r| r.info.comparable).unwrap_or(true);
+        let comparable = pipeline
+            .u_comb()
+            .rules()
+            .iter()
+            .find(|r| r.signal == seq.signal)
+            .map(|r| r.info.comparable)
+            .unwrap_or(true);
         let c = ivnt_core::classify::classify(seq, comparable, &pipeline.profile().classify)?;
-        println!("{}: hint={:?} got={:?} z=({:?},{:?},n={},val={}) rate={:.3}Hz rows={}",
-            seq.signal, hint.0, c.branch, c.criteria.z_type, c.criteria.z_rate,
-            c.criteria.z_num, c.criteria.z_val, c.criteria.measured_rate_hz, seq.len());
+        println!(
+            "{}: hint={:?} got={:?} z=({:?},{:?},n={},val={}) rate={:.3}Hz rows={}",
+            seq.signal,
+            hint.0,
+            c.branch,
+            c.criteria.z_type,
+            c.criteria.z_rate,
+            c.criteria.z_num,
+            c.criteria.z_val,
+            c.criteria.measured_rate_hz,
+            seq.len()
+        );
     }
     Ok(())
 }

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let steps = 8;
 
     println!("Fig. 5: execution time after interpretation and reduction (lines 3-11)");
-    println!("{:<6} {:>12} {:>12} {:>14} {:>12}", "set", "examples", "kept rows", "time [ms]", "ms/10k rows");
+    println!(
+        "{:<6} {:>12} {:>12} {:>14} {:>12}",
+        "set", "examples", "kept rows", "time [ms]", "ms/10k rows"
+    );
 
     for spec in [DataSetSpec::syn(), DataSetSpec::lig(), DataSetSpec::sta()] {
         let data = generate(&spec.with_target_examples(max_examples))?;

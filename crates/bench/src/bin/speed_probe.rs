@@ -1,33 +1,248 @@
-//! Diagnostic: one-shot proposed-vs-baseline timing on the LIG workload
-//! (quick crossover check; the reportable numbers come from `table6`).
+//! Machine-readable interpretation throughput probe.
+//!
+//! Measures rows/second on the Table 6 vehicle workload for each stage of
+//! the interpretation path — preselection, the fused kernel, the reference
+//! relational path, and the full 9-signal `extract_reduced` — and writes
+//! `BENCH_interpret.json` (plus a human-readable summary on stdout). CI and
+//! PR descriptions quote this file; `IVNT_BENCH_SCALE` scales the workload.
+//!
+//! When `BENCH_seed.json` exists (produced by `scripts/bench_seed_baseline.sh`,
+//! which rebuilds the growth-seed implementation from git on this machine and
+//! runs it on the bit-identical workload), its timings are merged in and a
+//! `fused_vs_seed_speedup` figure is emitted — the honest before/after number
+//! for this interpretation path.
 
 use std::time::Instant;
+
+use ivnt_bench::{covered_fraction, scale, select_signals_for_fraction, u_rel_with_hints};
+use ivnt_core::interpret::{interpret, interpret_fused, preselect};
 use ivnt_core::prelude::*;
-use ivnt_baseline::SequentialAnalyzer;
-use ivnt_simulator::prelude::*;
+use ivnt_core::tabular::trace_to_frame;
+
+/// Median wall-clock seconds over `runs` executions (after one warmup).
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// Pulls `"key": <number>` out of `text` after the first occurrence of
+/// `anchor` — enough JSON "parsing" for the flat file `seed_probe` writes.
+fn json_f64_after(text: &str, anchor: &str, key: &str) -> Option<f64> {
+    let rest = &text[text.find(anchor)?..];
+    let rest = &rest[rest.find(&format!("\"{key}\""))?..];
+    let rest = rest.split_once(':')?.1;
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || ".-+eE ".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+struct Measurement {
+    name: &'static str,
+    secs: f64,
+    rows_in: usize,
+    rows_out: usize,
+}
+
+impl Measurement {
+    fn rows_per_sec(&self) -> f64 {
+        self.rows_in as f64 / self.secs
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\n",
+                "      \"name\": \"{}\",\n",
+                "      \"seconds\": {:.6},\n",
+                "      \"rows_in\": {},\n",
+                "      \"rows_out\": {},\n",
+                "      \"rows_per_sec\": {:.1}\n",
+                "    }}"
+            ),
+            self.name,
+            self.secs,
+            self.rows_in,
+            self.rows_out,
+            self.rows_per_sec()
+        )
+    }
+}
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let spec = DataSetSpec::lig().with_target_examples(120_000);
-    let data = generate(&spec)?;
-    println!("trace rows: {}", data.trace.len());
-    let names = data.signal_names();
-    let u_rel = RuleSet::from_network(&data.network);
+    let target = (120_000.0 * scale()) as usize;
+    let runs = 5;
+    let data = ivnt_bench::vehicle_journey(target, 0)?;
+    let trace_rows = data.trace.len();
+    let u_rel = u_rel_with_hints(&data);
+    let signals = select_signals_for_fraction(&data, 9, 0.027);
+    let fraction = covered_fraction(&data, &signals);
+    let selected: Vec<&str> = signals.iter().map(String::as_str).collect();
+    let u_comb = u_rel.select(&selected)?;
+    let partitions = ivnt_frame::exec::default_workers();
+    let raw = trace_to_frame(&data.trace, partitions)?;
 
-    for n_sig in [9usize, 89] {
-        let selected: Vec<&str> = names.iter().take(n_sig).map(String::as_str).collect();
-        let profile = DomainProfile::new("t6").with_signals(selected.clone());
-        let p = Pipeline::new(u_rel.clone(), profile)?;
-        let t0 = Instant::now();
-        let reduced = p.extract_reduced(&data.trace)?;
-        let kept: usize = reduced.iter().map(|(s,_,_)| s.len()).sum();
-        let t_prop = t0.elapsed();
+    eprintln!(
+        "workload: {trace_rows} rows, 9/{} signals ({:.1}% of traffic), \
+         {partitions} partitions",
+        u_rel.len(),
+        fraction * 100.0
+    );
 
-        let tool = SequentialAnalyzer::new(data.network.clone());
-        let t0 = Instant::now();
-        let rows = tool.extract_signals(&data.trace, &selected);
-        let t_base = t0.elapsed();
-        println!("{n_sig} signals: proposed {:?} ({kept} rows) vs baseline {:?} ({rows} rows) speedup {:.2}x",
-            t_prop, t_base, t_base.as_secs_f64()/t_prop.as_secs_f64());
+    let mut measurements = Vec::new();
+
+    let pre = preselect(&raw, &u_comb)?;
+    let secs = median_secs(runs, || {
+        preselect(&raw, &u_comb).expect("preselect");
+    });
+    measurements.push(Measurement {
+        name: "preselect",
+        secs,
+        rows_in: trace_rows,
+        rows_out: pre.num_rows(),
+    });
+
+    let fused = interpret_fused(&raw, &u_comb)?;
+    let secs = median_secs(runs, || {
+        interpret_fused(&raw, &u_comb).expect("interpret_fused");
+    });
+    measurements.push(Measurement {
+        name: "interpret_fused",
+        secs,
+        rows_in: trace_rows,
+        rows_out: fused.num_rows(),
+    });
+
+    let reference = interpret(&pre, &u_comb)?;
+    assert_eq!(
+        fused.collect_rows()?,
+        reference.collect_rows()?,
+        "fused and reference paths diverged"
+    );
+    let secs = median_secs(runs, || {
+        let pre = preselect(&raw, &u_comb).expect("preselect");
+        interpret(&pre, &u_comb).expect("interpret");
+    });
+    measurements.push(Measurement {
+        name: "interpret_reference",
+        secs,
+        rows_in: trace_rows,
+        rows_out: reference.num_rows(),
+    });
+
+    let profile = DomainProfile::new("table6").with_signals(selected.clone());
+    let pipeline = Pipeline::new(u_rel.clone(), profile)?;
+    let kept: usize = pipeline
+        .extract_reduced(&data.trace)?
+        .iter()
+        .map(|(s, _, _)| s.len())
+        .sum();
+    let secs = median_secs(runs, || {
+        pipeline
+            .extract_reduced(&data.trace)
+            .expect("extract_reduced");
+    });
+    measurements.push(Measurement {
+        name: "table6_9_signals",
+        secs,
+        rows_in: trace_rows,
+        rows_out: kept,
+    });
+
+    let by_name = |name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.name == name)
+            .expect("measurement present")
+    };
+    let speedup = by_name("interpret_reference").secs / by_name("interpret_fused").secs;
+
+    // Seed comparison, when scripts/bench_seed_baseline.sh has run here.
+    let seed = std::fs::read_to_string("BENCH_seed.json")
+        .ok()
+        .and_then(|text| {
+            let pre = json_f64_after(&text, "seed_preselect", "seconds")?;
+            let interp = json_f64_after(&text, "seed_interpret", "seconds")?;
+            let table6 = json_f64_after(&text, "seed_table6_9_signals", "seconds")?;
+            Some((pre, interp, table6))
+        });
+    let seed_block = match seed {
+        Some((pre, interp, table6)) => format!(
+            concat!(
+                "  \"seed_baseline\": {{\n",
+                "    \"source\": \"scripts/bench_seed_baseline.sh\",\n",
+                "    \"seed_preselect_secs\": {:.6},\n",
+                "    \"seed_interpret_secs\": {:.6},\n",
+                "    \"seed_table6_9_signals_secs\": {:.6}\n",
+                "  }},\n",
+                "  \"fused_vs_seed_speedup\": {:.2},\n"
+            ),
+            pre,
+            interp,
+            table6,
+            interp / by_name("interpret_fused").secs
+        ),
+        None => String::new(),
+    };
+
+    let entries: Vec<String> = measurements.iter().map(Measurement::to_json).collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"trace_rows\": {},\n",
+            "    \"signals_selected\": 9,\n",
+            "    \"signals_total\": {},\n",
+            "    \"traffic_fraction\": {:.4},\n",
+            "    \"partitions\": {},\n",
+            "    \"runs\": {}\n",
+            "  }},\n",
+            "  \"measurements\": [\n{}\n  ],\n",
+            "{}",
+            "  \"fused_vs_reference_speedup\": {:.2}\n",
+            "}}\n"
+        ),
+        trace_rows,
+        u_rel.len(),
+        fraction,
+        partitions,
+        runs,
+        entries.join(",\n"),
+        seed_block,
+        speedup
+    );
+    std::fs::write("BENCH_interpret.json", &json)?;
+
+    for m in &measurements {
+        println!(
+            "{:<22} {:>9.1} ms  {:>12.0} rows/s  ({} -> {} rows)",
+            m.name,
+            m.secs * 1e3,
+            m.rows_per_sec(),
+            m.rows_in,
+            m.rows_out
+        );
     }
+    println!("fused vs reference speedup: {speedup:.2}x");
+    match seed {
+        Some((_, interp, _)) => println!(
+            "fused vs seed speedup:      {:.2}x (seed interpret {:.1} ms)",
+            interp / by_name("interpret_fused").secs,
+            interp * 1e3
+        ),
+        None => println!(
+            "no BENCH_seed.json — run scripts/bench_seed_baseline.sh for the \
+             seed comparison"
+        ),
+    }
+    println!("wrote BENCH_interpret.json");
     Ok(())
 }

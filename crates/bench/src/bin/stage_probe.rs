@@ -1,10 +1,10 @@
 //! Diagnostic: per-stage wall times of Algorithm 1 lines 3-11 on the LIG
 //! workload (used to find pipeline hot spots).
 
-use std::time::Instant;
 use ivnt_core::prelude::*;
 use ivnt_core::{dedup, interpret, reduce, split, tabular};
 use ivnt_simulator::prelude::*;
+use std::time::Instant;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = DataSetSpec::lig().with_target_examples(120_000);
@@ -31,7 +31,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ds = dedup::deduplicate_all(&seqs, p.u_comb())?;
     println!("dedup:      {:?}", t0.elapsed());
     let t0 = Instant::now();
-    let reduced: Vec<_> = ds.iter().map(|d| reduce::apply_constraints(&d.representative, &p.profile().constraints)).collect::<Result<Vec<_>,_>>()?;
-    println!("reduce:     {:?} ({} rows kept)", t0.elapsed(), reduced.iter().map(|s| s.len()).sum::<usize>());
+    let reduced: Vec<_> = ds
+        .iter()
+        .map(|d| reduce::apply_constraints(&d.representative, &p.profile().constraints))
+        .collect::<Result<Vec<_>, _>>()?;
+    println!(
+        "reduce:     {:?} ({} rows kept)",
+        t0.elapsed(),
+        reduced.iter().map(|s| s.len()).sum::<usize>()
+    );
     Ok(())
 }

@@ -76,7 +76,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     println!("\nTable 5: Statistics of our three data sets (measured)");
-    println!("{:<28} {:>10} {:>10} {:>10}", "", rows[0].name, rows[1].name, rows[2].name);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "", rows[0].name, rows[1].name, rows[2].name
+    );
     let line = |label: &str, f: &dyn Fn(&Row) -> String| {
         println!(
             "{label:<28} {:>10} {:>10} {:>10}",
@@ -90,14 +93,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     line("# signal types - beta", &|r| r.beta.to_string());
     line("# signal types - gamma", &|r| r.gamma.to_string());
     line("# examples", &|r| r.examples.to_string());
-    line("avg signal types / message", &|r| format!("{:.2}", r.density));
+    line("avg signal types / message", &|r| {
+        format!("{:.2}", r.density)
+    });
 
     println!("\npaper reference (20 h of recording; branch counts from Table 5):");
     println!("{:<28} {:>10} {:>10} {:>10}", "", "SYN", "LIG", "STA");
     println!("{:<28} {:>10} {:>10} {:>10}", "# signal types", 13, 180, 78);
-    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - alpha", 6, 27, 6);
-    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - beta", 4, 71, 1);
-    println!("{:<28} {:>10} {:>10} {:>10}", "# signal types - gamma", 3, 82, 71);
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "# signal types - alpha", 6, 27, 6
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "# signal types - beta", 4, 71, 1
+    );
+    println!(
+        "{:<28} {:>10} {:>10} {:>10}",
+        "# signal types - gamma", 3, 82, 71
+    );
     println!(
         "{:<28} {:>10} {:>10} {:>10}",
         "# examples", "13197983", "12306327", "4807891"

@@ -17,7 +17,9 @@
 use std::time::Instant;
 
 use ivnt_baseline::SequentialAnalyzer;
-use ivnt_bench::{covered_fraction, domain_pipeline, scale, select_signals_for_fraction, vehicle_journey};
+use ivnt_bench::{
+    covered_fraction, domain_pipeline, scale, select_signals_for_fraction, vehicle_journey,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let per_journey = (40_000.0 * scale()) as usize;
@@ -42,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Table 6: signal extraction times (proposed pipeline vs in-house tool)");
     println!(
         "{:>9} {:>12} {:>15} {:>10} {:>15} {:>15} {:>9}",
-        "journeys", "trace rows", "extracted rows", "# signals", "proposed [ms]", "in-house [ms]", "speedup"
+        "journeys",
+        "trace rows",
+        "extracted rows",
+        "# signals",
+        "proposed [ms]",
+        "in-house [ms]",
+        "speedup"
     );
 
     for &n_journeys in &journey_counts {

@@ -135,8 +135,7 @@ pub fn covered_fraction(data: &GeneratedDataSet, signals: &[String]) -> f64 {
     let total: usize = rows.values().sum();
     let mut covered = 0usize;
     for m in data.network.catalog().messages() {
-        if m
-            .signals()
+        if m.signals()
             .iter()
             .any(|s| signals.iter().any(|n| n == s.name()))
         {

@@ -67,8 +67,6 @@ impl Args {
             .map(String::as_str)
             .ok_or_else(|| format!("missing operand: <{name}>"))
     }
-
-
 }
 
 #[cfg(test)]

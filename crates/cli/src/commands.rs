@@ -69,10 +69,7 @@ pub fn inspect(args: &Args) -> CmdResult {
     let stats = ivnt_simulator::stats::trace_stats(&trace);
     println!(
         "{path}: {} records over {:.1} s ({:.0} msg/s, {} payload bytes)",
-        stats.records,
-        stats.duration_s,
-        stats.rate_hz,
-        stats.payload_bytes,
+        stats.records, stats.duration_s, stats.rate_hz, stats.payload_bytes,
     );
     println!("channels: {}", stats.channels.join(", "));
     println!("top message streams:");
@@ -148,7 +145,10 @@ pub fn extract(args: &Args) -> CmdResult {
         println!("state representation written to {csv_path}");
     } else {
         let rows = args.get_parsed::<usize>("rows")?.unwrap_or(15);
-        println!("\n{}", render_state_table(&output.state, rows).map_err(err)?);
+        println!(
+            "\n{}",
+            render_state_table(&output.state, rows).map_err(err)?
+        );
     }
     Ok(())
 }
@@ -173,7 +173,13 @@ pub fn dbc(args: &Args) -> CmdResult {
             .cycle_time_ms()
             .map(|ms| format!("{ms} ms"))
             .unwrap_or_else(|| "event".into());
-        println!("  BO_ {:<6} {:<24} dlc {} cycle {}", m.id(), m.name(), m.dlc(), cycle);
+        println!(
+            "  BO_ {:<6} {:<24} dlc {} cycle {}",
+            m.id(),
+            m.name(),
+            m.dlc(),
+            cycle
+        );
         for s in m.signals() {
             let kind = if s.is_enumerated() {
                 format!("enum[{}]", s.enumeration().len())

@@ -28,7 +28,10 @@ fn main() {
             print!("{}", commands::usage());
             Ok(())
         }
-        other => Err(format!("unknown command {other:?}\n\n{}", commands::usage())),
+        other => Err(format!(
+            "unknown command {other:?}\n\n{}",
+            commands::usage()
+        )),
     };
     if let Err(e) = result {
         eprintln!("error: {e}");

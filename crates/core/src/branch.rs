@@ -445,7 +445,10 @@ mod tests {
         assert_eq!(out.num_rows(), 100);
         let outliers: Vec<Value> = out.column_values(res_columns::OUTLIER).unwrap();
         assert_eq!(
-            outliers.iter().filter(|v| v.as_bool() == Some(true)).count(),
+            outliers
+                .iter()
+                .filter(|v| v.as_bool() == Some(true))
+                .count(),
             1
         );
         // Symbols move from low letters to high letters along the ramp.
@@ -498,7 +501,10 @@ mod tests {
             message_id: 20,
             info: RuleInfo {
                 spec,
-                packing: crate::rules::Packing::Fixed { first_byte: 0, num_bytes: 1 },
+                packing: crate::rules::Packing::Fixed {
+                    first_byte: 0,
+                    num_bytes: 1,
+                },
                 home_channel: true,
                 comparable: true,
                 expected_cycle_s: None,
@@ -539,10 +545,7 @@ mod tests {
 
     #[test]
     fn gamma_passthrough() {
-        let s = seq(vec![
-            (1.4, None, Some("ON")),
-            (22.2, None, Some("OFF")),
-        ]);
+        let s = seq(vec![(1.4, None, Some("ON")), (22.2, None, Some("OFF"))]);
         let out = run(&s, true);
         let rows = out.collect_rows().unwrap();
         assert_eq!(rows[0][3], Value::from("ON"));

@@ -123,10 +123,13 @@ pub fn classify(
     let times = seq.times()?;
 
     let textual = texts.iter().any(Option::is_some);
-    let z_type = if textual { ZType::Textual } else { ZType::Numeric };
+    let z_type = if textual {
+        ZType::Textual
+    } else {
+        ZType::Numeric
+    };
 
-    let mut distinct: std::collections::HashSet<(Option<u64>, Option<&str>)> =
-        Default::default();
+    let mut distinct: std::collections::HashSet<(Option<u64>, Option<&str>)> = Default::default();
     for (n, t) in nums.iter().zip(&texts) {
         if n.is_some() || t.is_some() {
             distinct.insert((n.map(f64::to_bits), t.as_deref()));
@@ -246,7 +249,13 @@ mod tests {
     #[test]
     fn slow_numeric_multilevel_is_beta() {
         // 5 values over 40 s = 0.125 Hz.
-        let vals = [(0.0, 0.0), (10.0, 1.0), (20.0, 2.0), (30.0, 3.0), (40.0, 4.0)];
+        let vals = [
+            (0.0, 0.0),
+            (10.0, 1.0),
+            (20.0, 2.0),
+            (30.0, 3.0),
+            (40.0, 4.0),
+        ];
         let c = classify(&numeric_seq(&vals), true, &cfg()).unwrap();
         assert_eq!(c.branch, Branch::Beta);
         assert_eq!(c.data_class, DataClass::Ordinal);

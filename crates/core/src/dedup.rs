@@ -68,14 +68,14 @@ pub fn deduplicate(seq: &SignalSequence, rules: &RuleSet) -> Result<Dedup> {
             .iter()
             .map(|batch| {
                 let buses = batch.column(bus_idx).as_str_slice().unwrap_or(&[]);
-                let mask: Vec<bool> = buses
-                    .iter()
-                    .map(|b| b.as_deref() == Some(bus))
-                    .collect();
+                let mask: Vec<bool> = buses.iter().map(|b| b.as_deref() == Some(bus)).collect();
                 batch.filter(&mask)
             })
             .collect::<std::result::Result<Vec<_>, _>>()?;
-        Ok(DataFrame::from_partitions(seq.frame.schema().clone(), parts)?)
+        Ok(DataFrame::from_partitions(
+            seq.frame.schema().clone(),
+            parts,
+        )?)
     };
     let rep_frame = per_channel(&representative_channel)?;
     let rep_values = value_signature(&rep_frame)?;
@@ -170,7 +170,10 @@ mod tests {
                 message_id: 3,
                 info: RuleInfo {
                     spec: SignalSpec::builder("wpos", 0, 16).build().unwrap(),
-                    packing: crate::rules::Packing::Fixed { first_byte: 0, num_bytes: 2 },
+                    packing: crate::rules::Packing::Fixed {
+                        first_byte: 0,
+                        num_bytes: 2,
+                    },
                     home_channel: bus == home,
                     comparable: true,
                     expected_cycle_s: None,

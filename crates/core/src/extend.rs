@@ -28,7 +28,8 @@ pub fn extension_schema() -> Arc<Schema> {
 
 /// Signature of custom extension functions: consumes the reduced sequence,
 /// returns `(t, value)` pairs.
-pub type ExtensionFn = dyn Fn(&SignalSequence) -> crate::error::Result<Vec<(f64, f64)>> + Send + Sync;
+pub type ExtensionFn =
+    dyn Fn(&SignalSequence) -> crate::error::Result<Vec<(f64, f64)>> + Send + Sync;
 
 /// One extension rule producing a meta-data sequence `W`.
 #[derive(Clone)]
@@ -113,16 +114,9 @@ impl ExtensionRule {
             return Ok(DataFrame::empty(extension_schema()));
         }
         let times = seq.times()?;
-        let channel = seq
-            .channels()?
-            .into_iter()
-            .next()
-            .unwrap_or_default();
+        let channel = seq.channels()?.into_iter().next().unwrap_or_default();
         let pairs: Vec<(f64, f64)> = match self {
-            ExtensionRule::Gap { .. } => times
-                .windows(2)
-                .map(|w| (w[1], w[1] - w[0]))
-                .collect(),
+            ExtensionRule::Gap { .. } => times.windows(2).map(|w| (w[1], w[1] - w[0])).collect(),
             ExtensionRule::CycleViolation {
                 expected_cycle_s,
                 factor,
@@ -241,13 +235,7 @@ mod tests {
         let rule = ExtensionRule::Custom {
             signal: "wpos".into(),
             alias: "doubledT".into(),
-            func: Arc::new(|seq| {
-                Ok(seq
-                    .times()?
-                    .into_iter()
-                    .map(|t| (t, 2.0 * t))
-                    .collect())
-            }),
+            func: Arc::new(|seq| Ok(seq.times()?.into_iter().map(|t| (t, 2.0 * t)).collect())),
         };
         let w = rule.apply(&s).unwrap();
         assert_eq!(w.num_rows(), 2);

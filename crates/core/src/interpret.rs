@@ -7,8 +7,19 @@
 //!   `(m_id, b_id)` — every raw message row meets every rule that extracts
 //!   a signal from it — then apply `u1` (relevant-byte slice) and `u2`
 //!   (value decode) row-wise, yielding the signal table `K_s`.
+//!
+//! Two implementations of lines 3–6 exist side by side:
+//!
+//! * [`preselect`] + [`interpret`] — the *reference* relational path,
+//!   mirroring the paper's Spark plan operator by operator. The join
+//!   materializes `K_pre ⋈ U_comb`, duplicating each payload row once per
+//!   matching rule.
+//! * [`interpret_fused`] — the production kernel: one pass per partition
+//!   that probes the broadcast rule table and decodes in place, so neither
+//!   `K_pre` nor the joined intermediate ever hits memory. Property tests
+//!   assert it stays bit-identical to the reference path.
 
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::sync::Arc;
 
 use ivnt_frame::prelude::*;
@@ -21,49 +32,219 @@ use crate::tabular::columns as c;
 /// Internal column: the joined rule index.
 const RULE_IDX: &str = "rule_idx";
 
+/// Per-query interning of the (few) bus names occurring in `U_comb`, so
+/// per-row lookups compare a handful of short strings instead of hashing
+/// `(&str, i64)` tuples. Callers thread a position hint through lookups:
+/// traces run the same bus for stretches, making the common case a single
+/// pointer-or-memcmp comparison.
+struct BusInterner {
+    buses: Vec<Arc<str>>,
+}
+
+impl BusInterner {
+    fn from_rules(u_comb: &RuleSet) -> BusInterner {
+        let mut buses: Vec<Arc<str>> = Vec::new();
+        for rule in u_comb.rules() {
+            if !buses.iter().any(|b| b.as_ref() == rule.bus.as_str()) {
+                buses.push(Arc::from(rule.bus.as_str()));
+            }
+        }
+        BusInterner { buses }
+    }
+
+    fn id_of(&self, bus: &str) -> Option<u32> {
+        self.buses
+            .iter()
+            .position(|b| b.as_ref() == bus)
+            .map(|i| i as u32)
+    }
+
+    /// Looks up `bus`, trying `hint` first (updated on success).
+    fn lookup(&self, bus: &Arc<str>, hint: &mut usize) -> Option<u32> {
+        if let Some(candidate) = self.buses.get(*hint) {
+            if Arc::ptr_eq(candidate, bus) || candidate.as_ref() == bus.as_ref() {
+                return Some(*hint as u32);
+            }
+        }
+        for (i, candidate) in self.buses.iter().enumerate() {
+            if candidate.as_ref() == bus.as_ref() {
+                *hint = i;
+                return Some(i as u32);
+            }
+        }
+        None
+    }
+}
+
+/// Sentinel in dense [`MidTable`] slots: "no rules for this message id".
+const NO_RULES: u32 = u32::MAX;
+
+/// Per-bus message-id lookup. Rule message ids cluster in a narrow band,
+/// while 95+% of probed rows miss (that is the whole point of
+/// preselection), so the miss path must be as close to free as possible: a
+/// dense offset-indexed slot table when the id range allows, a hash map
+/// otherwise.
+enum MidTable {
+    Dense { min: i64, slots: Vec<u32> },
+    Sparse(HashMap<i64, u32>),
+}
+
+/// Widest id span (in slots) the dense representation may allocate.
+const DENSE_SPAN_LIMIT: usize = 1 << 16;
+
+impl MidTable {
+    fn build(entries: impl Iterator<Item = (i64, u32)> + Clone) -> MidTable {
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for (mid, _) in entries.clone() {
+            min = min.min(mid);
+            max = max.max(mid);
+        }
+        let span = max
+            .checked_sub(min)
+            .and_then(|s| usize::try_from(s).ok())
+            .and_then(|s| s.checked_add(1));
+        match span {
+            Some(span) if span <= DENSE_SPAN_LIMIT => {
+                let mut slots = vec![NO_RULES; span];
+                for (mid, group) in entries {
+                    slots[(mid - min) as usize] = group;
+                }
+                MidTable::Dense { min, slots }
+            }
+            _ => MidTable::Sparse(entries.collect()),
+        }
+    }
+
+    #[inline]
+    fn get(&self, mid: i64) -> Option<u32> {
+        match self {
+            MidTable::Dense { min, slots } => {
+                let idx = usize::try_from(mid.wrapping_sub(*min)).ok()?;
+                match slots.get(idx) {
+                    Some(&group) if group != NO_RULES => Some(group),
+                    _ => None,
+                }
+            }
+            MidTable::Sparse(map) => map.get(&mid).copied(),
+        }
+    }
+}
+
+/// The broadcast rule table of the fused kernel: interned buses, per-bus
+/// message-id tables, and rule groups in ascending rule order (matching the
+/// reference join's build-insertion order).
+struct RuleLut {
+    interner: BusInterner,
+    by_bus: Vec<MidTable>,
+    /// Rule-index groups; `MidTable` values index into this.
+    groups: Vec<Vec<u32>>,
+}
+
+/// Per-partition probe state: memoizes the last bus `Arc`'s data pointer.
+/// `trace_to_frame` shares one interned `Arc<str>` per bus, and traces run
+/// the same bus for long stretches, so the common case resolves the bus
+/// with a single pointer comparison — no deref, no string compare. Misses
+/// (including unknown buses, which are memoized too) fall back to the
+/// hinted interner scan.
+struct ProbeState {
+    last_ptr: *const u8,
+    last_len: usize,
+    last_id: Option<u32>,
+    hint: usize,
+}
+
+impl ProbeState {
+    fn new() -> ProbeState {
+        ProbeState {
+            last_ptr: std::ptr::null(),
+            last_len: 0,
+            last_id: None,
+            hint: 0,
+        }
+    }
+}
+
+impl RuleLut {
+    fn build(u_comb: &RuleSet) -> RuleLut {
+        let interner = BusInterner::from_rules(u_comb);
+        let mut keyed: HashMap<(u32, i64), u32> = HashMap::new();
+        let mut groups: Vec<Vec<u32>> = Vec::new();
+        for (i, rule) in u_comb.rules().iter().enumerate() {
+            let bid = interner
+                .id_of(&rule.bus)
+                .expect("interner covers all rule buses");
+            let group = *keyed
+                .entry((bid, i64::from(rule.message_id)))
+                .or_insert_with(|| {
+                    groups.push(Vec::new());
+                    (groups.len() - 1) as u32
+                });
+            groups[group as usize].push(i as u32);
+        }
+        let by_bus = (0..interner.buses.len() as u32)
+            .map(|bid| {
+                MidTable::build(
+                    keyed
+                        .iter()
+                        .filter(move |((b, _), _)| *b == bid)
+                        .map(|((_, mid), group)| (*mid, *group))
+                        .collect::<Vec<_>>()
+                        .into_iter(),
+                )
+            })
+            .collect();
+        RuleLut {
+            interner,
+            by_bus,
+            groups,
+        }
+    }
+
+    /// Rule indices (ascending) for a row's `(bus, m_id)`, or `None`.
+    #[inline]
+    fn probe(&self, bus: &Arc<str>, mid: i64, state: &mut ProbeState) -> Option<&[u32]> {
+        let bid = if state.last_ptr == bus.as_ptr() && state.last_len == bus.len() {
+            state.last_id?
+        } else {
+            let id = self.interner.lookup(bus, &mut state.hint);
+            state.last_ptr = bus.as_ptr();
+            state.last_len = bus.len();
+            state.last_id = id;
+            id?
+        };
+        let group = self.by_bus[bid as usize].get(mid)?;
+        Some(&self.groups[group as usize])
+    }
+}
+
 /// Preselection (line 3): keeps only rows whose `(b_id, m_id)` occurs in
 /// `U_comb`.
 ///
 /// Implemented as a vectorized columnar scan (no per-row allocation): this
 /// step runs over the *entire* raw trace, so it must be the cheapest
 /// operator in the pipeline — that is exactly why the paper performs it
-/// before the expensive interpretation.
+/// before the expensive interpretation. Bus names are interned to small
+/// ints once per query, so the per-row membership check hashes a single
+/// `i64` under the interned bus id instead of a `(&str, i64)` tuple.
 ///
 /// # Errors
 ///
 /// Propagates tabular-engine failures.
 pub fn preselect(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
-    let keys: Arc<HashSet<(&str, i64)>> = Arc::new(
-        u_comb
-            .rules()
-            .iter()
-            .map(|r| (r.bus.as_str(), r.message_id as i64))
-            .collect(),
-    );
+    let lut = RuleLut::build(u_comb);
     let bus_idx = raw.schema().index_of(c::BUS)?;
     let mid_idx = raw.schema().index_of(c::MESSAGE_ID)?;
     let parts: Vec<Batch> = raw
         .executor()
         .map_ref(raw.partitions(), |batch| {
-            let buses = batch
-                .column(bus_idx)
-                .as_str_slice()
-                .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
-                    expected: "str".into(),
-                    actual: batch.column(bus_idx).data_type().to_string(),
-                })?;
-            let mids = batch
-                .column(mid_idx)
-                .as_int_slice()
-                .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
-                    expected: "int".into(),
-                    actual: batch.column(mid_idx).data_type().to_string(),
-                })?;
+            let buses = str_column(batch, bus_idx)?;
+            let mids = int_column(batch, mid_idx)?;
+            let mut probe = ProbeState::new();
             let mask: Vec<bool> = buses
                 .iter()
                 .zip(mids)
                 .map(|(b, m)| match (b, m) {
-                    (Some(b), Some(m)) => keys.contains(&(b.as_ref(), *m)),
+                    (Some(b), Some(m)) => lut.probe(b, *m, &mut probe).is_some(),
                     _ => false,
                 })
                 .collect();
@@ -71,8 +252,47 @@ pub fn preselect(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
         })
         .into_iter()
         .collect::<std::result::Result<_, _>>()?;
-    Ok(DataFrame::from_partitions(raw.schema().clone(), parts)?
-        .with_executor(raw.executor()))
+    Ok(DataFrame::from_partitions(raw.schema().clone(), parts)?.with_executor(raw.executor()))
+}
+
+fn str_column(batch: &Batch, idx: usize) -> ivnt_frame::Result<&[Option<Arc<str>>]> {
+    batch
+        .column(idx)
+        .as_str_slice()
+        .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+            expected: "str".into(),
+            actual: batch.column(idx).data_type().to_string(),
+        })
+}
+
+fn int_column(batch: &Batch, idx: usize) -> ivnt_frame::Result<&[Option<i64>]> {
+    batch
+        .column(idx)
+        .as_int_slice()
+        .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+            expected: "int".into(),
+            actual: batch.column(idx).data_type().to_string(),
+        })
+}
+
+fn float_column(batch: &Batch, idx: usize) -> ivnt_frame::Result<&[Option<f64>]> {
+    batch
+        .column(idx)
+        .as_float_slice()
+        .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+            expected: "float".into(),
+            actual: batch.column(idx).data_type().to_string(),
+        })
+}
+
+fn bytes_column(batch: &Batch, idx: usize) -> ivnt_frame::Result<&[Option<Arc<[u8]>>]> {
+    batch
+        .column(idx)
+        .as_bytes_slice()
+        .ok_or_else(|| ivnt_frame::Error::TypeMismatch {
+            expected: "bytes".into(),
+            actual: batch.column(idx).data_type().to_string(),
+        })
 }
 
 /// Schema of the interpreted signal table `K_s`.
@@ -102,14 +322,32 @@ fn rules_frame(u_comb: &RuleSet) -> Result<DataFrame> {
         vec![
             Value::from(r.signal.as_str()),
             Value::from(r.bus.as_str()),
-            Value::Int(r.message_id as i64),
-            Value::Int(i as i64),
+            Value::Int(i64::from(r.message_id)),
+            Value::Int(i64::try_from(i).expect("rule count fits i64")),
         ]
     });
     Ok(DataFrame::from_rows(schema, rows)?)
 }
 
-/// Interpretation (lines 4–6): join with the rule table and decode.
+/// `u1 ∘ u2` for one instance, with the error policy shared by both
+/// interpretation paths: decode *errors* yield `Some(None)` (a null-valued
+/// instance, kept and flagged downstream), *absence* of a
+/// presence-conditional field yields `None` (no instance at all), and a
+/// null payload yields a null-valued instance.
+#[inline]
+fn decode_instance(rule: &Rule, payload: Option<&[u8]>) -> Option<Option<PhysicalValue>> {
+    match payload {
+        Some(payload) => match rule.relevant_bytes(payload) {
+            Ok(Some(rel)) => Some(rule.decode_relevant(rel).ok()),
+            Ok(None) => None,
+            Err(_) => Some(None),
+        },
+        None => Some(None),
+    }
+}
+
+/// Interpretation (lines 4–6), reference relational path: join with the
+/// rule table and decode.
 ///
 /// Returns `K_s` with one row per signal instance:
 /// `(t, s_id, b_id, v_num, v_text)`. Undecodable instances (truncated
@@ -119,8 +357,10 @@ fn rules_frame(u_comb: &RuleSet) -> Result<DataFrame> {
 ///
 /// The `u1`/`u2` mappings run as one fused columnar pass per partition:
 /// logically `u1` (relevant-byte slice) feeds `u2` (value decode) per row,
-/// but the intermediate `l_rel` never hits a column, which matters on
-/// traces with hundreds of millions of instances.
+/// but the intermediate `l_rel` never hits a column. The join output
+/// itself *is* materialized here, which is what [`interpret_fused`]
+/// additionally avoids; this path is kept as the executable specification
+/// the fused kernel is tested against.
 ///
 /// # Errors
 ///
@@ -145,7 +385,7 @@ pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
     let idx_rule = schema.index_of(RULE_IDX)?;
     let out_schema = signal_schema();
 
-    let parts: Vec<ivnt_frame::Batch> = joined
+    let parts: Vec<Batch> = joined
         .executor()
         .map_ref(joined.partitions(), |batch| {
             let rule_idx = batch.column(idx_rule).as_int_slice().unwrap_or(&[]);
@@ -158,24 +398,15 @@ pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
             // and are dropped.
             let mut present: Vec<bool> = Vec::with_capacity(n);
             for row in 0..n {
-                let rule_and_payload = rule_idx
+                let rule = rule_idx
                     .get(row)
                     .copied()
                     .flatten()
                     .and_then(|i| usize::try_from(i).ok())
-                    .and_then(|i| rule_vec.get(i))
-                    .zip(payloads.get(row).and_then(Option::as_ref));
-                // u1: relevant bytes, then u2: physical value. Decode
-                // *errors* yield a null-valued instance (kept, flagged
-                // downstream); *absence* yields no instance at all.
-                let decoded = match rule_and_payload {
-                    Some((rule, payload)) => match rule.relevant_bytes(payload) {
-                        Ok(Some(rel)) => Some(rule.decode_relevant(rel).ok()),
-                        Ok(None) => None,
-                        Err(_) => Some(None),
-                    },
-                    None => Some(None),
-                };
+                    .and_then(|i| rule_vec.get(i));
+                let decoded = rule.and_then(|rule| {
+                    decode_instance(rule, payloads.get(row).and_then(|p| p.as_deref()))
+                });
                 match decoded {
                     Some(Some(PhysicalValue::Num(v))) => {
                         v_num.push(Some(v));
@@ -203,10 +434,10 @@ pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
                 batch.column(idx_t).clone(),
                 batch.column(idx_sig).clone(),
                 batch.column(idx_bus).clone(),
-                ivnt_frame::Column::Float(v_num),
-                ivnt_frame::Column::Str(v_text),
+                Column::Float(v_num),
+                Column::Str(v_text),
             ];
-            let out = ivnt_frame::Batch::new(out_schema.clone(), columns)?;
+            let out = Batch::new(out_schema.clone(), columns)?;
             if present.iter().all(|&p| p) {
                 Ok(out)
             } else {
@@ -218,14 +449,109 @@ pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
     Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(joined.executor()))
 }
 
-/// Convenience: preselection followed by interpretation (lines 3–6).
+/// Fused interpretation (lines 3–6 in one kernel): preselection, the
+/// join probe against the broadcast rule table, and `u1 ∘ u2` run as a
+/// single pass per partition.
+///
+/// Feeding it the *raw* trace is the intended use — rows without a
+/// matching `(b_id, m_id)` rule are skipped inline, which is exactly
+/// preselection — so neither `K_pre` nor the joined intermediate (which
+/// duplicates each payload once per matching rule) is ever materialized.
+/// Output is bit-identical to `interpret(&preselect(raw)?, u_comb)`:
+/// rule hits are emitted in ascending rule order, matching the reference
+/// join's build-insertion order.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn interpret_fused(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+    let schema = raw.schema();
+    let idx_t = schema.index_of(c::T)?;
+    let idx_bus = schema.index_of(c::BUS)?;
+    let idx_mid = schema.index_of(c::MESSAGE_ID)?;
+    let idx_payload = schema.index_of(c::PAYLOAD)?;
+    let out_schema = signal_schema();
+
+    // Broadcast side, built once per query: interned bus ids, per-bus
+    // message-id tables with rule indices ascending, and one shared
+    // `Arc<str>` per signal name so emission is a refcount bump.
+    let lut = RuleLut::build(u_comb);
+    let rules: Vec<(Arc<Rule>, Arc<str>)> = u_comb
+        .rules()
+        .iter()
+        .map(|r| (r.clone(), Arc::from(r.signal.as_str())))
+        .collect();
+
+    let parts: Vec<Batch> = raw
+        .executor()
+        .map_ref(raw.partitions(), |batch| {
+            let ts = float_column(batch, idx_t)?;
+            let buses = str_column(batch, idx_bus)?;
+            let mids = int_column(batch, idx_mid)?;
+            let payloads = bytes_column(batch, idx_payload)?;
+            let mut t_out: Vec<Option<f64>> = Vec::new();
+            let mut s_out: Vec<Option<Arc<str>>> = Vec::new();
+            let mut b_out: Vec<Option<Arc<str>>> = Vec::new();
+            let mut v_num: Vec<Option<f64>> = Vec::new();
+            let mut v_text: Vec<Option<Arc<str>>> = Vec::new();
+            let mut probe = ProbeState::new();
+            for (((t, bus), mid), payload) in ts.iter().zip(buses).zip(mids).zip(payloads) {
+                // Null bus or m_id never matches a rule (inner-join
+                // semantics); unknown pairs are preselection drops.
+                let (Some(bus), Some(mid)) = (bus, mid) else {
+                    continue;
+                };
+                let Some(rule_hits) = lut.probe(bus, *mid, &mut probe) else {
+                    continue;
+                };
+                for &ri in rule_hits {
+                    let (rule, signal) = &rules[ri as usize];
+                    let Some(value) = decode_instance(rule, payload.as_deref()) else {
+                        continue;
+                    };
+                    t_out.push(*t);
+                    s_out.push(Some(signal.clone()));
+                    b_out.push(Some(bus.clone()));
+                    match value {
+                        Some(PhysicalValue::Num(v)) => {
+                            v_num.push(Some(v));
+                            v_text.push(None);
+                        }
+                        Some(PhysicalValue::Text(s)) => {
+                            v_num.push(None);
+                            v_text.push(Some(Arc::from(s.as_str())));
+                        }
+                        None => {
+                            v_num.push(None);
+                            v_text.push(None);
+                        }
+                    }
+                }
+            }
+            Batch::new(
+                out_schema.clone(),
+                vec![
+                    Column::Float(t_out),
+                    Column::Str(s_out),
+                    Column::Str(b_out),
+                    Column::Float(v_num),
+                    Column::Str(v_text),
+                ],
+            )
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(raw.executor()))
+}
+
+/// Convenience: preselection followed by interpretation (lines 3–6),
+/// executed by the fused kernel.
 ///
 /// # Errors
 ///
 /// Propagates tabular-engine failures.
 pub fn extract_signals(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
-    let pre = preselect(raw, u_comb)?;
-    interpret(&pre, u_comb)
+    interpret_fused(raw, u_comb)
 }
 
 #[cfg(test)]
@@ -395,5 +721,21 @@ mod tests {
             .collect_rows()
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fused_matches_reference_path() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos", "wvel"]).unwrap();
+        for parts in [1usize, 2, 3] {
+            let raw = trace_to_frame(&trace(), parts).unwrap();
+            let fused = interpret_fused(&raw, &u_comb).unwrap();
+            let reference = interpret(&preselect(&raw, &u_comb).unwrap(), &u_comb).unwrap();
+            assert_eq!(
+                fused.collect_rows().unwrap(),
+                reference.collect_rows().unwrap(),
+                "fused != reference at {parts} partitions"
+            );
+        }
     }
 }

@@ -44,6 +44,9 @@ pub struct DomainProfile {
     pub dedup: bool,
     /// Horizontal partitions for the tabular engine.
     pub partitions: usize,
+    /// Worker cap for the tabular engine's executor; `None` uses the
+    /// process-wide default.
+    pub workers: Option<usize>,
 }
 
 impl DomainProfile {
@@ -61,6 +64,7 @@ impl DomainProfile {
             branch: BranchConfig::default(),
             dedup: true,
             partitions: ivnt_frame::exec::default_workers(),
+            workers: None,
         }
     }
 
@@ -95,6 +99,14 @@ impl DomainProfile {
     /// Overrides the partition count.
     pub fn with_partitions(mut self, partitions: usize) -> DomainProfile {
         self.partitions = partitions.max(1);
+        self
+    }
+
+    /// Caps the executor's worker count for this domain's frames, instead
+    /// of mutating the process-wide default (which would leak into
+    /// concurrently running pipelines).
+    pub fn with_workers(mut self, workers: usize) -> DomainProfile {
+        self.workers = Some(workers.max(1));
         self
     }
 
@@ -238,14 +250,22 @@ impl Pipeline {
         &self.profile
     }
 
+    /// The trace as a partitioned frame, carrying the profile's executor.
+    fn raw_frame(&self, trace: &Trace) -> Result<DataFrame> {
+        let raw = trace_to_frame(trace, self.profile.partitions)?;
+        Ok(match self.profile.workers {
+            Some(workers) => raw.with_executor(Executor::new(workers)),
+            None => raw,
+        })
+    }
+
     /// Lines 3–6: preselection and interpretation, producing `K_s`.
     ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
     pub fn extract(&self, trace: &Trace) -> Result<DataFrame> {
-        let raw = trace_to_frame(trace, self.profile.partitions)?;
-        extract_signals(&raw, &self.u_comb)
+        extract_signals(&self.raw_frame(trace)?, &self.u_comb)
     }
 
     /// Interpretation *without* preselection — the ablation showing why
@@ -255,8 +275,7 @@ impl Pipeline {
     ///
     /// Propagates tabular-engine failures.
     pub fn extract_without_preselection(&self, trace: &Trace) -> Result<DataFrame> {
-        let raw = trace_to_frame(trace, self.profile.partitions)?;
-        crate::interpret::interpret(&raw, &self.u_comb)
+        crate::interpret::interpret(&self.raw_frame(trace)?, &self.u_comb)
     }
 
     /// Lines 3–11: extraction, splitting, gateway dedup and constraint
@@ -278,11 +297,7 @@ impl Pipeline {
             } else {
                 Dedup {
                     representative: seq.clone(),
-                    representative_channel: seq
-                        .channels()?
-                        .into_iter()
-                        .next()
-                        .unwrap_or_default(),
+                    representative_channel: seq.channels()?.into_iter().next().unwrap_or_default(),
                     corresponding: Vec::new(),
                     mismatched: Vec::new(),
                 }
@@ -310,8 +325,7 @@ impl Pipeline {
     /// Propagates tabular-engine failures.
     pub fn run(&self, trace: &Trace) -> Result<PipelineOutput> {
         let reduced = self.extract_reduced(trace)?;
-        let sequences: Vec<SignalSequence> =
-            reduced.iter().map(|(s, _, _)| s.clone()).collect();
+        let sequences: Vec<SignalSequence> = reduced.iter().map(|(s, _, _)| s.clone()).collect();
 
         // Line 12: extensions on the reduced sequences.
         let extensions = extend_all(&sequences, &self.profile.extensions)?;
@@ -333,12 +347,7 @@ impl Pipeline {
                 .rules()
                 .iter()
                 .find(|r| r.signal == seq.signal && r.info.home_channel)
-                .or_else(|| {
-                    self.u_comb
-                        .rules()
-                        .iter()
-                        .find(|r| r.signal == seq.signal)
-                });
+                .or_else(|| self.u_comb.rules().iter().find(|r| r.signal == seq.signal));
             let frame = process(
                 &seq,
                 &classification,
@@ -375,8 +384,7 @@ impl Pipeline {
     ///
     /// Propagates tabular-engine failures.
     pub fn preselect(&self, trace: &Trace) -> Result<DataFrame> {
-        let raw = trace_to_frame(trace, self.profile.partitions)?;
-        preselect(&raw, &self.u_comb)
+        preselect(&self.raw_frame(trace)?, &self.u_comb)
     }
 }
 
@@ -548,8 +556,15 @@ mod tests {
         let with = p.extract(&trace).unwrap();
         let without = p.extract_without_preselection(&trace).unwrap();
         assert_eq!(
-            with.sort_by(&["t"], &[true]).unwrap().collect_rows().unwrap(),
-            without.sort_by(&["t"], &[true]).unwrap().collect_rows().unwrap()
+            with.sort_by(&["t"], &[true])
+                .unwrap()
+                .collect_rows()
+                .unwrap(),
+            without
+                .sort_by(&["t"], &[true])
+                .unwrap()
+                .collect_rows()
+                .unwrap()
         );
     }
 

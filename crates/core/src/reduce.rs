@@ -18,7 +18,6 @@ use ivnt_frame::prelude::*;
 use crate::error::Result;
 use crate::split::SignalSequence;
 
-
 /// Context a custom condition function receives per row.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RowCtx {
@@ -139,12 +138,7 @@ impl Constraint {
     }
 
     fn applies_to(&self, signal: &str) -> bool {
-        self.enabled
-            && self
-                .signal
-                .as_deref()
-                .map(|s| s == signal)
-                .unwrap_or(true)
+        self.enabled && self.signal.as_deref().map(|s| s == signal).unwrap_or(true)
     }
 }
 
@@ -249,8 +243,8 @@ mod tests {
             (0.3, Some(2.0), None),
             (0.4, Some(1.0), None),
         ]);
-        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
-            .unwrap();
+        let r =
+            apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])]).unwrap();
         assert_eq!(r.len(), 3);
         assert_eq!(
             r.numeric_values().unwrap(),
@@ -265,8 +259,8 @@ mod tests {
             (0.1, None, Some("ON")),
             (0.2, None, Some("OFF")),
         ]);
-        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
-            .unwrap();
+        let r =
+            apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])]).unwrap();
         assert_eq!(r.len(), 2);
     }
 
@@ -331,8 +325,11 @@ mod tests {
     #[test]
     fn every_nth_subsamples() {
         let s = seq((0..10).map(|i| (i as f64, Some(i as f64), None)).collect());
-        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::EveryNth { n: 3 }])])
-            .unwrap();
+        let r = apply_constraints(
+            &s,
+            &[Constraint::global(vec![ConditionFn::EveryNth { n: 3 }])],
+        )
+        .unwrap();
         assert_eq!(r.len(), 4); // rows 0, 3, 6, 9
     }
 
@@ -351,8 +348,8 @@ mod tests {
     #[test]
     fn empty_sequence_passthrough() {
         let s = seq(vec![]);
-        let r = apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])])
-            .unwrap();
+        let r =
+            apply_constraints(&s, &[Constraint::global(vec![ConditionFn::ValueChanged])]).unwrap();
         assert!(r.is_empty());
     }
 
@@ -366,8 +363,7 @@ mod tests {
 }
 
 /// Which Sec. 4.1 reduction technique a domain uses.
-#[derive(Debug, Clone, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub enum Reduction {
     /// The lossless constraint formalism `C` (Eq. 1) — the paper's default.
     #[default]
@@ -381,7 +377,6 @@ pub enum Reduction {
         max_iterations: usize,
     },
 }
-
 
 /// Alternative reduction technique (Sec. 4.1: "by clustering"): quantizes a
 /// sequence's numeric values onto `k` cluster representatives
@@ -422,7 +417,9 @@ pub fn cluster_reduce(
         })
         .collect();
     let batch = seq.frame.to_single_batch()?;
-    let v_num_idx = batch.schema().index_of(crate::tabular::columns::VALUE_NUM)?;
+    let v_num_idx = batch
+        .schema()
+        .index_of(crate::tabular::columns::VALUE_NUM)?;
     let batch = batch.replace_column(
         crate::tabular::columns::VALUE_NUM,
         ivnt_frame::Column::Float(replaced),
@@ -446,7 +443,6 @@ pub fn cluster_reduce(
 mod cluster_tests {
     use super::*;
     use crate::interpret::signal_schema;
-    
 
     fn noisy_seq() -> SignalSequence {
         // Two levels with jitter: plain repeat-removal keeps everything,
@@ -474,11 +470,8 @@ mod cluster_tests {
     #[test]
     fn cluster_reduction_collapses_jittery_levels() {
         let seq = noisy_seq();
-        let plain = apply_constraints(
-            &seq,
-            &[Constraint::global(vec![ConditionFn::ValueChanged])],
-        )
-        .unwrap();
+        let plain = apply_constraints(&seq, &[Constraint::global(vec![ConditionFn::ValueChanged])])
+            .unwrap();
         assert_eq!(plain.len(), 9); // jitter defeats repeat removal
         let clustered = cluster_reduce(&seq, 2, 50).unwrap();
         assert_eq!(clustered.len(), 3); // low run, high run, low run
@@ -492,15 +485,17 @@ mod cluster_tests {
     fn textual_sequences_fall_back_to_repeat_removal() {
         let frame = DataFrame::from_rows(
             signal_schema(),
-            [("ON", 0.0), ("ON", 0.1), ("OFF", 0.2)].iter().map(|&(l, t)| {
-                vec![
-                    Value::Float(t),
-                    Value::from("x"),
-                    Value::from("FC"),
-                    Value::Null,
-                    Value::from(l),
-                ]
-            }),
+            [("ON", 0.0), ("ON", 0.1), ("OFF", 0.2)]
+                .iter()
+                .map(|&(l, t)| {
+                    vec![
+                        Value::Float(t),
+                        Value::from("x"),
+                        Value::from("FC"),
+                        Value::Null,
+                        Value::from(l),
+                    ]
+                }),
         )
         .unwrap();
         let seq = SignalSequence {

@@ -40,13 +40,13 @@ fn lift_extensions(extensions: &DataFrame) -> Result<DataFrame> {
     let lifted = rows.into_iter().map(|r| {
         let value = r[3].as_float();
         vec![
-            r[0].clone(),                                  // t
-            r[1].clone(),                                  // w_id as s_id
-            r[2].clone(),                                  // b_id
-            Value::from(format_value(value)),              // symbol
-            Value::Null,                                   // trend
-            Value::from(value),                            // value
-            Value::Bool(false),                            // outlier
+            r[0].clone(),                     // t
+            r[1].clone(),                     // w_id as s_id
+            r[2].clone(),                     // b_id
+            Value::from(format_value(value)), // symbol
+            Value::Null,                      // trend
+            Value::from(value),               // value
+            Value::Bool(false),               // outlier
         ]
     });
     Ok(DataFrame::from_rows(homogeneous_schema(), lifted)?)
@@ -62,7 +62,12 @@ fn format_value(v: Option<f64>) -> String {
 /// Builds the display cell of the state representation: `(symbol,trend)`
 /// tuples for trended signals (the paper's `(high,increasing)`), the bare
 /// symbol otherwise, and `outlier v = x` for flagged outliers.
-pub fn display_cell(symbol: &str, trend: Option<&str>, value: Option<f64>, outlier: bool) -> String {
+pub fn display_cell(
+    symbol: &str,
+    trend: Option<&str>,
+    value: Option<f64>,
+    outlier: bool,
+) -> String {
     if outlier {
         return match value {
             Some(v) => format!("outlier v = {v}"),
@@ -140,7 +145,11 @@ pub fn state_representation(merged: &DataFrame) -> Result<DataFrame> {
 pub fn render_state_table(state: &DataFrame, max_rows: usize) -> Result<String> {
     let schema = state.schema();
     let rows = state.collect_rows()?;
-    let headers: Vec<String> = schema.fields().iter().map(|f| f.name().to_string()).collect();
+    let headers: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| f.name().to_string())
+        .collect();
     let mut widths: Vec<usize> = headers.iter().map(String::len).collect();
     let shown = rows.len().min(max_rows);
     let cells: Vec<Vec<String>> = rows[..shown]
@@ -216,7 +225,6 @@ mod tests {
     }
 
     fn sample_merged() -> DataFrame {
-        
         DataFrame::from_rows(
             homogeneous_schema(),
             vec![
@@ -274,7 +282,7 @@ mod tests {
         assert_eq!(state.schema().len(), 3);
         let rows = state.collect_rows().unwrap();
         assert_eq!(rows.len(), 3); // t = 2, 4, 5
-        // t=2: both signals set.
+                                   // t=2: both signals set.
         assert_eq!(rows[0][1], Value::from("off"));
         assert_eq!(rows[0][2], Value::from("(high,increasing)"));
         // t=4: headlight changes, speed forward-filled.
@@ -286,9 +294,15 @@ mod tests {
 
     #[test]
     fn display_cell_variants() {
-        assert_eq!(display_cell("c", Some("steady"), Some(1.0), false), "(c,steady)");
+        assert_eq!(
+            display_cell("c", Some("steady"), Some(1.0), false),
+            "(c,steady)"
+        );
         assert_eq!(display_cell("ON", None, None, false), "ON");
-        assert_eq!(display_cell("outlier", None, Some(800.0), true), "outlier v = 800");
+        assert_eq!(
+            display_cell("outlier", None, Some(800.0), true),
+            "outlier v = 800"
+        );
         assert_eq!(display_cell("outlier", None, None, true), "outlier");
     }
 

@@ -99,9 +99,10 @@ impl RuleInfo {
     pub fn num_bytes(&self) -> usize {
         match &self.packing {
             Packing::Fixed { num_bytes, .. } => *num_bytes,
-            Packing::OptionalField { layout: _, field: _ } => {
-                self.spec.bit_len().div_ceil(8) as usize
-            }
+            Packing::OptionalField {
+                layout: _,
+                field: _,
+            } => self.spec.bit_len().div_ceil(8) as usize,
             Packing::Multiplexed { num_bytes, .. } => *num_bytes,
         }
     }
@@ -471,7 +472,9 @@ impl RuleSet {
     pub fn index_by_message(&self) -> HashMap<(String, u32), Vec<usize>> {
         let mut map: HashMap<(String, u32), Vec<usize>> = HashMap::new();
         for (i, r) in self.rules.iter().enumerate() {
-            map.entry((r.bus.clone(), r.message_id)).or_default().push(i);
+            map.entry((r.bus.clone(), r.message_id))
+                .or_default()
+                .push(i);
         }
         map
     }
@@ -535,7 +538,11 @@ fn relevant_byte_range(spec: &SignalSpec) -> (usize, usize) {
             // Walk the sawtooth to find the final bit's byte.
             let mut pos = start;
             for _ in 1..len {
-                pos = if pos.is_multiple_of(8) { pos + 15 } else { pos - 1 };
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos - 1
+                };
             }
             let first = start / 8;
             let last = pos / 8;
@@ -651,11 +658,7 @@ mod tests {
     #[test]
     fn truncated_payload_rejected() {
         let rs = RuleSet::from_network(&network());
-        let rule = rs
-            .rules()
-            .iter()
-            .find(|r| r.signal == "wvel")
-            .unwrap();
+        let rule = rs.rules().iter().find(|r| r.signal == "wvel").unwrap();
         assert!(rule.relevant_bytes(&[0x00]).is_err());
     }
 
@@ -667,13 +670,14 @@ mod tests {
         let wpos = rs.rules().iter().find(|r| r.signal == "wpos").unwrap();
         assert!(wpos.info.comparable);
         rs.set_comparable("wtype", true).unwrap();
-        assert!(rs
-            .rules()
-            .iter()
-            .find(|r| r.signal == "wtype")
-            .unwrap()
-            .info
-            .comparable);
+        assert!(
+            rs.rules()
+                .iter()
+                .find(|r| r.signal == "wtype")
+                .unwrap()
+                .info
+                .comparable
+        );
         assert!(rs.set_comparable("zz", true).is_err());
     }
 

@@ -209,10 +209,7 @@ mod tests {
         // wpos sorted by time despite input order.
         let wpos = &seqs[1];
         assert_eq!(wpos.times().unwrap(), vec![2.0, 2.5]);
-        assert_eq!(
-            wpos.numeric_values().unwrap(),
-            vec![Some(45.0), Some(60.0)]
-        );
+        assert_eq!(wpos.numeric_values().unwrap(), vec![Some(45.0), Some(60.0)]);
     }
 
     #[test]

@@ -65,7 +65,10 @@ pub fn trace_to_frame(trace: &Trace, partitions: usize) -> Result<DataFrame> {
                 vec![
                     Value::Float(r.timestamp_s()),
                     Value::from(r.payload.clone()),
-                    Value::Str(Arc::from(r.bus.as_ref())),
+                    // Share the trace's interned bus Arc instead of
+                    // reallocating per row: downstream operators exploit
+                    // the pointer identity of repeated bus names.
+                    Value::Str(r.bus.clone()),
                     Value::Int(r.message_id as i64),
                     Value::from(r.protocol.to_string()),
                 ]

@@ -381,13 +381,8 @@ mod tests {
         let r = w
             .replace_column("id", Column::Str(vec![None, None, None]))
             .unwrap();
-        assert_eq!(
-            r.schema().field("id").unwrap().data_type(),
-            DataType::Str
-        );
-        assert!(r
-            .replace_column("id", Column::Int(vec![Some(1)]))
-            .is_err());
+        assert_eq!(r.schema().field("id").unwrap().data_type(), DataType::Str);
+        assert!(r.replace_column("id", Column::Int(vec![Some(1)])).is_err());
     }
 
     #[test]
@@ -401,14 +396,18 @@ mod tests {
 
     #[test]
     fn schema_column_count_checked() {
-        let schema = Schema::from_pairs([("a", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("a", DataType::Int)])
+            .unwrap()
+            .into_shared();
         let r = Batch::new(schema, vec![]);
         assert!(matches!(r, Err(Error::SchemaMismatch(_))));
     }
 
     #[test]
     fn empty_has_zero_rows() {
-        let schema = Schema::from_pairs([("a", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("a", DataType::Int)])
+            .unwrap()
+            .into_shared();
         let b = Batch::empty(schema);
         assert!(b.is_empty());
     }

@@ -350,7 +350,9 @@ mod tests {
         let mut a = int_col(&[1]);
         a.extend_from(&int_col(&[2, 3])).unwrap();
         assert_eq!(a, int_col(&[1, 2, 3]));
-        let err = a.extend_from(&Column::new_empty(DataType::Str)).unwrap_err();
+        let err = a
+            .extend_from(&Column::new_empty(DataType::Str))
+            .unwrap_err();
         assert!(matches!(err, Error::TypeMismatch { .. }));
     }
 

@@ -90,15 +90,18 @@ fn parse_cell(cell: &str, dtype: DataType) -> Result<Value> {
         return Ok(Value::Null);
     }
     Ok(match dtype {
-        DataType::Bool => Value::Bool(cell.parse().map_err(|_| {
-            Error::Eval(format!("csv cell {cell:?} is not a bool"))
-        })?),
-        DataType::Int => Value::Int(cell.parse().map_err(|_| {
-            Error::Eval(format!("csv cell {cell:?} is not an int"))
-        })?),
-        DataType::Float => Value::Float(cell.parse().map_err(|_| {
-            Error::Eval(format!("csv cell {cell:?} is not a float"))
-        })?),
+        DataType::Bool => Value::Bool(
+            cell.parse()
+                .map_err(|_| Error::Eval(format!("csv cell {cell:?} is not a bool")))?,
+        ),
+        DataType::Int => Value::Int(
+            cell.parse()
+                .map_err(|_| Error::Eval(format!("csv cell {cell:?} is not an int")))?,
+        ),
+        DataType::Float => Value::Float(
+            cell.parse()
+                .map_err(|_| Error::Eval(format!("csv cell {cell:?} is not a float")))?,
+        ),
         DataType::Str => Value::from(cell),
         DataType::Bytes => {
             if !cell.len().is_multiple_of(2) {
@@ -247,7 +250,9 @@ mod tests {
 
     #[test]
     fn bad_cells_rejected() {
-        let schema = Schema::from_pairs([("n", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("n", DataType::Int)])
+            .unwrap()
+            .into_shared();
         let err = read_csv("n\nabc\n".as_bytes(), schema.clone()).unwrap_err();
         assert!(matches!(err, Error::Eval(_)));
         let err = read_csv("n\n1,2\n".as_bytes(), schema).unwrap_err();
@@ -256,13 +261,17 @@ mod tests {
 
     #[test]
     fn unterminated_quote_rejected() {
-        let schema = Schema::from_pairs([("s", DataType::Str)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
         assert!(read_csv("s\n\"oops\n".as_bytes(), schema).is_err());
     }
 
     #[test]
     fn empty_rows_skipped() {
-        let schema = Schema::from_pairs([("s", DataType::Str)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
         let f = read_csv("s\na\n\nb\n".as_bytes(), schema).unwrap();
         assert_eq!(f.num_rows(), 2);
     }

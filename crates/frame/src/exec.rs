@@ -4,46 +4,265 @@
 //! property for this workload is *partition parallelism*: every row-wise
 //! operator (σ, row maps, per-partition joins) runs independently on
 //! horizontal slices of the table. This module provides that property on a
-//! single machine via a crossbeam-scoped worker pool. Results are returned
-//! in partition order, so output is deterministic regardless of worker count
-//! (the paper's "preserving determinism" requirement).
+//! single machine via a **persistent worker pool** with **morsel-driven
+//! scheduling**: threads are spawned once per process and reused across
+//! operator calls, work is claimed in chunks ("morsels") through an atomic
+//! cursor, and results land in pre-sized lock-free slots. Results are
+//! returned in item order, so output is deterministic regardless of worker
+//! count (the paper's "preserving determinism" requirement).
+//!
+//! Scheduling protocol: the dispatching thread publishes a job advert to the
+//! pool, then participates in the work itself (so progress never depends on
+//! pool availability), retracts the advert, and blocks until every helper
+//! that claimed the job has left it. Claims and retraction are serialized
+//! through one mutex, which is what makes lending the caller's stack frame
+//! to pool threads sound: no helper can hold a reference to the job after
+//! the dispatch call returns. Helper panics are captured and re-raised on
+//! the dispatching thread.
 
-use parking_lot::RwLock;
+use std::cell::UnsafeCell;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
 
 /// Global default worker count used by [`parallel_map`] when no explicit
 /// executor is supplied.
 static DEFAULT_WORKERS: OnceLock<RwLock<usize>> = OnceLock::new();
 
 fn default_workers_lock() -> &'static RwLock<usize> {
-    DEFAULT_WORKERS.get_or_init(|| {
-        RwLock::new(
-            std::thread::available_parallelism()
-                .map(NonZeroUsize::get)
-                .unwrap_or(4),
-        )
-    })
+    DEFAULT_WORKERS.get_or_init(|| RwLock::new(hardware_threads()))
+}
+
+fn hardware_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
 }
 
 /// Returns the process-wide default worker count.
 pub fn default_workers() -> usize {
-    *default_workers_lock().read()
+    *default_workers_lock()
+        .read()
+        .expect("default-workers lock poisoned")
 }
 
 /// Sets the process-wide default worker count (minimum 1).
 ///
 /// Benchmarks use this to sweep the "cluster size" of the embedded engine.
+/// Prefer explicit [`Executor`]s in tests: this is process-global state.
 pub fn set_default_workers(workers: usize) {
-    *default_workers_lock().write() = workers.max(1);
+    *default_workers_lock()
+        .write()
+        .expect("default-workers lock poisoned") = workers.max(1);
 }
 
-/// A bounded worker pool that maps a function over indexed work items.
+/// One job published to the pool: an erased worker body that cooperating
+/// threads each run once (the body internally claims morsels until the
+/// shared cursor is exhausted).
+struct JobCtl {
+    /// The borrowed worker body. Lifetime-erased: valid strictly until the
+    /// dispatching call retracts the job and its last helper finishes,
+    /// which `dispatch` enforces before returning.
+    body: BodyPtr,
+    /// Helpers that claimed the job (under the pool lock).
+    joined: AtomicUsize,
+    /// Helpers that finished running the body.
+    state: Mutex<JobDone>,
+    done: Condvar,
+}
+
+struct JobDone {
+    finished: usize,
+    panic: Option<Box<dyn std::any::Any + Send>>,
+}
+
+struct BodyPtr(*const (dyn Fn() + Sync));
+
+// SAFETY: the pointee is `Sync` (shared calls are safe) and `dispatch`
+// guarantees it outlives every access, so sending the pointer to pool
+// threads is sound.
+unsafe impl Send for BodyPtr {}
+unsafe impl Sync for BodyPtr {}
+
+impl JobCtl {
+    fn run_as_helper(&self) {
+        // SAFETY: claims are only handed out while the advert is live, and
+        // the dispatcher blocks until `finished == joined` after retracting
+        // it, so the body outlives this call.
+        let body = unsafe { &*self.body.0 };
+        let outcome = catch_unwind(AssertUnwindSafe(body));
+        let mut state = self.state.lock().expect("job state lock poisoned");
+        state.finished += 1;
+        if let Err(payload) = outcome {
+            state.panic.get_or_insert(payload);
+        }
+        drop(state);
+        self.done.notify_all();
+    }
+}
+
+/// A queued advert offering `slots` more helper seats on `job`.
+struct Advert {
+    job: Arc<JobCtl>,
+    slots: usize,
+}
+
+/// The process-wide persistent worker pool.
+struct Pool {
+    queue: Mutex<VecDeque<Advert>>,
+    work: Condvar,
+    threads: usize,
+}
+
+static POOL: OnceLock<Pool> = OnceLock::new();
+
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| {
+        let threads = hardware_threads();
+        for i in 0..threads {
+            std::thread::Builder::new()
+                .name(format!("ivnt-worker-{i}"))
+                .spawn(worker_loop)
+                .expect("spawning pool worker");
+        }
+        Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work: Condvar::new(),
+            threads,
+        }
+    })
+}
+
+fn worker_loop() {
+    let pool = pool();
+    loop {
+        let job = {
+            let mut queue = pool.queue.lock().expect("pool queue lock poisoned");
+            loop {
+                if let Some(front) = queue.front_mut() {
+                    front.job.joined.fetch_add(1, Ordering::Relaxed);
+                    let job = front.job.clone();
+                    front.slots -= 1;
+                    if front.slots == 0 {
+                        queue.pop_front();
+                    }
+                    break job;
+                }
+                queue = pool.work.wait(queue).expect("pool queue lock poisoned");
+            }
+        };
+        job.run_as_helper();
+    }
+}
+
+/// Removes the advert for `job` (at most one is ever queued) and waits for
+/// all joined helpers to finish. Runs on drop so a panicking caller still
+/// reclaims its borrowed stack frame before unwinding further.
+struct DispatchGuard<'a> {
+    job: &'a Arc<JobCtl>,
+}
+
+impl Drop for DispatchGuard<'_> {
+    fn drop(&mut self) {
+        let pool = pool();
+        {
+            let mut queue = pool.queue.lock().expect("pool queue lock poisoned");
+            queue.retain(|advert| !Arc::ptr_eq(&advert.job, self.job));
+        }
+        let joined = self.job.joined.load(Ordering::Relaxed);
+        let mut state = self.job.state.lock().expect("job state lock poisoned");
+        while state.finished < joined {
+            state = self.job.done.wait(state).expect("job state lock poisoned");
+        }
+    }
+}
+
+/// Runs `body` on the calling thread plus up to `helpers` pool threads,
+/// returning once every participant has finished. Re-raises the first
+/// helper panic on the caller.
+fn dispatch(helpers: usize, body: &(dyn Fn() + Sync)) {
+    if helpers == 0 {
+        body();
+        return;
+    }
+    let pool = pool();
+    let helpers = helpers.min(pool.threads);
+    // Lifetime erasure: `body` borrows the caller's frame. The guard below
+    // retracts the advert and joins all helpers before this function (or an
+    // unwind through it) releases that frame.
+    let erased: *const (dyn Fn() + Sync) =
+        unsafe { std::mem::transmute::<&(dyn Fn() + Sync), &'static (dyn Fn() + Sync)>(body) };
+    let job = Arc::new(JobCtl {
+        body: BodyPtr(erased),
+        joined: AtomicUsize::new(0),
+        state: Mutex::new(JobDone {
+            finished: 0,
+            panic: None,
+        }),
+        done: Condvar::new(),
+    });
+    {
+        let mut queue = pool.queue.lock().expect("pool queue lock poisoned");
+        queue.push_back(Advert {
+            job: job.clone(),
+            slots: helpers,
+        });
+    }
+    if helpers == 1 {
+        pool.work.notify_one();
+    } else {
+        pool.work.notify_all();
+    }
+    {
+        let guard = DispatchGuard { job: &job };
+        body();
+        drop(guard);
+    }
+    let mut state = job.state.lock().expect("job state lock poisoned");
+    if let Some(payload) = state.panic.take() {
+        drop(state);
+        resume_unwind(payload);
+    }
+}
+
+/// A write-once output cell: each index is written by exactly one worker
+/// (the one that claimed its morsel), so no per-item lock is needed.
+struct Slot<T>(UnsafeCell<Option<T>>);
+
+// SAFETY: the morsel cursor hands every index to exactly one worker, and
+// readers only run after all workers have left the job (enforced by
+// `dispatch`), so there is never a concurrent access to one cell.
+unsafe impl<T: Send> Sync for Slot<T> {}
+
+impl<T> Slot<T> {
+    fn new_vec(n: usize) -> Vec<Slot<T>> {
+        (0..n).map(|_| Slot(UnsafeCell::new(None))).collect()
+    }
+
+    /// Writes the value. Caller must be the unique owner of this index.
+    unsafe fn put(&self, value: T) {
+        *self.0.get() = Some(value);
+    }
+
+    fn into_inner(self) -> Option<T> {
+        self.0.into_inner()
+    }
+}
+
+/// Morsel size for `n` items across `workers` workers: small enough to
+/// balance uneven item costs, large enough to amortize cursor traffic.
+fn morsel_len(n: usize, workers: usize) -> usize {
+    (n / (workers * 8)).max(1)
+}
+
+/// A bounded view onto the persistent worker pool.
 ///
-/// `Executor` is intentionally minimal: it is created per query (threads are
-/// scoped, not pooled across calls), which keeps the engine free of global
-/// mutable state beyond the default worker count.
+/// `Executor` is intentionally a value type: it only carries the
+/// *concurrency cap* for its operator calls. The threads themselves live in
+/// the process-wide pool, spawned once and reused, so per-query executors
+/// stay free to create.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Executor {
     workers: usize,
@@ -56,7 +275,8 @@ impl Default for Executor {
 }
 
 impl Executor {
-    /// Creates an executor with `workers` threads (minimum 1).
+    /// Creates an executor capped at `workers` concurrent threads
+    /// (minimum 1; the cap includes the calling thread).
     pub fn new(workers: usize) -> Self {
         Executor {
             workers: workers.max(1),
@@ -84,35 +304,33 @@ impl Executor {
         if self.workers == 1 || n == 1 {
             return items.iter().map(f).collect();
         }
-        let outputs: Vec<parking_lot::Mutex<Option<R>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let slots: Vec<Slot<R>> = Slot::new_vec(n);
         let cursor = AtomicUsize::new(0);
-        let threads = self.workers.min(n);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let out = f(&items[i]);
-                    *outputs[i].lock() = Some(out);
-                });
+        let morsel = morsel_len(n, self.workers);
+        let body = || loop {
+            let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+            if start >= n {
+                break;
             }
-        })
-        .expect("executor worker panicked");
-        outputs
+            let end = (start + morsel).min(n);
+            for (item, slot) in items[start..end].iter().zip(&slots[start..end]) {
+                // SAFETY: this worker claimed [start, end) exclusively.
+                unsafe { slot.put(f(item)) };
+            }
+        };
+        dispatch(self.workers - 1, &body);
+        slots
             .into_iter()
-            .map(|m| m.into_inner().expect("every work item produced output"))
+            .map(|s| s.into_inner().expect("every work item produced output"))
             .collect()
     }
 
     /// Applies `f` to every item, in parallel, returning outputs in input
     /// order.
     ///
-    /// Work is distributed by an atomic cursor, so uneven partition sizes
-    /// balance across workers. With a single worker (or a single item) the
-    /// map runs inline on the caller's thread.
+    /// Work is distributed morsel-wise through an atomic cursor, so uneven
+    /// item sizes balance across workers. With a single worker (or a single
+    /// item) the map runs inline on the caller's thread.
     pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
     where
         T: Send,
@@ -126,34 +344,34 @@ impl Executor {
         if self.workers == 1 || n == 1 {
             return items.into_iter().map(f).collect();
         }
-        let inputs: Vec<parking_lot::Mutex<Option<T>>> = items
+        let inputs: Vec<Slot<T>> = items
             .into_iter()
-            .map(|t| parking_lot::Mutex::new(Some(t)))
+            .map(|t| Slot(UnsafeCell::new(Some(t))))
             .collect();
-        let outputs: Vec<parking_lot::Mutex<Option<R>>> =
-            (0..n).map(|_| parking_lot::Mutex::new(None)).collect();
+        let slots: Vec<Slot<R>> = Slot::new_vec(n);
         let cursor = AtomicUsize::new(0);
-        let threads = self.workers.min(n);
-        crossbeam::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|_| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let item = inputs[i]
-                        .lock()
+        let morsel = morsel_len(n, self.workers);
+        let body = || loop {
+            let start = cursor.fetch_add(morsel, Ordering::Relaxed);
+            if start >= n {
+                break;
+            }
+            let end = (start + morsel).min(n);
+            for (input, slot) in inputs[start..end].iter().zip(&slots[start..end]) {
+                // SAFETY: this worker claimed [start, end) exclusively, for
+                // the input take and the output write alike.
+                unsafe {
+                    let item = (*input.0.get())
                         .take()
                         .expect("work item taken exactly once");
-                    let out = f(item);
-                    *outputs[i].lock() = Some(out);
-                });
+                    slot.put(f(item));
+                }
             }
-        })
-        .expect("executor worker panicked");
-        outputs
+        };
+        dispatch(self.workers - 1, &body);
+        slots
             .into_iter()
-            .map(|m| m.into_inner().expect("every work item produced output"))
+            .map(|s| s.into_inner().expect("every work item produced output"))
             .collect()
     }
 }
@@ -213,5 +431,48 @@ mod tests {
         set_default_workers(3);
         assert_eq!(default_workers(), 3);
         set_default_workers(orig);
+    }
+
+    #[test]
+    fn pool_survives_repeated_jobs() {
+        let exec = Executor::new(4);
+        for round in 0..50 {
+            let out = exec.map_ref(&[1u64, 2, 3, 4, 5], |i| i + round);
+            assert_eq!(
+                out,
+                vec![1 + round, 2 + round, 3 + round, 4 + round, 5 + round]
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_to_caller() {
+        let exec = Executor::new(4);
+        let items: Vec<usize> = (0..1000).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.map_ref(&items, |&i| {
+                assert!(i != 617, "boom at {i}");
+                i
+            })
+        }));
+        assert!(result.is_err());
+        // The pool must still be usable afterwards.
+        let out = exec.map_ref(&[10usize, 20], |&i| i * 2);
+        assert_eq!(out, vec![20, 40]);
+    }
+
+    #[test]
+    fn nested_dispatch_does_not_deadlock() {
+        let exec = Executor::new(4);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = exec.map_ref(&outer, |&i| {
+            let inner: Vec<usize> = (0..16).collect();
+            Executor::new(4)
+                .map_ref(&inner, |&j| i * 100 + j)
+                .into_iter()
+                .sum::<usize>()
+        });
+        let expected: Vec<usize> = (0..8).map(|i| (0..16).map(|j| i * 100 + j).sum()).collect();
+        assert_eq!(out, expected);
     }
 }

@@ -210,10 +210,7 @@ impl Expr {
         I: IntoIterator<Item = V>,
         V: Into<Value>,
     {
-        Expr::InList(
-            Box::new(self),
-            list.into_iter().map(Into::into).collect(),
-        )
+        Expr::InList(Box::new(self), list.into_iter().map(Into::into).collect())
     }
 
     /// Evaluates the expression on every row of `batch`, producing a column.
@@ -471,10 +468,7 @@ mod tests {
     #[test]
     fn in_list_membership() {
         let b = batch();
-        let mask = col("s")
-            .in_list(["a", "c"])
-            .eval_mask(&b)
-            .unwrap();
+        let mask = col("s").in_list(["a", "c"]).eval_mask(&b).unwrap();
         assert_eq!(mask, vec![true, false, false]);
     }
 
@@ -510,10 +504,7 @@ mod tests {
     #[test]
     fn unknown_column_error() {
         let b = batch();
-        assert!(matches!(
-            col("zz").eval(&b),
-            Err(Error::ColumnNotFound(_))
-        ));
+        assert!(matches!(col("zz").eval(&b), Err(Error::ColumnNotFound(_))));
     }
 
     #[test]
@@ -531,9 +522,7 @@ impl Expr {
                 Value::Int(i) => Value::Int(i.wrapping_abs()),
                 Value::Float(f) => Value::Float(f.abs()),
                 Value::Null => Value::Null,
-                other => {
-                    return Err(Error::Eval(format!("abs expects a number, got {other:?}")))
-                }
+                other => return Err(Error::Eval(format!("abs expects a number, got {other:?}"))),
             })
         })
     }

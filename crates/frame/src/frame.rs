@@ -206,7 +206,11 @@ impl DataFrame {
             .iter()
             .find(|c| c.null_count() < c.len())
             .map(Column::data_type)
-            .unwrap_or_else(|| cols.first().map(Column::data_type).unwrap_or(DataType::Bool));
+            .unwrap_or_else(|| {
+                cols.first()
+                    .map(Column::data_type)
+                    .unwrap_or(DataType::Bool)
+            });
         let mut parts = Vec::with_capacity(self.partitions.len());
         for (b, c) in self.partitions.iter().zip(cols) {
             let c = if c.data_type() == dtype {
@@ -692,7 +696,9 @@ mod tests {
 
     #[test]
     fn forward_fill_fills_gaps() {
-        let schema = Schema::from_pairs([("v", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("v", DataType::Int)])
+            .unwrap()
+            .into_shared();
         let d = DataFrame::from_rows(
             schema,
             vec![
@@ -730,7 +736,9 @@ mod tests {
 
     #[test]
     fn with_column_typed_on_empty_frame() {
-        let schema = Schema::from_pairs([("a", DataType::Int)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("a", DataType::Int)])
+            .unwrap()
+            .into_shared();
         let d = DataFrame::empty(schema);
         let d = d
             .with_column_typed("b", DataType::Float, &lit(1.5))
@@ -801,8 +809,7 @@ impl DataFrame {
                 (Value::Null, Value::Null, Value::Null, Value::Null)
             } else {
                 let mean = values.iter().sum::<f64>() / n as f64;
-                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
-                    / n as f64;
+                let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / n as f64;
                 let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
                 let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
                 (
@@ -865,9 +872,10 @@ mod describe_tests {
 
     #[test]
     fn describe_all_null_column() {
-        let schema = Schema::from_pairs([("v", DataType::Float)]).unwrap().into_shared();
-        let df = DataFrame::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]])
-            .unwrap();
+        let schema = Schema::from_pairs([("v", DataType::Float)])
+            .unwrap()
+            .into_shared();
+        let df = DataFrame::from_rows(schema, vec![vec![Value::Null], vec![Value::Null]]).unwrap();
         let rows = df.describe().unwrap().collect_rows().unwrap();
         assert_eq!(rows[0][1], Value::Int(0));
         assert_eq!(rows[0][2], Value::Int(2));
@@ -876,7 +884,9 @@ mod describe_tests {
 
     #[test]
     fn describe_no_numeric_columns() {
-        let schema = Schema::from_pairs([("s", DataType::Str)]).unwrap().into_shared();
+        let schema = Schema::from_pairs([("s", DataType::Str)])
+            .unwrap()
+            .into_shared();
         let df = DataFrame::empty(schema);
         assert_eq!(df.describe().unwrap().num_rows(), 0);
     }

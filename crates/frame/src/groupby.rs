@@ -96,22 +96,12 @@ impl Acc {
                 }
             }
             Acc::Min(cur) => {
-                if !v.is_null()
-                    && cur
-                        .as_ref()
-                        .map(|c| v.total_cmp(c).is_lt())
-                        .unwrap_or(true)
-                {
+                if !v.is_null() && cur.as_ref().map(|c| v.total_cmp(c).is_lt()).unwrap_or(true) {
                     *cur = Some(v);
                 }
             }
             Acc::Max(cur) => {
-                if !v.is_null()
-                    && cur
-                        .as_ref()
-                        .map(|c| v.total_cmp(c).is_gt())
-                        .unwrap_or(true)
-                {
+                if !v.is_null() && cur.as_ref().map(|c| v.total_cmp(c).is_gt()).unwrap_or(true) {
                     *cur = Some(v);
                 }
             }
@@ -190,9 +180,7 @@ impl Acc {
                     Value::Null
                 }
             }
-            Acc::Min(v) | Acc::Max(v) | Acc::First(v) | Acc::Last(v) => {
-                v.unwrap_or(Value::Null)
-            }
+            Acc::Min(v) | Acc::Max(v) | Acc::First(v) | Acc::Last(v) => v.unwrap_or(Value::Null),
             Acc::Mean { sum, n } => {
                 if n == 0 {
                     Value::Null
@@ -310,7 +298,7 @@ pub(crate) fn group_by(
         }
     }
     let batch = Batch::new(out_schema.clone(), columns)?;
-    DataFrame::from_partitions(out_schema, vec![batch])
+    Ok(DataFrame::from_partitions(out_schema, vec![batch])?.with_executor(exec))
 }
 
 #[cfg(test)]

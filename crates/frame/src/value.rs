@@ -297,11 +297,13 @@ mod tests {
 
     #[test]
     fn total_ordering_ranks_types() {
-        let mut vals = [Value::from("z"),
+        let mut vals = [
+            Value::from("z"),
             Value::Null,
             Value::from(1i64),
             Value::from(false),
-            Value::from(0.5)];
+            Value::from(0.5),
+        ];
         vals.sort_by(|a, b| a.total_cmp(b));
         assert!(vals[0].is_null());
         assert_eq!(vals[1], Value::Bool(false));

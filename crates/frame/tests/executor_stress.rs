@@ -1,0 +1,151 @@
+//! Stress tests for the morsel-driven executor: many tiny morsels, wildly
+//! uneven item costs, worker-count sweeps, concurrent dispatchers and panic
+//! propagation — always asserting the partition-order determinism the
+//! pipeline's reproducibility guarantee rests on.
+
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use ivnt_frame::exec::Executor;
+
+#[test]
+fn many_tiny_morsels_preserve_order() {
+    // 10_000 items across 8 workers means ~156-item morsels; with near-zero
+    // per-item cost this maximizes cursor contention.
+    let items: Vec<u32> = (0..10_000).collect();
+    let expected: Vec<u64> = items.iter().map(|&i| u64::from(i) + 1).collect();
+    for workers in [1usize, 2, 3, 8, 64] {
+        let out = Executor::new(workers).map_ref(&items, |&i| u64::from(i) + 1);
+        assert_eq!(out, expected, "order broken at {workers} workers");
+    }
+}
+
+#[test]
+fn uneven_item_costs_balance_and_stay_ordered() {
+    // Item cost varies by ~3 orders of magnitude; morsel stealing must
+    // still produce output in input order.
+    let items: Vec<usize> = (0..400).collect();
+    let work = |&i: &usize| -> usize {
+        let spins = if i % 97 == 0 { 20_000 } else { 10 };
+        let mut acc = i;
+        for k in 0..spins {
+            acc = acc.wrapping_mul(31).wrapping_add(k);
+        }
+        acc
+    };
+    let reference: Vec<usize> = items.iter().map(work).collect();
+    for workers in [2usize, 5, 16] {
+        let out = Executor::new(workers).map_ref(&items, work);
+        assert_eq!(out, reference, "mismatch at {workers} workers");
+    }
+}
+
+#[test]
+fn results_bit_identical_across_worker_sweep() {
+    let items: Vec<f64> = (0..2_531).map(|i| f64::from(i) * 0.1).collect();
+    let f = |&x: &f64| (x.sin() * 1e6).round();
+    let reference = Executor::new(1).map_ref(&items, f);
+    for workers in [2usize, 3, 4, 7, 8, 13] {
+        assert_eq!(
+            Executor::new(workers).map_ref(&items, f),
+            reference,
+            "nondeterminism at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn owned_map_runs_every_item_exactly_once() {
+    let calls = AtomicUsize::new(0);
+    let items: Vec<usize> = (0..5_000).collect();
+    let out = Executor::new(8).map(items, |i| {
+        calls.fetch_add(1, Ordering::Relaxed);
+        i
+    });
+    assert_eq!(calls.load(Ordering::Relaxed), 5_000);
+    assert_eq!(out, (0..5_000).collect::<Vec<_>>());
+}
+
+#[test]
+fn concurrent_dispatchers_share_the_pool() {
+    // Several OS threads dispatch simultaneously; the shared pool must keep
+    // every job's outputs separate and ordered.
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let items: Vec<usize> = (0..3_000).collect();
+                let out = Executor::new(4).map_ref(&items, |&i| i * 7 + t);
+                assert_eq!(
+                    out,
+                    items.iter().map(|&i| i * 7 + t).collect::<Vec<_>>(),
+                    "dispatcher {t} corrupted"
+                );
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("dispatcher thread panicked");
+    }
+}
+
+#[test]
+fn repeated_jobs_reuse_the_pool() {
+    // 300 successive small jobs: thread spawning per job would make this
+    // crawl; the persistent pool keeps it trivial and, more importantly,
+    // must not leak adverts or wedge its queue.
+    let exec = Executor::new(4);
+    for round in 0..300usize {
+        let items: Vec<usize> = (0..17).collect();
+        let out = exec.map_ref(&items, |&i| i + round);
+        assert_eq!(out[16], 16 + round);
+    }
+}
+
+#[test]
+fn panic_in_any_morsel_reaches_caller_and_pool_recovers() {
+    let exec = Executor::new(8);
+    for &bad in &[0usize, 1_234, 4_999] {
+        let items: Vec<usize> = (0..5_000).collect();
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.map_ref(&items, |&i| {
+                assert!(i != bad, "planted panic at {i}");
+                i
+            })
+        }));
+        assert!(result.is_err(), "panic at {bad} was swallowed");
+        // The pool must come back clean after each unwind.
+        let ok = exec.map_ref(&[1usize, 2, 3], |&i| i * 10);
+        assert_eq!(ok, vec![10, 20, 30]);
+    }
+}
+
+#[test]
+fn single_item_and_empty_inputs() {
+    let exec = Executor::new(16);
+    assert_eq!(exec.map_ref(&[42usize], |&i| i), vec![42]);
+    assert!(exec.map_ref(&[] as &[usize], |&i| i).is_empty());
+}
+
+#[test]
+fn nested_maps_across_worker_counts() {
+    // Nested dispatch (joins inside partition maps do this) must neither
+    // deadlock nor reorder, at any worker combination.
+    for outer_workers in [1usize, 2, 4] {
+        for inner_workers in [1usize, 4] {
+            let outer: Vec<usize> = (0..10).collect();
+            let out = Executor::new(outer_workers).map_ref(&outer, |&i| {
+                let inner: Vec<usize> = (0..50).collect();
+                Executor::new(inner_workers)
+                    .map_ref(&inner, |&j| i * 1_000 + j)
+                    .last()
+                    .copied()
+                    .unwrap()
+            });
+            let expected: Vec<usize> = (0..10).map(|i| i * 1_000 + 49).collect();
+            assert_eq!(
+                out, expected,
+                "mismatch at {outer_workers}x{inner_workers} workers"
+            );
+        }
+    }
+}

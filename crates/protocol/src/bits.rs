@@ -47,7 +47,11 @@ fn check(start_bit: u16, bit_len: u16, payload_len: usize, order: ByteOrder) -> 
                 return Err(out_of_bounds);
             }
             for _ in 1..bit_len {
-                pos = if pos.is_multiple_of(8) { pos + 15 } else { pos - 1 };
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos - 1
+                };
                 if pos >= payload_len * 8 {
                     return Err(out_of_bounds);
                 }
@@ -78,12 +82,7 @@ fn set_bit(data: &mut [u8], pos: usize, bit: u64) {
 ///
 /// Returns [`Error::InvalidBitLength`] for `bit_len` outside `1..=64` and
 /// [`Error::BitRangeOutOfBounds`] if the range leaves the payload.
-pub fn extract(
-    data: &[u8],
-    start_bit: u16,
-    bit_len: u16,
-    order: ByteOrder,
-) -> Result<u64> {
+pub fn extract(data: &[u8], start_bit: u16, bit_len: u16, order: ByteOrder) -> Result<u64> {
     check(start_bit, bit_len, data.len(), order)?;
     let mut value = 0u64;
     match order {
@@ -96,7 +95,11 @@ pub fn extract(
             let mut pos = start_bit as usize;
             for _ in 0..bit_len {
                 value = (value << 1) | get_bit(data, pos);
-                pos = if pos.is_multiple_of(8) { pos + 15 } else { pos.wrapping_sub(1) };
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos.wrapping_sub(1)
+                };
             }
         }
     }
@@ -108,12 +111,7 @@ pub fn extract(
 /// # Errors
 ///
 /// Same conditions as [`extract`].
-pub fn extract_signed(
-    data: &[u8],
-    start_bit: u16,
-    bit_len: u16,
-    order: ByteOrder,
-) -> Result<i64> {
+pub fn extract_signed(data: &[u8], start_bit: u16, bit_len: u16, order: ByteOrder) -> Result<i64> {
     let raw = extract(data, start_bit, bit_len, order)?;
     Ok(sign_extend(raw, bit_len))
 }
@@ -156,7 +154,11 @@ pub fn insert(
             let mut pos = start_bit as usize;
             for i in (0..bit_len as usize).rev() {
                 set_bit(data, pos, (value >> i) & 1);
-                pos = if pos.is_multiple_of(8) { pos + 15 } else { pos.wrapping_sub(1) };
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos.wrapping_sub(1)
+                };
             }
         }
     }

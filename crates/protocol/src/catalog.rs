@@ -250,7 +250,9 @@ mod tests {
     #[test]
     fn decode_payload_full_message() {
         let c = catalog();
-        let decoded = c.decode_payload("FC", 3, &[0x5A, 0x00, 0x01, 0x00]).unwrap();
+        let decoded = c
+            .decode_payload("FC", 3, &[0x5A, 0x00, 0x01, 0x00])
+            .unwrap();
         assert_eq!(decoded.len(), 2);
         assert_eq!(decoded[0].1, PhysicalValue::Num(45.0));
     }

@@ -161,8 +161,8 @@ pub fn parse_dbc_extended(text: &str, bus: &str) -> Result<(Catalog, Vec<MuxEntr
     let mut catalog = Catalog::new();
     let mut mux_entries: Vec<MuxEntry> = Vec::new();
     for pending in messages {
-        let mut builder = MessageSpec::builder(pending.id, &pending.name, bus, Protocol::Can)
-            .dlc(pending.dlc);
+        let mut builder =
+            MessageSpec::builder(pending.id, &pending.name, bus, Protocol::Can).dlc(pending.dlc);
         if let Some(&ms) = cycle_times.get(&pending.id) {
             builder = builder.cycle_time_ms(ms);
         }
@@ -260,9 +260,7 @@ fn parse_sg(rest: &str, line_no: usize) -> Result<PendingSignal> {
             let value: u64 = tok
                 .strip_prefix('m')
                 .and_then(|v| v.parse().ok())
-                .ok_or_else(|| {
-                    parse_err(line_no, format!("bad multiplex indicator '{tok}'"))
-                })?;
+                .ok_or_else(|| parse_err(line_no, format!("bad multiplex indicator '{tok}'")))?;
             MuxRole::Multiplexed(value)
         }
     };
@@ -563,7 +561,10 @@ VAL_ 120 state 0 "parking" 1 "standby" 2 "driving" ;
         for (text, needle) in [
             ("BO_ x Name: 8 E", "numeric id"),
             ("BO_ 1 Name 8 E", "'<name>:'"),
-            ("BO_ 1 N: 8 E\n SG_ s : 0|8@2+ (1,0) [0|1] \"\" R", "byte order"),
+            (
+                "BO_ 1 N: 8 E\n SG_ s : 0|8@2+ (1,0) [0|1] \"\" R",
+                "byte order",
+            ),
             (" SG_ s : 0|8@1+ (1,0) [0|1] \"\" R", "SG_ before any BO_"),
             ("VAL_ 1 s ;", "without any labels"),
         ] {

@@ -92,7 +92,10 @@ impl fmt::Display for Error {
                 write!(f, "frame truncated: need {expected} bytes, got {actual}")
             }
             Error::ChecksumMismatch { stored, computed } => {
-                write!(f, "checksum mismatch: stored {stored:#04x}, computed {computed:#04x}")
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#04x}, computed {computed:#04x}"
+                )
             }
             Error::UnknownMessage { bus, message_id } => {
                 write!(f, "no message {message_id} on channel {bus}")

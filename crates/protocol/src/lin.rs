@@ -48,9 +48,7 @@ impl LinFrame {
     /// the payload exceeds 8 bytes.
     pub fn new(id: u8, data: &[u8]) -> Result<LinFrame> {
         if id > 0x3F {
-            return Err(Error::InvalidSpec(format!(
-                "LIN id {id:#x} exceeds 6 bits"
-            )));
+            return Err(Error::InvalidSpec(format!("LIN id {id:#x} exceeds 6 bits")));
         }
         if data.len() > 8 {
             return Err(Error::InvalidSpec(format!(

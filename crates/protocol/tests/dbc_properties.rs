@@ -77,7 +77,9 @@ fn build_catalog(plans: &[Vec<SigPlan>]) -> Catalog {
             }
             builder = builder.signal(sig.build().expect("valid signal"));
         }
-        catalog.add_message(builder.build().expect("valid message")).expect("unique");
+        catalog
+            .add_message(builder.build().expect("valid message"))
+            .expect("unique");
     }
     catalog
 }

@@ -16,7 +16,9 @@ pub fn zscore_outliers(data: &[f64], threshold: f64) -> Vec<bool> {
     if s < 1e-12 {
         return vec![false; data.len()];
     }
-    data.iter().map(|&x| ((x - m) / s).abs() > threshold).collect()
+    data.iter()
+        .map(|&x| ((x - m) / s).abs() > threshold)
+        .collect()
 }
 
 /// Hampel filter: marks values deviating more than `n_sigmas` robust sigmas

@@ -221,7 +221,13 @@ mod tests {
     #[test]
     fn swab_small_input_delegates_to_bottom_up() {
         let data: Vec<f64> = (0..10).map(|i| i as f64).collect();
-        let a = swab(&data, SwabConfig { max_error: 0.1, buffer_len: 64 });
+        let a = swab(
+            &data,
+            SwabConfig {
+                max_error: 0.1,
+                buffer_len: 64,
+            },
+        );
         let b = bottom_up(&data, 0.1);
         assert_eq!(a, b);
     }
@@ -229,17 +235,33 @@ mod tests {
     #[test]
     fn segment_errors_within_budget_except_irreducible() {
         let data: Vec<f64> = (0..200)
-            .map(|i| if i % 7 == 0 { 3.0 } else { (i as f64 * 0.1).sin() })
+            .map(|i| {
+                if i % 7 == 0 {
+                    3.0
+                } else {
+                    (i as f64 * 0.1).sin()
+                }
+            })
             .collect();
         let budget = 0.8;
-        let segs = swab(&data, SwabConfig { max_error: budget, buffer_len: 48 });
+        let segs = swab(
+            &data,
+            SwabConfig {
+                max_error: budget,
+                buffer_len: 48,
+            },
+        );
         assert!(is_contiguous(&segs, data.len()));
         for s in &segs {
             // Merged segments obey the budget; irreducible 2-point pairs may not,
             // but a 2-point least-squares fit is exact, so all must comply except
             // possibly unmergeable minimal pieces, which are exact anyway.
             if s.len() > 2 {
-                assert!(s.error <= budget + 1e-9, "segment error {} over budget", s.error);
+                assert!(
+                    s.error <= budget + 1e-9,
+                    "segment error {} over budget",
+                    s.error
+                );
             }
         }
     }

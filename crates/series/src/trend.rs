@@ -99,7 +99,10 @@ mod tests {
         assert_eq!(classify_slope(-0.5, 0.1), Trend::Decreasing);
         assert_eq!(classify_slope(0.05, 0.1), Trend::Steady);
         assert_eq!(classify(&[1.0, 1.0, 1.0], 0.01), Trend::Steady);
-        assert_eq!(classify(&(0..9).map(f64::from).collect::<Vec<_>>(), 0.1), Trend::Increasing);
+        assert_eq!(
+            classify(&(0..9).map(f64::from).collect::<Vec<_>>(), 0.1),
+            Trend::Increasing
+        );
     }
 
     #[test]

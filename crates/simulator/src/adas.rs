@@ -85,11 +85,7 @@ pub fn object_list() -> Result<ObjectListModel> {
 /// # Errors
 ///
 /// Propagates payload-encoding failures.
-pub fn generate_object_trace(
-    model: &ObjectListModel,
-    duration_s: f64,
-    seed: u64,
-) -> Result<Trace> {
+pub fn generate_object_trace(model: &ObjectListModel, duration_s: f64, seed: u64) -> Result<Trace> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0x0B1EC7);
     let mut trace = Trace::new();
     let bus: Arc<str> = Arc::from(model.bus.as_str());
@@ -114,8 +110,7 @@ pub fn generate_object_trace(
             }
         }
         let payload = if tracked {
-            distance = (distance + rel_speed * model.period_ms as f64 / 1e3)
-                .clamp(1.0, 200.0);
+            distance = (distance + rel_speed * model.period_ms as f64 / 1e3).clamp(1.0, 200.0);
             if rng.gen_bool(0.1) {
                 rel_speed = rng.gen_range(-15.0..15.0);
             }
@@ -165,8 +160,7 @@ mod tests {
         let trace = generate_object_trace(&model, 60.0, 9).unwrap();
         assert_eq!(trace.len(), 600);
         // All three presence patterns occur: empty, full, and no-speed.
-        let masks: std::collections::HashSet<u8> =
-            trace.iter().map(|r| r.payload[0]).collect();
+        let masks: std::collections::HashSet<u8> = trace.iter().map(|r| r.payload[0]).collect();
         assert!(masks.contains(&0b000), "no-object instants missing");
         assert!(masks.contains(&0b111), "full instants missing");
         assert!(masks.contains(&0b101), "stationary-object instants missing");

@@ -59,7 +59,11 @@ pub fn wiper() -> Result<FunctionModel> {
                 .unit("deg")
                 .build()?,
         )
-        .signal(SignalSpec::builder("wvel", 16, 16).unit("rad/min").build()?)
+        .signal(
+            SignalSpec::builder("wvel", 16, 16)
+                .unit("rad/min")
+                .build()?,
+        )
         .build()?;
     let kind = MessageSpec::builder(11, "WiperType", "K-LIN", Protocol::Lin)
         .dlc(1)
@@ -505,7 +509,12 @@ pub fn camera() -> Result<FunctionModel> {
         )
         .signal(SignalSpec::builder("lane_count", 40, 4).build()?)
         // Wide diagnostic blob occupying the FD-only payload region.
-        .signal(SignalSpec::builder("cam_exposure", 128, 16).factor(0.01).unit("ms").build()?)
+        .signal(
+            SignalSpec::builder("cam_exposure", 128, 16)
+                .factor(0.01)
+                .unit("ms")
+                .build()?,
+        )
         .build()?;
     Ok(FunctionModel {
         name: "camera".into(),

@@ -217,8 +217,9 @@ impl NetworkModel {
                 })?;
                 states.push((s.name(), behavior, BehaviorState::new(seed, s.name())));
             }
-            let mut jitter_rng =
-                StdRng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(si as u64 + 1)));
+            let mut jitter_rng = StdRng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(si as u64 + 1)),
+            );
             let bus: Arc<str> = intern(&sender.bus, &mut bus_cache);
             let routes: Vec<(Arc<str>, u64)> = self
                 .gateways
@@ -388,7 +389,10 @@ mod tests {
             .map(|w| w[1].timestamp_us - w[0].timestamp_us)
             .max()
             .unwrap();
-        assert!(max_gap >= 250_000, "expected a >=250 ms gap, got {max_gap} us");
+        assert!(
+            max_gap >= 250_000,
+            "expected a >=250 ms gap, got {max_gap} us"
+        );
     }
 
     #[test]

@@ -244,7 +244,12 @@ pub fn generate(spec: &DataSetSpec) -> Result<GeneratedDataSet> {
     }
 
     if spec.with_gateway {
-        let all_ids: Vec<u32> = network.catalog().messages().iter().map(|m| m.id()).collect();
+        let all_ids: Vec<u32> = network
+            .catalog()
+            .messages()
+            .iter()
+            .map(|m| m.id())
+            .collect();
         network.add_gateway(GatewayRoute {
             from_bus: bus.clone(),
             to_bus: format!("{}-GW", spec.name),
@@ -446,10 +451,7 @@ mod tests {
         let spec = DataSetSpec::syn().with_target_examples(20_000);
         let d = generate(&spec).unwrap();
         let got = d.trace.len() as f64;
-        assert!(
-            got > 10_000.0 && got < 40_000.0,
-            "target 20k, got {got}"
-        );
+        assert!(got > 10_000.0 && got < 40_000.0, "target 20k, got {got}");
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl TraceStats {
     /// Streams sorted by instance count, descending (the "top talkers").
     pub fn top_talkers(&self, n: usize) -> Vec<&MessageStats> {
         let mut sorted: Vec<&MessageStats> = self.messages.iter().collect();
-        sorted.sort_by(|a, b| b.count.cmp(&a.count).then_with(|| a.message_id.cmp(&b.message_id)));
+        sorted.sort_by(|a, b| {
+            b.count
+                .cmp(&a.count)
+                .then_with(|| a.message_id.cmp(&b.message_id))
+        });
         sorted.truncate(n);
         sorted
     }
@@ -151,7 +155,11 @@ mod tests {
         let (_, trace) = trace_with(&FaultPlan::new());
         let stats = trace_stats(&trace);
         let wiper = stats.message("FC", 3).expect("wiper stream");
-        assert!((wiper.mean_gap_s - 0.1).abs() < 0.01, "mean {}", wiper.mean_gap_s);
+        assert!(
+            (wiper.mean_gap_s - 0.1).abs() < 0.01,
+            "mean {}",
+            wiper.mean_gap_s
+        );
         assert!(wiper.jitter_s < 0.01, "jitter {}", wiper.jitter_s);
     }
 

@@ -222,10 +222,8 @@ mod tests {
     use crate::scenario::{generate, DataSetSpec};
 
     fn temp_store(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "ivnt-store-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("ivnt-store-test-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         dir
     }
@@ -328,10 +326,8 @@ mod tests {
         let root = temp_store("fleet");
         let mut store = TraceStore::open(&root).unwrap();
         for i in 0..3u64 {
-            let data = generate(
-                &DataSetSpec::syn().with_duration_s(0.5).with_seed(100 + i),
-            )
-            .unwrap();
+            let data =
+                generate(&DataSetSpec::syn().with_duration_s(0.5).with_seed(100 + i)).unwrap();
             store
                 .add_journey(&format!("journey-{i}"), &data.trace)
                 .unwrap();
@@ -350,5 +346,4 @@ mod tests {
         assert!(TraceStore::open(&root).is_err());
         let _ = fs::remove_dir_all(root);
     }
-
 }

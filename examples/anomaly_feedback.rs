@@ -43,7 +43,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             top_k: 3,
         },
     )?;
-    println!("run 1 found {} anomalous value(s); learned extensions:", learned.len());
+    println!(
+        "run 1 found {} anomalous value(s); learned extensions:",
+        learned.len()
+    );
     for rule in &learned {
         println!("  {} (watching signal {})", rule.alias(), rule.signal());
     }

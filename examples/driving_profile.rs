@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         MessageSpec::builder(80, "Dynamics", "PT", Protocol::Can)
             .dlc(2)
             .cycle_time_ms(50)
-            .signal(SignalSpec::builder("speed", 0, 16).factor(0.01).unit("km/h").build()?)
+            .signal(
+                SignalSpec::builder("speed", 0, 16)
+                    .factor(0.01)
+                    .unit("km/h")
+                    .build()?,
+            )
             .build()?,
     )?;
     let mut network = NetworkModel::new(catalog);
@@ -27,15 +32,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // City: low speed, jittery.
                 (
                     20.0,
-                    Behavior::RandomWalk { start: 30.0, step: 0.6, min: 0.0, max: 60.0 },
+                    Behavior::RandomWalk {
+                        start: 30.0,
+                        step: 0.6,
+                        min: 0.0,
+                        max: 60.0,
+                    },
                 ),
                 // Highway: high speed, smooth.
                 (
                     20.0,
-                    Behavior::RandomWalk { start: 120.0, step: 0.3, min: 100.0, max: 140.0 },
+                    Behavior::RandomWalk {
+                        start: 120.0,
+                        step: 0.3,
+                        min: 100.0,
+                        max: 140.0,
+                    },
                 ),
                 // Parking: standstill.
-                (10.0, Behavior::Constant(ivnt::protocol::PhysicalValue::Num(0.0))),
+                (
+                    10.0,
+                    Behavior::Constant(ivnt::protocol::PhysicalValue::Num(0.0)),
+                ),
             ],
         },
     );

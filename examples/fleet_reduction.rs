@@ -41,10 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let reduced = pipeline.extract_reduced(&journey.trace)?;
         let interpreted: usize = reduced.iter().map(|(_, _, n)| n).sum();
         let kept: usize = reduced.iter().map(|(s, _, _)| s.len()).sum();
-        let dedup_covered: usize = reduced
-            .iter()
-            .map(|(_, d, _)| d.corresponding.len())
-            .sum();
+        let dedup_covered: usize = reduced.iter().map(|(_, d, _)| d.corresponding.len()).sum();
         println!(
             "journey {i}: {} raw records -> {} interpreted (representative) -> {} kept \
              ({:.1}% reduction; {} gateway channels covered by dedup)",

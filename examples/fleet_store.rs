@@ -53,8 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Spikes on smooth fast signals are *local* outliers: use the Hampel
     // detector (rolling median) rather than the global z-score.
     // The fleet domain watches the six fast dynamics signals.
-    let mut profile = DomainProfile::new("fleet-domain")
-        .with_signals((0..6).map(|i| format!("syn_s{i:04}")));
+    let mut profile =
+        DomainProfile::new("fleet-domain").with_signals((0..6).map(|i| format!("syn_s{i:04}")));
     profile.branch.outlier = OutlierMethod::Hampel {
         window: 9,
         n_sigmas: 10.0,

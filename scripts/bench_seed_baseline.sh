@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Measures the growth-seed implementation (the commit this PR series starts
+# from) on the current machine and workload, writing BENCH_seed.json at the
+# repo root. speed_probe merges that file into BENCH_interpret.json so the
+# before/after interpretation-throughput comparison is apples-to-apples:
+# same machine, same vendored RNG (hence a bit-identical trace), same probe.
+#
+# The seed declared registry dependencies (crossbeam, parking_lot, rand, …)
+# that are unavailable offline; this script checks the seed out into a
+# throwaway worktree and points those at the vendored stand-ins, adding the
+# two shims (scripts/seed_baseline/{crossbeam,parking_lot}) the seed's
+# executor needs.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+SEED_COMMIT=1e621dd915817aa6fcaaab328de402350bcfcfc3
+WORKTREE=.seedbench
+
+git worktree remove --force "$WORKTREE" 2>/dev/null || true
+git worktree add --detach "$WORKTREE" "$SEED_COMMIT"
+trap 'git worktree remove --force "$WORKTREE"' EXIT
+
+cp -r vendored "$WORKTREE"/vendored
+cp -r scripts/seed_baseline/crossbeam "$WORKTREE"/vendored/crossbeam
+cp -r scripts/seed_baseline/parking_lot "$WORKTREE"/vendored/parking_lot
+cp scripts/seed_baseline/seed_probe.rs "$WORKTREE"/crates/bench/src/bin/seed_probe.rs
+
+# Rewrites one full line of the seed's Cargo.toml to a vendored path dep.
+patch_line() {
+    local from=$1 to=$2
+    grep -qxF "$from" "$WORKTREE"/Cargo.toml || {
+        echo "seed Cargo.toml lacks expected line: $from" >&2
+        exit 1
+    }
+    python3 - "$WORKTREE"/Cargo.toml "$from" "$to" <<'EOF'
+import sys
+path, old, new = sys.argv[1:]
+text = open(path).read()
+open(path, "w").write(text.replace(old + "\n", new + "\n", 1))
+EOF
+}
+patch_line 'members = ["crates/*"]' 'members = ["crates/*", "vendored/*"]'
+patch_line 'rand = "0.8"' 'rand = { path = "vendored/rand" }'
+patch_line 'proptest = "1"' 'proptest = { path = "vendored/proptest" }'
+patch_line 'criterion = "0.5"' 'criterion = { path = "vendored/criterion" }'
+patch_line 'crossbeam = "0.8"' 'crossbeam = { path = "vendored/crossbeam" }'
+patch_line 'parking_lot = "0.12"' 'parking_lot = { path = "vendored/parking_lot" }'
+patch_line 'bytes = "1"' 'bytes = { path = "vendored/bytes" }'
+patch_line 'serde = { version = "1", features = ["derive"] }' \
+    'serde = { path = "vendored/serde", features = ["derive"] }'
+
+(cd "$WORKTREE" && cargo build --release -p ivnt-bench --bin seed_probe)
+(cd "$WORKTREE" && ./target/release/seed_probe)
+mv "$WORKTREE"/BENCH_seed.json BENCH_seed.json
+echo "wrote $(pwd)/BENCH_seed.json"

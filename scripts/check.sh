@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local twin of .github/workflows/ci.yml, plus the tier-1 gate from
+# ROADMAP.md. Run before pushing.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> tier-1: cargo build --release && cargo test -q"
+cargo build --release
+cargo test -q
+
+echo "==> cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "all checks passed"

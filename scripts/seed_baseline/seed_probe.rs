@@ -1,0 +1,129 @@
+//! Seed-implementation twin of `speed_probe`: same workload, same stages,
+//! measured against the seed's operators. Writes `BENCH_seed.json`, which
+//! the main tree's `speed_probe` merges into `BENCH_interpret.json` for the
+//! before/after comparison.
+
+use std::time::Instant;
+
+use ivnt_bench::{covered_fraction, scale, select_signals_for_fraction, u_rel_with_hints};
+use ivnt_core::interpret::{interpret, preselect};
+use ivnt_core::prelude::*;
+use ivnt_core::tabular::trace_to_frame;
+
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let target = (120_000.0 * scale()) as usize;
+    let runs = 5;
+    let data = ivnt_bench::vehicle_journey(target, 0)?;
+    let trace_rows = data.trace.len();
+    let u_rel = u_rel_with_hints(&data);
+    let signals = select_signals_for_fraction(&data, 9, 0.027);
+    let fraction = covered_fraction(&data, &signals);
+    let selected: Vec<&str> = signals.iter().map(String::as_str).collect();
+    let u_comb = u_rel.select(&selected)?;
+    let partitions = ivnt_frame::exec::default_workers();
+    let raw = trace_to_frame(&data.trace, partitions)?;
+
+    eprintln!(
+        "seed workload: {trace_rows} rows, 9/{} signals ({:.1}% of traffic), \
+         {partitions} partitions",
+        u_rel.len(),
+        fraction * 100.0
+    );
+
+    let mut results: Vec<(&str, f64, usize)> = Vec::new();
+
+    let pre = preselect(&raw, &u_comb)?;
+    let secs = median_secs(runs, || {
+        preselect(&raw, &u_comb).expect("preselect");
+    });
+    results.push(("seed_preselect", secs, pre.num_rows()));
+
+    let interpreted = interpret(&pre, &u_comb)?;
+    let secs = median_secs(runs, || {
+        let pre = preselect(&raw, &u_comb).expect("preselect");
+        interpret(&pre, &u_comb).expect("interpret");
+    });
+    results.push(("seed_interpret", secs, interpreted.num_rows()));
+
+    let profile = DomainProfile::new("table6").with_signals(selected.clone());
+    let pipeline = Pipeline::new(u_rel.clone(), profile)?;
+    let kept: usize = pipeline
+        .extract_reduced(&data.trace)?
+        .iter()
+        .map(|(s, _, _)| s.len())
+        .sum();
+    let secs = median_secs(runs, || {
+        pipeline.extract_reduced(&data.trace).expect("extract_reduced");
+    });
+    results.push(("seed_table6_9_signals", secs, kept));
+
+    let entries: Vec<String> = results
+        .iter()
+        .map(|(name, secs, rows_out)| {
+            format!(
+                concat!(
+                    "    {{\n",
+                    "      \"name\": \"{}\",\n",
+                    "      \"seconds\": {:.6},\n",
+                    "      \"rows_in\": {},\n",
+                    "      \"rows_out\": {},\n",
+                    "      \"rows_per_sec\": {:.1}\n",
+                    "    }}"
+                ),
+                name,
+                secs,
+                trace_rows,
+                rows_out,
+                trace_rows as f64 / secs
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"trace_rows\": {},\n",
+            "    \"signals_selected\": 9,\n",
+            "    \"signals_total\": {},\n",
+            "    \"traffic_fraction\": {:.4},\n",
+            "    \"partitions\": {},\n",
+            "    \"runs\": {}\n",
+            "  }},\n",
+            "  \"measurements\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        trace_rows,
+        u_rel.len(),
+        fraction,
+        partitions,
+        runs,
+        entries.join(",\n"),
+    );
+    std::fs::write("BENCH_seed.json", &json)?;
+
+    for (name, secs, rows_out) in &results {
+        println!(
+            "{:<22} {:>9.1} ms  {:>12.0} rows/s  ({} -> {} rows)",
+            name,
+            secs * 1e3,
+            trace_rows as f64 / secs,
+            trace_rows,
+            rows_out
+        );
+    }
+    println!("wrote BENCH_seed.json");
+    Ok(())
+}

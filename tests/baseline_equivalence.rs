@@ -29,8 +29,7 @@ fn pipeline_and_baseline_decode_identically() {
 
     // Group the pipeline rows per (signal, bus) in time order.
     type Instances = Vec<(f64, Option<f64>, Option<String>)>;
-    let mut pipe: HashMap<(String, String), Instances> =
-        HashMap::new();
+    let mut pipe: HashMap<(String, String), Instances> = HashMap::new();
     let sorted = ks
         .sort_by(&[c::T, c::SIGNAL, c::BUS], &[true, true, true])
         .expect("sort");
@@ -49,16 +48,15 @@ fn pipeline_and_baseline_decode_identically() {
         let base = ingested.signal_instances(name);
         assert!(!base.is_empty(), "baseline decoded no {name}");
         // Group baseline instances per bus too.
-        let mut base_by_bus: HashMap<&str, Vec<&ivnt::baseline::IngestedInstance>> =
-            HashMap::new();
+        let mut base_by_bus: HashMap<&str, Vec<&ivnt::baseline::IngestedInstance>> = HashMap::new();
         for inst in base {
             base_by_bus.entry(inst.bus.as_str()).or_default().push(inst);
         }
         for (bus, instances) in base_by_bus {
             let key = (name.clone(), bus.to_string());
-            let pipe_rows = pipe.get(&key).unwrap_or_else(|| {
-                panic!("pipeline produced no rows for {name} on {bus}")
-            });
+            let pipe_rows = pipe
+                .get(&key)
+                .unwrap_or_else(|| panic!("pipeline produced no rows for {name} on {bus}"));
             assert_eq!(
                 pipe_rows.len(),
                 instances.len(),
@@ -68,7 +66,12 @@ fn pipeline_and_baseline_decode_identically() {
                 assert!((p.0 - b.t).abs() < 1e-9, "timestamps differ for {name}");
                 match &b.value {
                     ivnt::protocol::PhysicalValue::Num(v) => {
-                        assert_eq!(p.1, Some(*v), "numeric value differs for {name} at t={}", b.t)
+                        assert_eq!(
+                            p.1,
+                            Some(*v),
+                            "numeric value differs for {name} at t={}",
+                            b.t
+                        )
                     }
                     ivnt::protocol::PhysicalValue::Text(s) => {
                         assert_eq!(

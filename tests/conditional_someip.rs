@@ -43,7 +43,10 @@ fn conditional_fields_extract_only_when_present() {
     assert!(n_dist > 0, "no distance instances");
     assert_eq!(n_dist, n_class, "distance and class share presence");
     assert!(n_speed < n_dist, "speed must be present less often");
-    assert!(n_dist < trace.len(), "absent instants must produce no instances");
+    assert!(
+        n_dist < trace.len(),
+        "absent instants must produce no instances"
+    );
 
     // No null values: absence is dropped, not null-decoded.
     let rows = ks.collect_rows().expect("rows");
@@ -123,11 +126,19 @@ fn conditional_signal_flows_through_full_pipeline() {
     assert_eq!(output.signals.len(), 3);
     // The distance is fast numeric -> α; the class is nominal -> γ.
     assert_eq!(
-        output.signal("obj_distance").expect("distance").classification.branch,
+        output
+            .signal("obj_distance")
+            .expect("distance")
+            .classification
+            .branch,
         Branch::Alpha
     );
     assert_eq!(
-        output.signal("obj_class").expect("class").classification.branch,
+        output
+            .signal("obj_class")
+            .expect("class")
+            .classification
+            .branch,
         Branch::Gamma
     );
     assert!(output.state.schema().contains("obj_distance"));

@@ -48,10 +48,10 @@ fn trace() -> Trace {
         p
     };
     Trace::from_records(vec![
-        rec(0, 3, vec![0x5A, 0x00, 0x01, 0x00]), // wpos 45, wvel 1
-        rec(50, 96, temp(820, 0)),               // oil 42 C
+        rec(0, 3, vec![0x5A, 0x00, 0x01, 0x00]),   // wpos 45, wvel 1
+        rec(50, 96, temp(820, 0)),                 // oil 42 C
         rec(100, 3, vec![0x78, 0x00, 0x01, 0x00]), // wpos 60
-        rec(150, 96, temp(905, 1)),              // coolant 50.5 C
+        rec(150, 96, temp(905, 1)),                // coolant 50.5 C
     ])
 }
 
@@ -72,7 +72,9 @@ fn dbc_parameterizes_the_pipeline() {
 
 #[test]
 fn dbc_mux_values_decode_correctly() {
-    let rules = rules_from_matrix().select(&["oil_temp", "coolant_temp"]).expect("select");
+    let rules = rules_from_matrix()
+        .select(&["oil_temp", "coolant_temp"])
+        .expect("select");
     let pipeline = Pipeline::new(rules, DomainProfile::new("diag")).expect("pipeline");
     let ks = pipeline.extract(&trace()).expect("extract");
     let rows = ks

@@ -48,8 +48,11 @@ fn pipeline_output_identical_across_worker_counts() {
     let data = dataset();
     let u_rel = RuleSet::from_network(&data.network);
     let run = |workers: usize| {
-        ivnt::frame::exec::set_default_workers(workers);
-        let profile = DomainProfile::new("det").with_partitions(4);
+        // Explicit per-profile workers: mutating the process-wide default
+        // here would leak into every other test in this binary.
+        let profile = DomainProfile::new("det")
+            .with_partitions(4)
+            .with_workers(workers);
         let out = Pipeline::new(u_rel.clone(), profile)
             .expect("pipeline")
             .run(&data.trace)
@@ -58,7 +61,6 @@ fn pipeline_output_identical_across_worker_counts() {
     };
     let serial = run(1);
     let parallel = run(8);
-    ivnt::frame::exec::set_default_workers(4);
     assert_eq!(serial, parallel);
 }
 
@@ -74,5 +76,8 @@ fn repeated_runs_are_identical() {
         a.state.collect_rows().expect("rows"),
         b.state.collect_rows().expect("rows")
     );
-    assert_eq!(a.outlier_count().expect("count"), b.outlier_count().expect("count"));
+    assert_eq!(
+        a.outlier_count().expect("count"),
+        b.outlier_count().expect("count")
+    );
 }

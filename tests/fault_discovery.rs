@@ -9,7 +9,8 @@ use ivnt::simulator::prelude::*;
 
 fn network() -> NetworkModel {
     let mut n = NetworkModel::new(ivnt::protocol::Catalog::new());
-    n.add_function(functions::wiper().expect("wiper")).expect("install");
+    n.add_function(functions::wiper().expect("wiper"))
+        .expect("install");
     n.add_function(functions::drivetrain().expect("drivetrain"))
         .expect("install");
     n.auto_senders();

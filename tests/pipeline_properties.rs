@@ -10,10 +10,10 @@ use proptest::prelude::*;
 /// A small randomized data-set spec (shape only; content is seeded).
 fn arb_spec() -> impl Strategy<Value = DataSetSpec> {
     (
-        1usize..4,   // alpha
-        0usize..4,   // beta
-        0usize..4,   // gamma
-        1u64..500,   // seed
+        1usize..4, // alpha
+        0usize..4, // beta
+        0usize..4, // gamma
+        1u64..500, // seed
         any::<bool>(),
     )
         .prop_map(|(a, b, g, seed, gateway)| DataSetSpec {

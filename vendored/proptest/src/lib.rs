@@ -1,0 +1,150 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace uses: the [`proptest!`] macro,
+//! `prop_assert*` / [`prop_assume!`], the [`strategy::Strategy`] trait with
+//! range / tuple / collection / sample / option strategies, `any::<T>()`,
+//! and a per-(test, case) deterministic RNG. Unlike upstream proptest there
+//! is no shrinking: a failing case reports its inputs verbatim.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod sample;
+pub mod strategy;
+pub mod test_runner;
+
+/// Prelude mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests: each `fn` runs `config.cases` times with inputs
+/// drawn from its strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($config) $($rest)*);
+    };
+    (@with_config ($config:expr) $(
+        $(#[$attr:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        #[test]
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let test_name = concat!(module_path!(), "::", stringify!($name));
+            let mut case: u32 = 0;
+            let mut rejects: u32 = 0;
+            while case < config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(
+                    test_name,
+                    u64::from(case) + (u64::from(rejects) << 32),
+                );
+                let mut input_dbg: Vec<String> = Vec::new();
+                $(
+                    let generated =
+                        $crate::strategy::Strategy::generate(&($strat), &mut rng);
+                    input_dbg.push(format!(
+                        "{} = {:?}",
+                        stringify!($arg),
+                        &generated
+                    ));
+                    let $arg = generated;
+                )*
+                let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::core::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => case += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        rejects += 1;
+                        assert!(
+                            rejects < 4096,
+                            "{test_name}: too many prop_assume! rejections"
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(msg)) => panic!(
+                        "proptest case failed: {}\n{} case #{}\ninputs:\n  {}",
+                        msg,
+                        test_name,
+                        case,
+                        input_dbg.join("\n  ")
+                    ),
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::Config::default()) $($rest)*);
+    };
+}
+
+/// Fails the current case (without panicking the runner) when `cond` is
+/// false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when `left != right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+            }
+        }
+    };
+    ($left:expr, $right:expr, $($fmt:tt)*) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(
+                    *l == *r,
+                    "assertion failed: {:?} != {:?}: {}",
+                    l,
+                    r,
+                    format!($($fmt)*)
+                );
+            }
+        }
+    };
+}
+
+/// Fails the current case when `left == right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {
+        match (&$left, &$right) {
+            (l, r) => {
+                $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+            }
+        }
+    };
+}
+
+/// Discards the current case (drawing a fresh one) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}

@@ -1,0 +1,24 @@
+//! Sampling strategies (`prop::sample`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+/// Strategy drawing one of `options` uniformly.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    assert!(!options.is_empty(), "select requires at least one option");
+    Select { options }
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.options[rng.usize_in(0, self.options.len())].clone()
+    }
+}

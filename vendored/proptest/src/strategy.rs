@@ -1,0 +1,180 @@
+//! The [`Strategy`] trait and the core combinators.
+
+use crate::test_runner::TestRng;
+use std::ops::{Range, RangeInclusive};
+
+/// A recipe for generating values of one type.
+///
+/// Upstream proptest separates strategies from value trees to support
+/// shrinking; this stand-in samples directly.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy always yielding a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = (rng.next_u64() as u128) % span;
+                (self.start as i128 + draw as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = (rng.next_u64() as u128) % span;
+                (lo as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (self.end - self.start) * rng.unit_f64() as $t
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+tuple_strategy!(A, B, C, D, E, F, G);
+tuple_strategy!(A, B, C, D, E, F, G, H);
+tuple_strategy!(A, B, C, D, E, F, G, H, I);
+tuple_strategy!(A, B, C, D, E, F, G, H, I, J);
+
+/// String-literal strategies: a minimal regex subset.
+///
+/// Supports `<class>{lo,hi}` where the class is `\PC` (any non-control
+/// character, upstream proptest's printable class) or a literal character
+/// set; anything unrecognized yields the literal itself.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (class, lo, hi) = match parse_repeat(self) {
+            Some(parts) => parts,
+            None => return (*self).to_string(),
+        };
+        let len = if lo == hi {
+            lo
+        } else {
+            rng.usize_in(lo, hi + 1)
+        };
+        let mut out = String::with_capacity(len);
+        for _ in 0..len {
+            out.push(sample_class(class, rng));
+        }
+        out
+    }
+}
+
+fn parse_repeat(pattern: &str) -> Option<(&str, usize, usize)> {
+    let open = pattern.rfind('{')?;
+    let body = pattern.strip_suffix('}')?.get(open + 1..)?;
+    let (lo, hi) = match body.split_once(',') {
+        Some((a, b)) => (a.parse().ok()?, b.parse().ok()?),
+        None => {
+            let n = body.parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((&pattern[..open], lo, hi))
+}
+
+fn sample_class(class: &str, rng: &mut TestRng) -> char {
+    match class {
+        // \PC: anything but control characters. Bias towards ASCII with an
+        // occasional non-ASCII scalar to exercise multi-byte handling.
+        "\\PC" | "." => {
+            if rng.next_u64().is_multiple_of(8) {
+                char::from_u32(rng.usize_in(0xA1, 0x2FFF) as u32).unwrap_or('¿')
+            } else {
+                (rng.usize_in(0x20, 0x7F) as u8) as char
+            }
+        }
+        "[a-z]" => (rng.usize_in(b'a' as usize, b'z' as usize + 1) as u8) as char,
+        "[0-9]" | "\\d" => (rng.usize_in(b'0' as usize, b'9' as usize + 1) as u8) as char,
+        _ => (rng.usize_in(0x21, 0x7F) as u8) as char,
+    }
+}

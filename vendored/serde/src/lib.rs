@@ -1,0 +1,19 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The workspace builds in environments without registry access, so external
+//! dependencies are vendored as minimal API-compatible stubs. This crate
+//! provides the `Serialize`/`Deserialize` marker traits and re-exports the
+//! no-op derive macros; the codebase only uses the derives as annotations
+//! (no serialization format is wired up yet).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait matching `serde::Serialize`'s role in trait bounds.
+pub trait Serialize {}
+
+/// Marker trait matching `serde::Deserialize`'s role in trait bounds.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
