@@ -153,6 +153,190 @@ pub fn extract(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `ivnt store <ingest|info|extract>` — the chunked columnar trace store.
+///
+/// # Errors
+///
+/// Reports unknown subcommands and the subcommands' own failures.
+pub fn store(args: &Args) -> CmdResult {
+    match args.positional(0, "ingest|info|extract")? {
+        "ingest" => store_ingest(args),
+        "info" => store_info(args),
+        "extract" => store_extract(args),
+        other => Err(format!(
+            "unknown store subcommand {other:?} (use ingest|info|extract)"
+        )),
+    }
+}
+
+/// Chunk-geometry flags shared by `store ingest`.
+fn writer_options(args: &Args) -> Result<ivnt_store::WriterOptions, String> {
+    let mut options = ivnt_store::WriterOptions::default();
+    if let Some(rows) = args.get_parsed::<usize>("chunk-rows")? {
+        options.chunk_rows = rows;
+    }
+    if let Some(chunks) = args.get_parsed::<usize>("chunks-per-group")? {
+        options.chunks_per_group = chunks;
+    }
+    if let Some(cluster) = args.get_parsed::<bool>("cluster")? {
+        options.cluster = cluster;
+    }
+    Ok(options)
+}
+
+/// `ivnt store ingest [--from trace.ivnt|trace.csv] [--scenario syn ...]
+/// [--chunk-rows N] [--chunks-per-group N] [--cluster true|false] <out.ivns>`
+///
+/// Converts a legacy binary trace or a raw-trace CSV into the chunked
+/// columnar format; without `--from`, records a simulated scenario
+/// directly into it.
+fn store_ingest(args: &Args) -> CmdResult {
+    let out_path = args.positional(1, "out.ivns")?;
+    let trace = match args.get("from") {
+        Some(path) if path.ends_with(".csv") => {
+            let file = File::open(path).map_err(err)?;
+            ivnt_simulator::store::read_csv_trace(BufReader::new(file)).map_err(err)?
+        }
+        Some(path) => {
+            let file = File::open(path).map_err(err)?;
+            Trace::read_from(BufReader::new(file)).map_err(err)?
+        }
+        None => {
+            scenario::generate(&scenario_spec(args)?)
+                .map_err(err)?
+                .trace
+        }
+    };
+    let options = writer_options(args)?;
+    let group_rows = options.group_rows();
+    let mut writer = ivnt_store::StoreWriter::create(out_path, options).map_err(err)?;
+    for r in trace.records() {
+        writer
+            .append(&ivnt_simulator::store::to_store_record(r))
+            .map_err(err)?;
+    }
+    let rows = writer.rows();
+    writer.finish().map_err(err)?;
+    println!(
+        "ingested {out_path}: {} records over {:.1} s ({} rows/group)",
+        rows,
+        trace.duration_s(),
+        group_rows,
+    );
+    Ok(())
+}
+
+/// `ivnt store info <trace.ivns>` — footer statistics and chunk index.
+fn store_info(args: &Args) -> CmdResult {
+    let path = args.positional(1, "trace.ivns")?;
+    let reader = ivnt_store::StoreReader::open(path).map_err(err)?;
+    let footer = reader.footer();
+    let layout = if footer.clustered {
+        "clustered"
+    } else {
+        "time-ordered"
+    };
+    println!(
+        "{path}: {} records in {} chunks / {} groups ({layout}, {} rows/group)",
+        footer.rows,
+        footer.chunks.len(),
+        footer.groups,
+        footer.group_rows,
+    );
+    let buses: Vec<&str> = footer.buses.iter().map(AsRef::as_ref).collect();
+    println!("buses: {}", buses.join(", "));
+    if let (Some(first), Some(last)) = (footer.chunks.first(), footer.chunks.last()) {
+        let min_t = footer.chunks.iter().map(|c| c.zone.min_t_us).min();
+        let max_t = footer.chunks.iter().map(|c| c.zone.max_t_us).max();
+        println!(
+            "time span: {:.3} s – {:.3} s, payload region {} bytes",
+            min_t.unwrap_or(first.zone.min_t_us) as f64 / 1e6,
+            max_t.unwrap_or(last.zone.max_t_us) as f64 / 1e6,
+            footer.chunks.iter().map(|c| u64::from(c.len)).sum::<u64>(),
+        );
+    }
+    let listed = args.get_parsed::<usize>("chunks")?.unwrap_or(0);
+    if listed > 0 {
+        println!(
+            "  {:<6} {:<6} {:>6} {:>12} {:>12} {:>10}",
+            "chunk", "group", "rows", "min t", "max t", "m_id range"
+        );
+        for (i, c) in footer.chunks.iter().take(listed).enumerate() {
+            println!(
+                "  {:<6} {:<6} {:>6} {:>10.3}s {:>10.3}s {:>4}..{}",
+                i,
+                c.group,
+                c.rows,
+                c.zone.min_t_us as f64 / 1e6,
+                c.zone.max_t_us as f64 / 1e6,
+                c.zone.min_mid,
+                c.zone.max_mid,
+            );
+        }
+    }
+    Ok(())
+}
+
+/// `ivnt store extract --scenario syn [--seed S] [--signals a,b]
+/// [--csv out.csv] <trace.ivns>`
+///
+/// Runs interpretation directly against the store: the pipeline's
+/// preselection predicate is pushed into the chunk scan, so chunks whose
+/// zone maps cannot match are never read from disk.
+fn store_extract(args: &Args) -> CmdResult {
+    let path = args.positional(1, "trace.ivns")?;
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
+    let mut u_rel = RuleSet::from_network(&data.network);
+    for (signal, (_, comparable)) in &data.signal_classes {
+        let _ = u_rel.set_comparable(signal, *comparable);
+    }
+    let mut profile = DomainProfile::new("cli-store");
+    if let Some(list) = args.get("signals") {
+        let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
+        profile = profile.with_signals(names);
+    }
+    let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
+    let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
+    let (frame, stats) = pipeline
+        .extract_from_store_with_stats(&mut reader)
+        .map_err(err)?;
+    println!("interpreted {} signal rows from {path}", frame.num_rows());
+    println!(
+        "scan: {}/{} chunks decoded, {} skipped by zone maps ({:.0}% pruned), peak {} rows buffered",
+        stats.chunks_scanned,
+        stats.chunks_total,
+        stats.chunks_skipped,
+        stats.skip_ratio() * 100.0,
+        stats.peak_rows_buffered,
+    );
+    if let Some(csv_path) = args.get("csv") {
+        let file = File::create(csv_path).map_err(err)?;
+        ivnt_frame::csv::write_csv(&frame, BufWriter::new(file)).map_err(err)?;
+        println!("interpreted signals written to {csv_path}");
+    } else {
+        let mut counts: Vec<(String, usize)> = Vec::new();
+        for v in frame
+            .column_values(ivnt_core::tabular::columns::SIGNAL)
+            .map_err(err)?
+        {
+            let name = match v {
+                ivnt_frame::value::Value::Str(s) => s.to_string(),
+                other => format!("{other:?}"),
+            };
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for (name, count) in counts {
+            println!("  {name:<14} {count:>8} rows");
+        }
+    }
+    Ok(())
+}
+
 /// `ivnt dbc <file.dbc> [--bus NAME]` — parse and summarize a DBC file.
 ///
 /// # Errors
@@ -206,6 +390,12 @@ USAGE:
   ivnt inspect <trace.ivnt>
   ivnt extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                [--state-csv out.csv] [--report out.md] [--rows N] <trace.ivnt>
+  ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
+                      [--seed S] [--examples N]] [--chunk-rows N]
+                      [--chunks-per-group N] [--cluster true|false] <out.ivns>
+  ivnt store info    [--chunks N] <trace.ivns>
+  ivnt store extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
+                      [--csv out.csv] <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]
 "
 }

@@ -23,6 +23,7 @@ fn main() {
         "record" => commands::record(&parsed),
         "inspect" => commands::inspect(&parsed),
         "extract" => commands::extract(&parsed),
+        "store" => commands::store(&parsed),
         "dbc" => commands::dbc(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::usage());

@@ -23,6 +23,8 @@ pub enum Error {
     },
     /// Inconsistent pipeline parameterization.
     InvalidProfile(String),
+    /// Failure reading a trace from the on-disk store.
+    Store(ivnt_store::Error),
 }
 
 impl fmt::Display for Error {
@@ -35,6 +37,7 @@ impl fmt::Display for Error {
                 write!(f, "channel copies of {signal} disagree: {detail}")
             }
             Error::InvalidProfile(msg) => write!(f, "invalid domain profile: {msg}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
         }
     }
 }
@@ -44,6 +47,7 @@ impl std::error::Error for Error {
         match self {
             Error::Frame(e) => Some(e),
             Error::Protocol(e) => Some(e),
+            Error::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -58,6 +62,12 @@ impl From<ivnt_frame::Error> for Error {
 impl From<ivnt_protocol::Error> for Error {
     fn from(e: ivnt_protocol::Error) -> Self {
         Error::Protocol(e)
+    }
+}
+
+impl From<ivnt_store::Error> for Error {
+    fn from(e: ivnt_store::Error) -> Self {
+        Error::Store(e)
     }
 }
 

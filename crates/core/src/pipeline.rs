@@ -268,6 +268,77 @@ impl Pipeline {
         extract_signals(&self.raw_frame(trace)?, &self.u_comb)
     }
 
+    /// The store-scan predicate corresponding to this domain's
+    /// preselection (line 3): the `(b_id, m_id)` pairs of `U_comb`.
+    pub fn store_predicate(&self) -> ivnt_store::Predicate {
+        ivnt_store::Predicate::for_messages(
+            self.u_comb
+                .rules()
+                .iter()
+                .map(|r| (r.bus.clone(), r.message_id)),
+        )
+    }
+
+    /// Lines 3–6 straight from the on-disk store: pushes the domain's
+    /// preselection down to the storage layer as a zone-map predicate, so
+    /// chunks without relevant messages are skipped unread, and feeds each
+    /// surviving row group through the fused interpretation kernel as its
+    /// own morsel. Peak memory is bounded by one row group plus the
+    /// (preselected, hence small) interpreted output — the trace itself is
+    /// never materialized.
+    ///
+    /// Produces exactly the rows of [`Pipeline::extract`] on the same
+    /// trace, in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store corruption/I/O errors ([`Error::Store`]) and
+    /// tabular-engine failures.
+    pub fn extract_from_store<R>(
+        &self,
+        reader: &mut ivnt_store::StoreReader<R>,
+    ) -> Result<DataFrame>
+    where
+        R: std::io::Read + std::io::Seek,
+    {
+        Ok(self.extract_from_store_with_stats(reader)?.0)
+    }
+
+    /// [`Pipeline::extract_from_store`] plus the scan's skip statistics —
+    /// the bench probe and the acceptance tests read these.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::extract_from_store`].
+    pub fn extract_from_store_with_stats<R>(
+        &self,
+        reader: &mut ivnt_store::StoreReader<R>,
+    ) -> Result<(DataFrame, ivnt_store::ScanStats)>
+    where
+        R: std::io::Read + std::io::Seek,
+    {
+        let pred = self.store_predicate();
+        let raw_schema = crate::tabular::raw_schema();
+        let mut parts: Vec<Batch> = Vec::new();
+        let stats = reader.scan::<Error, _>(&pred, |group| {
+            let raw = ivnt_store::schema::records_to_batch(raw_schema.clone(), &group)
+                .map_err(Error::from)?;
+            let morsel = DataFrame::from_partitions(raw_schema.clone(), vec![raw])?;
+            let interpreted = extract_signals(&morsel, &self.u_comb)?;
+            parts.extend(interpreted.partitions().iter().cloned());
+            Ok(())
+        })?;
+        if parts.is_empty() {
+            parts.push(Batch::empty(crate::interpret::signal_schema()));
+        }
+        let frame = DataFrame::from_partitions(crate::interpret::signal_schema(), parts)?;
+        let frame = match self.profile.workers {
+            Some(workers) => frame.with_executor(Executor::new(workers)),
+            None => frame,
+        };
+        Ok((frame, stats))
+    }
+
     /// Interpretation *without* preselection — the ablation showing why
     /// line 3 matters: every rule joins against every raw row.
     ///
@@ -566,6 +637,48 @@ mod tests {
                 .collect_rows()
                 .unwrap()
         );
+    }
+
+    #[test]
+    fn store_extraction_matches_in_memory_extraction() {
+        use ivnt_store::{Record, StoreReader, StoreWriter, WriterOptions};
+        let network = vehicle();
+        let trace = network.simulate(10.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("store").with_signals(["wpos"]);
+        let p = Pipeline::new(u_rel, profile).unwrap();
+
+        let mut writer = StoreWriter::new(
+            Vec::new(),
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 4,
+                cluster: true,
+            },
+        )
+        .unwrap();
+        for r in trace.records() {
+            writer
+                .append(&Record {
+                    timestamp_us: r.timestamp_us,
+                    bus: r.bus.clone(),
+                    message_id: r.message_id,
+                    payload: r.payload.clone(),
+                    protocol: r.protocol,
+                })
+                .unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let mut reader = StoreReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+
+        let (from_store, stats) = p.extract_from_store_with_stats(&mut reader).unwrap();
+        let in_memory = p.extract(&trace).unwrap();
+        assert_eq!(
+            from_store.collect_rows().unwrap(),
+            in_memory.collect_rows().unwrap()
+        );
+        assert!(stats.chunks_skipped > 0, "{stats:?}");
+        assert!(stats.peak_rows_buffered <= 64 * 4);
     }
 
     #[test]

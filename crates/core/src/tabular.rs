@@ -8,17 +8,13 @@ use ivnt_simulator::trace::Trace;
 use crate::error::Result;
 
 /// Column names of the raw-trace frame (the tabular `K_b`).
+///
+/// The raw-trace names are canonical in [`ivnt_store::schema::columns`] —
+/// shared with the on-disk store so frames scanned from disk and frames
+/// built from in-memory traces agree by construction.
 pub mod columns {
-    /// Timestamp in seconds (`t`).
-    pub const T: &str = "t";
-    /// Payload bytes (`l`).
-    pub const PAYLOAD: &str = "l";
-    /// Channel identifier (`b_id`).
-    pub const BUS: &str = "b_id";
-    /// Message identifier (`m_id`).
-    pub const MESSAGE_ID: &str = "m_id";
-    /// Protocol tag (`m_info`).
-    pub const INFO: &str = "m_info";
+    pub use ivnt_store::schema::columns::{BUS, INFO, MESSAGE_ID, PAYLOAD, T};
+
     /// Signal identifier (`s_id`), present from interpretation onwards.
     pub const SIGNAL: &str = "s_id";
     /// Numeric physical value (null for textual signals).
@@ -27,17 +23,9 @@ pub mod columns {
     pub const VALUE_TEXT: &str = "v_text";
 }
 
-/// Schema of the tabular raw trace `K_b`.
+/// Schema of the tabular raw trace `K_b` (canonical in `ivnt_store`).
 pub fn raw_schema() -> Arc<Schema> {
-    Schema::from_pairs([
-        (columns::T, DataType::Float),
-        (columns::PAYLOAD, DataType::Bytes),
-        (columns::BUS, DataType::Str),
-        (columns::MESSAGE_ID, DataType::Int),
-        (columns::INFO, DataType::Str),
-    ])
-    .expect("static schema is valid")
-    .into_shared()
+    ivnt_store::schema::raw_trace_schema()
 }
 
 /// Converts a recorded trace into the partitioned tabular form `K_b`,

@@ -42,6 +42,31 @@ impl Column {
         }
     }
 
+    /// Builds a non-null float column without per-cell wrapping.
+    pub fn from_floats<I: IntoIterator<Item = f64>>(values: I) -> Self {
+        Column::Float(values.into_iter().map(Some).collect())
+    }
+
+    /// Builds a non-null integer column without per-cell wrapping.
+    pub fn from_ints<I: IntoIterator<Item = i64>>(values: I) -> Self {
+        Column::Int(values.into_iter().map(Some).collect())
+    }
+
+    /// Builds a non-null boolean column without per-cell wrapping.
+    pub fn from_bools<I: IntoIterator<Item = bool>>(values: I) -> Self {
+        Column::Bool(values.into_iter().map(Some).collect())
+    }
+
+    /// Builds a non-null string column from shared payloads.
+    pub fn from_strs<I: IntoIterator<Item = Arc<str>>>(values: I) -> Self {
+        Column::Str(values.into_iter().map(Some).collect())
+    }
+
+    /// Builds a non-null bytes column from shared payloads.
+    pub fn from_byte_payloads<I: IntoIterator<Item = Arc<[u8]>>>(values: I) -> Self {
+        Column::Bytes(values.into_iter().map(Some).collect())
+    }
+
     /// Builds a column of `data_type` from an iterator of values.
     ///
     /// # Errors
@@ -365,6 +390,18 @@ mod tests {
         .unwrap();
         assert_eq!(c.len(), 3);
         assert!(Column::from_values(DataType::Str, vec![Value::Int(1)]).is_err());
+    }
+
+    #[test]
+    fn non_null_constructors() {
+        assert_eq!(Column::from_ints([1, 2]), int_col(&[1, 2]));
+        assert_eq!(Column::from_floats([1.5]), Column::Float(vec![Some(1.5)]));
+        assert_eq!(Column::from_bools([true]), Column::Bool(vec![Some(true)]));
+        let s = Column::from_strs([Arc::from("a")]);
+        assert_eq!(s.get(0), Value::from("a"));
+        let b = Column::from_byte_payloads([Arc::from(&[7u8][..])]);
+        assert_eq!(b.null_count(), 0);
+        assert_eq!(b.data_type(), DataType::Bytes);
     }
 
     #[test]

@@ -117,55 +117,107 @@ fn parse_cell(cell: &str, dtype: DataType) -> Result<Value> {
     })
 }
 
-/// Reads CSV written by [`write_csv`] into a single-partition frame with
-/// the given schema (the header row is validated against it). A `&mut`
-/// reference to any reader can be passed.
+/// Rows per partition batch produced by [`read_csv`]. Bounds the working
+/// set of the parse (one batch of columns) independent of file size, and
+/// gives downstream operators partitions to parallelize over.
+const READ_BATCH_ROWS: usize = 8 * 1024;
+
+/// Reads CSV written by [`write_csv`] into a frame with the given schema
+/// (the header row is validated against it). A `&mut` reference to any
+/// reader can be passed.
+///
+/// The input is streamed: one reused line buffer plus at most
+/// [`READ_BATCH_ROWS`] decoded rows are held at a time, and every
+/// `READ_BATCH_ROWS` rows are sealed into their own partition. Line
+/// endings may be LF or CRLF. Errors cite the 1-based physical line of
+/// the offending record.
 ///
 /// # Errors
 ///
-/// Returns [`Error::SchemaMismatch`] for header/schema disagreement and
-/// [`Error::Eval`] for unparsable cells.
+/// Returns [`Error::SchemaMismatch`] for header/schema disagreement or
+/// field-count mismatches, and [`Error::Eval`] for unparsable cells and
+/// I/O failures.
 pub fn read_csv<R: Read>(reader: R, schema: Arc<Schema>) -> Result<DataFrame> {
-    let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .transpose()
-        .map_err(|e| Error::Eval(format!("csv read failed: {e}")))?
-        .ok_or_else(|| Error::Eval("csv input is empty".into()))?;
-    let names = split_record(&header)?;
+    let mut reader = BufReader::new(reader);
+    let mut line = String::new();
+    let mut line_no = 0u64;
+    if read_trimmed_line(&mut reader, &mut line, &mut line_no)?.is_none() {
+        return Err(Error::Eval("csv input is empty".into()));
+    }
+    let names = split_record(&line)?;
     let expected: Vec<&str> = schema.fields().iter().map(|f| f.name()).collect();
     if names != expected {
         return Err(Error::SchemaMismatch(format!(
             "csv header {names:?} does not match schema {expected:?}"
         )));
     }
-    let mut columns: Vec<Column> = schema
-        .fields()
-        .iter()
-        .map(|f| Column::new_empty(f.data_type()))
-        .collect();
-    let mut rows = 0usize;
-    for line in lines {
-        let line = line.map_err(|e| Error::Eval(format!("csv read failed: {e}")))?;
+    let new_columns = |schema: &Schema| -> Vec<Column> {
+        schema
+            .fields()
+            .iter()
+            .map(|f| Column::new_empty(f.data_type()))
+            .collect()
+    };
+    let mut columns = new_columns(&schema);
+    let mut batch_rows = 0usize;
+    let mut batches = Vec::new();
+    while read_trimmed_line(&mut reader, &mut line, &mut line_no)?.is_some() {
         if line.is_empty() {
             continue;
         }
-        let cells = split_record(&line)?;
+        let cells =
+            split_record(&line).map_err(|e| Error::Eval(format!("csv line {line_no}: {e}")))?;
         if cells.len() != schema.len() {
             return Err(Error::SchemaMismatch(format!(
-                "csv row {} has {} fields, schema has {}",
-                rows + 2,
+                "csv line {} has {} fields, schema has {}",
+                line_no,
                 cells.len(),
                 schema.len()
             )));
         }
         for (ci, cell) in cells.iter().enumerate() {
-            columns[ci].push(parse_cell(cell, schema.fields()[ci].data_type())?)?;
+            let value = parse_cell(cell, schema.fields()[ci].data_type())
+                .map_err(|e| Error::Eval(format!("csv line {line_no}: {e}")))?;
+            columns[ci].push(value)?;
         }
-        rows += 1;
+        batch_rows += 1;
+        if batch_rows >= READ_BATCH_ROWS {
+            batches.push(Batch::new(
+                schema.clone(),
+                std::mem::replace(&mut columns, new_columns(&schema)),
+            )?);
+            batch_rows = 0;
+        }
     }
-    let batch = Batch::new(schema.clone(), columns)?;
-    DataFrame::from_partitions(schema, vec![batch])
+    if batch_rows > 0 || batches.is_empty() {
+        batches.push(Batch::new(schema.clone(), columns)?);
+    }
+    DataFrame::from_partitions(schema, batches)
+}
+
+/// Reads one physical line into `line` (reusing its allocation), strips
+/// the LF / CRLF terminator, and bumps the line counter. Returns `None`
+/// at end of input.
+fn read_trimmed_line<R: BufRead>(
+    reader: &mut R,
+    line: &mut String,
+    line_no: &mut u64,
+) -> Result<Option<()>> {
+    line.clear();
+    let n = reader
+        .read_line(line)
+        .map_err(|e| Error::Eval(format!("csv read failed: {e}")))?;
+    if n == 0 {
+        return Ok(None);
+    }
+    *line_no += 1;
+    if line.ends_with('\n') {
+        line.pop();
+        if line.ends_with('\r') {
+            line.pop();
+        }
+    }
+    Ok(Some(()))
 }
 
 #[cfg(test)]
@@ -274,5 +326,52 @@ mod tests {
             .into_shared();
         let f = read_csv("s\na\n\nb\n".as_bytes(), schema).unwrap();
         assert_eq!(f.num_rows(), 2);
+    }
+
+    #[test]
+    fn crlf_line_endings_accepted() {
+        let schema = Schema::from_pairs([("s", DataType::Str), ("n", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let f = read_csv("s,n\r\na,1\r\n\r\nb,2\r\n".as_bytes(), schema).unwrap();
+        assert_eq!(f.num_rows(), 2);
+        let rows = f.collect_rows().unwrap();
+        // The \r is part of the terminator, not the last field.
+        assert_eq!(rows[0][0], Value::from("a"));
+        assert_eq!(rows[1][1], Value::Int(2));
+    }
+
+    #[test]
+    fn errors_cite_physical_lines() {
+        let schema = Schema::from_pairs([("n", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        // Bad cell on physical line 5 (header, row, two blanks, bad row).
+        let err = read_csv("n\n1\n\n\nabc\n".as_bytes(), schema.clone()).unwrap_err();
+        assert!(err.to_string().contains("line 5"), "{err}");
+        // Field-count mismatch on physical line 3.
+        let err = read_csv("n\n1\n2,3\n".as_bytes(), schema).unwrap_err();
+        assert!(
+            matches!(&err, Error::SchemaMismatch(m) if m.contains("line 3")),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn long_inputs_stream_into_multiple_partitions() {
+        let schema = Schema::from_pairs([("n", DataType::Int)])
+            .unwrap()
+            .into_shared();
+        let mut text = String::from("n\n");
+        let total = READ_BATCH_ROWS + 17;
+        for i in 0..total {
+            text.push_str(&i.to_string());
+            text.push('\n');
+        }
+        let f = read_csv(text.as_bytes(), schema).unwrap();
+        assert_eq!(f.num_rows(), total);
+        assert_eq!(f.num_partitions(), 2);
+        let rows = f.collect_rows().unwrap();
+        assert_eq!(rows[total - 1][0], Value::Int(total as i64 - 1));
     }
 }

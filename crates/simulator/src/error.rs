@@ -16,6 +16,8 @@ pub enum Error {
     Format(String),
     /// Inconsistent simulation setup.
     InvalidScenario(String),
+    /// Failure in the chunked columnar journey store.
+    Store(ivnt_store::Error),
 }
 
 impl fmt::Display for Error {
@@ -25,6 +27,7 @@ impl fmt::Display for Error {
             Error::Io(e) => write!(f, "trace i/o error: {e}"),
             Error::Format(msg) => write!(f, "malformed trace: {msg}"),
             Error::InvalidScenario(msg) => write!(f, "invalid scenario: {msg}"),
+            Error::Store(e) => write!(f, "journey store error: {e}"),
         }
     }
 }
@@ -34,6 +37,7 @@ impl std::error::Error for Error {
         match self {
             Error::Protocol(e) => Some(e),
             Error::Io(e) => Some(e),
+            Error::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -48,6 +52,12 @@ impl From<ivnt_protocol::Error> for Error {
 impl From<std::io::Error> for Error {
     fn from(e: std::io::Error) -> Self {
         Error::Io(e)
+    }
+}
+
+impl From<ivnt_store::Error> for Error {
+    fn from(e: ivnt_store::Error) -> Self {
+        Error::Store(e)
     }
 }
 

@@ -1,0 +1,529 @@
+//! On-disk layout: magics, checksums, zone maps, chunk codec and footer.
+//!
+//! A store file is one self-describing journey:
+//!
+//! ```text
+//! ┌──────────────┐
+//! │ magic IVNS1\0 │  8 bytes
+//! ├──────────────┤
+//! │ chunk 0      │  encoded columnar chunk (checksummed)
+//! │ chunk 1      │
+//! │ ...          │
+//! ├──────────────┤
+//! │ footer       │  bus dictionary + per-chunk index with zone maps
+//! ├──────────────┤
+//! │ trailer      │  footer offset/len/checksum + magic IVNSEND1 (32 bytes)
+//! └──────────────┘
+//! ```
+//!
+//! Chunks hold a fixed number of rows (the last chunk may be short) and are
+//! encoded column-wise: original row indices and timestamps as zigzag-delta
+//! varints, bus ids dictionary-encoded, message ids / payload lengths as
+//! varints, payload bytes concatenated. Each chunk carries its row count and
+//! is covered by an FNV-1a 64 checksum stored in the footer index, so a
+//! reader touching only surviving chunks still detects corruption in what it
+//! reads — and never pays for what it skips.
+
+use std::sync::Arc;
+
+use crate::error::{Error, Result};
+use crate::record::{protocol_from_tag, Record};
+use crate::varint::{self, Cursor};
+
+/// Leading file magic (8 bytes, versioned).
+pub const MAGIC: &[u8; 8] = b"IVNS1\0\0\0";
+
+/// Trailing file magic (8 bytes, versioned).
+pub const END_MAGIC: &[u8; 8] = b"IVNSEND1";
+
+/// Fixed byte length of the trailer:
+/// `footer_offset u64 | footer_len u64 | footer_checksum u64 | END_MAGIC`.
+pub const TRAILER_LEN: usize = 8 + 8 + 8 + 8;
+
+/// FNV-1a 64 — the store's checksum. Not cryptographic; it detects the
+/// bit rot and truncation flaky capture hardware produces.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Per-chunk statistics a scan consults *instead of* decoding the chunk.
+///
+/// The predicate test is conservative: a `true` means "may contain a
+/// matching row", a `false` is a proof of absence (zone-map soundness — the
+/// property tests assert a skipped chunk never holds a matching row).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZoneMap {
+    /// Smallest timestamp in the chunk (µs).
+    pub min_t_us: u64,
+    /// Largest timestamp in the chunk (µs).
+    pub max_t_us: u64,
+    /// Smallest message id in the chunk.
+    pub min_mid: u32,
+    /// Largest message id in the chunk.
+    pub max_mid: u32,
+    /// Bitset over the footer's bus dictionary: bit `i` set ⇔ the chunk
+    /// contains a row on bus `i`.
+    pub bus_bits: Vec<u8>,
+}
+
+impl ZoneMap {
+    /// Zone map of `rows` against a dictionary of `bus_count` entries.
+    pub fn compute(rows: &[EncodedRow<'_>], bus_count: usize) -> ZoneMap {
+        let mut zm = ZoneMap {
+            min_t_us: u64::MAX,
+            max_t_us: 0,
+            min_mid: u32::MAX,
+            max_mid: 0,
+            bus_bits: vec![0u8; bus_count.div_ceil(8)],
+        };
+        for r in rows {
+            zm.min_t_us = zm.min_t_us.min(r.timestamp_us);
+            zm.max_t_us = zm.max_t_us.max(r.timestamp_us);
+            zm.min_mid = zm.min_mid.min(r.message_id);
+            zm.max_mid = zm.max_mid.max(r.message_id);
+            zm.bus_bits[r.bus_id as usize / 8] |= 1 << (r.bus_id % 8);
+        }
+        zm
+    }
+
+    /// Whether bus dictionary id `bus` occurs in the chunk.
+    #[inline]
+    pub fn has_bus(&self, bus: u32) -> bool {
+        self.bus_bits
+            .get(bus as usize / 8)
+            .is_some_and(|b| b & (1 << (bus % 8)) != 0)
+    }
+
+    /// Whether `mid` lies within the chunk's message-id band.
+    #[inline]
+    pub fn mid_in_range(&self, mid: u32) -> bool {
+        (self.min_mid..=self.max_mid).contains(&mid)
+    }
+
+    /// Whether `[from_us, to_us]` overlaps the chunk's time band.
+    #[inline]
+    pub fn time_overlaps(&self, from_us: u64, to_us: u64) -> bool {
+        self.min_t_us <= to_us && self.max_t_us >= from_us
+    }
+}
+
+/// Footer index entry for one chunk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkMeta {
+    /// Byte offset of the encoded chunk within the file.
+    pub offset: u64,
+    /// Encoded byte length.
+    pub len: u32,
+    /// Rows in the chunk.
+    pub rows: u32,
+    /// Row group the chunk belongs to (order restoration scope).
+    pub group: u32,
+    /// FNV-1a 64 over the encoded chunk bytes.
+    pub checksum: u64,
+    /// Skip statistics.
+    pub zone: ZoneMap,
+}
+
+/// The decoded footer: dictionary + index.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Footer {
+    /// Bus dictionary; chunk rows reference entries by position.
+    pub buses: Vec<Arc<str>>,
+    /// Total rows across all chunks.
+    pub rows: u64,
+    /// Number of row groups.
+    pub groups: u32,
+    /// Rows the writer buffered (and the reader must buffer) per group.
+    pub group_rows: u32,
+    /// Whether groups were clustered by `(b_id, m_id)` before chunking.
+    pub clustered: bool,
+    /// Per-chunk index, in file order.
+    pub chunks: Vec<ChunkMeta>,
+}
+
+/// One record of a chunk under encoding, referencing the writer's buffers.
+#[derive(Debug)]
+pub struct EncodedRow<'a> {
+    /// Original position of the row within the whole trace.
+    pub index: u64,
+    /// Timestamp (µs).
+    pub timestamp_us: u64,
+    /// Dictionary id of the bus.
+    pub bus_id: u32,
+    /// Message id.
+    pub message_id: u32,
+    /// Protocol tag.
+    pub protocol: u8,
+    /// Payload bytes.
+    pub payload: &'a [u8],
+}
+
+/// Encodes one chunk column-wise into bytes.
+pub fn encode_chunk(rows: &[EncodedRow<'_>]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(rows.len() * 12);
+    out.extend_from_slice(&(rows.len() as u32).to_le_bytes());
+    // Original row indices: absolute first, zigzag deltas after.
+    for (i, r) in rows.iter().enumerate() {
+        if i == 0 {
+            varint::write_u64(&mut out, r.index);
+        } else {
+            varint::write_i64(&mut out, r.index.wrapping_sub(rows[i - 1].index) as i64);
+        }
+    }
+    // Timestamps, same delta scheme.
+    for (i, r) in rows.iter().enumerate() {
+        if i == 0 {
+            varint::write_u64(&mut out, r.timestamp_us);
+        } else {
+            varint::write_i64(
+                &mut out,
+                r.timestamp_us.wrapping_sub(rows[i - 1].timestamp_us) as i64,
+            );
+        }
+    }
+    for r in rows {
+        varint::write_u64(&mut out, u64::from(r.bus_id));
+    }
+    for r in rows {
+        varint::write_u64(&mut out, u64::from(r.message_id));
+    }
+    for r in rows {
+        out.push(r.protocol);
+    }
+    for r in rows {
+        varint::write_u64(&mut out, r.payload.len() as u64);
+    }
+    for r in rows {
+        out.extend_from_slice(r.payload);
+    }
+    out
+}
+
+/// A decoded row carrying its original trace position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexedRecord {
+    /// Original position of the row within the whole trace.
+    pub index: u64,
+    /// The record itself.
+    pub record: Record,
+}
+
+/// Decodes an encoded chunk back into indexed records, resolving bus ids
+/// through `buses` (the footer dictionary).
+///
+/// # Errors
+///
+/// Returns [`Error::Truncated`] / [`Error::Format`] for malformed bytes and
+/// out-of-dictionary bus references.
+pub fn decode_chunk(bytes: &[u8], buses: &[Arc<str>]) -> Result<Vec<IndexedRecord>> {
+    let mut cur = Cursor::new(bytes);
+    let rows = cur.read_u32_le()? as usize;
+    // A chunk never holds more rows than bytes; reject sizes that a
+    // truncated-then-checksum-bypassed file could otherwise allocate.
+    if rows > bytes.len() {
+        return Err(Error::Format(format!(
+            "chunk declares {rows} rows in {} bytes",
+            bytes.len()
+        )));
+    }
+    let mut indices = Vec::with_capacity(rows);
+    let mut prev: u64 = 0;
+    for i in 0..rows {
+        prev = if i == 0 {
+            cur.read_u64()?
+        } else {
+            prev.wrapping_add(cur.read_i64()? as u64)
+        };
+        indices.push(prev);
+    }
+    let mut times = Vec::with_capacity(rows);
+    let mut prev_t: u64 = 0;
+    for i in 0..rows {
+        prev_t = if i == 0 {
+            cur.read_u64()?
+        } else {
+            prev_t.wrapping_add(cur.read_i64()? as u64)
+        };
+        times.push(prev_t);
+    }
+    let mut bus_ids = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let id = cur.read_u64()?;
+        let bus = buses
+            .get(usize::try_from(id).unwrap_or(usize::MAX))
+            .ok_or_else(|| Error::Format(format!("bus id {id} not in dictionary")))?;
+        bus_ids.push(bus.clone());
+    }
+    let mut mids = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let mid = cur.read_u64()?;
+        let mid = u32::try_from(mid)
+            .map_err(|_| Error::Format(format!("message id {mid} exceeds u32")))?;
+        mids.push(mid);
+    }
+    let mut protocols = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        protocols.push(protocol_from_tag(cur.read_u8()?)?);
+    }
+    let mut lens = Vec::with_capacity(rows);
+    let mut total: usize = 0;
+    for _ in 0..rows {
+        let len = cur.read_u64()?;
+        let len =
+            usize::try_from(len).map_err(|_| Error::Format("payload length overflow".into()))?;
+        total = total
+            .checked_add(len)
+            .ok_or_else(|| Error::Format("payload length overflow".into()))?;
+        lens.push(len);
+    }
+    if total != cur.remaining() {
+        return Err(Error::Format(format!(
+            "payload section is {} bytes, lengths sum to {total}",
+            cur.remaining()
+        )));
+    }
+    let mut out = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let payload = cur.read_slice(lens[i])?.to_vec();
+        out.push(IndexedRecord {
+            index: indices[i],
+            record: Record {
+                timestamp_us: times[i],
+                bus: bus_ids[i].clone(),
+                message_id: mids[i],
+                payload,
+                protocol: protocols[i],
+            },
+        });
+    }
+    Ok(out)
+}
+
+/// Encodes the footer.
+///
+/// # Errors
+///
+/// Returns [`Error::Format`] for bus names longer than `u16::MAX` bytes.
+pub fn encode_footer(footer: &Footer) -> Result<Vec<u8>> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(footer.buses.len() as u32).to_le_bytes());
+    for bus in &footer.buses {
+        let bytes = bus.as_bytes();
+        if bytes.len() > u16::MAX as usize {
+            return Err(Error::Format("bus id longer than 65535 bytes".into()));
+        }
+        out.extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        out.extend_from_slice(bytes);
+    }
+    out.extend_from_slice(&footer.rows.to_le_bytes());
+    out.extend_from_slice(&footer.groups.to_le_bytes());
+    out.extend_from_slice(&footer.group_rows.to_le_bytes());
+    out.push(u8::from(footer.clustered));
+    out.extend_from_slice(&(footer.chunks.len() as u32).to_le_bytes());
+    let bus_bitset_len = footer.buses.len().div_ceil(8);
+    for c in &footer.chunks {
+        out.extend_from_slice(&c.offset.to_le_bytes());
+        out.extend_from_slice(&c.len.to_le_bytes());
+        out.extend_from_slice(&c.rows.to_le_bytes());
+        out.extend_from_slice(&c.group.to_le_bytes());
+        out.extend_from_slice(&c.checksum.to_le_bytes());
+        out.extend_from_slice(&c.zone.min_t_us.to_le_bytes());
+        out.extend_from_slice(&c.zone.max_t_us.to_le_bytes());
+        out.extend_from_slice(&c.zone.min_mid.to_le_bytes());
+        out.extend_from_slice(&c.zone.max_mid.to_le_bytes());
+        debug_assert_eq!(c.zone.bus_bits.len(), bus_bitset_len);
+        out.extend_from_slice(&c.zone.bus_bits);
+    }
+    Ok(out)
+}
+
+/// Decodes a footer written by [`encode_footer`].
+///
+/// # Errors
+///
+/// Returns [`Error::Truncated`] / [`Error::Format`] for malformed bytes.
+pub fn decode_footer(bytes: &[u8]) -> Result<Footer> {
+    let mut cur = Cursor::new(bytes);
+    let bus_count = cur.read_u32_le()? as usize;
+    if bus_count > bytes.len() {
+        return Err(Error::Format(format!(
+            "footer declares {bus_count} buses in {} bytes",
+            bytes.len()
+        )));
+    }
+    let mut buses = Vec::with_capacity(bus_count);
+    for _ in 0..bus_count {
+        let len = u16::from_le_bytes(cur.read_slice(2)?.try_into().expect("2 bytes")) as usize;
+        let name = std::str::from_utf8(cur.read_slice(len)?)
+            .map_err(|_| Error::Format("bus id not UTF-8".into()))?;
+        buses.push(Arc::from(name));
+    }
+    let rows = cur.read_u64_le()?;
+    let groups = cur.read_u32_le()?;
+    let group_rows = cur.read_u32_le()?;
+    let clustered = match cur.read_u8()? {
+        0 => false,
+        1 => true,
+        other => return Err(Error::Format(format!("bad clustered flag {other}"))),
+    };
+    let chunk_count = cur.read_u32_le()? as usize;
+    if chunk_count > bytes.len() {
+        return Err(Error::Format(format!(
+            "footer declares {chunk_count} chunks in {} bytes",
+            bytes.len()
+        )));
+    }
+    let bus_bitset_len = bus_count.div_ceil(8);
+    let mut chunks = Vec::with_capacity(chunk_count);
+    for _ in 0..chunk_count {
+        let offset = cur.read_u64_le()?;
+        let len = cur.read_u32_le()?;
+        let rows = cur.read_u32_le()?;
+        let group = cur.read_u32_le()?;
+        let checksum = cur.read_u64_le()?;
+        let min_t_us = cur.read_u64_le()?;
+        let max_t_us = cur.read_u64_le()?;
+        let min_mid = cur.read_u32_le()?;
+        let max_mid = cur.read_u32_le()?;
+        let bus_bits = cur.read_slice(bus_bitset_len)?.to_vec();
+        chunks.push(ChunkMeta {
+            offset,
+            len,
+            rows,
+            group,
+            checksum,
+            zone: ZoneMap {
+                min_t_us,
+                max_t_us,
+                min_mid,
+                max_mid,
+                bus_bits,
+            },
+        });
+    }
+    Ok(Footer {
+        buses,
+        rows,
+        groups,
+        group_rows,
+        clustered,
+        chunks,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::protocol_tag;
+    use ivnt_protocol::message::Protocol;
+
+    fn rows<'a>(payloads: &'a [Vec<u8>]) -> Vec<EncodedRow<'a>> {
+        payloads
+            .iter()
+            .enumerate()
+            .map(|(i, p)| EncodedRow {
+                index: 10 + i as u64,
+                timestamp_us: 1_000 * i as u64,
+                bus_id: (i % 2) as u32,
+                message_id: 100 + (i % 3) as u32,
+                protocol: protocol_tag(Protocol::Can),
+                payload: p,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        let payloads: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; i]).collect();
+        let rows = rows(&payloads);
+        let buses: Vec<Arc<str>> = vec![Arc::from("FC"), Arc::from("DC")];
+        let encoded = encode_chunk(&rows);
+        let decoded = decode_chunk(&encoded, &buses).unwrap();
+        assert_eq!(decoded.len(), 5);
+        assert_eq!(decoded[3].index, 13);
+        assert_eq!(decoded[3].record.timestamp_us, 3_000);
+        assert_eq!(decoded[3].record.bus.as_ref(), "DC");
+        assert_eq!(decoded[3].record.message_id, 100);
+        assert_eq!(decoded[3].record.payload, vec![3u8; 3]);
+    }
+
+    #[test]
+    fn zone_map_covers_rows() {
+        let payloads: Vec<Vec<u8>> = (0..4).map(|_| vec![]).collect();
+        let rows = rows(&payloads);
+        let zm = ZoneMap::compute(&rows, 2);
+        assert_eq!((zm.min_t_us, zm.max_t_us), (0, 3_000));
+        assert_eq!((zm.min_mid, zm.max_mid), (100, 102));
+        assert!(zm.has_bus(0) && zm.has_bus(1) && !zm.has_bus(2));
+        assert!(zm.time_overlaps(2_500, 9_999));
+        assert!(!zm.time_overlaps(3_001, 9_999));
+        assert!(zm.mid_in_range(101) && !zm.mid_in_range(99));
+    }
+
+    #[test]
+    fn footer_roundtrip() {
+        let footer = Footer {
+            buses: vec![Arc::from("FC"), Arc::from("DC"), Arc::from("K-LIN")],
+            rows: 12345,
+            groups: 3,
+            group_rows: 4096,
+            clustered: true,
+            chunks: vec![ChunkMeta {
+                offset: 8,
+                len: 99,
+                rows: 50,
+                group: 0,
+                checksum: 0xABCD,
+                zone: ZoneMap {
+                    min_t_us: 1,
+                    max_t_us: 2,
+                    min_mid: 3,
+                    max_mid: 4,
+                    bus_bits: vec![0b101],
+                },
+            }],
+        };
+        let encoded = encode_footer(&footer).unwrap();
+        assert_eq!(decode_footer(&encoded).unwrap(), footer);
+    }
+
+    #[test]
+    fn malformed_chunk_rejected() {
+        let buses: Vec<Arc<str>> = vec![Arc::from("FC")];
+        assert!(decode_chunk(&[1, 2], &buses).is_err());
+        // Row count far beyond the byte count.
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.push(0);
+        assert!(matches!(
+            decode_chunk(&bytes, &buses),
+            Err(Error::Format(_))
+        ));
+        // Bus reference outside the dictionary.
+        let rows = [EncodedRow {
+            index: 0,
+            timestamp_us: 0,
+            bus_id: 7,
+            message_id: 0,
+            protocol: 0,
+            payload: &[],
+        }];
+        let encoded = encode_chunk(&rows);
+        assert!(matches!(
+            decode_chunk(&encoded, &buses),
+            Err(Error::Format(_))
+        ));
+    }
+
+    #[test]
+    fn checksum_is_stable_and_sensitive() {
+        let a = checksum(b"hello");
+        assert_eq!(a, checksum(b"hello"));
+        assert_ne!(a, checksum(b"hellp"));
+        assert_ne!(checksum(b""), 0);
+    }
+}

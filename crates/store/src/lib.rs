@@ -1,0 +1,243 @@
+//! # ivnt-store — chunked columnar trace store with zone-map pushdown
+//!
+//! The paper's fleet back end keeps recorded byte traces (`K_b`) in a
+//! distributed file system and lets Spark push the interpretation
+//! projection down to the storage layer. This crate is that layer's
+//! single-node analogue: a binary, chunked, columnar file format
+//! (`.ivns`) in which a journey's `(t, l, b_id, m_id, m_info)` tuples are
+//! stored delta- and dictionary-encoded with per-chunk **zone maps**
+//! (min/max timestamp, min/max message id, bus bitset).
+//!
+//! Extraction of a handful of signals from an 800-signal trace touches a
+//! tiny fraction of the rows; zone maps let the scan *prove* most chunks
+//! irrelevant from the footer index alone and skip them unread. Because
+//! in-vehicle traffic is cyclic (every chunk of a time-ordered log holds
+//! nearly every message id), the writer first **clusters** each row group
+//! by `(b_id, m_id)` before cutting chunks, storing original row
+//! positions so scans restore exact trace order per group — pruning that
+//! actually fires, at the cost of ~1 byte/row.
+//!
+//! - [`StoreWriter`] — streaming append, bounded by one row group.
+//! - [`StoreReader`] — validated open ([`Error::BadMagic`],
+//!   [`Error::Truncated`], checksum variants), [`Predicate`]-driven
+//!   [`StoreReader::scan`] with [`ScanStats`].
+//! - [`schema`] — the canonical tabular form of a raw trace, shared with
+//!   the interpretation pipeline.
+
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod layout;
+pub mod reader;
+pub mod record;
+pub mod schema;
+mod varint;
+pub mod writer;
+
+pub use error::{Error, Result};
+pub use layout::{ChunkMeta, Footer, ZoneMap};
+pub use reader::{Predicate, ScanStats, StoreReader};
+pub use record::Record;
+pub use writer::{StoreWriter, WriterOptions};
+
+/// Canonical file extension of store files.
+pub const FILE_EXTENSION: &str = "ivns";
+
+#[cfg(test)]
+mod tests {
+    use std::io::Cursor;
+    use std::sync::Arc;
+
+    use ivnt_protocol::message::Protocol;
+
+    use super::*;
+
+    fn record(i: u64, bus: &str, mid: u32) -> Record {
+        Record {
+            timestamp_us: i * 10_000,
+            bus: Arc::from(bus),
+            message_id: mid,
+            payload: vec![(i % 251) as u8, mid as u8],
+            protocol: if mid.is_multiple_of(2) {
+                Protocol::Can
+            } else {
+                Protocol::Lin
+            },
+        }
+    }
+
+    /// A cyclic two-bus trace, the adversarial case for zone maps.
+    fn cyclic_trace(n: u64, mids: u32) -> Vec<Record> {
+        (0..n)
+            .map(|i| {
+                record(
+                    i,
+                    if i % 2 == 0 { "FC" } else { "DC" },
+                    (i % u64::from(mids)) as u32,
+                )
+            })
+            .collect()
+    }
+
+    fn write_store(records: &[Record], options: WriterOptions) -> Vec<u8> {
+        let mut writer = StoreWriter::new(Vec::new(), options).unwrap();
+        for r in records {
+            writer.append(r).unwrap();
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_order_and_content() {
+        let records = cyclic_trace(1_000, 40);
+        for cluster in [true, false] {
+            let bytes = write_store(
+                &records,
+                WriterOptions {
+                    chunk_rows: 64,
+                    chunks_per_group: 4,
+                    cluster,
+                },
+            );
+            let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+            assert_eq!(reader.footer().rows, 1_000);
+            assert_eq!(reader.read_all().unwrap(), records);
+        }
+    }
+
+    #[test]
+    fn selective_scan_filters_and_skips() {
+        let records = cyclic_trace(4_096, 64);
+        let bytes = write_store(
+            &records,
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 16,
+                cluster: true,
+            },
+        );
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let pred = Predicate::for_messages([("FC", 2u32), ("DC", 63u32)]);
+        let mut got = Vec::new();
+        let stats = reader
+            .scan::<Error, _>(&pred, |mut g| {
+                got.append(&mut g);
+                Ok(())
+            })
+            .unwrap();
+        let expected: Vec<Record> = records
+            .iter()
+            .filter(|r| {
+                (r.bus.as_ref() == "FC" && r.message_id == 2)
+                    || (r.bus.as_ref() == "DC" && r.message_id == 63)
+            })
+            .cloned()
+            .collect();
+        assert_eq!(got, expected);
+        assert_eq!(stats.rows_emitted, expected.len() as u64);
+        assert!(
+            stats.chunks_skipped > stats.chunks_total / 2,
+            "clustered layout must skip most chunks: {stats:?}"
+        );
+        assert!(stats.peak_rows_buffered <= 64 * 16);
+    }
+
+    #[test]
+    fn time_range_scan_uses_zone_maps() {
+        // Unclustered layout keeps chunks time-contiguous, so a narrow
+        // window skips almost everything.
+        let records = cyclic_trace(2_048, 16);
+        let bytes = write_store(
+            &records,
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 4,
+                cluster: false,
+            },
+        );
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let pred = Predicate::all().with_time_range_us(100 * 10_000, 109 * 10_000);
+        let mut got = Vec::new();
+        let stats = reader
+            .scan::<Error, _>(&pred, |mut g| {
+                got.append(&mut g);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got.len(), 10);
+        assert!(got
+            .iter()
+            .all(|r| (1_000_000..=1_090_000).contains(&r.timestamp_us)));
+        assert!(stats.chunks_skipped > 0);
+    }
+
+    #[test]
+    fn unknown_bus_selection_matches_nothing() {
+        let bytes = write_store(&cyclic_trace(100, 4), WriterOptions::default());
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let stats = reader
+            .scan::<Error, _>(&Predicate::for_messages([("NOPE", 1u32)]), |_| {
+                panic!("no group should match")
+            })
+            .unwrap();
+        assert_eq!(stats.chunks_scanned, 0);
+        assert_eq!(stats.chunks_skipped, stats.chunks_total);
+    }
+
+    #[test]
+    fn empty_store_roundtrips() {
+        let bytes = write_store(&[], WriterOptions::default());
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.footer().rows, 0);
+        assert!(reader.read_all().unwrap().is_empty());
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let err = StoreReader::from_reader(Cursor::new(b"NOTASTOREFILE_LONG_ENOUGH".to_vec()))
+            .unwrap_err();
+        assert!(matches!(err, Error::BadMagic));
+        let err = StoreReader::from_reader(Cursor::new(b"IV".to_vec())).unwrap_err();
+        assert!(matches!(err, Error::Truncated(_)));
+    }
+
+    #[test]
+    fn truncated_footer_is_typed() {
+        let bytes = write_store(&cyclic_trace(200, 8), WriterOptions::default());
+        for cut in [bytes.len() - 1, bytes.len() - 20, bytes.len() / 2] {
+            let err = StoreReader::from_reader(Cursor::new(bytes[..cut].to_vec())).unwrap_err();
+            assert!(
+                matches!(err, Error::Truncated(_) | Error::FooterChecksum),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corrupt_footer_checksum_is_typed() {
+        let mut bytes = write_store(&cyclic_trace(200, 8), WriterOptions::default());
+        // Flip a byte inside the footer (just before the 32-byte trailer).
+        let idx = bytes.len() - layout::TRAILER_LEN - 1;
+        bytes[idx] ^= 0xFF;
+        let err = StoreReader::from_reader(Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, Error::FooterChecksum));
+    }
+
+    #[test]
+    fn corrupt_chunk_checksum_is_typed() {
+        let mut bytes = write_store(
+            &cyclic_trace(512, 8),
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 2,
+                cluster: true,
+            },
+        );
+        // Flip a byte inside the first chunk's payload region (after the
+        // 8-byte magic and the chunk's row-count word).
+        bytes[16] ^= 0xFF;
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let err = reader.read_all().unwrap_err();
+        assert!(matches!(err, Error::ChunkChecksum { chunk: 0 }));
+    }
+}

@@ -1,0 +1,330 @@
+//! Store reader: trailer/footer parsing and the zone-map pushdown scan.
+//!
+//! A scan walks the footer's chunk index in file order, evaluating the
+//! caller's [`Predicate`] against each chunk's [`ZoneMap`] first — chunks
+//! proven empty of matches are **skipped without being read or decoded**.
+//! Surviving chunks are decoded, row-filtered, and buffered per row group;
+//! when a group completes, its matching rows are re-sorted by original
+//! trace position and emitted as one in-order batch. Memory therefore
+//! stays bounded by one group (`group_rows` records) regardless of file
+//! size — the out-of-core property.
+
+use std::collections::HashSet;
+use std::fs::File;
+use std::io::{BufReader, Read, Seek, SeekFrom};
+use std::path::Path;
+
+use crate::error::{Error, Result};
+use crate::layout::{checksum, decode_chunk, decode_footer, Footer, IndexedRecord, ZoneMap};
+use crate::layout::{END_MAGIC, MAGIC, TRAILER_LEN};
+use crate::record::Record;
+
+/// What a scan is looking for. Conservative by construction: `None`
+/// fields mean "everything".
+#[derive(Debug, Clone, Default)]
+pub struct Predicate {
+    /// `(b_id, m_id)` pairs to keep; `None` keeps every message.
+    pub selections: Option<Vec<(String, u32)>>,
+    /// Inclusive `[from, to]` time window in µs; `None` keeps all times.
+    pub time_range_us: Option<(u64, u64)>,
+}
+
+impl Predicate {
+    /// Matches every record (full-file scan).
+    pub fn all() -> Predicate {
+        Predicate::default()
+    }
+
+    /// Matches the given `(bus, message id)` pairs.
+    pub fn for_messages<I, S>(pairs: I) -> Predicate
+    where
+        I: IntoIterator<Item = (S, u32)>,
+        S: Into<String>,
+    {
+        Predicate {
+            selections: Some(pairs.into_iter().map(|(b, m)| (b.into(), m)).collect()),
+            time_range_us: None,
+        }
+    }
+
+    /// Restricts the scan to an inclusive time window.
+    pub fn with_time_range_us(mut self, from_us: u64, to_us: u64) -> Predicate {
+        self.time_range_us = Some((from_us, to_us));
+        self
+    }
+}
+
+/// The predicate resolved against one file's bus dictionary.
+struct CompiledPredicate {
+    /// `(bus dictionary id, message id)` pairs; `None` = keep all.
+    /// Selections naming buses absent from the file compile to an empty
+    /// set — nothing can match, every chunk is skipped.
+    pairs: Option<HashSet<(u32, u32)>>,
+    time_range_us: Option<(u64, u64)>,
+}
+
+impl CompiledPredicate {
+    fn compile(pred: &Predicate, footer: &Footer) -> CompiledPredicate {
+        let pairs = pred.selections.as_ref().map(|sel| {
+            sel.iter()
+                .filter_map(|(bus, mid)| {
+                    footer
+                        .buses
+                        .iter()
+                        .position(|b| b.as_ref() == bus.as_str())
+                        .map(|id| (id as u32, *mid))
+                })
+                .collect()
+        });
+        CompiledPredicate {
+            pairs,
+            time_range_us: pred.time_range_us,
+        }
+    }
+
+    /// Zone-map test: may the chunk contain a matching row?
+    fn chunk_may_match(&self, zone: &ZoneMap) -> bool {
+        if let Some((from, to)) = self.time_range_us {
+            if !zone.time_overlaps(from, to) {
+                return false;
+            }
+        }
+        match &self.pairs {
+            None => true,
+            Some(pairs) => pairs
+                .iter()
+                .any(|&(bus, mid)| zone.has_bus(bus) && zone.mid_in_range(mid)),
+        }
+    }
+
+    /// Exact row test (the zone-map test is only conservative).
+    fn row_matches(&self, row: &IndexedRecord, bus_id: u32) -> bool {
+        if let Some((from, to)) = self.time_range_us {
+            if !(from..=to).contains(&row.record.timestamp_us) {
+                return false;
+            }
+        }
+        match &self.pairs {
+            None => true,
+            Some(pairs) => pairs.contains(&(bus_id, row.record.message_id)),
+        }
+    }
+}
+
+/// Counters a scan accumulates; the bench probe and the bounded-memory
+/// tests read these.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Chunks in the file.
+    pub chunks_total: usize,
+    /// Chunks read and decoded.
+    pub chunks_scanned: usize,
+    /// Chunks skipped on zone maps alone.
+    pub chunks_skipped: usize,
+    /// Rows that matched the predicate and were emitted.
+    pub rows_emitted: u64,
+    /// High-water mark of rows held in memory at once — the out-of-core
+    /// guarantee is `peak_rows_buffered ≤ group_rows`.
+    pub peak_rows_buffered: usize,
+}
+
+impl ScanStats {
+    /// Fraction of chunks skipped, in `[0, 1]`.
+    pub fn skip_ratio(&self) -> f64 {
+        if self.chunks_total == 0 {
+            return 0.0;
+        }
+        self.chunks_skipped as f64 / self.chunks_total as f64
+    }
+}
+
+/// Reader over a store file (or any `Read + Seek`, e.g. an in-memory
+/// cursor in tests).
+#[derive(Debug)]
+pub struct StoreReader<R: Read + Seek> {
+    inner: R,
+    footer: Footer,
+}
+
+impl StoreReader<BufReader<File>> {
+    /// Opens a store file from disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] on filesystem failure and the typed
+    /// corruption errors of [`StoreReader::from_reader`].
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self> {
+        StoreReader::from_reader(BufReader::new(File::open(path)?))
+    }
+}
+
+impl<R: Read + Seek> StoreReader<R> {
+    /// Validates magics, trailer and footer checksum, and decodes the
+    /// footer index.
+    ///
+    /// # Errors
+    ///
+    /// - [`Error::BadMagic`] — not a store file.
+    /// - [`Error::Truncated`] — shorter than header + trailer, or the
+    ///   trailer/footer point outside the file.
+    /// - [`Error::FooterChecksum`] — damaged index.
+    /// - [`Error::Format`] — malformed footer bytes.
+    pub fn from_reader(mut inner: R) -> Result<Self> {
+        let mut magic = [0u8; MAGIC.len()];
+        inner.seek(SeekFrom::Start(0))?;
+        read_exact_or_truncated(&mut inner, &mut magic, "file header")?;
+        if &magic != MAGIC {
+            return Err(Error::BadMagic);
+        }
+        let file_len = inner.seek(SeekFrom::End(0))?;
+        if file_len < (MAGIC.len() + TRAILER_LEN) as u64 {
+            return Err(Error::Truncated("no room for a trailer".into()));
+        }
+        inner.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
+        let mut trailer = [0u8; TRAILER_LEN];
+        read_exact_or_truncated(&mut inner, &mut trailer, "trailer")?;
+        if &trailer[24..32] != END_MAGIC {
+            return Err(Error::Truncated("trailer magic missing".into()));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[0..8].try_into().expect("8 bytes"));
+        let footer_len = u64::from_le_bytes(trailer[8..16].try_into().expect("8 bytes"));
+        let footer_checksum = u64::from_le_bytes(trailer[16..24].try_into().expect("8 bytes"));
+        let trailer_start = file_len - TRAILER_LEN as u64;
+        if footer_offset
+            .checked_add(footer_len)
+            .is_none_or(|end| end != trailer_start)
+            || footer_offset < MAGIC.len() as u64
+        {
+            return Err(Error::Truncated("trailer points outside the file".into()));
+        }
+        let footer_len = usize::try_from(footer_len)
+            .map_err(|_| Error::Format("footer length overflow".into()))?;
+        inner.seek(SeekFrom::Start(footer_offset))?;
+        let mut footer_bytes = vec![0u8; footer_len];
+        read_exact_or_truncated(&mut inner, &mut footer_bytes, "footer")?;
+        if checksum(&footer_bytes) != footer_checksum {
+            return Err(Error::FooterChecksum);
+        }
+        let footer = decode_footer(&footer_bytes)?;
+        Ok(StoreReader { inner, footer })
+    }
+
+    /// The decoded footer (dictionary, row counts, chunk index).
+    pub fn footer(&self) -> &Footer {
+        &self.footer
+    }
+
+    /// Scans the file under `pred`, calling `on_group` once per row group
+    /// with that group's matching rows restored to original trace order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O and corruption errors ([`Error::ChunkChecksum`] for
+    /// damaged chunks) and whatever error the callback returns.
+    pub fn scan<E, F>(
+        &mut self,
+        pred: &Predicate,
+        mut on_group: F,
+    ) -> std::result::Result<ScanStats, E>
+    where
+        E: From<Error>,
+        F: FnMut(Vec<Record>) -> std::result::Result<(), E>,
+    {
+        let compiled = CompiledPredicate::compile(pred, &self.footer);
+        let mut stats = ScanStats {
+            chunks_total: self.footer.chunks.len(),
+            ..ScanStats::default()
+        };
+        // Matching rows of the group under assembly.
+        let mut pending: Vec<IndexedRecord> = Vec::new();
+        let mut pending_group: Option<u32> = None;
+        let chunk_count = self.footer.chunks.len();
+        for idx in 0..chunk_count {
+            let (group, may_match) = {
+                let meta = &self.footer.chunks[idx];
+                (meta.group, compiled.chunk_may_match(&meta.zone))
+            };
+            if pending_group.is_some_and(|g| g != group) {
+                emit_group(&mut pending, &mut stats, &mut on_group)?;
+            }
+            pending_group = Some(group);
+            if !may_match {
+                stats.chunks_skipped += 1;
+                continue;
+            }
+            stats.chunks_scanned += 1;
+            let rows = self.read_chunk(idx).map_err(E::from)?;
+            stats.peak_rows_buffered = stats.peak_rows_buffered.max(pending.len() + rows.len());
+            for row in rows {
+                // Bus ids decode back to names; recover the dictionary id
+                // for the exact row test from the name's position.
+                let bus_id = self
+                    .footer
+                    .buses
+                    .iter()
+                    .position(|b| b.as_ref() == row.record.bus.as_ref())
+                    .map(|i| i as u32)
+                    .unwrap_or(u32::MAX);
+                if compiled.row_matches(&row, bus_id) {
+                    pending.push(row);
+                }
+            }
+        }
+        emit_group(&mut pending, &mut stats, &mut on_group)?;
+        Ok(stats)
+    }
+
+    /// Reads every record of the file in original trace order.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::scan`].
+    pub fn read_all(&mut self) -> Result<Vec<Record>> {
+        let mut out = Vec::new();
+        self.scan::<Error, _>(&Predicate::all(), |mut group| {
+            out.append(&mut group);
+            Ok(())
+        })?;
+        Ok(out)
+    }
+
+    /// Reads, checksum-verifies and decodes chunk `idx`.
+    fn read_chunk(&mut self, idx: usize) -> Result<Vec<IndexedRecord>> {
+        let meta = &self.footer.chunks[idx];
+        self.inner.seek(SeekFrom::Start(meta.offset))?;
+        let mut bytes = vec![0u8; meta.len as usize];
+        read_exact_or_truncated(&mut self.inner, &mut bytes, "chunk body")?;
+        if checksum(&bytes) != meta.checksum {
+            return Err(Error::ChunkChecksum { chunk: idx });
+        }
+        decode_chunk(&bytes, &self.footer.buses)
+    }
+}
+
+/// Restores one group's rows to trace order and hands them to the callback.
+fn emit_group<E, F>(
+    pending: &mut Vec<IndexedRecord>,
+    stats: &mut ScanStats,
+    on_group: &mut F,
+) -> std::result::Result<(), E>
+where
+    F: FnMut(Vec<Record>) -> std::result::Result<(), E>,
+{
+    if pending.is_empty() {
+        return Ok(());
+    }
+    let mut rows = std::mem::take(pending);
+    rows.sort_by_key(|r| r.index);
+    stats.rows_emitted += rows.len() as u64;
+    on_group(rows.into_iter().map(|r| r.record).collect())
+}
+
+fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<()> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            Error::Truncated(what.into())
+        } else {
+            Error::Io(e)
+        }
+    })
+}

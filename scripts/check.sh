@@ -17,4 +17,10 @@ cargo test -q
 echo "==> cargo test --workspace -q"
 cargo test --workspace -q
 
+echo "==> store_probe smoke (zone-map pushdown gate)"
+# Small workload; fails if chunk skipping degenerates below the gate.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_STORE_MIN_SKIP="${IVNT_STORE_MIN_SKIP:-0.5}" \
+  cargo run --release -q -p ivnt-bench --bin store_probe
+
 echo "all checks passed"

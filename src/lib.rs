@@ -12,6 +12,8 @@
 //!   outlier detection,
 //! * [`simulator`] — the in-vehicle network and trace generator (the data
 //!   substitute), including the paper's SYN/LIG/STA scenario shapes,
+//! * [`store`] — the chunked columnar on-disk trace store with zone-map
+//!   pushdown (the HDFS/Parquet substitute),
 //! * [`core`] — Algorithm 1: the parameterizable end-to-end preprocessing
 //!   pipeline,
 //! * [`analysis`] — Sec. 4.4 applications: rule mining, transition graphs,
@@ -48,3 +50,4 @@ pub use ivnt_frame as frame;
 pub use ivnt_protocol as protocol;
 pub use ivnt_series as series;
 pub use ivnt_simulator as simulator;
+pub use ivnt_store as store;
