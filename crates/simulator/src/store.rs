@@ -174,17 +174,27 @@ impl TraceStore {
             .journey(name)
             .ok_or_else(|| Error::InvalidScenario(format!("unknown journey {name:?}")))?;
         let path = self.root.join(&meta.file);
-        match extension(&meta.file) {
-            ext if ext == ivnt_store::FILE_EXTENSION => {
-                let mut reader = ivnt_store::StoreReader::open(&path).map_err(Error::from)?;
-                let records = reader.read_all().map_err(Error::from)?;
-                Ok(Trace::from_records(
-                    records.into_iter().map(from_store_record).collect(),
-                ))
-            }
-            "csv" => read_csv_trace(BufReader::new(File::open(&path)?)),
+        let ext = extension(&meta.file);
+        if ext.eq_ignore_ascii_case(ivnt_store::FILE_EXTENSION) {
+            let mut reader = ivnt_store::StoreReader::open(&path).map_err(Error::from)?;
+            let records = reader.read_all().map_err(Error::from)?;
+            Ok(Trace::from_records(
+                records.into_iter().map(from_store_record).collect(),
+            ))
+        } else if ext.eq_ignore_ascii_case("csv") {
+            read_csv_trace(BufReader::new(File::open(&path)?))
+        } else if ext.eq_ignore_ascii_case(LEGACY_EXTENSION) {
             // Legacy sequential binary journeys keep loading unchanged.
-            _ => Trace::read_from(BufReader::new(File::open(&path)?)),
+            Trace::read_from(BufReader::new(File::open(&path)?))
+        } else {
+            // Refusing beats feeding an arbitrary file to the legacy binary
+            // decoder and surfacing its malformed-trace error.
+            Err(Error::Format(format!(
+                "journey file {:?} has unsupported extension {ext:?} \
+                 (expected .{}, .csv or .{LEGACY_EXTENSION})",
+                meta.file,
+                ivnt_store::FILE_EXTENSION
+            )))
         }
     }
 
@@ -205,7 +215,7 @@ impl TraceStore {
             let t = r.timestamp_s();
             t >= from_s && t < to_s
         };
-        if extension(&meta.file) == ivnt_store::FILE_EXTENSION && to_s > from_s {
+        if is_store_file(&meta.file) && to_s > from_s {
             // Conservative µs bounds around the f64-second window; the
             // exact boundary condition is re-checked per row.
             let from_us = (from_s.max(0.0) * 1e6).floor() as u64;
@@ -276,7 +286,7 @@ impl TraceStore {
         let meta = self
             .journey(name)
             .ok_or_else(|| Error::InvalidScenario(format!("unknown journey {name:?}")))?;
-        if extension(&meta.file) != ivnt_store::FILE_EXTENSION {
+        if !is_store_file(&meta.file) {
             return Ok(None);
         }
         let from_us = (from_s.max(0.0) * 1e6).floor() as u64;
@@ -304,8 +314,18 @@ impl TraceStore {
     }
 }
 
+/// Extension of the legacy sequential binary trace format.
+const LEGACY_EXTENSION: &str = "ivnt";
+
 fn extension(file: &str) -> &str {
     file.rsplit_once('.').map(|(_, ext)| ext).unwrap_or("")
+}
+
+/// Whether `file` is a chunked columnar store file. Extensions compare
+/// case-insensitively: capture tooling on case-preserving filesystems
+/// produces `TRIP.IVNS` as readily as `trip.ivns`.
+fn is_store_file(file: &str) -> bool {
+    extension(file).eq_ignore_ascii_case(ivnt_store::FILE_EXTENSION)
 }
 
 /// Converts a simulator trace record into its store-layer twin.
@@ -617,6 +637,53 @@ mod tests {
         .unwrap();
         let store = TraceStore::open(&root).unwrap();
         assert_eq!(store.load("raw").unwrap(), trace);
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn uppercase_store_extension_loads() {
+        // Case-preserving filesystems hand back `TRIP.IVNS` as readily as
+        // `trip.ivns`; the dispatcher must not fall through to the legacy
+        // binary decoder.
+        let root = temp_store("upper-ext");
+        fs::create_dir_all(&root).unwrap();
+        let trace = sample_trace(11);
+        let mut writer = ivnt_store::StoreWriter::create(
+            root.join("TRIP.IVNS"),
+            ivnt_store::WriterOptions::default(),
+        )
+        .unwrap();
+        for r in trace.records() {
+            writer.append(&to_store_record(r)).unwrap();
+        }
+        writer.finish().unwrap();
+        fs::write(
+            root.join(INDEX_FILE),
+            format!(
+                "trip|{}|{}|TRIP.IVNS\n",
+                trace.len(),
+                (trace.duration_s() * 1e6) as u64
+            ),
+        )
+        .unwrap();
+        let store = TraceStore::open(&root).unwrap();
+        assert_eq!(store.load("trip").unwrap(), trace);
+        assert!(store.range_scan_stats("trip", 0.0, 0.1).unwrap().is_some());
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn unknown_extension_is_a_typed_error() {
+        let root = temp_store("unknown-ext");
+        fs::create_dir_all(&root).unwrap();
+        fs::write(root.join("trip.bin"), b"not a trace").unwrap();
+        fs::write(root.join(INDEX_FILE), "trip|1|1000000|trip.bin\n").unwrap();
+        let store = TraceStore::open(&root).unwrap();
+        let err = store.load("trip").unwrap_err();
+        assert!(
+            matches!(err, Error::Format(ref m) if m.contains("extension")),
+            "{err}"
+        );
         let _ = fs::remove_dir_all(root);
     }
 

@@ -209,6 +209,8 @@ pub fn encode_chunk(rows: &[EncodedRow<'_>]) -> Vec<u8> {
 pub struct IndexedRecord {
     /// Original position of the row within the whole trace.
     pub index: u64,
+    /// Dictionary id of the row's bus in the file footer.
+    pub bus_id: u32,
     /// The record itself.
     pub record: Record,
 }
@@ -254,10 +256,10 @@ pub fn decode_chunk(bytes: &[u8], buses: &[Arc<str>]) -> Result<Vec<IndexedRecor
     let mut bus_ids = Vec::with_capacity(rows);
     for _ in 0..rows {
         let id = cur.read_u64()?;
-        let bus = buses
-            .get(usize::try_from(id).unwrap_or(usize::MAX))
-            .ok_or_else(|| Error::Format(format!("bus id {id} not in dictionary")))?;
-        bus_ids.push(bus.clone());
+        if usize::try_from(id).ok().is_none_or(|i| i >= buses.len()) {
+            return Err(Error::Format(format!("bus id {id} not in dictionary")));
+        }
+        bus_ids.push(id as u32);
     }
     let mut mids = Vec::with_capacity(rows);
     for _ in 0..rows {
@@ -292,9 +294,10 @@ pub fn decode_chunk(bytes: &[u8], buses: &[Arc<str>]) -> Result<Vec<IndexedRecor
         let payload = cur.read_slice(lens[i])?.to_vec();
         out.push(IndexedRecord {
             index: indices[i],
+            bus_id: bus_ids[i],
             record: Record {
                 timestamp_us: times[i],
-                bus: bus_ids[i].clone(),
+                bus: buses[bus_ids[i] as usize].clone(),
                 message_id: mids[i],
                 payload,
                 protocol: protocols[i],
@@ -336,8 +339,19 @@ pub fn encode_footer(footer: &Footer) -> Result<Vec<u8>> {
         out.extend_from_slice(&c.zone.max_t_us.to_le_bytes());
         out.extend_from_slice(&c.zone.min_mid.to_le_bytes());
         out.extend_from_slice(&c.zone.max_mid.to_le_bytes());
-        debug_assert_eq!(c.zone.bus_bits.len(), bus_bitset_len);
+        // Chunks flushed before the dictionary grew carry shorter bitsets
+        // (bits for later buses are implicitly zero). The footer stride is
+        // fixed at the final dictionary width, so pad with zero bytes —
+        // otherwise a 9th bus appearing after an earlier group flush would
+        // desynchronize every reader of the index.
+        if c.zone.bus_bits.len() > bus_bitset_len {
+            return Err(Error::Format(format!(
+                "chunk bus bitset is {} bytes, dictionary allows {bus_bitset_len}",
+                c.zone.bus_bits.len()
+            )));
+        }
         out.extend_from_slice(&c.zone.bus_bits);
+        out.resize(out.len() + (bus_bitset_len - c.zone.bus_bits.len()), 0);
     }
     Ok(out)
 }
@@ -490,6 +504,49 @@ mod tests {
         };
         let encoded = encode_footer(&footer).unwrap();
         assert_eq!(decode_footer(&encoded).unwrap(), footer);
+    }
+
+    #[test]
+    fn footer_pads_bitsets_written_before_dictionary_grew() {
+        // A chunk flushed while the dictionary held 8 buses carries a
+        // 1-byte bitset; once a 9th bus exists the footer stride is 2
+        // bytes and the short bitset must be zero-padded on encode.
+        let buses: Vec<Arc<str>> = (0..9)
+            .map(|i| Arc::from(format!("B{i}").as_str()))
+            .collect();
+        let chunk = |bus_bits: Vec<u8>| ChunkMeta {
+            offset: 8,
+            len: 1,
+            rows: 1,
+            group: 0,
+            checksum: 0,
+            zone: ZoneMap {
+                min_t_us: 0,
+                max_t_us: 0,
+                min_mid: 0,
+                max_mid: 0,
+                bus_bits,
+            },
+        };
+        let footer = Footer {
+            buses,
+            rows: 2,
+            groups: 2,
+            group_rows: 1,
+            clustered: true,
+            chunks: vec![chunk(vec![0b1]), chunk(vec![0, 0b1])],
+        };
+        let decoded = decode_footer(&encode_footer(&footer).unwrap()).unwrap();
+        assert_eq!(decoded.chunks[0].zone.bus_bits, vec![0b1, 0]);
+        assert_eq!(decoded.chunks[1].zone.bus_bits, vec![0, 0b1]);
+        assert!(decoded.chunks[0].zone.has_bus(0) && !decoded.chunks[0].zone.has_bus(8));
+        assert!(decoded.chunks[1].zone.has_bus(8));
+        // An oversized bitset is a writer bug — reported, not mangled.
+        let bad = Footer {
+            chunks: vec![chunk(vec![0; 3])],
+            ..footer
+        };
+        assert!(matches!(encode_footer(&bad), Err(Error::Format(_))));
     }
 
     #[test]

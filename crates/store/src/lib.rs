@@ -172,6 +172,47 @@ mod tests {
     }
 
     #[test]
+    fn bus_appearing_after_group_flush_keeps_file_readable() {
+        // The first two groups intern buses B0..B7 (1-byte zone-map
+        // bitsets); B8 first appears in a later group, widening the footer
+        // bitset stride past the byte boundary to 2. Earlier chunks' short
+        // bitsets must be padded on encode, not misparse the whole index.
+        let bus_record = |i: u64, bus: &str, mid: u32| Record {
+            timestamp_us: i * 1_000,
+            bus: Arc::from(bus),
+            message_id: mid,
+            payload: vec![i as u8],
+            protocol: Protocol::Can,
+        };
+        let mut records: Vec<Record> = (0..16u64)
+            .map(|i| bus_record(i, &format!("B{}", i % 8), (i % 4) as u32))
+            .collect();
+        records.extend((16..20u64).map(|i| bus_record(i, "B8", 99)));
+        let bytes = write_store(
+            &records,
+            WriterOptions {
+                chunk_rows: 4,
+                chunks_per_group: 2,
+                cluster: true,
+            },
+        );
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.footer().buses.len(), 9);
+        assert_eq!(reader.read_all().unwrap(), records);
+        // The late bus is selectable and its zone-map bit prunes the rest.
+        let mut got = Vec::new();
+        let stats = reader
+            .scan::<Error, _>(&Predicate::for_messages([("B8", 99u32)]), |mut g| {
+                got.append(&mut g);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got.len(), 4);
+        assert!(got.iter().all(|r| r.bus.as_ref() == "B8"));
+        assert!(stats.chunks_skipped > 0);
+    }
+
+    #[test]
     fn unknown_bus_selection_matches_nothing() {
         let bytes = write_store(&cyclic_trace(100, 4), WriterOptions::default());
         let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();

@@ -98,7 +98,7 @@ impl CompiledPredicate {
     }
 
     /// Exact row test (the zone-map test is only conservative).
-    fn row_matches(&self, row: &IndexedRecord, bus_id: u32) -> bool {
+    fn row_matches(&self, row: &IndexedRecord) -> bool {
         if let Some((from, to)) = self.time_range_us {
             if !(from..=to).contains(&row.record.timestamp_us) {
                 return false;
@@ -106,7 +106,7 @@ impl CompiledPredicate {
         }
         match &self.pairs {
             None => true,
-            Some(pairs) => pairs.contains(&(bus_id, row.record.message_id)),
+            Some(pairs) => pairs.contains(&(row.bus_id, row.record.message_id)),
         }
     }
 }
@@ -256,16 +256,7 @@ impl<R: Read + Seek> StoreReader<R> {
             let rows = self.read_chunk(idx).map_err(E::from)?;
             stats.peak_rows_buffered = stats.peak_rows_buffered.max(pending.len() + rows.len());
             for row in rows {
-                // Bus ids decode back to names; recover the dictionary id
-                // for the exact row test from the name's position.
-                let bus_id = self
-                    .footer
-                    .buses
-                    .iter()
-                    .position(|b| b.as_ref() == row.record.bus.as_ref())
-                    .map(|i| i as u32)
-                    .unwrap_or(u32::MAX);
-                if compiled.row_matches(&row, bus_id) {
+                if compiled.row_matches(&row) {
                     pending.push(row);
                 }
             }

@@ -118,6 +118,36 @@ proptest! {
         prop_assert!(stats.peak_rows_buffered <= chunk_rows * chunks_per_group);
     }
 
+    /// The dictionary may grow for the whole life of the file: bus
+    /// `B{i/stride}` first appears at row `i*stride`, so later groups keep
+    /// widening the footer bitset past byte boundaries after earlier
+    /// groups already flushed shorter ones.
+    #[test]
+    fn growing_bus_dictionary_roundtrips(
+        n in 1usize..300,
+        stride in 1usize..24,
+        chunk_rows in 1usize..32,
+        chunks_per_group in 1usize..4,
+    ) {
+        let records: Vec<Record> = (0..n)
+            .map(|i| Record {
+                timestamp_us: i as u64 * 100,
+                bus: Arc::from(format!("B{}", i / stride).as_str()),
+                message_id: (i % 7) as u32,
+                payload: vec![i as u8],
+                protocol: Protocol::Can,
+            })
+            .collect();
+        let bytes = write_store(&records, WriterOptions {
+            chunk_rows,
+            chunks_per_group,
+            cluster: true,
+        });
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        prop_assert_eq!(reader.footer().buses.len(), records.len().div_ceil(stride));
+        prop_assert_eq!(reader.read_all().unwrap(), records);
+    }
+
     /// Damaged files yield typed errors, never panics and never silently
     /// wrong data: any single-byte flip or truncation is either caught at
     /// open or at scan time.
