@@ -1,0 +1,226 @@
+//! Machine-readable probe of distributed extraction scaling.
+//!
+//! Records a SYN workload into an `.ivns` store, then runs the same
+//! extraction job three ways: single-process (`extract_from_store`), and
+//! through `ivnt-cluster` with 1 and N subprocess workers (the binary
+//! re-executes itself in `__worker` mode, exactly like the CLI's
+//! `--local`). Results go to `BENCH_cluster.json` plus a human-readable
+//! summary on stdout, following the `store_probe`/`BENCH_store.json`
+//! conventions.
+//!
+//! Two invariants are enforced, not just reported:
+//!
+//! * every distributed run must be bit-identical to the single-process
+//!   extraction (checked by re-encoding all partitions), and
+//! * the N-worker run must beat the 1-worker run by at least
+//!   `IVNT_CLUSTER_MIN_SPEEDUP` (default 1.0). On a machine with fewer
+//!   cores than workers a speedup is physically impossible and the
+//!   contention makes the timings too noisy to gate on, so there the
+//!   speedup is report-only and the probe enforces bit-identity alone.
+//!
+//! `IVNT_BENCH_SCALE` scales the workload as in the other probes.
+
+use std::io::Write;
+use std::time::Instant;
+
+use ivnt_bench::scale;
+use ivnt_cluster::codec::encode_batch;
+use ivnt_cluster::{
+    run_job, spawn_local_workers, ClusterConfig, JobSpec, LocalSpawnSpec, WorkerServer,
+};
+use ivnt_simulator::scenario::{self, DataSetSpec};
+use ivnt_simulator::store::to_store_record;
+use ivnt_store::{StoreWriter, WriterOptions};
+
+const SEED: u64 = 7;
+
+/// Child mode: bind an ephemeral worker, announce it, serve until killed.
+fn worker_main() -> Result<(), Box<dyn std::error::Error>> {
+    let server = WorkerServer::bind("127.0.0.1:0")?;
+    println!("{}{}", ivnt_cluster::LISTEN_PREFIX, server.local_addr()?);
+    std::io::stdout().flush()?;
+    server.serve()?;
+    Ok(())
+}
+
+fn median(times: &mut [f64]) -> f64 {
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if std::env::args().nth(1).as_deref() == Some("__worker") {
+        return worker_main();
+    }
+
+    let examples = (2_000_000.0 * scale()) as usize;
+    let runs = 3;
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+
+    let path = std::env::temp_dir().join(format!("ivnt-cluster-scale-{}.ivns", std::process::id()));
+    let data = scenario::generate(
+        &DataSetSpec::syn()
+            .with_seed(SEED)
+            .with_target_examples(examples),
+    )?;
+    let trace_rows = data.trace.len();
+    let options = WriterOptions {
+        chunk_rows: 1024,
+        chunks_per_group: 4,
+        cluster: true,
+    };
+    let mut writer = StoreWriter::create(&path, options)?;
+    for r in data.trace.records() {
+        writer.append(&to_store_record(r))?;
+    }
+    writer.finish()?;
+
+    let job = JobSpec::new("syn", path.display().to_string()).with_seed(SEED);
+    eprintln!("workload: {trace_rows} store rows, {cores} cores, {runs} runs per point");
+
+    // Single-process reference: both the timing baseline and the
+    // bit-identity oracle for every distributed run.
+    let pipeline = job.pipeline()?;
+    let expected = {
+        let mut reader = ivnt_store::StoreReader::open(&path)?;
+        pipeline.extract_from_store(&mut reader)?
+    };
+    let expected_fp: Vec<Vec<u8>> = expected.partitions().iter().map(encode_batch).collect();
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            let mut reader = ivnt_store::StoreReader::open(&path).expect("open");
+            pipeline.extract_from_store(&mut reader).expect("extract");
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    let single_secs = median(&mut times);
+
+    let mut counts = vec![1usize, 2];
+    if cores >= 4 {
+        counts.push(4);
+    }
+    let spawn_spec = LocalSpawnSpec {
+        exe: std::env::current_exe()?,
+        args: vec!["__worker".into()],
+    };
+    // Bench tasks run seconds of pegged CPU on possibly one core; the
+    // default 1 s liveness window can starve out and flag a healthy
+    // worker dead. Liveness behaviour has its own fault-injection tests —
+    // here the generous timeout just keeps the probe honest about speed.
+    let config = ClusterConfig {
+        liveness_timeout_ms: 30_000,
+        ..ClusterConfig::default()
+    };
+
+    let mut points = Vec::new();
+    for &n in &counts {
+        let workers = spawn_local_workers(&spawn_spec, n, &Default::default())?;
+        let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+        // Warmup session (also absorbs worker process start-up).
+        let warm = run_job(&job, &addrs, &config)?;
+        let fp: Vec<Vec<u8>> = warm.frame.partitions().iter().map(encode_batch).collect();
+        assert_eq!(fp, expected_fp, "{n}-worker result diverged");
+        let mut times: Vec<f64> = (0..runs)
+            .map(|_| {
+                let t0 = Instant::now();
+                let run = run_job(&job, &addrs, &config).expect("cluster run");
+                let secs = t0.elapsed().as_secs_f64();
+                let fp: Vec<Vec<u8>> = run.frame.partitions().iter().map(encode_batch).collect();
+                assert_eq!(fp, expected_fp, "{n}-worker result diverged");
+                secs
+            })
+            .collect();
+        points.push((n, median(&mut times)));
+        drop(workers);
+    }
+    let _ = std::fs::remove_file(&path);
+
+    let (_, t1) = points[0];
+    let &(n_max, tn) = points.last().expect("at least one point");
+    let speedup = t1 / tn;
+    let gate = env_f64("IVNT_CLUSTER_MIN_SPEEDUP", 1.0);
+    // With fewer cores than workers a speedup is physically impossible
+    // and the contention makes timings too noisy to gate on at all —
+    // the speedup is then report-only. Bit-identity stays enforced on
+    // every run regardless.
+    let gated = cores >= n_max;
+    let effective_gate = if gated { gate } else { 0.0 };
+
+    let point_entries: Vec<String> = points
+        .iter()
+        .map(|(n, secs)| {
+            format!(
+                "    {{\"workers\": {n}, \"seconds\": {secs:.6}, \
+                 \"rows_per_sec\": {:.1}}}",
+                trace_rows as f64 / secs
+            )
+        })
+        .collect();
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"trace_rows\": {},\n",
+            "    \"signal_rows\": {},\n",
+            "    \"cores\": {},\n",
+            "    \"runs\": {}\n",
+            "  }},\n",
+            "  \"single_process_seconds\": {:.6},\n",
+            "  \"cluster\": [\n{}\n  ],\n",
+            "  \"scaling\": {{\n",
+            "    \"workers_max\": {},\n",
+            "    \"speedup_vs_one_worker\": {:.3},\n",
+            "    \"min_speedup_gate\": {:.2},\n",
+            "    \"effective_gate\": {:.2}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        trace_rows,
+        expected.num_rows(),
+        cores,
+        runs,
+        single_secs,
+        point_entries.join(",\n"),
+        n_max,
+        speedup,
+        gate,
+        effective_gate,
+    );
+    std::fs::write("BENCH_cluster.json", &json)?;
+
+    println!(
+        "single-process        {:>9.1} ms  {:>12.0} rows/s",
+        single_secs * 1e3,
+        trace_rows as f64 / single_secs
+    );
+    for (n, secs) in &points {
+        println!(
+            "cluster {n} worker(s)    {:>9.1} ms  {:>12.0} rows/s",
+            secs * 1e3,
+            trace_rows as f64 / secs
+        );
+    }
+    let gate_note = if gated {
+        format!("gate {effective_gate:.2}x")
+    } else {
+        format!("report-only: {n_max} workers on {cores} core(s) cannot scale")
+    };
+    println!(
+        "speedup {n_max} vs 1 workers: {speedup:.2}x ({gate_note}); \
+         all runs bit-identical to single-process"
+    );
+
+    if speedup < effective_gate {
+        eprintln!("FAIL: {n_max}-worker speedup {speedup:.2}x below gate {effective_gate:.2}x");
+        std::process::exit(1);
+    }
+    Ok(())
+}

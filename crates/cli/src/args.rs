@@ -1,34 +1,50 @@
-//! Minimal argument parsing: `--key value` flags plus positional operands.
+//! Minimal argument parsing: `--key value` flags, valueless `--switch`
+//! flags, plus positional operands.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
-/// Parsed command line: flag map plus positionals, in order.
+/// Parsed command line: flag map, switch set, and positionals in order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Args {
     flags: HashMap<String, String>,
+    switches: HashSet<String>,
     positionals: Vec<String>,
 }
 
 impl Args {
-    /// Parses `--key value` pairs and positionals from raw arguments.
+    /// Parses `--key value` pairs and positionals from raw arguments;
+    /// flags named in `switches` take no value — their presence is
+    /// queried with [`Args::has`].
     ///
     /// # Errors
     ///
-    /// Returns a message when a `--flag` lacks its value.
-    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, String> {
+    /// Returns a message when a non-switch `--flag` lacks its value.
+    pub fn parse_with_switches<I: IntoIterator<Item = String>>(
+        raw: I,
+        switches: &[&str],
+    ) -> Result<Args, String> {
         let mut args = Args::default();
         let mut iter = raw.into_iter();
         while let Some(token) = iter.next() {
             if let Some(key) = token.strip_prefix("--") {
-                let value = iter
-                    .next()
-                    .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                args.flags.insert(key.to_string(), value);
+                if switches.contains(&key) {
+                    args.switches.insert(key.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| format!("flag --{key} needs a value"))?;
+                    args.flags.insert(key.to_string(), value);
+                }
             } else {
                 args.positionals.push(token);
             }
         }
         Ok(args)
+    }
+
+    /// Whether a valueless `--switch` was present.
+    pub fn has(&self, key: &str) -> bool {
+        self.switches.contains(key)
     }
 
     /// String flag.
@@ -74,7 +90,7 @@ mod tests {
     use super::*;
 
     fn parse(tokens: &[&str]) -> Args {
-        Args::parse(tokens.iter().map(|s| s.to_string())).unwrap()
+        Args::parse_with_switches(tokens.iter().map(|s| s.to_string()), &[]).unwrap()
     }
 
     #[test]
@@ -88,8 +104,21 @@ mod tests {
 
     #[test]
     fn missing_value_rejected() {
-        let err = Args::parse(vec!["--seed".to_string()]).unwrap_err();
+        let err = Args::parse_with_switches(vec!["--seed".to_string()], &["json"]).unwrap_err();
         assert!(err.contains("--seed"));
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let raw = ["--json", "trace.ivns", "--chunks", "4"];
+        let a = Args::parse_with_switches(raw.iter().map(|s| s.to_string()), &["json"]).unwrap();
+        assert!(a.has("json"));
+        assert!(!a.has("chunks"));
+        assert_eq!(a.get_parsed::<usize>("chunks").unwrap(), Some(4));
+        assert_eq!(a.positional(0, "trace").unwrap(), "trace.ivns");
+        // Without registration the same token would swallow the operand.
+        let b = Args::parse_with_switches(raw.iter().map(|s| s.to_string()), &[]).unwrap();
+        assert_eq!(b.get("json"), Some("trace.ivns"));
     }
 
     #[test]

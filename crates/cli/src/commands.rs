@@ -10,6 +10,9 @@ use ivnt_simulator::scenario;
 
 use crate::args::Args;
 
+/// Valueless flags; everything else is `--key value`.
+pub const SWITCHES: &[&str] = &["json", "once", "verify"];
+
 type CmdResult = Result<(), String>;
 
 fn err(e: impl std::fmt::Display) -> String {
@@ -226,11 +229,84 @@ fn store_ingest(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// `ivnt store info <trace.ivns>` — footer statistics and chunk index.
+/// Escapes a string for a JSON literal (quotes, backslashes, controls).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `ivnt store info --json <trace.ivns>` — the footer and full chunk
+/// index as a machine-readable JSON document, for scripted health checks
+/// and shard planning outside the pipeline.
+fn store_info_json(path: &str, footer: &ivnt_store::Footer) -> CmdResult {
+    let buses: Vec<String> = footer.buses.iter().map(|b| json_str(b)).collect();
+    let payload_bytes: u64 = footer.chunks.iter().map(|c| u64::from(c.len)).sum();
+    let min_t = footer.chunks.iter().map(|c| c.zone.min_t_us).min();
+    let max_t = footer.chunks.iter().map(|c| c.zone.max_t_us).max();
+    println!("{{");
+    println!("  \"path\": {},", json_str(path));
+    println!("  \"rows\": {},", footer.rows);
+    println!("  \"groups\": {},", footer.groups);
+    println!("  \"group_rows\": {},", footer.group_rows);
+    println!("  \"clustered\": {},", footer.clustered);
+    println!("  \"payload_bytes\": {payload_bytes},");
+    println!("  \"min_t_us\": {},", min_t.unwrap_or(0));
+    println!("  \"max_t_us\": {},", max_t.unwrap_or(0));
+    println!("  \"buses\": [{}],", buses.join(", "));
+    println!("  \"chunks\": [");
+    let last = footer.chunks.len().saturating_sub(1);
+    for (i, c) in footer.chunks.iter().enumerate() {
+        let chunk_buses: Vec<String> = footer
+            .buses
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| c.zone.has_bus(*b as u32))
+            .map(|(_, name)| json_str(name))
+            .collect();
+        println!(
+            "    {{\"chunk\": {i}, \"group\": {}, \"rows\": {}, \"offset\": {}, \
+             \"len\": {}, \"checksum\": {}, \"min_t_us\": {}, \"max_t_us\": {}, \
+             \"min_mid\": {}, \"max_mid\": {}, \"buses\": [{}]}}{}",
+            c.group,
+            c.rows,
+            c.offset,
+            c.len,
+            json_str(&format!("{:#018x}", c.checksum)),
+            c.zone.min_t_us,
+            c.zone.max_t_us,
+            c.zone.min_mid,
+            c.zone.max_mid,
+            chunk_buses.join(", "),
+            if i == last { "" } else { "," },
+        );
+    }
+    println!("  ]");
+    println!("}}");
+    Ok(())
+}
+
+/// `ivnt store info [--json] [--chunks N] <trace.ivns>` — footer
+/// statistics and chunk index; `--json` emits the machine-readable form.
 fn store_info(args: &Args) -> CmdResult {
     let path = args.positional(1, "trace.ivns")?;
     let reader = ivnt_store::StoreReader::open(path).map_err(err)?;
     let footer = reader.footer();
+    if args.has("json") {
+        return store_info_json(path, footer);
+    }
     let layout = if footer.clustered {
         "clustered"
     } else {
@@ -337,6 +413,140 @@ fn store_extract(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// `ivnt cluster <worker|run>` — distributed extraction.
+///
+/// # Errors
+///
+/// Reports unknown subcommands and the subcommands' own failures.
+pub fn cluster(args: &Args) -> CmdResult {
+    match args.positional(0, "worker|run")? {
+        "worker" => cluster_worker(args),
+        "run" => cluster_run(args),
+        other => Err(format!(
+            "unknown cluster subcommand {other:?} (use worker|run)"
+        )),
+    }
+}
+
+/// `ivnt cluster worker [--listen ADDR] [--once]`
+///
+/// Binds a worker, announces `cluster worker listening on ADDR` on
+/// stdout (parsed by `--local` parents), then serves coordinator
+/// sessions — exactly one with `--once`, forever otherwise. Fault
+/// injection is armed via `IVNT_CLUSTER_FAULT`.
+fn cluster_worker(args: &Args) -> CmdResult {
+    use std::io::Write;
+    let listen = args.get_or("listen", "127.0.0.1:0");
+    let faults = ivnt_cluster::WorkerFaults::from_env().map_err(err)?;
+    let server = ivnt_cluster::WorkerServer::bind(listen)
+        .map_err(err)?
+        .with_faults(faults);
+    let addr = server.local_addr().map_err(err)?;
+    println!("{}{addr}", ivnt_cluster::LISTEN_PREFIX);
+    std::io::stdout().flush().map_err(err)?;
+    if args.has("once") {
+        server.serve_once().map_err(err)
+    } else {
+        server.serve().map_err(err)
+    }
+}
+
+/// `ivnt cluster run --scenario syn [--seed S] [--signals a,b]
+/// (--workers A,B,.. | --local N) [--heartbeat-ms N] [--timeout-ms N]
+/// [--retries N] [--tasks N] [--csv out.csv] [--verify] <trace.ivns>`
+///
+/// Plans shards from the store footer, distributes them over the given
+/// workers (or over `--local N` subprocess copies of this binary), and
+/// merges the results in deterministic task order. `--verify` re-runs
+/// the extraction single-process and asserts the merged result is
+/// bit-identical.
+fn cluster_run(args: &Args) -> CmdResult {
+    let store_path = args.positional(1, "trace.ivns")?;
+    let mut job = ivnt_cluster::JobSpec::new(args.get_or("scenario", "syn"), store_path);
+    if let Some(seed) = args.get_parsed::<u64>("seed")? {
+        job = job.with_seed(seed);
+    }
+    if let Some(examples) = args.get_parsed::<u64>("examples")? {
+        job = job.with_examples(examples);
+    }
+    if let Some(list) = args.get("signals") {
+        job = job.with_signals(list.split(',').map(str::trim).map(String::from));
+    }
+
+    let mut config = ivnt_cluster::ClusterConfig::default();
+    if let Some(v) = args.get_parsed::<u64>("heartbeat-ms")? {
+        config.heartbeat_ms = v;
+    }
+    if let Some(v) = args.get_parsed::<u64>("timeout-ms")? {
+        config.liveness_timeout_ms = v;
+    }
+    if let Some(v) = args.get_parsed::<u32>("retries")? {
+        config.max_task_retries = v;
+    }
+    if let Some(v) = args.get_parsed::<usize>("tasks")? {
+        config.tasks_per_worker = v;
+    }
+
+    // Resolve the worker set: explicit addresses, or local subprocesses.
+    let mut locals = Vec::new();
+    let addrs: Vec<String> = match (args.get("workers"), args.get_parsed::<usize>("local")?) {
+        (Some(_), Some(_)) => return Err("use --workers or --local, not both".into()),
+        (Some(list), None) => list.split(',').map(str::trim).map(String::from).collect(),
+        (None, Some(n)) if n > 0 => {
+            let spec = ivnt_cluster::LocalSpawnSpec {
+                exe: std::env::current_exe().map_err(err)?,
+                args: ["cluster", "worker", "--listen", "127.0.0.1:0", "--once"]
+                    .map(String::from)
+                    .to_vec(),
+            };
+            let faults = ivnt_cluster::local_faults_from_env().map_err(err)?;
+            locals = ivnt_cluster::spawn_local_workers(&spec, n, &faults).map_err(err)?;
+            locals.iter().map(|w| w.addr().to_string()).collect()
+        }
+        _ => return Err("need --workers A,B,.. or --local N".into()),
+    };
+
+    let run = ivnt_cluster::run_job(&job, &addrs, &config).map_err(err)?;
+    drop(locals);
+    println!(
+        "cluster extracted {} signal rows from {store_path} across {} workers",
+        run.stats.rows, run.stats.workers,
+    );
+    println!(
+        "schedule: {} tasks over {} groups ({} pruned), {} retries, {} workers lost",
+        run.stats.tasks,
+        run.stats.groups_total,
+        run.stats.groups_pruned,
+        run.stats.retries,
+        run.stats.workers_lost,
+    );
+
+    if args.has("verify") {
+        let pipeline = job.pipeline().map_err(err)?;
+        let mut reader = ivnt_store::StoreReader::open(store_path).map_err(err)?;
+        let expected = pipeline.extract_from_store(&mut reader).map_err(err)?;
+        let fp = |frame: &ivnt_frame::frame::DataFrame| -> Vec<Vec<u8>> {
+            frame
+                .partitions()
+                .iter()
+                .map(ivnt_cluster::codec::encode_batch)
+                .collect()
+        };
+        if fp(&run.frame) == fp(&expected) {
+            println!("verify: bit-identical to single-process extraction");
+        } else {
+            return Err("verify FAILED: distributed result differs from single-process".into());
+        }
+    }
+
+    if let Some(csv_path) = args.get("csv") {
+        let file = File::create(csv_path).map_err(err)?;
+        ivnt_frame::csv::write_csv(&run.frame, BufWriter::new(file)).map_err(err)?;
+        println!("interpreted signals written to {csv_path}");
+    }
+    Ok(())
+}
+
 /// `ivnt dbc <file.dbc> [--bus NAME]` — parse and summarize a DBC file.
 ///
 /// # Errors
@@ -393,9 +603,14 @@ USAGE:
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>
-  ivnt store info    [--chunks N] <trace.ivns>
+  ivnt store info    [--chunks N] [--json] <trace.ivns>
   ivnt store extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       [--csv out.csv] <trace.ivns>
+  ivnt cluster worker [--listen ADDR] [--once]
+  ivnt cluster run   --scenario syn|lig|sta [--seed S] [--signals a,b,..]
+                      (--workers A,B,.. | --local N) [--heartbeat-ms N]
+                      [--timeout-ms N] [--retries N] [--tasks N]
+                      [--csv out.csv] [--verify] <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]
 "
 }

@@ -12,7 +12,7 @@ fn main() {
         std::process::exit(2);
     }
     let command = raw.remove(0);
-    let parsed = match Args::parse(raw) {
+    let parsed = match Args::parse_with_switches(raw, commands::SWITCHES) {
         Ok(a) => a,
         Err(e) => {
             eprintln!("error: {e}");
@@ -24,6 +24,7 @@ fn main() {
         "inspect" => commands::inspect(&parsed),
         "extract" => commands::extract(&parsed),
         "store" => commands::store(&parsed),
+        "cluster" => commands::cluster(&parsed),
         "dbc" => commands::dbc(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::usage());

@@ -1,0 +1,213 @@
+//! Bit-exact wire encoding of result batches.
+//!
+//! A worker's shard result is a list of [`Batch`]es in the interpreted
+//! signal schema. Each batch is encoded column-wise: a validity bitmap
+//! followed by the non-null cells. Floats are shipped as their raw
+//! IEEE-754 bit pattern (`u64` LE) so the coordinator's merge is
+//! *bit*-identical to a single-process run — NaN payloads, signed zeros
+//! and subnormals all survive the trip. Both ends hold the schema (it is
+//! implied by the job), so only a consistency tag per column travels.
+
+use std::sync::Arc;
+
+use ivnt_frame::batch::Batch;
+use ivnt_frame::column::Column;
+use ivnt_frame::datatype::{DataType, Schema};
+use ivnt_store::varint::{self, Cursor};
+
+use crate::error::{Error, Result};
+use crate::wire::MAX_FRAME_LEN;
+
+fn type_tag(dt: DataType) -> u8 {
+    match dt {
+        DataType::Bool => 0,
+        DataType::Int => 1,
+        DataType::Float => 2,
+        DataType::Str => 3,
+        DataType::Bytes => 4,
+    }
+}
+
+fn bitmap<T>(cells: &[Option<T>]) -> Vec<u8> {
+    let mut bits = vec![0u8; cells.len().div_ceil(8)];
+    for (i, c) in cells.iter().enumerate() {
+        if c.is_some() {
+            bits[i / 8] |= 1 << (i % 8);
+        }
+    }
+    bits
+}
+
+/// Encodes one batch into bytes decodable by [`decode_batch`].
+pub fn encode_batch(batch: &Batch) -> Vec<u8> {
+    let rows = batch.num_rows();
+    let mut out = Vec::new();
+    varint::write_u64(&mut out, rows as u64);
+    varint::write_u64(&mut out, batch.columns().len() as u64);
+    for col in batch.columns() {
+        match col {
+            Column::Bool(cells) => {
+                out.push(type_tag(DataType::Bool));
+                out.extend_from_slice(&bitmap(cells));
+                for c in cells.iter().flatten() {
+                    out.push(u8::from(*c));
+                }
+            }
+            Column::Int(cells) => {
+                out.push(type_tag(DataType::Int));
+                out.extend_from_slice(&bitmap(cells));
+                for c in cells.iter().flatten() {
+                    varint::write_i64(&mut out, *c);
+                }
+            }
+            Column::Float(cells) => {
+                out.push(type_tag(DataType::Float));
+                out.extend_from_slice(&bitmap(cells));
+                for c in cells.iter().flatten() {
+                    out.extend_from_slice(&c.to_bits().to_le_bytes());
+                }
+            }
+            Column::Str(cells) => {
+                out.push(type_tag(DataType::Str));
+                out.extend_from_slice(&bitmap(cells));
+                for c in cells.iter().flatten() {
+                    varint::write_u64(&mut out, c.len() as u64);
+                    out.extend_from_slice(c.as_bytes());
+                }
+            }
+            Column::Bytes(cells) => {
+                out.push(type_tag(DataType::Bytes));
+                out.extend_from_slice(&bitmap(cells));
+                for c in cells.iter().flatten() {
+                    varint::write_u64(&mut out, c.len() as u64);
+                    out.extend_from_slice(c);
+                }
+            }
+        }
+    }
+    out
+}
+
+fn read_bitmap(cur: &mut Cursor<'_>, rows: usize) -> Result<Vec<bool>> {
+    let bytes = cur.read_slice(rows.div_ceil(8))?;
+    Ok((0..rows)
+        .map(|i| bytes[i / 8] & (1 << (i % 8)) != 0)
+        .collect())
+}
+
+/// Decodes a batch against the schema both peers agreed on.
+///
+/// # Errors
+///
+/// Returns [`Error::Protocol`] when the bytes disagree with `schema`
+/// (wrong column count or type tag) and [`Error::Truncated`] when they
+/// end early. Never panics on arbitrary input.
+pub fn decode_batch(bytes: &[u8], schema: &Arc<Schema>) -> Result<Batch> {
+    let mut cur = Cursor::new(bytes);
+    let rows = cur.read_u64()?;
+    if rows > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!("batch declares {rows} rows")));
+    }
+    let rows = rows as usize;
+    if rows > bytes.len() * 8 {
+        // Every row costs at least a validity bit; cheaper bound first.
+        return Err(Error::Protocol(format!(
+            "batch declares {rows} rows in {} bytes",
+            bytes.len()
+        )));
+    }
+    let cols = cur.read_u64()?;
+    if cols != schema.len() as u64 {
+        return Err(Error::Protocol(format!(
+            "batch has {cols} columns, schema {}",
+            schema.len()
+        )));
+    }
+    let mut columns = Vec::with_capacity(schema.len());
+    for field in schema.fields() {
+        let tag = cur.read_u8()?;
+        if tag != type_tag(field.data_type()) {
+            return Err(Error::Protocol(format!(
+                "column {:?} tagged {tag}, schema says {}",
+                field.name(),
+                field.data_type()
+            )));
+        }
+        let valid = read_bitmap(&mut cur, rows)?;
+        let col = match field.data_type() {
+            DataType::Bool => {
+                let mut cells = Vec::with_capacity(rows);
+                for v in valid {
+                    cells.push(if v {
+                        Some(match cur.read_u8()? {
+                            0 => false,
+                            1 => true,
+                            other => return Err(Error::Protocol(format!("bad bool byte {other}"))),
+                        })
+                    } else {
+                        None
+                    });
+                }
+                Column::Bool(cells)
+            }
+            DataType::Int => {
+                let mut cells = Vec::with_capacity(rows);
+                for v in valid {
+                    cells.push(if v { Some(cur.read_i64()?) } else { None });
+                }
+                Column::Int(cells)
+            }
+            DataType::Float => {
+                let mut cells = Vec::with_capacity(rows);
+                for v in valid {
+                    cells.push(if v {
+                        Some(f64::from_bits(cur.read_u64_le()?))
+                    } else {
+                        None
+                    });
+                }
+                Column::Float(cells)
+            }
+            DataType::Str => {
+                let mut cells: Vec<Option<Arc<str>>> = Vec::with_capacity(rows);
+                for v in valid {
+                    cells.push(if v {
+                        let len = cur.read_u64()?;
+                        if len > MAX_FRAME_LEN {
+                            return Err(Error::Protocol(format!("string cell of {len} bytes")));
+                        }
+                        let s = std::str::from_utf8(cur.read_slice(len as usize)?)
+                            .map_err(|_| Error::Protocol("string cell not UTF-8".into()))?;
+                        Some(Arc::from(s))
+                    } else {
+                        None
+                    });
+                }
+                Column::Str(cells)
+            }
+            DataType::Bytes => {
+                let mut cells: Vec<Option<Arc<[u8]>>> = Vec::with_capacity(rows);
+                for v in valid {
+                    cells.push(if v {
+                        let len = cur.read_u64()?;
+                        if len > MAX_FRAME_LEN {
+                            return Err(Error::Protocol(format!("bytes cell of {len} bytes")));
+                        }
+                        Some(Arc::from(cur.read_slice(len as usize)?))
+                    } else {
+                        None
+                    });
+                }
+                Column::Bytes(cells)
+            }
+        };
+        columns.push(col);
+    }
+    if cur.remaining() != 0 {
+        return Err(Error::Protocol(format!(
+            "{} trailing bytes after batch",
+            cur.remaining()
+        )));
+    }
+    Ok(Batch::new(schema.clone(), columns)?)
+}

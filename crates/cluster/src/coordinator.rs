@@ -1,0 +1,465 @@
+//! The coordinator: plans shards, drives workers, merges results.
+//!
+//! One thread per worker connection runs the full session state machine
+//! (handshake → job preamble → claim/assign/await loop) against a shared
+//! task table. Liveness is heartbeat-based: a worker that goes silent
+//! longer than [`ClusterConfig::liveness_timeout_ms`] is declared dead,
+//! its socket is shut down, and its in-flight task is requeued with the
+//! dead worker *excluded* — the task will be retried, but never on the
+//! node that just failed it (the `excluded_runner` discipline). Retries
+//! are bounded per task; exhausting them fails the whole job rather than
+//! looping forever.
+//!
+//! The merge is deterministic by construction: tasks are contiguous group
+//! ranges in group order, each result is the encoded per-group batch list
+//! of that range, and concatenation in `task_id` order therefore rebuilds
+//! exactly the partition list a single-process
+//! [`Pipeline::extract_from_store`](ivnt_core::Pipeline::extract_from_store)
+//! produces — bit-identical, which the integration tests assert.
+
+use std::collections::HashSet;
+use std::net::TcpStream;
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ivnt_frame::batch::Batch;
+use ivnt_frame::frame::DataFrame;
+
+use crate::codec::decode_batch;
+use crate::error::{Error, Result};
+use crate::job::JobSpec;
+use crate::plan::{plan_shards, ShardTask};
+use crate::wire::{self, Message, WIRE_VERSION};
+
+/// Scheduling knobs of one cluster run.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Interval workers must heartbeat at.
+    pub heartbeat_ms: u64,
+    /// Silence threshold after which a worker is declared dead.
+    pub liveness_timeout_ms: u64,
+    /// Retries per task before the job fails (attempt 0 is free, so a
+    /// task runs at most `max_task_retries + 1` times).
+    pub max_task_retries: u32,
+    /// Target shard tasks per worker — more gives the scheduler room to
+    /// rebalance around a dead node at the cost of more round trips.
+    pub tasks_per_worker: usize,
+    /// Connect/handshake patience per worker.
+    pub connect_timeout_ms: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            heartbeat_ms: 100,
+            liveness_timeout_ms: 1_000,
+            max_task_retries: 3,
+            tasks_per_worker: 3,
+            connect_timeout_ms: 5_000,
+        }
+    }
+}
+
+/// What happened during a cluster run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ClusterStats {
+    /// Workers the run was started with.
+    pub workers: usize,
+    /// Workers declared dead during the run.
+    pub workers_lost: usize,
+    /// Shard tasks planned.
+    pub tasks: usize,
+    /// Task requeues (dead worker or per-task error).
+    pub retries: u64,
+    /// Row groups in the store.
+    pub groups_total: u32,
+    /// Groups pruned by zone maps at plan time.
+    pub groups_pruned: u32,
+    /// Interpreted signal rows in the merged result.
+    pub rows: usize,
+}
+
+/// A finished cluster run: the merged frame plus its statistics.
+#[derive(Debug, Clone)]
+pub struct ClusterRun {
+    /// Interpreted signals, bit-identical to a single-process
+    /// `extract_from_store` over the same store and job.
+    pub frame: DataFrame,
+    /// Scheduling statistics.
+    pub stats: ClusterStats,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum TaskStatus {
+    Pending,
+    InFlight(usize),
+    Done,
+}
+
+struct TaskState {
+    task: ShardTask,
+    status: TaskStatus,
+    attempts: u32,
+    excluded: HashSet<usize>,
+    last_error: Option<String>,
+    result: Option<Vec<Vec<u8>>>,
+}
+
+struct JobState {
+    tasks: Vec<TaskState>,
+    alive: Vec<bool>,
+    retries: u64,
+    workers_lost: usize,
+    failed: Option<String>,
+}
+
+type Shared = Arc<(Mutex<JobState>, Condvar)>;
+
+/// Runs `job` across `workers` (TCP addresses) and merges the shards.
+///
+/// # Errors
+///
+/// - [`Error::Job`] when no worker is reachable, a task exhausts its
+///   retries, or a task becomes unschedulable (every remaining worker
+///   has already failed it).
+/// - Planner/pipeline errors from rebuilding the job locally.
+pub fn run_job(job: &JobSpec, workers: &[String], config: &ClusterConfig) -> Result<ClusterRun> {
+    if workers.is_empty() {
+        return Err(Error::Job("no workers given".into()));
+    }
+    // The coordinator rebuilds the pipeline too: it needs the predicate
+    // for planning and the schema for the merge.
+    let pipeline = job.pipeline()?;
+    let schema = ivnt_core::interpret::signal_schema();
+    let reader = ivnt_store::StoreReader::open(&job.store_path)?;
+    let plan = plan_shards(
+        reader.footer(),
+        &pipeline.store_predicate(),
+        workers.len() * config.tasks_per_worker.max(1),
+    );
+    drop(reader);
+
+    let mut stats = ClusterStats {
+        workers: workers.len(),
+        tasks: plan.tasks.len(),
+        groups_total: plan.groups_total,
+        groups_pruned: plan.groups_pruned,
+        ..ClusterStats::default()
+    };
+
+    // Degenerate stores (empty, or fully pruned by the predicate) are
+    // answered locally: an empty, correctly schema'd frame — matching
+    // what `extract_from_store` returns — without touching the network.
+    if plan.tasks.is_empty() {
+        let frame = DataFrame::from_partitions(schema.clone(), vec![Batch::empty(schema)])?;
+        return Ok(ClusterRun { frame, stats });
+    }
+
+    let shared: Shared = Arc::new((
+        Mutex::new(JobState {
+            tasks: plan
+                .tasks
+                .iter()
+                .map(|t| TaskState {
+                    task: *t,
+                    status: TaskStatus::Pending,
+                    attempts: 0,
+                    excluded: HashSet::new(),
+                    last_error: None,
+                    result: None,
+                })
+                .collect(),
+            alive: vec![true; workers.len()],
+            retries: 0,
+            workers_lost: 0,
+            failed: None,
+        }),
+        Condvar::new(),
+    ));
+
+    let handles: Vec<_> = workers
+        .iter()
+        .enumerate()
+        .map(|(idx, addr)| {
+            let shared = Arc::clone(&shared);
+            let addr = addr.clone();
+            let job = job.clone();
+            let config = config.clone();
+            std::thread::spawn(move || worker_session(idx, &addr, &job, &config, &shared))
+        })
+        .collect();
+    for h in handles {
+        let _ = h.join();
+    }
+
+    let state = shared.0.lock().expect("job state mutex");
+    stats.retries = state.retries;
+    stats.workers_lost = state.workers_lost;
+    if let Some(why) = &state.failed {
+        return Err(Error::Job(why.clone()));
+    }
+    let mut parts: Vec<Batch> = Vec::new();
+    for t in &state.tasks {
+        let blobs = t.result.as_ref().ok_or_else(|| {
+            Error::Job(format!(
+                "task {} never completed (no reachable worker?)",
+                t.task.task_id
+            ))
+        })?;
+        for blob in blobs {
+            parts.push(decode_batch(blob, &schema)?);
+        }
+    }
+    if parts.is_empty() {
+        parts.push(Batch::empty(schema.clone()));
+    }
+    let frame = DataFrame::from_partitions(schema, parts)?;
+    stats.rows = frame.num_rows();
+    Ok(ClusterRun { frame, stats })
+}
+
+/// Requeues `task_id` after worker `idx` failed it, bounding retries and
+/// failing the job if the task can no longer be scheduled anywhere.
+fn requeue(state: &mut JobState, task_id: u32, idx: usize, why: &str, max_retries: u32) {
+    let t = &mut state.tasks[task_id as usize];
+    if t.status == TaskStatus::Done {
+        return;
+    }
+    t.status = TaskStatus::Pending;
+    t.attempts += 1;
+    t.excluded.insert(idx);
+    t.last_error = Some(why.to_string());
+    state.retries += 1;
+    if t.attempts > max_retries {
+        state.failed = Some(format!(
+            "task {task_id} failed {} times, giving up (last: {why})",
+            t.attempts
+        ));
+        return;
+    }
+    check_schedulable(state);
+}
+
+/// Fails the job if a pending task has been excluded from every worker
+/// still alive — retrying would spin forever.
+fn check_schedulable(state: &mut JobState) {
+    if state.failed.is_some() {
+        return;
+    }
+    for t in &state.tasks {
+        if t.status != TaskStatus::Pending {
+            continue;
+        }
+        let placeable = state
+            .alive
+            .iter()
+            .enumerate()
+            .any(|(w, &alive)| alive && !t.excluded.contains(&w));
+        if !placeable {
+            let why = t
+                .last_error
+                .as_deref()
+                .unwrap_or("worker lost before completion");
+            state.failed = Some(format!(
+                "task {} unschedulable: every remaining worker already failed it (last: {why})",
+                t.task.task_id
+            ));
+            return;
+        }
+    }
+}
+
+/// Marks worker `idx` dead and requeues whatever it was running.
+fn worker_died(shared: &Shared, idx: usize, why: &str, max_retries: u32) {
+    let mut state = shared.0.lock().expect("job state mutex");
+    if state.alive[idx] {
+        state.alive[idx] = false;
+        state.workers_lost += 1;
+    }
+    let in_flight: Vec<u32> = state
+        .tasks
+        .iter()
+        .filter(|t| t.status == TaskStatus::InFlight(idx))
+        .map(|t| t.task.task_id)
+        .collect();
+    for task_id in in_flight {
+        requeue(&mut state, task_id, idx, why, max_retries);
+    }
+    check_schedulable(&mut state);
+    shared.1.notify_all();
+}
+
+enum Claim {
+    Task(ShardTask),
+    AllDone,
+    JobFailed,
+}
+
+/// Blocks until a task is claimable by `idx`, the job completes, or it
+/// fails. Waiting is condvar-based with a timeout so a worker parked
+/// here notices tasks requeued by another worker's death.
+fn claim_task(shared: &Shared, idx: usize) -> Claim {
+    let (lock, cvar) = (&shared.0, &shared.1);
+    let mut state = lock.lock().expect("job state mutex");
+    loop {
+        if state.failed.is_some() {
+            return Claim::JobFailed;
+        }
+        if state.tasks.iter().all(|t| t.status == TaskStatus::Done) {
+            return Claim::AllDone;
+        }
+        let claimable = state
+            .tasks
+            .iter_mut()
+            .find(|t| t.status == TaskStatus::Pending && !t.excluded.contains(&idx));
+        if let Some(t) = claimable {
+            t.status = TaskStatus::InFlight(idx);
+            return Claim::Task(t.task);
+        }
+        let (next, _) = cvar
+            .wait_timeout(state, Duration::from_millis(50))
+            .expect("job state mutex");
+        state = next;
+    }
+}
+
+fn complete_task(shared: &Shared, task_id: u32, blobs: Vec<Vec<u8>>) {
+    let mut state = shared.0.lock().expect("job state mutex");
+    let t = &mut state.tasks[task_id as usize];
+    t.status = TaskStatus::Done;
+    t.result = Some(blobs);
+    shared.1.notify_all();
+}
+
+/// One worker connection, driven to completion. All failure paths funnel
+/// into [`worker_died`]; the thread itself never panics the run.
+fn worker_session(idx: usize, addr: &str, job: &JobSpec, config: &ClusterConfig, shared: &Shared) {
+    match drive_worker(idx, addr, job, config, shared) {
+        Ok(()) => {}
+        Err(e) => worker_died(shared, idx, &e.to_string(), config.max_task_retries),
+    }
+}
+
+fn drive_worker(
+    idx: usize,
+    addr: &str,
+    job: &JobSpec,
+    config: &ClusterConfig,
+    shared: &Shared,
+) -> Result<()> {
+    let sock_addr: std::net::SocketAddr = addr
+        .parse()
+        .map_err(|_| Error::Job(format!("bad worker address {addr:?}")))?;
+    let mut stream = TcpStream::connect_timeout(
+        &sock_addr,
+        Duration::from_millis(config.connect_timeout_ms.max(1)),
+    )?;
+    stream.set_nodelay(true).ok();
+
+    // A dedicated reader thread turns the blocking socket into a channel
+    // the session loop can `recv_timeout` on — liveness checks must not
+    // be hostage to a wedged `read`. On timeout the session shuts the
+    // socket down, which unblocks the reader and ends it.
+    let (tx, rx): (Sender<Result<Message>>, Receiver<Result<Message>>) = std::sync::mpsc::channel();
+    let reader_stream = stream.try_clone()?;
+    let reader = std::thread::spawn(move || {
+        let mut stream = reader_stream;
+        loop {
+            let msg = wire::read_frame(&mut stream);
+            let stop = msg.is_err();
+            if tx.send(msg).is_err() || stop {
+                return;
+            }
+        }
+    });
+
+    let result = (|| -> Result<()> {
+        wire::write_frame(
+            &mut stream,
+            &Message::Hello {
+                version: WIRE_VERSION,
+                peer: format!("coordinator->{addr}"),
+            },
+        )?;
+        let handshake = Duration::from_millis(config.connect_timeout_ms.max(1));
+        match rx.recv_timeout(handshake) {
+            Ok(Ok(Message::Hello { version, .. })) if version == WIRE_VERSION => {}
+            Ok(Ok(Message::Hello { version, .. })) => {
+                return Err(Error::Protocol(format!(
+                    "worker {addr} speaks wire v{version}, coordinator v{WIRE_VERSION}"
+                )))
+            }
+            Ok(Ok(other)) => return Err(Error::Protocol(format!("expected Hello, got {other:?}"))),
+            Ok(Err(e)) => return Err(e),
+            Err(_) => return Err(Error::Job(format!("worker {addr} handshake timed out"))),
+        }
+        wire::write_frame(
+            &mut stream,
+            &Message::Job {
+                job: job.clone(),
+                heartbeat_ms: u32::try_from(config.heartbeat_ms.max(1)).unwrap_or(u32::MAX),
+            },
+        )?;
+
+        let poll = Duration::from_millis(config.heartbeat_ms.clamp(1, 50));
+        let liveness = Duration::from_millis(config.liveness_timeout_ms.max(1));
+        loop {
+            let task = match claim_task(shared, idx) {
+                Claim::Task(t) => t,
+                Claim::AllDone | Claim::JobFailed => {
+                    let _ = wire::write_frame(&mut stream, &Message::Shutdown);
+                    return Ok(());
+                }
+            };
+            wire::write_frame(&mut stream, &Message::Assign { task })?;
+            let mut last_seen = Instant::now();
+            loop {
+                match rx.recv_timeout(poll) {
+                    Ok(Ok(Message::Heartbeat { .. })) => last_seen = Instant::now(),
+                    Ok(Ok(Message::TaskResult { task_id, batches })) if task_id == task.task_id => {
+                        complete_task(shared, task_id, batches);
+                        break;
+                    }
+                    Ok(Ok(Message::TaskError { task_id, message })) if task_id == task.task_id => {
+                        // The worker survives its own task failure; the
+                        // task is requeued away from it.
+                        let mut state = shared.0.lock().expect("job state mutex");
+                        requeue(&mut state, task_id, idx, &message, config.max_task_retries);
+                        drop(state);
+                        shared.1.notify_all();
+                        break;
+                    }
+                    Ok(Ok(other)) => {
+                        return Err(Error::Protocol(format!(
+                            "unexpected message from {addr}: {other:?}"
+                        )))
+                    }
+                    // Frame corruption, truncation or socket failure —
+                    // the connection is no longer trustworthy.
+                    Ok(Err(e)) => return Err(e),
+                    Err(RecvTimeoutError::Timeout) => {
+                        if last_seen.elapsed() >= liveness {
+                            return Err(Error::Job(format!(
+                                "worker {addr} silent for {:?} on task {}",
+                                last_seen.elapsed(),
+                                task.task_id
+                            )));
+                        }
+                        if shared.0.lock().expect("job state mutex").failed.is_some() {
+                            let _ = wire::write_frame(&mut stream, &Message::Shutdown);
+                            return Ok(());
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        return Err(Error::Truncated(format!("worker {addr} reader gone")))
+                    }
+                }
+            }
+        }
+    })();
+
+    stream.shutdown(std::net::Shutdown::Both).ok();
+    let _ = reader.join();
+    result
+}

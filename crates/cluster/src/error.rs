@@ -1,0 +1,105 @@
+//! Typed failures of the cluster tier.
+
+use std::fmt;
+
+/// Anything the coordinator, a worker, or the wire codec can fail with.
+///
+/// Frame-level corruption ([`Error::FrameChecksum`], [`Error::Truncated`],
+/// [`Error::Protocol`]) is always reported as a typed error — the decoder
+/// never panics on attacker- or fault-injected bytes; the proptests and the
+/// corrupted-frame tests hold it to that.
+#[derive(Debug)]
+pub enum Error {
+    /// An underlying socket or file operation failed.
+    Io(std::io::Error),
+    /// A frame's FNV-1a checksum did not cover its payload — bit rot or
+    /// deliberate corruption between peers.
+    FrameChecksum,
+    /// A frame declared a length beyond [`crate::wire::MAX_FRAME_LEN`].
+    FrameTooLarge(u64),
+    /// The stream ended inside a frame or a message body.
+    Truncated(String),
+    /// A structurally valid frame carried a message the peer cannot
+    /// accept (unknown tag, version mismatch, out-of-order message).
+    Protocol(String),
+    /// The store layer failed on a worker or in the planner.
+    Store(ivnt_store::Error),
+    /// Pipeline construction or extraction failed.
+    Pipeline(ivnt_core::Error),
+    /// Scenario regeneration from a [`crate::job::JobSpec`] failed.
+    Simulation(ivnt_simulator::Error),
+    /// Assembling the merged result frame failed.
+    Frame(ivnt_frame::Error),
+    /// The job as a whole failed: retries exhausted, no reachable
+    /// workers, or a task became unschedulable.
+    Job(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::FrameChecksum => write!(f, "frame checksum mismatch"),
+            Error::FrameTooLarge(n) => write!(f, "frame of {n} bytes exceeds limit"),
+            Error::Truncated(what) => write!(f, "truncated: {what}"),
+            Error::Protocol(what) => write!(f, "protocol violation: {what}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
+            Error::Pipeline(e) => write!(f, "pipeline error: {e}"),
+            Error::Simulation(e) => write!(f, "simulation error: {e}"),
+            Error::Frame(e) => write!(f, "frame error: {e}"),
+            Error::Job(what) => write!(f, "job failed: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Pipeline(e) => Some(e),
+            Error::Simulation(e) => Some(e),
+            Error::Frame(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Error {
+        Error::Io(e)
+    }
+}
+
+impl From<ivnt_store::Error> for Error {
+    fn from(e: ivnt_store::Error) -> Error {
+        // Varint truncation/format failures inside a message body are wire
+        // truncation from the cluster's point of view.
+        match e {
+            ivnt_store::Error::Truncated(what) => Error::Truncated(what),
+            ivnt_store::Error::Format(what) => Error::Protocol(what),
+            other => Error::Store(other),
+        }
+    }
+}
+
+impl From<ivnt_core::Error> for Error {
+    fn from(e: ivnt_core::Error) -> Error {
+        Error::Pipeline(e)
+    }
+}
+
+impl From<ivnt_simulator::Error> for Error {
+    fn from(e: ivnt_simulator::Error) -> Error {
+        Error::Simulation(e)
+    }
+}
+
+impl From<ivnt_frame::Error> for Error {
+    fn from(e: ivnt_frame::Error) -> Error {
+        Error::Frame(e)
+    }
+}
+
+/// Crate-wide result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,175 @@
+//! The job description shipped to every worker.
+//!
+//! The coordinator does not serialize the pipeline itself — rules, codecs
+//! and profiles are closures-and-catalogs deep. It ships the *recipe*
+//! instead: scenario name, seed, and signal selection. Both sides rebuild
+//! the identical [`Pipeline`] from it (the same way the CLI's
+//! `store extract` does), which is what makes the merged distributed
+//! output bit-identical to a single-process run: every worker interprets
+//! its shards with byte-for-byte the same `U_comb`.
+
+use ivnt_core::prelude::*;
+use ivnt_simulator::scenario::{self, DataSetSpec};
+use ivnt_store::varint::{self, Cursor};
+
+use crate::error::{Error, Result};
+
+/// Everything needed to deterministically rebuild the extraction
+/// pipeline on a remote worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobSpec {
+    /// Scenario name: `syn`, `lig` or `sta`.
+    pub scenario: String,
+    /// Scenario seed override (must match the recording).
+    pub seed: Option<u64>,
+    /// Scenario target-example override (must match the recording).
+    pub examples: Option<u64>,
+    /// Signals to extract; empty selects the full `U_rel`.
+    pub signals: Vec<String>,
+    /// Path of the `.ivns` store file, as visible to the *worker*.
+    pub store_path: String,
+}
+
+impl JobSpec {
+    /// A job over `store_path` with scenario defaults.
+    pub fn new(scenario: impl Into<String>, store_path: impl Into<String>) -> JobSpec {
+        JobSpec {
+            scenario: scenario.into(),
+            seed: None,
+            examples: None,
+            signals: Vec::new(),
+            store_path: store_path.into(),
+        }
+    }
+
+    /// Returns a copy with the scenario seed pinned.
+    pub fn with_seed(mut self, seed: u64) -> JobSpec {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Returns a copy with the scenario example-count pinned.
+    pub fn with_examples(mut self, examples: u64) -> JobSpec {
+        self.examples = Some(examples);
+        self
+    }
+
+    /// Returns a copy extracting only `signals`.
+    pub fn with_signals<I, S>(mut self, signals: I) -> JobSpec
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.signals = signals.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Resolves the scenario spec (without the duration shortening used
+    /// for catalog regeneration).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Protocol`] for an unknown scenario name.
+    pub fn spec(&self) -> Result<DataSetSpec> {
+        let mut spec = match self.scenario.as_str() {
+            "syn" => DataSetSpec::syn(),
+            "lig" => DataSetSpec::lig(),
+            "sta" => DataSetSpec::sta(),
+            other => {
+                return Err(Error::Protocol(format!(
+                    "unknown scenario {other:?} (use syn|lig|sta)"
+                )))
+            }
+        };
+        if let Some(seed) = self.seed {
+            spec = spec.with_seed(seed);
+        }
+        if let Some(examples) = self.examples {
+            spec = spec.with_target_examples(examples as usize);
+        }
+        Ok(spec)
+    }
+
+    /// Rebuilds the extraction pipeline this job describes.
+    ///
+    /// Regenerates a short slice of the scenario purely to obtain the
+    /// network model (the catalog/documentation role — same trick as the
+    /// CLI), derives `U_rel` with the scenario's comparability hints, and
+    /// restricts to the requested signals.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Simulation`] when the scenario cannot be
+    /// regenerated and [`Error::Pipeline`] for an unsatisfiable signal
+    /// selection.
+    pub fn pipeline(&self) -> Result<Pipeline> {
+        let data = scenario::generate(&self.spec()?.with_duration_s(0.5))?;
+        let mut u_rel = RuleSet::from_network(&data.network);
+        for (signal, (_, comparable)) in &data.signal_classes {
+            let _ = u_rel.set_comparable(signal, *comparable);
+        }
+        let mut profile = DomainProfile::new("cluster");
+        if !self.signals.is_empty() {
+            profile = profile.with_signals(self.signals.clone());
+        }
+        Ok(Pipeline::new(u_rel, profile)?)
+    }
+
+    /// Appends the wire encoding of the spec to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        crate::wire::write_str(out, &self.scenario);
+        encode_opt_u64(out, self.seed);
+        encode_opt_u64(out, self.examples);
+        varint::write_u64(out, self.signals.len() as u64);
+        for s in &self.signals {
+            crate::wire::write_str(out, s);
+        }
+        crate::wire::write_str(out, &self.store_path);
+    }
+
+    /// Decodes a spec written by [`JobSpec::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Truncated`] / [`Error::Protocol`] for malformed
+    /// bytes.
+    pub fn decode(cur: &mut Cursor<'_>) -> Result<JobSpec> {
+        let scenario = crate::wire::read_str(cur)?;
+        let seed = decode_opt_u64(cur)?;
+        let examples = decode_opt_u64(cur)?;
+        let n = cur.read_u64()?;
+        if n > crate::wire::MAX_FRAME_LEN {
+            return Err(Error::Protocol(format!("{n} signal names")));
+        }
+        let mut signals = Vec::with_capacity(n.min(1024) as usize);
+        for _ in 0..n {
+            signals.push(crate::wire::read_str(cur)?);
+        }
+        let store_path = crate::wire::read_str(cur)?;
+        Ok(JobSpec {
+            scenario,
+            seed,
+            examples,
+            signals,
+            store_path,
+        })
+    }
+}
+
+fn encode_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        Some(v) => {
+            out.push(1);
+            varint::write_u64(out, v);
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_opt_u64(cur: &mut Cursor<'_>) -> Result<Option<u64>> {
+    match cur.read_u8()? {
+        0 => Ok(None),
+        1 => Ok(Some(cur.read_u64()?)),
+        other => Err(Error::Protocol(format!("bad option flag {other}"))),
+    }
+}

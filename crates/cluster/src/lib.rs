@@ -1,0 +1,46 @@
+//! # ivnt-cluster — distributed extraction at laptop scale
+//!
+//! The paper runs Algorithm 1 on Spark across a 70-server cluster; this
+//! crate is that tier's std-only substitute: a coordinator/worker
+//! subsystem speaking a length-prefixed binary protocol over TCP, with
+//! shard scheduling driven by `.ivns` footer zone maps, periodic
+//! heartbeats, liveness timeouts, and bounded fault-tolerant retry that
+//! requeues a dead worker's tasks with that worker excluded.
+//!
+//! The contract that makes it trustworthy: the merged distributed result
+//! is **bit-identical** to a single-process
+//! [`Pipeline::extract_from_store`](ivnt_core::Pipeline::extract_from_store)
+//! over the same store — for every worker count, and through injected
+//! worker kills, corrupted result frames and stalled heartbeats (see
+//! [`worker::WorkerFaults`]).
+//!
+//! - [`job::JobSpec`] — the deterministic pipeline recipe shipped to
+//!   workers.
+//! - [`plan::plan_shards`] — zone-map-aware carving of group ranges.
+//! - [`wire`] — the framed message codec (store varints + FNV-1a).
+//! - [`codec`] — bit-exact batch serialization.
+//! - [`coordinator::run_job`] — scheduling, liveness, retry, merge.
+//! - [`worker::WorkerServer`] — the task executor.
+//! - [`local`] — subprocess workers for `--local N` and CI.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod coordinator;
+pub mod error;
+pub mod job;
+pub mod local;
+pub mod plan;
+pub mod wire;
+pub mod worker;
+
+pub use coordinator::{run_job, ClusterConfig, ClusterRun, ClusterStats};
+pub use error::{Error, Result};
+pub use job::JobSpec;
+pub use local::{
+    local_faults_from_env, parse_local_faults, spawn_local_workers, LocalSpawnSpec,
+    LocalWorkerHandle, FAULT_LOCAL_ENV,
+};
+pub use plan::{plan_shards, ShardPlan, ShardTask};
+pub use wire::{Message, WIRE_VERSION};
+pub use worker::{WorkerFaults, WorkerServer, FAULT_ENV, LISTEN_PREFIX};

@@ -1,0 +1,318 @@
+//! The length-prefixed binary wire protocol between coordinator and worker.
+//!
+//! Every frame on the socket is
+//!
+//! ```text
+//! ┌────────────┬─────────────────┬──────────────────────┐
+//! │ len u32 LE │ payload (len B) │ FNV-1a(payload) u64 LE│
+//! └────────────┴─────────────────┴──────────────────────┘
+//! ```
+//!
+//! and the payload is a one-byte message tag followed by a body encoded
+//! with `ivnt-store`'s LEB128/zigzag codecs — the cluster deliberately
+//! reuses the store's integer codec and checksum so a deployment has one
+//! binary dialect to audit, not two. Floats ride as raw IEEE-754 bits
+//! (`u64` LE), never as text: the acceptance criterion is *bit*-identical
+//! merge output, and a decimal round-trip would quietly break it.
+//!
+//! Decoding is total: any byte sequence produces either a [`Message`] or a
+//! typed [`Error`] ([`Error::FrameChecksum`], [`Error::Truncated`],
+//! [`Error::Protocol`]) — never a panic and never an allocation sized by
+//! unvalidated input beyond [`MAX_FRAME_LEN`].
+
+use std::io::{Read, Write};
+
+use ivnt_store::layout::checksum;
+use ivnt_store::varint::{self, Cursor};
+
+use crate::error::{Error, Result};
+use crate::job::JobSpec;
+use crate::plan::ShardTask;
+
+/// Protocol revision; bumped on any incompatible frame or body change.
+pub const WIRE_VERSION: u32 = 1;
+
+/// Upper bound on a frame's payload length (64 MiB). A frame header
+/// claiming more is rejected before any allocation happens.
+pub const MAX_FRAME_LEN: u64 = 64 << 20;
+
+/// Frame overhead in bytes: the `u32` length prefix plus the `u64`
+/// trailing checksum.
+pub const FRAME_OVERHEAD: usize = 4 + 8;
+
+mod tag {
+    pub const HELLO: u8 = 1;
+    pub const JOB: u8 = 2;
+    pub const ASSIGN: u8 = 3;
+    pub const HEARTBEAT: u8 = 4;
+    pub const TASK_RESULT: u8 = 5;
+    pub const TASK_ERROR: u8 = 6;
+    pub const SHUTDOWN: u8 = 7;
+}
+
+/// Everything that crosses the coordinator↔worker socket.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// Handshake, sent by both sides (coordinator first).
+    Hello {
+        /// Speaker's [`WIRE_VERSION`].
+        version: u32,
+        /// Human-readable peer name, for logs and liveness reports.
+        peer: String,
+    },
+    /// Job preamble: everything a worker needs to rebuild the pipeline.
+    Job {
+        /// The job description.
+        job: JobSpec,
+        /// Interval at which the worker must emit [`Message::Heartbeat`].
+        heartbeat_ms: u32,
+    },
+    /// One shard of work, coordinator → worker.
+    Assign {
+        /// The task to execute.
+        task: ShardTask,
+    },
+    /// Periodic liveness beacon, worker → coordinator.
+    Heartbeat {
+        /// Task currently executing, or [`IDLE_TASK`] between tasks.
+        task_id: u32,
+        /// Monotonic per-connection sequence number.
+        seq: u64,
+    },
+    /// Completed shard, worker → coordinator.
+    TaskResult {
+        /// Id of the finished task.
+        task_id: u32,
+        /// One encoded [`ivnt_frame::batch::Batch`] per emitted row
+        /// group, in group order (see [`crate::codec`]).
+        batches: Vec<Vec<u8>>,
+    },
+    /// Shard execution failed on the worker (the worker stays alive).
+    TaskError {
+        /// Id of the failed task.
+        task_id: u32,
+        /// Human-readable cause, reported into the coordinator's stats.
+        message: String,
+    },
+    /// Orderly end of session, coordinator → worker.
+    Shutdown,
+}
+
+/// `task_id` a [`Message::Heartbeat`] carries while no task is running.
+pub const IDLE_TASK: u32 = u32::MAX;
+
+pub(crate) fn write_str(out: &mut Vec<u8>, s: &str) {
+    varint::write_u64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}
+
+pub(crate) fn read_str(cur: &mut Cursor<'_>) -> Result<String> {
+    let len = cur.read_u64()?;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!("string of {len} bytes")));
+    }
+    let bytes = cur.read_slice(len as usize)?;
+    String::from_utf8(bytes.to_vec()).map_err(|_| Error::Protocol("string not UTF-8".into()))
+}
+
+pub(crate) fn write_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    varint::write_u64(out, b.len() as u64);
+    out.extend_from_slice(b);
+}
+
+pub(crate) fn read_bytes(cur: &mut Cursor<'_>) -> Result<Vec<u8>> {
+    let len = cur.read_u64()?;
+    if len > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!("byte blob of {len} bytes")));
+    }
+    Ok(cur.read_slice(len as usize)?.to_vec())
+}
+
+/// Encodes `msg` into a frame payload (tag + body, no frame header).
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Hello { version, peer } => {
+            out.push(tag::HELLO);
+            varint::write_u64(&mut out, u64::from(*version));
+            write_str(&mut out, peer);
+        }
+        Message::Job { job, heartbeat_ms } => {
+            out.push(tag::JOB);
+            job.encode(&mut out);
+            varint::write_u64(&mut out, u64::from(*heartbeat_ms));
+        }
+        Message::Assign { task } => {
+            out.push(tag::ASSIGN);
+            task.encode(&mut out);
+        }
+        Message::Heartbeat { task_id, seq } => {
+            out.push(tag::HEARTBEAT);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, *seq);
+        }
+        Message::TaskResult { task_id, batches } => {
+            out.push(tag::TASK_RESULT);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, batches.len() as u64);
+            for b in batches {
+                write_bytes(&mut out, b);
+            }
+        }
+        Message::TaskError { task_id, message } => {
+            out.push(tag::TASK_ERROR);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            write_str(&mut out, message);
+        }
+        Message::Shutdown => out.push(tag::SHUTDOWN),
+    }
+    out
+}
+
+fn read_u32_varint(cur: &mut Cursor<'_>, what: &str) -> Result<u32> {
+    let v = cur.read_u64()?;
+    u32::try_from(v).map_err(|_| Error::Protocol(format!("{what} {v} exceeds u32")))
+}
+
+/// Decodes a frame payload produced by [`encode_message`].
+///
+/// # Errors
+///
+/// Returns [`Error::Truncated`] when the payload ends early and
+/// [`Error::Protocol`] for unknown tags, trailing garbage, or
+/// out-of-range fields. Never panics.
+pub fn decode_message(payload: &[u8]) -> Result<Message> {
+    let mut cur = Cursor::new(payload);
+    let tag = cur.read_u8()?;
+    let msg = match tag {
+        tag::HELLO => Message::Hello {
+            version: read_u32_varint(&mut cur, "version")?,
+            peer: read_str(&mut cur)?,
+        },
+        tag::JOB => Message::Job {
+            job: JobSpec::decode(&mut cur)?,
+            heartbeat_ms: read_u32_varint(&mut cur, "heartbeat interval")?,
+        },
+        tag::ASSIGN => Message::Assign {
+            task: ShardTask::decode(&mut cur)?,
+        },
+        tag::HEARTBEAT => Message::Heartbeat {
+            task_id: read_u32_varint(&mut cur, "task id")?,
+            seq: cur.read_u64()?,
+        },
+        tag::TASK_RESULT => {
+            let task_id = read_u32_varint(&mut cur, "task id")?;
+            let n = cur.read_u64()?;
+            if n > MAX_FRAME_LEN {
+                return Err(Error::Protocol(format!("{n} result batches")));
+            }
+            let mut batches = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                batches.push(read_bytes(&mut cur)?);
+            }
+            Message::TaskResult { task_id, batches }
+        }
+        tag::TASK_ERROR => Message::TaskError {
+            task_id: read_u32_varint(&mut cur, "task id")?,
+            message: read_str(&mut cur)?,
+        },
+        tag::SHUTDOWN => Message::Shutdown,
+        other => return Err(Error::Protocol(format!("unknown message tag {other}"))),
+    };
+    if cur.remaining() != 0 {
+        return Err(Error::Protocol(format!(
+            "{} trailing bytes after message",
+            cur.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Encodes `msg` as a complete frame: header, payload, checksum.
+pub fn encode_frame(msg: &Message) -> Vec<u8> {
+    let payload = encode_message(msg);
+    let mut out = Vec::with_capacity(payload.len() + FRAME_OVERHEAD);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&payload);
+    out.extend_from_slice(&checksum(&payload).to_le_bytes());
+    out
+}
+
+/// Writes one framed message and flushes.
+///
+/// # Errors
+///
+/// Returns [`Error::Io`] when the peer is gone.
+pub fn write_frame<W: Write>(w: &mut W, msg: &Message) -> Result<()> {
+    w.write_all(&encode_frame(msg))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Reads one framed message, verifying length bound and checksum.
+///
+/// # Errors
+///
+/// [`Error::Truncated`] when the stream ends mid-frame (including an
+/// orderly close between frames), [`Error::FrameTooLarge`] for an
+/// oversized length prefix, [`Error::FrameChecksum`] when the payload
+/// does not match its checksum, plus [`decode_message`]'s errors.
+pub fn read_frame<R: Read>(r: &mut R) -> Result<Message> {
+    let mut header = [0u8; 4];
+    r.read_exact(&mut header)
+        .map_err(|e| truncated(e, "frame header"))?;
+    let len = u64::from(u32::from_le_bytes(header));
+    if len > MAX_FRAME_LEN {
+        return Err(Error::FrameTooLarge(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)
+        .map_err(|e| truncated(e, "frame payload"))?;
+    let mut sum = [0u8; 8];
+    r.read_exact(&mut sum)
+        .map_err(|e| truncated(e, "frame checksum"))?;
+    if u64::from_le_bytes(sum) != checksum(&payload) {
+        return Err(Error::FrameChecksum);
+    }
+    decode_message(&payload)
+}
+
+fn truncated(e: std::io::Error, what: &str) -> Error {
+    if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        Error::Truncated(what.into())
+    } else {
+        Error::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let msg = Message::Heartbeat {
+            task_id: 3,
+            seq: 99,
+        };
+        let bytes = encode_frame(&msg);
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+    }
+
+    #[test]
+    fn corrupt_payload_is_checksum_error() {
+        let mut bytes = encode_frame(&Message::Shutdown);
+        bytes[4] ^= 0xFF;
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, Error::FrameChecksum));
+    }
+
+    #[test]
+    fn oversized_header_rejected_before_allocation() {
+        let mut bytes = (u32::MAX).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&[0; 16]);
+        let err = read_frame(&mut std::io::Cursor::new(bytes)).unwrap_err();
+        assert!(matches!(err, Error::FrameTooLarge(_)));
+    }
+}

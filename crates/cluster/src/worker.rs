@@ -1,0 +1,318 @@
+//! The worker: executes shard tasks against its local store copy.
+//!
+//! A worker is a TCP server that speaks one coordinator session at a
+//! time: handshake, job preamble, then an assign/result loop with a
+//! background heartbeat ticker. It rebuilds the pipeline from the
+//! [`JobSpec`](crate::job::JobSpec) and opens the `.ivns` store locally —
+//! shard results travel over the socket, raw trace rows never do.
+//!
+//! Fault injection lives here too, env-gated via [`FAULT_ENV`]: the
+//! coordinator's retry, checksum-reject and liveness-timeout paths are
+//! only trustworthy because a worker can be told to die mid-task, corrupt
+//! a result frame, or go silent on demand.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use crate::codec::encode_batch;
+use crate::error::{Error, Result};
+use crate::wire::{self, Message, IDLE_TASK, WIRE_VERSION};
+
+/// Environment variable carrying a comma-separated fault list
+/// (`kill-mid-task`, `corrupt-result`, `stall-heartbeat`).
+pub const FAULT_ENV: &str = "IVNT_CLUSTER_FAULT";
+
+/// Line a worker prints to stdout once bound, so a spawning parent can
+/// learn the (possibly ephemeral) address: `cluster worker listening on
+/// 127.0.0.1:PORT`.
+pub const LISTEN_PREFIX: &str = "cluster worker listening on ";
+
+/// Test-only failure modes a worker can be armed with.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WorkerFaults {
+    /// Drop the connection without a word upon the first task
+    /// assignment — the "node died mid-task" case.
+    pub kill_mid_task: bool,
+    /// Flip a byte inside the first result frame's payload, so the
+    /// coordinator's checksum verification must reject it.
+    pub corrupt_result: bool,
+    /// Stop heartbeating and sit on the first assigned task until well
+    /// past any sane liveness timeout — the "wedged process" case.
+    pub stall_heartbeat: bool,
+}
+
+impl WorkerFaults {
+    /// No faults — the production configuration.
+    pub fn none() -> WorkerFaults {
+        WorkerFaults::default()
+    }
+
+    /// Parses a comma-separated fault list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Job`] for unknown fault names.
+    pub fn parse(s: &str) -> Result<WorkerFaults> {
+        let mut f = WorkerFaults::none();
+        for name in s.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+            match name {
+                "kill-mid-task" => f.kill_mid_task = true,
+                "corrupt-result" => f.corrupt_result = true,
+                "stall-heartbeat" => f.stall_heartbeat = true,
+                other => {
+                    return Err(Error::Job(format!(
+                        "unknown fault {other:?} (use kill-mid-task|corrupt-result|stall-heartbeat)"
+                    )))
+                }
+            }
+        }
+        Ok(f)
+    }
+
+    /// Reads the fault list from [`FAULT_ENV`]; unset means no faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Job`] for unknown fault names in the variable.
+    pub fn from_env() -> Result<WorkerFaults> {
+        match std::env::var(FAULT_ENV) {
+            Ok(v) => WorkerFaults::parse(&v),
+            Err(_) => Ok(WorkerFaults::none()),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.kill_mid_task || self.corrupt_result || self.stall_heartbeat
+    }
+}
+
+/// A bound worker server, ready to accept coordinator sessions.
+pub struct WorkerServer {
+    listener: TcpListener,
+    name: String,
+    faults: WorkerFaults,
+}
+
+impl WorkerServer {
+    /// Binds to `addr` (e.g. `127.0.0.1:0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the address cannot be bound.
+    pub fn bind(addr: &str) -> Result<WorkerServer> {
+        let listener = TcpListener::bind(addr)?;
+        let name = format!("worker@{}", listener.local_addr()?);
+        Ok(WorkerServer {
+            listener,
+            name,
+            faults: WorkerFaults::none(),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Io`] when the socket is gone.
+    pub fn local_addr(&self) -> Result<SocketAddr> {
+        Ok(self.listener.local_addr()?)
+    }
+
+    /// Arms the server with fault injection.
+    pub fn with_faults(mut self, faults: WorkerFaults) -> WorkerServer {
+        self.faults = faults;
+        self
+    }
+
+    /// Accepts and serves exactly one coordinator session.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session failures, including deliberately injected
+    /// ones ([`Error::Job`] with a `fault injection:` message).
+    pub fn serve_once(&self) -> Result<()> {
+        let (stream, _) = self.listener.accept()?;
+        serve_session(stream, &self.name, self.faults)
+    }
+
+    /// Serves coordinator sessions forever, like a daemon: a failed
+    /// session is reported on stderr and the worker accepts the next
+    /// one. Only accept-level I/O errors end the loop.
+    ///
+    /// # Errors
+    ///
+    /// Returns accept-level I/O failures.
+    pub fn serve(&self) -> Result<()> {
+        loop {
+            let (stream, _) = self.listener.accept()?;
+            if let Err(e) = serve_session(stream, &self.name, self.faults) {
+                eprintln!("{}: session failed: {e}", self.name);
+            }
+        }
+    }
+}
+
+/// Runs one full coordinator session over an accepted connection.
+fn serve_session(mut stream: TcpStream, name: &str, faults: WorkerFaults) -> Result<()> {
+    stream.set_nodelay(true).ok();
+    match wire::read_frame(&mut stream)? {
+        Message::Hello { version, .. } if version == WIRE_VERSION => {}
+        Message::Hello { version, .. } => {
+            return Err(Error::Protocol(format!(
+                "coordinator speaks wire v{version}, this worker v{WIRE_VERSION}"
+            )))
+        }
+        other => return Err(Error::Protocol(format!("expected Hello, got {other:?}"))),
+    }
+    let writer = Arc::new(Mutex::new(stream.try_clone()?));
+    send(
+        &writer,
+        &Message::Hello {
+            version: WIRE_VERSION,
+            peer: name.to_string(),
+        },
+    )?;
+
+    let (job, heartbeat_ms) = match wire::read_frame(&mut stream)? {
+        Message::Job { job, heartbeat_ms } => (job, heartbeat_ms),
+        other => return Err(Error::Protocol(format!("expected Job, got {other:?}"))),
+    };
+    let pipeline = job.pipeline()?;
+    let mut reader = ivnt_store::StoreReader::open(&job.store_path)?;
+
+    // Heartbeat ticker: a background thread beating every `heartbeat_ms`
+    // until the session ends (or the stall fault silences it).
+    let running = Arc::new(AtomicBool::new(true));
+    let current_task = Arc::new(AtomicU32::new(IDLE_TASK));
+    let ticker = {
+        let running = Arc::clone(&running);
+        let current_task = Arc::clone(&current_task);
+        let writer = Arc::clone(&writer);
+        let beat = Duration::from_millis(u64::from(heartbeat_ms.max(1)));
+        let silent = faults.stall_heartbeat;
+        std::thread::spawn(move || {
+            let seq = AtomicU64::new(0);
+            while running.load(Ordering::SeqCst) {
+                std::thread::sleep(beat);
+                if silent || !running.load(Ordering::SeqCst) {
+                    continue;
+                }
+                let msg = Message::Heartbeat {
+                    task_id: current_task.load(Ordering::SeqCst),
+                    seq: seq.fetch_add(1, Ordering::SeqCst),
+                };
+                if send(&writer, &msg).is_err() {
+                    break;
+                }
+            }
+        })
+    };
+
+    let result = assign_loop(
+        &mut stream,
+        &writer,
+        &pipeline,
+        &mut reader,
+        &current_task,
+        faults,
+        heartbeat_ms,
+    );
+    running.store(false, Ordering::SeqCst);
+    stream.shutdown(std::net::Shutdown::Both).ok();
+    let _ = ticker.join();
+    result
+}
+
+/// The assign/result loop — the worker's steady state.
+#[allow(clippy::too_many_arguments)]
+fn assign_loop(
+    stream: &mut TcpStream,
+    writer: &Arc<Mutex<TcpStream>>,
+    pipeline: &ivnt_core::Pipeline,
+    reader: &mut ivnt_store::StoreReader<std::io::BufReader<std::fs::File>>,
+    current_task: &Arc<AtomicU32>,
+    mut faults: WorkerFaults,
+    heartbeat_ms: u32,
+) -> Result<()> {
+    loop {
+        let task = match wire::read_frame(stream) {
+            Ok(Message::Assign { task }) => task,
+            Ok(Message::Shutdown) => return Ok(()),
+            // A coordinator that vanishes between frames ends the
+            // session without ceremony; that is not a worker failure.
+            // The close can surface as a clean EOF or — when the
+            // coordinator's socket still held an unread late heartbeat,
+            // which makes the kernel answer with RST — as a reset.
+            Err(Error::Truncated(_)) => return Ok(()),
+            Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
+            Ok(other) => return Err(Error::Protocol(format!("expected Assign, got {other:?}"))),
+            Err(e) => return Err(e),
+        };
+        current_task.store(task.task_id, Ordering::SeqCst);
+
+        if faults.any() {
+            // Give the assignment time to be truly in-flight (at least
+            // one heartbeat observed with the task running) before the
+            // fault fires — that is the window retry must survive.
+            std::thread::sleep(Duration::from_millis(u64::from(heartbeat_ms.max(1)) * 2));
+        }
+        if faults.kill_mid_task {
+            return Err(Error::Job("fault injection: killed mid-task".into()));
+        }
+        if faults.stall_heartbeat {
+            // Sit silent long enough that any reasonable liveness
+            // timeout (a small multiple of the heartbeat) must fire.
+            std::thread::sleep(Duration::from_millis(u64::from(heartbeat_ms.max(1)) * 20));
+            return Err(Error::Job("fault injection: stalled heartbeat".into()));
+        }
+
+        let response = match pipeline.extract_store_shard(reader, task.groups()) {
+            Ok(batches) => Message::TaskResult {
+                task_id: task.task_id,
+                batches: batches.iter().map(encode_batch).collect(),
+            },
+            Err(e) => Message::TaskError {
+                task_id: task.task_id,
+                message: e.to_string(),
+            },
+        };
+        if faults.corrupt_result {
+            faults.corrupt_result = false;
+            let mut frame = wire::encode_frame(&response);
+            // Flip a payload byte; the length prefix stays honest so the
+            // coordinator reads a full frame and must fail the checksum.
+            frame[4] ^= 0xFF;
+            let mut w = writer.lock().expect("writer mutex");
+            std::io::Write::write_all(&mut *w, &frame)?;
+            std::io::Write::flush(&mut *w)?;
+        } else {
+            match send(writer, &response) {
+                Ok(()) => {}
+                // The coordinator may already have what it needs (a
+                // retried task that finished elsewhere) and be gone.
+                Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
+                Err(e) => return Err(e),
+            }
+        }
+        current_task.store(IDLE_TASK, Ordering::SeqCst);
+    }
+}
+
+/// Whether an I/O error means the peer hung up (as opposed to a local
+/// or transport fault worth reporting).
+fn is_disconnect(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::UnexpectedEof
+    )
+}
+
+fn send(writer: &Arc<Mutex<TcpStream>>, msg: &Message) -> Result<()> {
+    let mut w = writer.lock().expect("writer mutex");
+    wire::write_frame(&mut *w, msg)
+}

@@ -1,0 +1,243 @@
+//! End-to-end cluster runs against in-process workers.
+//!
+//! The acceptance criterion, tested directly: for every worker count —
+//! and through injected worker kills, corrupted result frames and
+//! stalled heartbeats — the merged distributed result is *bit-identical*
+//! to a single-process `Pipeline::extract_from_store` over the same
+//! store. Bit-identity is asserted by re-encoding both results'
+//! partitions with the wire codec and comparing bytes.
+
+use std::path::{Path, PathBuf};
+
+use ivnt_cluster::codec::encode_batch;
+use ivnt_cluster::{run_job, ClusterConfig, Error, JobSpec, WorkerFaults, WorkerServer};
+use ivnt_simulator::scenario::{self, DataSetSpec};
+
+fn temp_store(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "ivnt-cluster-{tag}-{}-{tid:?}.ivns",
+        std::process::id(),
+        tid = std::thread::current().id(),
+    ))
+}
+
+/// Records the SYN scenario into a store with enough row groups that a
+/// multi-worker plan actually has shards to spread. Returns the sorted
+/// signal names for selection tests.
+fn write_store(path: &Path, seed: u64) -> Vec<String> {
+    let spec = DataSetSpec::syn().with_seed(seed).with_duration_s(4.0);
+    let data = scenario::generate(&spec).expect("scenario generates");
+    let options = ivnt_store::WriterOptions {
+        chunk_rows: 128,
+        chunks_per_group: 2,
+        cluster: true,
+    };
+    let mut writer = ivnt_store::StoreWriter::create(path, options).expect("store create");
+    for r in data.trace.records() {
+        writer
+            .append(&ivnt_simulator::store::to_store_record(r))
+            .expect("store append");
+    }
+    writer.finish().expect("store finish");
+    data.signal_names()
+}
+
+fn job_for(path: &Path, seed: u64) -> JobSpec {
+    JobSpec::new("syn", path.display().to_string()).with_seed(seed)
+}
+
+/// Byte-level fingerprint of a frame's partition list.
+fn fingerprint(frame: &ivnt_frame::frame::DataFrame) -> Vec<Vec<u8>> {
+    frame.partitions().iter().map(encode_batch).collect()
+}
+
+fn single_process_fingerprint(job: &JobSpec) -> (Vec<Vec<u8>>, usize) {
+    let pipeline = job.pipeline().expect("pipeline rebuilds");
+    let mut reader = ivnt_store::StoreReader::open(&job.store_path).expect("store opens");
+    let frame = pipeline
+        .extract_from_store(&mut reader)
+        .expect("single-process extraction");
+    (fingerprint(&frame), frame.num_rows())
+}
+
+/// Starts `faults.len()` in-process workers, each serving one session.
+fn start_workers(faults: &[WorkerFaults]) -> (Vec<String>, Vec<std::thread::JoinHandle<()>>) {
+    let mut addrs = Vec::new();
+    let mut handles = Vec::new();
+    for &f in faults {
+        let server = WorkerServer::bind("127.0.0.1:0")
+            .expect("worker binds")
+            .with_faults(f);
+        addrs.push(server.local_addr().expect("worker addr").to_string());
+        handles.push(std::thread::spawn(move || {
+            // Session failures (including injected ones) are the
+            // coordinator's problem; the worker thread just ends.
+            let _ = server.serve_once();
+        }));
+    }
+    (addrs, handles)
+}
+
+fn fast_config() -> ClusterConfig {
+    ClusterConfig {
+        heartbeat_ms: 25,
+        liveness_timeout_ms: 400,
+        max_task_retries: 3,
+        tasks_per_worker: 3,
+        connect_timeout_ms: 2_000,
+    }
+}
+
+#[test]
+fn distributed_extraction_is_bit_identical_for_every_worker_count() {
+    let path = temp_store("counts");
+    write_store(&path, 11);
+    let job = job_for(&path, 11);
+    let (expected, expected_rows) = single_process_fingerprint(&job);
+    assert!(expected_rows > 0, "test store must produce signal rows");
+
+    for workers in 1..=3usize {
+        let (addrs, handles) = start_workers(&vec![WorkerFaults::none(); workers]);
+        let run = run_job(&job, &addrs, &fast_config()).expect("cluster run");
+        for h in handles {
+            h.join().expect("worker thread");
+        }
+        assert_eq!(
+            fingerprint(&run.frame),
+            expected,
+            "{workers}-worker merge must be bit-identical"
+        );
+        assert_eq!(run.stats.rows, expected_rows);
+        assert_eq!(run.stats.workers, workers);
+        assert_eq!(run.stats.workers_lost, 0);
+        assert_eq!(run.stats.retries, 0);
+        assert!(run.stats.tasks >= workers.min(2));
+    }
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn signal_selection_pushdown_stays_bit_identical() {
+    let path = temp_store("signals");
+    let names = write_store(&path, 13);
+    // A narrow selection makes the planner prune groups; the merge must
+    // still match the single-process run of the same restricted job.
+    let job = job_for(&path, 13).with_signals(names.into_iter().take(2));
+    let (expected, _) = single_process_fingerprint(&job);
+
+    let (addrs, handles) = start_workers(&[WorkerFaults::none(), WorkerFaults::none()]);
+    let run = run_job(&job, &addrs, &fast_config()).expect("cluster run");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn worker_killed_mid_task_is_retried_elsewhere() {
+    let path = temp_store("kill");
+    write_store(&path, 17);
+    let job = job_for(&path, 17);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    let faults = [
+        WorkerFaults {
+            kill_mid_task: true,
+            ..WorkerFaults::none()
+        },
+        WorkerFaults::none(),
+    ];
+    let (addrs, handles) = start_workers(&faults);
+    let run = run_job(&job, &addrs, &fast_config()).expect("cluster survives the kill");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert_eq!(run.stats.workers_lost, 1, "the killed worker was noticed");
+    assert!(run.stats.retries >= 1, "its task was requeued");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn corrupted_result_frame_is_rejected_and_retried() {
+    let path = temp_store("corrupt");
+    write_store(&path, 19);
+    let job = job_for(&path, 19);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    let faults = [
+        WorkerFaults {
+            corrupt_result: true,
+            ..WorkerFaults::none()
+        },
+        WorkerFaults::none(),
+    ];
+    let (addrs, handles) = start_workers(&faults);
+    let run = run_job(&job, &addrs, &fast_config()).expect("cluster survives corruption");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert!(run.stats.retries >= 1, "the corrupt result was not merged");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn stalled_heartbeat_trips_the_liveness_timeout() {
+    let path = temp_store("stall");
+    write_store(&path, 23);
+    let job = job_for(&path, 23);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    let faults = [
+        WorkerFaults {
+            stall_heartbeat: true,
+            ..WorkerFaults::none()
+        },
+        WorkerFaults::none(),
+    ];
+    let (addrs, handles) = start_workers(&faults);
+    let run = run_job(&job, &addrs, &fast_config()).expect("cluster survives the stall");
+    // The stalled worker sleeps out its fault then exits; don't block
+    // the assertion on it.
+    drop(handles);
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert_eq!(run.stats.workers_lost, 1, "the silent worker timed out");
+    assert!(run.stats.retries >= 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn sole_worker_dying_fails_the_job_with_a_typed_error() {
+    let path = temp_store("solo");
+    write_store(&path, 29);
+    let job = job_for(&path, 29);
+
+    let faults = [WorkerFaults {
+        kill_mid_task: true,
+        ..WorkerFaults::none()
+    }];
+    let (addrs, handles) = start_workers(&faults);
+    let err = run_job(&job, &addrs, &fast_config()).expect_err("no worker can finish");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert!(matches!(err, Error::Job(_)), "typed job failure: {err}");
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn unreachable_workers_fail_the_job() {
+    let path = temp_store("unreachable");
+    write_store(&path, 31);
+    let job = job_for(&path, 31);
+    let config = ClusterConfig {
+        connect_timeout_ms: 200,
+        ..fast_config()
+    };
+    // TEST-NET-1 address: connection cannot succeed.
+    let err = run_job(&job, &["192.0.2.1:9".into()], &config).expect_err("nobody to talk to");
+    assert!(matches!(err, Error::Job(_)), "typed job failure: {err}");
+    std::fs::remove_file(&path).ok();
+}

@@ -317,17 +317,7 @@ impl Pipeline {
     where
         R: std::io::Read + std::io::Seek,
     {
-        let pred = self.store_predicate();
-        let raw_schema = crate::tabular::raw_schema();
-        let mut parts: Vec<Batch> = Vec::new();
-        let stats = reader.scan::<Error, _>(&pred, |group| {
-            let raw = ivnt_store::schema::records_to_batch(raw_schema.clone(), &group)
-                .map_err(Error::from)?;
-            let morsel = DataFrame::from_partitions(raw_schema.clone(), vec![raw])?;
-            let interpreted = extract_signals(&morsel, &self.u_comb)?;
-            parts.extend(interpreted.partitions().iter().cloned());
-            Ok(())
-        })?;
+        let (mut parts, stats) = self.interpret_store_groups(reader, &self.store_predicate())?;
         if parts.is_empty() {
             parts.push(Batch::empty(crate::interpret::signal_schema()));
         }
@@ -337,6 +327,58 @@ impl Pipeline {
             None => frame,
         };
         Ok((frame, stats))
+    }
+
+    /// Lines 3–6 for one *shard* of the store: only row groups in
+    /// `groups` (half-open) are interpreted, producing that shard's
+    /// partitions of [`Pipeline::extract_from_store`]'s output.
+    ///
+    /// A shard is a pure function of `(file, predicate, group range)` —
+    /// re-running it after a crash yields the same batches, and
+    /// concatenating every shard's batches in group order reproduces the
+    /// single-process result exactly. This is the unit of work a cluster
+    /// coordinator assigns, retries and merges.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::extract_from_store`].
+    pub fn extract_store_shard<R>(
+        &self,
+        reader: &mut ivnt_store::StoreReader<R>,
+        groups: std::ops::Range<u32>,
+    ) -> Result<Vec<Batch>>
+    where
+        R: std::io::Read + std::io::Seek,
+    {
+        let pred = self
+            .store_predicate()
+            .with_group_range(groups.start, groups.end);
+        Ok(self.interpret_store_groups(reader, &pred)?.0)
+    }
+
+    /// Shared scan driver: each emitted row group becomes one morsel
+    /// through the fused interpretation kernel; its output partitions are
+    /// appended in group order. Groups the predicate prunes contribute
+    /// nothing (matching the in-memory path, which never sees their rows).
+    fn interpret_store_groups<R>(
+        &self,
+        reader: &mut ivnt_store::StoreReader<R>,
+        pred: &ivnt_store::Predicate,
+    ) -> Result<(Vec<Batch>, ivnt_store::ScanStats)>
+    where
+        R: std::io::Read + std::io::Seek,
+    {
+        let raw_schema = crate::tabular::raw_schema();
+        let mut parts: Vec<Batch> = Vec::new();
+        let stats = reader.scan::<Error, _>(pred, |group| {
+            let raw = ivnt_store::schema::records_to_batch(raw_schema.clone(), &group)
+                .map_err(Error::from)?;
+            let morsel = DataFrame::from_partitions(raw_schema.clone(), vec![raw])?;
+            let interpreted = extract_signals(&morsel, &self.u_comb)?;
+            parts.extend(interpreted.partitions().iter().cloned());
+            Ok(())
+        })?;
+        Ok((parts, stats))
     }
 
     /// Interpretation *without* preselection — the ablation showing why
@@ -679,6 +721,65 @@ mod tests {
         );
         assert!(stats.chunks_skipped > 0, "{stats:?}");
         assert!(stats.peak_rows_buffered <= 64 * 4);
+    }
+
+    #[test]
+    fn shard_extraction_concatenates_to_full_store_extraction() {
+        use ivnt_store::{Record, StoreReader, StoreWriter, WriterOptions};
+        let network = vehicle();
+        let trace = network.simulate(10.0, 11, &FaultPlan::new()).unwrap();
+        let u_rel = RuleSet::from_network(&network);
+        let profile = DomainProfile::new("shard").with_signals(["wpos", "speed"]);
+        let p = Pipeline::new(u_rel, profile).unwrap();
+
+        let mut writer = StoreWriter::new(
+            Vec::new(),
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 4,
+                cluster: true,
+            },
+        )
+        .unwrap();
+        for r in trace.records() {
+            writer
+                .append(&Record {
+                    timestamp_us: r.timestamp_us,
+                    bus: r.bus.clone(),
+                    message_id: r.message_id,
+                    payload: r.payload.clone(),
+                    protocol: r.protocol,
+                })
+                .unwrap();
+        }
+        let bytes = writer.finish().unwrap();
+        let mut reader = StoreReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
+        let groups = reader.footer().groups;
+        assert!(groups >= 3, "need several groups, got {groups}");
+
+        let full = p.extract_from_store(&mut reader).unwrap();
+        // Any partition of the group axis concatenates to the full result.
+        for split in [1u32, 2, groups] {
+            let mut parts = Vec::new();
+            let mut start = 0u32;
+            while start < groups {
+                let end = (start + groups.div_ceil(split)).min(groups);
+                parts.extend(p.extract_store_shard(&mut reader, start..end).unwrap());
+                start = end;
+            }
+            let merged =
+                DataFrame::from_partitions(crate::interpret::signal_schema(), parts).unwrap();
+            assert_eq!(
+                merged.collect_rows().unwrap(),
+                full.collect_rows().unwrap(),
+                "{split}-way shard split diverged"
+            );
+        }
+        // An empty shard range yields no batches.
+        assert!(p
+            .extract_store_shard(&mut reader, groups..groups)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

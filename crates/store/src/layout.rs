@@ -146,6 +146,45 @@ pub struct Footer {
     pub chunks: Vec<ChunkMeta>,
 }
 
+/// One row group's extent within the chunk index — the scheduling granule
+/// of shard planners (a group is the order-restoration scope, so a shard
+/// boundary may never cut through one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupSpan {
+    /// Group id.
+    pub group: u32,
+    /// Index of the group's first chunk in [`Footer::chunks`].
+    pub chunk_start: usize,
+    /// One past the group's last chunk in [`Footer::chunks`].
+    pub chunk_end: usize,
+    /// Rows across the group's chunks.
+    pub rows: u64,
+}
+
+impl Footer {
+    /// Per-group chunk ranges, in group order. Consumed by shard planners
+    /// and by `store info --json`; groups are contiguous in file order by
+    /// construction (the writer flushes one group at a time).
+    pub fn group_spans(&self) -> Vec<GroupSpan> {
+        let mut spans: Vec<GroupSpan> = Vec::with_capacity(self.groups as usize);
+        for (idx, chunk) in self.chunks.iter().enumerate() {
+            match spans.last_mut() {
+                Some(span) if span.group == chunk.group => {
+                    span.chunk_end = idx + 1;
+                    span.rows += u64::from(chunk.rows);
+                }
+                _ => spans.push(GroupSpan {
+                    group: chunk.group,
+                    chunk_start: idx,
+                    chunk_end: idx + 1,
+                    rows: u64::from(chunk.rows),
+                }),
+            }
+        }
+        spans
+    }
+}
+
 /// One record of a chunk under encoding, referencing the writer's buffers.
 #[derive(Debug)]
 pub struct EncodedRow<'a> {

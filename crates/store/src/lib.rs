@@ -31,12 +31,12 @@ pub mod layout;
 pub mod reader;
 pub mod record;
 pub mod schema;
-mod varint;
+pub mod varint;
 pub mod writer;
 
 pub use error::{Error, Result};
-pub use layout::{ChunkMeta, Footer, ZoneMap};
-pub use reader::{Predicate, ScanStats, StoreReader};
+pub use layout::{ChunkMeta, Footer, GroupSpan, ZoneMap};
+pub use reader::{CompiledPredicate, Predicate, ScanStats, StoreReader};
 pub use record::Record;
 pub use writer::{StoreWriter, WriterOptions};
 
@@ -223,6 +223,47 @@ mod tests {
             .unwrap();
         assert_eq!(stats.chunks_scanned, 0);
         assert_eq!(stats.chunks_skipped, stats.chunks_total);
+    }
+
+    #[test]
+    fn group_range_scan_restricts_to_groups() {
+        let records = cyclic_trace(1_024, 16);
+        let options = WriterOptions {
+            chunk_rows: 32,
+            chunks_per_group: 4,
+            cluster: true,
+        };
+        let bytes = write_store(&records, options);
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let spans = reader.footer().group_spans();
+        assert_eq!(spans.len(), reader.footer().groups as usize);
+        assert_eq!(spans.iter().map(|s| s.rows).sum::<u64>(), 1_024);
+        // Spans tile the chunk index contiguously.
+        let mut next = 0usize;
+        for s in &spans {
+            assert_eq!(s.chunk_start, next);
+            next = s.chunk_end;
+        }
+        assert_eq!(next, reader.footer().chunks.len());
+
+        // Scanning groups [1, 3) returns exactly the rows the writer
+        // buffered into those groups, in trace order.
+        let group_rows = options.group_rows();
+        let mut got = Vec::new();
+        reader
+            .scan::<Error, _>(&Predicate::all().with_group_range(1, 3), |mut g| {
+                got.append(&mut g);
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(got, records[group_rows..3 * group_rows]);
+        // An empty window matches nothing; a full one matches everything.
+        let stats = reader
+            .scan::<Error, _>(&Predicate::all().with_group_range(2, 2), |_| {
+                panic!("empty group window must not emit")
+            })
+            .unwrap();
+        assert_eq!(stats.rows_emitted, 0);
     }
 
     #[test]

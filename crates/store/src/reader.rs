@@ -15,8 +15,8 @@ use std::io::{BufReader, Read, Seek, SeekFrom};
 use std::path::Path;
 
 use crate::error::{Error, Result};
-use crate::layout::{checksum, decode_chunk, decode_footer, Footer, IndexedRecord, ZoneMap};
-use crate::layout::{END_MAGIC, MAGIC, TRAILER_LEN};
+use crate::layout::{checksum, decode_chunk, decode_footer, Footer, IndexedRecord};
+use crate::layout::{ChunkMeta, END_MAGIC, MAGIC, TRAILER_LEN};
 use crate::record::Record;
 
 /// What a scan is looking for. Conservative by construction: `None`
@@ -27,6 +27,9 @@ pub struct Predicate {
     pub selections: Option<Vec<(String, u32)>>,
     /// Inclusive `[from, to]` time window in µs; `None` keeps all times.
     pub time_range_us: Option<(u64, u64)>,
+    /// Half-open `[from, to)` row-group window; `None` scans every group.
+    /// Shard executors use this to re-run one task's groups exactly.
+    pub group_range: Option<(u32, u32)>,
 }
 
 impl Predicate {
@@ -44,6 +47,7 @@ impl Predicate {
         Predicate {
             selections: Some(pairs.into_iter().map(|(b, m)| (b.into(), m)).collect()),
             time_range_us: None,
+            group_range: None,
         }
     }
 
@@ -52,15 +56,29 @@ impl Predicate {
         self.time_range_us = Some((from_us, to_us));
         self
     }
+
+    /// Restricts the scan to row groups `[from, to)`.
+    pub fn with_group_range(mut self, from: u32, to: u32) -> Predicate {
+        self.group_range = Some((from, to));
+        self
+    }
+
+    /// Resolves the predicate against one file's footer. Shard planners
+    /// compile once and probe every chunk's zone map without decoding it.
+    pub fn compile(&self, footer: &Footer) -> CompiledPredicate {
+        CompiledPredicate::compile(self, footer)
+    }
 }
 
-/// The predicate resolved against one file's bus dictionary.
-struct CompiledPredicate {
+/// A [`Predicate`] resolved against one file's bus dictionary.
+#[derive(Debug, Clone)]
+pub struct CompiledPredicate {
     /// `(bus dictionary id, message id)` pairs; `None` = keep all.
     /// Selections naming buses absent from the file compile to an empty
     /// set — nothing can match, every chunk is skipped.
     pairs: Option<HashSet<(u32, u32)>>,
     time_range_us: Option<(u64, u64)>,
+    group_range: Option<(u32, u32)>,
 }
 
 impl CompiledPredicate {
@@ -79,11 +97,20 @@ impl CompiledPredicate {
         CompiledPredicate {
             pairs,
             time_range_us: pred.time_range_us,
+            group_range: pred.group_range,
         }
     }
 
-    /// Zone-map test: may the chunk contain a matching row?
-    fn chunk_may_match(&self, zone: &ZoneMap) -> bool {
+    /// Index test: may the chunk contain a matching row? `false` is a proof
+    /// of absence (group outside the window, or zone maps excluding every
+    /// selected message and time).
+    pub fn chunk_may_match(&self, meta: &ChunkMeta) -> bool {
+        if let Some((from, to)) = self.group_range {
+            if !(from..to).contains(&meta.group) {
+                return false;
+            }
+        }
+        let zone = &meta.zone;
         if let Some((from, to)) = self.time_range_us {
             if !zone.time_overlaps(from, to) {
                 return false;
@@ -242,7 +269,7 @@ impl<R: Read + Seek> StoreReader<R> {
         for idx in 0..chunk_count {
             let (group, may_match) = {
                 let meta = &self.footer.chunks[idx];
-                (meta.group, compiled.chunk_may_match(&meta.zone))
+                (meta.group, compiled.chunk_may_match(meta))
             };
             if pending_group.is_some_and(|g| g != group) {
                 emit_group(&mut pending, &mut stats, &mut on_group)?;

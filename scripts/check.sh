@@ -23,4 +23,11 @@ IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_STORE_MIN_SKIP="${IVNT_STORE_MIN_SKIP:-0.5}" \
   cargo run --release -q -p ivnt-bench --bin store_probe
 
+echo "==> cluster_scale smoke (distributed bit-identity + speedup gate)"
+# 1 vs N subprocess workers; every run is checked bit-identical to the
+# single-process extraction, and N workers must not lose to 1.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_CLUSTER_MIN_SPEEDUP="${IVNT_CLUSTER_MIN_SPEEDUP:-1.0}" \
+  cargo run --release -q -p ivnt-bench --bin cluster_scale
+
 echo "all checks passed"

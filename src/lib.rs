@@ -16,6 +16,9 @@
 //!   pushdown (the HDFS/Parquet substitute),
 //! * [`core`] — Algorithm 1: the parameterizable end-to-end preprocessing
 //!   pipeline,
+//! * [`cluster`] — coordinator/worker distributed extraction over TCP
+//!   (the Spark-cluster substitute): shard scheduling, heartbeats,
+//!   fault-tolerant retry,
 //! * [`analysis`] — Sec. 4.4 applications: rule mining, transition graphs,
 //!   anomaly detection, diagnosis,
 //! * [`baseline`] — the sequential in-house-tool comparator of Table 6.
@@ -45,6 +48,7 @@
 
 pub use ivnt_analysis as analysis;
 pub use ivnt_baseline as baseline;
+pub use ivnt_cluster as cluster;
 pub use ivnt_core as core;
 pub use ivnt_frame as frame;
 pub use ivnt_protocol as protocol;
