@@ -37,7 +37,7 @@ pub fn anomaly_to_extension(signal: &str, anomaly: &Anomaly) -> ExtensionRule {
             let mut hits = Vec::new();
             for i in 0..times.len() {
                 let matches = match (&texts[i], nums[i]) {
-                    (Some(t), _) => *t == label,
+                    (Some(t), _) => **t == *label,
                     (None, Some(v)) => format!("{v}") == label,
                     (None, None) => false,
                 };

@@ -11,7 +11,7 @@ use ivnt_simulator::scenario;
 use crate::args::Args;
 
 /// Valueless flags; everything else is `--key value`.
-pub const SWITCHES: &[&str] = &["json", "once", "verify"];
+pub const SWITCHES: &[&str] = &["json", "once", "verify", "timing", "serial"];
 
 type CmdResult = Result<(), String>;
 
@@ -104,6 +104,43 @@ pub fn inspect(args: &Args) -> CmdResult {
 ///
 /// Reports pipeline and I/O failures as messages.
 pub fn extract(args: &Args) -> CmdResult {
+    run_pipeline_cmd(args)
+}
+
+/// `ivnt run --scenario syn --seed 7 [--signals a,b] [--workers N]
+/// [--timing] [--serial] [--state-csv out.csv] <trace.ivnt>`
+///
+/// The full Algorithm 1 like `ivnt extract`, plus perf introspection:
+/// `--timing` prints the per-stage wall-clock breakdown, `--serial`
+/// forces the sequential reference path, and `--workers` caps the
+/// per-signal fan-out.
+///
+/// # Errors
+///
+/// Reports pipeline and I/O failures as messages.
+pub fn run(args: &Args) -> CmdResult {
+    run_pipeline_cmd(args)
+}
+
+/// Prints the per-stage timing table of one run.
+fn print_timing(t: &ivnt_core::pipeline::StageTiming) {
+    let ms = |s: f64| s * 1e3;
+    println!("\nstage timing (fan-out stages are summed per-signal busy time):");
+    println!("  {:<22} {:>10}", "stage", "ms");
+    println!("  {:<22} {:>10.3}", "interpret (fused)", ms(t.interpret));
+    println!("  {:<22} {:>10.3}", "split", ms(t.split));
+    println!("  {:<22} {:>10.3}", "dedup", ms(t.dedup));
+    println!("  {:<22} {:>10.3}", "reduce", ms(t.reduce));
+    println!("  {:<22} {:>10.3}", "extend", ms(t.extend));
+    println!("  {:<22} {:>10.3}", "classify", ms(t.classify));
+    println!("  {:<22} {:>10.3}", "branch", ms(t.branch));
+    println!("  {:<22} {:>10.3}", "merge", ms(t.merge));
+    println!("  {:<22} {:>10.3}", "state", ms(t.state));
+    println!("  {:<22} {:>10.3}", "total (wall)", ms(t.total));
+}
+
+/// Shared driver of `ivnt extract` and `ivnt run`.
+fn run_pipeline_cmd(args: &Args) -> CmdResult {
     let path = args.positional(0, "trace.ivnt")?;
     let file = File::open(path).map_err(err)?;
     let trace = Trace::read_from(BufReader::new(file)).map_err(err)?;
@@ -120,10 +157,16 @@ pub fn extract(args: &Args) -> CmdResult {
         let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
         profile = profile.with_signals(names);
     }
-    let output = Pipeline::new(u_rel, profile)
-        .map_err(err)?
-        .run(&trace)
-        .map_err(err)?;
+    if let Some(workers) = args.get_parsed::<usize>("workers")? {
+        profile = profile.with_workers(workers);
+    }
+    let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
+    let output = if args.has("serial") {
+        pipeline.run_serial(&trace)
+    } else {
+        pipeline.run(&trace)
+    }
+    .map_err(err)?;
 
     println!("extracted {} signals:", output.signals.len());
     for s in &output.signals {
@@ -131,6 +174,9 @@ pub fn extract(args: &Args) -> CmdResult {
             "  {:<14} branch {:<6} {:>8} -> {:>8} rows",
             s.signal, s.classification.branch, s.rows_interpreted, s.rows_reduced
         );
+    }
+    if args.has("timing") {
+        print_timing(&output.timing);
     }
     if let Some(report_path) = args.get("report") {
         let md = ivnt_analysis::report::render_report(
@@ -600,6 +646,9 @@ USAGE:
   ivnt inspect <trace.ivnt>
   ivnt extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                [--state-csv out.csv] [--report out.md] [--rows N] <trace.ivnt>
+  ivnt run     --scenario syn|lig|sta [--seed S] [--signals a,b,..]
+               [--workers N] [--timing] [--serial] [--state-csv out.csv]
+               [--report out.md] [--rows N] <trace.ivnt>
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>

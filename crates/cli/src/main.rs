@@ -23,6 +23,7 @@ fn main() {
         "record" => commands::record(&parsed),
         "inspect" => commands::inspect(&parsed),
         "extract" => commands::extract(&parsed),
+        "run" => commands::run(&parsed),
         "store" => commands::store(&parsed),
         "cluster" => commands::cluster(&parsed),
         "dbc" => commands::dbc(&parsed),

@@ -143,36 +143,65 @@ pub fn process(
     }
 }
 
-/// One output row under construction.
+/// One output row under construction. Symbols are shared `Arc<str>`s so
+/// label-heavy sequences reuse one allocation per distinct symbol.
 struct ResRow {
     t: f64,
-    symbol: String,
+    symbol: Arc<str>,
     trend: Option<Trend>,
     value: Option<f64>,
     outlier: bool,
 }
 
+/// Builds `K_res` directly as typed columns — one pass, no per-cell
+/// `Value` boxing.
 fn emit(seq: &SignalSequence, rows: Vec<ResRow>) -> Result<DataFrame> {
-    let channel = seq.channels()?.into_iter().next().unwrap_or_default();
+    let channel: Arc<str> = seq
+        .channels()?
+        .into_iter()
+        .next()
+        .unwrap_or_default()
+        .into();
+    let signal: Arc<str> = seq.signal.as_str().into();
+    let trend_arcs: [Arc<str>; 3] = [
+        Trend::Decreasing.to_string().into(),
+        Trend::Steady.to_string().into(),
+        Trend::Increasing.to_string().into(),
+    ];
+    let trend_arc = |t: Trend| -> Arc<str> {
+        match t {
+            Trend::Decreasing => trend_arcs[0].clone(),
+            Trend::Steady => trend_arcs[1].clone(),
+            Trend::Increasing => trend_arcs[2].clone(),
+        }
+    };
+    let n = rows.len();
+    let mut t: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut symbol: Vec<Option<Arc<str>>> = Vec::with_capacity(n);
+    let mut trend: Vec<Option<Arc<str>>> = Vec::with_capacity(n);
+    let mut value: Vec<Option<f64>> = Vec::with_capacity(n);
+    let mut outlier: Vec<Option<bool>> = Vec::with_capacity(n);
+    for r in rows {
+        t.push(Some(r.t));
+        symbol.push(Some(r.symbol));
+        trend.push(r.trend.map(trend_arc));
+        value.push(r.value);
+        outlier.push(Some(r.outlier));
+    }
     let schema = homogeneous_schema();
-    let frame = DataFrame::from_rows(
-        schema,
-        rows.into_iter().map(|r| {
-            vec![
-                Value::Float(r.t),
-                Value::from(seq.signal.as_str()),
-                Value::from(channel.as_str()),
-                Value::from(r.symbol),
-                match r.trend {
-                    Some(t) => Value::from(t.to_string()),
-                    None => Value::Null,
-                },
-                Value::from(r.value),
-                Value::Bool(r.outlier),
-            ]
-        }),
+    let batch = Batch::new(
+        schema.clone(),
+        vec![
+            Column::Float(t),
+            Column::Str(vec![Some(signal); n]),
+            Column::Str(vec![Some(channel); n]),
+            Column::Str(symbol),
+            Column::Str(trend),
+            Column::Float(value),
+            Column::Bool(outlier),
+        ],
     )?;
-    Ok(frame)
+    Ok(DataFrame::from_partitions(schema, vec![batch])?)
 }
 
 /// Branch α (lines 14–19): outlier split → smoothing → SWAB → SAX, then the
@@ -211,9 +240,13 @@ fn process_alpha(seq: &SignalSequence, config: &BranchConfig) -> Result<DataFram
     for (si, s) in segments.iter().enumerate() {
         seg_of[s.start..s.end].fill(si);
     }
-    let seg_symbol: Vec<char> = segments
+    let seg_symbol: Vec<Arc<str>> = segments
         .iter()
-        .map(|s| sax::symbol_for(s.mean_value(), &breakpoints))
+        .map(|s| {
+            sax::symbol_for(s.mean_value(), &breakpoints)
+                .to_string()
+                .into()
+        })
         .collect();
     let seg_trend: Vec<Trend> = segments
         .iter()
@@ -241,7 +274,7 @@ fn process_alpha(seq: &SignalSequence, config: &BranchConfig) -> Result<DataFram
                     clean_pos += 1;
                     rows.push(ResRow {
                         t: times[i],
-                        symbol: seg_symbol[si].to_string(),
+                        symbol: seg_symbol[si].clone(),
                         trend: Some(seg_trend[si]),
                         value: Some(v),
                         outlier: false,
@@ -295,9 +328,9 @@ fn process_beta(
     let kinds: Vec<Kind> = (0..times.len())
         .map(|i| {
             if let Some(text) = &texts[i] {
-                if config.validity_labels.iter().any(|v| v == text) {
+                if config.validity_labels.iter().any(|v| v.as_str() == &**text) {
                     Kind::Validity
-                } else if let Some(&rank) = ranks.get(text) {
+                } else if let Some(&rank) = ranks.get(&**text) {
                     Kind::Functional(rank)
                 } else {
                     // Unknown label without a rank: fall back to validity
@@ -330,9 +363,9 @@ fn process_beta(
                 let is_outlier = outlier_mask[fpos];
                 let g = gradient[fpos];
                 fpos += 1;
-                let symbol = match &texts[i] {
+                let symbol: Arc<str> = match &texts[i] {
                     Some(label) => label.clone(),
-                    None => format!("{v}"),
+                    None => format!("{v}").into(),
                 };
                 if is_outlier {
                     rows.push(ResRow {
@@ -379,10 +412,10 @@ fn process_gamma(seq: &SignalSequence, config: &BranchConfig) -> Result<DataFram
     let texts = seq.text_values()?;
     let mut rows = Vec::with_capacity(times.len());
     for i in 0..times.len() {
-        let (symbol, value) = match (&texts[i], nums[i]) {
+        let (symbol, value): (Arc<str>, Option<f64>) = match (&texts[i], nums[i]) {
             (Some(label), _) => (label.clone(), None),
-            (None, Some(v)) => (format!("{v}"), Some(v)),
-            (None, None) => ("outlier".to_string(), None),
+            (None, Some(v)) => (format!("{v}").into(), Some(v)),
+            (None, None) => ("outlier".into(), None),
         };
         let outlier_row = texts[i].is_none() && nums[i].is_none();
         let _ = &config.validity_labels; // validity labels pass through unchanged

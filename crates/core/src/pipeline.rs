@@ -6,6 +6,8 @@
 //! [`Pipeline`] then turns any raw trace into the domain's homogeneous
 //! state representation, fully automatically.
 
+use std::time::Instant;
+
 use ivnt_frame::prelude::*;
 use ivnt_simulator::trace::Trace;
 
@@ -13,7 +15,7 @@ use crate::branch::{process, BranchConfig};
 use crate::classify::{classify, Classification, ClassifyConfig};
 use crate::dedup::{deduplicate, Dedup};
 use crate::error::{Error, Result};
-use crate::extend::{extend_all, ExtensionRule};
+use crate::extend::{extension_schema, ExtensionRule};
 use crate::interpret::{extract_signals, preselect};
 use crate::reduce::{apply_constraints, ConditionFn, Constraint};
 use crate::represent::{merge_results, state_representation};
@@ -138,6 +140,40 @@ pub struct SignalOutput {
     pub frame: DataFrame,
 }
 
+/// Wall-clock seconds spent per Algorithm 1 stage during one
+/// [`Pipeline::run`], so perf regressions can be attributed to a stage
+/// without a profiler (`ivnt run --timing` prints this table).
+///
+/// The fan-out stages (`dedup` through `branch`) run per signal, possibly
+/// concurrently, so those fields are the *summed busy time* across signals
+/// — under parallel execution they can exceed the elapsed wall clock.
+/// `interpret` covers the fused preselect + interpretation kernel
+/// (lines 3–6), which is not separable per stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageTiming {
+    /// Fused preselection + interpretation (lines 3–6), incl. raw-frame
+    /// construction.
+    pub interpret: f64,
+    /// Per-signal split (line 7).
+    pub split: f64,
+    /// Gateway dedup (line 9), summed across signals.
+    pub dedup: f64,
+    /// Constraint/cluster reduction (line 10), summed across signals.
+    pub reduce: f64,
+    /// Extension rules (line 12), summed across signals plus the gather.
+    pub extend: f64,
+    /// Classification (line 13), summed across signals.
+    pub classify: f64,
+    /// α/β/γ branch processing (lines 14–28), summed across signals.
+    pub branch: f64,
+    /// Merging into `K_rep` (line 29).
+    pub merge: f64,
+    /// State-representation pivot (Sec. 4.3).
+    pub state: f64,
+    /// End-to-end wall clock of the run.
+    pub total: f64,
+}
+
 /// Everything the pipeline produces for one trace.
 #[derive(Debug, Clone)]
 pub struct PipelineOutput {
@@ -149,6 +185,9 @@ pub struct PipelineOutput {
     pub merged: DataFrame,
     /// The forward-filled state representation (Table 4).
     pub state: DataFrame,
+    /// Per-stage wall-clock breakdown of this run. Timing is measurement,
+    /// not output: it is excluded from determinism comparisons.
+    pub timing: StageTiming,
 }
 
 impl PipelineOutput {
@@ -174,6 +213,28 @@ impl PipelineOutput {
         }
         Ok(n)
     }
+}
+
+/// Per-signal busy seconds for the fan-out stages, accumulated into
+/// [`StageTiming`] at gather time.
+#[derive(Debug, Clone, Copy, Default)]
+struct SignalStageSecs {
+    dedup: f64,
+    reduce: f64,
+    extend: f64,
+    classify: f64,
+    branch: f64,
+}
+
+/// Everything one per-signal task produces: the signal's output (its frame
+/// moved in, not cloned), one extension frame per profile rule (aligned
+/// index-wise with `profile.extensions`, empty where the rule targets
+/// another signal), and the task's stage timings.
+#[derive(Debug)]
+struct SignalResult {
+    output: SignalOutput,
+    extensions: Vec<DataFrame>,
+    stages: SignalStageSecs,
 }
 
 /// The end-to-end preprocessing pipeline for one domain.
@@ -403,91 +464,227 @@ impl Pipeline {
     pub fn extract_reduced(&self, trace: &Trace) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
         let ks = self.extract(trace)?;
         let seqs = split_by_signal(&ks)?;
-        let mut out = Vec::with_capacity(seqs.len());
-        for seq in &seqs {
-            let dedup = if self.profile.dedup {
-                deduplicate(seq, &self.u_comb)?
-            } else {
-                Dedup {
-                    representative: seq.clone(),
-                    representative_channel: seq.channels()?.into_iter().next().unwrap_or_default(),
-                    corresponding: Vec::new(),
-                    mismatched: Vec::new(),
-                }
-            };
-            let rows_interpreted = dedup.representative.len();
-            let reduced = match &self.profile.reduction {
-                crate::reduce::Reduction::Constraints => {
-                    apply_constraints(&dedup.representative, &self.profile.constraints)?
-                }
-                crate::reduce::Reduction::Cluster { k, max_iterations } => {
-                    crate::reduce::cluster_reduce(&dedup.representative, *k, *max_iterations)?
-                }
-            };
-            out.push((reduced, dedup, rows_interpreted));
+        self.signal_executor().try_map(seqs, |seq| {
+            let (dedup, rows_interpreted) = self.dedup_signal(seq)?;
+            let reduced = self.reduce_representative(&dedup)?;
+            Ok((reduced, dedup, rows_interpreted))
+        })
+    }
+
+    /// Executor for the per-signal scatter/gather: bounded by the
+    /// profile's worker cap, falling back to the process-wide default.
+    fn signal_executor(&self) -> Executor {
+        Executor::new(
+            self.profile
+                .workers
+                .unwrap_or_else(ivnt_frame::exec::default_workers),
+        )
+    }
+
+    /// Line 9: gateway dedup (or the configured passthrough), consuming
+    /// the split sequence. Returns the dedup report plus the
+    /// representative's pre-reduction length.
+    fn dedup_signal(&self, seq: SignalSequence) -> Result<(Dedup, usize)> {
+        let dedup = if self.profile.dedup {
+            deduplicate(&seq, &self.u_comb)?
+        } else {
+            let representative_channel = seq.channels()?.into_iter().next().unwrap_or_default();
+            Dedup {
+                representative: seq,
+                representative_channel,
+                corresponding: Vec::new(),
+                mismatched: Vec::new(),
+            }
+        };
+        let rows_interpreted = dedup.representative.len();
+        Ok((dedup, rows_interpreted))
+    }
+
+    /// Line 10: the configured reduction applied to the representative.
+    fn reduce_representative(&self, dedup: &Dedup) -> Result<SignalSequence> {
+        match &self.profile.reduction {
+            crate::reduce::Reduction::Constraints => {
+                apply_constraints(&dedup.representative, &self.profile.constraints)
+            }
+            crate::reduce::Reduction::Cluster { k, max_iterations } => {
+                crate::reduce::cluster_reduce(&dedup.representative, *k, *max_iterations)
+            }
         }
-        Ok(out)
+    }
+
+    /// Lines 9–28 for one signal: dedup, reduction, extension rules,
+    /// classification and branch processing — the unit of work the
+    /// scatter/gather in [`Pipeline::run`] distributes. Signals are
+    /// independent after the split, so running these units in any order
+    /// (or concurrently) and gathering in input order reproduces the
+    /// serial pipeline exactly.
+    fn process_signal(&self, seq: SignalSequence) -> Result<SignalResult> {
+        let t = Instant::now();
+        let (dedup, rows_interpreted) = self.dedup_signal(seq)?;
+        let dedup_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let reduced = self.reduce_representative(&dedup)?;
+        let reduce_secs = t.elapsed().as_secs_f64();
+
+        // Line 12: one frame per extension rule, aligned index-wise with
+        // `profile.extensions` so the gather can reassemble the combined
+        // frame in `extend_all`'s rule-major order.
+        let t = Instant::now();
+        let extensions: Vec<DataFrame> = self
+            .profile
+            .extensions
+            .iter()
+            .map(|rule| rule.apply(&reduced))
+            .collect::<Result<_>>()?;
+        let extend_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let comparable = self
+            .u_comb
+            .rules()
+            .iter()
+            .find(|r| r.signal == reduced.signal)
+            .map(|r| r.info.comparable)
+            .unwrap_or(true);
+        let classification = classify(&reduced, comparable, &self.profile.classify)?;
+        let classify_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let home_rule = self
+            .u_comb
+            .rules()
+            .iter()
+            .find(|r| r.signal == reduced.signal && r.info.home_channel)
+            .or_else(|| {
+                self.u_comb
+                    .rules()
+                    .iter()
+                    .find(|r| r.signal == reduced.signal)
+            });
+        let frame = process(
+            &reduced,
+            &classification,
+            home_rule.map(|r| r.as_ref()),
+            &self.profile.branch,
+        )?;
+        let branch_secs = t.elapsed().as_secs_f64();
+
+        Ok(SignalResult {
+            output: SignalOutput {
+                signal: reduced.signal.clone(),
+                classification,
+                representative_channel: dedup.representative_channel,
+                corresponding_channels: dedup.corresponding,
+                mismatched_channels: dedup.mismatched,
+                rows_interpreted,
+                rows_reduced: reduced.len(),
+                frame,
+            },
+            extensions,
+            stages: SignalStageSecs {
+                dedup: dedup_secs,
+                reduce: reduce_secs,
+                extend: extend_secs,
+                classify: classify_secs,
+                branch: branch_secs,
+            },
+        })
     }
 
     /// The full Algorithm 1: extraction, reduction, extension,
     /// classification, branch processing, merging and the state
     /// representation.
     ///
+    /// The per-signal middle (lines 9–28) is scattered over the persistent
+    /// worker pool — signals are independent after the split — and
+    /// gathered in signal order, so the output is bit-identical to
+    /// [`Pipeline::run_serial`] at every worker count.
+    ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
     pub fn run(&self, trace: &Trace) -> Result<PipelineOutput> {
-        let reduced = self.extract_reduced(trace)?;
-        let sequences: Vec<SignalSequence> = reduced.iter().map(|(s, _, _)| s.clone()).collect();
+        self.run_impl(trace, true)
+    }
 
-        // Line 12: extensions on the reduced sequences.
-        let extensions = extend_all(&sequences, &self.profile.extensions)?;
+    /// [`Pipeline::run`] with the per-signal fan-out replaced by a plain
+    /// sequential loop — the reference oracle the parallel path is held to
+    /// (see `tests/pipeline_parallel.rs` and the pipeline proptests).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn run_serial(&self, trace: &Trace) -> Result<PipelineOutput> {
+        self.run_impl(trace, false)
+    }
 
-        // Lines 13–28: classification and branch processing per signal.
-        let mut signals = Vec::with_capacity(reduced.len());
-        let mut frames = Vec::with_capacity(reduced.len());
-        for (seq, dedup, rows_interpreted) in reduced {
-            let comparable = self
-                .u_comb
-                .rules()
-                .iter()
-                .find(|r| r.signal == seq.signal)
-                .map(|r| r.info.comparable)
-                .unwrap_or(true);
-            let classification = classify(&seq, comparable, &self.profile.classify)?;
-            let home_rule = self
-                .u_comb
-                .rules()
-                .iter()
-                .find(|r| r.signal == seq.signal && r.info.home_channel)
-                .or_else(|| self.u_comb.rules().iter().find(|r| r.signal == seq.signal));
-            let frame = process(
-                &seq,
-                &classification,
-                home_rule.map(|r| r.as_ref()),
-                &self.profile.branch,
-            )?;
-            frames.push(frame.clone());
-            signals.push(SignalOutput {
-                signal: seq.signal.clone(),
-                classification,
-                representative_channel: dedup.representative_channel,
-                corresponding_channels: dedup.corresponding,
-                mismatched_channels: dedup.mismatched,
-                rows_interpreted,
-                rows_reduced: seq.len(),
-                frame,
-            });
+    fn run_impl(&self, trace: &Trace, parallel: bool) -> Result<PipelineOutput> {
+        let t_run = Instant::now();
+        let t = Instant::now();
+        let ks = self.extract(trace)?;
+        let interpret_secs = t.elapsed().as_secs_f64();
+
+        let t = Instant::now();
+        let seqs = split_by_signal(&ks)?;
+        let split_secs = t.elapsed().as_secs_f64();
+
+        // Lines 9–28: scatter per signal, gather in signal order.
+        let results: Vec<SignalResult> = if parallel {
+            self.signal_executor()
+                .try_map(seqs, |seq| self.process_signal(seq))?
+        } else {
+            seqs.into_iter()
+                .map(|seq| self.process_signal(seq))
+                .collect::<Result<_>>()?
+        };
+
+        // Line 12 gather: reassemble the combined extension frame in the
+        // exact rule-major order `extend_all` produces serially.
+        let t = Instant::now();
+        let mut extensions = DataFrame::empty(extension_schema());
+        for rule_idx in 0..self.profile.extensions.len() {
+            for r in &results {
+                let w = &r.extensions[rule_idx];
+                if !w.is_empty() {
+                    extensions = extensions.union(w)?;
+                }
+            }
         }
+        let extend_gather_secs = t.elapsed().as_secs_f64();
 
         // Line 29 + Sec. 4.3: merge and pivot.
-        let merged = merge_results(&frames, &extensions)?;
+        let t = Instant::now();
+        let merged = merge_results(results.iter().map(|r| &r.output.frame), &extensions)?;
+        let merge_secs = t.elapsed().as_secs_f64();
+        let t = Instant::now();
         let state = state_representation(&merged)?;
+        let state_secs = t.elapsed().as_secs_f64();
+
+        let mut timing = StageTiming {
+            interpret: interpret_secs,
+            split: split_secs,
+            extend: extend_gather_secs,
+            merge: merge_secs,
+            state: state_secs,
+            ..StageTiming::default()
+        };
+        for r in &results {
+            timing.dedup += r.stages.dedup;
+            timing.reduce += r.stages.reduce;
+            timing.extend += r.stages.extend;
+            timing.classify += r.stages.classify;
+            timing.branch += r.stages.branch;
+        }
+        timing.total = t_run.elapsed().as_secs_f64();
+
+        let signals = results.into_iter().map(|r| r.output).collect();
         Ok(PipelineOutput {
             signals,
             extensions,
             merged,
             state,
+            timing,
         })
     }
 

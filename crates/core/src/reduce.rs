@@ -25,14 +25,15 @@ pub struct RowCtx {
     pub t: f64,
     /// Numeric value (if numeric).
     pub num: Option<f64>,
-    /// Textual value (if textual).
-    pub text: Option<String>,
+    /// Textual value (if textual); shared with the column storage, so
+    /// cloning it copies a pointer, not the string bytes.
+    pub text: Option<Arc<str>>,
     /// Previous row's timestamp.
     pub prev_t: Option<f64>,
     /// Previous row's numeric value.
     pub prev_num: Option<f64>,
     /// Previous row's textual value.
-    pub prev_text: Option<String>,
+    pub prev_text: Option<Arc<str>>,
     /// Row position in the sequence.
     pub index: usize,
 }

@@ -20,10 +20,16 @@ use crate::tabular::columns as c;
 /// Extension rows (schema `(t, w_id, b_id, value)`) are lifted into the
 /// homogeneous schema with the formatted value as symbol.
 ///
+/// Accepts any iterator of frame references, so callers can merge borrowed
+/// branch outputs without cloning them into a slice first.
+///
 /// # Errors
 ///
 /// Propagates tabular-engine failures.
-pub fn merge_results(results: &[DataFrame], extensions: &DataFrame) -> Result<DataFrame> {
+pub fn merge_results<'a, I>(results: I, extensions: &DataFrame) -> Result<DataFrame>
+where
+    I: IntoIterator<Item = &'a DataFrame>,
+{
     let mut merged = DataFrame::empty(homogeneous_schema());
     for r in results {
         merged = merged.union(r)?;
@@ -268,7 +274,7 @@ mod tests {
             ]],
         )
         .unwrap();
-        let m = merge_results(&[], &ext).unwrap();
+        let m = merge_results(&[] as &[DataFrame], &ext).unwrap();
         assert_eq!(m.num_rows(), 1);
         let rows = m.collect_rows().unwrap();
         assert_eq!(rows[0][1], Value::from("wposGap"));

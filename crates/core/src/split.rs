@@ -34,16 +34,22 @@ impl SignalSequence {
 
     /// Timestamps in seconds, in order.
     ///
+    /// Reads the typed column slices directly — no per-cell `Value`
+    /// boxing — since every branch kernel starts from this accessor.
+    ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
     pub fn times(&self) -> Result<Vec<f64>> {
-        Ok(self
-            .frame
-            .column_values(c::T)?
-            .iter()
-            .map(|v| v.as_float().unwrap_or(f64::NAN))
-            .collect())
+        let idx = self.frame.schema().index_of(c::T)?;
+        let mut out = Vec::with_capacity(self.len());
+        for batch in self.frame.partitions() {
+            match batch.column(idx).as_float_slice() {
+                Some(vals) => out.extend(vals.iter().map(|v| v.unwrap_or(f64::NAN))),
+                None => out.extend(std::iter::repeat_n(f64::NAN, batch.num_rows())),
+            }
+        }
+        Ok(out)
     }
 
     /// Numeric values in order (`None` where the instance is textual/null).
@@ -52,26 +58,35 @@ impl SignalSequence {
     ///
     /// Propagates tabular-engine failures.
     pub fn numeric_values(&self) -> Result<Vec<Option<f64>>> {
-        Ok(self
-            .frame
-            .column_values(c::VALUE_NUM)?
-            .iter()
-            .map(|v| v.as_float())
-            .collect())
+        let idx = self.frame.schema().index_of(c::VALUE_NUM)?;
+        let mut out = Vec::with_capacity(self.len());
+        for batch in self.frame.partitions() {
+            match batch.column(idx).as_float_slice() {
+                Some(vals) => out.extend_from_slice(vals),
+                None => out.extend(std::iter::repeat_n(None, batch.num_rows())),
+            }
+        }
+        Ok(out)
     }
 
     /// Textual values in order (`None` where the instance is numeric/null).
     ///
+    /// Returns the column's shared `Arc<str>` cells, so downstream passes
+    /// clone pointers, not string bytes.
+    ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    pub fn text_values(&self) -> Result<Vec<Option<String>>> {
-        Ok(self
-            .frame
-            .column_values(c::VALUE_TEXT)?
-            .iter()
-            .map(|v| v.as_str().map(str::to_string))
-            .collect())
+    pub fn text_values(&self) -> Result<Vec<Option<Arc<str>>>> {
+        let idx = self.frame.schema().index_of(c::VALUE_TEXT)?;
+        let mut out = Vec::with_capacity(self.len());
+        for batch in self.frame.partitions() {
+            match batch.column(idx).as_str_slice() {
+                Some(vals) => out.extend(vals.iter().cloned()),
+                None => out.extend(std::iter::repeat_n(None, batch.num_rows())),
+            }
+        }
+        Ok(out)
     }
 
     /// Distinct channels the sequence was observed on.
@@ -80,15 +95,16 @@ impl SignalSequence {
     ///
     /// Propagates tabular-engine failures.
     pub fn channels(&self) -> Result<Vec<String>> {
-        let mut buses: Vec<String> = self
-            .frame
-            .column_values(c::BUS)?
-            .iter()
-            .filter_map(|v| v.as_str().map(str::to_string))
-            .collect();
-        buses.sort();
+        let idx = self.frame.schema().index_of(c::BUS)?;
+        let mut buses: Vec<&str> = Vec::new();
+        for batch in self.frame.partitions() {
+            if let Some(vals) = batch.column(idx).as_str_slice() {
+                buses.extend(vals.iter().flatten().map(|s| s.as_ref() as &str));
+            }
+        }
+        buses.sort_unstable();
         buses.dedup();
-        Ok(buses)
+        Ok(buses.into_iter().map(str::to_string).collect())
     }
 }
 
@@ -218,7 +234,10 @@ mod tests {
         let belt = &seqs[0];
         assert_eq!(belt.len(), 1);
         assert!(!belt.is_empty());
-        assert_eq!(belt.text_values().unwrap(), vec![Some("ON".to_string())]);
+        assert_eq!(
+            belt.text_values().unwrap(),
+            vec![Some::<Arc<str>>("ON".into())]
+        );
         assert_eq!(belt.numeric_values().unwrap(), vec![None]);
         assert_eq!(belt.channels().unwrap(), vec!["BC".to_string()]);
     }

@@ -374,6 +374,32 @@ impl Executor {
             .map(|s| s.into_inner().expect("every work item produced output"))
             .collect()
     }
+
+    /// Fallible scatter/gather: applies `f` to every item in parallel and
+    /// collects into a single `Result`, returning the **first error in
+    /// input order** (not completion order), so failures are deterministic
+    /// regardless of worker count. On success, outputs are in input order
+    /// like [`Executor::map`].
+    pub fn try_map<T, R, E, F>(&self, items: Vec<T>, f: F) -> Result<Vec<R>, E>
+    where
+        T: Send,
+        R: Send,
+        E: Send,
+        F: Fn(T) -> Result<R, E> + Send + Sync,
+    {
+        self.map(items, f).into_iter().collect()
+    }
+
+    /// By-reference twin of [`Executor::try_map`].
+    pub fn try_map_ref<T, R, E, F>(&self, items: &[T], f: F) -> Result<Vec<R>, E>
+    where
+        T: Sync,
+        R: Send,
+        E: Send,
+        F: Fn(&T) -> Result<R, E> + Send + Sync,
+    {
+        self.map_ref(items, f).into_iter().collect()
+    }
 }
 
 /// Maps `f` over items with the process-default executor.
@@ -459,6 +485,29 @@ mod tests {
         // The pool must still be usable afterwards.
         let out = exec.map_ref(&[10usize, 20], |&i| i * 2);
         assert_eq!(out, vec![20, 40]);
+    }
+
+    #[test]
+    fn try_map_collects_ok_in_order() {
+        let exec = Executor::new(4);
+        let out: Result<Vec<i32>, String> = exec.try_map((0..64).collect(), |i| Ok(i * 3));
+        assert_eq!(out.unwrap(), (0..64).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_map_returns_first_error_in_input_order() {
+        let items: Vec<usize> = (0..500).collect();
+        for workers in [1usize, 4] {
+            let out: Result<Vec<usize>, String> =
+                Executor::new(workers).try_map_ref(&items, |&i| {
+                    if i == 123 || i == 400 {
+                        Err(format!("bad {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                });
+            assert_eq!(out.unwrap_err(), "bad 123");
+        }
     }
 
     #[test]

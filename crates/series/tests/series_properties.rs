@@ -4,12 +4,18 @@ use ivnt_series::sax::{breakpoints, paa, sax_word, symbol_for};
 use ivnt_series::segment::Segment;
 use ivnt_series::smooth::{exponential, median_filter, moving_average};
 use ivnt_series::stats;
-use ivnt_series::swab::{bottom_up, is_contiguous, swab, SwabConfig};
+use ivnt_series::swab::{bottom_up, bottom_up_naive, is_contiguous, swab, swab_naive, SwabConfig};
 use ivnt_series::trend::{classify_slope, point_gradient, Trend};
 use proptest::prelude::*;
 
 fn arb_series() -> impl Strategy<Value = Vec<f64>> {
     prop::collection::vec(-1e3f64..1e3, 0..300)
+}
+
+/// Series drawn from a tiny integer alphabet, so equal merge costs (the
+/// tie-breaking cases of the heap segmenter) occur constantly.
+fn arb_tie_series() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-2i32..3, 0..200).prop_map(|v| v.into_iter().map(f64::from).collect())
 }
 
 proptest! {
@@ -115,6 +121,62 @@ proptest! {
             Trend::Decreasing => prop_assert!(slope < -thr),
             Trend::Steady => prop_assert!(slope.abs() <= thr),
         }
+    }
+
+    /// The heap bottom-up segmenter is bit-identical to the retained
+    /// O(n²) reference — same segments, same fits, same errors — and its
+    /// output is NaN-free for finite input.
+    #[test]
+    fn heap_bottom_up_matches_naive(data in arb_series(), max_error in 0.0f64..100.0) {
+        let heap = bottom_up(&data, max_error);
+        prop_assert_eq!(&heap, &bottom_up_naive(&data, max_error));
+        let finite = heap
+            .iter()
+            .all(|s| s.slope.is_finite() && s.intercept.is_finite() && s.error.is_finite());
+        prop_assert!(finite);
+    }
+
+    /// Same equivalence under heavy cost ties (tiny integer alphabet).
+    #[test]
+    fn heap_bottom_up_matches_naive_on_ties(
+        data in arb_tie_series(),
+        max_error in 0.0f64..5.0,
+    ) {
+        prop_assert_eq!(bottom_up(&data, max_error), bottom_up_naive(&data, max_error));
+    }
+
+    /// The windowed SWAB driver inherits the equivalence.
+    #[test]
+    fn heap_swab_matches_naive(
+        data in arb_series(),
+        max_error in 0.0f64..100.0,
+        buffer in 4usize..80,
+    ) {
+        let config = SwabConfig { max_error, buffer_len: buffer };
+        prop_assert_eq!(swab(&data, config), swab_naive(&data, config));
+    }
+
+    /// Constant series collapse identically on both paths, with exact
+    /// zero-error fits.
+    #[test]
+    fn constant_series_matches_naive(
+        v in -1e3f64..1e3,
+        n in 0usize..200,
+        max_error in 0.0f64..10.0,
+    ) {
+        let data = vec![v; n];
+        let heap = bottom_up(&data, max_error);
+        prop_assert_eq!(&heap, &bottom_up_naive(&data, max_error));
+        prop_assert!(heap.iter().all(|s| s.error.is_finite()));
+    }
+
+    /// Degenerate inputs (n <= 3, below the first merge) agree too.
+    #[test]
+    fn tiny_inputs_match_naive(
+        data in prop::collection::vec(-1e3f64..1e3, 0..4),
+        max_error in 0.0f64..10.0,
+    ) {
+        prop_assert_eq!(bottom_up(&data, max_error), bottom_up_naive(&data, max_error));
     }
 
     /// Outlier masks have the series' length and all-clean data yields no

@@ -30,4 +30,14 @@ IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_CLUSTER_MIN_SPEEDUP="${IVNT_CLUSTER_MIN_SPEEDUP:-1.0}" \
   cargo run --release -q -p ivnt-bench --bin cluster_scale
 
+echo "==> pipeline_e2e smoke (parallel bit-identity + SWAB kernel gate)"
+# Serial vs parallel Algorithm 1; every parallel run is checked
+# bit-identical to the serial reference, the heap SWAB kernel must beat the
+# naive O(n²) reference, and (when BENCH_seed.json is present, on a machine
+# with cores >= workers) the end-to-end time must beat the seed baseline.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_SWAB_MIN_SPEEDUP="${IVNT_SWAB_MIN_SPEEDUP:-1.0}" \
+IVNT_PIPELINE_MIN_SPEEDUP="${IVNT_PIPELINE_MIN_SPEEDUP:-1.0}" \
+  cargo run --release -q -p ivnt-bench --bin pipeline_e2e
+
 echo "all checks passed"

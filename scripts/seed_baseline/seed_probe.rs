@@ -70,6 +70,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     results.push(("seed_table6_9_signals", secs, kept));
 
+    // Full Algorithm 1 — the end-to-end baseline `pipeline_e2e` compares
+    // the parallel branch pipeline against.
+    let state_rows = pipeline.run(&data.trace)?.state.num_rows();
+    let secs = median_secs(runs, || {
+        pipeline.run(&data.trace).expect("run");
+    });
+    results.push(("seed_pipeline_e2e", secs, state_rows));
+
     let entries: Vec<String> = results
         .iter()
         .map(|(name, secs, rows_out)| {

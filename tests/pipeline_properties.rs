@@ -129,6 +129,43 @@ proptest! {
         }
     }
 
+    /// The scatter/gather path is bit-identical to the sequential
+    /// reference for arbitrary generated networks and worker counts
+    /// (timing excluded — it is measurement, not output).
+    #[test]
+    fn parallel_run_matches_serial_reference(spec in arb_spec(), workers in 1usize..5) {
+        let data = generate(&spec).expect("generate");
+        let u_rel = RuleSet::from_network(&data.network);
+        let pipeline = Pipeline::new(
+            u_rel,
+            DomainProfile::new("par").with_workers(workers),
+        )
+        .expect("pipeline");
+        let serial = pipeline.run_serial(&data.trace).expect("run_serial");
+        let parallel = pipeline.run(&data.trace).expect("run");
+        prop_assert_eq!(serial.signals.len(), parallel.signals.len());
+        for (s, p) in serial.signals.iter().zip(&parallel.signals) {
+            prop_assert_eq!(&s.signal, &p.signal);
+            prop_assert_eq!(&s.classification, &p.classification);
+            prop_assert_eq!(
+                s.frame.collect_rows().expect("rows"),
+                p.frame.collect_rows().expect("rows")
+            );
+        }
+        prop_assert_eq!(
+            serial.extensions.collect_rows().expect("rows"),
+            parallel.extensions.collect_rows().expect("rows")
+        );
+        prop_assert_eq!(
+            serial.merged.collect_rows().expect("rows"),
+            parallel.merged.collect_rows().expect("rows")
+        );
+        prop_assert_eq!(
+            serial.state.collect_rows().expect("rows"),
+            parallel.state.collect_rows().expect("rows")
+        );
+    }
+
     /// Trace serialization roundtrips for arbitrary generated traces.
     #[test]
     fn trace_roundtrip(spec in arb_spec()) {
