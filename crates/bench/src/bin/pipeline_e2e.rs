@@ -151,6 +151,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let parallel_speedup = serial_secs / parallel_secs;
 
+    // Observability cost, both sides of the subscriber branch:
+    //  * `parallel_secs` above ran with NO subscriber — every hook is one
+    //    relaxed load and a branch, the mode gated by IVNT_OBS_MAX_OVERHEAD;
+    //  * `obs_enabled_secs` runs the same workload with a live registry,
+    //    pricing the full counter/histogram/span path (report-only).
+    // One enabled run's snapshot is embedded in the JSON so BENCH_pipeline
+    // carries the stage-level breakdown.
+    let obs_registry = std::sync::Arc::new(ivnt_obs::Registry::new());
+    let obs_enabled_secs = {
+        let _guard = ivnt_obs::install(std::sync::Arc::clone(&obs_registry));
+        median_secs(runs, || {
+            pipeline.run(&data.trace).expect("run with subscriber");
+        })
+    };
+    let obs_snapshot = {
+        let registry = std::sync::Arc::new(ivnt_obs::Registry::new());
+        let _guard = ivnt_obs::install(std::sync::Arc::clone(&registry));
+        pipeline.run(&data.trace)?;
+        registry.snapshot()
+    };
+    let obs_enabled_overhead = obs_enabled_secs / parallel_secs - 1.0;
+    let obs_gate = env_f64("IVNT_OBS_MAX_OVERHEAD", 0.02);
+
     // SWAB kernel: heap vs naive on a large window — the O(n log n) vs
     // O(n²) comparison the per-signal workload is too small to show.
     let swab_n = ((8192.0 * scale()) as usize).max(256);
@@ -182,6 +205,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Bit-identity and the SWAB kernel gate stay enforced regardless.
     let gated = cores >= workers && speedup_vs_seed.is_some();
     let effective_gate = if gated { pipeline_gate } else { 0.0 };
+    // Disabled-subscriber regression vs the seed: the cost of carrying the
+    // obs hooks at all. Gated by IVNT_OBS_MAX_OVERHEAD under the same
+    // cores >= workers rule; f64::INFINITY disarms it on small machines.
+    let overhead_vs_seed = seed_secs.map(|s| parallel_secs / s - 1.0);
+    let effective_obs_gate = if gated { obs_gate } else { f64::INFINITY };
 
     let seed_block = match (seed_secs, speedup_vs_seed) {
         (Some(secs), Some(speedup)) => format!(
@@ -231,6 +259,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "    \"min_speedup_gate\": {:.2}\n",
             "  }},\n",
             "{}",
+            "  \"observability\": {{\n",
+            "    \"disabled_seconds\": {:.6},\n",
+            "    \"enabled_seconds\": {:.6},\n",
+            "    \"enabled_overhead\": {:.4},\n",
+            "{}",
+            "    \"max_overhead_gate\": {:.4},\n",
+            "    \"metrics\": {}\n",
+            "  }},\n",
             "  \"scaling\": {{\n",
             "    \"min_speedup_gate\": {:.2},\n",
             "    \"effective_gate\": {:.2}\n",
@@ -262,6 +298,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         swab_speedup,
         swab_gate,
         seed_block,
+        parallel_secs,
+        obs_enabled_secs,
+        obs_enabled_overhead,
+        overhead_vs_seed
+            .map(|o| format!("    \"overhead_vs_seed\": {o:.4},\n"))
+            .unwrap_or_default(),
+        obs_gate,
+        obs_snapshot.to_json(),
         pipeline_gate,
         effective_gate,
     );
@@ -278,6 +322,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         trace_rows as f64 / parallel_secs
     );
     println!("parallel vs serial: {parallel_speedup:.2}x; all runs bit-identical");
+    println!(
+        "obs: disabled {:.1} ms, subscriber enabled {:.1} ms ({:+.1}% when live; \
+         disabled-path gate {:.1}% vs seed)",
+        parallel_secs * 1e3,
+        obs_enabled_secs * 1e3,
+        obs_enabled_overhead * 100.0,
+        obs_gate * 100.0
+    );
     println!(
         "swab heap vs naive (n={swab_n}): {swab_speedup:.2}x \
          (heap {:.2} ms, naive {:.2} ms, gate {swab_gate:.2}x)",
@@ -309,6 +361,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!(
                 "FAIL: end-to-end speedup vs seed {speedup:.2}x below gate \
                  {effective_gate:.2}x"
+            );
+            std::process::exit(1);
+        }
+    }
+    if let Some(overhead) = overhead_vs_seed {
+        if overhead > effective_obs_gate {
+            eprintln!(
+                "FAIL: disabled-subscriber overhead vs seed {:.1}% above gate {:.1}%",
+                overhead * 100.0,
+                effective_obs_gate * 100.0
             );
             std::process::exit(1);
         }

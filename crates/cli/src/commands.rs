@@ -9,9 +9,11 @@ use ivnt_simulator::prelude::*;
 use ivnt_simulator::scenario;
 
 use crate::args::Args;
+use crate::options::SharedOptions;
+use crate::output::{self, JsonWriter};
 
 /// Valueless flags; everything else is `--key value`.
-pub const SWITCHES: &[&str] = &["json", "once", "verify", "timing", "serial"];
+pub const SWITCHES: &[&str] = &["json", "once", "verify", "timing", "serial", "metrics"];
 
 type CmdResult = Result<(), String>;
 
@@ -108,12 +110,15 @@ pub fn extract(args: &Args) -> CmdResult {
 }
 
 /// `ivnt run --scenario syn --seed 7 [--signals a,b] [--workers N]
-/// [--timing] [--serial] [--state-csv out.csv] <trace.ivnt>`
+/// [--timing] [--serial] [--metrics] [--json] [--state-csv out.csv]
+/// <trace.ivnt>`
 ///
 /// The full Algorithm 1 like `ivnt extract`, plus perf introspection:
-/// `--timing` prints the per-stage wall-clock breakdown, `--serial`
-/// forces the sequential reference path, and `--workers` caps the
-/// per-signal fan-out.
+/// `--timing` prints the per-stage busy/wall breakdown, `--serial`
+/// forces the sequential reference path, `--workers` caps the
+/// per-signal fan-out, `--metrics` prints the run's observability
+/// snapshot (Prometheus text, or JSON with `--json`), and `--json`
+/// switches the whole summary to machine-readable output.
 ///
 /// # Errors
 ///
@@ -122,21 +127,53 @@ pub fn run(args: &Args) -> CmdResult {
     run_pipeline_cmd(args)
 }
 
-/// Prints the per-stage timing table of one run.
+/// Prints the per-stage timing table of one run: `busy` is the summed
+/// per-signal task time, `wall` the stage's elapsed makespan — they only
+/// differ for the fan-out stages, where `busy / wall` approximates the
+/// stage's effective parallelism.
 fn print_timing(t: &ivnt_core::pipeline::StageTiming) {
-    let ms = |s: f64| s * 1e3;
-    println!("\nstage timing (fan-out stages are summed per-signal busy time):");
-    println!("  {:<22} {:>10}", "stage", "ms");
-    println!("  {:<22} {:>10.3}", "interpret (fused)", ms(t.interpret));
-    println!("  {:<22} {:>10.3}", "split", ms(t.split));
-    println!("  {:<22} {:>10.3}", "dedup", ms(t.dedup));
-    println!("  {:<22} {:>10.3}", "reduce", ms(t.reduce));
-    println!("  {:<22} {:>10.3}", "extend", ms(t.extend));
-    println!("  {:<22} {:>10.3}", "classify", ms(t.classify));
-    println!("  {:<22} {:>10.3}", "branch", ms(t.branch));
-    println!("  {:<22} {:>10.3}", "merge", ms(t.merge));
-    println!("  {:<22} {:>10.3}", "state", ms(t.state));
-    println!("  {:<22} {:>10.3}", "total (wall)", ms(t.total));
+    let ms = |s: f64| format!("{:.3}", s * 1e3);
+    let serial = |name: &str, busy: f64| {
+        println!("  {:<22} {:>10} {:>10}", name, ms(busy), ms(busy));
+    };
+    let fan_out = |name: &str, busy: f64, wall: f64| {
+        println!("  {:<22} {:>10} {:>10}", name, ms(busy), ms(wall));
+    };
+    println!("\nstage timing (busy = summed per-signal task time, wall = stage makespan):");
+    println!("  {:<22} {:>10} {:>10}", "stage", "busy ms", "wall ms");
+    serial("interpret (fused)", t.interpret);
+    serial("split", t.split);
+    fan_out("dedup", t.dedup, t.wall.dedup);
+    fan_out("reduce", t.reduce, t.wall.reduce);
+    fan_out("extend", t.extend, t.wall.extend);
+    fan_out("classify", t.classify, t.wall.classify);
+    fan_out("branch", t.branch, t.wall.branch);
+    serial("merge", t.merge);
+    serial("state", t.state);
+    println!("  {:<22} {:>10} {:>10}", "total", "", ms(t.total));
+}
+
+/// Renders one run's timing as a JSON object (seconds, not ms).
+fn timing_json(w: &mut JsonWriter, t: &ivnt_core::pipeline::StageTiming) {
+    w.begin_object(Some("timing"));
+    w.field_f64("interpret", t.interpret);
+    w.field_f64("split", t.split);
+    w.field_f64("dedup", t.dedup);
+    w.field_f64("reduce", t.reduce);
+    w.field_f64("extend", t.extend);
+    w.field_f64("classify", t.classify);
+    w.field_f64("branch", t.branch);
+    w.field_f64("merge", t.merge);
+    w.field_f64("state", t.state);
+    w.field_f64("total", t.total);
+    w.begin_object(Some("wall"));
+    w.field_f64("dedup", t.wall.dedup);
+    w.field_f64("reduce", t.wall.reduce);
+    w.field_f64("extend", t.wall.extend);
+    w.field_f64("classify", t.wall.classify);
+    w.field_f64("branch", t.wall.branch);
+    w.end_object();
+    w.end_object();
 }
 
 /// Shared driver of `ivnt extract` and `ivnt run`.
@@ -152,31 +189,62 @@ fn run_pipeline_cmd(args: &Args) -> CmdResult {
         let _ = u_rel.set_comparable(signal, *comparable);
     }
 
+    let shared = SharedOptions::parse(args)?;
     let mut profile = DomainProfile::new("cli");
     if let Some(list) = args.get("signals") {
         let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
         profile = profile.with_signals(names);
     }
-    if let Some(workers) = args.get_parsed::<usize>("workers")? {
-        profile = profile.with_workers(workers);
-    }
     let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
-    let output = if args.has("serial") {
-        pipeline.run_serial(&trace)
-    } else {
-        pipeline.run(&trace)
-    }
-    .map_err(err)?;
 
-    println!("extracted {} signals:", output.signals.len());
-    for s in &output.signals {
-        println!(
-            "  {:<14} branch {:<6} {:>8} -> {:>8} rows",
-            s.signal, s.classification.branch, s.rows_interpreted, s.rows_reduced
-        );
+    let registry = output::metrics_registry(&shared);
+    let mut opts = ivnt_core::pipeline::RunOptions::trace(&trace);
+    if shared.serial {
+        opts = opts.serial();
     }
-    if args.has("timing") {
-        print_timing(&output.timing);
+    if let Some(workers) = shared.workers {
+        opts = opts.with_workers(workers);
+    }
+    if let Some((r, _)) = &registry {
+        opts = opts.with_subscriber(std::sync::Arc::clone(r));
+    }
+    let output = pipeline.session(opts).run().map_err(err)?;
+    let snapshot = registry.as_ref().map(|(r, _)| r.snapshot());
+
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.begin_array(Some("signals"));
+        for s in &output.signals {
+            w.begin_object(None);
+            w.field_str("signal", &s.signal);
+            w.field_str("branch", &s.classification.branch.to_string());
+            w.field_u64("rows_interpreted", s.rows_interpreted as u64);
+            w.field_u64("rows_reduced", s.rows_reduced as u64);
+            w.end_object();
+        }
+        w.end_array();
+        timing_json(&mut w, &output.timing);
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!("extracted {} signals:", output.signals.len());
+        for s in &output.signals {
+            println!(
+                "  {:<14} branch {:<6} {:>8} -> {:>8} rows",
+                s.signal, s.classification.branch, s.rows_interpreted, s.rows_reduced
+            );
+        }
+        if shared.timing {
+            print_timing(&output.timing);
+        }
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
+        }
     }
     if let Some(report_path) = args.get("report") {
         let md = ivnt_analysis::report::render_report(
@@ -186,13 +254,17 @@ fn run_pipeline_cmd(args: &Args) -> CmdResult {
         )
         .map_err(err)?;
         std::fs::write(report_path, md).map_err(err)?;
-        println!("report written to {report_path}");
+        if !shared.json {
+            println!("report written to {report_path}");
+        }
     }
     if let Some(csv_path) = args.get("state-csv") {
         let file = File::create(csv_path).map_err(err)?;
         ivnt_frame::csv::write_csv(&output.state, BufWriter::new(file)).map_err(err)?;
-        println!("state representation written to {csv_path}");
-    } else {
+        if !shared.json {
+            println!("state representation written to {csv_path}");
+        }
+    } else if !shared.json {
         let rows = args.get_parsed::<usize>("rows")?.unwrap_or(15);
         println!(
             "\n{}",
@@ -275,72 +347,53 @@ fn store_ingest(args: &Args) -> CmdResult {
     Ok(())
 }
 
-/// Escapes a string for a JSON literal (quotes, backslashes, controls).
-fn json_str(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
 /// `ivnt store info --json <trace.ivns>` — the footer and full chunk
 /// index as a machine-readable JSON document, for scripted health checks
 /// and shard planning outside the pipeline.
 fn store_info_json(path: &str, footer: &ivnt_store::Footer) -> CmdResult {
-    let buses: Vec<String> = footer.buses.iter().map(|b| json_str(b)).collect();
     let payload_bytes: u64 = footer.chunks.iter().map(|c| u64::from(c.len)).sum();
     let min_t = footer.chunks.iter().map(|c| c.zone.min_t_us).min();
     let max_t = footer.chunks.iter().map(|c| c.zone.max_t_us).max();
-    println!("{{");
-    println!("  \"path\": {},", json_str(path));
-    println!("  \"rows\": {},", footer.rows);
-    println!("  \"groups\": {},", footer.groups);
-    println!("  \"group_rows\": {},", footer.group_rows);
-    println!("  \"clustered\": {},", footer.clustered);
-    println!("  \"payload_bytes\": {payload_bytes},");
-    println!("  \"min_t_us\": {},", min_t.unwrap_or(0));
-    println!("  \"max_t_us\": {},", max_t.unwrap_or(0));
-    println!("  \"buses\": [{}],", buses.join(", "));
-    println!("  \"chunks\": [");
-    let last = footer.chunks.len().saturating_sub(1);
+    let mut w = JsonWriter::new();
+    w.begin_object(None);
+    w.field_str("path", path);
+    w.field_u64("rows", footer.rows);
+    w.field_u64("groups", u64::from(footer.groups));
+    w.field_u64("group_rows", u64::from(footer.group_rows));
+    w.field_bool("clustered", footer.clustered);
+    w.field_u64("payload_bytes", payload_bytes);
+    w.field_u64("min_t_us", min_t.unwrap_or(0));
+    w.field_u64("max_t_us", max_t.unwrap_or(0));
+    let buses: Vec<String> = footer.buses.iter().map(|b| output::json_str(b)).collect();
+    w.field_raw("buses", &format!("[{}]", buses.join(", ")));
+    w.begin_array(Some("chunks"));
     for (i, c) in footer.chunks.iter().enumerate() {
         let chunk_buses: Vec<String> = footer
             .buses
             .iter()
             .enumerate()
             .filter(|(b, _)| c.zone.has_bus(*b as u32))
-            .map(|(_, name)| json_str(name))
+            .map(|(_, name)| output::json_str(name))
             .collect();
-        println!(
-            "    {{\"chunk\": {i}, \"group\": {}, \"rows\": {}, \"offset\": {}, \
+        w.element_raw(&format!(
+            "{{\"chunk\": {i}, \"group\": {}, \"rows\": {}, \"offset\": {}, \
              \"len\": {}, \"checksum\": {}, \"min_t_us\": {}, \"max_t_us\": {}, \
-             \"min_mid\": {}, \"max_mid\": {}, \"buses\": [{}]}}{}",
+             \"min_mid\": {}, \"max_mid\": {}, \"buses\": [{}]}}",
             c.group,
             c.rows,
             c.offset,
             c.len,
-            json_str(&format!("{:#018x}", c.checksum)),
+            output::json_str(&format!("{:#018x}", c.checksum)),
             c.zone.min_t_us,
             c.zone.max_t_us,
             c.zone.min_mid,
             c.zone.max_mid,
             chunk_buses.join(", "),
-            if i == last { "" } else { "," },
-        );
+        ));
     }
-    println!("  ]");
-    println!("}}");
+    w.end_array();
+    w.end_object();
+    println!("{}", w.finish());
     Ok(())
 }
 
@@ -400,13 +453,15 @@ fn store_info(args: &Args) -> CmdResult {
 }
 
 /// `ivnt store extract --scenario syn [--seed S] [--signals a,b]
-/// [--csv out.csv] <trace.ivns>`
+/// [--workers N] [--serial] [--metrics] [--json] [--csv out.csv]
+/// <trace.ivns>`
 ///
 /// Runs interpretation directly against the store: the pipeline's
 /// preselection predicate is pushed into the chunk scan, so chunks whose
 /// zone maps cannot match are never read from disk.
 fn store_extract(args: &Args) -> CmdResult {
     let path = args.positional(1, "trace.ivns")?;
+    let shared = SharedOptions::parse(args)?;
     let spec = scenario_spec(args)?;
     let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
     let mut u_rel = RuleSet::from_network(&data.network);
@@ -420,23 +475,58 @@ fn store_extract(args: &Args) -> CmdResult {
     }
     let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
     let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
-    let (frame, stats) = pipeline
-        .extract_from_store_with_stats(&mut reader)
-        .map_err(err)?;
-    println!("interpreted {} signal rows from {path}", frame.num_rows());
-    println!(
-        "scan: {}/{} chunks decoded, {} skipped by zone maps ({:.0}% pruned), peak {} rows buffered",
-        stats.chunks_scanned,
-        stats.chunks_total,
-        stats.chunks_skipped,
-        stats.skip_ratio() * 100.0,
-        stats.peak_rows_buffered,
-    );
+
+    let registry = output::metrics_registry(&shared);
+    let mut opts = ivnt_core::pipeline::RunOptions::store(&mut reader);
+    if shared.serial {
+        opts = opts.serial();
+    }
+    if let Some(workers) = shared.workers {
+        opts = opts.with_workers(workers);
+    }
+    if let Some((r, _)) = &registry {
+        opts = opts.with_subscriber(std::sync::Arc::clone(r));
+    }
+    let extraction = pipeline.session(opts).extract().map_err(err)?;
+    let frame = extraction.frame;
+    let stats = extraction.scan.unwrap_or_default();
+    let snapshot = registry.as_ref().map(|(r, _)| r.snapshot());
+
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", path);
+        w.field_u64("rows", frame.num_rows() as u64);
+        w.begin_object(Some("scan"));
+        w.field_u64("chunks_total", stats.chunks_total as u64);
+        w.field_u64("chunks_scanned", stats.chunks_scanned as u64);
+        w.field_u64("chunks_skipped", stats.chunks_skipped as u64);
+        w.field_f64("skip_ratio", stats.skip_ratio());
+        w.field_u64("peak_rows_buffered", stats.peak_rows_buffered as u64);
+        w.end_object();
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!("interpreted {} signal rows from {path}", frame.num_rows());
+        println!(
+            "scan: {}/{} chunks decoded, {} skipped by zone maps ({:.0}% pruned), peak {} rows buffered",
+            stats.chunks_scanned,
+            stats.chunks_total,
+            stats.chunks_skipped,
+            stats.skip_ratio() * 100.0,
+            stats.peak_rows_buffered,
+        );
+    }
     if let Some(csv_path) = args.get("csv") {
         let file = File::create(csv_path).map_err(err)?;
         ivnt_frame::csv::write_csv(&frame, BufWriter::new(file)).map_err(err)?;
-        println!("interpreted signals written to {csv_path}");
-    } else {
+        if !shared.json {
+            println!("interpreted signals written to {csv_path}");
+        }
+    } else if !shared.json {
         let mut counts: Vec<(String, usize)> = Vec::new();
         for v in frame
             .column_values(ivnt_core::tabular::columns::SIGNAL)
@@ -454,6 +544,12 @@ fn store_extract(args: &Args) -> CmdResult {
         counts.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
         for (name, count) in counts {
             println!("  {name:<14} {count:>8} rows");
+        }
+    }
+    if !shared.json {
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
         }
     }
     Ok(())
@@ -499,15 +595,19 @@ fn cluster_worker(args: &Args) -> CmdResult {
 
 /// `ivnt cluster run --scenario syn [--seed S] [--signals a,b]
 /// (--workers A,B,.. | --local N) [--heartbeat-ms N] [--timeout-ms N]
-/// [--retries N] [--tasks N] [--csv out.csv] [--verify] <trace.ivns>`
+/// [--retries N] [--tasks N] [--csv out.csv] [--verify] [--metrics]
+/// [--json] <trace.ivns>`
 ///
 /// Plans shards from the store footer, distributes them over the given
 /// workers (or over `--local N` subprocess copies of this binary), and
 /// merges the results in deterministic task order. `--verify` re-runs
 /// the extraction single-process and asserts the merged result is
-/// bit-identical.
+/// bit-identical. `--metrics` prints the coordinator's snapshot merged
+/// with every worker's end-of-session snapshot (here `--workers` is the
+/// address list, so the shared `--workers N` thread cap does not apply).
 fn cluster_run(args: &Args) -> CmdResult {
     let store_path = args.positional(1, "trace.ivns")?;
+    let shared = SharedOptions::parse_switches(args);
     let mut job = ivnt_cluster::JobSpec::new(args.get_or("scenario", "syn"), store_path);
     if let Some(seed) = args.get_parsed::<u64>("seed")? {
         job = job.with_seed(seed);
@@ -532,6 +632,7 @@ fn cluster_run(args: &Args) -> CmdResult {
     if let Some(v) = args.get_parsed::<usize>("tasks")? {
         config.tasks_per_worker = v;
     }
+    config.collect_metrics = shared.metrics || shared.json;
 
     // Resolve the worker set: explicit addresses, or local subprocesses.
     let mut locals = Vec::new();
@@ -552,20 +653,52 @@ fn cluster_run(args: &Args) -> CmdResult {
         _ => return Err("need --workers A,B,.. or --local N".into()),
     };
 
+    // The coordinator's own instrumentation (heartbeat gaps, retries,
+    // per-shard wall clock) lands in this registry; worker snapshots
+    // arrive over the wire in `run.worker_metrics` and are merged below.
+    let registry = output::metrics_registry(&shared);
     let run = ivnt_cluster::run_job(&job, &addrs, &config).map_err(err)?;
     drop(locals);
-    println!(
-        "cluster extracted {} signal rows from {store_path} across {} workers",
-        run.stats.rows, run.stats.workers,
-    );
-    println!(
-        "schedule: {} tasks over {} groups ({} pruned), {} retries, {} workers lost",
-        run.stats.tasks,
-        run.stats.groups_total,
-        run.stats.groups_pruned,
-        run.stats.retries,
-        run.stats.workers_lost,
-    );
+    let snapshot = registry.as_ref().map(|(r, _)| {
+        let mut merged = r.snapshot();
+        merged.merge(&run.worker_metrics);
+        merged
+    });
+
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", store_path);
+        w.field_u64("rows", run.stats.rows as u64);
+        w.field_u64("workers", run.stats.workers as u64);
+        w.field_u64("tasks", run.stats.tasks as u64);
+        w.field_u64("groups_total", run.stats.groups_total as u64);
+        w.field_u64("groups_pruned", run.stats.groups_pruned as u64);
+        w.field_u64("retries", run.stats.retries as u64);
+        w.field_u64("workers_lost", run.stats.workers_lost as u64);
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "cluster extracted {} signal rows from {store_path} across {} workers",
+            run.stats.rows, run.stats.workers,
+        );
+        println!(
+            "schedule: {} tasks over {} groups ({} pruned), {} retries, {} workers lost",
+            run.stats.tasks,
+            run.stats.groups_total,
+            run.stats.groups_pruned,
+            run.stats.retries,
+            run.stats.workers_lost,
+        );
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
+        }
+    }
 
     if args.has("verify") {
         let pipeline = job.pipeline().map_err(err)?;
@@ -578,17 +711,20 @@ fn cluster_run(args: &Args) -> CmdResult {
                 .map(ivnt_cluster::codec::encode_batch)
                 .collect()
         };
-        if fp(&run.frame) == fp(&expected) {
-            println!("verify: bit-identical to single-process extraction");
-        } else {
+        if fp(&run.frame) != fp(&expected) {
             return Err("verify FAILED: distributed result differs from single-process".into());
+        }
+        if !shared.json {
+            println!("verify: bit-identical to single-process extraction");
         }
     }
 
     if let Some(csv_path) = args.get("csv") {
         let file = File::create(csv_path).map_err(err)?;
         ivnt_frame::csv::write_csv(&run.frame, BufWriter::new(file)).map_err(err)?;
-        println!("interpreted signals written to {csv_path}");
+        if !shared.json {
+            println!("interpreted signals written to {csv_path}");
+        }
     }
     Ok(())
 }
@@ -645,21 +781,34 @@ USAGE:
   ivnt record  --scenario syn|lig|sta [--examples N] [--seed S] <out.ivnt>
   ivnt inspect <trace.ivnt>
   ivnt extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
-               [--state-csv out.csv] [--report out.md] [--rows N] <trace.ivnt>
+               [shared flags] [--state-csv out.csv] [--report out.md]
+               [--rows N] <trace.ivnt>
   ivnt run     --scenario syn|lig|sta [--seed S] [--signals a,b,..]
-               [--workers N] [--timing] [--serial] [--state-csv out.csv]
-               [--report out.md] [--rows N] <trace.ivnt>
+               [shared flags] [--state-csv out.csv] [--report out.md]
+               [--rows N] <trace.ivnt>
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>
   ivnt store info    [--chunks N] [--json] <trace.ivns>
   ivnt store extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
-                      [--csv out.csv] <trace.ivns>
+                      [shared flags] [--csv out.csv] <trace.ivns>
   ivnt cluster worker [--listen ADDR] [--once]
   ivnt cluster run   --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       (--workers A,B,.. | --local N) [--heartbeat-ms N]
                       [--timeout-ms N] [--retries N] [--tasks N]
-                      [--csv out.csv] [--verify] <trace.ivns>
+                      [--csv out.csv] [--verify] [--metrics] [--json]
+                      <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]
+
+SHARED FLAGS (run, extract, store extract):
+  --workers N   cap the per-signal fan-out executor
+  --serial      force the sequential reference path
+  --timing      print the per-stage busy/wall timing table (run, extract)
+  --metrics     print an ivnt-obs snapshot of the run (Prometheus text)
+  --json        machine-readable output; with --metrics, the snapshot
+                is embedded as JSON
+
+  `cluster run` also accepts --metrics/--json; there --workers is the
+  worker ADDRESS LIST and the snapshot merges coordinator and workers.
 "
 }

@@ -2,6 +2,8 @@
 
 mod args;
 mod commands;
+mod options;
+mod output;
 
 use args::Args;
 

@@ -47,6 +47,10 @@ pub struct ClusterConfig {
     pub tasks_per_worker: usize,
     /// Connect/handshake patience per worker.
     pub connect_timeout_ms: u64,
+    /// Whether to collect each worker's metrics snapshot at session end
+    /// and merge them into [`ClusterRun::worker_metrics`]. Collection is
+    /// best-effort: a dead worker simply contributes nothing.
+    pub collect_metrics: bool,
 }
 
 impl Default for ClusterConfig {
@@ -57,6 +61,7 @@ impl Default for ClusterConfig {
             max_task_retries: 3,
             tasks_per_worker: 3,
             connect_timeout_ms: 5_000,
+            collect_metrics: true,
         }
     }
 }
@@ -88,6 +93,12 @@ pub struct ClusterRun {
     pub frame: DataFrame,
     /// Scheduling statistics.
     pub stats: ClusterStats,
+    /// Merged metrics snapshots of every worker that reported one
+    /// ([`ClusterConfig::collect_metrics`]); counters add, gauges take
+    /// the max. Empty when collection is off or no worker survived to
+    /// report. Per-shard scan counters (`store_scan_*`) and task
+    /// timings (`cluster_task_seconds`) live here.
+    pub worker_metrics: ivnt_obs::Snapshot,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -112,6 +123,8 @@ struct JobState {
     retries: u64,
     workers_lost: usize,
     failed: Option<String>,
+    /// Worker snapshots merged as they arrive at session end.
+    worker_metrics: ivnt_obs::Snapshot,
 }
 
 type Shared = Arc<(Mutex<JobState>, Condvar)>;
@@ -153,7 +166,11 @@ pub fn run_job(job: &JobSpec, workers: &[String], config: &ClusterConfig) -> Res
     // what `extract_from_store` returns — without touching the network.
     if plan.tasks.is_empty() {
         let frame = DataFrame::from_partitions(schema.clone(), vec![Batch::empty(schema)])?;
-        return Ok(ClusterRun { frame, stats });
+        return Ok(ClusterRun {
+            frame,
+            stats,
+            worker_metrics: ivnt_obs::Snapshot::default(),
+        });
     }
 
     let shared: Shared = Arc::new((
@@ -174,6 +191,7 @@ pub fn run_job(job: &JobSpec, workers: &[String], config: &ClusterConfig) -> Res
             retries: 0,
             workers_lost: 0,
             failed: None,
+            worker_metrics: ivnt_obs::Snapshot::default(),
         }),
         Condvar::new(),
     ));
@@ -216,7 +234,19 @@ pub fn run_job(job: &JobSpec, workers: &[String], config: &ClusterConfig) -> Res
     }
     let frame = DataFrame::from_partitions(schema, parts)?;
     stats.rows = frame.num_rows();
-    Ok(ClusterRun { frame, stats })
+    ivnt_obs::with(|r| {
+        r.add("cluster_runs_total", 1);
+        r.add("cluster_tasks_planned_total", stats.tasks as u64);
+        r.add(
+            "cluster_groups_pruned_total",
+            u64::from(stats.groups_pruned),
+        );
+    });
+    Ok(ClusterRun {
+        frame,
+        stats,
+        worker_metrics: state.worker_metrics.clone(),
+    })
 }
 
 /// Requeues `task_id` after worker `idx` failed it, bounding retries and
@@ -231,6 +261,7 @@ fn requeue(state: &mut JobState, task_id: u32, idx: usize, why: &str, max_retrie
     t.excluded.insert(idx);
     t.last_error = Some(why.to_string());
     state.retries += 1;
+    ivnt_obs::with(|r| r.add("cluster_retries_total", 1));
     if t.attempts > max_retries {
         state.failed = Some(format!(
             "task {task_id} failed {} times, giving up (last: {why})",
@@ -276,6 +307,7 @@ fn worker_died(shared: &Shared, idx: usize, why: &str, max_retries: u32) {
     if state.alive[idx] {
         state.alive[idx] = false;
         state.workers_lost += 1;
+        ivnt_obs::with(|r| r.add("cluster_workers_lost_total", 1));
     }
     let in_flight: Vec<u32> = state
         .tasks
@@ -330,6 +362,38 @@ fn complete_task(shared: &Shared, task_id: u32, blobs: Vec<Vec<u8>>) {
     t.status = TaskStatus::Done;
     t.result = Some(blobs);
     shared.1.notify_all();
+}
+
+/// Best-effort end-of-session metrics pull: asks the worker for its
+/// snapshot and merges the reply into the shared job state. Any failure
+/// (worker already gone, timeout, protocol noise) just means this worker
+/// contributes no metrics — never a job failure.
+fn collect_worker_metrics(
+    stream: &mut TcpStream,
+    rx: &Receiver<Result<Message>>,
+    shared: &Shared,
+    timeout: Duration,
+) {
+    if wire::write_frame(stream, &Message::MetricsRequest).is_err() {
+        return;
+    }
+    let deadline = Instant::now() + timeout;
+    loop {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        match rx.recv_timeout(left) {
+            Ok(Ok(Message::Metrics { snapshot })) => {
+                let mut state = shared.0.lock().expect("job state mutex");
+                state.worker_metrics.merge(&snapshot);
+                return;
+            }
+            // Late heartbeats may still be queued ahead of the reply.
+            Ok(Ok(Message::Heartbeat { .. })) => continue,
+            Ok(Ok(_)) | Ok(Err(_)) | Err(_) => return,
+        }
+    }
 }
 
 /// One worker connection, driven to completion. All failure paths funnel
@@ -407,17 +471,45 @@ fn drive_worker(
         loop {
             let task = match claim_task(shared, idx) {
                 Claim::Task(t) => t,
-                Claim::AllDone | Claim::JobFailed => {
+                Claim::AllDone => {
+                    if config.collect_metrics {
+                        collect_worker_metrics(&mut stream, &rx, shared, liveness);
+                    }
+                    let _ = wire::write_frame(&mut stream, &Message::Shutdown);
+                    return Ok(());
+                }
+                Claim::JobFailed => {
                     let _ = wire::write_frame(&mut stream, &Message::Shutdown);
                     return Ok(());
                 }
             };
             wire::write_frame(&mut stream, &Message::Assign { task })?;
+            let assigned = Instant::now();
             let mut last_seen = Instant::now();
             loop {
                 match rx.recv_timeout(poll) {
-                    Ok(Ok(Message::Heartbeat { .. })) => last_seen = Instant::now(),
+                    Ok(Ok(Message::Heartbeat { .. })) => {
+                        // Gap between consecutive liveness signals — the
+                        // coordinator's view of heartbeat latency.
+                        ivnt_obs::with(|r| {
+                            r.observe(
+                                "cluster_heartbeat_gap_seconds",
+                                ivnt_obs::SECONDS_BUCKETS,
+                                last_seen.elapsed().as_secs_f64(),
+                            );
+                        });
+                        last_seen = Instant::now();
+                    }
                     Ok(Ok(Message::TaskResult { task_id, batches })) if task_id == task.task_id => {
+                        // Assign→result wall clock of the shard as the
+                        // coordinator saw it, network included.
+                        ivnt_obs::with(|r| {
+                            r.observe(
+                                "cluster_shard_wall_seconds",
+                                ivnt_obs::SECONDS_BUCKETS,
+                                assigned.elapsed().as_secs_f64(),
+                            );
+                        });
                         complete_task(shared, task_id, batches);
                         break;
                     }

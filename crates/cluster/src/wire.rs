@@ -30,7 +30,8 @@ use crate::job::JobSpec;
 use crate::plan::ShardTask;
 
 /// Protocol revision; bumped on any incompatible frame or body change.
-pub const WIRE_VERSION: u32 = 1;
+/// v2 added the [`Message::MetricsRequest`]/[`Message::Metrics`] pair.
+pub const WIRE_VERSION: u32 = 2;
 
 /// Upper bound on a frame's payload length (64 MiB). A frame header
 /// claiming more is rejected before any allocation happens.
@@ -48,6 +49,8 @@ mod tag {
     pub const TASK_RESULT: u8 = 5;
     pub const TASK_ERROR: u8 = 6;
     pub const SHUTDOWN: u8 = 7;
+    pub const METRICS_REQUEST: u8 = 8;
+    pub const METRICS: u8 = 9;
 }
 
 /// Everything that crosses the coordinator↔worker socket.
@@ -96,6 +99,16 @@ pub enum Message {
     },
     /// Orderly end of session, coordinator → worker.
     Shutdown,
+    /// Ask the worker for its session metrics, coordinator → worker.
+    MetricsRequest,
+    /// The worker's [`ivnt_obs::Snapshot`] for this session, worker →
+    /// coordinator; the coordinator merges these into one fleet view.
+    /// Floats travel as raw IEEE-754 bits like everything else on this
+    /// wire, so merged sums are reproducible.
+    Metrics {
+        /// Session-scoped metrics snapshot.
+        snapshot: ivnt_obs::Snapshot,
+    },
 }
 
 /// `task_id` a [`Message::Heartbeat`] carries while no task is running.
@@ -126,6 +139,112 @@ pub(crate) fn read_bytes(cur: &mut Cursor<'_>) -> Result<Vec<u8>> {
         return Err(Error::Protocol(format!("byte blob of {len} bytes")));
     }
     Ok(cur.read_slice(len as usize)?.to_vec())
+}
+
+fn write_f64_bits(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn read_f64_bits(cur: &mut Cursor<'_>) -> Result<f64> {
+    Ok(f64::from_bits(cur.read_u64_le()?))
+}
+
+/// Bounded element-count read: metric maps are small, but the decoder
+/// must never size an allocation from an unvalidated count.
+fn read_count(cur: &mut Cursor<'_>, what: &str) -> Result<usize> {
+    let n = cur.read_u64()?;
+    if n > MAX_FRAME_LEN {
+        return Err(Error::Protocol(format!("{n} {what}")));
+    }
+    Ok(n as usize)
+}
+
+fn write_snapshot(out: &mut Vec<u8>, snap: &ivnt_obs::Snapshot) {
+    varint::write_u64(out, snap.counters.len() as u64);
+    for (k, v) in &snap.counters {
+        write_str(out, k);
+        varint::write_u64(out, *v);
+    }
+    varint::write_u64(out, snap.gauges.len() as u64);
+    for (k, v) in &snap.gauges {
+        write_str(out, k);
+        write_f64_bits(out, *v);
+    }
+    varint::write_u64(out, snap.histograms.len() as u64);
+    for (k, h) in &snap.histograms {
+        write_str(out, k);
+        varint::write_u64(out, h.bounds.len() as u64);
+        for b in &h.bounds {
+            write_f64_bits(out, *b);
+        }
+        varint::write_u64(out, h.buckets.len() as u64);
+        for b in &h.buckets {
+            varint::write_u64(out, *b);
+        }
+        varint::write_u64(out, h.count);
+        write_f64_bits(out, h.sum);
+    }
+    varint::write_u64(out, snap.spans.len() as u64);
+    for (k, s) in &snap.spans {
+        write_str(out, k);
+        write_str(out, &s.name);
+        write_str(out, &s.parent);
+        varint::write_u64(out, s.count);
+        write_f64_bits(out, s.seconds);
+    }
+}
+
+fn read_snapshot(cur: &mut Cursor<'_>) -> Result<ivnt_obs::Snapshot> {
+    let mut snap = ivnt_obs::Snapshot::default();
+    for _ in 0..read_count(cur, "counters")? {
+        let k = read_str(cur)?;
+        let v = cur.read_u64()?;
+        snap.counters.insert(k, v);
+    }
+    for _ in 0..read_count(cur, "gauges")? {
+        let k = read_str(cur)?;
+        let v = read_f64_bits(cur)?;
+        snap.gauges.insert(k, v);
+    }
+    for _ in 0..read_count(cur, "histograms")? {
+        let k = read_str(cur)?;
+        let mut bounds = Vec::new();
+        for _ in 0..read_count(cur, "histogram bounds")? {
+            bounds.push(read_f64_bits(cur)?);
+        }
+        let mut buckets = Vec::new();
+        for _ in 0..read_count(cur, "histogram buckets")? {
+            buckets.push(cur.read_u64()?);
+        }
+        let count = cur.read_u64()?;
+        let sum = read_f64_bits(cur)?;
+        snap.histograms.insert(
+            k,
+            ivnt_obs::HistogramSnapshot {
+                bounds,
+                buckets,
+                count,
+                sum,
+            },
+        );
+    }
+    for _ in 0..read_count(cur, "spans")? {
+        let k = read_str(cur)?;
+        let name = read_str(cur)?;
+        let parent = read_str(cur)?;
+        let count = cur.read_u64()?;
+        let seconds = read_f64_bits(cur)?;
+        snap.spans.insert(
+            k,
+            ivnt_obs::SpanStat {
+                name,
+                parent,
+                count,
+                seconds,
+            },
+        );
+    }
+    Ok(snap)
 }
 
 /// Encodes `msg` into a frame payload (tag + body, no frame header).
@@ -165,6 +284,11 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             write_str(&mut out, message);
         }
         Message::Shutdown => out.push(tag::SHUTDOWN),
+        Message::MetricsRequest => out.push(tag::METRICS_REQUEST),
+        Message::Metrics { snapshot } => {
+            out.push(tag::METRICS);
+            write_snapshot(&mut out, snapshot);
+        }
     }
     out
 }
@@ -217,6 +341,10 @@ pub fn decode_message(payload: &[u8]) -> Result<Message> {
             message: read_str(&mut cur)?,
         },
         tag::SHUTDOWN => Message::Shutdown,
+        tag::METRICS_REQUEST => Message::MetricsRequest,
+        tag::METRICS => Message::Metrics {
+            snapshot: read_snapshot(&mut cur)?,
+        },
         other => return Err(Error::Protocol(format!("unknown message tag {other}"))),
     };
     if cur.remaining() != 0 {
@@ -298,6 +426,27 @@ mod tests {
         let bytes = encode_frame(&msg);
         let mut cursor = std::io::Cursor::new(bytes);
         assert_eq!(read_frame(&mut cursor).unwrap(), msg);
+    }
+
+    #[test]
+    fn metrics_snapshot_roundtrips_bit_exactly() {
+        let registry = ivnt_obs::Registry::new();
+        registry.add("cluster_tasks_total{result=\"ok\"}", 4);
+        registry.set_gauge("store_scan_peak_rows_buffered", 123.456789);
+        registry.observe("cluster_task_seconds", ivnt_obs::SECONDS_BUCKETS, 0.0123);
+        registry.record_span("scan", "task", 0.25);
+        let snapshot = registry.snapshot();
+        let msg = Message::Metrics { snapshot };
+        let bytes = encode_frame(&msg);
+        let decoded = read_frame(&mut std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn metrics_request_roundtrips() {
+        let bytes = encode_frame(&Message::MetricsRequest);
+        let decoded = read_frame(&mut std::io::Cursor::new(bytes)).unwrap();
+        assert_eq!(decoded, Message::MetricsRequest);
     }
 
     #[test]

@@ -182,6 +182,13 @@ fn serve_session(mut stream: TcpStream, name: &str, faults: WorkerFaults) -> Res
     let pipeline = job.pipeline()?;
     let mut reader = ivnt_store::StoreReader::open(&job.store_path)?;
 
+    // Session-scoped metrics: a fresh registry per coordinator session,
+    // installed process-wide so the store scan and pipeline counters of
+    // this session's shards land in it. Snapshotted on demand when the
+    // coordinator sends [`Message::MetricsRequest`].
+    let registry = Arc::new(ivnt_obs::Registry::new());
+    let _obs_guard = ivnt_obs::install(Arc::clone(&registry));
+
     // Heartbeat ticker: a background thread beating every `heartbeat_ms`
     // until the session ends (or the stall fault silences it).
     let running = Arc::new(AtomicBool::new(true));
@@ -218,6 +225,7 @@ fn serve_session(mut stream: TcpStream, name: &str, faults: WorkerFaults) -> Res
         &current_task,
         faults,
         heartbeat_ms,
+        &registry,
     );
     running.store(false, Ordering::SeqCst);
     stream.shutdown(std::net::Shutdown::Both).ok();
@@ -235,11 +243,24 @@ fn assign_loop(
     current_task: &Arc<AtomicU32>,
     mut faults: WorkerFaults,
     heartbeat_ms: u32,
+    registry: &Arc<ivnt_obs::Registry>,
 ) -> Result<()> {
     loop {
         let task = match wire::read_frame(stream) {
             Ok(Message::Assign { task }) => task,
             Ok(Message::Shutdown) => return Ok(()),
+            Ok(Message::MetricsRequest) => {
+                match send(
+                    writer,
+                    &Message::Metrics {
+                        snapshot: registry.snapshot(),
+                    },
+                ) {
+                    Ok(()) => continue,
+                    Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
+                    Err(e) => return Err(e),
+                }
+            }
             // A coordinator that vanishes between frames ends the
             // session without ceremony; that is not a worker failure.
             // The close can surface as a clean EOF or — when the
@@ -268,16 +289,28 @@ fn assign_loop(
             return Err(Error::Job("fault injection: stalled heartbeat".into()));
         }
 
+        let t_task = std::time::Instant::now();
         let response = match pipeline.extract_store_shard(reader, task.groups()) {
-            Ok(batches) => Message::TaskResult {
-                task_id: task.task_id,
-                batches: batches.iter().map(encode_batch).collect(),
-            },
-            Err(e) => Message::TaskError {
-                task_id: task.task_id,
-                message: e.to_string(),
-            },
+            Ok(batches) => {
+                registry.add("cluster_tasks_total{result=\"ok\"}", 1);
+                Message::TaskResult {
+                    task_id: task.task_id,
+                    batches: batches.iter().map(encode_batch).collect(),
+                }
+            }
+            Err(e) => {
+                registry.add("cluster_tasks_total{result=\"error\"}", 1);
+                Message::TaskError {
+                    task_id: task.task_id,
+                    message: e.to_string(),
+                }
+            }
         };
+        registry.observe(
+            "cluster_task_seconds",
+            ivnt_obs::SECONDS_BUCKETS,
+            t_task.elapsed().as_secs_f64(),
+        );
         if faults.corrupt_result {
             faults.corrupt_result = false;
             let mut frame = wire::encode_frame(&response);

@@ -85,6 +85,7 @@ fn fast_config() -> ClusterConfig {
         max_task_retries: 3,
         tasks_per_worker: 3,
         connect_timeout_ms: 2_000,
+        collect_metrics: true,
     }
 }
 

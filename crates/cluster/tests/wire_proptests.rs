@@ -30,7 +30,7 @@ fn message_from(
     blobs: Vec<Vec<u8>>,
 ) -> Message {
     let (a, b, c, d) = nums;
-    match selector % 7 {
+    match selector % 9 {
         0 => Message::Hello {
             version: a as u32,
             peer: s1,
@@ -65,6 +65,34 @@ fn message_from(
             task_id: a as u32,
             message: s1,
         },
+        6 => Message::MetricsRequest,
+        7 => {
+            // Finite floats only: the round-trip is asserted via
+            // `PartialEq`, which NaN would defeat even though the wire
+            // preserves its bits.
+            let mut snapshot = ivnt_obs::Snapshot::default();
+            snapshot.counters.insert(s1.clone(), a);
+            snapshot.gauges.insert(s2, (b % 1_000_000) as f64 * 0.125);
+            snapshot.histograms.insert(
+                format!("{s1}_hist"),
+                ivnt_obs::HistogramSnapshot {
+                    bounds: vec![(c % 100) as f64, (c % 100) as f64 + 1.0],
+                    buckets: vec![a % 7, b % 7, c % 7],
+                    count: (a % 7) + (b % 7) + (c % 7),
+                    sum: (d % 1_000) as f64 * 0.5,
+                },
+            );
+            snapshot.spans.insert(
+                format!("run/{s1}"),
+                ivnt_obs::SpanStat {
+                    name: s1,
+                    parent: "run".into(),
+                    count: d % 16,
+                    seconds: (a % 1_000) as f64 * 0.25,
+                },
+            );
+            Message::Metrics { snapshot }
+        }
         _ => Message::Shutdown,
     }
 }
@@ -74,7 +102,7 @@ proptest! {
     /// message variant.
     #[test]
     fn every_message_type_roundtrips(
-        selector in 0u8..7,
+        selector in 0u8..9,
         s1 in "\\PC{0,24}",
         s2 in "\\PC{0,24}",
         signals in prop::collection::vec("\\PC{0,12}", 0..5),
@@ -91,7 +119,7 @@ proptest! {
     /// error. The length prefix, payload and checksum are all covered.
     #[test]
     fn corrupted_frame_yields_typed_error(
-        selector in 0u8..7,
+        selector in 0u8..9,
         s1 in "\\PC{0,16}",
         seq in 0u64..u64::MAX,
         victim in 0usize..4096,
@@ -123,7 +151,7 @@ proptest! {
     /// not a panic or a hang.
     #[test]
     fn truncated_frame_yields_typed_error(
-        selector in 0u8..7,
+        selector in 0u8..9,
         s1 in "\\PC{0,16}",
         cut in 0usize..4096,
     ) {

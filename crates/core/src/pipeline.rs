@@ -5,11 +5,24 @@
 //! constraints `C`, extension rules `E` and processing thresholds. A
 //! [`Pipeline`] then turns any raw trace into the domain's homogeneous
 //! state representation, fully automatically.
+//!
+//! All entry points funnel through one [`Session`]: pick a [`Source`]
+//! (in-memory trace, store file, or one store shard), set the run
+//! options once ([`RunOptions`]), and call [`Session::extract`],
+//! [`Session::extract_reduced`] or [`Session::run`]. The historical
+//! per-combination methods (`run_serial`, `extract_from_store`, …)
+//! remain as thin delegating wrappers.
 
+use std::borrow::Cow;
+use std::fs::File;
+use std::io::{BufReader, Read, Seek};
+use std::ops::Range;
+use std::sync::Arc;
 use std::time::Instant;
 
 use ivnt_frame::prelude::*;
 use ivnt_simulator::trace::Trace;
+use ivnt_store::{ScanStats, StoreReader};
 
 use crate::branch::{process, BranchConfig};
 use crate::classify::{classify, Classification, ClassifyConfig};
@@ -140,13 +153,36 @@ pub struct SignalOutput {
     pub frame: DataFrame,
 }
 
+/// Elapsed (makespan) seconds per fan-out stage: for each stage,
+/// `max(end) − min(start)` across all per-signal tasks, measured against
+/// the run's epoch. Under parallel execution this is the stage's actual
+/// wall-clock footprint, while the matching [`StageTiming`] field is the
+/// summed busy time — `busy / wall` approximates the stage's effective
+/// parallelism. Tasks of different stages interleave, so the five walls
+/// can overlap and their sum may exceed the run total.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct StageWall {
+    /// Gateway dedup (line 9).
+    pub dedup: f64,
+    /// Constraint/cluster reduction (line 10).
+    pub reduce: f64,
+    /// Extension rules (line 12), per-signal portion only (the rule-major
+    /// gather is serial and lives in [`StageTiming::extend`]).
+    pub extend: f64,
+    /// Classification (line 13).
+    pub classify: f64,
+    /// α/β/γ branch processing (lines 14–28).
+    pub branch: f64,
+}
+
 /// Wall-clock seconds spent per Algorithm 1 stage during one
 /// [`Pipeline::run`], so perf regressions can be attributed to a stage
 /// without a profiler (`ivnt run --timing` prints this table).
 ///
 /// The fan-out stages (`dedup` through `branch`) run per signal, possibly
 /// concurrently, so those fields are the *summed busy time* across signals
-/// — under parallel execution they can exceed the elapsed wall clock.
+/// — under parallel execution they can exceed the elapsed wall clock. The
+/// per-stage elapsed makespans live in [`StageTiming::wall`].
 /// `interpret` covers the fused preselect + interpretation kernel
 /// (lines 3–6), which is not separable per stage.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -172,6 +208,9 @@ pub struct StageTiming {
     pub state: f64,
     /// End-to-end wall clock of the run.
     pub total: f64,
+    /// Per-stage elapsed makespans for the fan-out stages (`busy` lives
+    /// in the flat fields above).
+    pub wall: StageWall,
 }
 
 /// Everything the pipeline produces for one trace.
@@ -215,15 +254,31 @@ impl PipelineOutput {
     }
 }
 
-/// Per-signal busy seconds for the fan-out stages, accumulated into
-/// [`StageTiming`] at gather time.
+/// One stage's `[start, end]` interval within a per-signal task, as
+/// offsets (seconds) from the run epoch. Busy time is `end − start`;
+/// the makespan across signals is `max(end) − min(start)`.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageSpanSecs {
+    start: f64,
+    end: f64,
+}
+
+impl StageSpanSecs {
+    fn busy(self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// Per-signal stage intervals for the fan-out stages, accumulated into
+/// [`StageTiming`] (busy sums) and [`StageWall`] (makespans) at gather
+/// time.
 #[derive(Debug, Clone, Copy, Default)]
 struct SignalStageSecs {
-    dedup: f64,
-    reduce: f64,
-    extend: f64,
-    classify: f64,
-    branch: f64,
+    dedup: StageSpanSecs,
+    reduce: StageSpanSecs,
+    extend: StageSpanSecs,
+    classify: StageSpanSecs,
+    branch: StageSpanSecs,
 }
 
 /// Everything one per-signal task produces: the signal's output (its frame
@@ -235,6 +290,202 @@ struct SignalResult {
     output: SignalOutput,
     extensions: Vec<DataFrame>,
     stages: SignalStageSecs,
+}
+
+/// Where a [`Session`] reads its input rows from.
+pub enum Source<'a, R: Read + Seek = BufReader<File>> {
+    /// An in-memory trace (simulated or recorded).
+    Trace(&'a Trace),
+    /// A columnar store file: the domain's preselection is pushed down as
+    /// a zone-map predicate and rows stream group-by-group (out-of-core).
+    Store(&'a mut StoreReader<R>),
+    /// One shard of a store file: only row groups in `groups` (half-open)
+    /// are read — the unit of work a cluster coordinator assigns.
+    StoreShard {
+        /// Reader over the shard's store file.
+        reader: &'a mut StoreReader<R>,
+        /// Half-open row-group range this shard covers.
+        groups: Range<u32>,
+    },
+}
+
+/// Options for one pipeline [`Session`]: the input [`Source`] plus the
+/// switches that were historically spread across eight `Pipeline` entry
+/// points. Build with [`RunOptions::trace`], [`RunOptions::store`] or
+/// [`RunOptions::store_shard`], then chain the setters.
+pub struct RunOptions<'a, R: Read + Seek = BufReader<File>> {
+    source: Source<'a, R>,
+    workers: Option<usize>,
+    serial: bool,
+    preselection: bool,
+    subscriber: Option<Arc<ivnt_obs::Registry>>,
+}
+
+impl<'a> RunOptions<'a> {
+    /// Options over an in-memory trace.
+    pub fn trace(trace: &'a Trace) -> RunOptions<'a> {
+        RunOptions::from_source(Source::Trace(trace))
+    }
+}
+
+impl<'a, R: Read + Seek> RunOptions<'a, R> {
+    /// Options over an explicit [`Source`].
+    pub fn from_source(source: Source<'a, R>) -> RunOptions<'a, R> {
+        RunOptions {
+            source,
+            workers: None,
+            serial: false,
+            preselection: true,
+            subscriber: None,
+        }
+    }
+
+    /// Options over a full store file.
+    pub fn store(reader: &'a mut StoreReader<R>) -> RunOptions<'a, R> {
+        RunOptions::from_source(Source::Store(reader))
+    }
+
+    /// Options over one row-group shard of a store file.
+    pub fn store_shard(reader: &'a mut StoreReader<R>, groups: Range<u32>) -> RunOptions<'a, R> {
+        RunOptions::from_source(Source::StoreShard { reader, groups })
+    }
+
+    /// Caps the session's worker count, overriding the profile's cap for
+    /// this session only (minimum 1).
+    pub fn with_workers(mut self, workers: usize) -> RunOptions<'a, R> {
+        self.workers = Some(workers.max(1));
+        self
+    }
+
+    /// Runs the per-signal fan-out as a plain sequential loop — the
+    /// reference oracle the parallel path is held to.
+    pub fn serial(mut self) -> RunOptions<'a, R> {
+        self.serial = true;
+        self
+    }
+
+    /// Skips preselection (line 3) during trace extraction — the ablation
+    /// showing why it matters. Ignored for store sources, where the
+    /// preselection *is* the scan predicate.
+    pub fn without_preselection(mut self) -> RunOptions<'a, R> {
+        self.preselection = false;
+        self
+    }
+
+    /// Installs `registry` as the process-wide metrics subscriber for the
+    /// duration of the session call, so the run's counters, histograms
+    /// and stage spans land in it.
+    pub fn with_subscriber(mut self, registry: Arc<ivnt_obs::Registry>) -> RunOptions<'a, R> {
+        self.subscriber = Some(registry);
+        self
+    }
+}
+
+/// What [`Session::extract`] produces: the interpreted `K_s` frame plus,
+/// for store-backed sources, the scan's pushdown statistics.
+#[derive(Debug)]
+pub struct Extraction {
+    /// The interpreted signal frame `K_s`.
+    pub frame: DataFrame,
+    /// Zone-map scan statistics — `Some` for store-backed sources,
+    /// `None` for in-memory traces.
+    pub scan: Option<ScanStats>,
+}
+
+/// One configured pipeline invocation: a [`Pipeline`] bound to a
+/// [`Source`] and [`RunOptions`]. Every public entry point delegates
+/// here, so extraction, reduction and full runs behave identically no
+/// matter which surface invoked them.
+///
+/// # Examples
+///
+/// ```no_run
+/// # fn demo(pipeline: &ivnt_core::Pipeline, trace: &ivnt_simulator::trace::Trace)
+/// # -> ivnt_core::Result<()> {
+/// use ivnt_core::pipeline::RunOptions;
+/// let output = pipeline.session(RunOptions::trace(trace).serial()).run()?;
+/// # let _ = output; Ok(())
+/// # }
+/// ```
+pub struct Session<'p, 'a, R: Read + Seek = BufReader<File>> {
+    pipeline: &'p Pipeline,
+    opts: RunOptions<'a, R>,
+}
+
+/// The pipeline with the session's worker override applied (cloned only
+/// when the override actually changes the profile).
+fn effective_pipeline(pipeline: &Pipeline, workers: Option<usize>) -> Cow<'_, Pipeline> {
+    match workers {
+        Some(w) if pipeline.profile.workers != Some(w) => {
+            let mut p = pipeline.clone();
+            p.profile.workers = Some(w);
+            Cow::Owned(p)
+        }
+        _ => Cow::Borrowed(pipeline),
+    }
+}
+
+impl<R: Read + Seek> Session<'_, '_, R> {
+    /// Lines 3–6: preselection and interpretation, producing `K_s` (plus
+    /// scan statistics for store-backed sources).
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures and, for store sources, store
+    /// corruption/I/O errors ([`Error::Store`]).
+    pub fn extract(self) -> Result<Extraction> {
+        let Session { pipeline, opts } = self;
+        let _guard = opts.subscriber.map(ivnt_obs::install);
+        let p = effective_pipeline(pipeline, opts.workers);
+        p.extract_source(opts.source, opts.preselection)
+    }
+
+    /// Lines 3–11: extraction, splitting, gateway dedup and constraint
+    /// reduction — the portion of Algorithm 1 the paper's Fig. 5
+    /// measures. Returns the reduced per-signal sequences with their
+    /// dedup reports and pre-reduction lengths.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::extract`].
+    pub fn extract_reduced(self) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
+        let Session { pipeline, opts } = self;
+        let _guard = opts.subscriber.map(ivnt_obs::install);
+        let p = effective_pipeline(pipeline, opts.workers);
+        let ks = p.extract_source(opts.source, opts.preselection)?.frame;
+        let seqs = split_by_signal(&ks)?;
+        let task = |seq: SignalSequence| {
+            let (dedup, rows_interpreted) = p.dedup_signal(seq)?;
+            let reduced = p.reduce_representative(&dedup)?;
+            Ok((reduced, dedup, rows_interpreted))
+        };
+        if opts.serial {
+            seqs.into_iter().map(task).collect()
+        } else {
+            p.signal_executor().try_map(seqs, task)
+        }
+    }
+
+    /// The full Algorithm 1 from this session's source: extraction,
+    /// reduction, extension, classification, branch processing, merging
+    /// and the state representation. For store sources this runs the
+    /// whole pipeline out-of-core — the raw trace is never materialized.
+    ///
+    /// Output is bit-identical across worker counts and serial/parallel
+    /// modes (timing excluded).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Session::extract`].
+    pub fn run(self) -> Result<PipelineOutput> {
+        let Session { pipeline, opts } = self;
+        let _guard = opts.subscriber.map(ivnt_obs::install);
+        let p = effective_pipeline(pipeline, opts.workers);
+        let t_run = Instant::now();
+        let ks = p.extract_source(opts.source, opts.preselection)?.frame;
+        let interpret_secs = t_run.elapsed().as_secs_f64();
+        p.run_from_ks(ks, t_run, interpret_secs, !opts.serial)
+    }
 }
 
 /// The end-to-end preprocessing pipeline for one domain.
@@ -320,13 +571,82 @@ impl Pipeline {
         })
     }
 
+    /// Binds this pipeline to a source and options, producing the
+    /// [`Session`] every entry point runs through.
+    pub fn session<'p, 'a, R: Read + Seek>(
+        &'p self,
+        opts: RunOptions<'a, R>,
+    ) -> Session<'p, 'a, R> {
+        Session {
+            pipeline: self,
+            opts,
+        }
+    }
+
+    /// Source-dispatched extraction (lines 3–6), shared by every session
+    /// method. Trace sources interpret in memory; store sources push the
+    /// preselection down as a zone-map predicate and stream row groups.
+    fn extract_source<R: Read + Seek>(
+        &self,
+        source: Source<'_, R>,
+        preselection: bool,
+    ) -> Result<Extraction> {
+        match source {
+            Source::Trace(trace) => {
+                let raw = self.raw_frame(trace)?;
+                let frame = if preselection {
+                    extract_signals(&raw, &self.u_comb)?
+                } else {
+                    crate::interpret::interpret(&raw, &self.u_comb)?
+                };
+                Ok(Extraction { frame, scan: None })
+            }
+            Source::Store(reader) => {
+                let (mut parts, stats) =
+                    self.interpret_store_groups(reader, &self.store_predicate())?;
+                if parts.is_empty() {
+                    parts.push(Batch::empty(crate::interpret::signal_schema()));
+                }
+                Ok(Extraction {
+                    frame: self.signal_frame(parts)?,
+                    scan: Some(stats),
+                })
+            }
+            Source::StoreShard { reader, groups } => {
+                let pred = self
+                    .store_predicate()
+                    .with_group_range(groups.start, groups.end);
+                // No empty-batch padding: a shard's partitions concatenate
+                // with its siblings', and only the whole must be non-empty.
+                let (parts, stats) = self.interpret_store_groups(reader, &pred)?;
+                Ok(Extraction {
+                    frame: self.signal_frame(parts)?,
+                    scan: Some(stats),
+                })
+            }
+        }
+    }
+
+    /// Assembles interpreted partitions into a `K_s` frame carrying the
+    /// profile's executor.
+    fn signal_frame(&self, parts: Vec<Batch>) -> Result<DataFrame> {
+        let frame = DataFrame::from_partitions(crate::interpret::signal_schema(), parts)?;
+        Ok(match self.profile.workers {
+            Some(workers) => frame.with_executor(Executor::new(workers)),
+            None => frame,
+        })
+    }
+
     /// Lines 3–6: preselection and interpretation, producing `K_s`.
+    ///
+    /// Wrapper over [`Pipeline::session`] with [`RunOptions::trace`].
     ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
+    #[doc(hidden)]
     pub fn extract(&self, trace: &Trace) -> Result<DataFrame> {
-        extract_signals(&self.raw_frame(trace)?, &self.u_comb)
+        Ok(self.session(RunOptions::trace(trace)).extract()?.frame)
     }
 
     /// The store-scan predicate corresponding to this domain's
@@ -351,10 +671,13 @@ impl Pipeline {
     /// Produces exactly the rows of [`Pipeline::extract`] on the same
     /// trace, in the same order.
     ///
+    /// Wrapper over [`Pipeline::session`] with [`RunOptions::store`].
+    ///
     /// # Errors
     ///
     /// Propagates store corruption/I/O errors ([`Error::Store`]) and
     /// tabular-engine failures.
+    #[doc(hidden)]
     pub fn extract_from_store<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -362,7 +685,7 @@ impl Pipeline {
     where
         R: std::io::Read + std::io::Seek,
     {
-        Ok(self.extract_from_store_with_stats(reader)?.0)
+        Ok(self.session(RunOptions::store(reader)).extract()?.frame)
     }
 
     /// [`Pipeline::extract_from_store`] plus the scan's skip statistics —
@@ -371,6 +694,7 @@ impl Pipeline {
     /// # Errors
     ///
     /// Same conditions as [`Pipeline::extract_from_store`].
+    #[doc(hidden)]
     pub fn extract_from_store_with_stats<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -378,16 +702,8 @@ impl Pipeline {
     where
         R: std::io::Read + std::io::Seek,
     {
-        let (mut parts, stats) = self.interpret_store_groups(reader, &self.store_predicate())?;
-        if parts.is_empty() {
-            parts.push(Batch::empty(crate::interpret::signal_schema()));
-        }
-        let frame = DataFrame::from_partitions(crate::interpret::signal_schema(), parts)?;
-        let frame = match self.profile.workers {
-            Some(workers) => frame.with_executor(Executor::new(workers)),
-            None => frame,
-        };
-        Ok((frame, stats))
+        let ex = self.session(RunOptions::store(reader)).extract()?;
+        Ok((ex.frame, ex.scan.unwrap_or_default()))
     }
 
     /// Lines 3–6 for one *shard* of the store: only row groups in
@@ -403,6 +719,7 @@ impl Pipeline {
     /// # Errors
     ///
     /// Same conditions as [`Pipeline::extract_from_store`].
+    #[doc(hidden)]
     pub fn extract_store_shard<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -411,10 +728,11 @@ impl Pipeline {
     where
         R: std::io::Read + std::io::Seek,
     {
-        let pred = self
-            .store_predicate()
-            .with_group_range(groups.start, groups.end);
-        Ok(self.interpret_store_groups(reader, &pred)?.0)
+        Ok(self
+            .session(RunOptions::store_shard(reader, groups))
+            .extract()?
+            .frame
+            .into_partitions())
     }
 
     /// Shared scan driver: each emitted row group becomes one morsel
@@ -448,8 +766,12 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
+    #[doc(hidden)]
     pub fn extract_without_preselection(&self, trace: &Trace) -> Result<DataFrame> {
-        crate::interpret::interpret(&self.raw_frame(trace)?, &self.u_comb)
+        Ok(self
+            .session(RunOptions::trace(trace).without_preselection())
+            .extract()?
+            .frame)
     }
 
     /// Lines 3–11: extraction, splitting, gateway dedup and constraint
@@ -461,14 +783,9 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
+    #[doc(hidden)]
     pub fn extract_reduced(&self, trace: &Trace) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
-        let ks = self.extract(trace)?;
-        let seqs = split_by_signal(&ks)?;
-        self.signal_executor().try_map(seqs, |seq| {
-            let (dedup, rows_interpreted) = self.dedup_signal(seq)?;
-            let reduced = self.reduce_representative(&dedup)?;
-            Ok((reduced, dedup, rows_interpreted))
-        })
+        self.session(RunOptions::trace(trace)).extract_reduced()
     }
 
     /// Executor for the per-signal scatter/gather: bounded by the
@@ -518,28 +835,36 @@ impl Pipeline {
     /// independent after the split, so running these units in any order
     /// (or concurrently) and gathering in input order reproduces the
     /// serial pipeline exactly.
-    fn process_signal(&self, seq: SignalSequence) -> Result<SignalResult> {
-        let t = Instant::now();
-        let (dedup, rows_interpreted) = self.dedup_signal(seq)?;
-        let dedup_secs = t.elapsed().as_secs_f64();
+    fn process_signal(&self, seq: SignalSequence, epoch: Instant) -> Result<SignalResult> {
+        // Stage intervals are offsets from the shared run epoch, so the
+        // gather can compute per-stage makespans across signals.
+        let offset = || epoch.elapsed().as_secs_f64();
+        let span = |start: f64| StageSpanSecs {
+            start,
+            end: offset(),
+        };
 
-        let t = Instant::now();
+        let t = offset();
+        let (dedup, rows_interpreted) = self.dedup_signal(seq)?;
+        let dedup_span = span(t);
+
+        let t = offset();
         let reduced = self.reduce_representative(&dedup)?;
-        let reduce_secs = t.elapsed().as_secs_f64();
+        let reduce_span = span(t);
 
         // Line 12: one frame per extension rule, aligned index-wise with
         // `profile.extensions` so the gather can reassemble the combined
         // frame in `extend_all`'s rule-major order.
-        let t = Instant::now();
+        let t = offset();
         let extensions: Vec<DataFrame> = self
             .profile
             .extensions
             .iter()
             .map(|rule| rule.apply(&reduced))
             .collect::<Result<_>>()?;
-        let extend_secs = t.elapsed().as_secs_f64();
+        let extend_span = span(t);
 
-        let t = Instant::now();
+        let t = offset();
         let comparable = self
             .u_comb
             .rules()
@@ -548,9 +873,9 @@ impl Pipeline {
             .map(|r| r.info.comparable)
             .unwrap_or(true);
         let classification = classify(&reduced, comparable, &self.profile.classify)?;
-        let classify_secs = t.elapsed().as_secs_f64();
+        let classify_span = span(t);
 
-        let t = Instant::now();
+        let t = offset();
         let home_rule = self
             .u_comb
             .rules()
@@ -568,7 +893,33 @@ impl Pipeline {
             home_rule.map(|r| r.as_ref()),
             &self.profile.branch,
         )?;
-        let branch_secs = t.elapsed().as_secs_f64();
+        let branch_span = span(t);
+
+        let stages = SignalStageSecs {
+            dedup: dedup_span,
+            reduce: reduce_span,
+            extend: extend_span,
+            classify: classify_span,
+            branch: branch_span,
+        };
+        ivnt_obs::with(|r| {
+            let sig = &reduced.signal;
+            r.add(
+                &format!("pipeline_rows_total{{signal=\"{sig}\",stage=\"interpreted\"}}"),
+                rows_interpreted as u64,
+            );
+            r.add(
+                &format!("pipeline_rows_total{{signal=\"{sig}\",stage=\"reduced\"}}"),
+                reduced.len() as u64,
+            );
+            // Explicit parents: these tasks run on pool threads, so the
+            // thread-local span stack cannot attribute them.
+            r.record_span("dedup", "run", stages.dedup.busy());
+            r.record_span("reduce", "run", stages.reduce.busy());
+            r.record_span("extend", "run", stages.extend.busy());
+            r.record_span("classify", "run", stages.classify.busy());
+            r.record_span("branch", "run", stages.branch.busy());
+        });
 
         Ok(SignalResult {
             output: SignalOutput {
@@ -582,13 +933,7 @@ impl Pipeline {
                 frame,
             },
             extensions,
-            stages: SignalStageSecs {
-                dedup: dedup_secs,
-                reduce: reduce_secs,
-                extend: extend_secs,
-                classify: classify_secs,
-                branch: branch_secs,
-            },
+            stages,
         })
     }
 
@@ -601,41 +946,60 @@ impl Pipeline {
     /// gathered in signal order, so the output is bit-identical to
     /// [`Pipeline::run_serial`] at every worker count.
     ///
+    /// Wrapper over [`Pipeline::session`] with [`RunOptions::trace`].
+    ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
+    #[doc(hidden)]
     pub fn run(&self, trace: &Trace) -> Result<PipelineOutput> {
-        self.run_impl(trace, true)
+        self.session(RunOptions::trace(trace)).run()
     }
 
     /// [`Pipeline::run`] with the per-signal fan-out replaced by a plain
     /// sequential loop — the reference oracle the parallel path is held to
     /// (see `tests/pipeline_parallel.rs` and the pipeline proptests).
     ///
+    /// Wrapper over [`Pipeline::session`] with
+    /// [`RunOptions::trace`]`.serial()`.
+    ///
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
+    #[doc(hidden)]
     pub fn run_serial(&self, trace: &Trace) -> Result<PipelineOutput> {
-        self.run_impl(trace, false)
+        self.session(RunOptions::trace(trace).serial()).run()
     }
 
-    fn run_impl(&self, trace: &Trace, parallel: bool) -> Result<PipelineOutput> {
-        let t_run = Instant::now();
-        let t = Instant::now();
-        let ks = self.extract(trace)?;
-        let interpret_secs = t.elapsed().as_secs_f64();
+    /// Lines 7–29 + Sec. 4.3 from an already-extracted `K_s`: the shared
+    /// back half of every [`Session::run`], regardless of source.
+    /// `epoch` is the session's start (stage spans are offsets from it)
+    /// and `interpret_secs` the extraction time already spent.
+    fn run_from_ks(
+        &self,
+        ks: DataFrame,
+        epoch: Instant,
+        interpret_secs: f64,
+        parallel: bool,
+    ) -> Result<PipelineOutput> {
+        ivnt_obs::with(|r| r.record_span("interpret", "run", interpret_secs));
 
         let t = Instant::now();
         let seqs = split_by_signal(&ks)?;
         let split_secs = t.elapsed().as_secs_f64();
+        ivnt_obs::with(|r| {
+            r.add("pipeline_runs_total", 1);
+            r.add("pipeline_signals_total", seqs.len() as u64);
+            r.record_span("split", "run", split_secs);
+        });
 
         // Lines 9–28: scatter per signal, gather in signal order.
         let results: Vec<SignalResult> = if parallel {
             self.signal_executor()
-                .try_map(seqs, |seq| self.process_signal(seq))?
+                .try_map(seqs, |seq| self.process_signal(seq, epoch))?
         } else {
             seqs.into_iter()
-                .map(|seq| self.process_signal(seq))
+                .map(|seq| self.process_signal(seq, epoch))
                 .collect::<Result<_>>()?
         };
 
@@ -669,14 +1033,41 @@ impl Pipeline {
             state: state_secs,
             ..StageTiming::default()
         };
-        for r in &results {
-            timing.dedup += r.stages.dedup;
-            timing.reduce += r.stages.reduce;
-            timing.extend += r.stages.extend;
-            timing.classify += r.stages.classify;
-            timing.branch += r.stages.branch;
-        }
-        timing.total = t_run.elapsed().as_secs_f64();
+        // Fan-out stages: sum busy time per stage, and derive each
+        // stage's makespan (`max(end) − min(start)`) across signals.
+        let fold = |pick: fn(&SignalStageSecs) -> StageSpanSecs| -> (f64, f64) {
+            let mut busy = 0.0;
+            let mut start = f64::INFINITY;
+            let mut end = f64::NEG_INFINITY;
+            for r in &results {
+                let s = pick(&r.stages);
+                busy += s.busy();
+                start = start.min(s.start);
+                end = end.max(s.end);
+            }
+            if end >= start {
+                (busy, end - start)
+            } else {
+                (busy, 0.0)
+            }
+        };
+        (timing.dedup, timing.wall.dedup) = fold(|s| s.dedup);
+        (timing.reduce, timing.wall.reduce) = fold(|s| s.reduce);
+        (timing.extend, timing.wall.extend) = fold(|s| s.extend);
+        (timing.classify, timing.wall.classify) = fold(|s| s.classify);
+        (timing.branch, timing.wall.branch) = fold(|s| s.branch);
+        timing.total = epoch.elapsed().as_secs_f64();
+
+        ivnt_obs::with(|r| {
+            r.record_span("extend_gather", "run", extend_gather_secs);
+            r.record_span("merge", "run", merge_secs);
+            r.record_span("state", "run", state_secs);
+            r.observe(
+                "pipeline_run_seconds",
+                ivnt_obs::SECONDS_BUCKETS,
+                timing.total,
+            );
+        });
 
         let signals = results.into_iter().map(|r| r.output).collect();
         Ok(PipelineOutput {

@@ -26,6 +26,7 @@ use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock, RwLock};
+use std::time::Instant;
 
 /// Global default worker count used by [`parallel_map`] when no explicit
 /// executor is supplied.
@@ -124,7 +125,7 @@ fn pool() -> &'static Pool {
         for i in 0..threads {
             std::thread::Builder::new()
                 .name(format!("ivnt-worker-{i}"))
-                .spawn(worker_loop)
+                .spawn(move || worker_loop(i))
                 .expect("spawning pool worker");
         }
         Pool {
@@ -135,9 +136,12 @@ fn pool() -> &'static Pool {
     })
 }
 
-fn worker_loop() {
+fn worker_loop(index: usize) {
     let pool = pool();
     loop {
+        // Timestamps are only taken while a subscriber is installed, so the
+        // unobserved loop stays a bare condvar wait.
+        let idle_from = ivnt_obs::enabled().then(Instant::now);
         let job = {
             let mut queue = pool.queue.lock().expect("pool queue lock poisoned");
             loop {
@@ -153,7 +157,25 @@ fn worker_loop() {
                 queue = pool.work.wait(queue).expect("pool queue lock poisoned");
             }
         };
+        if let Some(from) = idle_from {
+            ivnt_obs::with(|r| {
+                r.add(
+                    &format!("frame_worker_idle_us{{worker=\"{index}\"}}"),
+                    from.elapsed().as_micros() as u64,
+                );
+            });
+        }
+        let busy_from = ivnt_obs::enabled().then(Instant::now);
         job.run_as_helper();
+        if let Some(from) = busy_from {
+            ivnt_obs::with(|r| {
+                r.add(
+                    &format!("frame_worker_busy_us{{worker=\"{index}\"}}"),
+                    from.elapsed().as_micros() as u64,
+                );
+                r.add(&format!("frame_worker_jobs_total{{worker=\"{index}\"}}"), 1);
+            });
+        }
     }
 }
 
@@ -307,10 +329,20 @@ impl Executor {
         let slots: Vec<Slot<R>> = Slot::new_vec(n);
         let cursor = AtomicUsize::new(0);
         let morsel = morsel_len(n, self.workers);
+        // Resolve the counter handle once per dispatch; claims then pay one
+        // relaxed add each. `None` when no subscriber is installed.
+        let morsels = ivnt_obs::current().map(|r| {
+            r.add("frame_dispatches_total", 1);
+            r.add("frame_items_total", n as u64);
+            r.counter("frame_morsels_total")
+        });
         let body = || loop {
             let start = cursor.fetch_add(morsel, Ordering::Relaxed);
             if start >= n {
                 break;
+            }
+            if let Some(c) = &morsels {
+                c.add(1);
             }
             let end = (start + morsel).min(n);
             for (item, slot) in items[start..end].iter().zip(&slots[start..end]) {
@@ -351,10 +383,18 @@ impl Executor {
         let slots: Vec<Slot<R>> = Slot::new_vec(n);
         let cursor = AtomicUsize::new(0);
         let morsel = morsel_len(n, self.workers);
+        let morsels = ivnt_obs::current().map(|r| {
+            r.add("frame_dispatches_total", 1);
+            r.add("frame_items_total", n as u64);
+            r.counter("frame_morsels_total")
+        });
         let body = || loop {
             let start = cursor.fetch_add(morsel, Ordering::Relaxed);
             if start >= n {
                 break;
+            }
+            if let Some(c) = &morsels {
+                c.add(1);
             }
             let end = (start + morsel).min(n);
             for (input, slot) in inputs[start..end].iter().zip(&slots[start..end]) {
@@ -508,6 +548,59 @@ mod tests {
                 });
             assert_eq!(out.unwrap_err(), "bad 123");
         }
+    }
+
+    #[test]
+    fn obs_snapshot_is_deterministic_under_try_map_concurrency() {
+        // Uniquely-named metrics: other tests in this binary share the
+        // process-global subscriber, so only keys no one else writes can
+        // be asserted exactly.
+        let registry = std::sync::Arc::new(ivnt_obs::Registry::new());
+        let _guard = ivnt_obs::install(std::sync::Arc::clone(&registry));
+        let items: Vec<u64> = (0..997).collect();
+        let run = |workers: usize| {
+            let before = registry.snapshot();
+            let out: Result<Vec<u64>, String> =
+                Executor::new(workers).try_map(items.clone(), |i| {
+                    ivnt_obs::with(|r| {
+                        r.add("exec_obs_test_items_total", 1);
+                        r.add("exec_obs_test_value_total", i);
+                        // Dyadic values: their f64 sum is exact in any
+                        // addition order, so even the histogram's float
+                        // `sum` is bit-deterministic across schedules.
+                        r.observe("exec_obs_test_seconds", &[0.5, 2.0], (i % 16) as f64 * 0.25);
+                    });
+                    Ok(i)
+                });
+            assert_eq!(out.unwrap(), items);
+            // Keep only this test's keys: the registry is process-global
+            // while installed, so concurrently running tests land their
+            // own executor counters in it.
+            let mut delta = registry.snapshot().since(&before);
+            delta
+                .counters
+                .retain(|k, _| k.starts_with("exec_obs_test_"));
+            delta.gauges.retain(|k, _| k.starts_with("exec_obs_test_"));
+            delta
+                .histograms
+                .retain(|k, _| k.starts_with("exec_obs_test_"));
+            delta.spans.retain(|k, _| k.starts_with("exec_obs_test_"));
+            delta
+        };
+        let deltas: Vec<_> = [1usize, 2, 8].into_iter().map(run).collect();
+        let expect_sum: u64 = items.iter().sum();
+        for delta in &deltas {
+            assert_eq!(delta.counters["exec_obs_test_items_total"], 997);
+            assert_eq!(delta.counters["exec_obs_test_value_total"], expect_sum);
+            let h = &delta.histograms["exec_obs_test_seconds"];
+            assert_eq!(h.count, 997);
+            // Residues 0..=2 land ≤0.5, 3..=8 land ≤2.0, 9..=15 overflow.
+            assert_eq!(h.buckets, vec![189, 374, 434]);
+        }
+        // The merged snapshot is identical no matter how the shards were
+        // populated — 1 worker, 2, or 8.
+        assert_eq!(deltas[0], deltas[1]);
+        assert_eq!(deltas[0], deltas[2]);
     }
 
     #[test]

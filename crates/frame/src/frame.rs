@@ -117,6 +117,11 @@ impl DataFrame {
         &self.partitions
     }
 
+    /// Consumes the frame, returning its partitions.
+    pub fn into_partitions(self) -> Vec<Batch> {
+        self.partitions
+    }
+
     /// Number of partitions.
     pub fn num_partitions(&self) -> usize {
         self.partitions.len()

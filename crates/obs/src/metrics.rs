@@ -1,0 +1,255 @@
+//! The metric primitives: sharded counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Everything here is built for *concurrent writers, rare readers*: the
+//! pipeline's worker threads hammer counters while a snapshot happens
+//! once per run. Counters are therefore sharded across cache lines and
+//! keyed by a per-thread shard index, so two workers incrementing the
+//! same counter never contend on one atomic. Snapshots sum the shards —
+//! exact, since the shards are plain `u64` adds.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Shards per counter. 16 covers typical core counts; threads beyond
+/// that wrap around and share (correctness is unaffected).
+pub const COUNTER_SHARDS: usize = 16;
+
+/// Monotonically growing per-thread shard assignment.
+static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_SHARD: usize =
+        NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+}
+
+/// This thread's counter shard index.
+#[inline]
+fn shard_index() -> usize {
+    THREAD_SHARD.with(|s| *s)
+}
+
+/// One cache line worth of counter shard, padded so neighbouring shards
+/// never false-share.
+#[repr(align(64))]
+#[derive(Default)]
+struct PaddedU64(AtomicU64);
+
+/// A monotonic counter, sharded per worker thread.
+///
+/// [`Counter::add`] is one relaxed `fetch_add` on the calling thread's
+/// shard; [`Counter::get`] merges all shards.
+#[derive(Default)]
+pub struct Counter {
+    shards: [PaddedU64; COUNTER_SHARDS],
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds `v` to the calling thread's shard.
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.shards[shard_index()].0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// The merged total across all shards.
+    pub fn get(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl std::fmt::Debug for Counter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Counter")
+            .field("value", &self.get())
+            .finish()
+    }
+}
+
+/// A last-value-wins `f64` gauge (stored as raw bits in one atomic).
+#[derive(Default)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Gauge {
+    /// A gauge reading `0.0`.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the gauge.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Raises the gauge to `v` if `v` is larger — a concurrent
+    /// high-water mark (used for e.g. peak rows buffered).
+    pub fn set_max(&self, v: f64) {
+        let mut cur = self.bits.load(Ordering::Relaxed);
+        while v > f64::from_bits(cur) {
+            match self.bits.compare_exchange_weak(
+                cur,
+                v.to_bits(),
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Gauge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Gauge").field("value", &self.get()).finish()
+    }
+}
+
+/// A fixed-bucket histogram: upper bounds chosen at creation, one atomic
+/// per bucket plus an implicit overflow bucket, with total count and a
+/// CAS-accumulated `f64` sum.
+pub struct Histogram {
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` buckets; the last catches everything above the
+    /// largest bound.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given inclusive upper bounds (must be
+    /// sorted ascending; this is debug-asserted, not enforced).
+    pub fn new(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] <= w[1]));
+        Histogram {
+            bounds: bounds.into(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation. A value equal to a bound lands in that
+    /// bound's bucket (`le` semantics, like Prometheus).
+    pub fn observe(&self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// The bucket upper bounds.
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// Per-bucket counts (non-cumulative), overflow bucket last.
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observed values.
+    pub fn sum(&self) -> f64 {
+        f64::from_bits(self.sum_bits.load(Ordering::Relaxed))
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Histogram")
+            .field("bounds", &self.bounds)
+            .field("count", &self.count())
+            .field("sum", &self.sum())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sharded_counter_merges_concurrent_adds_exactly() {
+        let counter = Arc::new(Counter::new());
+        let threads = 8;
+        let per_thread = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..per_thread {
+                        c.add(1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.get(), threads * per_thread);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_le() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        h.observe(0.5); // bucket 0
+        h.observe(1.0); // bucket 0 — boundary is inclusive
+        h.observe(1.0001); // bucket 1
+        h.observe(10.0); // bucket 1
+        h.observe(11.0); // overflow
+        assert_eq!(h.bucket_counts(), vec![2, 2, 1]);
+        assert_eq!(h.count(), 5);
+        assert!((h.sum() - 23.5001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gauge_set_and_high_water() {
+        let g = Gauge::new();
+        g.set(2.5);
+        assert_eq!(g.get(), 2.5);
+        g.set_max(1.0); // lower: ignored
+        assert_eq!(g.get(), 2.5);
+        g.set_max(7.0);
+        assert_eq!(g.get(), 7.0);
+    }
+}

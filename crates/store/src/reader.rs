@@ -262,6 +262,9 @@ impl<R: Read + Seek> StoreReader<R> {
             chunks_total: self.footer.chunks.len(),
             ..ScanStats::default()
         };
+        // Observability counters are accumulated locally and flushed once
+        // per scan, so the per-chunk loop never touches the registry.
+        let mut bytes_read: u64 = 0;
         // Matching rows of the group under assembly.
         let mut pending: Vec<IndexedRecord> = Vec::new();
         let mut pending_group: Option<u32> = None;
@@ -280,7 +283,17 @@ impl<R: Read + Seek> StoreReader<R> {
                 continue;
             }
             stats.chunks_scanned += 1;
-            let rows = self.read_chunk(idx).map_err(E::from)?;
+            bytes_read += self.footer.chunks[idx].len as u64;
+            let rows = match self.read_chunk(idx) {
+                Ok(rows) => rows,
+                Err(e) => {
+                    if matches!(e, Error::ChunkChecksum { .. }) {
+                        ivnt_obs::with(|r| r.add("store_scan_checksum_failures_total", 1));
+                    }
+                    flush_scan_obs(&stats, bytes_read);
+                    return Err(E::from(e));
+                }
+            };
             stats.peak_rows_buffered = stats.peak_rows_buffered.max(pending.len() + rows.len());
             for row in rows {
                 if compiled.row_matches(&row) {
@@ -289,6 +302,7 @@ impl<R: Read + Seek> StoreReader<R> {
             }
         }
         emit_group(&mut pending, &mut stats, &mut on_group)?;
+        flush_scan_obs(&stats, bytes_read);
         Ok(stats)
     }
 
@@ -317,6 +331,28 @@ impl<R: Read + Seek> StoreReader<R> {
         }
         decode_chunk(&bytes, &self.footer.buses)
     }
+}
+
+/// Flushes one scan's accumulated counters to the installed subscriber
+/// (if any): one registry interaction per scan, not per chunk.
+fn flush_scan_obs(stats: &ScanStats, bytes_read: u64) {
+    ivnt_obs::with(|r| {
+        r.add("store_scans_total", 1);
+        r.add(
+            "store_scan_chunks_total{result=\"scanned\"}",
+            stats.chunks_scanned as u64,
+        );
+        r.add(
+            "store_scan_chunks_total{result=\"skipped\"}",
+            stats.chunks_skipped as u64,
+        );
+        r.add("store_scan_bytes_total", bytes_read);
+        r.add("store_scan_rows_emitted_total", stats.rows_emitted);
+        r.gauge_max(
+            "store_scan_peak_rows_buffered",
+            stats.peak_rows_buffered as f64,
+        );
+    });
 }
 
 /// Restores one group's rows to trace order and hands them to the callback.

@@ -30,14 +30,17 @@ IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_CLUSTER_MIN_SPEEDUP="${IVNT_CLUSTER_MIN_SPEEDUP:-1.0}" \
   cargo run --release -q -p ivnt-bench --bin cluster_scale
 
-echo "==> pipeline_e2e smoke (parallel bit-identity + SWAB kernel gate)"
+echo "==> pipeline_e2e smoke (parallel bit-identity + SWAB kernel + obs overhead gates)"
 # Serial vs parallel Algorithm 1; every parallel run is checked
 # bit-identical to the serial reference, the heap SWAB kernel must beat the
 # naive O(n²) reference, and (when BENCH_seed.json is present, on a machine
-# with cores >= workers) the end-to-end time must beat the seed baseline.
+# with cores >= workers) the end-to-end time must beat the seed baseline
+# while the disabled-subscriber obs hooks stay within IVNT_OBS_MAX_OVERHEAD
+# of it (report-only when cores < workers, like the speedup gate).
 IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_SWAB_MIN_SPEEDUP="${IVNT_SWAB_MIN_SPEEDUP:-1.0}" \
 IVNT_PIPELINE_MIN_SPEEDUP="${IVNT_PIPELINE_MIN_SPEEDUP:-1.0}" \
+IVNT_OBS_MAX_OVERHEAD="${IVNT_OBS_MAX_OVERHEAD:-0.02}" \
   cargo run --release -q -p ivnt-bench --bin pipeline_e2e
 
 echo "all checks passed"

@@ -19,6 +19,8 @@
 //! * [`cluster`] — coordinator/worker distributed extraction over TCP
 //!   (the Spark-cluster substitute): shard scheduling, heartbeats,
 //!   fault-tolerant retry,
+//! * [`obs`] — std-only metrics registry and span tracing threaded through
+//!   every layer (the Spark-UI / task-metrics substitute),
 //! * [`analysis`] — Sec. 4.4 applications: rule mining, transition graphs,
 //!   anomaly detection, diagnosis,
 //! * [`baseline`] — the sequential in-house-tool comparator of Table 6.
@@ -51,6 +53,7 @@ pub use ivnt_baseline as baseline;
 pub use ivnt_cluster as cluster;
 pub use ivnt_core as core;
 pub use ivnt_frame as frame;
+pub use ivnt_obs as obs;
 pub use ivnt_protocol as protocol;
 pub use ivnt_series as series;
 pub use ivnt_simulator as simulator;
