@@ -127,13 +127,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fraction * 100.0
     );
 
-    // Serial reference: the timing baseline and bit-identity oracle.
+    // Serial reference: the timing baseline and bit-identity oracle. The
+    // initial untimed runs double as warmup for both paths.
     let expected = pipeline.run_serial(&data.trace)?;
     let expected_fp = fingerprint(&expected);
-    let serial_secs = median_secs(runs, || {
-        pipeline.run_serial(&data.trace).expect("run_serial");
-    });
-
     let parallel = pipeline.run(&data.trace)?;
     assert_eq!(
         fingerprint(&parallel),
@@ -141,37 +138,80 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "parallel pipeline diverged from the serial reference"
     );
     let timing = parallel.timing;
-    let parallel_secs = median_secs(runs, || {
+
+    // Serial and parallel runs are interleaved as pairs so machine drift
+    // (thermal throttling, background load) hits both sides equally; the
+    // speedup is the median of the per-pair ratios, not the ratio of two
+    // medians taken minutes apart.
+    let mut serial_times: Vec<f64> = Vec::with_capacity(runs);
+    let mut parallel_times: Vec<f64> = Vec::with_capacity(runs);
+    let mut sp_ratios: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        pipeline.run_serial(&data.trace).expect("run_serial");
+        let serial = t0.elapsed().as_secs_f64();
+        let t0 = Instant::now();
         let run = pipeline.run(&data.trace).expect("run");
+        let parallel = t0.elapsed().as_secs_f64();
         assert_eq!(
             fingerprint(&run),
             expected_fp,
             "parallel pipeline diverged from the serial reference"
         );
-    });
-    let parallel_speedup = serial_secs / parallel_secs;
+        serial_times.push(serial);
+        parallel_times.push(parallel);
+        sp_ratios.push(serial / parallel);
+    }
+    serial_times.sort_by(f64::total_cmp);
+    parallel_times.sort_by(f64::total_cmp);
+    sp_ratios.sort_by(f64::total_cmp);
+    let serial_secs = serial_times[serial_times.len() / 2];
+    let parallel_secs = parallel_times[parallel_times.len() / 2];
+    let parallel_speedup = sp_ratios[sp_ratios.len() / 2];
 
     // Observability cost, both sides of the subscriber branch:
     //  * `parallel_secs` above ran with NO subscriber — every hook is one
     //    relaxed load and a branch, the mode gated by IVNT_OBS_MAX_OVERHEAD;
-    //  * `obs_enabled_secs` runs the same workload with a live registry,
+    //  * the enabled side runs the same workload with a live registry,
     //    pricing the full counter/histogram/span path (report-only).
-    // One enabled run's snapshot is embedded in the JSON so BENCH_pipeline
-    // carries the stage-level breakdown.
+    // Disabled and enabled runs are interleaved as pairs after a shared
+    // warmup, so machine drift (thermal, cache, background load) hits both
+    // sides equally; the overhead is the median of the per-pair ratios,
+    // floored at zero — a subscriber cannot make the run faster, so a
+    // negative reading is noise by construction. One enabled run's snapshot
+    // is embedded in the JSON so BENCH_pipeline carries the stage-level
+    // breakdown.
     let obs_registry = std::sync::Arc::new(ivnt_obs::Registry::new());
-    let obs_enabled_secs = {
+    pipeline.run(&data.trace)?; // warmup, disabled
+    {
         let _guard = ivnt_obs::install(std::sync::Arc::clone(&obs_registry));
-        median_secs(runs, || {
+        pipeline.run(&data.trace)?; // warmup, enabled
+    }
+    let mut pair_ratios: Vec<f64> = Vec::with_capacity(runs);
+    let mut enabled_times: Vec<f64> = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        pipeline.run(&data.trace).expect("run");
+        let disabled = t0.elapsed().as_secs_f64();
+        let enabled = {
+            let _guard = ivnt_obs::install(std::sync::Arc::clone(&obs_registry));
+            let t0 = Instant::now();
             pipeline.run(&data.trace).expect("run with subscriber");
-        })
-    };
+            t0.elapsed().as_secs_f64()
+        };
+        pair_ratios.push(enabled / disabled);
+        enabled_times.push(enabled);
+    }
+    pair_ratios.sort_by(f64::total_cmp);
+    enabled_times.sort_by(f64::total_cmp);
+    let obs_enabled_secs = enabled_times[enabled_times.len() / 2];
+    let obs_enabled_overhead = (pair_ratios[pair_ratios.len() / 2] - 1.0).max(0.0);
     let obs_snapshot = {
         let registry = std::sync::Arc::new(ivnt_obs::Registry::new());
         let _guard = ivnt_obs::install(std::sync::Arc::clone(&registry));
         pipeline.run(&data.trace)?;
         registry.snapshot()
     };
-    let obs_enabled_overhead = obs_enabled_secs / parallel_secs - 1.0;
     let obs_gate = env_f64("IVNT_OBS_MAX_OVERHEAD", 0.02);
 
     // SWAB kernel: heap vs naive on a large window — the O(n log n) vs

@@ -15,7 +15,9 @@
 use std::time::Instant;
 
 use ivnt_bench::{covered_fraction, scale, select_signals_for_fraction, u_rel_with_hints};
-use ivnt_core::interpret::{interpret, interpret_fused, preselect};
+use ivnt_core::interpret::{
+    interpret, interpret_fused, interpret_fused_scalar, preselect, run_length_histogram,
+};
 use ivnt_core::prelude::*;
 use ivnt_core::tabular::trace_to_frame;
 
@@ -45,6 +47,13 @@ fn json_f64_after(text: &str, anchor: &str, key: &str) -> Option<f64> {
     rest[..end].trim().parse().ok()
 }
 
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
 struct Measurement {
     name: &'static str,
     secs: f64,
@@ -57,6 +66,12 @@ impl Measurement {
         self.rows_in as f64 / self.secs
     }
 
+    /// Signal instances emitted per second — the kernel's output-side
+    /// throughput, complementing the input-side `rows_per_sec`.
+    fn instances_per_sec(&self) -> f64 {
+        self.rows_out as f64 / self.secs
+    }
+
     fn to_json(&self) -> String {
         format!(
             concat!(
@@ -65,14 +80,16 @@ impl Measurement {
                 "      \"seconds\": {:.6},\n",
                 "      \"rows_in\": {},\n",
                 "      \"rows_out\": {},\n",
-                "      \"rows_per_sec\": {:.1}\n",
+                "      \"rows_per_sec\": {:.1},\n",
+                "      \"instances_per_sec\": {:.1}\n",
                 "    }}"
             ),
             self.name,
             self.secs,
             self.rows_in,
             self.rows_out,
-            self.rows_per_sec()
+            self.rows_per_sec(),
+            self.instances_per_sec()
         )
     }
 }
@@ -121,6 +138,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows_out: fused.num_rows(),
     });
 
+    // The retained row-at-a-time kernel: the baseline the vectorized
+    // batch-columnar kernel is gated against.
+    let scalar = interpret_fused_scalar(&raw, &u_comb)?;
+    assert_eq!(
+        fused.collect_rows()?,
+        scalar.collect_rows()?,
+        "vectorized and scalar fused kernels diverged"
+    );
+    let secs = median_secs(runs, || {
+        interpret_fused_scalar(&raw, &u_comb).expect("interpret_fused_scalar");
+    });
+    measurements.push(Measurement {
+        name: "interpret_fused_scalar",
+        secs,
+        rows_in: trace_rows,
+        rows_out: scalar.num_rows(),
+    });
+
     let reference = interpret(&pre, &u_comb)?;
     assert_eq!(
         fused.collect_rows()?,
@@ -164,6 +199,29 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .expect("measurement present")
     };
     let speedup = by_name("interpret_reference").secs / by_name("interpret_fused").secs;
+    let kernel_speedup = by_name("interpret_fused_scalar").secs / by_name("interpret_fused").secs;
+
+    // Run-length structure of the workload: how well cyclic traffic
+    // amortizes the kernel's per-run LUT probes.
+    let hist = run_length_histogram(&raw, &u_comb)?;
+    let hist_json = hist
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+
+    // Kernel gate: the vectorized kernel must beat the retained scalar
+    // fused path. Both sides run on the same executor so the ratio is
+    // mostly core-independent, but on an oversubscribed machine
+    // (cores < partitions) scheduling noise dominates — there the gate
+    // relaxes to parity instead of the full multiplier.
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let interpret_gate = env_f64("IVNT_INTERPRET_MIN_SPEEDUP", 1.5);
+    let effective_interpret_gate = if cores >= partitions {
+        interpret_gate
+    } else {
+        interpret_gate.min(1.0)
+    };
 
     // Seed comparison, when scripts/bench_seed_baseline.sh has run here.
     let seed = std::fs::read_to_string("BENCH_seed.json")
@@ -207,6 +265,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  }},\n",
             "  \"measurements\": [\n{}\n  ],\n",
             "{}",
+            "  \"run_length_histogram_log2\": [{}],\n",
+            "  \"vectorized_vs_scalar_speedup\": {:.2},\n",
+            "  \"interpret_min_speedup_gate\": {:.2},\n",
+            "  \"interpret_effective_gate\": {:.2},\n",
             "  \"fused_vs_reference_speedup\": {:.2}\n",
             "}}\n"
         ),
@@ -217,6 +279,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs,
         entries.join(",\n"),
         seed_block,
+        hist_json,
+        kernel_speedup,
+        interpret_gate,
+        effective_interpret_gate,
         speedup
     );
     std::fs::write("BENCH_interpret.json", &json)?;
@@ -232,6 +298,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
     println!("fused vs reference speedup: {speedup:.2}x");
+    println!(
+        "vectorized vs scalar fused: {kernel_speedup:.2}x (gate {:.2}x{})",
+        effective_interpret_gate,
+        if cores >= partitions {
+            String::new()
+        } else {
+            format!(", relaxed: {partitions} partitions on {cores} core(s)")
+        }
+    );
+    println!("run-length histogram (log2 buckets): [{hist_json}]");
     match seed {
         Some((_, interp, _)) => println!(
             "fused vs seed speedup:      {:.2}x (seed interpret {:.1} ms)",
@@ -244,5 +320,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     }
     println!("wrote BENCH_interpret.json");
+
+    if kernel_speedup < effective_interpret_gate {
+        eprintln!(
+            "FAIL: vectorized kernel speedup {kernel_speedup:.2}x below gate \
+             {effective_interpret_gate:.2}x"
+        );
+        std::process::exit(1);
+    }
     Ok(())
 }

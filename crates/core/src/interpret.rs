@@ -26,7 +26,7 @@ use ivnt_frame::prelude::*;
 use ivnt_protocol::signal::PhysicalValue;
 
 use crate::error::Result;
-use crate::rules::{Rule, RuleSet};
+use crate::rules::{load_window, DecodePlan, PlanDecoded, Rule, RuleSet};
 use crate::tabular::columns as c;
 
 /// Internal column: the joined rule index.
@@ -130,6 +130,50 @@ impl MidTable {
     }
 }
 
+/// Conservative global message-id prefilter: one bit per id in the union
+/// band of *all* rule mids, set when any bus has rules for that id. The
+/// kernel scan consults it before touching the bus column, so the ~95+% of
+/// rows whose id carries no selected signal cost one cache-hot bitset test
+/// — no `Arc` compare, no per-bus table walk. A set bit only *admits* a
+/// row to the exact `(bus, m_id)` probe; it never decides a match.
+enum MidFilter {
+    /// One byte per id over `mid - min` (≤64 KiB, cache-resident); ids
+    /// outside the band test as absent. A byte table beats a bitset here:
+    /// the admit test is a single indexed load with no shift/mask chain,
+    /// and the scan is instruction-bound, not footprint-bound.
+    Band { min: i64, set: Vec<u8> },
+    /// Id band too wide for a cache-resident table: probe every row.
+    Wide,
+}
+
+impl MidFilter {
+    fn build(mids: impl Iterator<Item = i64>) -> MidFilter {
+        let mids: Vec<i64> = mids.collect();
+        let (mut min, mut max) = (i64::MAX, i64::MIN);
+        for &mid in &mids {
+            min = min.min(mid);
+            max = max.max(mid);
+        }
+        let span = max
+            .checked_sub(min)
+            .and_then(|s| usize::try_from(s).ok())
+            .and_then(|s| s.checked_add(1));
+        match span {
+            // `min > i64::MIN` lets the scan fold null ids into an
+            // `i64::MIN` sentinel that provably lands outside every band
+            // (the matching index would need a rule mid of `i64::MIN`).
+            Some(span) if span <= DENSE_SPAN_LIMIT && min > i64::MIN => {
+                let mut set = vec![0u8; span];
+                for &mid in &mids {
+                    set[(mid - min) as usize] = 1;
+                }
+                MidFilter::Band { min, set }
+            }
+            _ => MidFilter::Wide,
+        }
+    }
+}
+
 /// The broadcast rule table of the fused kernel: interned buses, per-bus
 /// message-id tables, and rule groups in ascending rule order (matching the
 /// reference join's build-insertion order).
@@ -138,27 +182,29 @@ struct RuleLut {
     by_bus: Vec<MidTable>,
     /// Rule-index groups; `MidTable` values index into this.
     groups: Vec<Vec<u32>>,
+    /// Global id prefilter for the batch-columnar scan.
+    prefilter: MidFilter,
 }
 
-/// Per-partition probe state: memoizes the last bus `Arc`'s data pointer.
-/// `trace_to_frame` shares one interned `Arc<str>` per bus, and traces run
-/// the same bus for long stretches, so the common case resolves the bus
-/// with a single pointer comparison — no deref, no string compare. Misses
-/// (including unknown buses, which are memoized too) fall back to the
-/// hinted interner scan.
+/// Per-partition probe state: a learned table of bus `Arc` data pointers.
+/// `trace_to_frame` shares one interned `Arc<str>` per bus, so a partition
+/// sees only a handful of distinct pointers — each resolved by string
+/// lookup once and by pointer comparison ever after, even when adjacent
+/// rows alternate between buses (gateway copies). Unknown buses are
+/// learned too, so their rows stay on the pointer path.
 struct ProbeState {
-    last_ptr: *const u8,
-    last_len: usize,
-    last_id: Option<u32>,
+    seen: Vec<(*const u8, usize, Option<u32>)>,
     hint: usize,
 }
+
+/// Cap on learned bus pointers per partition; beyond it (a frame built
+/// without interned bus strings) lookups fall back to the interner scan.
+const PROBE_PTR_LIMIT: usize = 32;
 
 impl ProbeState {
     fn new() -> ProbeState {
         ProbeState {
-            last_ptr: std::ptr::null(),
-            last_len: 0,
-            last_id: None,
+            seen: Vec::new(),
             hint: 0,
         }
     }
@@ -193,27 +239,43 @@ impl RuleLut {
                 )
             })
             .collect();
+        let prefilter = MidFilter::build(keyed.keys().map(|&(_, mid)| mid));
         RuleLut {
             interner,
             by_bus,
             groups,
+            prefilter,
         }
     }
 
     /// Rule indices (ascending) for a row's `(bus, m_id)`, or `None`.
     #[inline]
     fn probe(&self, bus: &Arc<str>, mid: i64, state: &mut ProbeState) -> Option<&[u32]> {
-        let bid = if state.last_ptr == bus.as_ptr() && state.last_len == bus.len() {
-            state.last_id?
-        } else {
-            let id = self.interner.lookup(bus, &mut state.hint);
-            state.last_ptr = bus.as_ptr();
-            state.last_len = bus.len();
-            state.last_id = id;
-            id?
+        self.probe_group(bus, mid, state)
+            .map(|(group, _)| self.groups[group as usize].as_slice())
+    }
+
+    /// Like [`RuleLut::probe`] but returns the `(group, bus_id)` pair, so
+    /// run-length dispatch can carry the interned bus through to emission.
+    #[inline]
+    fn probe_group(&self, bus: &Arc<str>, mid: i64, state: &mut ProbeState) -> Option<(u32, u32)> {
+        let learned = state
+            .seen
+            .iter()
+            .find(|&&(p, l, _)| p == bus.as_ptr() && l == bus.len())
+            .map(|&(_, _, id)| id);
+        let bid = match learned {
+            Some(id) => id?,
+            None => {
+                let id = self.interner.lookup(bus, &mut state.hint);
+                if state.seen.len() < PROBE_PTR_LIMIT {
+                    state.seen.push((bus.as_ptr(), bus.len(), id));
+                }
+                id?
+            }
         };
         let group = self.by_bus[bid as usize].get(mid)?;
-        Some(&self.groups[group as usize])
+        Some((group, bid))
     }
 }
 
@@ -293,6 +355,23 @@ fn bytes_column(batch: &Batch, idx: usize) -> ivnt_frame::Result<&[Option<Arc<[u
             expected: "bytes".into(),
             actual: batch.column(idx).data_type().to_string(),
         })
+}
+
+/// Best-effort cache-line prefetch. The batch-columnar kernel touches hit
+/// rows at strides the hardware prefetcher cannot follow; requesting the
+/// lines a few candidates ahead turns four serialized misses per hit into
+/// overlapped ones. A miss or junk address only wastes the request, so
+/// this is safe for any pointer and compiles to nothing off x86-64.
+#[inline(always)]
+fn prefetch<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `_mm_prefetch` is a pure cache hint; it never faults and
+    // performs no memory access observable by the program.
+    unsafe {
+        core::arch::x86_64::_mm_prefetch::<{ core::arch::x86_64::_MM_HINT_T0 }>(p.cast());
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
 }
 
 /// Schema of the interpreted signal table `K_s`.
@@ -449,22 +528,17 @@ pub fn interpret(pre: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
     Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(joined.executor()))
 }
 
-/// Fused interpretation (lines 3–6 in one kernel): preselection, the
-/// join probe against the broadcast rule table, and `u1 ∘ u2` run as a
-/// single pass per partition.
+/// Row-at-a-time fused interpretation: the pre-vectorization kernel,
+/// retained as the scalar baseline the batch-columnar [`interpret_fused`]
+/// is benchmarked (and property-tested) against.
 ///
-/// Feeding it the *raw* trace is the intended use — rows without a
-/// matching `(b_id, m_id)` rule are skipped inline, which is exactly
-/// preselection — so neither `K_pre` nor the joined intermediate (which
-/// duplicates each payload once per matching rule) is ever materialized.
-/// Output is bit-identical to `interpret(&preselect(raw)?, u_comb)`:
-/// rule hits are emitted in ascending rule order, matching the reference
-/// join's build-insertion order.
+/// Same contract as [`interpret_fused`]: bit-identical to
+/// `interpret(&preselect(raw)?, u_comb)`.
 ///
 /// # Errors
 ///
 /// Propagates tabular-engine failures.
-pub fn interpret_fused(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+pub fn interpret_fused_scalar(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
     let schema = raw.schema();
     let idx_t = schema.index_of(c::T)?;
     let idx_bus = schema.index_of(c::BUS)?;
@@ -542,6 +616,556 @@ pub fn interpret_fused(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
         .into_iter()
         .collect::<std::result::Result<_, _>>()?;
     Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(raw.executor()))
+}
+
+/// A maximal stretch of consecutive rows sharing one matched `(bus, m_id)`
+/// key. Cyclic in-vehicle traffic produces long runs, letting the kernel
+/// probe once and decode in a tight per-run loop.
+#[derive(Debug, Clone, Copy)]
+struct Run {
+    start: usize,
+    len: usize,
+    group: u32,
+    bus: u32,
+}
+
+/// All signals of one message fused onto a single payload window: one LE
+/// load (plus at most one byte-swap) per row feeds every signal's
+/// shift/mask program. Built only when every rule in the group compiled to
+/// an ungated word plan and the union of their windows fits 8 bytes.
+struct FusedGroup {
+    first: usize,
+    span: usize,
+    needs_be: bool,
+    /// One op per rule, parallel to the group's rule-index list.
+    ops: Vec<crate::rules::WindowOp>,
+}
+
+/// The compiled broadcast side of the batch-columnar kernel: the probe LUT
+/// plus, per rule, its [`DecodePlan`] and dictionary-encoded signal name,
+/// and per group an optional fused payload window.
+struct Kernel {
+    lut: RuleLut,
+    plans: Vec<DecodePlan>,
+    /// Per rule: index into `signal_names`.
+    signal_idx: Vec<u32>,
+    signal_names: Vec<Arc<str>>,
+    /// Per LUT group: the fused window, when expressible.
+    fused: Vec<Option<FusedGroup>>,
+}
+
+impl Kernel {
+    fn build(u_comb: &RuleSet) -> Kernel {
+        let lut = RuleLut::build(u_comb);
+        let plans: Vec<DecodePlan> = u_comb.rules().iter().map(DecodePlan::compile).collect();
+        let mut signal_names: Vec<Arc<str>> = Vec::new();
+        let signal_idx = u_comb
+            .rules()
+            .iter()
+            .map(|r| {
+                match signal_names
+                    .iter()
+                    .position(|s| s.as_ref() == r.signal.as_str())
+                {
+                    Some(i) => i as u32,
+                    None => {
+                        signal_names.push(Arc::from(r.signal.as_str()));
+                        (signal_names.len() - 1) as u32
+                    }
+                }
+            })
+            .collect();
+        let fused = lut
+            .groups
+            .iter()
+            .map(|g| Kernel::fuse_group(g, &plans))
+            .collect();
+        Kernel {
+            lut,
+            plans,
+            signal_idx,
+            signal_names,
+            fused,
+        }
+    }
+
+    fn fuse_group(group: &[u32], plans: &[DecodePlan]) -> Option<FusedGroup> {
+        let mut first = usize::MAX;
+        let mut end = 0usize;
+        for &ri in group {
+            let (f, e) = plans[ri as usize].word_window()?;
+            first = first.min(f);
+            end = end.max(e);
+        }
+        let span = end.checked_sub(first)?;
+        if span > 8 {
+            return None;
+        }
+        let mut needs_be = false;
+        let mut ops = Vec::with_capacity(group.len());
+        for &ri in group {
+            let op = plans[ri as usize].rebase_to_window(first, span)?;
+            needs_be |= op.big_endian();
+            ops.push(op);
+        }
+        Some(FusedGroup {
+            first,
+            span,
+            needs_be,
+            ops,
+        })
+    }
+
+    /// Pass 1 of the kernel: scan only the key columns and emit the run
+    /// list. ~95+% of rows miss the LUT (that is what preselection is
+    /// for), so the miss path is the one that must be near-free: with a
+    /// banded id set the scan reads *only* the `m_id` column and rejects
+    /// misses on a single bitset test, touching the bus column (and the
+    /// exact per-bus probe) for admitted rows alone. Rows rejected by the
+    /// prefilter are guaranteed probe misses, so run boundaries are
+    /// identical to the probe-every-row scan.
+    fn scan_runs(&self, buses: &[Option<Arc<str>>], mids: &[Option<i64>], dense: bool) -> Vec<Run> {
+        let mut scan = RunScanner::new(&self.lut);
+        match &self.lut.prefilter {
+            MidFilter::Band { min, set } => {
+                // Admit loop: one branchless table load per row, ids only.
+                // Admitted rows land in a (small) candidate list so the
+                // hot loop carries no probe state or bus access at all.
+                let min = *min;
+                let mut cand: Vec<usize> = Vec::new();
+                for (row, mid) in mids.iter().enumerate() {
+                    // Null ids fold to a sentinel that is never admitted
+                    // (see `MidFilter::build`), keeping the loop free of
+                    // a validity branch.
+                    let idx = mid.unwrap_or(i64::MIN).wrapping_sub(min) as usize;
+                    if set.get(idx).copied().unwrap_or(0) != 0 {
+                        cand.push(row);
+                    }
+                }
+                for &row in &cand {
+                    if let (Some(bus), Some(mid)) = (buses[row].as_ref(), mids[row]) {
+                        scan.step(row, bus, mid);
+                    }
+                }
+            }
+            MidFilter::Wide if dense => {
+                // Null-free fast path: both key columns are fully valid,
+                // so skip the per-row Option match.
+                for (row, (bus, mid)) in buses.iter().zip(mids).enumerate() {
+                    let (Some(bus), Some(mid)) = (bus.as_ref(), mid) else {
+                        debug_assert!(false, "dense scan saw a null key");
+                        continue;
+                    };
+                    scan.step(row, bus, *mid);
+                }
+            }
+            MidFilter::Wide => {
+                for (row, (bus, mid)) in buses.iter().zip(mids).enumerate() {
+                    // Null bus or m_id never matches a rule (inner-join
+                    // semantics); unknown pairs are preselection drops.
+                    if let (Some(bus), Some(mid)) = (bus.as_ref(), mid) {
+                        scan.step(row, bus, *mid);
+                    }
+                }
+            }
+        }
+        scan.runs
+    }
+
+    /// Dispatches one matched row to the cheapest applicable decode path:
+    /// the group's fused single-word program, the per-rule plans, or the
+    /// null-payload emission.
+    #[inline]
+    fn dispatch_row(
+        &self,
+        group: u32,
+        payload: Option<&[u8]>,
+        t: Option<f64>,
+        bus: u32,
+        out: &mut Builders,
+    ) {
+        let group_rules = self.lut.groups[group as usize].as_slice();
+        match (self.fused[group as usize].as_ref(), payload) {
+            (Some(f), Some(p)) if p.len() >= f.first + f.span => {
+                self.decode_row_fused(f, group_rules, p, t, bus, out);
+            }
+            (_, Some(p)) => self.decode_row_plans(group_rules, p, t, bus, out),
+            (_, None) => self.emit_null_row(group_rules, t, bus, out),
+        }
+    }
+
+    /// Decodes one row whose payload covers the group's fused window: one
+    /// word load, then a shift/mask program per signal.
+    #[inline]
+    fn decode_row_fused(
+        &self,
+        f: &FusedGroup,
+        group_rules: &[u32],
+        p: &[u8],
+        t: Option<f64>,
+        bus: u32,
+        out: &mut Builders,
+    ) {
+        let (le, be) = load_window(p, f.first, f.span, f.needs_be);
+        for (op, &ri) in f.ops.iter().zip(group_rules) {
+            out.push(t, self.signal_idx[ri as usize], bus, op.eval(le, be));
+        }
+    }
+
+    /// Decodes one row through the per-rule plans (gated signals, scalar
+    /// fallbacks, payloads shorter than the fused window).
+    #[inline]
+    fn decode_row_plans(
+        &self,
+        group_rules: &[u32],
+        p: &[u8],
+        t: Option<f64>,
+        bus: u32,
+        out: &mut Builders,
+    ) {
+        for &ri in group_rules {
+            match self.plans[ri as usize].decode_slice(p) {
+                PlanDecoded::Absent => {}
+                decoded => out.push(t, self.signal_idx[ri as usize], bus, decoded),
+            }
+        }
+    }
+
+    /// Null payload: a null-valued instance per rule of the group.
+    #[inline]
+    fn emit_null_row(&self, group_rules: &[u32], t: Option<f64>, bus: u32, out: &mut Builders) {
+        for &ri in group_rules {
+            out.push(t, self.signal_idx[ri as usize], bus, PlanDecoded::Null);
+        }
+    }
+}
+
+/// Pre-sized dictionary-encoded output builders for the signal table:
+/// signal and bus are `u32` dictionary indices while decoding, turned
+/// into shared `Arc<str>` columns once per batch.
+struct Builders {
+    t: Vec<Option<f64>>,
+    s: Vec<u32>,
+    b: Vec<u32>,
+    num: Vec<Option<f64>>,
+    text: Vec<Option<Arc<str>>>,
+}
+
+impl Builders {
+    fn with_capacity(n: usize) -> Builders {
+        Builders {
+            t: Vec::with_capacity(n),
+            s: Vec::with_capacity(n),
+            b: Vec::with_capacity(n),
+            num: Vec::with_capacity(n),
+            text: Vec::with_capacity(n),
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded) {
+        self.t.push(t);
+        self.s.push(s);
+        self.b.push(b);
+        match decoded {
+            PlanDecoded::Num(v) => {
+                self.num.push(Some(v));
+                self.text.push(None);
+            }
+            PlanDecoded::Text(label) => {
+                self.num.push(None);
+                self.text.push(Some(label));
+            }
+            PlanDecoded::Null | PlanDecoded::Absent => {
+                self.num.push(None);
+                self.text.push(None);
+            }
+        }
+    }
+
+    /// Materializes the dictionary columns — one shared `Arc<str>` per
+    /// distinct signal/bus, cloned in a tight index loop — and assembles
+    /// the output batch.
+    fn into_batch(self, schema: &Arc<Schema>, kernel: &Kernel) -> ivnt_frame::Result<Batch> {
+        let s_out: Vec<Option<Arc<str>>> = self
+            .s
+            .iter()
+            .map(|&i| Some(kernel.signal_names[i as usize].clone()))
+            .collect();
+        let b_out: Vec<Option<Arc<str>>> = self
+            .b
+            .iter()
+            .map(|&i| Some(kernel.lut.interner.buses[i as usize].clone()))
+            .collect();
+        Batch::new(
+            schema.clone(),
+            vec![
+                Column::Float(self.t),
+                Column::Str(s_out),
+                Column::Str(b_out),
+                Column::Float(self.num),
+                Column::Str(self.text),
+            ],
+        )
+    }
+}
+
+/// Streaming run detector: memoizes the last key's probe result so a run
+/// of identical `(bus, m_id)` rows costs one pointer-and-int compare per
+/// row, with the LUT probed only on key changes.
+struct RunScanner<'a> {
+    lut: &'a RuleLut,
+    probe: ProbeState,
+    runs: Vec<Run>,
+    last_ptr: *const u8,
+    last_len: usize,
+    last_mid: i64,
+    last_hit: Option<(u32, u32)>,
+}
+
+impl<'a> RunScanner<'a> {
+    fn new(lut: &'a RuleLut) -> RunScanner<'a> {
+        RunScanner {
+            lut,
+            probe: ProbeState::new(),
+            runs: Vec::new(),
+            last_ptr: std::ptr::null(),
+            last_len: 0,
+            last_mid: 0,
+            last_hit: None,
+        }
+    }
+
+    /// The memoized probe alone: one `(bus, m_id)` LUT probe per run of
+    /// identical keys, a three-compare no-op for every later row of it.
+    #[inline]
+    fn probe_memo(&mut self, bus: &Arc<str>, mid: i64) -> Option<(u32, u32)> {
+        let same =
+            self.last_ptr == bus.as_ptr() && self.last_len == bus.len() && self.last_mid == mid;
+        if same {
+            self.last_hit
+        } else {
+            let hit = self.lut.probe_group(bus, mid, &mut self.probe);
+            self.last_ptr = bus.as_ptr();
+            self.last_len = bus.len();
+            self.last_mid = mid;
+            self.last_hit = hit;
+            hit
+        }
+    }
+
+    #[inline]
+    fn step(&mut self, row: usize, bus: &Arc<str>, mid: i64) {
+        if let Some((group, bus_id)) = self.probe_memo(bus, mid) {
+            match self.runs.last_mut() {
+                // Same group ⇒ same key; extend only over gapless rows so
+                // skipped (null-key) rows break runs.
+                Some(run) if run.group == group && run.start + run.len == row => run.len += 1,
+                _ => self.runs.push(Run {
+                    start: row,
+                    len: 1,
+                    group,
+                    bus: bus_id,
+                }),
+            }
+        }
+    }
+}
+
+/// Fused interpretation (lines 3–6 in one kernel), batch-columnar: rules
+/// are compiled to [`DecodePlan`]s once per query, rows are grouped into
+/// `(bus, m_id)` runs probed once each, and all signals of a message
+/// decode from a single loaded payload word where the layout allows.
+/// Output columns are built dictionary-encoded (signal/bus as `u32`
+/// indices) and materialized to shared `Arc<str>`s once per batch.
+///
+/// Feeding it the *raw* trace is the intended use — rows without a
+/// matching `(b_id, m_id)` rule are skipped inline, which is exactly
+/// preselection — so neither `K_pre` nor the joined intermediate (which
+/// duplicates each payload once per matching rule) is ever materialized.
+/// Output is bit-identical to `interpret(&preselect(raw)?, u_comb)`:
+/// rule hits are emitted in ascending rule order, matching the reference
+/// join's build-insertion order.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn interpret_fused(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
+    let schema = raw.schema();
+    let idx_t = schema.index_of(c::T)?;
+    let idx_bus = schema.index_of(c::BUS)?;
+    let idx_mid = schema.index_of(c::MESSAGE_ID)?;
+    let idx_payload = schema.index_of(c::PAYLOAD)?;
+    let out_schema = signal_schema();
+    let kernel = Kernel::build(u_comb);
+
+    let parts: Vec<Batch> = raw
+        .executor()
+        .map_ref(raw.partitions(), |batch| {
+            let ts = float_column(batch, idx_t)?;
+            let buses = str_column(batch, idx_bus)?;
+            let mids = int_column(batch, idx_mid)?;
+            let payloads = bytes_column(batch, idx_payload)?;
+
+            match &kernel.lut.prefilter {
+                // Banded ids, two passes. The admit pass rejects the
+                // ~95+% misses on a single cache-hot bitset test over the
+                // id column alone — no bus access, no probe state. The
+                // decode pass then walks the (short) candidate list with a
+                // two-stage software-prefetch pipeline: admitted rows sit
+                // ~dozens of rows apart, a stride the hardware prefetcher
+                // cannot follow, so the `t`/payload cells (and the payload
+                // heap block behind the `Arc`) are pulled in ahead of use
+                // instead of serializing four cache misses per hit.
+                MidFilter::Band { min, set } => {
+                    let min = *min;
+                    let mut cand: Vec<(u32, i64)> = Vec::new();
+                    for (row, mid) in mids.iter().enumerate() {
+                        // Branchless null fold: the sentinel can never be
+                        // admitted (see `MidFilter::build`), so admitted
+                        // `m` is always the row's real id.
+                        let m = mid.unwrap_or(i64::MIN);
+                        let idx = m.wrapping_sub(min) as usize;
+                        if set.get(idx).copied().unwrap_or(0) != 0 {
+                            cand.push((row as u32, m));
+                        }
+                    }
+
+                    let widest = kernel.lut.groups.iter().map(Vec::len).max().unwrap_or(0);
+                    let mut out = Builders::with_capacity(cand.len() * widest);
+                    let mut scan = RunScanner::new(&kernel.lut);
+                    // Far stage: request the column cells of the row
+                    // `FAR` candidates ahead; near stage: their cells are
+                    // warm by now, so chase the payload `Arc` and request
+                    // its heap block.
+                    const FAR: usize = 32;
+                    const NEAR: usize = 16;
+                    for (i, &(row, mid)) in cand.iter().enumerate() {
+                        let row = row as usize;
+                        if let Some(&(ahead, _)) = cand.get(i + FAR) {
+                            let ahead = ahead as usize;
+                            prefetch(&raw const payloads[ahead]);
+                            prefetch(&raw const ts[ahead]);
+                            prefetch(&raw const buses[ahead]);
+                        }
+                        if let Some(&(near, _)) = cand.get(i + NEAR) {
+                            if let Some(p) = payloads[near as usize].as_ref() {
+                                prefetch(p.as_ptr());
+                            }
+                        }
+                        let Some(bus) = buses[row].as_ref() else {
+                            continue;
+                        };
+                        // Probe once per (bus, m_id) run; the memo makes
+                        // every later row of a run a three-compare no-op.
+                        if let Some((group, bus_id)) = scan.probe_memo(bus, mid) {
+                            kernel.dispatch_row(
+                                group,
+                                payloads[row].as_deref(),
+                                ts[row],
+                                bus_id,
+                                &mut out,
+                            );
+                        }
+                    }
+                    out.into_batch(&out_schema, &kernel)
+                }
+                // Wide ids: no cache-resident prefilter exists, so scan
+                // with the probe-every-row pass into a run list, then
+                // decode runs. Null-free fast paths are gated on an O(n)
+                // column scan (`Column::has_nulls`), so they only run
+                // where they can amortize: keys always (every row probes),
+                // payloads only when a sizeable share of rows decodes.
+                MidFilter::Wide => {
+                    let keys_dense =
+                        !batch.column(idx_bus).has_nulls() && !batch.column(idx_mid).has_nulls();
+                    let runs = kernel.scan_runs(buses, mids, keys_dense);
+                    let hit_rows: usize = runs.iter().map(|r| r.len).sum();
+                    let payloads_dense =
+                        hit_rows * 4 >= batch.num_rows() && !batch.column(idx_payload).has_nulls();
+                    let upper: usize = runs
+                        .iter()
+                        .map(|r| r.len * kernel.lut.groups[r.group as usize].len())
+                        .sum();
+                    let mut out = Builders::with_capacity(upper);
+                    for run in &runs {
+                        let group_rules = kernel.lut.groups[run.group as usize].as_slice();
+                        let rows = run.start..run.start + run.len;
+                        match kernel.fused[run.group as usize].as_ref() {
+                            // Whole-group fast path: one word load per row
+                            // serves every signal of the message.
+                            Some(f) if payloads_dense => {
+                                let end = f.first + f.span;
+                                for row in rows {
+                                    let p = payloads[row].as_deref().unwrap_or_default();
+                                    if p.len() >= end {
+                                        kernel.decode_row_fused(
+                                            f,
+                                            group_rules,
+                                            p,
+                                            ts[row],
+                                            run.bus,
+                                            &mut out,
+                                        );
+                                    } else {
+                                        kernel.decode_row_plans(
+                                            group_rules,
+                                            p,
+                                            ts[row],
+                                            run.bus,
+                                            &mut out,
+                                        );
+                                    }
+                                }
+                            }
+                            _ => {
+                                for row in rows {
+                                    kernel.dispatch_row(
+                                        run.group,
+                                        payloads[row].as_deref(),
+                                        ts[row],
+                                        run.bus,
+                                        &mut out,
+                                    );
+                                }
+                            }
+                        }
+                    }
+                    out.into_batch(&out_schema, &kernel)
+                }
+            }
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
+    Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(raw.executor()))
+}
+
+/// Run-length diagnostics for the batch-columnar kernel: counts matched
+/// `(bus, m_id)` runs bucketed by `floor(log2(len))` — index 0 counts
+/// runs of length 1, index 1 lengths 2–3, index 2 lengths 4–7, and so on.
+/// Long runs mean the workload amortizes LUT probes well.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures (missing/mistyped key columns).
+pub fn run_length_histogram(raw: &DataFrame, u_comb: &RuleSet) -> Result<Vec<u64>> {
+    let schema = raw.schema();
+    let idx_bus = schema.index_of(c::BUS)?;
+    let idx_mid = schema.index_of(c::MESSAGE_ID)?;
+    let kernel = Kernel::build(u_comb);
+    let mut hist: Vec<u64> = Vec::new();
+    for batch in raw.partitions() {
+        let buses = str_column(batch, idx_bus)?;
+        let mids = int_column(batch, idx_mid)?;
+        for run in kernel.scan_runs(buses, mids, false) {
+            let bucket = usize::BITS as usize - 1 - run.len.leading_zeros() as usize;
+            if hist.len() <= bucket {
+                hist.resize(bucket + 1, 0);
+            }
+            hist[bucket] += 1;
+        }
+    }
+    Ok(hist)
 }
 
 /// Convenience: preselection followed by interpretation (lines 3–6),
@@ -730,12 +1354,30 @@ mod tests {
         for parts in [1usize, 2, 3] {
             let raw = trace_to_frame(&trace(), parts).unwrap();
             let fused = interpret_fused(&raw, &u_comb).unwrap();
+            let scalar = interpret_fused_scalar(&raw, &u_comb).unwrap();
             let reference = interpret(&preselect(&raw, &u_comb).unwrap(), &u_comb).unwrap();
+            let reference = reference.collect_rows().unwrap();
             assert_eq!(
                 fused.collect_rows().unwrap(),
-                reference.collect_rows().unwrap(),
+                reference,
                 "fused != reference at {parts} partitions"
             );
+            assert_eq!(
+                scalar.collect_rows().unwrap(),
+                reference,
+                "scalar fused != reference at {parts} partitions"
+            );
         }
+    }
+
+    #[test]
+    fn run_length_histogram_buckets_by_log2() {
+        let u_rel = RuleSet::from_network(&network());
+        let u_comb = u_rel.select(&["wpos", "wvel"]).unwrap();
+        // trace(): one id-3 row, one id-9 row (miss), one id-3 row — two
+        // runs of length 1 on the matched key.
+        let raw = trace_to_frame(&trace(), 1).unwrap();
+        let hist = run_length_histogram(&raw, &u_comb).unwrap();
+        assert_eq!(hist, vec![2]);
     }
 }

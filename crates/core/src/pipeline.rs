@@ -459,9 +459,10 @@ impl<R: Read + Seek> Session<'_, '_, R> {
             let reduced = p.reduce_representative(&dedup)?;
             Ok((reduced, dedup, rows_interpreted))
         };
-        if opts.serial {
+        if opts.serial || p.effective_workers() == 1 {
             seqs.into_iter().map(task).collect()
         } else {
+            ivnt_obs::with(|r| r.add("pipeline_scatter_total", 1));
             p.signal_executor().try_map(seqs, task)
         }
     }
@@ -484,7 +485,10 @@ impl<R: Read + Seek> Session<'_, '_, R> {
         let t_run = Instant::now();
         let ks = p.extract_source(opts.source, opts.preselection)?.frame;
         let interpret_secs = t_run.elapsed().as_secs_f64();
-        p.run_from_ks(ks, t_run, interpret_secs, !opts.serial)
+        // A 1-worker scatter is pure overhead (channel round-trips, same
+        // order): take the serial per-signal loop instead.
+        let parallel = !opts.serial && p.effective_workers() > 1;
+        p.run_from_ks(ks, t_run, interpret_secs, parallel)
     }
 }
 
@@ -791,11 +795,18 @@ impl Pipeline {
     /// Executor for the per-signal scatter/gather: bounded by the
     /// profile's worker cap, falling back to the process-wide default.
     fn signal_executor(&self) -> Executor {
-        Executor::new(
-            self.profile
-                .workers
-                .unwrap_or_else(ivnt_frame::exec::default_workers),
-        )
+        Executor::new(self.effective_workers())
+    }
+
+    /// Worker count a parallel session would actually use: the profile's
+    /// cap, or the process-wide default. When this is 1, sessions skip the
+    /// scatter/gather machinery entirely — a 1-worker pool only adds
+    /// channel round-trips over the plain serial loop.
+    fn effective_workers(&self) -> usize {
+        self.profile
+            .workers
+            .unwrap_or_else(ivnt_frame::exec::default_workers)
+            .max(1)
     }
 
     /// Line 9: gateway dedup (or the configured passthrough), consuming
@@ -995,6 +1006,7 @@ impl Pipeline {
 
         // Lines 9–28: scatter per signal, gather in signal order.
         let results: Vec<SignalResult> = if parallel {
+            ivnt_obs::with(|r| r.add("pipeline_scatter_total", 1));
             self.signal_executor()
                 .try_map(seqs, |seq| self.process_signal(seq, epoch))?
         } else {

@@ -9,8 +9,8 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
-use ivnt_protocol::bits::ByteOrder;
-use ivnt_protocol::signal::{PhysicalValue, SignalSpec};
+use ivnt_protocol::bits::{self, ByteOrder};
+use ivnt_protocol::signal::{PhysicalValue, RawKind, SignalSpec};
 use ivnt_simulator::network::NetworkModel;
 
 use crate::error::{Error, Result};
@@ -190,6 +190,444 @@ impl Rule {
             None => Ok(None),
         }
     }
+}
+
+/// Outcome of a compiled-plan decode, mirroring the interpretation
+/// kernels' error policy exactly: decode *errors* (truncated frames,
+/// unlabeled enum raws, null payloads) yield [`PlanDecoded::Null`] — a
+/// null-valued instance that is kept — while *absence* of a
+/// presence-conditional field yields [`PlanDecoded::Absent`] — no
+/// instance at all.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanDecoded {
+    /// Numeric physical value (`factor * raw + offset`).
+    Num(f64),
+    /// Enumeration label (interned once at plan-compile time).
+    Text(Arc<str>),
+    /// Instance kept with a null value.
+    Null,
+    /// No instance produced.
+    Absent,
+}
+
+/// One word-load location: `payload[first..first+span]` folded into a
+/// `u64`, the value at `(word >> shift) & mask`. For Motorola packings the
+/// loaded word is byte-swapped first, turning the sawtooth walk into a
+/// contiguous big-endian bit range.
+#[derive(Debug, Clone, Copy)]
+struct WordLoc {
+    first: usize,
+    span: usize,
+    shift: u32,
+    big_endian: bool,
+}
+
+impl WordLoc {
+    /// Bytes the payload must hold for this load — identical to the
+    /// truncation threshold of the scalar path's `relevant_bytes` /
+    /// `bits::check`.
+    #[inline]
+    fn min_len(self) -> usize {
+        self.first + self.span
+    }
+}
+
+/// Folds `payload[first..first+span]` (`span <= 8`) little-endian into a
+/// `u64`; bytes beyond `span` read as zero.
+#[inline]
+pub(crate) fn load_le(payload: &[u8], first: usize, span: usize) -> u64 {
+    let mut buf = [0u8; 8];
+    buf[..span].copy_from_slice(&payload[first..first + span]);
+    u64::from_le_bytes(buf)
+}
+
+#[inline]
+fn load_word(payload: &[u8], loc: WordLoc) -> u64 {
+    let le = load_le(payload, loc.first, loc.span);
+    let w = if loc.big_endian {
+        le.swap_bytes() >> ((8 - loc.span) * 8)
+    } else {
+        le
+    };
+    w >> loc.shift
+}
+
+/// Scale/offset or enum-lookup evaluation of a masked raw value.
+#[derive(Debug, Clone)]
+enum ValueEval {
+    /// `factor * raw + offset`, matching [`SignalSpec::decode`] bit for
+    /// bit (sign extension applied for signed raws).
+    Num {
+        signed: bool,
+        bit_len: u16,
+        factor: f64,
+        offset: f64,
+    },
+    /// Dense raw → label table (small enumerations).
+    EnumDense(Vec<Option<Arc<str>>>),
+    /// Sorted `(raw, label)` pairs for sparse/large enumerations.
+    EnumSorted(Vec<(u64, Arc<str>)>),
+}
+
+/// Raw values above this dense-table bound fall back to binary search.
+const ENUM_DENSE_LIMIT: u64 = 1024;
+
+impl ValueEval {
+    fn from_spec(spec: &SignalSpec) -> ValueEval {
+        if spec.is_enumerated() {
+            let max = *spec.enumeration().keys().next_back().expect("non-empty");
+            if max < ENUM_DENSE_LIMIT {
+                let mut table: Vec<Option<Arc<str>>> = vec![None; max as usize + 1];
+                for (&raw, label) in spec.enumeration() {
+                    table[raw as usize] = Some(Arc::from(label.as_str()));
+                }
+                ValueEval::EnumDense(table)
+            } else {
+                ValueEval::EnumSorted(
+                    spec.enumeration()
+                        .iter()
+                        .map(|(&raw, label)| (raw, Arc::from(label.as_str())))
+                        .collect(),
+                )
+            }
+        } else {
+            ValueEval::Num {
+                signed: spec.raw_kind() == RawKind::Signed,
+                bit_len: spec.bit_len(),
+                factor: spec.factor(),
+                offset: spec.offset(),
+            }
+        }
+    }
+
+    #[inline]
+    fn eval(&self, raw: u64) -> PlanDecoded {
+        match self {
+            ValueEval::Num {
+                signed,
+                bit_len,
+                factor,
+                offset,
+            } => {
+                let v = if *signed {
+                    factor * (bits::sign_extend(raw, *bit_len) as f64) + offset
+                } else {
+                    factor * (raw as f64) + offset
+                };
+                PlanDecoded::Num(v)
+            }
+            ValueEval::EnumDense(table) => match table.get(raw as usize) {
+                Some(Some(label)) => PlanDecoded::Text(label.clone()),
+                _ => PlanDecoded::Null,
+            },
+            ValueEval::EnumSorted(table) => match table.binary_search_by_key(&raw, |&(r, _)| r) {
+                Ok(i) => PlanDecoded::Text(table[i].1.clone()),
+                Err(_) => PlanDecoded::Null,
+            },
+        }
+    }
+}
+
+/// A multiplexor gate compiled to a word load: the body only exists when
+/// `(word >> shift) & mask == expect`.
+#[derive(Debug, Clone, Copy)]
+struct WordGate {
+    loc: WordLoc,
+    mask: u64,
+    expect: u64,
+}
+
+#[derive(Debug, Clone)]
+enum PlanKind {
+    /// Flat word-load + shift/mask + scale/offset (or enum lookup), with
+    /// an optional multiplexor gate.
+    Word {
+        gate: Option<WordGate>,
+        loc: WordLoc,
+        mask: u64,
+        value: ValueEval,
+    },
+    /// Fallback to the scalar reference path — presence-conditional
+    /// SOME/IP fields (dynamic offsets) and bit ranges a single `u64`
+    /// cannot hold (unaligned 64-bit fields spanning 9 bytes).
+    Scalar(Arc<Rule>),
+}
+
+/// A rule compiled into a flat decode plan: one branch-light word-load +
+/// shift/mask + scale/offset program replacing per-row `relevant_bytes`
+/// slicing, `Result` plumbing and per-bit extraction loops in the hot
+/// interpretation kernel. [`Rule::decode`] stays as the scalar reference;
+/// property tests hold the plan bit-identical to it.
+#[derive(Debug, Clone)]
+pub struct DecodePlan {
+    kind: PlanKind,
+}
+
+/// Word location for a field at `start`/`len` (window-relative bit
+/// positions) inside the window `payload[first..first+span]`. `None` when
+/// the field cannot be decoded from a single `u64` load (the caller falls
+/// back to the scalar path).
+fn word_loc(
+    start: usize,
+    len: usize,
+    order: ByteOrder,
+    first: usize,
+    span: usize,
+) -> Option<WordLoc> {
+    if span > 8 || len == 0 || len > 64 {
+        return None;
+    }
+    match order {
+        ByteOrder::Intel => {
+            if start + len > span * 8 {
+                return None; // scalar path turns this into a decode error
+            }
+            Some(WordLoc {
+                first,
+                span,
+                shift: start as u32,
+                big_endian: false,
+            })
+        }
+        ByteOrder::Motorola => {
+            // Verify the sawtooth stays inside the window (the scalar
+            // path's bits::check), then place the MSB in the byte-swapped
+            // word: payload bit (b, k) sits at big-endian bit
+            // (span-1-b)*8 + k.
+            let mut pos = start;
+            if pos >= span * 8 {
+                return None;
+            }
+            for _ in 1..len {
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos - 1
+                };
+                if pos >= span * 8 {
+                    return None;
+                }
+            }
+            let msb = (span - 1 - start / 8) * 8 + start % 8;
+            let shift = (msb + 1).checked_sub(len)?;
+            Some(WordLoc {
+                first,
+                span,
+                shift: shift as u32,
+                big_endian: true,
+            })
+        }
+    }
+}
+
+fn mask_for(bit_len: u16) -> u64 {
+    if bit_len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bit_len) - 1
+    }
+}
+
+impl DecodePlan {
+    /// Compiles a rule into its decode plan. Always succeeds: shapes the
+    /// word program cannot express keep the rule itself and delegate to
+    /// the scalar path, so `plan.decode` is total and bit-identical to
+    /// [`Rule::decode`]'s error policy for every rule.
+    pub fn compile(rule: &Arc<Rule>) -> DecodePlan {
+        let scalar = || DecodePlan {
+            kind: PlanKind::Scalar(rule.clone()),
+        };
+        let spec = &rule.info.spec;
+        let body = |first_byte: usize, num_bytes: usize| {
+            word_loc(
+                spec.start_bit() as usize,
+                spec.bit_len() as usize,
+                spec.byte_order(),
+                first_byte,
+                num_bytes,
+            )
+            .map(|loc| (loc, mask_for(spec.bit_len())))
+        };
+        let kind = match &rule.info.packing {
+            Packing::Fixed {
+                first_byte,
+                num_bytes,
+            } => match body(*first_byte, *num_bytes) {
+                Some((loc, mask)) => PlanKind::Word {
+                    gate: None,
+                    loc,
+                    mask,
+                    value: ValueEval::from_spec(&rule.info.spec),
+                },
+                None => return scalar(),
+            },
+            Packing::Multiplexed {
+                selector,
+                selector_value,
+                first_byte,
+                num_bytes,
+            } => {
+                // The selector spec is payload-relative; its window is its
+                // own relevant byte range, so rebase its start bit into it.
+                let (sel_first, sel_span) = relevant_byte_range(selector);
+                let gate = word_loc(
+                    selector.start_bit() as usize - sel_first * 8,
+                    selector.bit_len() as usize,
+                    selector.byte_order(),
+                    sel_first,
+                    sel_span,
+                )
+                .map(|loc| WordGate {
+                    loc,
+                    mask: mask_for(selector.bit_len()),
+                    expect: *selector_value,
+                });
+                match (gate, body(*first_byte, *num_bytes)) {
+                    (Some(gate), Some((loc, mask))) => PlanKind::Word {
+                        gate: Some(gate),
+                        loc,
+                        mask,
+                        value: ValueEval::from_spec(&rule.info.spec),
+                    },
+                    _ => return scalar(),
+                }
+            }
+            Packing::OptionalField { .. } => return scalar(),
+        };
+        DecodePlan { kind }
+    }
+
+    /// Decodes one payload. `None` payloads produce [`PlanDecoded::Null`]
+    /// (a kept, null-valued instance), like both interpretation kernels.
+    #[inline]
+    pub fn decode(&self, payload: Option<&[u8]>) -> PlanDecoded {
+        match payload {
+            Some(p) => self.decode_slice(p),
+            None => PlanDecoded::Null,
+        }
+    }
+
+    /// Decodes one non-null payload.
+    #[inline]
+    pub fn decode_slice(&self, payload: &[u8]) -> PlanDecoded {
+        match &self.kind {
+            PlanKind::Word {
+                gate,
+                loc,
+                mask,
+                value,
+            } => {
+                if let Some(g) = gate {
+                    // Selector order matches `relevant_bytes`: extraction
+                    // error (truncated selector) -> null instance, value
+                    // mismatch -> absent, body truncation -> null.
+                    if payload.len() < g.loc.min_len() {
+                        return PlanDecoded::Null;
+                    }
+                    if load_word(payload, g.loc) & g.mask != g.expect {
+                        return PlanDecoded::Absent;
+                    }
+                }
+                if payload.len() < loc.min_len() {
+                    return PlanDecoded::Null;
+                }
+                value.eval(load_word(payload, *loc) & mask)
+            }
+            PlanKind::Scalar(rule) => match rule.relevant_bytes(payload) {
+                Ok(Some(rel)) => match rule.decode_relevant(rel) {
+                    Ok(PhysicalValue::Num(v)) => PlanDecoded::Num(v),
+                    Ok(PhysicalValue::Text(s)) => PlanDecoded::Text(Arc::from(s.as_str())),
+                    Err(_) => PlanDecoded::Null,
+                },
+                Ok(None) => PlanDecoded::Absent,
+                Err(_) => PlanDecoded::Null,
+            },
+        }
+    }
+
+    /// The `[first, end)` payload byte window of an ungated word plan —
+    /// the unit the kernel fuses across all signals of one message.
+    /// `None` for gated (multiplexed) and scalar plans.
+    pub fn word_window(&self) -> Option<(usize, usize)> {
+        match &self.kind {
+            PlanKind::Word {
+                gate: None, loc, ..
+            } => Some((loc.first, loc.first + loc.span)),
+            _ => None,
+        }
+    }
+
+    /// Rebases an ungated word plan onto the shared group window
+    /// `payload[first..first+span]`, so one LE load (plus one byte-swap
+    /// when any Motorola signal is present) serves every signal of the
+    /// message. The caller guarantees `span <= 8` and that the window
+    /// covers [`DecodePlan::word_window`].
+    pub fn rebase_to_window(&self, first: usize, span: usize) -> Option<WindowOp> {
+        let PlanKind::Word {
+            gate: None,
+            loc,
+            mask,
+            value,
+        } = &self.kind
+        else {
+            return None;
+        };
+        if span > 8 || first > loc.first || first + span < loc.first + loc.span {
+            return None;
+        }
+        let shift = if loc.big_endian {
+            // Big-endian bit indices grow with the window's right edge.
+            loc.shift + 8 * ((first + span) - (loc.first + loc.span)) as u32
+        } else {
+            loc.shift + 8 * (loc.first - first) as u32
+        };
+        Some(WindowOp {
+            big_endian: loc.big_endian,
+            shift,
+            mask: *mask,
+            value: value.clone(),
+        })
+    }
+}
+
+/// One signal's shift/mask program over a shared group payload window:
+/// `eval` picks the little- or (pre-computed) big-endian view, shifts,
+/// masks and applies the value evaluation — no per-signal load.
+#[derive(Debug, Clone)]
+pub struct WindowOp {
+    big_endian: bool,
+    shift: u32,
+    mask: u64,
+    value: ValueEval,
+}
+
+impl WindowOp {
+    /// `true` if this op reads the byte-swapped (Motorola) view.
+    pub fn big_endian(&self) -> bool {
+        self.big_endian
+    }
+
+    /// Evaluates against the window's little-endian word and (if any op in
+    /// the group is big-endian) its byte-swapped counterpart.
+    #[inline]
+    pub fn eval(&self, le: u64, be: u64) -> PlanDecoded {
+        let w = if self.big_endian { be } else { le };
+        self.value.eval((w >> self.shift) & self.mask)
+    }
+}
+
+/// Loads the group window `payload[first..first+span]` and returns the
+/// `(le, be)` word pair [`WindowOp::eval`] consumes. `needs_be` skips the
+/// byte swap for all-Intel groups.
+#[inline]
+pub fn load_window(payload: &[u8], first: usize, span: usize, needs_be: bool) -> (u64, u64) {
+    let le = load_le(payload, first, span);
+    let be = if needs_be {
+        le.swap_bytes() >> ((8 - span) * 8)
+    } else {
+        0
+    };
+    (le, be)
 }
 
 /// A set of interpretation rules (the table `U_rel`, or a domain's

@@ -30,6 +30,15 @@ IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_CLUSTER_MIN_SPEEDUP="${IVNT_CLUSTER_MIN_SPEEDUP:-1.0}" \
   cargo run --release -q -p ivnt-bench --bin cluster_scale
 
+echo "==> speed_probe smoke (vectorized interpret kernel gate)"
+# The batch-columnar interpret kernel must beat the retained scalar fused
+# path; bit-identity of all three interpretation paths is asserted inline.
+# Core-aware: on machines with fewer cores than partitions the gate relaxes
+# to parity inside the probe.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_INTERPRET_MIN_SPEEDUP="${IVNT_INTERPRET_MIN_SPEEDUP:-1.2}" \
+  cargo run --release -q -p ivnt-bench --bin speed_probe
+
 echo "==> pipeline_e2e smoke (parallel bit-identity + SWAB kernel + obs overhead gates)"
 # Serial vs parallel Algorithm 1; every parallel run is checked
 # bit-identical to the serial reference, the heap SWAB kernel must beat the
