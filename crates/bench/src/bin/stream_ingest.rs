@@ -1,0 +1,328 @@
+//! Machine-readable probe of the live-session streaming layer.
+//!
+//! Three phases, following the `store_probe`/`BENCH_store.json`
+//! conventions (human summary on stdout, JSON to `BENCH_stream.json`):
+//!
+//! 1. **Ingest throughput** — replays the vehicle workload through the
+//!    bounded-queue ingest driver into an appendable `.ivns` store,
+//!    measuring sustained frames/s, the micro-batch flush-latency
+//!    distribution (p50/p99), and the queue/backpressure behavior.
+//! 2. **Incremental pipeline** — tails the sealed store with a
+//!    [`StoreFollower`] and pushes every row group through the
+//!    [`StreamingSession`], measuring reduced-rows/s and the resident
+//!    reorder-buffer high-water mark. The concatenated streaming output
+//!    is asserted bit-identical to the batch `extract_reduced` — the
+//!    incremental path is an optimization, not an approximation.
+//! 3. **Kill-mid-stream** — spawns itself as a child (selected by the
+//!    `IVNT_STREAM_CHILD_PATH` env var) that loops the workload forever,
+//!    kills it mid-write, and asserts the store recovers: the frame walk
+//!    drops at most the torn tail, `seal_recovered` makes the file a
+//!    first-class sealed store, and every surviving row reads back.
+//!
+//! The probe exits non-zero when sustained ingest falls below
+//! `IVNT_STREAM_MIN_THROUGHPUT` frames/s (default 10 000), so CI catches
+//! a regression that turns the live path into a bottleneck.
+//! `IVNT_BENCH_SCALE` scales the workload as in the other probes.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use ivnt_bench::{domain_pipeline, scale, select_signals_for_fraction};
+use ivnt_core::pipeline::RunOptions;
+use ivnt_store::{
+    recover, seal_recovered, AppendOptions, AppendWriter, StoreFollower, StoreReader, WriterOptions,
+};
+use ivnt_stream::{
+    flatten_reduced, ingest, summarize_batch, DeltaRow, IngestOptions, IngestStats,
+    SimulatorSource, StopFlag, StreamOptions, StreamingSession,
+};
+
+/// Median wall-clock seconds over `runs` executions (after one warmup).
+fn median_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut times: Vec<f64> = (0..runs)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(f64::total_cmp);
+    times[times.len() / 2]
+}
+
+/// The p-th quantile of a latency sample, by sorted rank.
+fn sample_quantile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Micro-batch geometry used by every phase: small groups so the
+/// default-scale run flushes dozens of times (the latency distribution
+/// needs samples) and the kill test tears mid-file, not mid-first-group.
+fn append_options() -> AppendOptions {
+    AppendOptions {
+        writer: WriterOptions {
+            chunk_rows: 512,
+            chunks_per_group: 2,
+            cluster: true,
+        },
+        flush_rows: 1024,
+        flush_interval_us: 0,
+    }
+}
+
+/// Child mode for the kill-mid-stream phase: loop the workload into the
+/// given path forever (no seal) until the parent kills this process.
+fn run_child(path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    let data = ivnt_bench::vehicle_journey(20_000, 1)?;
+    let writer = AppendWriter::create(path, append_options())?;
+    let options = IngestOptions {
+        seal: false,
+        ..IngestOptions::default()
+    };
+    let stop = StopFlag::new();
+    let _ = ingest(
+        SimulatorSource::new(&data.trace).looped(),
+        writer,
+        &options,
+        &stop,
+    )?;
+    Ok(())
+}
+
+/// Kill-mid-stream smoke: returns (rows recovered, torn bytes).
+fn kill_mid_stream(path: &std::path::Path) -> Result<(u64, u64), Box<dyn std::error::Error>> {
+    let _ = std::fs::remove_file(path);
+    let mut child = std::process::Command::new(std::env::current_exe()?)
+        .env("IVNT_STREAM_CHILD_PATH", path)
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()?;
+    // Wait until a few complete groups hit the disk, then kill mid-write.
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    loop {
+        let len = std::fs::metadata(path).map(|m| m.len()).unwrap_or(0);
+        if len > 64 * 1024 {
+            break;
+        }
+        if Instant::now() > deadline {
+            let _ = child.kill();
+            let _ = child.wait();
+            return Err("child produced no groups within 60 s".into());
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    child.kill()?;
+    let _ = child.wait();
+
+    let recovered = recover(path)?;
+    assert!(!recovered.sealed, "killed child cannot have sealed");
+    assert!(recovered.footer.rows > 0, "no rows survived the kill");
+    let torn = recovered.torn_bytes();
+    let sealed = seal_recovered(path)?;
+    assert!(sealed.sealed);
+    assert_eq!(sealed.footer.rows, recovered.footer.rows);
+    let mut reader = StoreReader::open(path)?;
+    let rows = reader.read_all()?.len() as u64;
+    assert_eq!(rows, recovered.footer.rows, "sealed rows must read back");
+    Ok((rows, torn))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    if let Ok(path) = std::env::var("IVNT_STREAM_CHILD_PATH") {
+        return run_child(&path);
+    }
+
+    let target = (120_000.0 * scale()) as usize;
+    let runs = 3;
+    let data = ivnt_bench::vehicle_journey(target, 0)?;
+    let trace_rows = data.trace.len();
+    let signals = select_signals_for_fraction(&data, 9, 0.027);
+    let pipeline = domain_pipeline(&data, &signals)?;
+
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let path = dir.join(format!("ivnt-stream-probe-{pid}.ivns"));
+    let kill_path = dir.join(format!("ivnt-stream-probe-kill-{pid}.ivns"));
+
+    eprintln!(
+        "workload: {trace_rows} frames, 9 signals, {} rows/flush trigger",
+        append_options().effective_flush_rows(),
+    );
+
+    // --- Phase 1: sustained ingest throughput -------------------------
+    let run_ingest = || -> IngestStats {
+        let writer = AppendWriter::create(&path, append_options()).expect("create");
+        let (_, stats) = ingest(
+            SimulatorSource::new(&data.trace),
+            writer,
+            &IngestOptions::default(),
+            &StopFlag::new(),
+        )
+        .expect("ingest");
+        assert_eq!(stats.frames, trace_rows as u64);
+        assert!(stats.sealed);
+        stats
+    };
+    let ingest_secs = median_secs(runs, || {
+        run_ingest();
+    });
+    // One final instrumented run; its sealed file feeds phase 2.
+    let stats = run_ingest();
+    let frames_per_sec = trace_rows as f64 / ingest_secs;
+    let flush_p50 = sample_quantile(&stats.flush_seconds, 0.50);
+    let flush_p99 = sample_quantile(&stats.flush_seconds, 0.99);
+
+    // --- Phase 2: incremental pipeline over the store -----------------
+    let follow_once = || -> (HashMap<String, Vec<DeltaRow>>, ivnt_stream::StreamClose, usize, u64) {
+        let mut follower = StoreFollower::open(&path).expect("follower");
+        let mut session =
+            StreamingSession::new(&pipeline, StreamOptions::default()).expect("session");
+        let mut rows: HashMap<String, Vec<DeltaRow>> = HashMap::new();
+        let mut groups = 0u64;
+        loop {
+            let batch = follower.poll().expect("poll");
+            for group in &batch.groups {
+                groups += 1;
+                for delta in session.push_records(&group.records).expect("push") {
+                    rows.entry(delta.signal).or_default().extend(delta.rows);
+                }
+            }
+            if batch.sealed {
+                break;
+            }
+        }
+        let peak = session.peak_buffered_rows();
+        let close = session.close().expect("close");
+        (rows, close, peak, groups)
+    };
+    let stream_secs = median_secs(runs, || {
+        follow_once();
+    });
+
+    // Identity assert (outside the timing loop): streaming ≡ batch.
+    let (mut rows, close, peak_buffered, groups_followed) = follow_once();
+    for delta in close.deltas {
+        rows.entry(delta.signal).or_default().extend(delta.rows);
+    }
+    let batch = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract_reduced()?;
+    assert_eq!(batch.len(), close.summaries.len(), "signal count diverged");
+    let mut reduced_rows = 0usize;
+    for ((reduced, dedup, interpreted), summary) in batch.iter().zip(&close.summaries) {
+        let expect = summarize_batch(reduced, dedup, *interpreted);
+        assert_eq!(&expect, summary, "summary diverged for {}", reduced.signal);
+        let expect_rows = flatten_reduced(reduced)?;
+        let got = rows.get(&reduced.signal).cloned().unwrap_or_default();
+        assert_eq!(expect_rows, got, "rows diverged for {}", reduced.signal);
+        reduced_rows += expect_rows.len();
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // --- Phase 3: kill-mid-stream recovery ----------------------------
+    let (recovered_rows, torn_bytes) = kill_mid_stream(&kill_path)?;
+    let _ = std::fs::remove_file(&kill_path);
+
+    let min_throughput: f64 = std::env::var("IVNT_STREAM_MIN_THROUGHPUT")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000.0);
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"workload\": {{\n",
+            "    \"frames\": {},\n",
+            "    \"signals_selected\": 9,\n",
+            "    \"flush_rows\": {},\n",
+            "    \"runs\": {}\n",
+            "  }},\n",
+            "  \"ingest\": {{\n",
+            "    \"seconds\": {:.6},\n",
+            "    \"frames_per_sec\": {:.1},\n",
+            "    \"flushes\": {},\n",
+            "    \"flush_p50_s\": {:.6},\n",
+            "    \"flush_p99_s\": {:.6},\n",
+            "    \"peak_queue_depth\": {},\n",
+            "    \"backpressure_waits\": {},\n",
+            "    \"bytes\": {}\n",
+            "  }},\n",
+            "  \"streaming\": {{\n",
+            "    \"seconds\": {:.6},\n",
+            "    \"frames_per_sec\": {:.1},\n",
+            "    \"groups\": {},\n",
+            "    \"reduced_rows\": {},\n",
+            "    \"peak_buffered_rows\": {},\n",
+            "    \"batch_identical\": true\n",
+            "  }},\n",
+            "  \"recovery\": {{\n",
+            "    \"rows_recovered\": {},\n",
+            "    \"torn_bytes\": {}\n",
+            "  }},\n",
+            "  \"gate\": {{\n",
+            "    \"min_frames_per_sec\": {:.1}\n",
+            "  }}\n",
+            "}}\n"
+        ),
+        trace_rows,
+        append_options().effective_flush_rows(),
+        runs,
+        ingest_secs,
+        frames_per_sec,
+        stats.flush_seconds.len(),
+        flush_p50,
+        flush_p99,
+        stats.peak_queue_depth,
+        stats.backpressure_waits,
+        stats.bytes,
+        stream_secs,
+        trace_rows as f64 / stream_secs,
+        groups_followed,
+        reduced_rows,
+        peak_buffered,
+        recovered_rows,
+        torn_bytes,
+        min_throughput,
+    );
+    std::fs::write("BENCH_stream.json", &json)?;
+
+    println!(
+        "ingest:    {:>9.1} ms  {:>12.0} frames/s  ({} flushes, p50 {:.3} ms, p99 {:.3} ms)",
+        ingest_secs * 1e3,
+        frames_per_sec,
+        stats.flush_seconds.len(),
+        flush_p50 * 1e3,
+        flush_p99 * 1e3,
+    );
+    println!(
+        "queue:     peak depth {}, {} backpressure waits",
+        stats.peak_queue_depth, stats.backpressure_waits,
+    );
+    println!(
+        "streaming: {:>9.1} ms  {:>12.0} frames/s  ({} groups -> {} reduced rows, \
+         peak {} rows buffered, batch-identical)",
+        stream_secs * 1e3,
+        trace_rows as f64 / stream_secs,
+        groups_followed,
+        reduced_rows,
+        peak_buffered,
+    );
+    println!("recovery:  killed child left {recovered_rows} readable rows ({torn_bytes} torn bytes dropped)");
+    println!("wrote BENCH_stream.json");
+
+    if frames_per_sec < min_throughput {
+        eprintln!(
+            "FAIL: sustained ingest {frames_per_sec:.0} frames/s below gate \
+             {min_throughput:.0} — the live path became a bottleneck"
+        );
+        std::process::exit(1);
+    }
+    Ok(())
+}

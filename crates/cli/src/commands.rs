@@ -13,7 +13,9 @@ use crate::options::SharedOptions;
 use crate::output::{self, JsonWriter};
 
 /// Valueless flags; everything else is `--key value`.
-pub const SWITCHES: &[&str] = &["json", "once", "verify", "timing", "serial", "metrics"];
+pub const SWITCHES: &[&str] = &[
+    "json", "once", "verify", "timing", "serial", "metrics", "stdin", "no-seal",
+];
 
 type CmdResult = Result<(), String>;
 
@@ -347,16 +349,41 @@ fn store_ingest(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Resolves a store file to its footer plus lifecycle state: a sealed
+/// file opens through the normal reader; an appendable (unsealed) one
+/// gets its index rebuilt by walking the checksummed group frames, which
+/// also measures any torn tail left by a crash.
+fn store_state(path: &str) -> Result<(ivnt_store::Footer, bool, u64), String> {
+    match ivnt_store::StoreReader::open(path) {
+        Ok(reader) => Ok((reader.footer().clone(), true, 0)),
+        Err(_) => {
+            let recovered = ivnt_store::recover(path).map_err(err)?;
+            let torn = recovered.torn_bytes();
+            Ok((recovered.footer, recovered.sealed, torn))
+        }
+    }
+}
+
+/// Min/max record timestamps of one group's chunk range.
+fn group_time_span(footer: &ivnt_store::Footer, span: &ivnt_store::GroupSpan) -> (u64, u64) {
+    let chunks = &footer.chunks[span.chunk_start..span.chunk_end];
+    let min_t = chunks.iter().map(|c| c.zone.min_t_us).min().unwrap_or(0);
+    let max_t = chunks.iter().map(|c| c.zone.max_t_us).max().unwrap_or(0);
+    (min_t, max_t)
+}
+
 /// `ivnt store info --json <trace.ivns>` — the footer and full chunk
 /// index as a machine-readable JSON document, for scripted health checks
 /// and shard planning outside the pipeline.
-fn store_info_json(path: &str, footer: &ivnt_store::Footer) -> CmdResult {
+fn store_info_json(path: &str, footer: &ivnt_store::Footer, sealed: bool, torn: u64) -> CmdResult {
     let payload_bytes: u64 = footer.chunks.iter().map(|c| u64::from(c.len)).sum();
     let min_t = footer.chunks.iter().map(|c| c.zone.min_t_us).min();
     let max_t = footer.chunks.iter().map(|c| c.zone.max_t_us).max();
     let mut w = JsonWriter::new();
     w.begin_object(None);
     w.field_str("path", path);
+    w.field_str("state", if sealed { "sealed" } else { "appendable" });
+    w.field_u64("torn_bytes", torn);
     w.field_u64("rows", footer.rows);
     w.field_u64("groups", u64::from(footer.groups));
     w.field_u64("group_rows", u64::from(footer.group_rows));
@@ -366,6 +393,18 @@ fn store_info_json(path: &str, footer: &ivnt_store::Footer) -> CmdResult {
     w.field_u64("max_t_us", max_t.unwrap_or(0));
     let buses: Vec<String> = footer.buses.iter().map(|b| output::json_str(b)).collect();
     w.field_raw("buses", &format!("[{}]", buses.join(", ")));
+    w.begin_array(Some("group_spans"));
+    for span in footer.group_spans() {
+        let (min_t, max_t) = group_time_span(footer, &span);
+        w.element_raw(&format!(
+            "{{\"group\": {}, \"rows\": {}, \"chunks\": {}, \
+             \"min_t_us\": {min_t}, \"max_t_us\": {max_t}}}",
+            span.group,
+            span.rows,
+            span.chunk_end - span.chunk_start,
+        ));
+    }
+    w.end_array();
     w.begin_array(Some("chunks"));
     for (i, c) in footer.chunks.iter().enumerate() {
         let chunk_buses: Vec<String> = footer
@@ -397,27 +436,35 @@ fn store_info_json(path: &str, footer: &ivnt_store::Footer) -> CmdResult {
     Ok(())
 }
 
-/// `ivnt store info [--json] [--chunks N] <trace.ivns>` — footer
-/// statistics and chunk index; `--json` emits the machine-readable form.
+/// `ivnt store info [--json] [--chunks N] [--groups N] <trace.ivns>` —
+/// footer statistics, lifecycle state (sealed vs still appendable, with
+/// any torn tail bytes), per-row-group time spans, and the chunk index;
+/// `--json` emits the machine-readable form. Appendable files written by
+/// `ivnt stream ingest --no-seal` (or cut short by a crash) are indexed
+/// by walking their checksummed group frames.
 fn store_info(args: &Args) -> CmdResult {
     let path = args.positional(1, "trace.ivns")?;
-    let reader = ivnt_store::StoreReader::open(path).map_err(err)?;
-    let footer = reader.footer();
+    let (footer, sealed, torn) = store_state(path)?;
+    let footer = &footer;
     if args.has("json") {
-        return store_info_json(path, footer);
+        return store_info_json(path, footer, sealed, torn);
     }
     let layout = if footer.clustered {
         "clustered"
     } else {
         "time-ordered"
     };
+    let state = if sealed { "sealed" } else { "appendable" };
     println!(
-        "{path}: {} records in {} chunks / {} groups ({layout}, {} rows/group)",
+        "{path}: {} records in {} chunks / {} groups ({state}, {layout}, {} rows/group)",
         footer.rows,
         footer.chunks.len(),
         footer.groups,
         footer.group_rows,
     );
+    if torn > 0 {
+        println!("torn tail: {torn} bytes past the last complete group");
+    }
     let buses: Vec<&str> = footer.buses.iter().map(AsRef::as_ref).collect();
     println!("buses: {}", buses.join(", "));
     if let (Some(first), Some(last)) = (footer.chunks.first(), footer.chunks.last()) {
@@ -429,6 +476,24 @@ fn store_info(args: &Args) -> CmdResult {
             max_t.unwrap_or(last.zone.max_t_us) as f64 / 1e6,
             footer.chunks.iter().map(|c| u64::from(c.len)).sum::<u64>(),
         );
+    }
+    let groups_listed = args.get_parsed::<usize>("groups")?.unwrap_or(0);
+    if groups_listed > 0 {
+        println!(
+            "  {:<6} {:>8} {:>6} {:>12} {:>12}",
+            "group", "rows", "chunks", "min t", "max t"
+        );
+        for span in footer.group_spans().iter().take(groups_listed) {
+            let (min_t, max_t) = group_time_span(footer, span);
+            println!(
+                "  {:<6} {:>8} {:>6} {:>10.3}s {:>10.3}s",
+                span.group,
+                span.rows,
+                span.chunk_end - span.chunk_start,
+                min_t as f64 / 1e6,
+                max_t as f64 / 1e6,
+            );
+        }
     }
     let listed = args.get_parsed::<usize>("chunks")?.unwrap_or(0);
     if listed > 0 {
@@ -553,6 +618,301 @@ fn store_extract(args: &Args) -> CmdResult {
         }
     }
     Ok(())
+}
+
+/// `ivnt stream <ingest|follow>` — live-session ingest and tailing.
+///
+/// # Errors
+///
+/// Reports unknown subcommands and the subcommands' own failures.
+pub fn stream(args: &Args) -> CmdResult {
+    match args.positional(0, "ingest|follow")? {
+        "ingest" => stream_ingest(args),
+        "follow" => stream_follow(args),
+        other => Err(format!(
+            "unknown stream subcommand {other:?} (use ingest|follow)"
+        )),
+    }
+}
+
+/// The p-th quantile of a small latency sample, by sorted rank.
+fn sample_quantile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// `ivnt stream ingest [--stdin | --listen ADDR | --scenario syn|lig|sta
+/// [--seed S] [--examples N] [--frames N]] [--flush-rows N] [--flush-ms N]
+/// [--queue N] [--poll-ms N] [--no-seal] [--chunk-rows N]
+/// [--chunks-per-group N] [--cluster true|false] [--metrics] [--json]
+/// <out.ivns>`
+///
+/// Appends live frames into an `.ivns` store as micro-batched row groups.
+/// Sources: `--stdin` reads the frame-line format from standard input,
+/// `--listen` accepts one TCP peer speaking the same format, and the
+/// default replays a simulated scenario (looped when `--frames` caps the
+/// run). Every flushed group is checksummed and immediately durable, so
+/// killing the process mid-stream loses at most the unflushed tail —
+/// `ivnt store info` and the pipeline recover the rest. `--no-seal`
+/// leaves the file appendable on exit.
+fn stream_ingest(args: &Args) -> CmdResult {
+    let out_path = args.positional(1, "out.ivns")?;
+    let shared = SharedOptions::parse_switches(args);
+
+    let mut append = ivnt_store::AppendOptions {
+        writer: writer_options(args)?,
+        ..ivnt_store::AppendOptions::default()
+    };
+    if let Some(rows) = args.get_parsed::<usize>("flush-rows")? {
+        append.flush_rows = rows;
+    }
+    if let Some(ms) = args.get_parsed::<u64>("flush-ms")? {
+        append.flush_interval_us = ms.saturating_mul(1_000);
+    }
+
+    let mut options = ivnt_stream::IngestOptions {
+        max_frames: args.get_parsed::<u64>("frames")?,
+        ..ivnt_stream::IngestOptions::default()
+    };
+    if let Some(cap) = args.get_parsed::<usize>("queue")? {
+        options.queue_capacity = cap.max(1);
+    }
+    if let Some(ms) = args.get_parsed::<u64>("poll-ms")? {
+        options.poll_timeout = std::time::Duration::from_millis(ms.max(1));
+    }
+    options.seal = !args.has("no-seal");
+
+    let registry = output::metrics_registry(&shared);
+    let writer = ivnt_store::AppendWriter::create(out_path, append).map_err(err)?;
+    let stop = ivnt_stream::StopFlag::new();
+    let (_, stats) = if args.has("stdin") {
+        let source = ivnt_stream::LineSource::new(BufReader::new(std::io::stdin()));
+        ivnt_stream::ingest(source, writer, &options, &stop).map_err(err)?
+    } else if let Some(addr) = args.get("listen") {
+        if !shared.json {
+            println!("waiting for one peer on {addr} ...");
+        }
+        let source =
+            ivnt_stream::TcpLineSource::accept_on(addr, options.poll_timeout).map_err(err)?;
+        ivnt_stream::ingest(source, writer, &options, &stop).map_err(err)?
+    } else {
+        let data = scenario::generate(&scenario_spec(args)?).map_err(err)?;
+        let mut source = ivnt_stream::SimulatorSource::new(&data.trace);
+        if options.max_frames.is_some() {
+            source = source.looped();
+        }
+        ivnt_stream::ingest(source, writer, &options, &stop).map_err(err)?
+    };
+    let snapshot = registry.as_ref().map(|(r, _)| r.snapshot());
+
+    let p50 = sample_quantile(&stats.flush_seconds, 0.50);
+    let p99 = sample_quantile(&stats.flush_seconds, 0.99);
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", out_path);
+        w.field_u64("frames", stats.frames);
+        w.field_u64("groups", u64::from(stats.groups));
+        w.field_u64("bytes", stats.bytes);
+        w.field_bool("sealed", stats.sealed);
+        w.field_f64("flush_p50_s", p50);
+        w.field_f64("flush_p99_s", p99);
+        w.field_u64("backpressure_waits", stats.backpressure_waits);
+        w.field_u64("peak_queue_depth", stats.peak_queue_depth as u64);
+        w.field_u64("dropped_frames", stats.dropped_frames);
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        let state = if stats.sealed { "sealed" } else { "appendable" };
+        println!(
+            "ingested {out_path}: {} frames in {} groups, {} bytes ({state})",
+            stats.frames, stats.groups, stats.bytes,
+        );
+        println!(
+            "flush latency over {} flushes: p50 {:.3} ms, p99 {:.3} ms",
+            stats.flush_seconds.len(),
+            p50 * 1e3,
+            p99 * 1e3,
+        );
+        println!(
+            "queue: peak depth {}, {} backpressure waits, {} dropped frames",
+            stats.peak_queue_depth, stats.backpressure_waits, stats.dropped_frames,
+        );
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
+        }
+    }
+    Ok(())
+}
+
+/// `ivnt stream follow --scenario syn|lig|sta [--seed S] [--signals a,b]
+/// [--watermark-ms N] [--history-cap N] [--sax K] [--poll-ms N] [--once]
+/// [--metrics] [--json] <trace.ivns>`
+///
+/// Tails a store being written by `ivnt stream ingest`, pushing each
+/// completed row group through the incremental pipeline and printing the
+/// reduced state deltas as they materialize. Runs until the writer seals
+/// the file; `--once` instead stops at the first poll that makes no
+/// progress (use it on finished files). `--sax K` adds incremental
+/// SWAB + SAX symbolization with a K-letter alphabet. On a closed stream
+/// the concatenated deltas are bit-identical to the batch pipeline's
+/// reduced output over the same records.
+fn stream_follow(args: &Args) -> CmdResult {
+    let path = args.positional(1, "trace.ivns")?;
+    let shared = SharedOptions::parse_switches(args);
+
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
+    let mut u_rel = RuleSet::from_network(&data.network);
+    for (signal, (_, comparable)) in &data.signal_classes {
+        let _ = u_rel.set_comparable(signal, *comparable);
+    }
+    let mut profile = DomainProfile::new("cli-stream");
+    if let Some(list) = args.get("signals") {
+        let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
+        profile = profile.with_signals(names);
+    }
+    let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
+
+    let mut options = ivnt_stream::StreamOptions::default();
+    if let Some(ms) = args.get_parsed::<u64>("watermark-ms")? {
+        options.watermark_s = ms as f64 / 1e3;
+    }
+    if let Some(cap) = args.get_parsed::<usize>("history-cap")? {
+        options.history_cap = cap;
+    }
+    if let Some(alphabet) = args.get_parsed::<usize>("sax")? {
+        options.symbolize = Some(ivnt_stream::SymbolizeOptions {
+            alphabet_size: alphabet,
+            ..ivnt_stream::SymbolizeOptions::default()
+        });
+    }
+    let poll_ms = args.get_parsed::<u64>("poll-ms")?.unwrap_or(200);
+
+    let registry = output::metrics_registry(&shared);
+    let mut session = ivnt_stream::StreamingSession::new(&pipeline, options).map_err(err)?;
+    let mut follower = ivnt_store::StoreFollower::open(path).map_err(err)?;
+    let mut groups = 0u64;
+    let mut rows = 0u64;
+    let mut sealed = false;
+    loop {
+        let batch = follower.poll().map_err(err)?;
+        let progressed = !batch.groups.is_empty();
+        for group in &batch.groups {
+            groups += 1;
+            let deltas = session.push_records(&group.records).map_err(err)?;
+            print_deltas(&shared, &deltas, &mut rows);
+        }
+        if batch.sealed {
+            sealed = true;
+            break;
+        }
+        if args.has("once") && !progressed {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+    }
+    let peak_buffered = session.peak_buffered_rows();
+    let late_rows = session.late_rows();
+    let close = session.close().map_err(err)?;
+    print_deltas(&shared, &close.deltas, &mut rows);
+    let snapshot = registry.as_ref().map(|(r, _)| r.snapshot());
+
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", path);
+        w.field_bool("sealed", sealed);
+        w.field_u64("groups", groups);
+        w.field_u64("rows_emitted", rows);
+        w.field_u64("peak_buffered_rows", peak_buffered as u64);
+        w.field_u64("late_rows", late_rows);
+        w.begin_array(Some("signals"));
+        for s in &close.summaries {
+            w.begin_object(None);
+            w.field_str("signal", &s.signal);
+            w.field_str("representative_channel", &s.representative_channel);
+            let quote = |names: &[String]| -> Vec<String> {
+                names.iter().map(|n| output::json_str(n)).collect()
+            };
+            w.field_raw(
+                "corresponding",
+                &format!("[{}]", quote(&s.corresponding).join(", ")),
+            );
+            w.field_raw(
+                "mismatched",
+                &format!("[{}]", quote(&s.mismatched).join(", ")),
+            );
+            w.field_u64("rows_interpreted", s.rows_interpreted as u64);
+            w.field_u64("rows_emitted", s.rows_emitted as u64);
+            w.field_u64("rep_conflicts", s.rep_conflicts);
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        let ending = if sealed { "sealed" } else { "stopped" };
+        println!(
+            "{ending}: {} signals, {rows} reduced rows over {groups} groups \
+             (peak {peak_buffered} rows buffered, {late_rows} late)",
+            close.summaries.len(),
+        );
+        for s in &close.summaries {
+            let lists = if s.corresponding.is_empty() && s.mismatched.is_empty() {
+                String::new()
+            } else {
+                format!(
+                    "  corr [{}] mism [{}]",
+                    s.corresponding.join(", "),
+                    s.mismatched.join(", "),
+                )
+            };
+            println!(
+                "  {:<14} rep {:<12} {:>8} -> {:>8} rows{lists}",
+                s.signal, s.representative_channel, s.rows_interpreted, s.rows_emitted,
+            );
+        }
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
+        }
+    }
+    Ok(())
+}
+
+/// Prints one poll's state deltas (text mode only) and counts their rows.
+fn print_deltas(shared: &SharedOptions, deltas: &[ivnt_stream::SignalDelta], rows: &mut u64) {
+    for d in deltas {
+        *rows += d.rows.len() as u64;
+        if shared.json || d.rows.is_empty() {
+            continue;
+        }
+        let last_t = d.rows.last().map_or(0.0, |r| r.t);
+        let sax = if d.segments.is_empty() {
+            String::new()
+        } else {
+            let word: String = d.segments.iter().map(|s| s.symbol).collect();
+            format!("  sax \"{word}\"")
+        };
+        println!(
+            "  {:<14} +{:>5} rows (t <= {last_t:.3}s){sax}",
+            d.signal,
+            d.rows.len(),
+        );
+    }
 }
 
 /// `ivnt cluster <worker|run>` — distributed extraction.
@@ -789,9 +1149,19 @@ USAGE:
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>
-  ivnt store info    [--chunks N] [--json] <trace.ivns>
+  ivnt store info    [--chunks N] [--groups N] [--json] <trace.ivns>
   ivnt store extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       [shared flags] [--csv out.csv] <trace.ivns>
+  ivnt stream ingest [--stdin | --listen ADDR | --scenario syn|lig|sta
+                      [--seed S] [--examples N] [--frames N]]
+                      [--flush-rows N] [--flush-ms N] [--queue N]
+                      [--poll-ms N] [--no-seal] [--chunk-rows N]
+                      [--chunks-per-group N] [--cluster true|false]
+                      [--metrics] [--json] <out.ivns>
+  ivnt stream follow --scenario syn|lig|sta [--seed S] [--signals a,b,..]
+                      [--watermark-ms N] [--history-cap N] [--sax K]
+                      [--poll-ms N] [--once] [--metrics] [--json]
+                      <trace.ivns>
   ivnt cluster worker [--listen ADDR] [--once]
   ivnt cluster run   --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       (--workers A,B,.. | --local N) [--heartbeat-ms N]
@@ -810,5 +1180,13 @@ SHARED FLAGS (run, extract, store extract):
 
   `cluster run` also accepts --metrics/--json; there --workers is the
   worker ADDRESS LIST and the snapshot merges coordinator and workers.
+
+STREAMING:
+  `stream ingest` appends micro-batched, checksummed row groups; a killed
+  writer loses at most the unflushed tail and `store info` still indexes
+  the file. `stream follow` tails such a store through the incremental
+  pipeline; on a sealed stream its concatenated output is bit-identical
+  to the batch `run` over the same records. Frame-line stdin format:
+  `<timestamp_us> <bus> <message_id> <payload_hex|-> [can|canfd|lin|someip]`
 "
 }

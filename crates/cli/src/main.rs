@@ -27,6 +27,7 @@ fn main() {
         "extract" => commands::extract(&parsed),
         "run" => commands::run(&parsed),
         "store" => commands::store(&parsed),
+        "stream" => commands::stream(&parsed),
         "cluster" => commands::cluster(&parsed),
         "dbc" => commands::dbc(&parsed),
         "help" | "--help" | "-h" => {

@@ -89,7 +89,12 @@ impl std::fmt::Debug for ConditionFn {
 }
 
 impl ConditionFn {
-    fn evaluate(&self, ctx: &RowCtx) -> bool {
+    /// Evaluates the condition against one row context.
+    ///
+    /// Public so the incremental (streaming) reducer evaluates *exactly*
+    /// this logic with carried-over `prev_*` state instead of duplicating
+    /// it — bit-identity between the paths falls out by construction.
+    pub fn evaluate(&self, ctx: &RowCtx) -> bool {
         match self {
             ConditionFn::ValueChanged => {
                 ctx.index == 0 || ctx.num != ctx.prev_num || ctx.text != ctx.prev_text
@@ -138,7 +143,10 @@ impl Constraint {
         }
     }
 
-    fn applies_to(&self, signal: &str) -> bool {
+    /// Whether the constraint participates in reducing `signal` (enabled
+    /// and either global or bound to that signal). Public for the
+    /// streaming reducer, which must mirror the batch activity check.
+    pub fn applies_to(&self, signal: &str) -> bool {
         self.enabled && self.signal.as_deref().map(|s| s == signal).unwrap_or(true)
     }
 }

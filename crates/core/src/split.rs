@@ -89,6 +89,27 @@ impl SignalSequence {
         Ok(out)
     }
 
+    /// Per-row channel names, in order (`None` where the cell is null).
+    ///
+    /// Shares the column's `Arc<str>` cells like [`text_values`]
+    /// (SignalSequence::text_values); used by equivalence tests comparing
+    /// streaming deltas against batch sequences row by row.
+    ///
+    /// # Errors
+    ///
+    /// Propagates tabular-engine failures.
+    pub fn bus_values(&self) -> Result<Vec<Option<Arc<str>>>> {
+        let idx = self.frame.schema().index_of(c::BUS)?;
+        let mut out = Vec::with_capacity(self.len());
+        for batch in self.frame.partitions() {
+            match batch.column(idx).as_str_slice() {
+                Some(vals) => out.extend(vals.iter().cloned()),
+                None => out.extend(std::iter::repeat_n(None, batch.num_rows())),
+            }
+        }
+        Ok(out)
+    }
+
     /// Distinct channels the sequence was observed on.
     ///
     /// # Errors

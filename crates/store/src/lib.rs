@@ -21,11 +21,16 @@
 //! - [`StoreReader`] — validated open ([`Error::BadMagic`],
 //!   [`Error::Truncated`], checksum variants), [`Predicate`]-driven
 //!   [`StoreReader::scan`] with [`ScanStats`].
+//! - [`append`] — live-session mode: [`AppendWriter`] flushes
+//!   crash-recoverable micro-batched group frames, [`recover`] rebuilds
+//!   the index of a torn file by walking checksummed frames, and
+//!   [`StoreFollower`] tails a growing file group by group.
 //! - [`schema`] — the canonical tabular form of a raw trace, shared with
 //!   the interpretation pipeline.
 
 #![warn(missing_docs)]
 
+pub mod append;
 pub mod error;
 pub mod layout;
 pub mod reader;
@@ -34,6 +39,10 @@ pub mod schema;
 pub mod varint;
 pub mod writer;
 
+pub use append::{
+    open_recovered, recover, recover_reader, seal_recovered, AppendOptions, AppendWriter,
+    GroupFlush, Recovered, StoreFollower, TailBatch, TailGroup,
+};
 pub use error::{Error, Result};
 pub use layout::{ChunkMeta, Footer, GroupSpan, ZoneMap};
 pub use reader::{CompiledPredicate, Predicate, ScanStats, StoreReader};

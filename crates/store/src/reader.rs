@@ -236,6 +236,14 @@ impl<R: Read + Seek> StoreReader<R> {
         Ok(StoreReader { inner, footer })
     }
 
+    /// Binds an already-validated footer to `inner` without requiring a
+    /// trailer — how [`open_recovered`](crate::append::open_recovered)
+    /// reads a torn append-mode file whose index was rebuilt by walking
+    /// checksummed group frames.
+    pub fn with_footer(inner: R, footer: Footer) -> Self {
+        StoreReader { inner, footer }
+    }
+
     /// The decoded footer (dictionary, row counts, chunk index).
     pub fn footer(&self) -> &Footer {
         &self.footer

@@ -1,0 +1,66 @@
+//! Typed errors of the streaming layer.
+
+use std::fmt;
+
+/// Error type for live-session ingest and the incremental pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// I/O failure on a source or sink.
+    Io(std::io::Error),
+    /// Failure in the appendable store.
+    Store(ivnt_store::Error),
+    /// Failure in the interpretation pipeline.
+    Core(ivnt_core::Error),
+    /// A malformed textual frame line.
+    Parse(String),
+    /// A pipeline parameterization the incremental path cannot honor
+    /// (e.g. cluster reduction, which is a global k-means).
+    Unsupported(String),
+    /// The ingest channel closed unexpectedly.
+    ChannelClosed,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Io(e) => write!(f, "i/o error: {e}"),
+            Error::Store(e) => write!(f, "store error: {e}"),
+            Error::Core(e) => write!(f, "pipeline error: {e}"),
+            Error::Parse(msg) => write!(f, "frame line parse error: {msg}"),
+            Error::Unsupported(msg) => write!(f, "unsupported in streaming mode: {msg}"),
+            Error::ChannelClosed => write!(f, "ingest channel closed"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Io(e) => Some(e),
+            Error::Store(e) => Some(e),
+            Error::Core(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for Error {
+    fn from(e: std::io::Error) -> Self {
+        Error::Io(e)
+    }
+}
+
+impl From<ivnt_store::Error> for Error {
+    fn from(e: ivnt_store::Error) -> Self {
+        Error::Store(e)
+    }
+}
+
+impl From<ivnt_core::Error> for Error {
+    fn from(e: ivnt_core::Error) -> Self {
+        Error::Core(e)
+    }
+}
+
+/// Streaming result alias.
+pub type Result<T> = std::result::Result<T, Error>;

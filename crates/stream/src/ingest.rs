@@ -1,0 +1,282 @@
+//! The ingest driver: source → bounded channel → appendable store.
+//!
+//! A producer thread pulls frames from a [`FrameSource`] and pushes them
+//! into a bounded channel; the caller's thread drains the channel into an
+//! [`AppendWriter`], which flushes micro-batched row groups. The channel
+//! bound is the backpressure mechanism: when the writer falls behind, the
+//! producer blocks (counted as `stream_backpressure_total`) instead of
+//! growing an unbounded queue.
+//!
+//! ## Shutdown protocol
+//!
+//! Setting the shared stop flag makes the producer stop pulling at its
+//! next event (sources surface [`SourceEvent::Idle`] on their own
+//! timeouts, so a stalled peer cannot wedge shutdown). The consumer then
+//! drains whatever the channel still holds, flushes the partial group and
+//! seals the store (unless sealing was disabled) — a graceful drain, not
+//! an abort. Crash tolerance for *ungraceful* death is the appendable
+//! store's job: everything up to the last flushed group is recoverable.
+
+use std::sync::atomic::{AtomicBool, AtomicIsize, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use ivnt_store::{AppendWriter, Record};
+
+use crate::error::{Error, Result};
+use crate::source::{FrameSource, SourceEvent};
+
+/// Knobs of the ingest driver.
+#[derive(Debug, Clone)]
+pub struct IngestOptions {
+    /// Bounded channel capacity between source and writer.
+    pub queue_capacity: usize,
+    /// How long the consumer waits for a frame before re-checking the
+    /// stop flag (and flushing an idle partial group).
+    pub poll_timeout: Duration,
+    /// Stop after this many frames (`None` = until the source ends).
+    pub max_frames: Option<u64>,
+    /// Seal the store on completion. Leave `false` to keep the file
+    /// appendable for a later session (it stays recoverable either way).
+    pub seal: bool,
+    /// Flush a partial group when the source goes idle, so followers see
+    /// fresh data even on a quiet bus.
+    pub flush_on_idle: bool,
+}
+
+impl Default for IngestOptions {
+    fn default() -> Self {
+        IngestOptions {
+            queue_capacity: 1024,
+            poll_timeout: Duration::from_millis(100),
+            max_frames: None,
+            seal: true,
+            flush_on_idle: true,
+        }
+    }
+}
+
+/// What one ingest run did.
+#[derive(Debug, Clone, Default)]
+pub struct IngestStats {
+    /// Frames written.
+    pub frames: u64,
+    /// Row groups flushed.
+    pub groups: u32,
+    /// Bytes written to the store.
+    pub bytes: u64,
+    /// Wall-clock seconds of each group flush.
+    pub flush_seconds: Vec<f64>,
+    /// Times the producer blocked on a full channel.
+    pub backpressure_waits: u64,
+    /// High-water mark of the channel depth.
+    pub peak_queue_depth: usize,
+    /// Frames still queued when the run stopped (dropped, not written).
+    pub dropped_frames: u64,
+    /// Whether the store was sealed.
+    pub sealed: bool,
+}
+
+/// Shared handle for asking a running ingest to stop.
+#[derive(Debug, Clone, Default)]
+pub struct StopFlag(Arc<AtomicBool>);
+
+impl StopFlag {
+    /// Creates an unset flag.
+    pub fn new() -> StopFlag {
+        StopFlag::default()
+    }
+
+    /// Requests a graceful drain-and-stop.
+    pub fn stop(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a stop was requested.
+    pub fn is_set(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// Producer-side state shared with the consumer loop.
+struct Shared {
+    /// Signed: the producer's increment and the consumer's decrement
+    /// race, so the instantaneous value may briefly dip below zero.
+    depth: AtomicIsize,
+    peak_depth: AtomicIsize,
+    backpressure: AtomicUsize,
+    error: Mutex<Option<Error>>,
+}
+
+/// Runs the ingest loop: `source` drained through a bounded channel into
+/// `writer` until the source ends, `options.max_frames` is reached or
+/// `stop` is set. Returns the writer (sealed or still appendable) with
+/// the run's statistics.
+///
+/// # Errors
+///
+/// Source and store failures; frames written before the failure stay
+/// recoverable in the store.
+pub fn ingest<W, S>(
+    mut source: S,
+    mut writer: AppendWriter<W>,
+    options: &IngestOptions,
+    stop: &StopFlag,
+) -> Result<(Option<W>, IngestStats)>
+where
+    W: std::io::Write,
+    S: FrameSource + 'static,
+{
+    let (tx, rx): (SyncSender<Record>, Receiver<Record>) =
+        std::sync::mpsc::sync_channel(options.queue_capacity.max(1));
+    let shared = Arc::new(Shared {
+        depth: AtomicIsize::new(0),
+        peak_depth: AtomicIsize::new(0),
+        backpressure: AtomicUsize::new(0),
+        error: Mutex::new(None),
+    });
+
+    let producer_shared = shared.clone();
+    let producer_stop = stop.clone();
+    let producer = std::thread::spawn(move || {
+        loop {
+            if producer_stop.is_set() {
+                break;
+            }
+            match source.next_event() {
+                Ok(SourceEvent::Frame(record)) => {
+                    // Try the fast path; a full channel is backpressure.
+                    let record = match tx.try_send(record) {
+                        Ok(()) => {
+                            bump_depth(&producer_shared);
+                            continue;
+                        }
+                        Err(TrySendError::Full(record)) => {
+                            producer_shared.backpressure.fetch_add(1, Ordering::Relaxed);
+                            ivnt_obs::with(|r| r.add("stream_backpressure_total", 1));
+                            record
+                        }
+                        Err(TrySendError::Disconnected(_)) => break,
+                    };
+                    if tx.send(record).is_err() {
+                        break;
+                    }
+                    bump_depth(&producer_shared);
+                }
+                Ok(SourceEvent::Idle) => continue,
+                Ok(SourceEvent::End) => break,
+                Err(e) => {
+                    *producer_shared.error.lock().expect("error slot") = Some(e);
+                    break;
+                }
+            }
+        }
+        // Dropping `tx` disconnects the channel: the consumer drains what
+        // remains and finishes.
+    });
+
+    let mut stats = IngestStats::default();
+    let result = drain(&rx, &mut writer, options, stop, &shared, &mut stats);
+    stop.stop();
+    // Dropping the receiver unblocks a producer parked on a full channel;
+    // records it already queued are counted as dropped below.
+    drop(rx);
+    let _ = producer.join();
+
+    stats.backpressure_waits = shared.backpressure.load(Ordering::Relaxed) as u64;
+    stats.peak_queue_depth = shared.peak_depth.load(Ordering::Relaxed).max(0) as usize;
+    stats.dropped_frames = shared.depth.load(Ordering::Relaxed).max(0) as u64;
+    if stats.dropped_frames > 0 {
+        ivnt_obs::with(|r| r.add("stream_frames_dropped_total", stats.dropped_frames));
+    }
+    result?;
+    if let Some(e) = shared.error.lock().expect("error slot").take() {
+        return Err(e);
+    }
+
+    // Flush the partial tail group first so the stats count every data
+    // byte; seal() then only adds the footer and trailer.
+    writer.flush()?;
+    stats.groups = writer.groups();
+    stats.bytes = writer.bytes_written();
+    let out = if options.seal {
+        let out = writer.seal()?;
+        stats.sealed = true;
+        Some(out)
+    } else {
+        None
+    };
+    Ok((out, stats))
+}
+
+fn bump_depth(shared: &Shared) {
+    let depth = shared.depth.fetch_add(1, Ordering::Relaxed) + 1;
+    shared.peak_depth.fetch_max(depth, Ordering::Relaxed);
+    ivnt_obs::with(|r| r.set_gauge("stream_queue_depth", depth.max(0) as f64));
+}
+
+/// The consumer loop: drain frames into the writer until the channel
+/// disconnects (source done) or the stop flag asks for a drain.
+fn drain<W: std::io::Write>(
+    rx: &Receiver<Record>,
+    writer: &mut AppendWriter<W>,
+    options: &IngestOptions,
+    stop: &StopFlag,
+    shared: &Shared,
+    stats: &mut IngestStats,
+) -> Result<()> {
+    loop {
+        match rx.recv_timeout(options.poll_timeout) {
+            Ok(record) => {
+                let depth = shared.depth.fetch_sub(1, Ordering::Relaxed) - 1;
+                ivnt_obs::with(|r| r.set_gauge("stream_queue_depth", depth.max(0) as f64));
+                if let Some(flush) = writer.append(&record)? {
+                    note_flush(stats, flush.seconds);
+                }
+                stats.frames += 1;
+                if options.max_frames.is_some_and(|max| stats.frames >= max) {
+                    stop.stop();
+                    return Ok(());
+                }
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.is_set() {
+                    // Producer saw the flag too; one last non-blocking
+                    // sweep picks up anything in flight.
+                    while let Ok(record) = rx.try_recv() {
+                        shared.depth.fetch_sub(1, Ordering::Relaxed);
+                        if let Some(flush) = writer.append(&record)? {
+                            note_flush(stats, flush.seconds);
+                        }
+                        stats.frames += 1;
+                    }
+                    return Ok(());
+                }
+                if options.flush_on_idle && writer.buffered_rows() > 0 {
+                    if let Some(flush) = writer.flush()? {
+                        note_flush(stats, flush.seconds);
+                    }
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => {
+                while let Ok(record) = rx.try_recv() {
+                    shared.depth.fetch_sub(1, Ordering::Relaxed);
+                    if let Some(flush) = writer.append(&record)? {
+                        note_flush(stats, flush.seconds);
+                    }
+                    stats.frames += 1;
+                }
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn note_flush(stats: &mut IngestStats, seconds: f64) {
+    stats.flush_seconds.push(seconds);
+    ivnt_obs::with(|r| {
+        r.add("stream_groups_flushed_total", 1);
+        r.observe("stream_flush_seconds", ivnt_obs::SECONDS_BUCKETS, seconds);
+    });
+}

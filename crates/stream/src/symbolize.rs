@@ -1,0 +1,185 @@
+//! Incremental SWAB + SAX symbolization with carry-over state.
+//!
+//! The batch SWAB driver ([`ivnt_series::swab::swab`]) is *prefix-causal*:
+//! while more than `buffer_len` points remain it runs bottom-up on exactly
+//! the first `buffer_len` points and commits only the leftmost segment;
+//! only the final (≤ `buffer_len`) window is emitted whole. That structure
+//! makes an incremental wrapper with bounded carry-over possible — and
+//! **bit-identical**, not merely approximate:
+//!
+//! * [`IncrementalSwab::feed`] appends points and, while *strictly more*
+//!   than `buffer_len` points are pending (i.e. the current window provably
+//!   isn't the final one), replays the batch step: bottom-up over the first
+//!   `buffer_len` pending points, emit the leftmost segment, drop its
+//!   points. Pending never exceeds `buffer_len + feed_len` and shrinks back
+//!   under `buffer_len` before returning — O(window) carry-over.
+//! * [`IncrementalSwab::close`] emits bottom-up over the remaining pending
+//!   points — exactly the batch driver's final-window step (and exactly the
+//!   `n ≤ buffer_len` whole-series case when nothing was ever emitted).
+//!
+//! [`IncrementalSymbolizer`] layers SAX on top: each completed segment's
+//! mean value is mapped to a symbol against the equiprobable Gaussian
+//! [`breakpoints`]. [`symbolize_batch`] is the batch oracle the property
+//! tests compare against under randomized feed boundaries.
+
+use std::collections::VecDeque;
+
+use ivnt_series::sax::{breakpoints, symbol_for};
+use ivnt_series::stats::mean;
+use ivnt_series::swab::{bottom_up, swab, SwabConfig};
+use ivnt_series::Segment;
+
+/// Knobs for the incremental symbolizer.
+#[derive(Debug, Clone, Copy)]
+pub struct SymbolizeOptions {
+    /// SWAB segmentation parameters.
+    pub swab: SwabConfig,
+    /// SAX alphabet size (≥ 2).
+    pub alphabet_size: usize,
+}
+
+impl Default for SymbolizeOptions {
+    fn default() -> Self {
+        SymbolizeOptions {
+            swab: SwabConfig::default(),
+            alphabet_size: 5,
+        }
+    }
+}
+
+/// Incremental SWAB: bounded carry-over, bit-identical to the batch driver.
+pub struct IncrementalSwab {
+    max_error: f64,
+    buffer_len: usize,
+    /// Absolute index of `pending[0]` in the full series.
+    base: usize,
+    pending: Vec<f64>,
+}
+
+impl IncrementalSwab {
+    /// Creates carry-over state for `config`.
+    pub fn new(config: SwabConfig) -> IncrementalSwab {
+        IncrementalSwab {
+            max_error: config.max_error,
+            buffer_len: config.buffer_len.max(4),
+            base: 0,
+            pending: Vec::new(),
+        }
+    }
+
+    /// Appends points and returns every segment the batch driver would
+    /// have committed by now (absolute indices into the full series).
+    pub fn feed(&mut self, values: &[f64]) -> Vec<Segment> {
+        self.pending.extend_from_slice(values);
+        let mut out = Vec::new();
+        while self.pending.len() > self.buffer_len {
+            let segs = bottom_up(&self.pending[..self.buffer_len], self.max_error);
+            let first = segs.into_iter().next().expect("non-empty window");
+            let advance = first.end - first.start;
+            out.push(Segment {
+                start: first.start + self.base,
+                end: first.end + self.base,
+                ..first
+            });
+            self.pending.drain(..advance);
+            self.base += advance;
+        }
+        out
+    }
+
+    /// Emits the final window's segments, consuming the state.
+    pub fn close(self) -> Vec<Segment> {
+        bottom_up(&self.pending, self.max_error)
+            .into_iter()
+            .map(|s| Segment {
+                start: s.start + self.base,
+                end: s.end + self.base,
+                ..s
+            })
+            .collect()
+    }
+
+    /// Points currently carried over (bounded by `buffer_len` between
+    /// feeds).
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+/// One SWAB segment with its SAX symbol.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolizedSegment {
+    /// The fitted segment (absolute indices into the value series).
+    pub segment: Segment,
+    /// SAX symbol of the segment's mean value.
+    pub symbol: char,
+}
+
+/// Incremental SWAB + SAX over a single signal's numeric values.
+pub struct IncrementalSymbolizer {
+    swab: IncrementalSwab,
+    breakpoints: Vec<f64>,
+    /// Values not yet consumed by an emitted segment, front-aligned with
+    /// the swab carry-over window.
+    values: VecDeque<f64>,
+}
+
+impl IncrementalSymbolizer {
+    /// Creates carry-over state for `options`.
+    pub fn new(options: SymbolizeOptions) -> IncrementalSymbolizer {
+        IncrementalSymbolizer {
+            swab: IncrementalSwab::new(options.swab),
+            breakpoints: breakpoints(options.alphabet_size.max(2)),
+            values: VecDeque::new(),
+        }
+    }
+
+    /// Appends values, returning segments completed by this feed.
+    pub fn feed(&mut self, values: &[f64]) -> Vec<SymbolizedSegment> {
+        self.values.extend(values.iter().copied());
+        let segments = self.swab.feed(values);
+        segments
+            .into_iter()
+            .map(|segment| self.symbolize(segment))
+            .collect()
+    }
+
+    /// Emits the remaining segments, consuming the state.
+    pub fn close(mut self) -> Vec<SymbolizedSegment> {
+        let segments =
+            std::mem::replace(&mut self.swab, IncrementalSwab::new(SwabConfig::default())).close();
+        segments
+            .into_iter()
+            .map(|segment| self.symbolize(segment))
+            .collect()
+    }
+
+    /// Values carried over awaiting segmentation.
+    pub fn pending_len(&self) -> usize {
+        self.swab.pending_len()
+    }
+
+    fn symbolize(&mut self, segment: Segment) -> SymbolizedSegment {
+        // Segments tile the series: this one's values sit at the front.
+        let len = segment.end - segment.start;
+        let vals: Vec<f64> = self.values.drain(..len).collect();
+        SymbolizedSegment {
+            symbol: symbol_for(mean(&vals), &self.breakpoints),
+            segment,
+        }
+    }
+}
+
+/// Batch oracle: SWAB over the whole series, then the same per-segment
+/// mean → SAX mapping. The property tests assert [`IncrementalSymbolizer`]
+/// reproduces this bit-for-bit under arbitrary feed boundaries.
+pub fn symbolize_batch(values: &[f64], options: SymbolizeOptions) -> Vec<SymbolizedSegment> {
+    let bps = breakpoints(options.alphabet_size.max(2));
+    swab(values, options.swab)
+        .into_iter()
+        .map(|segment| SymbolizedSegment {
+            symbol: symbol_for(mean(&values[segment.start..segment.end]), &bps),
+            segment,
+        })
+        .collect()
+}

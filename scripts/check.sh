@@ -52,4 +52,12 @@ IVNT_PIPELINE_MIN_SPEEDUP="${IVNT_PIPELINE_MIN_SPEEDUP:-1.0}" \
 IVNT_OBS_MAX_OVERHEAD="${IVNT_OBS_MAX_OVERHEAD:-0.02}" \
   cargo run --release -q -p ivnt-bench --bin pipeline_e2e
 
+echo "==> stream_ingest smoke (streaming bit-identity + kill-mid-stream recovery + throughput gate)"
+# Live ingest into the appendable store, the incremental pipeline checked
+# bit-identical to the batch path, a kill-mid-stream child asserted
+# recoverable, and sustained ingest gated at IVNT_STREAM_MIN_THROUGHPUT.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_STREAM_MIN_THROUGHPUT="${IVNT_STREAM_MIN_THROUGHPUT:-10000}" \
+  cargo run --release -q -p ivnt-bench --bin stream_ingest
+
 echo "all checks passed"
