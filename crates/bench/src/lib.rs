@@ -145,6 +145,37 @@ pub fn covered_fraction(data: &GeneratedDataSet, signals: &[String]) -> f64 {
     covered as f64 / total.max(1) as f64
 }
 
+/// Splits the catalog's signals into `n_domains` pairwise-disjoint subsets
+/// by round-robin over the catalog in message-id order — the multi-tenant
+/// shape `ivnt-plan` amortizes: every domain watches different signals of
+/// largely the same messages, so their preselection predicates overlap
+/// heavily at the chunk level while their signal sets never collide.
+pub fn disjoint_domains(data: &GeneratedDataSet, n_domains: usize) -> Vec<Vec<String>> {
+    let n = n_domains.max(1);
+    let mut messages: Vec<(u32, Vec<String>)> = data
+        .network
+        .catalog()
+        .messages()
+        .iter()
+        .map(|m| {
+            (
+                m.id(),
+                m.signals().iter().map(|s| s.name().to_string()).collect(),
+            )
+        })
+        .collect();
+    messages.sort_by_key(|(id, _)| *id);
+    let mut domains = vec![Vec::new(); n];
+    let mut j = 0usize;
+    for (_, signals) in messages {
+        for s in signals {
+            domains[j % n].push(s);
+            j += 1;
+        }
+    }
+    domains
+}
+
 /// Derives `U_rel` from a generated data set, applying its ground-truth
 /// comparability hints (the paper's `z_val` is domain knowledge carried by
 /// the documentation, which the scenario generator plays the role of).

@@ -4,9 +4,13 @@
 use std::collections::{HashMap, HashSet};
 
 /// Parsed command line: flag map, switch set, and positionals in order.
+///
+/// A flag may be repeated (`--domain a --domain b`): [`Args::get`] keeps
+/// the last-one-wins convention, [`Args::get_all`] returns every value in
+/// order.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Args {
-    flags: HashMap<String, String>,
+    flags: HashMap<String, Vec<String>>,
     switches: HashSet<String>,
     positionals: Vec<String>,
 }
@@ -33,7 +37,7 @@ impl Args {
                     let value = iter
                         .next()
                         .ok_or_else(|| format!("flag --{key} needs a value"))?;
-                    args.flags.insert(key.to_string(), value);
+                    args.flags.entry(key.to_string()).or_default().push(value);
                 }
             } else {
                 args.positionals.push(token);
@@ -47,9 +51,17 @@ impl Args {
         self.switches.contains(key)
     }
 
-    /// String flag.
+    /// String flag (the last occurrence when repeated).
     pub fn get(&self, key: &str) -> Option<&str> {
-        self.flags.get(key).map(String::as_str)
+        self.flags
+            .get(key)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every occurrence of a repeatable flag, in command-line order.
+    pub fn get_all(&self, key: &str) -> &[String] {
+        self.flags.get(key).map(Vec::as_slice).unwrap_or(&[])
     }
 
     /// String flag with default.
@@ -125,6 +137,17 @@ mod tests {
     fn bad_parse_reported() {
         let a = parse(&["--seed", "abc"]);
         assert!(a.get_parsed::<u64>("seed").is_err());
+    }
+
+    #[test]
+    fn repeated_flags_accumulate() {
+        let a = parse(&[
+            "--domain", "x=a", "--domain", "y=b", "--seed", "1", "--seed", "2",
+        ]);
+        assert_eq!(a.get_all("domain"), ["x=a".to_string(), "y=b".to_string()]);
+        assert_eq!(a.get("domain"), Some("y=b"), "get keeps last-one-wins");
+        assert_eq!(a.get_parsed::<u64>("seed").unwrap(), Some(2));
+        assert!(a.get_all("missing").is_empty());
     }
 
     #[test]

@@ -282,12 +282,13 @@ fn run_pipeline_cmd(args: &Args) -> CmdResult {
 ///
 /// Reports unknown subcommands and the subcommands' own failures.
 pub fn store(args: &Args) -> CmdResult {
-    match args.positional(0, "ingest|info|extract")? {
+    match args.positional(0, "ingest|info|extract|compact")? {
         "ingest" => store_ingest(args),
         "info" => store_info(args),
         "extract" => store_extract(args),
+        "compact" => store_compact(args),
         other => Err(format!(
-            "unknown store subcommand {other:?} (use ingest|info|extract)"
+            "unknown store subcommand {other:?} (use ingest|info|extract|compact)"
         )),
     }
 }
@@ -388,6 +389,7 @@ fn store_info_json(path: &str, footer: &ivnt_store::Footer, sealed: bool, torn: 
     w.field_u64("groups", u64::from(footer.groups));
     w.field_u64("group_rows", u64::from(footer.group_rows));
     w.field_bool("clustered", footer.clustered);
+    w.field_u64("generation", footer.generation);
     w.field_u64("payload_bytes", payload_bytes);
     w.field_u64("min_t_us", min_t.unwrap_or(0));
     w.field_u64("max_t_us", max_t.unwrap_or(0));
@@ -398,10 +400,13 @@ fn store_info_json(path: &str, footer: &ivnt_store::Footer, sealed: bool, torn: 
         let (min_t, max_t) = group_time_span(footer, &span);
         w.element_raw(&format!(
             "{{\"group\": {}, \"rows\": {}, \"chunks\": {}, \
+             \"chunk_start\": {}, \"chunk_end\": {}, \
              \"min_t_us\": {min_t}, \"max_t_us\": {max_t}}}",
             span.group,
             span.rows,
             span.chunk_end - span.chunk_start,
+            span.chunk_start,
+            span.chunk_end,
         ));
     }
     w.end_array();
@@ -612,6 +617,255 @@ fn store_extract(args: &Args) -> CmdResult {
         }
     }
     if !shared.json {
+        if let Some(s) = &snapshot {
+            println!();
+            output::print_snapshot(&shared, s);
+        }
+    }
+    Ok(())
+}
+
+/// `ivnt store compact [--chunk-rows N] [--chunks-per-group N]
+/// [--cluster true|false] [--json] <in.ivns> <out.ivns>`
+///
+/// Rewrites a store into full-size row groups. Stores sealed from append
+/// mode carry the ingest's micro-batch group boundaries (whatever
+/// `--flush-rows`/`--flush-ms` produced), which cost readers per-group
+/// overhead; compaction merges them into the batch writer's geometry.
+/// Contents are bit-identical — only the layout changes.
+fn store_compact(args: &Args) -> CmdResult {
+    let in_path = args.positional(1, "in.ivns")?;
+    let out_path = args.positional(2, "out.ivns")?;
+    let options = writer_options(args)?;
+    let report = ivnt_store::compact_file(in_path, out_path, options).map_err(err)?;
+    if args.has("json") {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("input", in_path);
+        w.field_str("output", out_path);
+        w.field_u64("rows", report.rows);
+        w.field_u64("groups_before", u64::from(report.groups_before));
+        w.field_u64("groups_after", u64::from(report.groups_after));
+        w.field_u64("chunks_before", report.chunks_before as u64);
+        w.field_u64("chunks_after", report.chunks_after as u64);
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "compacted {in_path} -> {out_path}: {} rows, {} -> {} groups, {} -> {} chunks",
+            report.rows,
+            report.groups_before,
+            report.groups_after,
+            report.chunks_before,
+            report.chunks_after,
+        );
+    }
+    Ok(())
+}
+
+/// One `--domain NAME=SIG[+SIG..][@FROM_US..TO_US]` specification.
+struct DomainSpec {
+    name: String,
+    signals: Vec<String>,
+    window: Option<(u64, u64)>,
+}
+
+/// Parses `NAME=a+b+c@1000..5000` (window optional, µs, inclusive).
+fn parse_domain_spec(spec: &str) -> Result<DomainSpec, String> {
+    let (name, rest) = spec
+        .split_once('=')
+        .ok_or_else(|| format!("--domain {spec:?}: expected NAME=SIG[+SIG..][@FROM..TO]"))?;
+    if name.is_empty() {
+        return Err(format!("--domain {spec:?}: empty domain name"));
+    }
+    let (signals_part, window) = match rest.split_once('@') {
+        Some((s, w)) => {
+            let (from, to) = w
+                .split_once("..")
+                .ok_or_else(|| format!("--domain {spec:?}: window must be FROM_US..TO_US"))?;
+            let from: u64 = from
+                .parse()
+                .map_err(|_| format!("--domain {spec:?}: bad window start {from:?}"))?;
+            let to: u64 = to
+                .parse()
+                .map_err(|_| format!("--domain {spec:?}: bad window end {to:?}"))?;
+            (s, Some((from, to)))
+        }
+        None => (rest, None),
+    };
+    let signals: Vec<String> = signals_part
+        .split('+')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(String::from)
+        .collect();
+    if signals.is_empty() {
+        return Err(format!("--domain {spec:?}: no signals listed"));
+    }
+    Ok(DomainSpec {
+        name: name.to_string(),
+        signals,
+        window,
+    })
+}
+
+/// `ivnt query --scenario syn|lig|sta [--seed S]
+/// --domain NAME=SIG[+SIG..][@FROM_US..TO_US] [--domain ..]
+/// [--signal SIG [--signal ..]] [--workers N] [--serial] [--metrics]
+/// [--json] <trace.ivns>`
+///
+/// Answers N domain queries over one store from a single shared pass via
+/// the `ivnt-plan` planner: preselection predicates are merged into one
+/// union scan, signal-disjoint windowless batches share the interpret
+/// kernel, and every per-query answer is bit-identical to running that
+/// domain as its own `ivnt store extract`-style session. `--signal SIG`
+/// is shorthand for `--domain SIG=SIG`.
+///
+/// # Errors
+///
+/// Reports planner and I/O failures as messages.
+pub fn query(args: &Args) -> CmdResult {
+    let path = args.positional(0, "trace.ivns")?;
+    let shared = SharedOptions::parse(args)?;
+
+    let mut specs: Vec<DomainSpec> = Vec::new();
+    for raw in args.get_all("domain") {
+        specs.push(parse_domain_spec(raw)?);
+    }
+    for raw in args.get_all("signal") {
+        specs.push(DomainSpec {
+            name: raw.clone(),
+            signals: vec![raw.clone()],
+            window: None,
+        });
+    }
+    if specs.is_empty() {
+        return Err("need at least one --domain NAME=SIG[+SIG..] or --signal SIG".into());
+    }
+
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
+    let mut u_rel = RuleSet::from_network(&data.network);
+    for (signal, (_, comparable)) in &data.signal_classes {
+        let _ = u_rel.set_comparable(signal, *comparable);
+    }
+
+    let pipelines: Vec<Pipeline> = specs
+        .iter()
+        .map(|d| {
+            let profile = DomainProfile::new(d.name.clone()).with_signals(d.signals.clone());
+            Pipeline::new(u_rel.clone(), profile).map_err(err)
+        })
+        .collect::<Result<_, _>>()?;
+
+    let queries: Vec<ivnt_plan::Query<'_>> = pipelines
+        .iter()
+        .zip(&specs)
+        .map(|(p, d)| {
+            let q = ivnt_plan::Query::new(p).with_label(d.name.clone());
+            match d.window {
+                Some((from, to)) => q.with_window(from, to),
+                None => q,
+            }
+        })
+        .collect();
+
+    let registry = output::metrics_registry(&shared);
+    let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
+    use ivnt_plan::SessionMany as _;
+    let mut set = Pipeline::session_many(queries, &mut reader);
+    if shared.serial {
+        set = set.serial();
+    }
+    if let Some((r, _)) = &registry {
+        set = set.with_subscriber(std::sync::Arc::clone(r));
+    }
+    let multi = set.run().map_err(err)?;
+    let snapshot = registry.as_ref().map(|(r, _)| r.snapshot());
+
+    let plan = &multi.plan;
+    let strategy = if plan.cache_misses == 0 {
+        "cache-only"
+    } else if plan.shared_interpret {
+        "shared-interpret"
+    } else {
+        "per-query"
+    };
+    if shared.json {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", path);
+        w.begin_object(Some("plan"));
+        w.field_u64("queries", plan.queries as u64);
+        w.field_str("strategy", strategy);
+        w.field_u64("cache_hits", plan.cache_hits as u64);
+        w.field_u64("cache_misses", plan.cache_misses as u64);
+        w.field_u64("scans_saved", plan.scans_saved as u64);
+        w.field_u64("groups_scanned", u64::from(plan.groups_scanned));
+        if let Some(s) = &plan.scan {
+            w.begin_object(Some("scan"));
+            w.field_u64("chunks_total", s.chunks_total as u64);
+            w.field_u64("chunks_scanned", s.chunks_scanned as u64);
+            w.field_u64("chunks_skipped", s.chunks_skipped as u64);
+            w.field_f64("skip_ratio", s.skip_ratio());
+            w.field_u64("peak_rows_buffered", s.peak_rows_buffered as u64);
+            w.end_object();
+        }
+        w.end_object();
+        w.begin_array(Some("queries"));
+        for qr in &multi.results {
+            w.begin_object(None);
+            w.field_str("label", &qr.label);
+            w.field_u64("rows_routed", qr.stats.rows_routed);
+            w.field_u64("groups", u64::from(qr.stats.groups));
+            w.begin_array(Some("signals"));
+            for s in &qr.output.signals {
+                w.begin_object(None);
+                w.field_str("signal", &s.signal);
+                w.field_str("branch", &s.classification.branch.to_string());
+                w.field_u64("rows_interpreted", s.rows_interpreted as u64);
+                w.field_u64("rows_reduced", s.rows_reduced as u64);
+                w.end_object();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_array();
+        if let Some(s) = &snapshot {
+            w.field_raw("metrics", &s.to_json());
+        }
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        let scan = plan
+            .scan
+            .as_ref()
+            .map(|s| {
+                format!(
+                    ", {}/{} chunks decoded ({:.0}% pruned)",
+                    s.chunks_scanned,
+                    s.chunks_total,
+                    s.skip_ratio() * 100.0,
+                )
+            })
+            .unwrap_or_default();
+        println!(
+            "answered {} queries from one pass over {path} ({strategy}, \
+             {} store scans saved{scan})",
+            plan.queries, plan.scans_saved,
+        );
+        for qr in &multi.results {
+            println!(
+                "  {:<14} {:>8} raw rows over {:>4} groups",
+                qr.label, qr.stats.rows_routed, qr.stats.groups,
+            );
+            for s in &qr.output.signals {
+                println!(
+                    "    {:<14} branch {:<6} {:>8} -> {:>8} rows",
+                    s.signal, s.classification.branch, s.rows_interpreted, s.rows_reduced,
+                );
+            }
+        }
         if let Some(s) = &snapshot {
             println!();
             output::print_snapshot(&shared, s);
@@ -1146,12 +1400,17 @@ USAGE:
   ivnt run     --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                [shared flags] [--state-csv out.csv] [--report out.md]
                [--rows N] <trace.ivnt>
+  ivnt query   --scenario syn|lig|sta [--seed S]
+               --domain NAME=SIG[+SIG..][@FROM_US..TO_US] [--domain ..]
+               [--signal SIG [--signal ..]] [shared flags] <trace.ivns>
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>
   ivnt store info    [--chunks N] [--groups N] [--json] <trace.ivns>
   ivnt store extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       [shared flags] [--csv out.csv] <trace.ivns>
+  ivnt store compact [--chunk-rows N] [--chunks-per-group N]
+                      [--cluster true|false] [--json] <in.ivns> <out.ivns>
   ivnt stream ingest [--stdin | --listen ADDR | --scenario syn|lig|sta
                       [--seed S] [--examples N] [--frames N]]
                       [--flush-rows N] [--flush-ms N] [--queue N]
@@ -1170,7 +1429,14 @@ USAGE:
                       <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]
 
-SHARED FLAGS (run, extract, store extract):
+MULTI-QUERY:
+  `query` answers N domain queries from ONE store pass (`ivnt-plan`):
+  predicates merge into a union zone-map scan, signal-disjoint windowless
+  batches share the vectorized interpret kernel, and each answer is
+  bit-identical to a solo session. `store compact` rewrites micro-batched
+  (append-mode) stores into full-size row groups, contents unchanged.
+
+SHARED FLAGS (run, extract, store extract, query):
   --workers N   cap the per-signal fan-out executor
   --serial      force the sequential reference path
   --timing      print the per-stage busy/wall timing table (run, extract)

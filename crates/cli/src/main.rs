@@ -26,6 +26,7 @@ fn main() {
         "inspect" => commands::inspect(&parsed),
         "extract" => commands::extract(&parsed),
         "run" => commands::run(&parsed),
+        "query" => commands::query(&parsed),
         "store" => commands::store(&parsed),
         "stream" => commands::stream(&parsed),
         "cluster" => commands::cluster(&parsed),

@@ -200,6 +200,7 @@ mod tests {
             groups,
             group_rows: chunks_per_group * rows_per_chunk,
             clustered: true,
+            generation: u64::from(groups),
             chunks,
         }
     }

@@ -776,13 +776,13 @@ impl Kernel {
     /// the group's fused single-word program, the per-rule plans, or the
     /// null-payload emission.
     #[inline]
-    fn dispatch_row(
+    fn dispatch_row<S: EmitSink>(
         &self,
         group: u32,
         payload: Option<&[u8]>,
         t: Option<f64>,
         bus: u32,
-        out: &mut Builders,
+        out: &mut S,
     ) {
         let group_rules = self.lut.groups[group as usize].as_slice();
         match (self.fused[group as usize].as_ref(), payload) {
@@ -797,14 +797,14 @@ impl Kernel {
     /// Decodes one row whose payload covers the group's fused window: one
     /// word load, then a shift/mask program per signal.
     #[inline]
-    fn decode_row_fused(
+    fn decode_row_fused<S: EmitSink>(
         &self,
         f: &FusedGroup,
         group_rules: &[u32],
         p: &[u8],
         t: Option<f64>,
         bus: u32,
-        out: &mut Builders,
+        out: &mut S,
     ) {
         let (le, be) = load_window(p, f.first, f.span, f.needs_be);
         for (op, &ri) in f.ops.iter().zip(group_rules) {
@@ -815,13 +815,13 @@ impl Kernel {
     /// Decodes one row through the per-rule plans (gated signals, scalar
     /// fallbacks, payloads shorter than the fused window).
     #[inline]
-    fn decode_row_plans(
+    fn decode_row_plans<S: EmitSink>(
         &self,
         group_rules: &[u32],
         p: &[u8],
         t: Option<f64>,
         bus: u32,
-        out: &mut Builders,
+        out: &mut S,
     ) {
         for &ri in group_rules {
             match self.plans[ri as usize].decode_slice(p) {
@@ -833,11 +833,25 @@ impl Kernel {
 
     /// Null payload: a null-valued instance per rule of the group.
     #[inline]
-    fn emit_null_row(&self, group_rules: &[u32], t: Option<f64>, bus: u32, out: &mut Builders) {
+    fn emit_null_row<S: EmitSink>(
+        &self,
+        group_rules: &[u32],
+        t: Option<f64>,
+        bus: u32,
+        out: &mut S,
+    ) {
         for &ri in group_rules {
             out.push(t, self.signal_idx[ri as usize], bus, PlanDecoded::Null);
         }
     }
+}
+
+/// Emission sink of the batch-columnar kernel. The decode paths are
+/// generic over it so the single-table [`Builders`] and the multi-query
+/// [`RoutedBuilders`] monomorphize separately — the solo path pays
+/// nothing for routing support.
+trait EmitSink {
+    fn push(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded);
 }
 
 /// Pre-sized dictionary-encoded output builders for the signal table:
@@ -863,7 +877,7 @@ impl Builders {
     }
 
     #[inline]
-    fn push(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded) {
+    fn push_row(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded) {
         self.t.push(t);
         self.s.push(s);
         self.b.push(b);
@@ -907,6 +921,54 @@ impl Builders {
                 Column::Str(self.text),
             ],
         )
+    }
+}
+
+impl EmitSink for Builders {
+    #[inline]
+    fn push(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded) {
+        self.push_row(t, s, b, decoded);
+    }
+}
+
+/// N per-query [`Builders`] behind one signal-index route table: the
+/// multi-query planner's union kernel emits each decoded row straight
+/// into its owning query's output, so no post-hoc routing pass (name
+/// lookups plus a gather per query) ever touches the emitted rows.
+/// Slot `outs.len() - 1` is the discard lane for unrouted signals.
+struct RoutedBuilders<'r> {
+    route: &'r [u32],
+    outs: Vec<Builders>,
+}
+
+impl<'r> RoutedBuilders<'r> {
+    /// `route` maps kernel signal index → output slot; slots `>= lanes`
+    /// are clamped to the discard lane by the caller. `upper` is the
+    /// whole batch's emission bound, split evenly as a pre-size hint.
+    fn with_capacity(route: &'r [u32], lanes: usize, upper: usize) -> RoutedBuilders<'r> {
+        let per = upper / lanes.max(1) + 1;
+        RoutedBuilders {
+            route,
+            outs: (0..lanes + 1)
+                .map(|_| Builders::with_capacity(per))
+                .collect(),
+        }
+    }
+
+    /// One batch per non-discard lane, in lane order.
+    fn into_batches(self, schema: &Arc<Schema>, kernel: &Kernel) -> ivnt_frame::Result<Vec<Batch>> {
+        let mut outs = self.outs;
+        outs.pop(); // discard lane
+        outs.into_iter()
+            .map(|b| b.into_batch(schema, kernel))
+            .collect()
+    }
+}
+
+impl EmitSink for RoutedBuilders<'_> {
+    #[inline]
+    fn push(&mut self, t: Option<f64>, s: u32, b: u32, decoded: PlanDecoded) {
+        self.outs[self.route[s as usize] as usize].push_row(t, s, b, decoded);
     }
 }
 
@@ -992,152 +1054,227 @@ impl<'a> RunScanner<'a> {
 /// Propagates tabular-engine failures.
 pub fn interpret_fused(raw: &DataFrame, u_comb: &RuleSet) -> Result<DataFrame> {
     let schema = raw.schema();
-    let idx_t = schema.index_of(c::T)?;
-    let idx_bus = schema.index_of(c::BUS)?;
-    let idx_mid = schema.index_of(c::MESSAGE_ID)?;
-    let idx_payload = schema.index_of(c::PAYLOAD)?;
+    let idx = BatchCols {
+        t: schema.index_of(c::T)?,
+        bus: schema.index_of(c::BUS)?,
+        mid: schema.index_of(c::MESSAGE_ID)?,
+        payload: schema.index_of(c::PAYLOAD)?,
+    };
     let out_schema = signal_schema();
     let kernel = Kernel::build(u_comb);
 
     let parts: Vec<Batch> = raw
         .executor()
         .map_ref(raw.partitions(), |batch| {
-            let ts = float_column(batch, idx_t)?;
-            let buses = str_column(batch, idx_bus)?;
-            let mids = int_column(batch, idx_mid)?;
-            let payloads = bytes_column(batch, idx_payload)?;
-
-            match &kernel.lut.prefilter {
-                // Banded ids, two passes. The admit pass rejects the
-                // ~95+% misses on a single cache-hot bitset test over the
-                // id column alone — no bus access, no probe state. The
-                // decode pass then walks the (short) candidate list with a
-                // two-stage software-prefetch pipeline: admitted rows sit
-                // ~dozens of rows apart, a stride the hardware prefetcher
-                // cannot follow, so the `t`/payload cells (and the payload
-                // heap block behind the `Arc`) are pulled in ahead of use
-                // instead of serializing four cache misses per hit.
-                MidFilter::Band { min, set } => {
-                    let min = *min;
-                    let mut cand: Vec<(u32, i64)> = Vec::new();
-                    for (row, mid) in mids.iter().enumerate() {
-                        // Branchless null fold: the sentinel can never be
-                        // admitted (see `MidFilter::build`), so admitted
-                        // `m` is always the row's real id.
-                        let m = mid.unwrap_or(i64::MIN);
-                        let idx = m.wrapping_sub(min) as usize;
-                        if set.get(idx).copied().unwrap_or(0) != 0 {
-                            cand.push((row as u32, m));
-                        }
-                    }
-
-                    let widest = kernel.lut.groups.iter().map(Vec::len).max().unwrap_or(0);
-                    let mut out = Builders::with_capacity(cand.len() * widest);
-                    let mut scan = RunScanner::new(&kernel.lut);
-                    // Far stage: request the column cells of the row
-                    // `FAR` candidates ahead; near stage: their cells are
-                    // warm by now, so chase the payload `Arc` and request
-                    // its heap block.
-                    const FAR: usize = 32;
-                    const NEAR: usize = 16;
-                    for (i, &(row, mid)) in cand.iter().enumerate() {
-                        let row = row as usize;
-                        if let Some(&(ahead, _)) = cand.get(i + FAR) {
-                            let ahead = ahead as usize;
-                            prefetch(&raw const payloads[ahead]);
-                            prefetch(&raw const ts[ahead]);
-                            prefetch(&raw const buses[ahead]);
-                        }
-                        if let Some(&(near, _)) = cand.get(i + NEAR) {
-                            if let Some(p) = payloads[near as usize].as_ref() {
-                                prefetch(p.as_ptr());
-                            }
-                        }
-                        let Some(bus) = buses[row].as_ref() else {
-                            continue;
-                        };
-                        // Probe once per (bus, m_id) run; the memo makes
-                        // every later row of a run a three-compare no-op.
-                        if let Some((group, bus_id)) = scan.probe_memo(bus, mid) {
-                            kernel.dispatch_row(
-                                group,
-                                payloads[row].as_deref(),
-                                ts[row],
-                                bus_id,
-                                &mut out,
-                            );
-                        }
-                    }
-                    out.into_batch(&out_schema, &kernel)
-                }
-                // Wide ids: no cache-resident prefilter exists, so scan
-                // with the probe-every-row pass into a run list, then
-                // decode runs. Null-free fast paths are gated on an O(n)
-                // column scan (`Column::has_nulls`), so they only run
-                // where they can amortize: keys always (every row probes),
-                // payloads only when a sizeable share of rows decodes.
-                MidFilter::Wide => {
-                    let keys_dense =
-                        !batch.column(idx_bus).has_nulls() && !batch.column(idx_mid).has_nulls();
-                    let runs = kernel.scan_runs(buses, mids, keys_dense);
-                    let hit_rows: usize = runs.iter().map(|r| r.len).sum();
-                    let payloads_dense =
-                        hit_rows * 4 >= batch.num_rows() && !batch.column(idx_payload).has_nulls();
-                    let upper: usize = runs
-                        .iter()
-                        .map(|r| r.len * kernel.lut.groups[r.group as usize].len())
-                        .sum();
-                    let mut out = Builders::with_capacity(upper);
-                    for run in &runs {
-                        let group_rules = kernel.lut.groups[run.group as usize].as_slice();
-                        let rows = run.start..run.start + run.len;
-                        match kernel.fused[run.group as usize].as_ref() {
-                            // Whole-group fast path: one word load per row
-                            // serves every signal of the message.
-                            Some(f) if payloads_dense => {
-                                let end = f.first + f.span;
-                                for row in rows {
-                                    let p = payloads[row].as_deref().unwrap_or_default();
-                                    if p.len() >= end {
-                                        kernel.decode_row_fused(
-                                            f,
-                                            group_rules,
-                                            p,
-                                            ts[row],
-                                            run.bus,
-                                            &mut out,
-                                        );
-                                    } else {
-                                        kernel.decode_row_plans(
-                                            group_rules,
-                                            p,
-                                            ts[row],
-                                            run.bus,
-                                            &mut out,
-                                        );
-                                    }
-                                }
-                            }
-                            _ => {
-                                for row in rows {
-                                    kernel.dispatch_row(
-                                        run.group,
-                                        payloads[row].as_deref(),
-                                        ts[row],
-                                        run.bus,
-                                        &mut out,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                    out.into_batch(&out_schema, &kernel)
-                }
-            }
+            decode_batch(&kernel, batch, idx, &Builders::with_capacity)?
+                .into_batch(&out_schema, &kernel)
         })
         .into_iter()
         .collect::<std::result::Result<_, _>>()?;
     Ok(DataFrame::from_partitions(out_schema, parts)?.with_executor(raw.executor()))
+}
+
+/// Multi-query interpretation: one union-kernel pass whose emissions are
+/// routed at the emission site into `n_routes` per-query outputs.
+///
+/// `route_of` maps a signal name to its owning route; values `>=
+/// n_routes` send that signal's rows to a discard lane. Routing happens
+/// *inside* the kernel's emit step (an index load per emitted row), so
+/// answering N disjoint queries costs one decode plus one table build per
+/// query — no name hashing or gather over the emitted rows.
+///
+/// Returns `out[route]` = one batch per input partition, in partition
+/// order. For each route, concatenating its batches yields exactly the
+/// rows (and row order) that [`extract_signals`] over the same input
+/// with only that route's rules would produce, provided no signal name
+/// is claimed by two routes.
+///
+/// # Errors
+///
+/// Propagates tabular-engine failures.
+pub fn extract_signals_routed(
+    raw: &DataFrame,
+    u_comb: &RuleSet,
+    n_routes: usize,
+    route_of: impl Fn(&str) -> usize,
+) -> Result<Vec<Vec<Batch>>> {
+    let schema = raw.schema();
+    let idx = BatchCols {
+        t: schema.index_of(c::T)?,
+        bus: schema.index_of(c::BUS)?,
+        mid: schema.index_of(c::MESSAGE_ID)?,
+        payload: schema.index_of(c::PAYLOAD)?,
+    };
+    let out_schema = signal_schema();
+    let kernel = Kernel::build(u_comb);
+    // Signal index → route, resolved once per kernel; out-of-range
+    // claims clamp to the discard lane.
+    let route: Vec<u32> = kernel
+        .signal_names
+        .iter()
+        .map(|s| route_of(s).min(n_routes) as u32)
+        .collect();
+
+    let per_part: Vec<Vec<Batch>> = raw
+        .executor()
+        .map_ref(raw.partitions(), |batch| {
+            decode_batch(&kernel, batch, idx, &|upper| {
+                RoutedBuilders::with_capacity(&route, n_routes, upper)
+            })?
+            .into_batches(&out_schema, &kernel)
+        })
+        .into_iter()
+        .collect::<std::result::Result<_, _>>()?;
+
+    let mut out: Vec<Vec<Batch>> = (0..n_routes)
+        .map(|_| Vec::with_capacity(per_part.len()))
+        .collect();
+    for batches in per_part {
+        for (qi, batch) in batches.into_iter().enumerate() {
+            out[qi].push(batch);
+        }
+    }
+    Ok(out)
+}
+
+/// The raw-trace key/payload column indices one decode pass reads.
+#[derive(Clone, Copy)]
+struct BatchCols {
+    t: usize,
+    bus: usize,
+    mid: usize,
+    payload: usize,
+}
+
+/// One batch through the batch-columnar kernel into `new_sink(upper)`,
+/// where `upper` bounds the batch's emission count. Generic over the
+/// sink so the solo and routed paths share every decode line.
+fn decode_batch<S: EmitSink>(
+    kernel: &Kernel,
+    batch: &Batch,
+    idx: BatchCols,
+    new_sink: &impl Fn(usize) -> S,
+) -> ivnt_frame::Result<S> {
+    let ts = float_column(batch, idx.t)?;
+    let buses = str_column(batch, idx.bus)?;
+    let mids = int_column(batch, idx.mid)?;
+    let payloads = bytes_column(batch, idx.payload)?;
+
+    match &kernel.lut.prefilter {
+        // Banded ids, two passes. The admit pass rejects the
+        // ~95+% misses on a single cache-hot bitset test over the
+        // id column alone — no bus access, no probe state. The
+        // decode pass then walks the (short) candidate list with a
+        // two-stage software-prefetch pipeline: admitted rows sit
+        // ~dozens of rows apart, a stride the hardware prefetcher
+        // cannot follow, so the `t`/payload cells (and the payload
+        // heap block behind the `Arc`) are pulled in ahead of use
+        // instead of serializing four cache misses per hit.
+        MidFilter::Band { min, set } => {
+            let min = *min;
+            let mut cand: Vec<(u32, i64)> = Vec::new();
+            for (row, mid) in mids.iter().enumerate() {
+                // Branchless null fold: the sentinel can never be
+                // admitted (see `MidFilter::build`), so admitted
+                // `m` is always the row's real id.
+                let m = mid.unwrap_or(i64::MIN);
+                let idx = m.wrapping_sub(min) as usize;
+                if set.get(idx).copied().unwrap_or(0) != 0 {
+                    cand.push((row as u32, m));
+                }
+            }
+
+            let widest = kernel.lut.groups.iter().map(Vec::len).max().unwrap_or(0);
+            let mut out = new_sink(cand.len() * widest);
+            let mut scan = RunScanner::new(&kernel.lut);
+            // Far stage: request the column cells of the row
+            // `FAR` candidates ahead; near stage: their cells are
+            // warm by now, so chase the payload `Arc` and request
+            // its heap block.
+            const FAR: usize = 32;
+            const NEAR: usize = 16;
+            for (i, &(row, mid)) in cand.iter().enumerate() {
+                let row = row as usize;
+                if let Some(&(ahead, _)) = cand.get(i + FAR) {
+                    let ahead = ahead as usize;
+                    prefetch(&raw const payloads[ahead]);
+                    prefetch(&raw const ts[ahead]);
+                    prefetch(&raw const buses[ahead]);
+                }
+                if let Some(&(near, _)) = cand.get(i + NEAR) {
+                    if let Some(p) = payloads[near as usize].as_ref() {
+                        prefetch(p.as_ptr());
+                    }
+                }
+                let Some(bus) = buses[row].as_ref() else {
+                    continue;
+                };
+                // Probe once per (bus, m_id) run; the memo makes
+                // every later row of a run a three-compare no-op.
+                if let Some((group, bus_id)) = scan.probe_memo(bus, mid) {
+                    kernel.dispatch_row(group, payloads[row].as_deref(), ts[row], bus_id, &mut out);
+                }
+            }
+            Ok(out)
+        }
+        // Wide ids: no cache-resident prefilter exists, so scan
+        // with the probe-every-row pass into a run list, then
+        // decode runs. Null-free fast paths are gated on an O(n)
+        // column scan (`Column::has_nulls`), so they only run
+        // where they can amortize: keys always (every row probes),
+        // payloads only when a sizeable share of rows decodes.
+        MidFilter::Wide => {
+            let keys_dense =
+                !batch.column(idx.bus).has_nulls() && !batch.column(idx.mid).has_nulls();
+            let runs = kernel.scan_runs(buses, mids, keys_dense);
+            let hit_rows: usize = runs.iter().map(|r| r.len).sum();
+            let payloads_dense =
+                hit_rows * 4 >= batch.num_rows() && !batch.column(idx.payload).has_nulls();
+            let upper: usize = runs
+                .iter()
+                .map(|r| r.len * kernel.lut.groups[r.group as usize].len())
+                .sum();
+            let mut out = new_sink(upper);
+            for run in &runs {
+                let group_rules = kernel.lut.groups[run.group as usize].as_slice();
+                let rows = run.start..run.start + run.len;
+                match kernel.fused[run.group as usize].as_ref() {
+                    // Whole-group fast path: one word load per row
+                    // serves every signal of the message.
+                    Some(f) if payloads_dense => {
+                        let end = f.first + f.span;
+                        for row in rows {
+                            let p = payloads[row].as_deref().unwrap_or_default();
+                            if p.len() >= end {
+                                kernel.decode_row_fused(
+                                    f,
+                                    group_rules,
+                                    p,
+                                    ts[row],
+                                    run.bus,
+                                    &mut out,
+                                );
+                            } else {
+                                kernel.decode_row_plans(group_rules, p, ts[row], run.bus, &mut out);
+                            }
+                        }
+                    }
+                    _ => {
+                        for row in rows {
+                            kernel.dispatch_row(
+                                run.group,
+                                payloads[row].as_deref(),
+                                ts[row],
+                                run.bus,
+                                &mut out,
+                            );
+                        }
+                    }
+                }
+            }
+            Ok(out)
+        }
+    }
 }
 
 /// Run-length diagnostics for the batch-columnar kernel: counts matched

@@ -318,6 +318,7 @@ pub struct RunOptions<'a, R: Read + Seek = BufReader<File>> {
     workers: Option<usize>,
     serial: bool,
     preselection: bool,
+    time_window: Option<(u64, u64)>,
     subscriber: Option<Arc<ivnt_obs::Registry>>,
 }
 
@@ -336,6 +337,7 @@ impl<'a, R: Read + Seek> RunOptions<'a, R> {
             workers: None,
             serial: false,
             preselection: true,
+            time_window: None,
             subscriber: None,
         }
     }
@@ -361,6 +363,14 @@ impl<'a, R: Read + Seek> RunOptions<'a, R> {
     /// reference oracle the parallel path is held to.
     pub fn serial(mut self) -> RunOptions<'a, R> {
         self.serial = true;
+        self
+    }
+
+    /// Restricts store-backed sources to the inclusive `[from, to]`
+    /// timestamp window (µs), pushed down into the scan predicate so
+    /// zone maps prune chunks outside it. Ignored for in-memory traces.
+    pub fn with_time_window(mut self, from_us: u64, to_us: u64) -> RunOptions<'a, R> {
+        self.time_window = Some((from_us, to_us));
         self
     }
 
@@ -437,7 +447,7 @@ impl<R: Read + Seek> Session<'_, '_, R> {
         let Session { pipeline, opts } = self;
         let _guard = opts.subscriber.map(ivnt_obs::install);
         let p = effective_pipeline(pipeline, opts.workers);
-        p.extract_source(opts.source, opts.preselection)
+        p.extract_source(opts.source, opts.preselection, opts.time_window)
     }
 
     /// Lines 3–11: extraction, splitting, gateway dedup and constraint
@@ -452,7 +462,9 @@ impl<R: Read + Seek> Session<'_, '_, R> {
         let Session { pipeline, opts } = self;
         let _guard = opts.subscriber.map(ivnt_obs::install);
         let p = effective_pipeline(pipeline, opts.workers);
-        let ks = p.extract_source(opts.source, opts.preselection)?.frame;
+        let ks = p
+            .extract_source(opts.source, opts.preselection, opts.time_window)?
+            .frame;
         let seqs = split_by_signal(&ks)?;
         let task = |seq: SignalSequence| {
             let (dedup, rows_interpreted) = p.dedup_signal(seq)?;
@@ -483,7 +495,9 @@ impl<R: Read + Seek> Session<'_, '_, R> {
         let _guard = opts.subscriber.map(ivnt_obs::install);
         let p = effective_pipeline(pipeline, opts.workers);
         let t_run = Instant::now();
-        let ks = p.extract_source(opts.source, opts.preselection)?.frame;
+        let ks = p
+            .extract_source(opts.source, opts.preselection, opts.time_window)?
+            .frame;
         let interpret_secs = t_run.elapsed().as_secs_f64();
         // A 1-worker scatter is pure overhead (channel round-trips, same
         // order): take the serial per-signal loop instead.
@@ -594,7 +608,14 @@ impl Pipeline {
         &self,
         source: Source<'_, R>,
         preselection: bool,
+        time_window: Option<(u64, u64)>,
     ) -> Result<Extraction> {
+        let windowed = |mut pred: ivnt_store::Predicate| {
+            if let Some((from, to)) = time_window {
+                pred = pred.with_time_range_us(from, to);
+            }
+            pred
+        };
         match source {
             Source::Trace(trace) => {
                 let raw = self.raw_frame(trace)?;
@@ -607,7 +628,7 @@ impl Pipeline {
             }
             Source::Store(reader) => {
                 let (mut parts, stats) =
-                    self.interpret_store_groups(reader, &self.store_predicate())?;
+                    self.interpret_store_groups(reader, &windowed(self.store_predicate()))?;
                 if parts.is_empty() {
                     parts.push(Batch::empty(crate::interpret::signal_schema()));
                 }
@@ -617,9 +638,8 @@ impl Pipeline {
                 })
             }
             Source::StoreShard { reader, groups } => {
-                let pred = self
-                    .store_predicate()
-                    .with_group_range(groups.start, groups.end);
+                let pred =
+                    windowed(self.store_predicate()).with_group_range(groups.start, groups.end);
                 // No empty-batch padding: a shard's partitions concatenate
                 // with its siblings', and only the whole must be non-empty.
                 let (parts, stats) = self.interpret_store_groups(reader, &pred)?;
@@ -632,8 +652,10 @@ impl Pipeline {
     }
 
     /// Assembles interpreted partitions into a `K_s` frame carrying the
-    /// profile's executor.
-    fn signal_frame(&self, parts: Vec<Batch>) -> Result<DataFrame> {
+    /// profile's executor. Public (hidden) for the multi-query planner,
+    /// which builds per-query partition lists from a shared scan.
+    #[doc(hidden)]
+    pub fn signal_frame(&self, parts: Vec<Batch>) -> Result<DataFrame> {
         let frame = DataFrame::from_partitions(crate::interpret::signal_schema(), parts)?;
         Ok(match self.profile.workers {
             Some(workers) => frame.with_executor(Executor::new(workers)),
@@ -802,7 +824,8 @@ impl Pipeline {
     /// cap, or the process-wide default. When this is 1, sessions skip the
     /// scatter/gather machinery entirely — a 1-worker pool only adds
     /// channel round-trips over the plain serial loop.
-    fn effective_workers(&self) -> usize {
+    #[doc(hidden)]
+    pub fn effective_workers(&self) -> usize {
         self.profile
             .workers
             .unwrap_or_else(ivnt_frame::exec::default_workers)
@@ -985,8 +1008,11 @@ impl Pipeline {
     /// Lines 7–29 + Sec. 4.3 from an already-extracted `K_s`: the shared
     /// back half of every [`Session::run`], regardless of source.
     /// `epoch` is the session's start (stage spans are offsets from it)
-    /// and `interpret_secs` the extraction time already spent.
-    fn run_from_ks(
+    /// and `interpret_secs` the extraction time already spent. Public
+    /// (hidden) for the multi-query planner, which extracts every query's
+    /// `K_s` from one shared scan and then runs each query's back half.
+    #[doc(hidden)]
+    pub fn run_from_ks(
         &self,
         ks: DataFrame,
         epoch: Instant,

@@ -668,6 +668,15 @@ impl RuleSet {
         RuleSet::default()
     }
 
+    /// Builds a rule set from existing shared rules, **in the given
+    /// order**. The multi-query planner concatenates the rule lists of
+    /// signal-disjoint queries with this: keeping each query's relative
+    /// rule order is what makes the shared kernel's per-query output
+    /// bit-identical to that query's solo run.
+    pub fn from_rules(rules: Vec<Arc<Rule>>) -> RuleSet {
+        RuleSet { rules }
+    }
+
     /// Derives the full `U_rel` from a network model: one rule per signal
     /// per observable channel (home channel plus gateway copies).
     ///

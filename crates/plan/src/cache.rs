@@ -1,0 +1,70 @@
+//! The plan-keyed result cache.
+//!
+//! Maps `(query fingerprint, store epoch)` to the query's extracted `K_s`
+//! partitions. A hit skips the scan *and* the interpret kernel; the
+//! per-query back half (dedup → reduce → extend → classify → branch) is
+//! deterministic on `K_s`, so replaying it from cached partitions yields
+//! output bit-identical to a fresh session. Entries are invalidated by
+//! epoch comparison, not eviction: any append advances the store's
+//! [`generation`](ivnt_store::Footer::generation) and strands the old
+//! epoch's entries, which age out of the FIFO ring.
+
+use std::collections::{HashMap, VecDeque};
+
+use ivnt_frame::batch::Batch;
+
+/// Default maximum number of cached extractions.
+pub const DEFAULT_CACHE_CAPACITY: usize = 128;
+
+#[derive(Debug, Clone)]
+struct Entry {
+    epoch: u64,
+    parts: Vec<Batch>,
+}
+
+/// Bounded FIFO cache of extracted `K_s` partition lists.
+#[derive(Debug, Default)]
+pub(crate) struct PlanCache {
+    map: HashMap<u64, Entry>,
+    order: VecDeque<u64>,
+    capacity: usize,
+}
+
+impl PlanCache {
+    pub(crate) fn with_capacity(capacity: usize) -> PlanCache {
+        PlanCache {
+            map: HashMap::new(),
+            order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up `key` at `epoch`. A stale entry (older epoch) is dropped
+    /// on the spot — it can never be valid again.
+    pub(crate) fn get(&mut self, key: u64, epoch: u64) -> Option<Vec<Batch>> {
+        match self.map.get(&key) {
+            Some(e) if e.epoch == epoch => Some(e.parts.clone()),
+            Some(_) => {
+                self.map.remove(&key);
+                self.order.retain(|k| *k != key);
+                None
+            }
+            None => None,
+        }
+    }
+
+    pub(crate) fn insert(&mut self, key: u64, epoch: u64, parts: Vec<Batch>) {
+        if self.map.insert(key, Entry { epoch, parts }).is_none() {
+            self.order.push_back(key);
+            while self.order.len() > self.capacity {
+                if let Some(evict) = self.order.pop_front() {
+                    self.map.remove(&evict);
+                }
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.map.len()
+    }
+}

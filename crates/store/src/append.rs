@@ -279,6 +279,7 @@ impl<W: Write> AppendWriter<W> {
             groups: self.groups,
             group_rows: self.options.effective_flush_rows() as u32,
             clustered: self.options.writer.cluster,
+            generation: u64::from(self.groups),
             chunks: std::mem::take(&mut self.chunks),
         };
         write_seal(&mut self.out, self.offset, &footer)?;
@@ -608,6 +609,7 @@ pub fn recover_reader<R: Read + Seek>(inner: &mut R) -> Result<Recovered> {
             groups,
             group_rows: max_group_rows.max(1) as u32,
             clustered,
+            generation: u64::from(groups),
             chunks,
         },
         sealed: false,

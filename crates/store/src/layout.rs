@@ -142,6 +142,13 @@ pub struct Footer {
     pub group_rows: u32,
     /// Whether groups were clustered by `(b_id, m_id)` before chunking.
     pub clustered: bool,
+    /// Store generation: the number of row-group flushes ever performed
+    /// on this file. Advances on every append-mode micro-batch flush, so
+    /// plan/result caches keyed on it are invalidated the moment new data
+    /// lands. Readers that want a collision-resistant cache epoch should
+    /// combine it with `rows` and `chunks.len()` (a compacted rewrite has
+    /// the same rows but different chunk geometry).
+    pub generation: u64,
     /// Per-chunk index, in file order.
     pub chunks: Vec<ChunkMeta>,
 }
@@ -366,6 +373,7 @@ pub fn encode_footer(footer: &Footer) -> Result<Vec<u8>> {
     out.extend_from_slice(&footer.groups.to_le_bytes());
     out.extend_from_slice(&footer.group_rows.to_le_bytes());
     out.push(u8::from(footer.clustered));
+    out.extend_from_slice(&footer.generation.to_le_bytes());
     out.extend_from_slice(&(footer.chunks.len() as u32).to_le_bytes());
     let bus_bitset_len = footer.buses.len().div_ceil(8);
     for c in &footer.chunks {
@@ -424,6 +432,7 @@ pub fn decode_footer(bytes: &[u8]) -> Result<Footer> {
         1 => true,
         other => return Err(Error::Format(format!("bad clustered flag {other}"))),
     };
+    let generation = cur.read_u64_le()?;
     let chunk_count = cur.read_u32_le()? as usize;
     if chunk_count > bytes.len() {
         return Err(Error::Format(format!(
@@ -465,6 +474,7 @@ pub fn decode_footer(bytes: &[u8]) -> Result<Footer> {
         groups,
         group_rows,
         clustered,
+        generation,
         chunks,
     })
 }
@@ -526,6 +536,7 @@ mod tests {
             groups: 3,
             group_rows: 4096,
             clustered: true,
+            generation: 7,
             chunks: vec![ChunkMeta {
                 offset: 8,
                 len: 99,
@@ -573,6 +584,7 @@ mod tests {
             groups: 2,
             group_rows: 1,
             clustered: true,
+            generation: 2,
             chunks: vec![chunk(vec![0b1]), chunk(vec![0, 0b1])],
         };
         let decoded = decode_footer(&encode_footer(&footer).unwrap()).unwrap();

@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod append;
+pub mod compact;
 pub mod error;
 pub mod layout;
 pub mod reader;
@@ -43,8 +44,9 @@ pub use append::{
     open_recovered, recover, recover_reader, seal_recovered, AppendOptions, AppendWriter,
     GroupFlush, Recovered, StoreFollower, TailBatch, TailGroup,
 };
+pub use compact::{compact, compact_file, CompactReport};
 pub use error::{Error, Result};
-pub use layout::{ChunkMeta, Footer, GroupSpan, ZoneMap};
+pub use layout::{ChunkMeta, Footer, GroupSpan, IndexedRecord, ZoneMap};
 pub use reader::{CompiledPredicate, Predicate, ScanStats, StoreReader};
 pub use record::Record;
 pub use writer::{StoreWriter, WriterOptions};
@@ -273,6 +275,119 @@ mod tests {
             })
             .unwrap();
         assert_eq!(stats.rows_emitted, 0);
+    }
+
+    #[test]
+    fn union_scan_routes_back_to_per_predicate_scans() {
+        let records = cyclic_trace(4_096, 64);
+        let bytes = write_store(
+            &records,
+            WriterOptions {
+                chunk_rows: 64,
+                chunks_per_group: 16,
+                cluster: true,
+            },
+        );
+        let mut reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let preds = [
+            Predicate::for_messages([("FC", 2u32), ("FC", 4u32)]),
+            Predicate::for_messages([("DC", 63u32)]).with_time_range_us(0, 20_000_000),
+            Predicate::for_messages([("NOPE", 1u32)]),
+        ];
+        let compiled: Vec<CompiledPredicate> =
+            preds.iter().map(|p| p.compile(reader.footer())).collect();
+        let mut routed: Vec<Vec<Record>> = vec![Vec::new(); preds.len()];
+        let mut union_rows = 0u64;
+        let stats = reader
+            .scan_indexed::<Error, _>(&compiled, |rows| {
+                union_rows += rows.len() as u64;
+                for row in &rows {
+                    for (q, c) in compiled.iter().enumerate() {
+                        if c.row_matches(row) {
+                            routed[q].push(row.record.clone());
+                        }
+                    }
+                }
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(stats.rows_emitted, union_rows);
+        // Each predicate's routed rows equal its own solo scan.
+        for (pred, routed) in preds.iter().zip(&routed) {
+            let mut solo = Vec::new();
+            reader
+                .scan::<Error, _>(pred, |mut g| {
+                    solo.append(&mut g);
+                    Ok(())
+                })
+                .unwrap();
+            assert_eq!(&solo, routed);
+        }
+        assert!(routed[2].is_empty());
+    }
+
+    #[test]
+    fn generation_counts_group_flushes() {
+        let records = cyclic_trace(1_024, 16);
+        let options = WriterOptions {
+            chunk_rows: 32,
+            chunks_per_group: 4,
+            cluster: true,
+        };
+        let bytes = write_store(&records, options);
+        let reader = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        assert_eq!(reader.generation(), u64::from(reader.footer().groups));
+        assert_eq!(reader.generation(), 8);
+    }
+
+    #[test]
+    fn compact_merges_micro_groups_bit_identically() {
+        // A sealed live session: many tiny append-mode group frames.
+        let records = cyclic_trace(2_000, 24);
+        let mut aw = AppendWriter::new(
+            Vec::new(),
+            AppendOptions {
+                writer: WriterOptions {
+                    chunk_rows: 32,
+                    chunks_per_group: 2,
+                    cluster: true,
+                },
+                flush_rows: 64,
+                flush_interval_us: 0,
+            },
+        )
+        .unwrap();
+        for r in &records {
+            aw.append(r).unwrap();
+        }
+        let bytes = aw.seal().unwrap();
+        let mut input = StoreReader::from_reader(Cursor::new(bytes)).unwrap();
+        let groups_before = input.footer().groups;
+        assert!(
+            groups_before > 10,
+            "expected micro-groups, got {groups_before}"
+        );
+
+        let out_options = WriterOptions {
+            chunk_rows: 128,
+            chunks_per_group: 8,
+            cluster: true,
+        };
+        let (out, report) = compact(&mut input, Vec::new(), out_options).unwrap();
+        assert_eq!(report.rows, records.len() as u64);
+        assert_eq!(report.groups_before, groups_before);
+        assert!(
+            report.groups_after < groups_before,
+            "compaction must merge groups: {report:?}"
+        );
+
+        let mut compacted = StoreReader::from_reader(Cursor::new(out)).unwrap();
+        assert_eq!(compacted.footer().groups, report.groups_after);
+        assert_eq!(compacted.footer().chunks.len(), report.chunks_after);
+        assert_eq!(compacted.footer().rows, records.len() as u64);
+        assert_eq!(compacted.generation(), u64::from(report.groups_after));
+        // Bit-identical contents: same records, same trace order.
+        assert_eq!(compacted.read_all().unwrap(), records);
     }
 
     #[test]

@@ -124,8 +124,10 @@ impl CompiledPredicate {
         }
     }
 
-    /// Exact row test (the zone-map test is only conservative).
-    fn row_matches(&self, row: &IndexedRecord) -> bool {
+    /// Exact row test (the zone-map test is only conservative). Public so
+    /// multi-query planners can route the rows of a shared union scan back
+    /// to the individual query each row belongs to.
+    pub fn row_matches(&self, row: &IndexedRecord) -> bool {
         if let Some((from, to)) = self.time_range_us {
             if !(from..=to).contains(&row.record.timestamp_us) {
                 return false;
@@ -249,6 +251,12 @@ impl<R: Read + Seek> StoreReader<R> {
         &self.footer
     }
 
+    /// Store generation (row-group flushes ever performed). Result caches
+    /// key on this: any append advances it.
+    pub fn generation(&self) -> u64 {
+        self.footer.generation
+    }
+
     /// Scans the file under `pred`, calling `on_group` once per row group
     /// with that group's matching rows restored to original trace order.
     ///
@@ -266,6 +274,31 @@ impl<R: Read + Seek> StoreReader<R> {
         F: FnMut(Vec<Record>) -> std::result::Result<(), E>,
     {
         let compiled = CompiledPredicate::compile(pred, &self.footer);
+        self.scan_indexed(std::slice::from_ref(&compiled), |rows| {
+            on_group(rows.into_iter().map(|r| r.record).collect())
+        })
+    }
+
+    /// Shared-scan driver: scans the file once under the **union** of
+    /// `preds`, calling `on_group` with every row that matches *at least
+    /// one* predicate (original trace order restored per group, dictionary
+    /// ids kept so callers can re-route rows per predicate with
+    /// [`CompiledPredicate::row_matches`]). A chunk is decoded when any
+    /// predicate's zone-map test admits it, so N queries pay one pass.
+    /// `rows_emitted` counts union rows.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`StoreReader::scan`].
+    pub fn scan_indexed<E, F>(
+        &mut self,
+        preds: &[CompiledPredicate],
+        mut on_group: F,
+    ) -> std::result::Result<ScanStats, E>
+    where
+        E: From<Error>,
+        F: FnMut(Vec<IndexedRecord>) -> std::result::Result<(), E>,
+    {
         let mut stats = ScanStats {
             chunks_total: self.footer.chunks.len(),
             ..ScanStats::default()
@@ -280,7 +313,7 @@ impl<R: Read + Seek> StoreReader<R> {
         for idx in 0..chunk_count {
             let (group, may_match) = {
                 let meta = &self.footer.chunks[idx];
-                (meta.group, compiled.chunk_may_match(meta))
+                (meta.group, preds.iter().any(|p| p.chunk_may_match(meta)))
             };
             if pending_group.is_some_and(|g| g != group) {
                 emit_group(&mut pending, &mut stats, &mut on_group)?;
@@ -304,7 +337,7 @@ impl<R: Read + Seek> StoreReader<R> {
             };
             stats.peak_rows_buffered = stats.peak_rows_buffered.max(pending.len() + rows.len());
             for row in rows {
-                if compiled.row_matches(&row) {
+                if preds.iter().any(|p| p.row_matches(&row)) {
                     pending.push(row);
                 }
             }
@@ -370,7 +403,7 @@ fn emit_group<E, F>(
     on_group: &mut F,
 ) -> std::result::Result<(), E>
 where
-    F: FnMut(Vec<Record>) -> std::result::Result<(), E>,
+    F: FnMut(Vec<IndexedRecord>) -> std::result::Result<(), E>,
 {
     if pending.is_empty() {
         return Ok(());
@@ -378,7 +411,7 @@ where
     let mut rows = std::mem::take(pending);
     rows.sort_by_key(|r| r.index);
     stats.rows_emitted += rows.len() as u64;
-    on_group(rows.into_iter().map(|r| r.record).collect())
+    on_group(rows)
 }
 
 fn read_exact_or_truncated<R: Read>(r: &mut R, buf: &mut [u8], what: &str) -> Result<()> {

@@ -150,6 +150,7 @@ impl<W: Write> StoreWriter<W> {
             groups: self.groups,
             group_rows: self.options.group_rows() as u32,
             clustered: self.options.cluster,
+            generation: u64::from(self.groups),
             chunks: std::mem::take(&mut self.chunks),
         };
         let footer_bytes = encode_footer(&footer)?;

@@ -60,4 +60,12 @@ IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
 IVNT_STREAM_MIN_THROUGHPUT="${IVNT_STREAM_MIN_THROUGHPUT:-10000}" \
   cargo run --release -q -p ivnt-bench --bin stream_ingest
 
+echo "==> plan_probe smoke (multi-query shared-scan bit-identity + speedup gate)"
+# N concurrent domains from one shared store pass; every shared answer is
+# checked bit-identical to its solo session inline, and 4 shared domains
+# must beat 4 sequential sessions by IVNT_PLAN_MIN_SPEEDUP on one core.
+IVNT_BENCH_SCALE="${IVNT_BENCH_SCALE:-0.25}" \
+IVNT_PLAN_MIN_SPEEDUP="${IVNT_PLAN_MIN_SPEEDUP:-1.5}" \
+  cargo run --release -q -p ivnt-bench --bin plan_probe
+
 echo "all checks passed"

@@ -1,0 +1,199 @@
+//! Property tests for the multi-query planner: for arbitrary small
+//! networks and arbitrary query batches — overlapping, disjoint, windowed,
+//! empty, any mix — the shared scan's per-query extraction is bit-identical
+//! to the solo session's, and a reused [`Planner`] replays the same bytes
+//! from its cache.
+
+use std::io::Cursor;
+
+use ivnt::core::pipeline::{DomainProfile, Pipeline, RunOptions};
+use ivnt::core::rules::RuleSet;
+use ivnt::plan::{Planner, Query, SessionMany};
+use ivnt::simulator::scenario::{generate, DataSetSpec, GeneratedDataSet};
+use ivnt::simulator::store::to_store_record;
+use ivnt::store::{StoreReader, StoreWriter, WriterOptions};
+use proptest::prelude::*;
+
+/// A small randomized data-set spec (shape only; content is seeded).
+fn arb_spec() -> impl Strategy<Value = DataSetSpec> {
+    (
+        1usize..4, // alpha
+        0usize..3, // beta
+        0usize..3, // gamma
+        1u64..500, // seed
+        any::<bool>(),
+    )
+        .prop_map(|(a, b, g, seed, gateway)| DataSetSpec {
+            name: "PLANPROP".into(),
+            n_alpha: a,
+            n_beta: b,
+            n_gamma: g,
+            signals_per_message: 2.0,
+            duration_s: 3.0,
+            seed,
+            with_gateway: gateway,
+        })
+}
+
+/// Deterministic mixer for deriving query shapes from one seed.
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6_364_136_223_846_793_005)
+        .wrapping_add(1_442_695_040_888_963_407);
+    *state >> 33
+}
+
+/// Catalog signal names in message-id order.
+fn signal_names(data: &GeneratedDataSet) -> Vec<String> {
+    let mut messages: Vec<(u32, Vec<String>)> = data
+        .network
+        .catalog()
+        .messages()
+        .iter()
+        .map(|m| {
+            (
+                m.id(),
+                m.signals().iter().map(|s| s.name().to_string()).collect(),
+            )
+        })
+        .collect();
+    messages.sort_by_key(|(id, _)| *id);
+    messages.into_iter().flat_map(|(_, s)| s).collect()
+}
+
+fn write_store(data: &GeneratedDataSet) -> Vec<u8> {
+    let options = WriterOptions {
+        chunk_rows: 128,
+        chunks_per_group: 2,
+        cluster: true,
+    };
+    let mut writer = StoreWriter::new(Vec::new(), options).expect("create store");
+    for r in data.trace.records() {
+        writer.append(&to_store_record(r)).expect("append");
+    }
+    writer.finish().expect("finish")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Merged-predicate shared extraction ≡ per-query solo extraction, for
+    /// random query sets over random networks: signals assigned randomly
+    /// (some domains overlap, some stay disjoint, some end up empty) and
+    /// optionally windowed (sometimes to an empty range). A second pass
+    /// through the same planner must be answered entirely from cache with
+    /// the same bytes.
+    #[test]
+    fn shared_extraction_equals_solo_sessions(
+        spec in arb_spec(),
+        n_queries in 1usize..4,
+        shape_seed in any::<u64>(),
+        windowed in any::<bool>(),
+    ) {
+        let data = generate(&spec).expect("generate");
+        let bytes = write_store(&data);
+        let names = signal_names(&data);
+        let last_us = data
+            .trace
+            .records()
+            .iter()
+            .map(|r| r.timestamp_us)
+            .max()
+            .unwrap_or(0);
+
+        // Random signal assignment: domain `n_queries` means "unassigned",
+        // and a quarter of assigned signals are claimed twice (overlap).
+        let mut s = shape_seed | 1;
+        let mut domains: Vec<Vec<String>> = vec![Vec::new(); n_queries];
+        for name in &names {
+            let d = (lcg(&mut s) as usize) % (n_queries + 1);
+            if d < n_queries {
+                domains[d].push(name.clone());
+                if n_queries > 1 && lcg(&mut s).is_multiple_of(4) {
+                    domains[(d + 1) % n_queries].push(name.clone());
+                }
+            }
+        }
+        let windows: Vec<Option<(u64, u64)>> = (0..n_queries)
+            .map(|_| {
+                if windowed && lcg(&mut s).is_multiple_of(2) {
+                    let a = lcg(&mut s) % 10;
+                    let b = lcg(&mut s) % 10;
+                    // 9/8 overshoots the trace end: sometimes empty.
+                    Some((last_us * a.min(b) / 8, last_us * a.max(b) / 8))
+                } else {
+                    None
+                }
+            })
+            .collect();
+
+        // An empty selection means "whole catalog" (DomainProfile
+        // semantics) — a legitimate, maximally overlapping tenant.
+        let pipelines: Vec<Pipeline> = domains
+            .iter()
+            .map(|d| {
+                let selected: Vec<&str> = d.iter().map(String::as_str).collect();
+                let profile = DomainProfile::new("prop").with_signals(selected);
+                Pipeline::new(RuleSet::from_network(&data.network), profile)
+                    .expect("pipeline builds")
+            })
+            .collect();
+
+        let make_queries = || -> Vec<Query<'_>> {
+            pipelines
+                .iter()
+                .zip(&windows)
+                .map(|(p, w)| match w {
+                    Some((from, to)) => Query::new(p).with_window(*from, *to),
+                    None => Query::new(p),
+                })
+                .collect()
+        };
+
+        let mut planner = Planner::new();
+        let mut reader =
+            StoreReader::from_reader(Cursor::new(bytes.clone())).expect("open store");
+        let multi = Pipeline::session_many(make_queries(), &mut reader)
+            .with_planner(&mut planner)
+            .extract()
+            .expect("shared extract");
+        prop_assert_eq!(multi.frames.len(), n_queries);
+
+        for (qi, qx) in multi.frames.iter().enumerate() {
+            let mut solo_reader =
+                StoreReader::from_reader(Cursor::new(bytes.clone())).expect("open store");
+            let mut opts = RunOptions::store(&mut solo_reader);
+            if let Some((from, to)) = windows[qi] {
+                opts = opts.with_time_window(from, to);
+            }
+            let want = pipelines[qi].session(opts).extract().expect("solo").frame;
+            prop_assert_eq!(qx.frame.schema(), want.schema(), "query {} schema", qi);
+            prop_assert_eq!(
+                qx.frame.collect_rows().expect("shared rows"),
+                want.collect_rows().expect("solo rows"),
+                "query {} diverged from its solo session",
+                qi
+            );
+        }
+
+        // Identical batch, same store: answered entirely from cache, with
+        // the same bytes. (Duplicate queries in the first batch may have
+        // filled distinct-fingerprint slots only once; every fingerprint
+        // present is now cached.)
+        let mut reader =
+            StoreReader::from_reader(Cursor::new(bytes)).expect("open store");
+        let warm = Pipeline::session_many(make_queries(), &mut reader)
+            .with_planner(&mut planner)
+            .extract()
+            .expect("warm extract");
+        prop_assert_eq!(warm.plan.cache_hits, n_queries, "all queries must hit");
+        prop_assert!(warm.plan.scan.is_none(), "no scan on an all-hit batch");
+        for (w, c) in warm.frames.iter().zip(&multi.frames) {
+            prop_assert!(w.stats.cache_hit);
+            prop_assert_eq!(
+                w.frame.collect_rows().expect("warm rows"),
+                c.frame.collect_rows().expect("cold rows")
+            );
+        }
+    }
+}
