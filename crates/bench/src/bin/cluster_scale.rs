@@ -1,22 +1,30 @@
 //! Machine-readable probe of distributed extraction scaling.
 //!
 //! Records a SYN workload into an `.ivns` store, then runs the same
-//! extraction job three ways: single-process (`extract_from_store`), and
-//! through `ivnt-cluster` with 1 and N subprocess workers (the binary
-//! re-executes itself in `__worker` mode, exactly like the CLI's
-//! `--local`). Results go to `BENCH_cluster.json` plus a human-readable
-//! summary on stdout, following the `store_probe`/`BENCH_store.json`
-//! conventions.
+//! extraction job several ways: single-process (`extract_from_store`),
+//! through `ivnt-cluster` with 1, 2 and (cores permitting) 4 subprocess
+//! workers (the binary re-executes itself in `__worker` mode, exactly
+//! like the CLI's `--local`), once with one artificially slowed worker
+//! (the straggler phase — truncate/split must keep it from dominating
+//! wall time), and once through a coordinator crash + checkpoint resume.
+//! Results go to `BENCH_cluster.json` plus a human-readable summary on
+//! stdout, following the `store_probe`/`BENCH_store.json` conventions.
 //!
-//! Two invariants are enforced, not just reported:
+//! Enforced, not just reported:
 //!
 //! * every distributed run must be bit-identical to the single-process
-//!   extraction (checked by re-encoding all partitions), and
-//! * the N-worker run must beat the 1-worker run by at least
-//!   `IVNT_CLUSTER_MIN_SPEEDUP` (default 1.0). On a machine with fewer
+//!   extraction (checked by re-encoding all partitions);
+//! * the wire v3 result compression must shrink result traffic by at
+//!   least `IVNT_CLUSTER_MIN_WIRE_RATIO` (default 3.0) versus the flat
+//!   v2 encoding — compression is core-count-independent, so this gate
+//!   always applies;
+//! * on machines with at least as many cores as workers, the N-worker
+//!   run must beat the 1-worker run by `IVNT_CLUSTER_MIN_SPEEDUP`
+//!   (default 1.0) and reach `IVNT_CLUSTER_MIN_SP_SPEEDUP` (default
+//!   1.0) of the *single-process* time — the honest number. With fewer
 //!   cores than workers a speedup is physically impossible and the
 //!   contention makes the timings too noisy to gate on, so there the
-//!   speedup is report-only and the probe enforces bit-identity alone.
+//!   speedups are report-only.
 //!
 //! `IVNT_BENCH_SCALE` scales the workload as in the other probes.
 
@@ -26,7 +34,8 @@ use std::time::Instant;
 use ivnt_bench::scale;
 use ivnt_cluster::codec::encode_batch;
 use ivnt_cluster::{
-    run_job, spawn_local_workers, ClusterConfig, JobSpec, LocalSpawnSpec, WorkerServer,
+    run_job, spawn_local_workers, ClusterConfig, ClusterRun, JobSpec, LocalSpawnSpec, WorkerServer,
+    FAULT_ENV,
 };
 use ivnt_simulator::scenario::{self, DataSetSpec};
 use ivnt_simulator::store::to_store_record;
@@ -36,7 +45,8 @@ const SEED: u64 = 7;
 
 /// Child mode: bind an ephemeral worker, announce it, serve until killed.
 fn worker_main() -> Result<(), Box<dyn std::error::Error>> {
-    let server = WorkerServer::bind("127.0.0.1:0")?;
+    let server =
+        WorkerServer::bind("127.0.0.1:0")?.with_faults(ivnt_cluster::WorkerFaults::from_env()?);
     println!("{}{}", ivnt_cluster::LISTEN_PREFIX, server.local_addr()?);
     std::io::stdout().flush()?;
     server.serve()?;
@@ -103,6 +113,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let single_secs = median(&mut times);
 
+    let check = |run: &ClusterRun, label: &str| {
+        let fp: Vec<Vec<u8>> = run.frame.partitions().iter().map(encode_batch).collect();
+        assert_eq!(fp, expected_fp, "{label} result diverged");
+    };
+
     let mut counts = vec![1usize, 2];
     if cores >= 4 {
         counts.push(4);
@@ -121,38 +136,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
 
     let mut points = Vec::new();
+    let mut wire_stats = None;
     for &n in &counts {
         let workers = spawn_local_workers(&spawn_spec, n, &Default::default())?;
         let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
         // Warmup session (also absorbs worker process start-up).
         let warm = run_job(&job, &addrs, &config)?;
-        let fp: Vec<Vec<u8>> = warm.frame.partitions().iter().map(encode_batch).collect();
-        assert_eq!(fp, expected_fp, "{n}-worker result diverged");
+        check(&warm, &format!("{n}-worker warmup"));
         let mut times: Vec<f64> = (0..runs)
             .map(|_| {
                 let t0 = Instant::now();
                 let run = run_job(&job, &addrs, &config).expect("cluster run");
                 let secs = t0.elapsed().as_secs_f64();
-                let fp: Vec<Vec<u8>> = run.frame.partitions().iter().map(encode_batch).collect();
-                assert_eq!(fp, expected_fp, "{n}-worker result diverged");
+                check(&run, &format!("{n}-worker"));
+                wire_stats = Some(run.stats);
                 secs
             })
             .collect();
         points.push((n, median(&mut times)));
         drop(workers);
     }
+    let wire = wire_stats.expect("at least one cluster run");
+
+    // Straggler phase: worker 0 crawls (slow-task fault via the child's
+    // env) while the rest are healthy; straggler truncation + tail
+    // splitting must keep the run from degrading to the slow worker's
+    // pace. Bit-identity is still the hard assertion.
+    let straggler_workers = counts.last().copied().unwrap_or(2).max(2);
+    let straggler_faults = std::collections::HashMap::from([(0usize, "slow-task".to_string())]);
+    let workers = spawn_local_workers(&spawn_spec, straggler_workers, &straggler_faults)?;
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    let t0 = Instant::now();
+    let straggler_run = run_job(&job, &addrs, &config)?;
+    let straggler_secs = t0.elapsed().as_secs_f64();
+    check(&straggler_run, "straggler");
+    let straggler_stats = straggler_run.stats;
+    drop(workers);
+
+    // Restart phase: the coordinator crashes after its first merged task
+    // (env-armed fault) and a successor resumes from the checkpoint.
+    let ckpt = std::env::temp_dir().join(format!("ivnt-cluster-scale-{}.ckpt", std::process::id()));
+    let restart_config = ClusterConfig {
+        checkpoint_path: Some(ckpt.display().to_string()),
+        ..config.clone()
+    };
+    let workers = spawn_local_workers(&spawn_spec, 2, &Default::default())?;
+    let addrs: Vec<String> = workers.iter().map(|w| w.addr().to_string()).collect();
+    std::env::set_var(FAULT_ENV, "coordinator_restart");
+    run_job(&job, &addrs, &restart_config)
+        .expect_err("restart fault must interrupt the first coordinator");
+    let t0 = Instant::now();
+    let resumed = run_job(&job, &addrs, &restart_config)?;
+    let resume_secs = t0.elapsed().as_secs_f64();
+    std::env::remove_var(FAULT_ENV);
+    check(&resumed, "checkpoint resume");
+    assert!(
+        resumed.stats.tasks_resumed >= 1,
+        "resume must reuse checkpointed tasks"
+    );
+    let tasks_resumed = resumed.stats.tasks_resumed;
+    drop(workers);
     let _ = std::fs::remove_file(&path);
 
     let (_, t1) = points[0];
     let &(n_max, tn) = points.last().expect("at least one point");
     let speedup = t1 / tn;
+    let speedup_sp = single_secs / tn;
     let gate = env_f64("IVNT_CLUSTER_MIN_SPEEDUP", 1.0);
+    let gate_sp = env_f64("IVNT_CLUSTER_MIN_SP_SPEEDUP", 1.0);
+    let wire_gate = env_f64("IVNT_CLUSTER_MIN_WIRE_RATIO", 3.0);
     // With fewer cores than workers a speedup is physically impossible
     // and the contention makes timings too noisy to gate on at all —
-    // the speedup is then report-only. Bit-identity stays enforced on
-    // every run regardless.
+    // the speedups are then report-only. Bit-identity and the wire
+    // compression ratio stay enforced on every run regardless.
     let gated = cores >= n_max;
     let effective_gate = if gated { gate } else { 0.0 };
+    let effective_gate_sp = if gated { gate_sp } else { 0.0 };
+    let wire_ratio = wire.compression_ratio();
 
     let point_entries: Vec<String> = points
         .iter()
@@ -178,8 +238,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  \"scaling\": {{\n",
             "    \"workers_max\": {},\n",
             "    \"speedup_vs_one_worker\": {:.3},\n",
+            "    \"speedup_vs_single_process\": {:.3},\n",
             "    \"min_speedup_gate\": {:.2},\n",
-            "    \"effective_gate\": {:.2}\n",
+            "    \"min_sp_speedup_gate\": {:.2},\n",
+            "    \"effective_gate\": {:.2},\n",
+            "    \"effective_sp_gate\": {:.2}\n",
+            "  }},\n",
+            "  \"wire\": {{\n",
+            "    \"partial_frames\": {},\n",
+            "    \"result_bytes\": {},\n",
+            "    \"result_raw_bytes\": {},\n",
+            "    \"compression_ratio\": {:.3},\n",
+            "    \"min_wire_ratio_gate\": {:.2}\n",
+            "  }},\n",
+            "  \"straggler\": {{\n",
+            "    \"workers\": {},\n",
+            "    \"seconds\": {:.6},\n",
+            "    \"splits\": {},\n",
+            "    \"steals\": {}\n",
+            "  }},\n",
+            "  \"restart\": {{\n",
+            "    \"resume_seconds\": {:.6},\n",
+            "    \"tasks_resumed\": {}\n",
             "  }}\n",
             "}}\n"
         ),
@@ -191,8 +271,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         point_entries.join(",\n"),
         n_max,
         speedup,
+        speedup_sp,
         gate,
+        gate_sp,
         effective_gate,
+        effective_gate_sp,
+        wire.partial_frames,
+        wire.wire_result_bytes,
+        wire.wire_result_raw_bytes,
+        wire_ratio,
+        wire_gate,
+        straggler_workers,
+        straggler_secs,
+        straggler_stats.splits,
+        straggler_stats.steals,
+        resume_secs,
+        tasks_resumed,
     );
     std::fs::write("BENCH_cluster.json", &json)?;
 
@@ -208,18 +302,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             trace_rows as f64 / secs
         );
     }
+    println!(
+        "straggler ({straggler_workers} workers, one slowed)  {:>6.1} ms  \
+         {} splits, {} steals",
+        straggler_secs * 1e3,
+        straggler_stats.splits,
+        straggler_stats.steals
+    );
+    println!(
+        "restart resume        {:>9.1} ms  {tasks_resumed} tasks from checkpoint",
+        resume_secs * 1e3
+    );
+    println!(
+        "wire compression: {wire_ratio:.2}x ({} -> {} result bytes, gate {wire_gate:.2}x)",
+        wire.wire_result_raw_bytes, wire.wire_result_bytes
+    );
     let gate_note = if gated {
-        format!("gate {effective_gate:.2}x")
+        format!("gates {effective_gate:.2}x / {effective_gate_sp:.2}x vs single-process")
     } else {
         format!("report-only: {n_max} workers on {cores} core(s) cannot scale")
     };
     println!(
-        "speedup {n_max} vs 1 workers: {speedup:.2}x ({gate_note}); \
-         all runs bit-identical to single-process"
+        "speedup {n_max} vs 1 workers: {speedup:.2}x, vs single-process: {speedup_sp:.2}x \
+         ({gate_note}); all runs bit-identical to single-process"
     );
 
+    let mut failed = false;
+    if wire_ratio < wire_gate {
+        eprintln!("FAIL: wire compression {wire_ratio:.2}x below gate {wire_gate:.2}x");
+        failed = true;
+    }
     if speedup < effective_gate {
         eprintln!("FAIL: {n_max}-worker speedup {speedup:.2}x below gate {effective_gate:.2}x");
+        failed = true;
+    }
+    if speedup_sp < effective_gate_sp {
+        eprintln!(
+            "FAIL: {n_max}-worker speedup vs single-process {speedup_sp:.2}x \
+             below gate {effective_gate_sp:.2}x"
+        );
+        failed = true;
+    }
+    if failed {
         std::process::exit(1);
     }
     Ok(())

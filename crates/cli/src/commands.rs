@@ -1209,16 +1209,21 @@ fn cluster_worker(args: &Args) -> CmdResult {
 
 /// `ivnt cluster run --scenario syn [--seed S] [--signals a,b]
 /// (--workers A,B,.. | --local N) [--heartbeat-ms N] [--timeout-ms N]
-/// [--retries N] [--tasks N] [--csv out.csv] [--verify] [--metrics]
+/// [--retries N] [--tasks N] [--checkpoint PATH]
+/// [--straggler-factor F] [--csv out.csv] [--verify] [--metrics]
 /// [--json] <trace.ivns>`
 ///
 /// Plans shards from the store footer, distributes them over the given
 /// workers (or over `--local N` subprocess copies of this binary), and
 /// merges the results in deterministic task order. `--verify` re-runs
 /// the extraction single-process and asserts the merged result is
-/// bit-identical. `--metrics` prints the coordinator's snapshot merged
-/// with every worker's end-of-session snapshot (here `--workers` is the
-/// address list, so the shared `--workers N` thread cap does not apply).
+/// bit-identical. `--checkpoint` persists completed tasks so a
+/// restarted coordinator resumes instead of recomputing.
+/// `--straggler-factor` tunes when a slow shard is truncated and its
+/// tail re-split across idle workers. `--metrics` prints the
+/// coordinator's snapshot merged with every worker's end-of-session
+/// snapshot (here `--workers` is the address list, so the shared
+/// `--workers N` thread cap does not apply).
 fn cluster_run(args: &Args) -> CmdResult {
     let store_path = args.positional(1, "trace.ivns")?;
     let shared = SharedOptions::parse_switches(args);
@@ -1245,6 +1250,15 @@ fn cluster_run(args: &Args) -> CmdResult {
     }
     if let Some(v) = args.get_parsed::<usize>("tasks")? {
         config.tasks_per_worker = v;
+    }
+    if let Some(path) = args.get("checkpoint") {
+        config.checkpoint_path = Some(path.to_string());
+    }
+    if let Some(v) = args.get_parsed::<f64>("straggler-factor")? {
+        if !v.is_finite() || v <= 1.0 {
+            return Err("--straggler-factor must be a finite number > 1".into());
+        }
+        config.straggler_factor = v;
     }
     config.collect_metrics = shared.metrics || shared.json;
 
@@ -1290,6 +1304,13 @@ fn cluster_run(args: &Args) -> CmdResult {
         w.field_u64("groups_pruned", run.stats.groups_pruned as u64);
         w.field_u64("retries", run.stats.retries as u64);
         w.field_u64("workers_lost", run.stats.workers_lost as u64);
+        w.field_u64("steals", run.stats.steals);
+        w.field_u64("splits", run.stats.splits);
+        w.field_u64("tasks_resumed", run.stats.tasks_resumed as u64);
+        w.field_u64("partial_frames", run.stats.partial_frames);
+        w.field_u64("wire_result_bytes", run.stats.wire_result_bytes);
+        w.field_u64("wire_result_raw_bytes", run.stats.wire_result_raw_bytes);
+        w.field_f64("wire_compression_ratio", run.stats.compression_ratio());
         if let Some(s) = &snapshot {
             w.field_raw("metrics", &s.to_json());
         }
@@ -1301,12 +1322,23 @@ fn cluster_run(args: &Args) -> CmdResult {
             run.stats.rows, run.stats.workers,
         );
         println!(
-            "schedule: {} tasks over {} groups ({} pruned), {} retries, {} workers lost",
+            "schedule: {} tasks over {} groups ({} pruned), {} retries, {} workers lost, \
+             {} steals, {} splits, {} resumed",
             run.stats.tasks,
             run.stats.groups_total,
             run.stats.groups_pruned,
             run.stats.retries,
             run.stats.workers_lost,
+            run.stats.steals,
+            run.stats.splits,
+            run.stats.tasks_resumed,
+        );
+        println!(
+            "wire: {} partial frames, {} result bytes ({} raw, {:.2}x compression)",
+            run.stats.partial_frames,
+            run.stats.wire_result_bytes,
+            run.stats.wire_result_raw_bytes,
+            run.stats.compression_ratio(),
         );
         if let Some(s) = &snapshot {
             println!();
@@ -1425,6 +1457,7 @@ USAGE:
   ivnt cluster run   --scenario syn|lig|sta [--seed S] [--signals a,b,..]
                       (--workers A,B,.. | --local N) [--heartbeat-ms N]
                       [--timeout-ms N] [--retries N] [--tasks N]
+                      [--checkpoint PATH] [--straggler-factor F]
                       [--csv out.csv] [--verify] [--metrics] [--json]
                       <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]

@@ -11,6 +11,7 @@
 use ivnt_core::prelude::*;
 use ivnt_simulator::scenario::{self, DataSetSpec};
 use ivnt_store::varint::{self, Cursor};
+use ivnt_store::Footer;
 
 use crate::error::{Error, Result};
 
@@ -113,6 +114,21 @@ impl JobSpec {
             profile = profile.with_signals(self.signals.clone());
         }
         Ok(Pipeline::new(u_rel, profile)?)
+    }
+
+    /// A stable fingerprint binding this job to one store state.
+    ///
+    /// Checkpoint files carry it so a restarted coordinator refuses to
+    /// resume a different job, or the same job against a store that has
+    /// grown or been compacted since the checkpoint was cut (either
+    /// would shift group boundaries and corrupt the merge).
+    pub fn fingerprint(&self, footer: &Footer) -> u64 {
+        let mut bytes = Vec::new();
+        self.encode(&mut bytes);
+        varint::write_u64(&mut bytes, footer.generation);
+        varint::write_u64(&mut bytes, footer.rows);
+        varint::write_u64(&mut bytes, u64::from(footer.groups));
+        ivnt_store::layout::checksum(&bytes)
     }
 
     /// Appends the wire encoding of the spec to `out`.

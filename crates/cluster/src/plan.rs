@@ -97,12 +97,38 @@ pub struct ShardPlan {
 /// yields a plan with zero tasks, which the coordinator turns into an
 /// empty — but correctly schema'd — result without contacting a worker.
 pub fn plan_shards(footer: &Footer, predicate: &Predicate, target_tasks: usize) -> ShardPlan {
+    plan_shards_filtered(footer, predicate, target_tasks, |_| true)
+}
+
+/// [`plan_shards`] restricted to groups `retain` keeps.
+///
+/// The restart path re-plans a checkpointed job with the already-merged
+/// groups filtered out; the straggler path re-plans the unfinished tail
+/// of one shard (see [`split_range`]). Dropped groups are *not* counted
+/// as pruned — `groups_pruned` keeps meaning "disproved by zone maps"
+/// so stats stay comparable across resumed and fresh runs.
+///
+/// Every retain gap forces a task boundary: tasks travel the wire as
+/// dense group ranges, so one spanning a retained-out group would
+/// recompute work the caller explicitly excluded (and double-merge it,
+/// on the restart path). A fragmented `retain` can therefore yield more
+/// than `target_tasks` tasks.
+pub fn plan_shards_filtered(
+    footer: &Footer,
+    predicate: &Predicate,
+    target_tasks: usize,
+    retain: impl Fn(u32) -> bool,
+) -> ShardPlan {
     let compiled = predicate.compile(footer);
     let spans = footer.group_spans();
     // Surviving rows per group: zone-surviving chunks only.
     let mut surviving: Vec<(u32, u64)> = Vec::new();
     let mut rows_estimated = 0u64;
+    let mut groups_pruned = 0u32;
     for span in &spans {
+        if !retain(span.group) {
+            continue;
+        }
         let est: u64 = footer.chunks[span.chunk_start..span.chunk_end]
             .iter()
             .filter(|c| compiled.chunk_may_match(c))
@@ -111,10 +137,11 @@ pub fn plan_shards(footer: &Footer, predicate: &Predicate, target_tasks: usize) 
         if est > 0 {
             surviving.push((span.group, est));
             rows_estimated += est;
+        } else {
+            groups_pruned += 1;
         }
     }
     let groups_total = spans.len() as u32;
-    let groups_pruned = groups_total - surviving.len() as u32;
 
     let target = target_tasks.max(1).min(surviving.len().max(1));
     let mut tasks: Vec<ShardTask> = Vec::with_capacity(target);
@@ -124,13 +151,29 @@ pub fn plan_shards(footer: &Footer, predicate: &Predicate, target_tasks: usize) 
         let mut start: Option<u32> = None;
         let mut end = 0u32;
         for (i, &(group, est)) in surviving.iter().enumerate() {
+            // A gap carved out by `retain` must end the current task:
+            // tasks travel the wire as dense group ranges, so a task
+            // spanning a retained-out group would recompute — and
+            // double-merge — work a checkpoint already covers. Gaps
+            // that are only zone-pruned are safe to span (workers
+            // re-prune them), and `retain` holds on every group in
+            // them, so this never cuts there.
+            if start.is_some() && (end..group).any(|g| !retain(g)) {
+                tasks.push(ShardTask {
+                    task_id: tasks.len() as u32,
+                    group_start: start.take().expect("start set above"),
+                    group_end: end,
+                    rows_estimated: acc,
+                });
+                acc = 0;
+            }
             if start.is_none() {
                 start = Some(group);
             }
             acc += est;
             end = group + 1;
             let groups_left = surviving.len() - i - 1;
-            let tasks_left = target - tasks.len() - 1;
+            let tasks_left = target.saturating_sub(tasks.len()).saturating_sub(1);
             // Cut when the bucket is full — or when the remaining groups
             // are only just enough to give every remaining task one.
             if (acc >= per_task || groups_left <= tasks_left) && tasks.len() < target {
@@ -144,14 +187,16 @@ pub fn plan_shards(footer: &Footer, predicate: &Predicate, target_tasks: usize) 
             }
         }
         if let Some(start) = start {
-            // Remainder rides with the last task.
+            // Remainder rides with the last task — unless a retain gap
+            // separates them, in which case extending the last task's
+            // range would re-span the gap the forced cut just avoided.
             match tasks.last_mut() {
-                Some(last) => {
+                Some(last) if (last.group_end..start).all(&retain) => {
                     last.group_end = end;
                     last.rows_estimated += acc;
                 }
-                None => tasks.push(ShardTask {
-                    task_id: 0,
+                _ => tasks.push(ShardTask {
+                    task_id: tasks.len() as u32,
                     group_start: start,
                     group_end: end,
                     rows_estimated: acc,
@@ -165,6 +210,22 @@ pub fn plan_shards(footer: &Footer, predicate: &Predicate, target_tasks: usize) 
         groups_pruned,
         rows_estimated,
     }
+}
+
+/// Re-plans the group range `groups` into up to `pieces` balanced
+/// sub-ranges — the straggler split.
+///
+/// Returned tasks carry plan-local ids `0..n`; the coordinator renumbers
+/// them into its live task table (merge order is by `group_start`, so
+/// ids only need to be unique, not ordered). Ranges where every group is
+/// zone-pruned yield no tasks.
+pub fn split_range(
+    footer: &Footer,
+    predicate: &Predicate,
+    groups: std::ops::Range<u32>,
+    pieces: usize,
+) -> Vec<ShardTask> {
+    plan_shards_filtered(footer, predicate, pieces, |g| groups.contains(&g)).tasks
 }
 
 #[cfg(test)]
@@ -263,6 +324,73 @@ mod tests {
         let f = footer(2, 1, 10);
         let plan = plan_shards(&f, &Predicate::all(), 16);
         assert_eq!(plan.tasks.len(), 2);
+    }
+
+    #[test]
+    fn filtered_plan_skips_retained_out_groups() {
+        let f = footer(10, 4, 100);
+        // Resume path: groups 0..4 already merged from a checkpoint.
+        let plan = plan_shards_filtered(&f, &Predicate::all(), 3, |g| g >= 4);
+        assert_eq!(plan.groups_pruned, 0);
+        assert_eq!(plan.rows_estimated, 2_400);
+        let mut next = 4u32;
+        for t in &plan.tasks {
+            assert_eq!(t.group_start, next);
+            next = t.group_end;
+        }
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn retain_gap_in_the_middle_never_spanned_by_a_task() {
+        let f = footer(20, 2, 50);
+        // Resume path: a checkpointed task covered groups 9..18 — the
+        // crash happened after a *middle* task completed (task finish
+        // order is not plan order under work stealing). No planned task
+        // may span the gap, or its worker would recompute those groups
+        // and the merge would see them twice.
+        let dropped = 9u32..18;
+        let retain = |g: u32| !dropped.contains(&g);
+        for target in 1..=6 {
+            let plan = plan_shards_filtered(&f, &Predicate::all(), target, retain);
+            let mut covered = Vec::new();
+            for t in &plan.tasks {
+                assert!(
+                    t.group_end <= dropped.start || t.group_start >= dropped.end,
+                    "task {}..{} spans the retained-out gap {dropped:?} (target {target})",
+                    t.group_start,
+                    t.group_end,
+                );
+                covered.extend(t.groups());
+            }
+            let mut expected: Vec<u32> = (0..20).filter(|&g| retain(g)).collect();
+            covered.sort_unstable();
+            expected.sort_unstable();
+            assert_eq!(covered, expected, "kept groups tiled exactly once");
+        }
+        // target 1 cannot honor the gap with a single dense range: the
+        // forced cut yields two tasks, one per side.
+        let plan = plan_shards_filtered(&f, &Predicate::all(), 1, retain);
+        assert_eq!(plan.tasks.len(), 2);
+        assert_eq!(plan.tasks[0].groups(), 0..9);
+        assert_eq!(plan.tasks[1].groups(), 18..20);
+    }
+
+    #[test]
+    fn split_range_tiles_the_tail() {
+        let f = footer(12, 2, 50);
+        let subs = split_range(&f, &Predicate::all(), 5..11, 3);
+        assert_eq!(subs.len(), 3);
+        let mut next = 5u32;
+        for t in &subs {
+            assert_eq!(t.group_start, next);
+            next = t.group_end;
+        }
+        assert_eq!(next, 11);
+        assert_eq!(subs.iter().map(|t| t.rows_estimated).sum::<u64>(), 600);
+        // A fully pruned tail splits into nothing.
+        let pred = Predicate::for_messages([("NOPE", 1u32)]);
+        assert!(split_range(&f, &pred, 5..11, 3).is_empty());
     }
 
     #[test]

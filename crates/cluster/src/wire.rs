@@ -31,7 +31,16 @@ use crate::plan::ShardTask;
 
 /// Protocol revision; bumped on any incompatible frame or body change.
 /// v2 added the [`Message::MetricsRequest`]/[`Message::Metrics`] pair.
-pub const WIRE_VERSION: u32 = 2;
+/// v3 added compressed streamed partial results
+/// ([`Message::PartialResult`]/[`Message::TaskDone`]) and straggler
+/// shard truncation ([`Message::Truncate`]/[`Message::Truncated`]).
+pub const WIRE_VERSION: u32 = 3;
+
+/// Oldest revision both peers still speak. The handshake negotiates
+/// `min(ours, theirs)`; anything below this is rejected. A v3
+/// coordinator drives a v2 worker with whole-shard uncompressed
+/// [`Message::TaskResult`] frames, exactly as before.
+pub const MIN_WIRE_VERSION: u32 = 2;
 
 /// Upper bound on a frame's payload length (64 MiB). A frame header
 /// claiming more is rejected before any allocation happens.
@@ -51,6 +60,10 @@ mod tag {
     pub const SHUTDOWN: u8 = 7;
     pub const METRICS_REQUEST: u8 = 8;
     pub const METRICS: u8 = 9;
+    pub const PARTIAL_RESULT: u8 = 10;
+    pub const TASK_DONE: u8 = 11;
+    pub const TRUNCATE: u8 = 12;
+    pub const TRUNCATED: u8 = 13;
 }
 
 /// Everything that crosses the coordinator↔worker socket.
@@ -82,7 +95,9 @@ pub enum Message {
         /// Monotonic per-connection sequence number.
         seq: u64,
     },
-    /// Completed shard, worker → coordinator.
+    /// Completed shard in one frame, worker → coordinator — the wire v2
+    /// result path, kept for old workers. v3 sessions stream
+    /// [`Message::PartialResult`] frames instead.
     TaskResult {
         /// Id of the finished task.
         task_id: u32,
@@ -96,6 +111,55 @@ pub enum Message {
         task_id: u32,
         /// Human-readable cause, reported into the coordinator's stats.
         message: String,
+    },
+    /// One streamed slice of a shard result, worker → coordinator
+    /// (wire v3). The worker emits one of these per row group as it
+    /// finishes, so the coordinator's merge overlaps compute instead of
+    /// waiting for the whole shard.
+    PartialResult {
+        /// Id of the task the slice belongs to.
+        task_id: u32,
+        /// 0-based position of this slice within the task. Slices are
+        /// emitted in order but the merge accepts any arrival order.
+        seq: u32,
+        /// Store row group the slice covers — the coordinator's view of
+        /// shard progress, which drives straggler splitting.
+        group: u32,
+        /// What the batches would have cost in the uncompressed v2
+        /// encoding — the honest denominator of the compression ratio.
+        raw_bytes: u64,
+        /// Compressed encodings ([`crate::codec::encode_batch_compressed`])
+        /// of the group's result batches; empty when the group was
+        /// pruned inside the shard.
+        batches: Vec<Vec<u8>>,
+    },
+    /// End of a streamed shard, worker → coordinator (wire v3).
+    TaskDone {
+        /// Id of the finished task.
+        task_id: u32,
+        /// Number of [`Message::PartialResult`] frames the worker sent —
+        /// the coordinator verifies none were lost.
+        parts: u32,
+        /// One past the last group actually executed (differs from the
+        /// assigned range end after a [`Message::Truncate`]).
+        group_end: u32,
+    },
+    /// Shrink a running shard's unfinished tail, coordinator → worker
+    /// (wire v3). Straggler handling: the tail is re-planned onto idle
+    /// workers.
+    Truncate {
+        /// Id of the task to shrink.
+        task_id: u32,
+        /// Requested new end of the group range.
+        group_end: u32,
+    },
+    /// The worker's answer to [`Message::Truncate`]: the boundary it
+    /// will actually stop at (never before a group it already emitted).
+    Truncated {
+        /// Id of the shrunk task.
+        task_id: u32,
+        /// Effective new end of the group range.
+        group_end: u32,
     },
     /// Orderly end of session, coordinator → worker.
     Shutdown,
@@ -142,11 +206,11 @@ pub(crate) fn read_bytes(cur: &mut Cursor<'_>) -> Result<Vec<u8>> {
 }
 
 fn write_f64_bits(out: &mut Vec<u8>, v: f64) {
-    out.extend_from_slice(&v.to_bits().to_le_bytes());
+    varint::write_f64_bits(out, v);
 }
 
 fn read_f64_bits(cur: &mut Cursor<'_>) -> Result<f64> {
-    Ok(f64::from_bits(cur.read_u64_le()?))
+    Ok(cur.read_f64_bits()?)
 }
 
 /// Bounded element-count read: metric maps are small, but the decoder
@@ -283,6 +347,43 @@ pub fn encode_message(msg: &Message) -> Vec<u8> {
             varint::write_u64(&mut out, u64::from(*task_id));
             write_str(&mut out, message);
         }
+        Message::PartialResult {
+            task_id,
+            seq,
+            group,
+            raw_bytes,
+            batches,
+        } => {
+            out.push(tag::PARTIAL_RESULT);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, u64::from(*seq));
+            varint::write_u64(&mut out, u64::from(*group));
+            varint::write_u64(&mut out, *raw_bytes);
+            varint::write_u64(&mut out, batches.len() as u64);
+            for b in batches {
+                write_bytes(&mut out, b);
+            }
+        }
+        Message::TaskDone {
+            task_id,
+            parts,
+            group_end,
+        } => {
+            out.push(tag::TASK_DONE);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, u64::from(*parts));
+            varint::write_u64(&mut out, u64::from(*group_end));
+        }
+        Message::Truncate { task_id, group_end } => {
+            out.push(tag::TRUNCATE);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, u64::from(*group_end));
+        }
+        Message::Truncated { task_id, group_end } => {
+            out.push(tag::TRUNCATED);
+            varint::write_u64(&mut out, u64::from(*task_id));
+            varint::write_u64(&mut out, u64::from(*group_end));
+        }
         Message::Shutdown => out.push(tag::SHUTDOWN),
         Message::MetricsRequest => out.push(tag::METRICS_REQUEST),
         Message::Metrics { snapshot } => {
@@ -339,6 +440,40 @@ pub fn decode_message(payload: &[u8]) -> Result<Message> {
         tag::TASK_ERROR => Message::TaskError {
             task_id: read_u32_varint(&mut cur, "task id")?,
             message: read_str(&mut cur)?,
+        },
+        tag::PARTIAL_RESULT => {
+            let task_id = read_u32_varint(&mut cur, "task id")?;
+            let seq = read_u32_varint(&mut cur, "partial seq")?;
+            let group = read_u32_varint(&mut cur, "partial group")?;
+            let raw_bytes = cur.read_u64()?;
+            let n = cur.read_u64()?;
+            if n > MAX_FRAME_LEN {
+                return Err(Error::Protocol(format!("{n} partial batches")));
+            }
+            let mut batches = Vec::with_capacity(n.min(1024) as usize);
+            for _ in 0..n {
+                batches.push(read_bytes(&mut cur)?);
+            }
+            Message::PartialResult {
+                task_id,
+                seq,
+                group,
+                raw_bytes,
+                batches,
+            }
+        }
+        tag::TASK_DONE => Message::TaskDone {
+            task_id: read_u32_varint(&mut cur, "task id")?,
+            parts: read_u32_varint(&mut cur, "part count")?,
+            group_end: read_u32_varint(&mut cur, "group end")?,
+        },
+        tag::TRUNCATE => Message::Truncate {
+            task_id: read_u32_varint(&mut cur, "task id")?,
+            group_end: read_u32_varint(&mut cur, "group end")?,
+        },
+        tag::TRUNCATED => Message::Truncated {
+            task_id: read_u32_varint(&mut cur, "task id")?,
+            group_end: read_u32_varint(&mut cur, "group end")?,
         },
         tag::SHUTDOWN => Message::Shutdown,
         tag::METRICS_REQUEST => Message::MetricsRequest,

@@ -6,22 +6,36 @@
 //! [`JobSpec`](crate::job::JobSpec) and opens the `.ivns` store locally —
 //! shard results travel over the socket, raw trace rows never do.
 //!
+//! On a wire-v3 session the worker **streams**: each row group of an
+//! assigned shard is extracted, compressed
+//! ([`crate::codec::encode_batch_compressed`]) and shipped as a
+//! [`Message::PartialResult`] the moment it is done, so the coordinator
+//! merges while the worker computes. Between groups the worker polls for
+//! a [`Message::Truncate`] — the coordinator's straggler protocol — and
+//! answers with the group it will actually stop at (never one it has
+//! already emitted). A v2 coordinator gets the old whole-shard
+//! [`Message::TaskResult`] instead; [`WorkerServer::with_wire_version`]
+//! pins a worker to the old dialect for compatibility tests.
+//!
 //! Fault injection lives here too, env-gated via [`FAULT_ENV`]: the
-//! coordinator's retry, checksum-reject and liveness-timeout paths are
-//! only trustworthy because a worker can be told to die mid-task, corrupt
-//! a result frame, or go silent on demand.
+//! coordinator's retry, checksum-reject, liveness-timeout and straggler
+//! paths are only trustworthy because a worker can be told to die
+//! mid-task, corrupt a result frame, go silent, or crawl on demand.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
-use crate::codec::encode_batch;
+use crate::codec::{encode_batch, encode_batch_compressed, encoded_len_raw};
 use crate::error::{Error, Result};
-use crate::wire::{self, Message, IDLE_TASK, WIRE_VERSION};
+use crate::wire::{self, Message, IDLE_TASK, MIN_WIRE_VERSION, WIRE_VERSION};
 
 /// Environment variable carrying a comma-separated fault list
-/// (`kill-mid-task`, `corrupt-result`, `stall-heartbeat`).
+/// (`kill-mid-task`, `corrupt-result`, `stall-heartbeat`, `slow-task`).
+/// The coordinator-side `coordinator_restart` token may appear in the
+/// same variable; workers accept and ignore it.
 pub const FAULT_ENV: &str = "IVNT_CLUSTER_FAULT";
 
 /// Line a worker prints to stdout once bound, so a spawning parent can
@@ -41,6 +55,9 @@ pub struct WorkerFaults {
     /// Stop heartbeating and sit on the first assigned task until well
     /// past any sane liveness timeout — the "wedged process" case.
     pub stall_heartbeat: bool,
+    /// Crawl: sleep a few heartbeats before every row group while still
+    /// heartbeating — the straggler the truncate/split path exists for.
+    pub slow_task: bool,
 }
 
 impl WorkerFaults {
@@ -61,9 +78,13 @@ impl WorkerFaults {
                 "kill-mid-task" => f.kill_mid_task = true,
                 "corrupt-result" => f.corrupt_result = true,
                 "stall-heartbeat" => f.stall_heartbeat = true,
+                "slow-task" => f.slow_task = true,
+                // Coordinator-side fault sharing the variable; not ours.
+                "coordinator_restart" => {}
                 other => {
                     return Err(Error::Job(format!(
-                        "unknown fault {other:?} (use kill-mid-task|corrupt-result|stall-heartbeat)"
+                        "unknown fault {other:?} (use kill-mid-task|corrupt-result|\
+                         stall-heartbeat|slow-task|coordinator_restart)"
                     )))
                 }
             }
@@ -83,7 +104,8 @@ impl WorkerFaults {
         }
     }
 
-    fn any(&self) -> bool {
+    /// Whether any fault that must delay the fault window is armed.
+    fn delayed(&self) -> bool {
         self.kill_mid_task || self.corrupt_result || self.stall_heartbeat
     }
 }
@@ -93,6 +115,7 @@ pub struct WorkerServer {
     listener: TcpListener,
     name: String,
     faults: WorkerFaults,
+    wire_version: u32,
 }
 
 impl WorkerServer {
@@ -108,6 +131,7 @@ impl WorkerServer {
             listener,
             name,
             faults: WorkerFaults::none(),
+            wire_version: WIRE_VERSION,
         })
     }
 
@@ -126,6 +150,14 @@ impl WorkerServer {
         self
     }
 
+    /// Caps the wire version this worker advertises — a v2-pinned worker
+    /// exercises the coordinator's compatibility fallback. Clamped to
+    /// the supported range.
+    pub fn with_wire_version(mut self, version: u32) -> WorkerServer {
+        self.wire_version = version.clamp(MIN_WIRE_VERSION, WIRE_VERSION);
+        self
+    }
+
     /// Accepts and serves exactly one coordinator session.
     ///
     /// # Errors
@@ -134,7 +166,7 @@ impl WorkerServer {
     /// ones ([`Error::Job`] with a `fault injection:` message).
     pub fn serve_once(&self) -> Result<()> {
         let (stream, _) = self.listener.accept()?;
-        serve_session(stream, &self.name, self.faults)
+        serve_session(stream, &self.name, self.faults, self.wire_version)
     }
 
     /// Serves coordinator sessions forever, like a daemon: a failed
@@ -147,7 +179,7 @@ impl WorkerServer {
     pub fn serve(&self) -> Result<()> {
         loop {
             let (stream, _) = self.listener.accept()?;
-            if let Err(e) = serve_session(stream, &self.name, self.faults) {
+            if let Err(e) = serve_session(stream, &self.name, self.faults, self.wire_version) {
                 eprintln!("{}: session failed: {e}", self.name);
             }
         }
@@ -155,22 +187,31 @@ impl WorkerServer {
 }
 
 /// Runs one full coordinator session over an accepted connection.
-fn serve_session(mut stream: TcpStream, name: &str, faults: WorkerFaults) -> Result<()> {
+fn serve_session(
+    mut stream: TcpStream,
+    name: &str,
+    faults: WorkerFaults,
+    advertised: u32,
+) -> Result<()> {
     stream.set_nodelay(true).ok();
-    match wire::read_frame(&mut stream)? {
-        Message::Hello { version, .. } if version == WIRE_VERSION => {}
+    let effective = match wire::read_frame(&mut stream)? {
         Message::Hello { version, .. } => {
-            return Err(Error::Protocol(format!(
-                "coordinator speaks wire v{version}, this worker v{WIRE_VERSION}"
-            )))
+            let effective = version.min(advertised);
+            if effective < MIN_WIRE_VERSION {
+                return Err(Error::Protocol(format!(
+                    "coordinator speaks wire v{version}, this worker \
+                     v{MIN_WIRE_VERSION}..=v{advertised}"
+                )));
+            }
+            effective
         }
         other => return Err(Error::Protocol(format!("expected Hello, got {other:?}"))),
-    }
+    };
     let writer = Arc::new(Mutex::new(stream.try_clone()?));
     send(
         &writer,
         &Message::Hello {
-            version: WIRE_VERSION,
+            version: advertised,
             peer: name.to_string(),
         },
     )?;
@@ -217,119 +258,336 @@ fn serve_session(mut stream: TcpStream, name: &str, faults: WorkerFaults) -> Res
         })
     };
 
-    let result = assign_loop(
-        &mut stream,
-        &writer,
-        &pipeline,
-        &mut reader,
-        &current_task,
+    // Frame pump: a reader thread feeding a channel, so the assign loop
+    // can poll for a mid-task Truncate without blocking the extraction.
+    // The pump forwards its terminal error (including clean EOF) as the
+    // last channel item and exits.
+    let (tx, rx) = std::sync::mpsc::channel::<Result<Message>>();
+    let pump = {
+        let mut pump_stream = stream.try_clone()?;
+        std::thread::spawn(move || loop {
+            match wire::read_frame(&mut pump_stream) {
+                Ok(msg) => {
+                    if tx.send(Ok(msg)).is_err() {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    tx.send(Err(e)).ok();
+                    return;
+                }
+            }
+        })
+    };
+
+    let session = Session {
+        writer: &writer,
+        rx: &rx,
+        pipeline: &pipeline,
+        current_task: &current_task,
         faults,
         heartbeat_ms,
-        &registry,
-    );
+        registry: &registry,
+        effective,
+    };
+    let result = session.assign_loop(&mut reader);
     running.store(false, Ordering::SeqCst);
     stream.shutdown(std::net::Shutdown::Both).ok();
     let _ = ticker.join();
+    let _ = pump.join();
     result
 }
 
-/// The assign/result loop — the worker's steady state.
-#[allow(clippy::too_many_arguments)]
-fn assign_loop(
-    stream: &mut TcpStream,
-    writer: &Arc<Mutex<TcpStream>>,
-    pipeline: &ivnt_core::Pipeline,
-    reader: &mut ivnt_store::StoreReader<std::io::BufReader<std::fs::File>>,
-    current_task: &Arc<AtomicU32>,
-    mut faults: WorkerFaults,
+/// What a mid-task channel poll asked the task loop to do.
+enum TaskControl {
+    /// Keep going (possibly with a shortened end).
+    Continue,
+    /// The session is over; stop and bubble the result up.
+    Stop(Result<()>),
+}
+
+struct Session<'a> {
+    writer: &'a Arc<Mutex<TcpStream>>,
+    rx: &'a Receiver<Result<Message>>,
+    pipeline: &'a ivnt_core::Pipeline,
+    current_task: &'a Arc<AtomicU32>,
+    faults: WorkerFaults,
     heartbeat_ms: u32,
-    registry: &Arc<ivnt_obs::Registry>,
-) -> Result<()> {
-    loop {
-        let task = match wire::read_frame(stream) {
-            Ok(Message::Assign { task }) => task,
-            Ok(Message::Shutdown) => return Ok(()),
-            Ok(Message::MetricsRequest) => {
-                match send(
-                    writer,
-                    &Message::Metrics {
-                        snapshot: registry.snapshot(),
-                    },
-                ) {
+    registry: &'a Arc<ivnt_obs::Registry>,
+    effective: u32,
+}
+
+impl Session<'_> {
+    /// The assign/result loop — the worker's steady state.
+    fn assign_loop(
+        mut self,
+        reader: &mut ivnt_store::StoreReader<std::io::BufReader<std::fs::File>>,
+    ) -> Result<()> {
+        loop {
+            // A dropped channel means the pump thread is gone without a
+            // terminal error — treat like a vanished coordinator.
+            let Ok(incoming) = self.rx.recv() else {
+                return Ok(());
+            };
+            let task = match incoming {
+                Ok(Message::Assign { task }) => task,
+                Ok(Message::Shutdown) => return Ok(()),
+                Ok(Message::MetricsRequest) => match self.send_metrics() {
                     Ok(()) => continue,
                     Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
                     Err(e) => return Err(e),
+                },
+                // A Truncate that raced the task's completion: the result
+                // is already on the wire, nothing to stop.
+                Ok(Message::Truncate { .. }) => continue,
+                // A coordinator that vanishes between frames ends the
+                // session without ceremony; that is not a worker failure.
+                // The close can surface as a clean EOF or — when the
+                // coordinator's socket still held an unread late
+                // heartbeat, which makes the kernel answer with RST — as
+                // a reset.
+                Err(Error::Truncated(_)) => return Ok(()),
+                Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
+                Ok(other) => {
+                    return Err(Error::Protocol(format!("expected Assign, got {other:?}")))
                 }
+                Err(e) => return Err(e),
+            };
+            self.current_task.store(task.task_id, Ordering::SeqCst);
+
+            if self.faults.delayed() {
+                // Give the assignment time to be truly in-flight (at
+                // least one heartbeat observed with the task running)
+                // before the fault fires — that is the window retry must
+                // survive.
+                std::thread::sleep(Duration::from_millis(
+                    u64::from(self.heartbeat_ms.max(1)) * 2,
+                ));
             }
-            // A coordinator that vanishes between frames ends the
-            // session without ceremony; that is not a worker failure.
-            // The close can surface as a clean EOF or — when the
-            // coordinator's socket still held an unread late heartbeat,
-            // which makes the kernel answer with RST — as a reset.
-            Err(Error::Truncated(_)) => return Ok(()),
-            Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
-            Ok(other) => return Err(Error::Protocol(format!("expected Assign, got {other:?}"))),
-            Err(e) => return Err(e),
-        };
-        current_task.store(task.task_id, Ordering::SeqCst);
+            if self.faults.kill_mid_task {
+                return Err(Error::Job("fault injection: killed mid-task".into()));
+            }
+            if self.faults.stall_heartbeat {
+                // Sit silent long enough that any reasonable liveness
+                // timeout (a small multiple of the heartbeat) must fire.
+                std::thread::sleep(Duration::from_millis(
+                    u64::from(self.heartbeat_ms.max(1)) * 20,
+                ));
+                return Err(Error::Job("fault injection: stalled heartbeat".into()));
+            }
 
-        if faults.any() {
-            // Give the assignment time to be truly in-flight (at least
-            // one heartbeat observed with the task running) before the
-            // fault fires — that is the window retry must survive.
-            std::thread::sleep(Duration::from_millis(u64::from(heartbeat_ms.max(1)) * 2));
+            let outcome = if self.effective >= 3 {
+                self.run_task_streamed(reader, task)
+            } else {
+                self.run_task_whole(reader, task)
+            };
+            match outcome {
+                TaskControl::Continue => {}
+                TaskControl::Stop(result) => return result,
+            }
+            self.current_task.store(IDLE_TASK, Ordering::SeqCst);
         }
-        if faults.kill_mid_task {
-            return Err(Error::Job("fault injection: killed mid-task".into()));
-        }
-        if faults.stall_heartbeat {
-            // Sit silent long enough that any reasonable liveness
-            // timeout (a small multiple of the heartbeat) must fire.
-            std::thread::sleep(Duration::from_millis(u64::from(heartbeat_ms.max(1)) * 20));
-            return Err(Error::Job("fault injection: stalled heartbeat".into()));
-        }
+    }
 
+    /// The v3 path: per-group extraction streamed as compressed
+    /// [`Message::PartialResult`] frames, a truncate poll between
+    /// groups, and a closing [`Message::TaskDone`].
+    fn run_task_streamed(
+        &mut self,
+        reader: &mut ivnt_store::StoreReader<std::io::BufReader<std::fs::File>>,
+        task: crate::plan::ShardTask,
+    ) -> TaskControl {
         let t_task = std::time::Instant::now();
-        let response = match pipeline.extract_store_shard(reader, task.groups()) {
+        let mut end = task.group_end;
+        let mut group = task.group_start;
+        let mut seq: u32 = 0;
+        while group < end {
+            match self.poll_control(task.task_id, group, &mut end) {
+                TaskControl::Continue => {}
+                stop => return stop,
+            }
+            if self.faults.slow_task {
+                std::thread::sleep(Duration::from_millis(
+                    u64::from(self.heartbeat_ms.max(1)) * 3,
+                ));
+            }
+            let batches = match self.pipeline.extract_store_shard(reader, group..group + 1) {
+                Ok(batches) => batches,
+                Err(e) => {
+                    self.registry
+                        .add("cluster_tasks_total{result=\"error\"}", 1);
+                    return self.finish_send(&Message::TaskError {
+                        task_id: task.task_id,
+                        message: e.to_string(),
+                    });
+                }
+            };
+            let raw_bytes: u64 = batches.iter().map(encoded_len_raw).sum();
+            let msg = Message::PartialResult {
+                task_id: task.task_id,
+                seq,
+                group,
+                raw_bytes,
+                batches: batches.iter().map(encode_batch_compressed).collect(),
+            };
+            let sent = if self.faults.corrupt_result {
+                self.faults.corrupt_result = false;
+                self.send_corrupted(&msg)
+            } else {
+                send(self.writer, &msg)
+            };
+            match self.map_send(sent) {
+                TaskControl::Continue => {}
+                stop => return stop,
+            }
+            seq += 1;
+            group += 1;
+        }
+        self.registry.add("cluster_tasks_total{result=\"ok\"}", 1);
+        self.registry.observe(
+            "cluster_task_seconds",
+            ivnt_obs::SECONDS_BUCKETS,
+            t_task.elapsed().as_secs_f64(),
+        );
+        self.finish_send(&Message::TaskDone {
+            task_id: task.task_id,
+            parts: seq,
+            group_end: end,
+        })
+    }
+
+    /// The v2 path: whole-shard extraction, one flat
+    /// [`Message::TaskResult`].
+    fn run_task_whole(
+        &mut self,
+        reader: &mut ivnt_store::StoreReader<std::io::BufReader<std::fs::File>>,
+        task: crate::plan::ShardTask,
+    ) -> TaskControl {
+        let t_task = std::time::Instant::now();
+        if self.faults.slow_task {
+            std::thread::sleep(Duration::from_millis(
+                u64::from(self.heartbeat_ms.max(1))
+                    * 3
+                    * u64::from(task.group_end - task.group_start),
+            ));
+        }
+        let response = match self.pipeline.extract_store_shard(reader, task.groups()) {
             Ok(batches) => {
-                registry.add("cluster_tasks_total{result=\"ok\"}", 1);
+                self.registry.add("cluster_tasks_total{result=\"ok\"}", 1);
                 Message::TaskResult {
                     task_id: task.task_id,
                     batches: batches.iter().map(encode_batch).collect(),
                 }
             }
             Err(e) => {
-                registry.add("cluster_tasks_total{result=\"error\"}", 1);
+                self.registry
+                    .add("cluster_tasks_total{result=\"error\"}", 1);
                 Message::TaskError {
                     task_id: task.task_id,
                     message: e.to_string(),
                 }
             }
         };
-        registry.observe(
+        self.registry.observe(
             "cluster_task_seconds",
             ivnt_obs::SECONDS_BUCKETS,
             t_task.elapsed().as_secs_f64(),
         );
-        if faults.corrupt_result {
-            faults.corrupt_result = false;
-            let mut frame = wire::encode_frame(&response);
-            // Flip a payload byte; the length prefix stays honest so the
-            // coordinator reads a full frame and must fail the checksum.
-            frame[4] ^= 0xFF;
-            let mut w = writer.lock().expect("writer mutex");
-            std::io::Write::write_all(&mut *w, &frame)?;
-            std::io::Write::flush(&mut *w)?;
-        } else {
-            match send(writer, &response) {
-                Ok(()) => {}
-                // The coordinator may already have what it needs (a
-                // retried task that finished elsewhere) and be gone.
-                Err(Error::Io(e)) if is_disconnect(&e) => return Ok(()),
-                Err(e) => return Err(e),
+        if self.faults.corrupt_result {
+            self.faults.corrupt_result = false;
+            let sent = self.send_corrupted(&response);
+            return self.map_send(sent);
+        }
+        self.finish_send(&response)
+    }
+
+    /// Drains control frames that arrived mid-task. A Truncate for the
+    /// running task shortens `end` — never below `group + 1`, the group
+    /// about to be emitted, so already-shipped partials stay covered —
+    /// and is acknowledged with the actual stopping point.
+    fn poll_control(&mut self, task_id: u32, group: u32, end: &mut u32) -> TaskControl {
+        loop {
+            match self.rx.try_recv() {
+                Ok(Ok(Message::Truncate {
+                    task_id: t,
+                    group_end,
+                })) if t == task_id => {
+                    let actual = group_end.clamp(group + 1, *end);
+                    if actual < *end {
+                        *end = actual;
+                    }
+                    let sent = send(
+                        self.writer,
+                        &Message::Truncated {
+                            task_id,
+                            group_end: *end,
+                        },
+                    );
+                    match self.map_send(sent) {
+                        TaskControl::Continue => {}
+                        stop => return stop,
+                    }
+                }
+                // A stale Truncate for some earlier task: ignore.
+                Ok(Ok(Message::Truncate { .. })) => {}
+                Ok(Ok(Message::Shutdown)) => return TaskControl::Stop(Ok(())),
+                Ok(Ok(Message::MetricsRequest)) => {
+                    let sent = self.send_metrics();
+                    match self.map_send(sent) {
+                        TaskControl::Continue => {}
+                        stop => return stop,
+                    }
+                }
+                Ok(Ok(other)) => {
+                    return TaskControl::Stop(Err(Error::Protocol(format!(
+                        "unexpected mid-task message {other:?}"
+                    ))))
+                }
+                Ok(Err(Error::Truncated(_))) => return TaskControl::Stop(Ok(())),
+                Ok(Err(Error::Io(e))) if is_disconnect(&e) => return TaskControl::Stop(Ok(())),
+                Ok(Err(e)) => return TaskControl::Stop(Err(e)),
+                Err(TryRecvError::Empty) => return TaskControl::Continue,
+                Err(TryRecvError::Disconnected) => return TaskControl::Stop(Ok(())),
             }
         }
-        current_task.store(IDLE_TASK, Ordering::SeqCst);
+    }
+
+    fn send_metrics(&self) -> Result<()> {
+        send(
+            self.writer,
+            &Message::Metrics {
+                snapshot: self.registry.snapshot(),
+            },
+        )
+    }
+
+    /// Ships `msg` with one payload byte flipped; the length prefix
+    /// stays honest so the coordinator reads a full frame and must fail
+    /// the checksum.
+    fn send_corrupted(&self, msg: &Message) -> Result<()> {
+        let mut frame = wire::encode_frame(msg);
+        frame[4] ^= 0xFF;
+        let mut w = self.writer.lock().expect("writer mutex");
+        std::io::Write::write_all(&mut *w, &frame)?;
+        std::io::Write::flush(&mut *w)?;
+        Ok(())
+    }
+
+    /// Folds a send result into task control: a hung-up coordinator may
+    /// already have what it needs (a retried task that finished
+    /// elsewhere) — that ends the session cleanly, not as a failure.
+    fn map_send(&self, sent: Result<()>) -> TaskControl {
+        match sent {
+            Ok(()) => TaskControl::Continue,
+            Err(Error::Io(e)) if is_disconnect(&e) => TaskControl::Stop(Ok(())),
+            Err(e) => TaskControl::Stop(Err(e)),
+        }
+    }
+
+    /// [`Session::map_send`], for a task's closing frame.
+    fn finish_send(&self, msg: &Message) -> TaskControl {
+        let sent = send(self.writer, msg);
+        self.map_send(sent)
     }
 }
 

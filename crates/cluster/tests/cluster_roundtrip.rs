@@ -62,12 +62,25 @@ fn single_process_fingerprint(job: &JobSpec) -> (Vec<Vec<u8>>, usize) {
 
 /// Starts `faults.len()` in-process workers, each serving one session.
 fn start_workers(faults: &[WorkerFaults]) -> (Vec<String>, Vec<std::thread::JoinHandle<()>>) {
+    let specs: Vec<(WorkerFaults, u32)> = faults
+        .iter()
+        .map(|&f| (f, ivnt_cluster::WIRE_VERSION))
+        .collect();
+    start_workers_versioned(&specs)
+}
+
+/// Starts one in-process worker per `(faults, wire_version)` spec, each
+/// serving one session.
+fn start_workers_versioned(
+    specs: &[(WorkerFaults, u32)],
+) -> (Vec<String>, Vec<std::thread::JoinHandle<()>>) {
     let mut addrs = Vec::new();
     let mut handles = Vec::new();
-    for &f in faults {
+    for &(f, v) in specs {
         let server = WorkerServer::bind("127.0.0.1:0")
             .expect("worker binds")
-            .with_faults(f);
+            .with_faults(f)
+            .with_wire_version(v);
         addrs.push(server.local_addr().expect("worker addr").to_string());
         handles.push(std::thread::spawn(move || {
             // Session failures (including injected ones) are the
@@ -86,6 +99,7 @@ fn fast_config() -> ClusterConfig {
         tasks_per_worker: 3,
         connect_timeout_ms: 2_000,
         collect_metrics: true,
+        ..ClusterConfig::default()
     }
 }
 
@@ -206,6 +220,115 @@ fn stalled_heartbeat_trips_the_liveness_timeout() {
     assert_eq!(fingerprint(&run.frame), expected);
     assert_eq!(run.stats.workers_lost, 1, "the silent worker timed out");
     assert!(run.stats.retries >= 1);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v3_sessions_stream_compressed_partials() {
+    let path = temp_store("stream");
+    write_store(&path, 37);
+    let job = job_for(&path, 37);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    let (addrs, handles) = start_workers(&[WorkerFaults::none(), WorkerFaults::none()]);
+    let run = run_job(&job, &addrs, &fast_config()).expect("cluster run");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert!(
+        run.stats.partial_frames as usize >= run.stats.tasks,
+        "every task should stream at least one partial, got {} frames for {} tasks",
+        run.stats.partial_frames,
+        run.stats.tasks
+    );
+    assert!(
+        run.stats.wire_result_bytes < run.stats.wire_result_raw_bytes,
+        "compressed result traffic ({}) must undercut the v2 encoding ({})",
+        run.stats.wire_result_bytes,
+        run.stats.wire_result_raw_bytes
+    );
+    assert!(
+        run.stats.compression_ratio() >= 2.0,
+        "signal batches should compress well, got {:.2}x",
+        run.stats.compression_ratio()
+    );
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn v2_pinned_workers_interoperate_bit_identically() {
+    let path = temp_store("v2compat");
+    write_store(&path, 41);
+    let job = job_for(&path, 41);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    // All-v2 fleet: the coordinator must fall back to whole-shard
+    // TaskResult frames and still merge bit-identically.
+    let specs = [(WorkerFaults::none(), 2), (WorkerFaults::none(), 2)];
+    let (addrs, handles) = start_workers_versioned(&specs);
+    let run = run_job(&job, &addrs, &fast_config()).expect("v2 cluster run");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert_eq!(run.stats.partial_frames, 0, "v2 sessions never stream");
+    assert!(
+        (run.stats.compression_ratio() - 1.0).abs() < f64::EPSILON,
+        "the v2 dialect is uncompressed"
+    );
+
+    // Mixed fleet: one old worker, one new — negotiation is per session.
+    let specs = [
+        (WorkerFaults::none(), 2),
+        (WorkerFaults::none(), ivnt_cluster::WIRE_VERSION),
+    ];
+    let (addrs, handles) = start_workers_versioned(&specs);
+    let run = run_job(&job, &addrs, &fast_config()).expect("mixed cluster run");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn straggler_is_truncated_and_its_tail_split_across_the_fleet() {
+    let path = temp_store("straggler");
+    write_store(&path, 43);
+    let job = job_for(&path, 43);
+    let (expected, _) = single_process_fingerprint(&job);
+
+    // One worker crawls (but keeps heartbeating), one is healthy. Two
+    // big shards, an armed straggler detector, and a split tail the
+    // healthy worker can absorb.
+    let config = ClusterConfig {
+        tasks_per_worker: 1,
+        straggler_factor: 1.5,
+        straggler_min_samples: 1,
+        min_split_groups: 1,
+        liveness_timeout_ms: 2_000,
+        ..fast_config()
+    };
+    let faults = [
+        WorkerFaults {
+            slow_task: true,
+            ..WorkerFaults::none()
+        },
+        WorkerFaults::none(),
+    ];
+    let (addrs, handles) = start_workers(&faults);
+    let run = run_job(&job, &addrs, &config).expect("cluster absorbs the straggler");
+    for h in handles {
+        h.join().expect("worker thread");
+    }
+    assert_eq!(fingerprint(&run.frame), expected);
+    assert_eq!(run.stats.workers_lost, 0, "slow is not dead");
+    assert!(
+        run.stats.splits >= 1,
+        "the straggling shard should have been split (stats: {:?})",
+        run.stats
+    );
     std::fs::remove_file(&path).ok();
 }
 

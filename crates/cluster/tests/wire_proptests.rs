@@ -10,10 +10,12 @@
 
 use std::sync::Arc;
 
-use ivnt_cluster::codec::{decode_batch, encode_batch};
+use ivnt_cluster::codec::{
+    decode_batch, decode_batch_compressed, encode_batch, encode_batch_compressed,
+};
 use ivnt_cluster::plan::ShardTask;
 use ivnt_cluster::wire::{decode_message, encode_frame, read_frame, Message};
-use ivnt_cluster::{Error, JobSpec};
+use ivnt_cluster::{Error, JobSpec, PartialAccum};
 use ivnt_frame::batch::Batch;
 use ivnt_frame::column::Column;
 use ivnt_frame::datatype::{DataType, Schema};
@@ -30,7 +32,7 @@ fn message_from(
     blobs: Vec<Vec<u8>>,
 ) -> Message {
     let (a, b, c, d) = nums;
-    match selector % 9 {
+    match selector % 13 {
         0 => Message::Hello {
             version: a as u32,
             peer: s1,
@@ -93,6 +95,26 @@ fn message_from(
             );
             Message::Metrics { snapshot }
         }
+        8 => Message::PartialResult {
+            task_id: a as u32,
+            seq: (b % 1_000) as u32,
+            group: (c % 1_000) as u32,
+            raw_bytes: d,
+            batches: blobs,
+        },
+        9 => Message::TaskDone {
+            task_id: a as u32,
+            parts: (b % 1_000) as u32,
+            group_end: (c % 1_000) as u32,
+        },
+        10 => Message::Truncate {
+            task_id: a as u32,
+            group_end: (b % 1_000) as u32,
+        },
+        11 => Message::Truncated {
+            task_id: a as u32,
+            group_end: (b % 1_000) as u32,
+        },
         _ => Message::Shutdown,
     }
 }
@@ -102,7 +124,7 @@ proptest! {
     /// message variant.
     #[test]
     fn every_message_type_roundtrips(
-        selector in 0u8..9,
+        selector in 0u8..13,
         s1 in "\\PC{0,24}",
         s2 in "\\PC{0,24}",
         signals in prop::collection::vec("\\PC{0,12}", 0..5),
@@ -119,7 +141,7 @@ proptest! {
     /// error. The length prefix, payload and checksum are all covered.
     #[test]
     fn corrupted_frame_yields_typed_error(
-        selector in 0u8..9,
+        selector in 0u8..13,
         s1 in "\\PC{0,16}",
         seq in 0u64..u64::MAX,
         victim in 0usize..4096,
@@ -151,7 +173,7 @@ proptest! {
     /// not a panic or a hang.
     #[test]
     fn truncated_frame_yields_typed_error(
-        selector in 0u8..9,
+        selector in 0u8..13,
         s1 in "\\PC{0,16}",
         cut in 0usize..4096,
     ) {
@@ -174,6 +196,7 @@ proptest! {
         let _ = decode_message(&bytes);
         let schema = wide_schema();
         let _ = decode_batch(&bytes, &schema);
+        let _ = decode_batch_compressed(&bytes, &schema);
     }
 
     /// Claim 3: the batch codec is bit-exact over all five column types,
@@ -226,6 +249,50 @@ proptest! {
         // Canonical encoding: re-encoding the decoded batch reproduces
         // the exact bytes, which subsumes per-cell bit equality.
         prop_assert_eq!(encode_batch(&decoded), encoded);
+
+        // Claim 3b, the v3 compressed codec: same canonical-encoding
+        // property, and decoding lands on the identical batch — so the
+        // compressed wire path cannot perturb a single bit either.
+        let packed = encode_batch_compressed(&batch);
+        let unpacked = decode_batch_compressed(&packed, &wide_schema()).unwrap();
+        prop_assert_eq!(encode_batch_compressed(&unpacked), packed);
+        prop_assert_eq!(encode_batch(&unpacked), encode_batch(&batch));
+    }
+
+    /// Claim 4: however `PartialResult` slices interleave on the wire,
+    /// the accumulator reassembles the exact in-order blob list — the
+    /// merge is a function of the slice *contents*, not their arrival
+    /// order.
+    #[test]
+    fn partial_slices_merge_identically_in_any_arrival_order(
+        sizes in prop::collection::vec(0usize..4, 1..12),
+        keys in prop::collection::vec(0u64..u64::MAX, 12),
+    ) {
+        // Slice `seq` covers group `2 * seq` and carries `sizes[seq]`
+        // distinguishable blobs.
+        let slices: Vec<(u32, u32, Vec<Vec<u8>>)> = sizes
+            .iter()
+            .enumerate()
+            .map(|(seq, &n)| {
+                let blobs = (0..n).map(|j| vec![seq as u8, j as u8]).collect();
+                (seq as u32, 2 * seq as u32, blobs)
+            })
+            .collect();
+
+        let mut in_order = PartialAccum::new();
+        for (seq, group, blobs) in &slices {
+            in_order.insert(*seq, *group, blobs.clone()).unwrap();
+        }
+        let expected = in_order.finish(slices.len() as u32).unwrap();
+
+        // A key-sorted permutation of the arrival order.
+        let mut shuffled: Vec<&(u32, u32, Vec<Vec<u8>>)> = slices.iter().collect();
+        shuffled.sort_by_key(|(seq, _, _)| keys[*seq as usize]);
+        let mut accum = PartialAccum::new();
+        for (seq, group, blobs) in shuffled {
+            accum.insert(*seq, *group, blobs.clone()).unwrap();
+        }
+        prop_assert_eq!(accum.finish(slices.len() as u32).unwrap(), expected);
     }
 }
 

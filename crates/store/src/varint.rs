@@ -24,6 +24,16 @@ pub fn write_i64(out: &mut Vec<u8>, v: i64) {
     write_u64(out, zigzag(v));
 }
 
+/// Appends `v`'s raw IEEE-754 bit pattern, little-endian.
+///
+/// Floats never travel as text anywhere in this codebase — a decimal
+/// round-trip would quietly break bit-identity guarantees downstream
+/// (NaN payloads, signed zeros, subnormals). Consumers pair this with
+/// [`Cursor::read_f64_bits`].
+pub fn write_f64_bits(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
 /// Maps signed to unsigned keeping small magnitudes small.
 #[inline]
 pub fn zigzag(v: i64) -> u64 {
@@ -138,6 +148,15 @@ impl<'a> Cursor<'a> {
     pub fn read_i64(&mut self) -> Result<i64> {
         Ok(unzigzag(self.read_u64()?))
     }
+
+    /// Reads a float written by [`write_f64_bits`] — bit-exact.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Truncated`] at end of input.
+    pub fn read_f64_bits(&mut self) -> Result<f64> {
+        Ok(f64::from_bits(self.read_u64_le()?))
+    }
 }
 
 #[cfg(test)]
@@ -183,6 +202,26 @@ mod tests {
         let overflow = [0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x02];
         let mut cur = Cursor::new(&overflow);
         assert!(matches!(cur.read_u64(), Err(Error::Format(_))));
+    }
+
+    #[test]
+    fn f64_bits_roundtrip_bit_exactly() {
+        let specials = [
+            f64::NAN,
+            f64::from_bits(0x7FF8_0000_0000_0001),
+            f64::NEG_INFINITY,
+            -0.0,
+            f64::MIN_POSITIVE / 2.0,
+            f64::MAX,
+        ];
+        let mut buf = Vec::new();
+        for &v in &specials {
+            write_f64_bits(&mut buf, v);
+        }
+        let mut cur = Cursor::new(&buf);
+        for &v in &specials {
+            assert_eq!(cur.read_f64_bits().unwrap().to_bits(), v.to_bits());
+        }
     }
 
     #[test]
