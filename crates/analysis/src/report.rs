@@ -175,7 +175,8 @@ mod tests {
             DomainProfile::new("report-test").with_signals(["speed", "gear"]),
         )
         .unwrap()
-        .run(&trace)
+        .session(RunOptions::trace(&trace))
+        .run()
         .unwrap()
     }
 

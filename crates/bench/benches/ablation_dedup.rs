@@ -20,7 +20,12 @@ fn dedup(c: &mut Criterion) {
         let profile = DomainProfile::new("dedup").with_dedup(enabled);
         let pipeline = Pipeline::new(u_rel.clone(), profile).expect("pipeline");
         group.bench_function(label, |b| {
-            b.iter(|| pipeline.run(&data.trace).expect("run"))
+            b.iter(|| {
+                pipeline
+                    .session(RunOptions::trace(&data.trace))
+                    .run()
+                    .expect("run")
+            })
         });
     }
     group.finish();

@@ -22,7 +22,14 @@ fn partitions(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::from_parameter(parts),
             &data.trace,
-            |b, trace| b.iter(|| pipeline.extract_reduced(trace).expect("extract")),
+            |b, trace| {
+                b.iter(|| {
+                    pipeline
+                        .session(RunOptions::trace(trace))
+                        .extract_reduced()
+                        .expect("extract")
+                })
+            },
         );
     }
     group.finish();

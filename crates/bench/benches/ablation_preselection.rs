@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
+use ivnt_core::pipeline::RunOptions;
 
 fn preselection(c: &mut Criterion) {
     let data = vehicle_journey(30_000, 0).expect("generate");
@@ -14,13 +15,21 @@ fn preselection(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_preselection");
     group.sample_size(10);
     group.bench_function("with_preselection", |b| {
-        b.iter(|| pipeline.extract(&data.trace).expect("extract"))
+        b.iter(|| {
+            pipeline
+                .session(RunOptions::trace(&data.trace))
+                .extract()
+                .expect("extract")
+                .frame
+        })
     });
     group.bench_function("without_preselection", |b| {
         b.iter(|| {
             pipeline
-                .extract_without_preselection(&data.trace)
+                .session(RunOptions::trace(&data.trace).without_preselection())
+                .extract()
                 .expect("extract")
+                .frame
         })
     });
     group.finish();

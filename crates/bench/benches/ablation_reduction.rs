@@ -37,7 +37,12 @@ fn reduction(c: &mut Criterion) {
     for (label, profile) in cases {
         let pipeline = Pipeline::new(u_rel.clone(), profile).expect("pipeline");
         group.bench_function(label, |b| {
-            b.iter(|| pipeline.run(&data.trace).expect("run"))
+            b.iter(|| {
+                pipeline
+                    .session(RunOptions::trace(&data.trace))
+                    .run()
+                    .expect("run")
+            })
         });
     }
     group.finish();

@@ -5,6 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ivnt_bench::domain_pipeline;
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::prelude::*;
 
 fn fig5(c: &mut Criterion) {
@@ -20,7 +21,12 @@ fn fig5(c: &mut Criterion) {
             let prefix = data.trace.prefix(n);
             group.throughput(Throughput::Elements(n as u64));
             group.bench_with_input(BenchmarkId::new(name.clone(), n), &prefix, |b, prefix| {
-                b.iter(|| pipeline.extract_reduced(prefix).expect("extract"));
+                b.iter(|| {
+                    pipeline
+                        .session(RunOptions::trace(prefix))
+                        .extract_reduced()
+                        .expect("extract")
+                });
             });
         }
     }

@@ -5,6 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use ivnt_baseline::SequentialAnalyzer;
 use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
+use ivnt_core::pipeline::RunOptions;
 
 fn table6(c: &mut Criterion) {
     let data = vehicle_journey(40_000, 0).expect("generate");
@@ -20,7 +21,14 @@ fn table6(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("proposed", label),
             &data.trace,
-            |b, trace| b.iter(|| pipeline.extract_reduced(trace).expect("extract")),
+            |b, trace| {
+                b.iter(|| {
+                    pipeline
+                        .session(RunOptions::trace(trace))
+                        .extract_reduced()
+                        .expect("extract")
+                })
+            },
         );
         let tool = SequentialAnalyzer::new(data.network.clone());
         let selected: Vec<&str> = signals.iter().map(String::as_str).collect();

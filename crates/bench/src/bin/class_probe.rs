@@ -10,7 +10,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ivnt_bench::u_rel_with_hints(&data),
         DomainProfile::new("probe"),
     )?;
-    let reduced = pipeline.extract_reduced(&data.trace)?;
+    let reduced = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract_reduced()?;
     for (seq, _, _) in &reduced {
         let hint = &data.signal_classes[&seq.signal];
         let comparable = pipeline

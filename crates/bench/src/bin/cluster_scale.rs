@@ -37,6 +37,7 @@ use ivnt_cluster::{
     run_job, spawn_local_workers, ClusterConfig, ClusterRun, JobSpec, LocalSpawnSpec, WorkerServer,
     FAULT_ENV,
 };
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::scenario::{self, DataSetSpec};
 use ivnt_simulator::store::to_store_record;
 use ivnt_store::{StoreWriter, WriterOptions};
@@ -100,14 +101,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let pipeline = job.pipeline()?;
     let expected = {
         let mut reader = ivnt_store::StoreReader::open(&path)?;
-        pipeline.extract_from_store(&mut reader)?
+        pipeline
+            .session(RunOptions::store(&mut reader))
+            .extract()?
+            .frame
     };
     let expected_fp: Vec<Vec<u8>> = expected.partitions().iter().map(encode_batch).collect();
     let mut times: Vec<f64> = (0..runs)
         .map(|_| {
             let t0 = Instant::now();
             let mut reader = ivnt_store::StoreReader::open(&path).expect("open");
-            pipeline.extract_from_store(&mut reader).expect("extract");
+            pipeline
+                .session(RunOptions::store(&mut reader))
+                .extract()
+                .expect("extract");
             t0.elapsed().as_secs_f64()
         })
         .collect();

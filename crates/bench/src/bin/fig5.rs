@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use ivnt_bench::{domain_pipeline, scale};
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -34,7 +35,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let n = data.trace.len() * step / steps;
             let prefix = data.trace.prefix(n);
             let started = Instant::now();
-            let reduced = pipeline.extract_reduced(&prefix)?;
+            let reduced = pipeline
+                .session(RunOptions::trace(&prefix))
+                .extract_reduced()?;
             let elapsed = started.elapsed();
             let kept: usize = reduced.iter().map(|(s, _, _)| s.len()).sum();
             println!(

@@ -129,9 +129,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Serial reference: the timing baseline and bit-identity oracle. The
     // initial untimed runs double as warmup for both paths.
-    let expected = pipeline.run_serial(&data.trace)?;
+    let expected = pipeline
+        .session(RunOptions::trace(&data.trace).serial())
+        .run()?;
     let expected_fp = fingerprint(&expected);
-    let parallel = pipeline.run(&data.trace)?;
+    let parallel = pipeline.session(RunOptions::trace(&data.trace)).run()?;
     assert_eq!(
         fingerprint(&parallel),
         expected_fp,
@@ -148,10 +150,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut sp_ratios: Vec<f64> = Vec::with_capacity(runs);
     for _ in 0..runs {
         let t0 = Instant::now();
-        pipeline.run_serial(&data.trace).expect("run_serial");
+        pipeline
+            .session(RunOptions::trace(&data.trace).serial())
+            .run()
+            .expect("run_serial");
         let serial = t0.elapsed().as_secs_f64();
         let t0 = Instant::now();
-        let run = pipeline.run(&data.trace).expect("run");
+        let run = pipeline
+            .session(RunOptions::trace(&data.trace))
+            .run()
+            .expect("run");
         let parallel = t0.elapsed().as_secs_f64();
         assert_eq!(
             fingerprint(&run),
@@ -182,21 +190,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is embedded in the JSON so BENCH_pipeline carries the stage-level
     // breakdown.
     let obs_registry = std::sync::Arc::new(ivnt_obs::Registry::new());
-    pipeline.run(&data.trace)?; // warmup, disabled
+    pipeline.session(RunOptions::trace(&data.trace)).run()?; // warmup, disabled
     {
         let _guard = ivnt_obs::install(std::sync::Arc::clone(&obs_registry));
-        pipeline.run(&data.trace)?; // warmup, enabled
+        pipeline.session(RunOptions::trace(&data.trace)).run()?; // warmup, enabled
     }
     let mut pair_ratios: Vec<f64> = Vec::with_capacity(runs);
     let mut enabled_times: Vec<f64> = Vec::with_capacity(runs);
     for _ in 0..runs {
         let t0 = Instant::now();
-        pipeline.run(&data.trace).expect("run");
+        pipeline
+            .session(RunOptions::trace(&data.trace))
+            .run()
+            .expect("run");
         let disabled = t0.elapsed().as_secs_f64();
         let enabled = {
             let _guard = ivnt_obs::install(std::sync::Arc::clone(&obs_registry));
             let t0 = Instant::now();
-            pipeline.run(&data.trace).expect("run with subscriber");
+            pipeline
+                .session(RunOptions::trace(&data.trace))
+                .run()
+                .expect("run with subscriber");
             t0.elapsed().as_secs_f64()
         };
         pair_ratios.push(enabled / disabled);
@@ -209,7 +223,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let obs_snapshot = {
         let registry = std::sync::Arc::new(ivnt_obs::Registry::new());
         let _guard = ivnt_obs::install(std::sync::Arc::clone(&registry));
-        pipeline.run(&data.trace)?;
+        pipeline.session(RunOptions::trace(&data.trace)).run()?;
         registry.snapshot()
     };
     let obs_gate = env_f64("IVNT_OBS_MAX_OVERHEAD", 0.02);

@@ -176,13 +176,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = DomainProfile::new("table6").with_signals(selected.clone());
     let pipeline = Pipeline::new(u_rel.clone(), profile)?;
     let kept: usize = pipeline
-        .extract_reduced(&data.trace)?
+        .session(RunOptions::trace(&data.trace))
+        .extract_reduced()?
         .iter()
         .map(|(s, _, _)| s.len())
         .sum();
     let secs = median_secs(runs, || {
         pipeline
-            .extract_reduced(&data.trace)
+            .session(RunOptions::trace(&data.trace))
+            .extract_reduced()
             .expect("extract_reduced");
     });
     measurements.push(Measurement {

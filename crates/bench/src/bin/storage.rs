@@ -11,6 +11,7 @@
 //! ```
 
 use ivnt_bench::{domain_pipeline, scale};
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::prelude::*;
 
 /// Bytes a `K_b` row occupies in the binary trace format.
@@ -32,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let data = generate(&spec.with_target_examples(examples))?;
         let signals = data.signal_names();
         let pipeline = domain_pipeline(&data, &signals)?;
-        let ks = pipeline.extract(&data.trace)?;
+        let ks = pipeline
+            .session(RunOptions::trace(&data.trace))
+            .extract()?
+            .frame;
         let raw = kb_bytes(&data.trace);
         // A K_s row: t(8) + s_id ref(8) + b_id ref(8) + v_num(9) + v_text ref(8).
         let expanded = ks.num_rows() * (8 + 8 + 8 + 9 + 8);

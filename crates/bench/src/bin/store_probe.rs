@@ -24,6 +24,7 @@ use std::io::BufWriter;
 use std::time::Instant;
 
 use ivnt_bench::{covered_fraction, domain_pipeline, scale, select_signals_for_fraction};
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::store::to_store_record;
 use ivnt_store::{StoreReader, StoreWriter, WriterOptions};
 
@@ -141,9 +142,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rows_out: trace_rows,
     });
 
-    let baseline = pipeline.extract(&data.trace)?;
+    let baseline = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract()?
+        .frame;
     let secs = median_secs(runs, || {
-        pipeline.extract(&data.trace).expect("extract");
+        pipeline
+            .session(RunOptions::trace(&data.trace))
+            .extract()
+            .expect("extract");
     });
     measurements.push(Measurement {
         name: "extract_in_memory",
@@ -153,7 +160,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
 
     let mut reader = StoreReader::open(&path)?;
-    let (frame, stats) = pipeline.extract_from_store_with_stats(&mut reader)?;
+    let ex = pipeline.session(RunOptions::store(&mut reader)).extract()?;
+    let (frame, stats) = (ex.frame, ex.scan.unwrap_or_default());
     assert_eq!(
         frame.collect_rows()?,
         baseline.collect_rows()?,
@@ -167,7 +175,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let secs = median_secs(runs, || {
         let mut reader = StoreReader::open(&path).expect("open");
         pipeline
-            .extract_from_store_with_stats(&mut reader)
+            .session(RunOptions::store(&mut reader))
+            .extract()
             .expect("extract_from_store");
     });
     measurements.push(Measurement {

@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         eprintln!("generating {} (~{} examples)...", spec.name, examples);
         let data = generate(spec)?;
         let pipeline = Pipeline::new(u_rel_with_hints(&data), DomainProfile::new("table5"))?;
-        let reduced = pipeline.extract_reduced(&data.trace)?;
+        let reduced = pipeline
+            .session(RunOptions::trace(&data.trace))
+            .extract_reduced()?;
         let mut alpha = 0;
         let mut beta = 0;
         let mut gamma = 0;

@@ -20,6 +20,7 @@ use ivnt_baseline::SequentialAnalyzer;
 use ivnt_bench::{
     covered_fraction, domain_pipeline, scale, select_signals_for_fraction, vehicle_journey,
 };
+use ivnt_core::pipeline::RunOptions;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let per_journey = (40_000.0 * scale()) as usize;
@@ -62,7 +63,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             let started = Instant::now();
             let mut extracted_rows = 0usize;
             for j in slice {
-                let reduced = pipeline.extract_reduced(&j.trace)?;
+                let reduced = pipeline
+                    .session(RunOptions::trace(&j.trace))
+                    .extract_reduced()?;
                 extracted_rows += reduced.iter().map(|(_, _, n)| n).sum::<usize>();
             }
             let proposed = started.elapsed();

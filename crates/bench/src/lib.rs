@@ -248,7 +248,10 @@ mod tests {
         let data = vehicle_journey(10_000, 1).unwrap();
         let signals = select_signals_for_fraction(&data, 9, 0.027);
         let p = domain_pipeline(&data, &signals).unwrap();
-        let reduced = p.extract_reduced(&data.trace).unwrap();
+        let reduced = p
+            .session(RunOptions::trace(&data.trace))
+            .extract_reduced()
+            .unwrap();
         assert_eq!(reduced.len(), 9);
     }
 }

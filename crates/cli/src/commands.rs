@@ -5,6 +5,7 @@ use std::io::{BufReader, BufWriter};
 
 use ivnt_core::prelude::*;
 use ivnt_core::represent::render_state_table;
+use ivnt_protocol::ByteOrder;
 use ivnt_simulator::prelude::*;
 use ivnt_simulator::scenario;
 
@@ -21,6 +22,46 @@ type CmdResult = Result<(), String>;
 
 fn err(e: impl std::fmt::Display) -> String {
     e.to_string()
+}
+
+/// Resolves `--rules authored|inferred|merged|FILE.dbc` to a rule catalog.
+///
+/// `authored` (the default) rebuilds the tables from the scenario's
+/// network model, `inferred` synthesizes them from raw payloads with
+/// `ivnt-infer` (no interpretation knowledge needed — `--scenario` can be
+/// omitted), `merged` extends the authored tables with inferred rules for
+/// unclaimed payload regions, and any other value is read as a DBC file.
+/// Both table builders are closures so a command only pays for the source
+/// it selects.
+fn rule_catalog<A, F>(args: &Args, authored: A, infer: F) -> Result<RuleCatalog, String>
+where
+    A: FnOnce() -> Result<RuleCatalog, String>,
+    F: FnOnce(&InferParams) -> Result<ivnt_infer::InferredTables, String>,
+{
+    match args.get_or("rules", "authored") {
+        "authored" => authored(),
+        "inferred" => infer(&InferParams::default())?.to_catalog().map_err(err),
+        "merged" => infer(&InferParams::default())?
+            .merged_with(&authored()?)
+            .map_err(err),
+        path => {
+            let bus = args.get_or("bus", "CAN");
+            let text = std::fs::read_to_string(path).map_err(|e| {
+                format!("--rules {path:?}: {e} (use authored|inferred|merged|FILE.dbc)")
+            })?;
+            let catalog = ivnt_protocol::dbc::parse_dbc(&text, bus).map_err(err)?;
+            Ok(RuleCatalog::from_authored(RuleSet::from_catalog(&catalog)))
+        }
+    }
+}
+
+/// The authored-table builder shared by `run`/`extract`/`query`:
+/// regenerates a short slice of the scenario purely for its network model
+/// and comparability hints (the catalog/documentation role).
+fn authored_catalog(args: &Args) -> Result<RuleCatalog, String> {
+    let spec = scenario_spec(args)?;
+    let data = scenario::generate(&spec.with_duration_s(0.5)).map_err(err)?;
+    Ok(RuleCatalog::from_dataset(&data))
 }
 
 /// Resolves a `--scenario` name (with optional `--seed`) to its spec.
@@ -184,12 +225,11 @@ fn run_pipeline_cmd(args: &Args) -> CmdResult {
     let file = File::open(path).map_err(err)?;
     let trace = Trace::read_from(BufReader::new(file)).map_err(err)?;
 
-    let spec = scenario_spec(args)?;
-    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
-    let mut u_rel = RuleSet::from_network(&data.network);
-    for (signal, (_, comparable)) in &data.signal_classes {
-        let _ = u_rel.set_comparable(signal, *comparable);
-    }
+    let catalog = rule_catalog(
+        args,
+        || authored_catalog(args),
+        |params| Ok(ivnt_infer::infer_trace(&trace, params)),
+    )?;
 
     let shared = SharedOptions::parse(args)?;
     let mut profile = DomainProfile::new("cli");
@@ -197,7 +237,7 @@ fn run_pipeline_cmd(args: &Args) -> CmdResult {
         let names: Vec<String> = list.split(',').map(str::trim).map(String::from).collect();
         profile = profile.with_signals(names);
     }
-    let pipeline = Pipeline::new(u_rel, profile).map_err(err)?;
+    let pipeline = Pipeline::from_catalog(&catalog, profile).map_err(err)?;
 
     let registry = output::metrics_registry(&shared);
     let mut opts = ivnt_core::pipeline::RunOptions::trace(&trace);
@@ -743,18 +783,18 @@ pub fn query(args: &Args) -> CmdResult {
         return Err("need at least one --domain NAME=SIG[+SIG..] or --signal SIG".into());
     }
 
-    let spec = scenario_spec(args)?;
-    let data = scenario::generate(&spec.clone().with_duration_s(0.5)).map_err(err)?;
-    let mut u_rel = RuleSet::from_network(&data.network);
-    for (signal, (_, comparable)) in &data.signal_classes {
-        let _ = u_rel.set_comparable(signal, *comparable);
-    }
+    let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
+    let catalog = rule_catalog(
+        args,
+        || authored_catalog(args),
+        |params| ivnt_infer::infer_store(&mut reader, params).map_err(err),
+    )?;
 
     let pipelines: Vec<Pipeline> = specs
         .iter()
         .map(|d| {
             let profile = DomainProfile::new(d.name.clone()).with_signals(d.signals.clone());
-            Pipeline::new(u_rel.clone(), profile).map_err(err)
+            Pipeline::from_catalog(&catalog, profile).map_err(err)
         })
         .collect::<Result<_, _>>()?;
 
@@ -771,7 +811,6 @@ pub fn query(args: &Args) -> CmdResult {
         .collect();
 
     let registry = output::metrics_registry(&shared);
-    let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
     use ivnt_plan::SessionMany as _;
     let mut set = Pipeline::session_many(queries, &mut reader);
     if shared.serial {
@@ -1349,7 +1388,11 @@ fn cluster_run(args: &Args) -> CmdResult {
     if args.has("verify") {
         let pipeline = job.pipeline().map_err(err)?;
         let mut reader = ivnt_store::StoreReader::open(store_path).map_err(err)?;
-        let expected = pipeline.extract_from_store(&mut reader).map_err(err)?;
+        let expected = pipeline
+            .session(RunOptions::store(&mut reader))
+            .extract()
+            .map_err(err)?
+            .frame;
         let fp = |frame: &ivnt_frame::frame::DataFrame| -> Vec<Vec<u8>> {
             frame
                 .partitions()
@@ -1419,6 +1462,111 @@ pub fn dbc(args: &Args) -> CmdResult {
     Ok(())
 }
 
+/// Parses a message id in decimal or `0x` hex.
+fn parse_mid(v: &str) -> Result<u32, String> {
+    let parsed = match v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        Some(hex) => u32::from_str_radix(hex, 16),
+        None => v.parse(),
+    };
+    parsed.map_err(|_| format!("flag --mid has invalid value {v:?}"))
+}
+
+/// `ivnt infer --store trace.ivns [--mid ID] [--min-samples N] [--json]`
+///
+/// DBC-less signal-boundary inference: profiles every `(bus, message id)`
+/// key of the store in two out-of-core scan passes and prints the
+/// synthesized interpretation table — start bit, width, byte order,
+/// behavioural class and recovery confidence per signal. No scenario or
+/// DBC is consulted; the same tables drive `run`/`query` via
+/// `--rules inferred`.
+///
+/// # Errors
+///
+/// Reports store and inference failures as messages.
+pub fn infer(args: &Args) -> CmdResult {
+    let path = args
+        .get("store")
+        .ok_or_else(|| "need --store <trace.ivns>".to_string())?;
+    let mut params = InferParams::default();
+    if let Some(n) = args.get_parsed::<u64>("min-samples")? {
+        params.min_samples = n;
+    }
+    let mid = match args.get("mid") {
+        Some(v) => Some(parse_mid(v)?),
+        None => None,
+    };
+
+    let mut reader = ivnt_store::StoreReader::open(path).map_err(err)?;
+    let tables = ivnt_infer::infer_store(&mut reader, &params).map_err(err)?;
+    let signals: Vec<&ivnt_infer::InferredSignal> = tables
+        .signals
+        .iter()
+        .filter(|s| mid.is_none_or(|m| s.message_id == m))
+        .collect();
+
+    if args.has("json") {
+        let mut w = JsonWriter::new();
+        w.begin_object(None);
+        w.field_str("path", path);
+        w.field_u64("profiled_keys", tables.profiled_keys() as u64);
+        w.field_u64("min_samples", tables.params.min_samples);
+        w.begin_array(Some("signals"));
+        for s in &signals {
+            w.begin_object(None);
+            w.field_str("bus", &s.bus);
+            w.field_u64("message_id", u64::from(s.message_id));
+            w.field_str("name", &s.name);
+            w.field_u64("start_bit", u64::from(s.start_bit));
+            w.field_u64("bit_len", u64::from(s.bit_len));
+            w.field_str(
+                "byte_order",
+                match s.byte_order {
+                    ByteOrder::Intel => "intel",
+                    ByteOrder::Motorola => "motorola",
+                },
+            );
+            w.field_str("class", s.class.label());
+            w.field_f64("confidence", s.confidence);
+            w.field_u64("samples", s.samples);
+            w.field_f64("mean_bit_entropy", s.mean_bit_entropy);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        println!("{}", w.finish());
+    } else {
+        println!(
+            "{path}: {} signals recovered from {} message streams (min {} samples/key)",
+            signals.len(),
+            tables.profiled_keys(),
+            tables.params.min_samples,
+        );
+        println!(
+            "  {:<12} {:<8} {:<16} {:>5} {:>4} {:<9} {:<9} {:>5} {:>8} {:>8}",
+            "bus", "m_id", "name", "start", "len", "order", "class", "conf", "samples", "entropy"
+        );
+        for s in &signals {
+            println!(
+                "  {:<12} {:<8} {:<16} {:>5} {:>4} {:<9} {:<9} {:>5.2} {:>8} {:>8.3}",
+                s.bus,
+                format!("0x{:03x}", s.message_id),
+                s.name,
+                s.start_bit,
+                s.bit_len,
+                match s.byte_order {
+                    ByteOrder::Intel => "intel",
+                    ByteOrder::Motorola => "motorola",
+                },
+                s.class.label(),
+                s.confidence,
+                s.samples,
+                s.mean_bit_entropy,
+            );
+        }
+    }
+    Ok(())
+}
+
 /// Usage text.
 pub fn usage() -> &'static str {
     "ivnt — in-vehicle network trace preprocessing (DAC'18 reproduction)
@@ -1427,14 +1575,19 @@ USAGE:
   ivnt record  --scenario syn|lig|sta [--examples N] [--seed S] <out.ivnt>
   ivnt inspect <trace.ivnt>
   ivnt extract --scenario syn|lig|sta [--seed S] [--signals a,b,..]
-               [shared flags] [--state-csv out.csv] [--report out.md]
-               [--rows N] <trace.ivnt>
+               [--rules authored|inferred|merged|FILE.dbc] [shared flags]
+               [--state-csv out.csv] [--report out.md] [--rows N]
+               <trace.ivnt>
   ivnt run     --scenario syn|lig|sta [--seed S] [--signals a,b,..]
-               [shared flags] [--state-csv out.csv] [--report out.md]
-               [--rows N] <trace.ivnt>
+               [--rules authored|inferred|merged|FILE.dbc] [shared flags]
+               [--state-csv out.csv] [--report out.md] [--rows N]
+               <trace.ivnt>
   ivnt query   --scenario syn|lig|sta [--seed S]
                --domain NAME=SIG[+SIG..][@FROM_US..TO_US] [--domain ..]
-               [--signal SIG [--signal ..]] [shared flags] <trace.ivns>
+               [--signal SIG [--signal ..]]
+               [--rules authored|inferred|merged|FILE.dbc] [shared flags]
+               <trace.ivns>
+  ivnt infer   --store trace.ivns [--mid ID] [--min-samples N] [--json]
   ivnt store ingest  [--from trace.ivnt|trace.csv | --scenario syn|lig|sta
                       [--seed S] [--examples N]] [--chunk-rows N]
                       [--chunks-per-group N] [--cluster true|false] <out.ivns>
@@ -1461,6 +1614,15 @@ USAGE:
                       [--csv out.csv] [--verify] [--metrics] [--json]
                       <trace.ivns>
   ivnt dbc     <file.dbc> [--bus NAME]
+
+RULE SOURCES (run, extract, query):
+  --rules authored   rebuild tables from the scenario network (default)
+  --rules inferred   recover packing tables from raw payloads (ivnt-infer;
+                     no DBC or --scenario knowledge needed)
+  --rules merged     authored tables + inferred rules for unclaimed regions
+  --rules FILE.dbc   parse tables from a DBC file ([--bus NAME])
+  `infer` prints the synthesized table itself: per-signal start bit,
+  width, byte order, constant/counter/sensor class and confidence.
 
 MULTI-QUERY:
   `query` answers N domain queries from ONE store pass (`ivnt-plan`):

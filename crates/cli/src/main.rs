@@ -31,6 +31,7 @@ fn main() {
         "stream" => commands::stream(&parsed),
         "cluster" => commands::cluster(&parsed),
         "dbc" => commands::dbc(&parsed),
+        "infer" => commands::infer(&parsed),
         "help" | "--help" | "-h" => {
             print!("{}", commands::usage());
             Ok(())

@@ -17,7 +17,7 @@ use crate::error::{Error, Result};
 
 /// Everything needed to deterministically rebuild the extraction
 /// pipeline on a remote worker.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct JobSpec {
     /// Scenario name: `syn`, `lig` or `sta`.
     pub scenario: String,
@@ -29,6 +29,12 @@ pub struct JobSpec {
     pub signals: Vec<String>,
     /// Path of the `.ivns` store file, as visible to the *worker*.
     pub store_path: String,
+    /// Where the interpretation tables come from. `Authored` rebuilds them
+    /// from the scenario's network model; `Inferred`/`Merged` make every
+    /// worker run `ivnt-infer` boundary recovery over its local store
+    /// before extracting, so the cluster can interpret recordings with no
+    /// DBC at all.
+    pub rule_source: RuleSource,
 }
 
 impl JobSpec {
@@ -40,6 +46,7 @@ impl JobSpec {
             examples: None,
             signals: Vec::new(),
             store_path: store_path.into(),
+            rule_source: RuleSource::Authored,
         }
     }
 
@@ -52,6 +59,12 @@ impl JobSpec {
     /// Returns a copy with the scenario example-count pinned.
     pub fn with_examples(mut self, examples: u64) -> JobSpec {
         self.examples = Some(examples);
+        self
+    }
+
+    /// Returns a copy drawing interpretation tables from `rule_source`.
+    pub fn with_rule_source(mut self, rule_source: RuleSource) -> JobSpec {
+        self.rule_source = rule_source;
         self
     }
 
@@ -113,7 +126,29 @@ impl JobSpec {
         if !self.signals.is_empty() {
             profile = profile.with_signals(self.signals.clone());
         }
-        Ok(Pipeline::new(u_rel, profile)?)
+        match &self.rule_source {
+            RuleSource::Authored => Ok(Pipeline::new(u_rel, profile)?),
+            RuleSource::Inferred { params } => {
+                let catalog = self.inferred_tables(params)?.to_catalog()?;
+                Ok(Pipeline::from_catalog(&catalog, profile)?)
+            }
+            RuleSource::Merged { params } => {
+                let authored = RuleCatalog::from_authored(u_rel);
+                let catalog = self.inferred_tables(params)?.merged_with(&authored)?;
+                Ok(Pipeline::from_catalog(&catalog, profile)?)
+            }
+        }
+    }
+
+    /// Runs boundary inference over the job's store.
+    ///
+    /// Each worker profiles its *local* copy of the store, so the recipe
+    /// stays closures-free on the wire: only [`InferParams`] travel, and
+    /// determinism of the two scan passes makes every worker synthesize
+    /// byte-for-byte the same tables.
+    fn inferred_tables(&self, params: &InferParams) -> Result<ivnt_infer::InferredTables> {
+        let mut reader = ivnt_store::StoreReader::open(&self.store_path)?;
+        Ok(ivnt_infer::infer_store(&mut reader, params)?)
     }
 
     /// A stable fingerprint binding this job to one store state.
@@ -141,6 +176,17 @@ impl JobSpec {
             crate::wire::write_str(out, s);
         }
         crate::wire::write_str(out, &self.store_path);
+        match &self.rule_source {
+            RuleSource::Authored => out.push(0),
+            RuleSource::Inferred { params } => {
+                out.push(1);
+                encode_infer_params(out, params);
+            }
+            RuleSource::Merged { params } => {
+                out.push(2);
+                encode_infer_params(out, params);
+            }
+        }
     }
 
     /// Decodes a spec written by [`JobSpec::encode`].
@@ -162,14 +208,44 @@ impl JobSpec {
             signals.push(crate::wire::read_str(cur)?);
         }
         let store_path = crate::wire::read_str(cur)?;
+        let rule_source = match cur.read_u8()? {
+            0 => RuleSource::Authored,
+            1 => RuleSource::Inferred {
+                params: decode_infer_params(cur)?,
+            },
+            2 => RuleSource::Merged {
+                params: decode_infer_params(cur)?,
+            },
+            other => return Err(Error::Protocol(format!("bad rule-source tag {other}"))),
+        };
         Ok(JobSpec {
             scenario,
             seed,
             examples,
             signals,
             store_path,
+            rule_source,
         })
     }
+}
+
+/// Inference parameters travel as a varint plus three raw IEEE-754 bit
+/// patterns — bit-exact, so the fingerprint and the worker-side tables
+/// cannot drift from float formatting.
+fn encode_infer_params(out: &mut Vec<u8>, params: &InferParams) {
+    varint::write_u64(out, params.min_samples);
+    varint::write_u64(out, params.rise_ratio.to_bits());
+    varint::write_u64(out, params.counter_fraction.to_bits());
+    varint::write_u64(out, params.carry_fraction.to_bits());
+}
+
+fn decode_infer_params(cur: &mut Cursor<'_>) -> Result<InferParams> {
+    Ok(InferParams {
+        min_samples: cur.read_u64()?,
+        rise_ratio: f64::from_bits(cur.read_u64()?),
+        counter_fraction: f64::from_bits(cur.read_u64()?),
+        carry_fraction: f64::from_bits(cur.read_u64()?),
+    })
 }
 
 fn encode_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
@@ -187,5 +263,55 @@ fn decode_opt_u64(cur: &mut Cursor<'_>) -> Result<Option<u64>> {
         0 => Ok(None),
         1 => Ok(Some(cur.read_u64()?)),
         other => Err(Error::Protocol(format!("bad option flag {other}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(spec: &JobSpec) -> JobSpec {
+        let mut bytes = Vec::new();
+        spec.encode(&mut bytes);
+        JobSpec::decode(&mut Cursor::new(&bytes)).expect("decode")
+    }
+
+    #[test]
+    fn rule_source_survives_the_wire() {
+        let base = JobSpec::new("syn", "/tmp/a.ivns").with_seed(7);
+        assert_eq!(roundtrip(&base), base);
+        let inferred = base.clone().with_rule_source(RuleSource::Inferred {
+            params: InferParams::default(),
+        });
+        assert_eq!(roundtrip(&inferred), inferred);
+        let merged = base.clone().with_rule_source(RuleSource::Merged {
+            params: InferParams {
+                min_samples: 64,
+                ..InferParams::default()
+            },
+        });
+        assert_eq!(roundtrip(&merged), merged);
+    }
+
+    #[test]
+    fn fingerprint_binds_the_rule_source() {
+        let footer = Footer {
+            buses: Vec::new(),
+            rows: 0,
+            groups: 0,
+            group_rows: 0,
+            clustered: false,
+            generation: 0,
+            chunks: Vec::new(),
+        };
+        let authored = JobSpec::new("syn", "/tmp/a.ivns");
+        let inferred = authored.clone().with_rule_source(RuleSource::Inferred {
+            params: InferParams::default(),
+        });
+        assert_ne!(
+            authored.fingerprint(&footer),
+            inferred.fingerprint(&footer),
+            "a checkpoint cut under one rule source must not resume under another"
+        );
     }
 }

@@ -28,6 +28,8 @@ use std::sync::mpsc::{Receiver, TryRecvError};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
+use ivnt_core::pipeline::RunOptions;
+
 use crate::codec::{encode_batch, encode_batch_compressed, encoded_len_raw};
 use crate::error::{Error, Result};
 use crate::wire::{self, Message, IDLE_TASK, MIN_WIRE_VERSION, WIRE_VERSION};
@@ -411,8 +413,12 @@ impl Session<'_> {
                     u64::from(self.heartbeat_ms.max(1)) * 3,
                 ));
             }
-            let batches = match self.pipeline.extract_store_shard(reader, group..group + 1) {
-                Ok(batches) => batches,
+            let batches = match self
+                .pipeline
+                .session(RunOptions::store_shard(reader, group..group + 1))
+                .extract()
+            {
+                Ok(ex) => ex.frame.into_partitions(),
                 Err(e) => {
                     self.registry
                         .add("cluster_tasks_total{result=\"error\"}", 1);
@@ -471,8 +477,13 @@ impl Session<'_> {
                     * u64::from(task.group_end - task.group_start),
             ));
         }
-        let response = match self.pipeline.extract_store_shard(reader, task.groups()) {
-            Ok(batches) => {
+        let response = match self
+            .pipeline
+            .session(RunOptions::store_shard(reader, task.groups()))
+            .extract()
+        {
+            Ok(ex) => {
+                let batches = ex.frame.into_partitions();
                 self.registry.add("cluster_tasks_total{result=\"ok\"}", 1);
                 Message::TaskResult {
                     task_id: task.task_id,

@@ -16,6 +16,7 @@ use std::sync::Mutex;
 
 use ivnt_cluster::codec::encode_batch;
 use ivnt_cluster::{run_job, ClusterConfig, Error, JobSpec, WorkerServer, FAULT_ENV};
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::scenario::{self, DataSetSpec};
 
 static ENV_LOCK: Mutex<()> = Mutex::new(());
@@ -49,8 +50,10 @@ fn single_process_fingerprint(job: &JobSpec) -> Vec<Vec<u8>> {
     let pipeline = job.pipeline().expect("pipeline rebuilds");
     let mut reader = ivnt_store::StoreReader::open(&job.store_path).expect("store opens");
     let frame = pipeline
-        .extract_from_store(&mut reader)
-        .expect("single-process extraction");
+        .session(RunOptions::store(&mut reader))
+        .extract()
+        .expect("single-process extraction")
+        .frame;
     frame.partitions().iter().map(encode_batch).collect()
 }
 

@@ -11,6 +11,7 @@ use std::path::{Path, PathBuf};
 
 use ivnt_cluster::codec::encode_batch;
 use ivnt_cluster::{run_job, ClusterConfig, Error, JobSpec, WorkerFaults, WorkerServer};
+use ivnt_core::pipeline::RunOptions;
 use ivnt_simulator::scenario::{self, DataSetSpec};
 
 fn temp_store(tag: &str) -> PathBuf {
@@ -55,8 +56,10 @@ fn single_process_fingerprint(job: &JobSpec) -> (Vec<Vec<u8>>, usize) {
     let pipeline = job.pipeline().expect("pipeline rebuilds");
     let mut reader = ivnt_store::StoreReader::open(&job.store_path).expect("store opens");
     let frame = pipeline
-        .extract_from_store(&mut reader)
-        .expect("single-process extraction");
+        .session(RunOptions::store(&mut reader))
+        .extract()
+        .expect("single-process extraction")
+        .frame;
     (fingerprint(&frame), frame.num_rows())
 }
 

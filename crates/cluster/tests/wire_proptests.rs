@@ -37,16 +37,33 @@ fn message_from(
             version: a as u32,
             peer: s1,
         },
-        1 => Message::Job {
-            job: JobSpec {
-                scenario: s1,
-                seed: (a % 2 == 0).then_some(b),
-                examples: (c % 2 == 0).then_some(d),
-                signals,
-                store_path: s2,
-            },
-            heartbeat_ms: a as u32,
-        },
+        1 => {
+            // Finite parameter floats only: the round-trip is asserted via
+            // `PartialEq`, which NaN would defeat even though the wire
+            // preserves its bits.
+            let params = ivnt_core::rules::InferParams {
+                min_samples: b,
+                rise_ratio: (c % 1_000) as f64 * 0.125,
+                counter_fraction: (d % 1_000) as f64 * 0.001,
+                carry_fraction: (a % 1_000) as f64 * 0.001,
+            };
+            let rule_source = match d % 3 {
+                0 => ivnt_core::rules::RuleSource::Authored,
+                1 => ivnt_core::rules::RuleSource::Inferred { params },
+                _ => ivnt_core::rules::RuleSource::Merged { params },
+            };
+            Message::Job {
+                job: JobSpec {
+                    scenario: s1,
+                    seed: (a % 2 == 0).then_some(b),
+                    examples: (c % 2 == 0).then_some(d),
+                    signals,
+                    store_path: s2,
+                    rule_source,
+                },
+                heartbeat_ms: a as u32,
+            }
+        }
         2 => Message::Assign {
             task: ShardTask {
                 task_id: a as u32,

@@ -25,6 +25,15 @@ pub enum Error {
     InvalidProfile(String),
     /// Failure reading a trace from the on-disk store.
     Store(ivnt_store::Error),
+    /// Two rule sources claim the same signal when merging catalogs.
+    RuleConflict {
+        /// Signal claimed by both catalogs.
+        signal: String,
+        /// Provenance label of the first catalog.
+        left: &'static str,
+        /// Provenance label of the second catalog.
+        right: &'static str,
+    },
 }
 
 impl fmt::Display for Error {
@@ -38,6 +47,16 @@ impl fmt::Display for Error {
             }
             Error::InvalidProfile(msg) => write!(f, "invalid domain profile: {msg}"),
             Error::Store(e) => write!(f, "store error: {e}"),
+            Error::RuleConflict {
+                signal,
+                left,
+                right,
+            } => {
+                write!(
+                    f,
+                    "signal {signal} is claimed by both rule sources ({left} and {right})"
+                )
+            }
         }
     }
 }

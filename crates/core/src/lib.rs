@@ -42,7 +42,8 @@
 //! // One-time parameterization: the wiper domain inspects wpos and wvel.
 //! let u_rel = RuleSet::from_network(&network);
 //! let profile = DomainProfile::new("wiper-domain").with_signals(["wpos", "wvel"]);
-//! let output = Pipeline::new(u_rel, profile)?.run(&trace)?;
+//! let pipeline = Pipeline::new(u_rel, profile)?;
+//! let output = pipeline.session(RunOptions::trace(&trace)).run()?;
 //!
 //! // A homogeneous state representation results (paper Table 4).
 //! assert!(output.state.schema().contains("wpos"));
@@ -69,9 +70,9 @@ pub use branch::{BranchConfig, OutlierMethod};
 pub use classify::{Branch, Classification, ClassifyConfig, Criteria, DataClass};
 pub use error::{Error, Result};
 pub use extend::ExtensionRule;
-pub use pipeline::{DomainProfile, Pipeline, PipelineOutput, SignalOutput};
+pub use pipeline::{DomainProfile, Pipeline, PipelineOutput, RunOptions, Session, SignalOutput};
 pub use reduce::{ConditionFn, Constraint, Reduction};
-pub use rules::{Rule, RuleInfo, RuleSet};
+pub use rules::{InferParams, Rule, RuleCatalog, RuleInfo, RuleSet, RuleSource};
 pub use split::SignalSequence;
 
 /// Convenient glob import of the pipeline's common types.
@@ -79,8 +80,8 @@ pub mod prelude {
     pub use crate::branch::{BranchConfig, OutlierMethod};
     pub use crate::classify::{Branch, Classification, ClassifyConfig, DataClass};
     pub use crate::extend::ExtensionRule;
-    pub use crate::pipeline::{DomainProfile, Pipeline, PipelineOutput, SignalOutput};
+    pub use crate::pipeline::{DomainProfile, Pipeline, PipelineOutput, RunOptions, SignalOutput};
     pub use crate::reduce::{ConditionFn, Constraint, Reduction};
-    pub use crate::rules::RuleSet;
+    pub use crate::rules::{InferParams, RuleCatalog, RuleSet, RuleSource};
     pub use crate::split::SignalSequence;
 }

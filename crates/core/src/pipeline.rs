@@ -32,7 +32,7 @@ use crate::extend::{extension_schema, ExtensionRule};
 use crate::interpret::{extract_signals, preselect};
 use crate::reduce::{apply_constraints, ConditionFn, Constraint};
 use crate::represent::{merge_results, state_representation};
-use crate::rules::RuleSet;
+use crate::rules::{RuleCatalog, RuleSet};
 use crate::split::{split_by_signal, SignalSequence};
 use crate::tabular::trace_to_frame;
 
@@ -320,6 +320,7 @@ pub struct RunOptions<'a, R: Read + Seek = BufReader<File>> {
     preselection: bool,
     time_window: Option<(u64, u64)>,
     subscriber: Option<Arc<ivnt_obs::Registry>>,
+    rules: Option<&'a RuleCatalog>,
 }
 
 impl<'a> RunOptions<'a> {
@@ -339,6 +340,7 @@ impl<'a, R: Read + Seek> RunOptions<'a, R> {
             preselection: true,
             time_window: None,
             subscriber: None,
+            rules: None,
         }
     }
 
@@ -389,6 +391,17 @@ impl<'a, R: Read + Seek> RunOptions<'a, R> {
         self.subscriber = Some(registry);
         self
     }
+
+    /// Substitutes `catalog` for the pipeline's rule tables for this
+    /// session only — the [`RuleSource`](crate::rules::RuleSource)
+    /// threading point: the same domain profile runs over authored,
+    /// inferred, or merged tables without rebuilding the pipeline. The
+    /// catalog's rules replace `U_rel`, and the profile's signal selection
+    /// is re-resolved against them to form `U_comb`.
+    pub fn with_rules(mut self, catalog: &'a RuleCatalog) -> RunOptions<'a, R> {
+        self.rules = Some(catalog);
+        self
+    }
 }
 
 /// What [`Session::extract`] produces: the interpreted `K_s` frame plus,
@@ -422,17 +435,25 @@ pub struct Session<'p, 'a, R: Read + Seek = BufReader<File>> {
     opts: RunOptions<'a, R>,
 }
 
-/// The pipeline with the session's worker override applied (cloned only
-/// when the override actually changes the profile).
-fn effective_pipeline(pipeline: &Pipeline, workers: Option<usize>) -> Cow<'_, Pipeline> {
-    match workers {
-        Some(w) if pipeline.profile.workers != Some(w) => {
-            let mut p = pipeline.clone();
+/// The pipeline with the session's rule-catalog and worker overrides
+/// applied (cloned only when an override actually changes something).
+fn effective_pipeline<'p>(
+    pipeline: &'p Pipeline,
+    workers: Option<usize>,
+    rules: Option<&RuleCatalog>,
+) -> Result<Cow<'p, Pipeline>> {
+    let base = match rules {
+        Some(catalog) => Cow::Owned(Pipeline::from_catalog(catalog, pipeline.profile.clone())?),
+        None => Cow::Borrowed(pipeline),
+    };
+    Ok(match workers {
+        Some(w) if base.profile.workers != Some(w) => {
+            let mut p = base.into_owned();
             p.profile.workers = Some(w);
             Cow::Owned(p)
         }
-        _ => Cow::Borrowed(pipeline),
-    }
+        _ => base,
+    })
 }
 
 impl<R: Read + Seek> Session<'_, '_, R> {
@@ -446,7 +467,7 @@ impl<R: Read + Seek> Session<'_, '_, R> {
     pub fn extract(self) -> Result<Extraction> {
         let Session { pipeline, opts } = self;
         let _guard = opts.subscriber.map(ivnt_obs::install);
-        let p = effective_pipeline(pipeline, opts.workers);
+        let p = effective_pipeline(pipeline, opts.workers, opts.rules)?;
         p.extract_source(opts.source, opts.preselection, opts.time_window)
     }
 
@@ -461,7 +482,7 @@ impl<R: Read + Seek> Session<'_, '_, R> {
     pub fn extract_reduced(self) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
         let Session { pipeline, opts } = self;
         let _guard = opts.subscriber.map(ivnt_obs::install);
-        let p = effective_pipeline(pipeline, opts.workers);
+        let p = effective_pipeline(pipeline, opts.workers, opts.rules)?;
         let ks = p
             .extract_source(opts.source, opts.preselection, opts.time_window)?
             .frame;
@@ -493,7 +514,7 @@ impl<R: Read + Seek> Session<'_, '_, R> {
     pub fn run(self) -> Result<PipelineOutput> {
         let Session { pipeline, opts } = self;
         let _guard = opts.subscriber.map(ivnt_obs::install);
-        let p = effective_pipeline(pipeline, opts.workers);
+        let p = effective_pipeline(pipeline, opts.workers, opts.rules)?;
         let t_run = Instant::now();
         let ks = p
             .extract_source(opts.source, opts.preselection, opts.time_window)?
@@ -522,10 +543,11 @@ impl<R: Read + Seek> Session<'_, '_, R> {
 /// network.auto_senders();
 /// let trace = network.simulate(5.0, 42, &FaultPlan::new())?;
 ///
+/// use ivnt_core::pipeline::RunOptions;
 /// let u_rel = RuleSet::from_network(&network);
 /// let profile = DomainProfile::new("wiper-domain").with_signals(["wpos", "wvel"]);
 /// let pipeline = Pipeline::new(u_rel, profile)?;
-/// let output = pipeline.run(&trace)?;
+/// let output = pipeline.session(RunOptions::trace(&trace)).run()?;
 /// assert_eq!(output.signals.len(), 2);
 /// # Ok(())
 /// # }
@@ -563,6 +585,18 @@ impl Pipeline {
             u_comb,
             profile,
         })
+    }
+
+    /// Builds a pipeline whose rule tables come from `catalog` — the
+    /// catalog-first constructor every tier uses to thread a
+    /// [`RuleSource`](crate::rules::RuleSource): authored, inferred and
+    /// merged tables all enter the pipeline through here.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Pipeline::new`].
+    pub fn from_catalog(catalog: &RuleCatalog, profile: DomainProfile) -> Result<Pipeline> {
+        Pipeline::new(catalog.rules().clone(), profile)
     }
 
     /// The full rule table.
@@ -670,7 +704,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::trace(trace)).extract()?.frame` instead"
+    )]
     pub fn extract(&self, trace: &Trace) -> Result<DataFrame> {
         Ok(self.session(RunOptions::trace(trace)).extract()?.frame)
     }
@@ -703,7 +740,10 @@ impl Pipeline {
     ///
     /// Propagates store corruption/I/O errors ([`Error::Store`]) and
     /// tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::store(reader)).extract()?.frame` instead"
+    )]
     pub fn extract_from_store<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -720,7 +760,11 @@ impl Pipeline {
     /// # Errors
     ///
     /// Same conditions as [`Pipeline::extract_from_store`].
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::store(reader)).extract()` and read \
+                `Extraction { frame, scan }` instead"
+    )]
     pub fn extract_from_store_with_stats<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -745,7 +789,11 @@ impl Pipeline {
     /// # Errors
     ///
     /// Same conditions as [`Pipeline::extract_from_store`].
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::store_shard(reader, groups)).extract()?\
+                .frame.into_partitions()` instead"
+    )]
     pub fn extract_store_shard<R>(
         &self,
         reader: &mut ivnt_store::StoreReader<R>,
@@ -792,7 +840,11 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::trace(trace).without_preselection())\
+                .extract()?.frame` instead"
+    )]
     pub fn extract_without_preselection(&self, trace: &Trace) -> Result<DataFrame> {
         Ok(self
             .session(RunOptions::trace(trace).without_preselection())
@@ -809,7 +861,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::trace(trace)).extract_reduced()` instead"
+    )]
     pub fn extract_reduced(&self, trace: &Trace) -> Result<Vec<(SignalSequence, Dedup, usize)>> {
         self.session(RunOptions::trace(trace)).extract_reduced()
     }
@@ -985,7 +1040,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::trace(trace)).run()` instead"
+    )]
     pub fn run(&self, trace: &Trace) -> Result<PipelineOutput> {
         self.session(RunOptions::trace(trace)).run()
     }
@@ -1000,7 +1058,10 @@ impl Pipeline {
     /// # Errors
     ///
     /// Propagates tabular-engine failures.
-    #[doc(hidden)]
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `pipeline.session(RunOptions::trace(trace).serial()).run()` instead"
+    )]
     pub fn run_serial(&self, trace: &Trace) -> Result<PipelineOutput> {
         self.session(RunOptions::trace(trace).serial()).run()
     }
@@ -1155,7 +1216,11 @@ mod tests {
         let trace = network.simulate(duration_s, 11, faults).unwrap();
         let u_rel = RuleSet::from_network(&network);
         let profile = DomainProfile::new("test").with_partitions(3);
-        Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap()
+        Pipeline::new(u_rel, profile)
+            .unwrap()
+            .session(RunOptions::trace(&trace))
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -1237,7 +1302,11 @@ mod tests {
                 factor: 3.0,
                 alias: "wposCycleViolation".into(),
             });
-        let out = Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap();
+        let out = Pipeline::new(u_rel, profile)
+            .unwrap()
+            .session(RunOptions::trace(&trace))
+            .run()
+            .unwrap();
         assert!(
             out.extensions.num_rows() >= 1,
             "cycle violation extension should fire"
@@ -1252,7 +1321,11 @@ mod tests {
         let trace = network.simulate(3.0, 11, &FaultPlan::new()).unwrap();
         let u_rel = RuleSet::from_network(&network);
         let profile = DomainProfile::new("narrow").with_signals(["speed", "rpm"]);
-        let out = Pipeline::new(u_rel, profile).unwrap().run(&trace).unwrap();
+        let out = Pipeline::new(u_rel, profile)
+            .unwrap()
+            .session(RunOptions::trace(&trace))
+            .run()
+            .unwrap();
         assert_eq!(out.signals.len(), 2);
     }
 
@@ -1276,7 +1349,8 @@ mod tests {
             let profile = DomainProfile::new("det").with_partitions(parts);
             Pipeline::new(u_rel.clone(), profile)
                 .unwrap()
-                .run(&trace)
+                .session(RunOptions::trace(&trace))
+                .run()
                 .unwrap()
                 .merged
                 .collect_rows()
@@ -1292,8 +1366,16 @@ mod tests {
         let u_rel = RuleSet::from_network(&network);
         let profile = DomainProfile::new("ablate").with_signals(["wpos"]);
         let p = Pipeline::new(u_rel, profile).unwrap();
-        let with = p.extract(&trace).unwrap();
-        let without = p.extract_without_preselection(&trace).unwrap();
+        let with = p
+            .session(RunOptions::trace(&trace))
+            .extract()
+            .unwrap()
+            .frame;
+        let without = p
+            .session(RunOptions::trace(&trace).without_preselection())
+            .extract()
+            .unwrap()
+            .frame;
         assert_eq!(
             with.sort_by(&["t"], &[true])
                 .unwrap()
@@ -1339,8 +1421,13 @@ mod tests {
         let bytes = writer.finish().unwrap();
         let mut reader = StoreReader::from_reader(std::io::Cursor::new(bytes)).unwrap();
 
-        let (from_store, stats) = p.extract_from_store_with_stats(&mut reader).unwrap();
-        let in_memory = p.extract(&trace).unwrap();
+        let ex = p.session(RunOptions::store(&mut reader)).extract().unwrap();
+        let (from_store, stats) = (ex.frame, ex.scan.unwrap());
+        let in_memory = p
+            .session(RunOptions::trace(&trace))
+            .extract()
+            .unwrap()
+            .frame;
         assert_eq!(
             from_store.collect_rows().unwrap(),
             in_memory.collect_rows().unwrap()
@@ -1383,14 +1470,24 @@ mod tests {
         let groups = reader.footer().groups;
         assert!(groups >= 3, "need several groups, got {groups}");
 
-        let full = p.extract_from_store(&mut reader).unwrap();
+        let full = p
+            .session(RunOptions::store(&mut reader))
+            .extract()
+            .unwrap()
+            .frame;
         // Any partition of the group axis concatenates to the full result.
         for split in [1u32, 2, groups] {
             let mut parts = Vec::new();
             let mut start = 0u32;
             while start < groups {
                 let end = (start + groups.div_ceil(split)).min(groups);
-                parts.extend(p.extract_store_shard(&mut reader, start..end).unwrap());
+                parts.extend(
+                    p.session(RunOptions::store_shard(&mut reader, start..end))
+                        .extract()
+                        .unwrap()
+                        .frame
+                        .into_partitions(),
+                );
                 start = end;
             }
             let merged =
@@ -1403,8 +1500,11 @@ mod tests {
         }
         // An empty shard range yields no batches.
         assert!(p
-            .extract_store_shard(&mut reader, groups..groups)
+            .session(RunOptions::store_shard(&mut reader, groups..groups))
+            .extract()
             .unwrap()
+            .frame
+            .into_partitions()
             .is_empty());
     }
 
@@ -1417,7 +1517,10 @@ mod tests {
             .with_signals(["wpos"])
             .with_dedup(false);
         let p = Pipeline::new(u_rel, profile).unwrap();
-        let reduced = p.extract_reduced(&trace).unwrap();
+        let reduced = p
+            .session(RunOptions::trace(&trace))
+            .extract_reduced()
+            .unwrap();
         // Without dedup the pre-reduction sequence keeps both channels'
         // copies (reduction then drops the value-identical twins anyway).
         let (_, dedup, _) = &reduced[0];

@@ -12,6 +12,7 @@ use std::sync::Arc;
 use ivnt_protocol::bits::{self, ByteOrder};
 use ivnt_protocol::signal::{PhysicalValue, RawKind, SignalSpec};
 use ivnt_simulator::network::NetworkModel;
+use ivnt_simulator::scenario::GeneratedDataSet;
 
 use crate::error::{Error, Result};
 
@@ -109,6 +110,40 @@ impl RuleInfo {
 }
 
 impl Rule {
+    /// Absolute payload bit positions covered by a fixed-packing rule, in
+    /// decode order (LSB first for Intel, MSB first for Motorola). Bit `i`
+    /// is byte `i / 8`, bit `i % 8` (Intel numbering). Returns `None` for
+    /// presence-conditional packings, whose position depends on the
+    /// instance. [`RuleCatalog::merge`] uses this to drop inferred rules
+    /// whose payload region an authored rule already claims.
+    pub fn payload_bits(&self) -> Option<Vec<u16>> {
+        let first_byte = match &self.info.packing {
+            Packing::Fixed { first_byte, .. } => *first_byte as u16,
+            _ => return None,
+        };
+        let spec = &self.info.spec;
+        let start = first_byte * 8 + spec.start_bit();
+        let len = spec.bit_len();
+        Some(match spec.byte_order() {
+            ByteOrder::Intel => (start..start + len).collect(),
+            ByteOrder::Motorola => {
+                let mut bits = Vec::with_capacity(len as usize);
+                let mut pos = start;
+                for i in 0..len {
+                    bits.push(pos);
+                    if i + 1 < len {
+                        pos = if (pos as usize).is_multiple_of(8) {
+                            pos + 15
+                        } else {
+                            pos - 1
+                        };
+                    }
+                }
+                bits
+            }
+        })
+    }
+
     /// The `u1 : (l, u_info) -> l_rel` mapping: locates the relevant bytes
     /// in the payload. Returns `Ok(None)` when a presence-conditional field
     /// is absent from this instance (no signal instance is produced).
@@ -765,6 +800,31 @@ impl RuleSet {
         self.rules.push(Arc::new(rule));
     }
 
+    /// Adds a fixed-packing rule for a payload-absolute `spec` (start bit
+    /// relative to the whole payload, as in a catalog or DBC): the spec is
+    /// rebased onto its relevant bytes exactly like
+    /// [`RuleSet::from_catalog`] does. This is the entry point synthesized
+    /// (inferred) tables use to emit rules the vectorized interpret kernel
+    /// consumes unchanged.
+    pub fn push_spec(
+        &mut self,
+        bus: &str,
+        message_id: u32,
+        spec: &SignalSpec,
+        home_channel: bool,
+        comparable: bool,
+        expected_cycle_s: Option<f64>,
+    ) {
+        self.push(build_rule(
+            spec,
+            bus,
+            message_id,
+            home_channel,
+            comparable,
+            expected_cycle_s,
+        ));
+    }
+
     /// Adds a presence-conditional rule for one optional field of a
     /// SOME/IP service (the Sec. 3.2 case: preceding bytes gate the
     /// field's presence and position). `spec` must be field-relative
@@ -924,6 +984,225 @@ impl RuleSet {
                 .push(i);
         }
         map
+    }
+}
+
+/// Tuning knobs of DBC-less signal-boundary inference (the `ivnt-infer`
+/// crate). Defined in core so [`RuleSource`] can carry the parameters a
+/// table was synthesized with without depending on the inference crate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferParams {
+    /// Minimum observed rows per `(bus, message id)` before boundaries are
+    /// emitted for it.
+    pub min_samples: u64,
+    /// Relative per-bit flip-rate rise that opens a new field during
+    /// boundary segmentation (`r[i] > r[i-1] * rise_ratio`).
+    pub rise_ratio: f64,
+    /// Fraction of unit/wrap value steps required to classify a recovered
+    /// field as a counter.
+    pub counter_fraction: f64,
+    /// Fraction of agreeing carry events (high field changes exactly when
+    /// the low field wraps) required to merge two byte-aligned adjacent
+    /// fields into one big-endian field.
+    pub carry_fraction: f64,
+}
+
+impl Default for InferParams {
+    fn default() -> InferParams {
+        InferParams {
+            min_samples: 32,
+            rise_ratio: 1.25,
+            counter_fraction: 0.9,
+            carry_fraction: 0.9,
+        }
+    }
+}
+
+/// Where a pipeline's interpretation tables come from — the provenance
+/// half of the catalog API. Every tier (sessions, multi-query planning,
+/// streaming, cluster job specs) threads a `RuleSource` so workloads can
+/// run DBC-less: `Authored` uses known tables, `Inferred` synthesizes
+/// them from raw payloads, `Merged` fills authored gaps with inference.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum RuleSource {
+    /// Authored tables: a network model, a parsed DBC, or hand-written
+    /// rules.
+    #[default]
+    Authored,
+    /// Tables synthesized from raw payloads by `ivnt-infer` — no
+    /// interpretation knowledge assumed.
+    Inferred {
+        /// Parameters the tables were (or are to be) synthesized with.
+        params: InferParams,
+    },
+    /// Authored tables extended with inferred rules for payload regions no
+    /// authored rule claims.
+    Merged {
+        /// Parameters of the inferred half.
+        params: InferParams,
+    },
+}
+
+impl RuleSource {
+    /// Short provenance label (`authored` / `inferred` / `merged`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RuleSource::Authored => "authored",
+            RuleSource::Inferred { .. } => "inferred",
+            RuleSource::Merged { .. } => "merged",
+        }
+    }
+}
+
+/// A rule table together with its provenance — the one API through which
+/// authored, scenario-derived and inferred tables reach the pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use ivnt_core::rules::{RuleCatalog, RuleSet};
+/// use ivnt_simulator::scenario::{self, DataSetSpec};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let data = scenario::generate(&DataSetSpec::syn().with_duration_s(0.5))?;
+/// let catalog = RuleCatalog::from_dataset(&data);
+/// assert_eq!(catalog.source().label(), "authored");
+/// assert!(!catalog.rules().is_empty());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuleCatalog {
+    rules: RuleSet,
+    source: RuleSource,
+}
+
+impl RuleCatalog {
+    /// Wraps authored tables (network model, DBC, hand-written rules).
+    pub fn from_authored(rules: RuleSet) -> RuleCatalog {
+        RuleCatalog {
+            rules,
+            source: RuleSource::Authored,
+        }
+    }
+
+    /// Authored tables of a generated scenario: the full `U_rel` of its
+    /// network plus the generator's comparability hints. This replaces the
+    /// load logic previously duplicated across the CLI commands and the
+    /// cluster `JobSpec`.
+    pub fn from_dataset(data: &GeneratedDataSet) -> RuleCatalog {
+        let mut rules = RuleSet::from_network(&data.network);
+        for (signal, (_, comparable)) in &data.signal_classes {
+            // Signals without rules (never placed) are skipped silently;
+            // the hint map can be a superset of the catalog.
+            let _ = rules.set_comparable(signal, *comparable);
+        }
+        RuleCatalog::from_authored(rules)
+    }
+
+    /// Wraps tables synthesized by `ivnt-infer` with the parameters they
+    /// were recovered under.
+    pub fn from_inferred(rules: RuleSet, params: InferParams) -> RuleCatalog {
+        RuleCatalog {
+            rules,
+            source: RuleSource::Inferred { params },
+        }
+    }
+
+    /// Merges two catalogs, `left` taking precedence: every rule of `left`
+    /// is kept (in order), and a rule of `right` is appended only when its
+    /// payload bit region on its `(bus, message id)` overlaps no rule of
+    /// `left`. When inference recovers exactly the authored layout, the
+    /// merged catalog therefore equals the authored one — the bit-identity
+    /// property the acceptance tests pin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::RuleConflict`] when both catalogs claim the same
+    /// signal name — two sources disagreeing about one signal is domain
+    /// ambiguity the caller must resolve, not a precedence question.
+    pub fn merge(left: &RuleCatalog, right: &RuleCatalog) -> Result<RuleCatalog> {
+        let left_names: std::collections::HashSet<&str> = left
+            .rules
+            .rules()
+            .iter()
+            .map(|r| r.signal.as_str())
+            .collect();
+        if let Some(dup) = right
+            .rules
+            .rules()
+            .iter()
+            .find(|r| left_names.contains(r.signal.as_str()))
+        {
+            return Err(Error::RuleConflict {
+                signal: dup.signal.clone(),
+                left: left.source.label(),
+                right: right.source.label(),
+            });
+        }
+
+        // Claimed payload bits per (bus, mid) on the left side. Rules with
+        // instance-dependent packing (optional fields, multiplexing) claim
+        // their whole message conservatively.
+        let mut claimed: HashMap<(&str, u32), std::collections::HashSet<u16>> = HashMap::new();
+        let mut claimed_all: std::collections::HashSet<(&str, u32)> =
+            std::collections::HashSet::new();
+        for r in left.rules.rules() {
+            match r.payload_bits() {
+                Some(bits) => claimed
+                    .entry((r.bus.as_str(), r.message_id))
+                    .or_default()
+                    .extend(bits),
+                None => {
+                    claimed_all.insert((r.bus.as_str(), r.message_id));
+                }
+            }
+        }
+
+        let mut merged = left.rules.clone();
+        for r in right.rules.rules() {
+            let key = (r.bus.as_str(), r.message_id);
+            if claimed_all.contains(&key) {
+                continue;
+            }
+            let overlaps = match (r.payload_bits(), claimed.get(&key)) {
+                (Some(bits), Some(taken)) => bits.iter().any(|b| taken.contains(b)),
+                (None, _) => true, // conditional packing: never graft blindly
+                (_, None) => false,
+            };
+            if !overlaps {
+                merged.rules.push(r.clone());
+            }
+        }
+
+        let params = match (&left.source, &right.source) {
+            (_, RuleSource::Inferred { params }) | (_, RuleSource::Merged { params }) => {
+                params.clone()
+            }
+            (RuleSource::Inferred { params }, _) | (RuleSource::Merged { params }, _) => {
+                params.clone()
+            }
+            _ => InferParams::default(),
+        };
+        Ok(RuleCatalog {
+            rules: merged,
+            source: RuleSource::Merged { params },
+        })
+    }
+
+    /// The rule table.
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The table's provenance.
+    pub fn source(&self) -> &RuleSource {
+        &self.source
+    }
+
+    /// Consumes the catalog, yielding its rule table.
+    pub fn into_rules(self) -> RuleSet {
+        self.rules
     }
 }
 

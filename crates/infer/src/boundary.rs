@@ -1,0 +1,435 @@
+//! Pass 2: value-level scoring of the candidate segments — byte-order
+//! (endianness) resolution, Motorola chain reassembly, and
+//! constant/counter/sensor classification.
+//!
+//! Segmentation (pass 1) splits multi-byte Motorola fields at byte
+//! boundaries: within every byte the significance of a Motorola field
+//! *increases* with the Intel bit index, so the carry chain is contiguous
+//! inside a byte but jumps to the byte *below* at the boundary, where the
+//! flip-coincidence test severs the run. Pass 2 repairs this: for every
+//! structurally eligible pair of adjacent segments it tracks whether the
+//! upper byte's value changes coincide with a wrap of the lower byte's
+//! value (carry agreement) and whether the concatenated big-endian reading
+//! moves more smoothly than the little-endian one; passing links are
+//! greedily chained back into one Motorola field.
+
+use std::collections::HashMap;
+
+use ivnt_core::rules::InferParams;
+use ivnt_protocol::bits::ByteOrder;
+
+use crate::profile::{fold, mask, BitProfile, Profiler, Segment};
+use crate::SignalClass;
+
+/// Minimum hi-segment change events before a link verdict is trusted.
+const MIN_LINK_CHANGES: u64 = 4;
+
+/// Value-delta statistics of one candidate field.
+#[derive(Debug, Default, Clone, Copy)]
+struct ValStats {
+    changes: u64,
+    plus1: u64,
+    minus1: u64,
+    wraps_up: u64,
+    wraps_down: u64,
+}
+
+impl ValStats {
+    fn observe(&mut self, old: u64, new: u64, max: u64) {
+        if old == new {
+            return;
+        }
+        self.changes += 1;
+        if new == old + 1 {
+            self.plus1 += 1;
+        } else if old == max && new == 0 {
+            self.wraps_up += 1;
+        } else if old == new + 1 {
+            self.minus1 += 1;
+        } else if old == 0 && new == max {
+            self.wraps_down += 1;
+        }
+    }
+
+    fn classify(&self, counter_fraction: f64) -> SignalClass {
+        if self.changes == 0 {
+            return SignalClass::Constant;
+        }
+        let up = self.plus1 + self.wraps_up;
+        let down = self.minus1 + self.wraps_down;
+        if up.max(down) as f64 >= counter_fraction * self.changes as f64 {
+            SignalClass::Counter
+        } else {
+            SignalClass::Sensor
+        }
+    }
+}
+
+/// Byte-order evidence for one eligible pair of adjacent segments, `hi`
+/// in the lower byte (big-endian hypothesis) and `lo` in the byte above.
+#[derive(Debug, Clone, Copy)]
+struct LinkStats {
+    hi_len: u16,
+    lo_len: u16,
+    hi_changes: u64,
+    hi_change_lo_wrap: u64,
+    be: ValStats,
+    be_abs_delta: f64,
+    le_abs_delta: f64,
+}
+
+impl LinkStats {
+    fn new(hi_len: u16, lo_len: u16) -> LinkStats {
+        LinkStats {
+            hi_len,
+            lo_len,
+            hi_changes: 0,
+            hi_change_lo_wrap: 0,
+            be: ValStats::default(),
+            be_abs_delta: 0.0,
+            le_abs_delta: 0.0,
+        }
+    }
+
+    fn observe(&mut self, hi_old: u64, hi_new: u64, lo_old: u64, lo_new: u64) {
+        let be_old = (hi_old << self.lo_len) | lo_old;
+        let be_new = (hi_new << self.lo_len) | lo_new;
+        let le_old = (lo_old << self.hi_len) | hi_old;
+        let le_new = (lo_new << self.hi_len) | hi_new;
+        self.be
+            .observe(be_old, be_new, mask(self.hi_len + self.lo_len));
+        self.be_abs_delta += be_old.abs_diff(be_new) as f64;
+        self.le_abs_delta += le_old.abs_diff(le_new) as f64;
+        if hi_old != hi_new {
+            self.hi_changes += 1;
+            // A carry into the hi part means the lo part wrapped: its
+            // value jumped by more than half its range.
+            if 2 * lo_old.abs_diff(lo_new) > mask(self.lo_len) {
+                self.hi_change_lo_wrap += 1;
+            }
+        }
+    }
+
+    fn passes(&self, params: &InferParams) -> bool {
+        self.hi_changes >= MIN_LINK_CHANGES
+            && self.hi_change_lo_wrap as f64 >= params.carry_fraction * self.hi_changes as f64
+            && self.be_abs_delta < self.le_abs_delta
+    }
+}
+
+/// Can adjacent segments `a` (lower byte) and `b` (byte above) be the
+/// hi/lo halves of one Motorola field? The hi part of a Motorola field
+/// always reaches bit 0 of its byte (the sawtooth walk only jumps bytes
+/// at bit 0) and the lo part always ends at its byte's top bit.
+fn link_eligible(a: &Segment, b: &Segment) -> bool {
+    a.start.is_multiple_of(8)
+        && a.len <= 8
+        && b.start / 8 == a.start / 8 + 1
+        && b.end().is_multiple_of(8)
+        && b.len <= 8
+}
+
+/// One recovered field of a key, in the store's payload-absolute bit
+/// numbering (`start_bit` is the LSB for Intel, the MSB for Motorola —
+/// the DBC convention the interpret kernel expects).
+#[derive(Debug, Clone)]
+pub(crate) struct FieldOut {
+    pub start_bit: u16,
+    pub bit_len: u16,
+    pub byte_order: ByteOrder,
+    pub class: SignalClass,
+    pub confidence: f64,
+    pub mean_bit_entropy: f64,
+}
+
+/// Everything pass 2 learned about one `(b_id, m_id)` key.
+#[derive(Debug)]
+pub(crate) struct KeyResult {
+    pub bus: String,
+    pub message_id: u32,
+    pub samples: u64,
+    /// Per-bit flip counts — the observability record evaluation uses.
+    pub flips: [u64; 64],
+    pub fields: Vec<FieldOut>,
+}
+
+#[derive(Debug)]
+struct KeyScore {
+    profile: BitProfile,
+    segs: Vec<Segment>,
+    stats: Vec<ValStats>,
+    /// `links[i]` sits between `segs[i]` and `segs[i + 1]`; `None` when
+    /// the pair is structurally ineligible.
+    links: Vec<Option<LinkStats>>,
+    last: Option<u64>,
+}
+
+/// Pass-2 driver, seeded from the pass-1 [`Profiler`].
+#[derive(Debug)]
+pub(crate) struct Scorer {
+    params: InferParams,
+    keys: HashMap<String, HashMap<u32, KeyScore>>,
+}
+
+impl Scorer {
+    /// Segments every sufficiently sampled profile and prepares the value
+    /// trackers. Keys below `min_samples` are dropped entirely (also from
+    /// the observability record — too little data to hold recovery
+    /// against).
+    pub fn new(profiler: Profiler, params: InferParams) -> Scorer {
+        let mut keys: HashMap<String, HashMap<u32, KeyScore>> = HashMap::new();
+        for (bus, by_mid) in profiler.keys {
+            let mut scored = HashMap::new();
+            for (mid, profile) in by_mid {
+                if profile.samples < params.min_samples {
+                    continue;
+                }
+                let segs = profile.segment(&params);
+                let stats = vec![ValStats::default(); segs.len()];
+                let links = segs
+                    .windows(2)
+                    .map(|w| {
+                        link_eligible(&w[0], &w[1]).then(|| LinkStats::new(w[0].len, w[1].len))
+                    })
+                    .collect();
+                scored.insert(
+                    mid,
+                    KeyScore {
+                        profile,
+                        segs,
+                        stats,
+                        links,
+                        last: None,
+                    },
+                );
+            }
+            if !scored.is_empty() {
+                keys.insert(bus, scored);
+            }
+        }
+        Scorer { params, keys }
+    }
+
+    /// Accumulates one record of the second pass. Records of keys the
+    /// profiler never saw (or that were dropped) are ignored.
+    pub fn observe(&mut self, bus: &str, message_id: u32, payload: &[u8]) {
+        let Some(ks) = self
+            .keys
+            .get_mut(bus)
+            .and_then(|by_mid| by_mid.get_mut(&message_id))
+        else {
+            return;
+        };
+        let (cur, _) = fold(payload);
+        if let Some(prev) = ks.last {
+            for (i, seg) in ks.segs.iter().enumerate() {
+                let m = mask(seg.len);
+                ks.stats[i].observe((prev >> seg.start) & m, (cur >> seg.start) & m, m);
+            }
+            for i in 0..ks.links.len() {
+                if let Some(link) = ks.links[i].as_mut() {
+                    let (a, b) = (ks.segs[i], ks.segs[i + 1]);
+                    let (ma, mb) = (mask(a.len), mask(b.len));
+                    link.observe(
+                        (prev >> a.start) & ma,
+                        (cur >> a.start) & ma,
+                        (prev >> b.start) & mb,
+                        (cur >> b.start) & mb,
+                    );
+                }
+            }
+        }
+        ks.last = Some(cur);
+    }
+
+    /// Resolves chains and classes into per-key field lists, keys sorted
+    /// by `(bus, message id)` for deterministic output.
+    pub fn finish(self) -> Vec<KeyResult> {
+        let params = self.params;
+        let mut flat: Vec<(String, u32, KeyScore)> = self
+            .keys
+            .into_iter()
+            .flat_map(|(bus, by_mid)| {
+                by_mid
+                    .into_iter()
+                    .map(move |(mid, ks)| (bus.clone(), mid, ks))
+            })
+            .collect();
+        flat.sort_by(|x, y| (x.0.as_str(), x.1).cmp(&(y.0.as_str(), y.1)));
+        flat.into_iter()
+            .map(|(bus, message_id, ks)| {
+                let fields = resolve_fields(&ks, &params);
+                KeyResult {
+                    bus,
+                    message_id,
+                    samples: ks.profile.samples,
+                    flips: ks.profile.flip_counts(),
+                    fields,
+                }
+            })
+            .collect()
+    }
+}
+
+/// Greedy chain walk: a maximal run of consecutive passing links becomes
+/// one Motorola field; everything else stays an Intel field.
+fn resolve_fields(ks: &KeyScore, params: &InferParams) -> Vec<FieldOut> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < ks.segs.len() {
+        let mut j = i;
+        while j < ks.links.len() && ks.links[j].is_some_and(|l| l.passes(params)) {
+            j += 1;
+        }
+        if j > i {
+            let chain = &ks.segs[i..=j];
+            let bits: Vec<u16> = chain.iter().flat_map(|s| s.start..s.end()).collect();
+            let (confidence, mean_bit_entropy) = quality(&ks.profile, &bits, params.min_samples);
+            fields.push(FieldOut {
+                // DBC Motorola start bit addresses the MSB: the top bit
+                // of the chain's first (lowest-byte) segment.
+                start_bit: chain[0].start + chain[0].len - 1,
+                bit_len: chain.iter().map(|s| s.len).sum(),
+                byte_order: ByteOrder::Motorola,
+                // The last link covers the lowest-significance pair —
+                // where a counter's increments are visible.
+                class: ks.links[j - 1]
+                    .expect("passing link exists")
+                    .be
+                    .classify(params.counter_fraction),
+                confidence,
+                mean_bit_entropy,
+            });
+        } else {
+            let s = ks.segs[i];
+            let bits: Vec<u16> = (s.start..s.end()).collect();
+            let (confidence, mean_bit_entropy) = quality(&ks.profile, &bits, params.min_samples);
+            fields.push(FieldOut {
+                start_bit: s.start,
+                bit_len: s.len,
+                byte_order: ByteOrder::Intel,
+                class: ks.stats[i].classify(params.counter_fraction),
+                confidence,
+                mean_bit_entropy,
+            });
+        }
+        i = j + 1;
+    }
+    fields
+}
+
+/// Confidence = sample sufficiency × fraction of field bits that flipped
+/// at least twice; also the mean conditional entropy over the field bits.
+fn quality(profile: &BitProfile, bits: &[u16], min_samples: u64) -> (f64, f64) {
+    let lively = bits
+        .iter()
+        .filter(|&&b| profile.flips(b as usize) >= 2)
+        .count();
+    let frac = lively as f64 / bits.len() as f64;
+    let sample_conf = (profile.samples as f64 / min_samples as f64).min(1.0);
+    let entropy = bits
+        .iter()
+        .map(|&b| profile.cond_entropy(b as usize))
+        .sum::<f64>()
+        / bits.len() as f64;
+    (sample_conf * frac, entropy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(payloads: &[Vec<u8>], params: &InferParams) -> Vec<KeyResult> {
+        let mut profiler = Profiler::new();
+        for p in payloads {
+            profiler.observe("FC", 0x10, p);
+        }
+        let mut scorer = Scorer::new(profiler, params.clone());
+        for p in payloads {
+            scorer.observe("FC", 0x10, p);
+        }
+        scorer.finish()
+    }
+
+    #[test]
+    fn motorola_counter_reassembled() {
+        // 16-bit big-endian counter mod 1024 at Motorola start bit 7:
+        // byte 0 is the high byte, byte 1 the low byte. Only value bits
+        // 0..10 ever flip, so the recovered field is the 10 active bits.
+        let payloads: Vec<Vec<u8>> = (0u32..5000)
+            .map(|i| {
+                let v = i % 1024;
+                vec![(v >> 8) as u8, v as u8]
+            })
+            .collect();
+        let keys = run(&payloads, &InferParams::default());
+        assert_eq!(keys.len(), 1);
+        let fields = &keys[0].fields;
+        assert_eq!(fields.len(), 1, "fields: {fields:?}");
+        assert_eq!(fields[0].byte_order, ByteOrder::Motorola);
+        assert_eq!(fields[0].start_bit, 1);
+        assert_eq!(fields[0].bit_len, 10);
+        assert_eq!(fields[0].class, SignalClass::Counter);
+        assert!(fields[0].confidence > 0.9, "{}", fields[0].confidence);
+    }
+
+    #[test]
+    fn intel_counter_stays_one_field() {
+        let payloads: Vec<Vec<u8>> = (0u32..5000)
+            .map(|i| {
+                let v = i % 1024;
+                vec![v as u8, (v >> 8) as u8]
+            })
+            .collect();
+        let keys = run(&payloads, &InferParams::default());
+        let fields = &keys[0].fields;
+        assert_eq!(fields.len(), 1, "fields: {fields:?}");
+        assert_eq!(fields[0].byte_order, ByteOrder::Intel);
+        assert_eq!(fields[0].start_bit, 0);
+        assert_eq!(fields[0].bit_len, 10);
+        assert_eq!(fields[0].class, SignalClass::Counter);
+    }
+
+    #[test]
+    fn independent_byte_counters_not_merged() {
+        // Byte 0 counts every row, byte 1 every third row — structurally
+        // an eligible link, but the carry-agreement test must reject it.
+        let payloads: Vec<Vec<u8>> = (0u32..3000)
+            .map(|i| vec![(i % 256) as u8, ((i / 3) % 256) as u8])
+            .collect();
+        let keys = run(&payloads, &InferParams::default());
+        let fields = &keys[0].fields;
+        assert_eq!(fields.len(), 2, "fields: {fields:?}");
+        assert!(fields.iter().all(|f| f.byte_order == ByteOrder::Intel));
+        assert_eq!(fields[0].start_bit, 0);
+        assert_eq!(fields[1].start_bit, 8);
+    }
+
+    #[test]
+    fn random_walk_is_sensor() {
+        // Deterministic pseudo-random walk over an 8-bit range.
+        let mut v: i32 = 128;
+        let mut state: u32 = 0x1234_5678;
+        let payloads: Vec<Vec<u8>> = (0..4000)
+            .map(|_| {
+                state = state.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                let step = ((state >> 16) % 15) as i32 - 7;
+                v = (v + step).clamp(0, 255);
+                vec![v as u8]
+            })
+            .collect();
+        let keys = run(&payloads, &InferParams::default());
+        let fields = &keys[0].fields;
+        assert!(
+            fields.iter().all(|f| f.class == SignalClass::Sensor),
+            "fields: {fields:?}"
+        );
+    }
+
+    #[test]
+    fn undersampled_key_dropped() {
+        let payloads: Vec<Vec<u8>> = (0u32..8).map(|i| vec![i as u8]).collect();
+        let keys = run(&payloads, &InferParams::default());
+        assert!(keys.is_empty());
+    }
+}

@@ -1,0 +1,574 @@
+//! # ivnt-infer — DBC-less signal-boundary inference
+//!
+//! Interpretation (paper Sec. 3.2) assumes the relation `U_comb` of
+//! packing rules is known. For third-party traffic or undocumented ECUs
+//! no such table exists; this crate recovers one from the raw payloads
+//! alone, in the spirit of READ/ByCAN/CAN-D:
+//!
+//! 1. **Profiling pass** — per `(b_id, m_id)` key, per-bit flip rates,
+//!    conditional entropies and neighbour flip-coincidence over
+//!    consecutive rows ([`profile`]).
+//! 2. **Segmentation** — boundaries open where the flip-coincidence of
+//!    adjacent bits collapses (carry chains keep it high inside a field)
+//!    or where the flip rate rises (a new field's LSB).
+//! 3. **Scoring pass** — per-segment value deltas resolve byte order
+//!    (carry agreement + delta smoothness reassemble Motorola fields
+//!    split at byte boundaries) and classify each field as
+//!    constant / counter / sensor.
+//!
+//! The result is an [`InferredTables`]: synthesized [`RuleSet`] tables
+//! the existing vectorized interpret kernel consumes unchanged, wrapped
+//! in a [`RuleCatalog`] tagged [`RuleSource::Inferred`] — or merged
+//! under an authored catalog with authored rules taking precedence.
+//!
+//! Inference is out-of-core: [`infer_store`] drives the store's
+//! zone-map-pruned [`StoreReader::scan_indexed`] twice and never holds
+//! more than one row group in memory.
+//!
+//! # Examples
+//!
+//! ```
+//! use ivnt_core::rules::InferParams;
+//! use ivnt_infer::infer_trace;
+//! use ivnt_simulator::prelude::*;
+//! use ivnt_simulator::functions;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut network = NetworkModel::new(ivnt_protocol::Catalog::new());
+//! network.add_function(functions::wiper()?)?;
+//! network.auto_senders();
+//! let trace = network.simulate(20.0, 7, &FaultPlan::new())?;
+//!
+//! // No interpretation tables: recover the layout from the bytes.
+//! let tables = infer_trace(&trace, &InferParams::default());
+//! assert!(!tables.signals.is_empty());
+//! let catalog = tables.to_catalog()?; // RuleSource::Inferred
+//! # let _ = catalog;
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod boundary;
+pub mod profile;
+
+use std::collections::{BTreeMap, HashSet};
+use std::io::{Read, Seek};
+
+use ivnt_core::rules::{InferParams, RuleCatalog, RuleSet};
+use ivnt_protocol::bits::ByteOrder;
+use ivnt_protocol::signal::{RawKind, SignalSpec};
+use ivnt_simulator::scenario::TruthSignal;
+use ivnt_simulator::trace::Trace;
+use ivnt_store::{Predicate, StoreReader};
+
+use crate::boundary::{KeyResult, Scorer};
+use crate::profile::Profiler;
+
+#[cfg(doc)]
+use ivnt_core::rules::RuleSource;
+
+/// Behavioural class of a recovered field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignalClass {
+    /// Never changed over the observed rows.
+    Constant,
+    /// Monotone ±1 stepper (message counters, sequence numbers).
+    Counter,
+    /// Physical quantity — anything that moves but not by lockstep ±1.
+    Sensor,
+}
+
+impl SignalClass {
+    /// Short lowercase label (`constant` / `counter` / `sensor`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            SignalClass::Constant => "constant",
+            SignalClass::Counter => "counter",
+            SignalClass::Sensor => "sensor",
+        }
+    }
+}
+
+/// The payload bits a `(start_bit, bit_len, byte_order)` packing covers,
+/// MSB first for Motorola (the DBC sawtooth walk).
+fn walk_bits(start_bit: u16, bit_len: u16, byte_order: ByteOrder) -> Vec<u16> {
+    match byte_order {
+        ByteOrder::Intel => (start_bit..start_bit + bit_len).collect(),
+        ByteOrder::Motorola => {
+            let mut out = Vec::with_capacity(bit_len as usize);
+            let mut pos = start_bit;
+            for _ in 0..bit_len {
+                out.push(pos);
+                pos = if pos.is_multiple_of(8) {
+                    pos + 15
+                } else {
+                    pos - 1
+                };
+            }
+            out
+        }
+    }
+}
+
+/// One recovered signal boundary.
+#[derive(Debug, Clone)]
+pub struct InferredSignal {
+    /// Channel the key was observed on.
+    pub bus: String,
+    /// Message id within the channel.
+    pub message_id: u32,
+    /// Synthesized name, stable across buses so gateway mirrors of the
+    /// same message carry the same name (the dedup step compares signals
+    /// by name across channels).
+    pub name: String,
+    /// Packing start bit — LSB for Intel, MSB for Motorola (DBC
+    /// convention, directly consumable by the interpret kernel).
+    pub start_bit: u16,
+    /// Field width in bits.
+    pub bit_len: u16,
+    /// Recovered byte order.
+    pub byte_order: ByteOrder,
+    /// Behavioural class.
+    pub class: SignalClass,
+    /// `[0, 1]` recovery confidence: sample sufficiency × fraction of
+    /// field bits observed flipping at least twice.
+    pub confidence: f64,
+    /// Rows the key was observed in.
+    pub samples: u64,
+    /// Mean per-bit conditional entropy `H(b_t | b_{t-1})` of the field.
+    pub mean_bit_entropy: f64,
+}
+
+impl InferredSignal {
+    /// The payload bits the field covers, most significant first for
+    /// Motorola.
+    pub fn payload_bits(&self) -> Vec<u16> {
+        walk_bits(self.start_bit, self.bit_len, self.byte_order)
+    }
+
+    /// The field's least significant payload bit.
+    pub fn lsb_bit(&self) -> u16 {
+        match self.byte_order {
+            ByteOrder::Intel => self.start_bit,
+            ByteOrder::Motorola => *self.payload_bits().last().expect("bit_len > 0"),
+        }
+    }
+
+    /// Synthesizes the packing spec (unsigned raw, unit factor — physical
+    /// scaling is unknowable from bytes alone).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation failures (cannot happen for recovered
+    /// boundaries, which are in-range by construction).
+    pub fn spec(&self) -> ivnt_protocol::Result<SignalSpec> {
+        SignalSpec::builder(&self.name, self.start_bit, self.bit_len)
+            .byte_order(self.byte_order)
+            .raw_kind(RawKind::Unsigned)
+            .build()
+    }
+}
+
+/// Precision/recall of recovered boundaries against simulator ground
+/// truth — the `infer_probe` bench metric gated by `IVNT_INFER_MIN_F1`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoundaryEval {
+    /// Ground-truth signal occurrences (per channel).
+    pub truth_total: usize,
+    /// Truth occurrences observable in the data: their key was profiled
+    /// and at least one of their bits flipped.
+    pub truth_observable: usize,
+    /// Recovered fields.
+    pub recovered: usize,
+    /// Recovered fields matching an observable truth occurrence 1:1.
+    pub matched: usize,
+    /// `matched / recovered` (1.0 when nothing was recovered).
+    pub precision: f64,
+    /// `matched / truth_observable` (1.0 when nothing was observable).
+    pub recall: f64,
+}
+
+impl BoundaryEval {
+    /// Harmonic mean of precision and recall.
+    pub fn f1(&self) -> f64 {
+        if self.precision + self.recall == 0.0 {
+            0.0
+        } else {
+            2.0 * self.precision * self.recall / (self.precision + self.recall)
+        }
+    }
+}
+
+/// The full inference result: recovered signals plus the per-key
+/// observability record evaluation needs.
+#[derive(Debug, Clone)]
+pub struct InferredTables {
+    /// Recovered signals, sorted by `(bus, message id, start bit)`.
+    pub signals: Vec<InferredSignal>,
+    /// Parameters inference ran with (carried into the catalog tag).
+    pub params: InferParams,
+    /// bus → message id → per-bit flip counts of every profiled key
+    /// (present even when no field was recovered for the key).
+    flips: BTreeMap<(String, u32), [u64; 64]>,
+}
+
+impl InferredTables {
+    fn from_results(results: Vec<KeyResult>, params: InferParams) -> InferredTables {
+        let mut signals = Vec::new();
+        let mut flips = BTreeMap::new();
+        for kr in results {
+            for f in &kr.fields {
+                let lsb = match f.byte_order {
+                    ByteOrder::Intel => f.start_bit,
+                    ByteOrder::Motorola => *walk_bits(f.start_bit, f.bit_len, f.byte_order)
+                        .last()
+                        .expect("bit_len > 0"),
+                };
+                signals.push(InferredSignal {
+                    bus: kr.bus.clone(),
+                    message_id: kr.message_id,
+                    name: format!("inf_{:03x}_{}", kr.message_id, lsb),
+                    start_bit: f.start_bit,
+                    bit_len: f.bit_len,
+                    byte_order: f.byte_order,
+                    class: f.class,
+                    confidence: f.confidence,
+                    samples: kr.samples,
+                    mean_bit_entropy: f.mean_bit_entropy,
+                });
+            }
+            flips.insert((kr.bus, kr.message_id), kr.flips);
+        }
+        InferredTables {
+            signals,
+            params,
+            flips,
+        }
+    }
+
+    /// Number of `(b_id, m_id)` keys that were profiled with enough
+    /// samples to be scored.
+    pub fn profiled_keys(&self) -> usize {
+        self.flips.len()
+    }
+
+    /// Synthesizes plain interpretation tables: one fixed-packing rule
+    /// per recovered signal, consumable by the vectorized interpret
+    /// kernel (compiled `DecodePlan`s) with no new decode path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation failures.
+    pub fn to_rules(&self) -> ivnt_core::Result<RuleSet> {
+        let mut rules = RuleSet::new();
+        for sig in &self.signals {
+            let spec = sig.spec()?;
+            rules.push_spec(&sig.bus, sig.message_id, &spec, true, true, None);
+        }
+        Ok(rules)
+    }
+
+    /// Wraps the synthesized tables in a catalog tagged
+    /// `RuleSource::Inferred { params }`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation failures.
+    pub fn to_catalog(&self) -> ivnt_core::Result<RuleCatalog> {
+        Ok(RuleCatalog::from_inferred(
+            self.to_rules()?,
+            self.params.clone(),
+        ))
+    }
+
+    /// Merges the synthesized tables *under* an authored catalog:
+    /// authored rules win on bit overlap, inferred rules fill the gaps,
+    /// and the result is tagged `RuleSource::Merged`. When inference
+    /// recovered exactly the authored layout every inferred rule is
+    /// shadowed and the merged catalog decodes bit-identically to the
+    /// authored one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation failures and
+    /// [`ivnt_core::Error::RuleConflict`] on signal-name collisions
+    /// (synthesized names are `inf_`-prefixed, so collisions only arise
+    /// when the authored side uses that prefix).
+    pub fn merged_with(&self, authored: &RuleCatalog) -> ivnt_core::Result<RuleCatalog> {
+        RuleCatalog::merge(authored, &self.to_catalog()?)
+    }
+
+    /// Scores recovered boundaries against simulator ground truth.
+    ///
+    /// A truth occurrence is *observable* when its key was profiled and
+    /// at least one of its bits flipped; it *matches* a recovered field
+    /// (greedy 1:1) when the recovered field is non-constant, anchored at
+    /// the truth field's least significant flipping bit, covers only
+    /// truth bits, and — if it spans more than one byte — agrees on byte
+    /// order. Matching is anchored at the LSB because frozen high bits
+    /// (a counter that never reaches its range top) are invisible in the
+    /// data and trimming them is not an error.
+    pub fn evaluate(&self, truth: &[TruthSignal]) -> BoundaryEval {
+        let mut used = vec![false; self.signals.len()];
+        let mut truth_observable = 0usize;
+        let mut matched = 0usize;
+        for t in truth {
+            let Some(flips) = self.flips.get(&(t.bus.clone(), t.message_id)) else {
+                continue;
+            };
+            let tbits = walk_bits(t.start_bit, t.bit_len, t.byte_order);
+            // Significance-ascending: Intel bits already ascend; the
+            // Motorola walk descends, so reverse it.
+            let anchor = match t.byte_order {
+                ByteOrder::Intel => tbits.iter().copied().find(|&b| flipped(flips, b)),
+                ByteOrder::Motorola => tbits.iter().rev().copied().find(|&b| flipped(flips, b)),
+            };
+            let Some(anchor) = anchor else {
+                continue;
+            };
+            truth_observable += 1;
+            let tset: HashSet<u16> = tbits.iter().copied().collect();
+            for (i, s) in self.signals.iter().enumerate() {
+                if used[i]
+                    || s.bus != t.bus
+                    || s.message_id != t.message_id
+                    || s.class == SignalClass::Constant
+                    || s.lsb_bit() != anchor
+                {
+                    continue;
+                }
+                let sbits = s.payload_bits();
+                if !sbits.iter().all(|b| tset.contains(b)) {
+                    continue;
+                }
+                let spans_bytes = sbits.iter().map(|b| b / 8).collect::<HashSet<_>>().len() > 1;
+                if spans_bytes && s.byte_order != t.byte_order {
+                    continue;
+                }
+                used[i] = true;
+                matched += 1;
+                break;
+            }
+        }
+        let recovered = self.signals.len();
+        BoundaryEval {
+            truth_total: truth.len(),
+            truth_observable,
+            recovered,
+            matched,
+            precision: ratio(matched, recovered),
+            recall: ratio(matched, truth_observable),
+        }
+    }
+}
+
+fn flipped(flips: &[u64; 64], bit: u16) -> bool {
+    (bit as usize) < 64 && flips[bit as usize] > 0
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        1.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Infers boundaries from an in-memory trace (two passes over the
+/// records).
+pub fn infer_trace(trace: &Trace, params: &InferParams) -> InferredTables {
+    let mut profiler = Profiler::new();
+    for r in trace {
+        profiler.observe(&r.bus, r.message_id, &r.payload);
+    }
+    let mut scorer = Scorer::new(profiler, params.clone());
+    for r in trace {
+        scorer.observe(&r.bus, r.message_id, &r.payload);
+    }
+    InferredTables::from_results(scorer.finish(), params.clone())
+}
+
+/// Infers boundaries for a single key from raw payload rows — the
+/// fuzzing/property-test entry point.
+pub fn infer_payloads(
+    bus: &str,
+    message_id: u32,
+    payloads: &[Vec<u8>],
+    params: &InferParams,
+) -> InferredTables {
+    let mut profiler = Profiler::new();
+    for p in payloads {
+        profiler.observe(bus, message_id, p);
+    }
+    let mut scorer = Scorer::new(profiler, params.clone());
+    for p in payloads {
+        scorer.observe(bus, message_id, p);
+    }
+    InferredTables::from_results(scorer.finish(), params.clone())
+}
+
+/// Infers boundaries out-of-core from a store file: two zone-map-pruned
+/// [`StoreReader::scan_indexed`] passes, never holding more than one row
+/// group in memory.
+///
+/// # Errors
+///
+/// Propagates store scan failures (I/O, corruption).
+pub fn infer_store<R: Read + Seek>(
+    reader: &mut StoreReader<R>,
+    params: &InferParams,
+) -> ivnt_core::Result<InferredTables> {
+    let compiled = [Predicate::all().compile(reader.footer())];
+    let mut profiler = Profiler::new();
+    reader.scan_indexed::<ivnt_core::Error, _>(&compiled, |rows| {
+        for r in &rows {
+            profiler.observe(&r.record.bus, r.record.message_id, &r.record.payload);
+        }
+        Ok(())
+    })?;
+    let mut scorer = Scorer::new(profiler, params.clone());
+    reader.scan_indexed::<ivnt_core::Error, _>(&compiled, |rows| {
+        for r in &rows {
+            scorer.observe(&r.record.bus, r.record.message_id, &r.record.payload);
+        }
+        Ok(())
+    })?;
+    Ok(InferredTables::from_results(
+        scorer.finish(),
+        params.clone(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counter_payloads(n: u32, modulo: u32) -> Vec<Vec<u8>> {
+        (0..n)
+            .map(|i| {
+                let v = i % modulo;
+                vec![v as u8, (v >> 8) as u8]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn payload_bits_walks() {
+        let sig = InferredSignal {
+            bus: "FC".into(),
+            message_id: 1,
+            name: "x".into(),
+            start_bit: 7,
+            bit_len: 12,
+            byte_order: ByteOrder::Motorola,
+            class: SignalClass::Counter,
+            confidence: 1.0,
+            samples: 100,
+            mean_bit_entropy: 0.5,
+        };
+        assert_eq!(
+            sig.payload_bits(),
+            vec![7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12]
+        );
+        assert_eq!(sig.lsb_bit(), 12);
+        let intel = InferredSignal {
+            start_bit: 4,
+            bit_len: 6,
+            byte_order: ByteOrder::Intel,
+            ..sig
+        };
+        assert_eq!(intel.payload_bits(), vec![4, 5, 6, 7, 8, 9]);
+        assert_eq!(intel.lsb_bit(), 4);
+    }
+
+    #[test]
+    fn evaluate_exact_recovery() {
+        let payloads = counter_payloads(4000, 1024);
+        let tables = infer_payloads("FC", 0x10, &payloads, &InferParams::default());
+        assert_eq!(tables.profiled_keys(), 1);
+        let truth = vec![TruthSignal {
+            bus: "FC".into(),
+            message_id: 0x10,
+            signal: "ctr".into(),
+            start_bit: 0,
+            bit_len: 10,
+            byte_order: ByteOrder::Intel,
+        }];
+        let eval = tables.evaluate(&truth);
+        assert_eq!(eval.truth_observable, 1);
+        assert_eq!(eval.matched, 1);
+        assert_eq!(eval.f1(), 1.0);
+    }
+
+    #[test]
+    fn evaluate_tolerates_frozen_msbs() {
+        // The truth field is 16 bits wide but the counter only exercises
+        // the low 10: the recovered 10-bit field still matches.
+        let payloads = counter_payloads(4000, 1024);
+        let tables = infer_payloads("FC", 0x10, &payloads, &InferParams::default());
+        let truth = vec![TruthSignal {
+            bus: "FC".into(),
+            message_id: 0x10,
+            signal: "ctr".into(),
+            start_bit: 0,
+            bit_len: 16,
+            byte_order: ByteOrder::Intel,
+        }];
+        let eval = tables.evaluate(&truth);
+        assert_eq!(eval.matched, 1);
+        assert_eq!(eval.f1(), 1.0);
+    }
+
+    #[test]
+    fn unobserved_truth_not_counted() {
+        let payloads = counter_payloads(4000, 1024);
+        let tables = infer_payloads("FC", 0x10, &payloads, &InferParams::default());
+        let truth = vec![
+            TruthSignal {
+                bus: "FC".into(),
+                message_id: 0x10,
+                signal: "ctr".into(),
+                start_bit: 0,
+                bit_len: 10,
+                byte_order: ByteOrder::Intel,
+            },
+            // Constant region: never flips, so not observable.
+            TruthSignal {
+                bus: "FC".into(),
+                message_id: 0x10,
+                signal: "dead".into(),
+                start_bit: 12,
+                bit_len: 4,
+                byte_order: ByteOrder::Intel,
+            },
+            // Key never seen at all.
+            TruthSignal {
+                bus: "DC".into(),
+                message_id: 0x99,
+                signal: "ghost".into(),
+                start_bit: 0,
+                bit_len: 8,
+                byte_order: ByteOrder::Intel,
+            },
+        ];
+        let eval = tables.evaluate(&truth);
+        assert_eq!(eval.truth_total, 3);
+        assert_eq!(eval.truth_observable, 1);
+        assert_eq!(eval.recall, 1.0);
+    }
+
+    #[test]
+    fn synthesized_rules_decode_the_counter() {
+        let payloads = counter_payloads(4000, 1024);
+        let tables = infer_payloads("FC", 0x10, &payloads, &InferParams::default());
+        let rules = tables.to_rules().unwrap();
+        assert_eq!(rules.len(), tables.signals.len());
+        let catalog = tables.to_catalog().unwrap();
+        assert!(matches!(
+            catalog.source(),
+            ivnt_core::rules::RuleSource::Inferred { .. }
+        ));
+    }
+}

@@ -1,0 +1,300 @@
+//! Pass 1: per-bit flip-rate and conditional-entropy profiling, and the
+//! flip-coincidence segmentation turning bit profiles into candidate
+//! fields.
+//!
+//! The profile of a `(b_id, m_id)` key is a 64-bit window over the first
+//! eight payload bytes: per bit, the 2×2 transition counts between
+//! consecutive rows (from which flip rate and the conditional entropy
+//! `H(b_t | b_{t-1})` derive) plus the count of rows where the bit flipped
+//! *together with its lower neighbour*. Within a numeric field, a bit
+//! flips almost exclusively through carry/borrow from the bit below, so
+//! the coincidence fraction stays high; across a field boundary the two
+//! bits flip at unrelated times and the fraction collapses. Segmentation
+//! therefore opens a new field where coincidence collapses or where the
+//! flip rate rises sharply (a field's rates fall monotonically from LSB
+//! to MSB — a rise marks the next field's LSB).
+
+use std::collections::HashMap;
+
+use ivnt_core::rules::InferParams;
+
+/// Coincidence below this always splits (independent neighbours).
+pub(crate) const COINCIDENCE_SPLIT: f64 = 0.12;
+/// Coincidence below this splits when the flip rate also rises.
+pub(crate) const COINCIDENCE_WEAK: f64 = 0.2;
+/// Minimum flip events at a candidate boundary before splitting at all —
+/// with fewer observations the statistics are jitter, and not splitting
+/// keeps a slow field whole.
+pub(crate) const MIN_SPLIT_UNION: u64 = 10;
+
+/// Folds the first eight payload bytes little-endian into a `u64` window.
+#[inline]
+pub(crate) fn fold(payload: &[u8]) -> (u64, usize) {
+    let n = payload.len().min(8);
+    let mut buf = [0u8; 8];
+    buf[..n].copy_from_slice(&payload[..n]);
+    (u64::from_le_bytes(buf), n)
+}
+
+#[inline]
+pub(crate) fn mask(bit_len: u16) -> u64 {
+    if bit_len >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bit_len) - 1
+    }
+}
+
+/// One candidate field: a run of Intel-indexed payload bits (bit `p` is
+/// byte `p / 8`, bit `p % 8`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// First (lowest-index) bit of the run.
+    pub start: u16,
+    /// Run length in bits.
+    pub len: u16,
+}
+
+impl Segment {
+    /// One-past-the-last bit.
+    pub fn end(&self) -> u16 {
+        self.start + self.len
+    }
+}
+
+/// Per-`(b_id, m_id)` bit statistics accumulated over pass 1.
+#[derive(Debug, Clone)]
+pub struct BitProfile {
+    /// Rows observed for this key.
+    pub samples: u64,
+    /// Longest payload seen, capped at the 8-byte profiling window.
+    pub max_bytes: usize,
+    /// Per-bit transition counts `[00, 01, 10, 11]` between consecutive
+    /// rows.
+    pub transitions: [[u64; 4]; 64],
+    /// Per-bit count of rows where bit `i` and bit `i-1` flipped together.
+    pub coincident: [u64; 64],
+    last: Option<u64>,
+}
+
+impl Default for BitProfile {
+    fn default() -> BitProfile {
+        BitProfile {
+            samples: 0,
+            max_bytes: 0,
+            transitions: [[0; 4]; 64],
+            coincident: [0; 64],
+            last: None,
+        }
+    }
+}
+
+impl BitProfile {
+    /// Accumulates one row.
+    pub fn observe(&mut self, payload: &[u8]) {
+        let (cur, n) = fold(payload);
+        self.max_bytes = self.max_bytes.max(n);
+        if let Some(prev) = self.last {
+            let diff = prev ^ cur;
+            for i in 0..self.max_bytes * 8 {
+                let p = (prev >> i) & 1;
+                let c = (cur >> i) & 1;
+                self.transitions[i][((p << 1) | c) as usize] += 1;
+                if i > 0 && (diff >> i) & 1 == 1 && (diff >> (i - 1)) & 1 == 1 {
+                    self.coincident[i] += 1;
+                }
+            }
+        }
+        self.samples += 1;
+        self.last = Some(cur);
+    }
+
+    /// Number of value changes of bit `i` across consecutive rows.
+    pub fn flips(&self, i: usize) -> u64 {
+        self.transitions[i][0b01] + self.transitions[i][0b10]
+    }
+
+    /// Flip rate `r[i] = flips / (samples - 1)`.
+    pub fn flip_rate(&self, i: usize) -> f64 {
+        if self.samples < 2 {
+            0.0
+        } else {
+            self.flips(i) as f64 / (self.samples - 1) as f64
+        }
+    }
+
+    /// Conditional entropy `H(b_t | b_{t-1})` of bit `i` in bits: 0 for
+    /// constant or perfectly predictable bits, 1 for a fair coin.
+    pub fn cond_entropy(&self, i: usize) -> f64 {
+        let t = &self.transitions[i];
+        let total = (t[0] + t[1] + t[2] + t[3]) as f64;
+        if total == 0.0 {
+            return 0.0;
+        }
+        let mut h = 0.0;
+        for prev in 0..2usize {
+            let n = (t[2 * prev] + t[2 * prev + 1]) as f64;
+            if n == 0.0 {
+                continue;
+            }
+            for cur in 0..2usize {
+                let c = t[2 * prev + cur] as f64;
+                if c > 0.0 {
+                    let p = c / n;
+                    h -= (n / total) * p * p.log2();
+                }
+            }
+        }
+        h
+    }
+
+    /// Per-bit flip counts (the observability record
+    /// [`crate::InferredTables::evaluate`] scores truth signals against).
+    pub fn flip_counts(&self) -> [u64; 64] {
+        let mut out = [0u64; 64];
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = self.flips(i);
+        }
+        out
+    }
+
+    /// Splits the active bits (flips ≥ 1) into candidate fields.
+    pub fn segment(&self, params: &InferParams) -> Vec<Segment> {
+        let bits = self.max_bytes * 8;
+        let mut segs = Vec::new();
+        let mut run_start: Option<usize> = None;
+        for i in 0..bits {
+            if self.flips(i) == 0 {
+                if let Some(s) = run_start.take() {
+                    segs.push(Segment {
+                        start: s as u16,
+                        len: (i - s) as u16,
+                    });
+                }
+                continue;
+            }
+            match run_start {
+                None => run_start = Some(i),
+                Some(s) => {
+                    if self.split_before(i, params) {
+                        segs.push(Segment {
+                            start: s as u16,
+                            len: (i - s) as u16,
+                        });
+                        run_start = Some(i);
+                    }
+                }
+            }
+        }
+        if let Some(s) = run_start {
+            segs.push(Segment {
+                start: s as u16,
+                len: (bits - s) as u16,
+            });
+        }
+        segs
+    }
+
+    /// Does a new field start at bit `i` (both `i` and `i-1` active)?
+    fn split_before(&self, i: usize, params: &InferParams) -> bool {
+        let fi = self.flips(i);
+        let fp = self.flips(i - 1);
+        let joint = self.coincident[i].min(fi.min(fp));
+        let union = fi + fp - joint;
+        if union < MIN_SPLIT_UNION {
+            return false;
+        }
+        let coincidence = joint as f64 / union as f64;
+        if coincidence < COINCIDENCE_SPLIT {
+            return true;
+        }
+        let rise = self.flip_rate(i) > self.flip_rate(i - 1) * params.rise_ratio + 1e-9;
+        rise && coincidence < COINCIDENCE_WEAK
+    }
+}
+
+/// Pass-1 driver: accumulates a [`BitProfile`] per `(b_id, m_id)` key.
+#[derive(Debug, Default)]
+pub struct Profiler {
+    /// bus → message id → profile.
+    pub(crate) keys: HashMap<String, HashMap<u32, BitProfile>>,
+}
+
+impl Profiler {
+    /// Creates an empty profiler.
+    pub fn new() -> Profiler {
+        Profiler::default()
+    }
+
+    /// Accumulates one record.
+    pub fn observe(&mut self, bus: &str, message_id: u32, payload: &[u8]) {
+        if !self.keys.contains_key(bus) {
+            self.keys.insert(bus.to_string(), HashMap::new());
+        }
+        self.keys
+            .get_mut(bus)
+            .expect("inserted above")
+            .entry(message_id)
+            .or_default()
+            .observe(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile_of(payloads: &[&[u8]]) -> BitProfile {
+        let mut p = BitProfile::default();
+        for pay in payloads {
+            p.observe(pay);
+        }
+        p
+    }
+
+    #[test]
+    fn flip_rate_and_entropy_of_counter_bit() {
+        // Low bit of an incrementing counter flips every row.
+        let payloads: Vec<Vec<u8>> = (0u8..32).map(|i| vec![i]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+        let p = profile_of(&refs);
+        assert_eq!(p.samples, 32);
+        assert_eq!(p.max_bytes, 1);
+        assert!((p.flip_rate(0) - 1.0).abs() < 1e-12);
+        assert!((p.flip_rate(1) - 0.5).abs() < 0.05);
+        assert_eq!(p.flip_rate(5), 0.0);
+        assert_eq!(p.cond_entropy(0), 0.0); // deterministic alternation
+        assert_eq!(p.cond_entropy(7), 0.0); // constant
+    }
+
+    #[test]
+    fn counter_segments_as_one_field() {
+        let payloads: Vec<Vec<u8>> = (0u16..512).map(|i| vec![(i % 16) as u8]).collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+        let p = profile_of(&refs);
+        let segs = p.segment(&InferParams::default());
+        assert_eq!(segs, vec![Segment { start: 0, len: 4 }]);
+    }
+
+    #[test]
+    fn independent_counters_split() {
+        // Byte 0: counter mod 16 in low nibble; high nibble: a counter
+        // advancing every 3 rows (phase-shifted, independent).
+        let payloads: Vec<Vec<u8>> = (0u32..600)
+            .map(|i| vec![((i % 16) | (((i / 3) % 16) << 4)) as u8])
+            .collect();
+        let refs: Vec<&[u8]> = payloads.iter().map(|v| v.as_slice()).collect();
+        let p = profile_of(&refs);
+        let segs = p.segment(&InferParams::default());
+        assert_eq!(
+            segs,
+            vec![Segment { start: 0, len: 4 }, Segment { start: 4, len: 4 }]
+        );
+    }
+
+    #[test]
+    fn constant_bits_form_no_segment() {
+        let p = profile_of(&[&[0xA5u8, 0x00], &[0xA5, 0x00], &[0xA5, 0x00]]);
+        assert!(p.segment(&InferParams::default()).is_empty());
+    }
+}

@@ -141,6 +141,25 @@ impl DataSetSpec {
     }
 }
 
+/// Ground-truth packing of one generated signal occurrence — the reference
+/// DBC-less boundary inference is scored against (its precision/recall
+/// denominators).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruthSignal {
+    /// Channel the occurrence is observable on.
+    pub bus: String,
+    /// Message carrying the signal.
+    pub message_id: u32,
+    /// Signal name.
+    pub signal: String,
+    /// Payload-absolute start bit (convention per `byte_order`).
+    pub start_bit: u16,
+    /// Packed width in bits.
+    pub bit_len: u16,
+    /// Packing convention.
+    pub byte_order: ivnt_protocol::bits::ByteOrder,
+}
+
 /// A generated data set: the network model, the recorded trace and the
 /// designed branch per signal.
 #[derive(Debug, Clone)]
@@ -169,6 +188,32 @@ impl GeneratedDataSet {
             .values()
             .filter(|(b, _)| *b == branch)
             .count()
+    }
+
+    /// The ground-truth signal packings of this data set, one entry per
+    /// signal per observable channel (home channel plus gateway copies),
+    /// sorted by `(bus, message id, start bit)`. Boundary inference is
+    /// evaluated against exactly this table.
+    pub fn ground_truth(&self) -> Vec<TruthSignal> {
+        let mut out = Vec::new();
+        for m in self.network.catalog().messages() {
+            for bus in self.network.channels_of(m) {
+                for s in m.signals() {
+                    out.push(TruthSignal {
+                        bus: bus.clone(),
+                        message_id: m.id(),
+                        signal: s.name().to_string(),
+                        start_bit: s.start_bit(),
+                        bit_len: s.bit_len(),
+                        byte_order: s.byte_order(),
+                    });
+                }
+            }
+        }
+        out.sort_by(|a, b| {
+            (&a.bus, a.message_id, a.start_bit).cmp(&(&b.bus, b.message_id, b.start_bit))
+        });
+        out
     }
 }
 

@@ -37,7 +37,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let output = Pipeline::new(u_rel, DomainProfile::new("adas"))?.run(&trace)?;
+    let output = Pipeline::new(u_rel, DomainProfile::new("adas"))?
+        .session(RunOptions::trace(&trace))
+        .run()?;
     for s in &output.signals {
         println!(
             "{:>14}: {} instances extracted (branch {}), covering {:.0}% of cycles",

@@ -32,7 +32,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     });
     let run1 = network.simulate(300.0, 1, &faults)?;
     let profile1 = DomainProfile::new("run1").with_signals(["wstat"]);
-    let out1 = Pipeline::new(u_rel.clone(), profile1)?.run(&run1)?;
+    let out1 = Pipeline::new(u_rel.clone(), profile1)?
+        .session(RunOptions::trace(&run1))
+        .run()?;
 
     // Learn: rare wstat values become extension rules.
     let learned = learn_extensions(
@@ -64,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for rule in learned {
         profile2 = profile2.with_extension(rule);
     }
-    let out2 = Pipeline::new(u_rel, profile2)?.run(&run2)?;
+    let out2 = Pipeline::new(u_rel, profile2)?
+        .session(RunOptions::trace(&run2))
+        .run()?;
 
     println!("\nrun 2 extension hits:");
     for row in out2.extensions.collect_rows()? {

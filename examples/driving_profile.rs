@@ -64,7 +64,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RuleSet::from_network(&network),
         DomainProfile::new("journey").with_signals(["speed"]),
     )?
-    .run(&trace)?;
+    .session(RunOptions::trace(&trace))
+    .run()?;
 
     // Show the dominant SAX symbol per 5-second window: the phase structure
     // must be visible as low -> high -> low symbols.

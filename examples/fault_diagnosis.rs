@@ -51,7 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             factor: 3.0,
             alias: "wposCycleViolation".into(),
         });
-    let output = Pipeline::new(u_rel, profile)?.run(&trace)?;
+    let output = Pipeline::new(u_rel, profile)?
+        .session(RunOptions::trace(&trace))
+        .run()?;
 
     // 1. Cycle violations surface as extension elements.
     println!(

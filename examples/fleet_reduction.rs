@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut total_reduced = 0usize;
     let started = Instant::now();
     for (i, journey) in journeys.iter().enumerate() {
-        let reduced = pipeline.extract_reduced(&journey.trace)?;
+        let reduced = pipeline
+            .session(RunOptions::trace(&journey.trace))
+            .extract_reduced()?;
         let interpreted: usize = reduced.iter().map(|(_, _, n)| n).sum();
         let kept: usize = reduced.iter().map(|(s, _, _)| s.len()).sum();
         let dedup_covered: usize = reduced.iter().map(|(_, d, _)| d.corresponding.len()).sum();

@@ -64,7 +64,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut fleet_outliers = 0usize;
     for j in store.journeys().to_vec() {
         let trace = store.load(&j.name)?;
-        let output = pipeline.run(&trace)?;
+        let output = pipeline.session(RunOptions::trace(&trace)).run()?;
         let outliers = output.outlier_count()?;
         fleet_outliers += outliers;
         println!(

@@ -38,7 +38,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "indicatorlight",
         "lightswitch",
     ]);
-    let output = Pipeline::new(u_rel, profile)?.run(&trace)?;
+    let output = Pipeline::new(u_rel, profile)?
+        .session(RunOptions::trace(&trace))
+        .run()?;
 
     println!("\nstate representation of the lights function (cf. paper Table 4):");
     println!("{}", render_state_table(&output.state, 25)?);

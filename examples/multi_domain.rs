@@ -66,7 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for profile in [wiper_domain, comm_domain, body_domain] {
         let name = profile.name.clone();
-        let output = Pipeline::new(u_rel.clone(), profile)?.run(&trace)?;
+        let output = Pipeline::new(u_rel.clone(), profile)?
+            .session(RunOptions::trace(&trace))
+            .run()?;
         let interpreted: usize = output.signals.iter().map(|s| s.rows_interpreted).sum();
         let kept: usize = output.signals.iter().map(|s| s.rows_reduced).sum();
         println!("domain {name}:");

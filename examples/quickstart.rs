@@ -32,7 +32,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Run Algorithm 1 end to end.
     let pipeline = Pipeline::new(u_rel, profile)?;
-    let output = pipeline.run(&trace)?;
+    let output = pipeline.session(RunOptions::trace(&trace)).run()?;
 
     for s in &output.signals {
         println!(

@@ -61,20 +61,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let profile = DomainProfile::new("table6").with_signals(selected.clone());
     let pipeline = Pipeline::new(u_rel.clone(), profile)?;
     let kept: usize = pipeline
-        .extract_reduced(&data.trace)?
+        .session(RunOptions::trace(&data.trace)).extract_reduced()?
         .iter()
         .map(|(s, _, _)| s.len())
         .sum();
     let secs = median_secs(runs, || {
-        pipeline.extract_reduced(&data.trace).expect("extract_reduced");
+        pipeline.session(RunOptions::trace(&data.trace)).extract_reduced().expect("extract_reduced");
     });
     results.push(("seed_table6_9_signals", secs, kept));
 
     // Full Algorithm 1 — the end-to-end baseline `pipeline_e2e` compares
     // the parallel branch pipeline against.
-    let state_rows = pipeline.run(&data.trace)?.state.num_rows();
+    let state_rows = pipeline.session(RunOptions::trace(&data.trace)).run()?.state.num_rows();
     let secs = median_secs(runs, || {
-        pipeline.run(&data.trace).expect("run");
+        pipeline.session(RunOptions::trace(&data.trace)).run().expect("run");
     });
     results.push(("seed_pipeline_e2e", secs, state_rows));
 

@@ -16,6 +16,9 @@
 //!   pushdown (the HDFS/Parquet substitute),
 //! * [`core`] — Algorithm 1: the parameterizable end-to-end preprocessing
 //!   pipeline,
+//! * [`infer`] — DBC-less signal-boundary inference: recovers packing
+//!   tables from raw payloads (READ/ByCAN/CAN-D substitute) and emits
+//!   them as `RuleSource::Inferred` catalogs,
 //! * [`cluster`] — coordinator/worker distributed extraction over TCP
 //!   (the Spark-cluster substitute): shard scheduling, heartbeats,
 //!   fault-tolerant retry,
@@ -42,7 +45,8 @@
 //! // Parameterize once per domain, then preprocess automatically.
 //! let u_rel = RuleSet::from_network(&network);
 //! let profile = DomainProfile::new("wiper-domain").with_signals(["wpos", "wvel"]);
-//! let output = Pipeline::new(u_rel, profile)?.run(&trace)?;
+//! let pipeline = Pipeline::new(u_rel, profile)?;
+//! let output = pipeline.session(RunOptions::trace(&trace)).run()?;
 //! println!("{} signals, {} state rows", output.signals.len(), output.state.num_rows());
 //! # Ok(())
 //! # }
@@ -53,6 +57,7 @@ pub use ivnt_baseline as baseline;
 pub use ivnt_cluster as cluster;
 pub use ivnt_core as core;
 pub use ivnt_frame as frame;
+pub use ivnt_infer as infer;
 pub use ivnt_obs as obs;
 pub use ivnt_plan as plan;
 pub use ivnt_protocol as protocol;

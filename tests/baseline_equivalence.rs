@@ -21,7 +21,11 @@ fn pipeline_and_baseline_decode_identically() {
         DomainProfile::new("equiv").with_signals(selected.clone()),
     )
     .expect("pipeline");
-    let ks = pipeline.extract(&data.trace).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract()
+        .expect("extract")
+        .frame;
 
     // Baseline: interpret-on-ingest store.
     let tool = SequentialAnalyzer::new(data.network.clone());

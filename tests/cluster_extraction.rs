@@ -7,6 +7,7 @@ use std::path::PathBuf;
 
 use ivnt::cluster::codec::encode_batch;
 use ivnt::cluster::{run_job, ClusterConfig, JobSpec, WorkerFaults, WorkerServer};
+use ivnt::core::pipeline::RunOptions;
 use ivnt::simulator::scenario::{self, DataSetSpec};
 
 fn build_store(tag: &str) -> PathBuf {
@@ -58,8 +59,10 @@ fn distributed_extraction_matches_single_process_bit_for_bit() {
     let pipeline = job.pipeline().expect("pipeline rebuilds");
     let mut reader = ivnt::store::StoreReader::open(&path).expect("store opens");
     let expected = pipeline
-        .extract_from_store(&mut reader)
-        .expect("single-process extraction");
+        .session(RunOptions::store(&mut reader))
+        .extract()
+        .expect("single-process extraction")
+        .frame;
     assert!(expected.num_rows() > 0);
 
     let config = ClusterConfig {

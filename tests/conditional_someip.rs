@@ -26,7 +26,11 @@ fn conditional_fields_extract_only_when_present() {
     }
 
     let pipeline = Pipeline::new(u_rel, DomainProfile::new("adas")).expect("pipeline");
-    let ks = pipeline.extract(&trace).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&trace))
+        .extract()
+        .expect("extract")
+        .frame;
 
     // Count instances per signal: distance/class only while tracked,
     // rel_speed only while tracked AND moving — strictly fewer.
@@ -73,7 +77,11 @@ fn conditional_values_are_correct() {
         None,
     );
     let pipeline = Pipeline::new(u_rel, DomainProfile::new("dist")).expect("pipeline");
-    let ks = pipeline.extract(&trace).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&trace))
+        .extract()
+        .expect("extract")
+        .frame;
 
     // Cross-check every extracted distance against a direct decode.
     let rows = ks
@@ -121,7 +129,8 @@ fn conditional_signal_flows_through_full_pipeline() {
     }
     let output = Pipeline::new(u_rel, DomainProfile::new("adas-full"))
         .expect("pipeline")
-        .run(&trace)
+        .session(RunOptions::trace(&trace))
+        .run()
         .expect("run");
     assert_eq!(output.signals.len(), 3);
     // The distance is fast numeric -> α; the class is nominal -> γ.

@@ -62,7 +62,8 @@ fn dbc_parameterizes_the_pipeline() {
     assert_eq!(rules.len(), 5);
     let output = Pipeline::new(rules, DomainProfile::new("from-dbc"))
         .expect("pipeline")
-        .run(&trace())
+        .session(RunOptions::trace(&trace()))
+        .run()
         .expect("run");
     assert_eq!(output.signals.len(), 5);
     assert!(output.state.schema().contains("oil_temp"));
@@ -76,7 +77,11 @@ fn dbc_mux_values_decode_correctly() {
         .select(&["oil_temp", "coolant_temp"])
         .expect("select");
     let pipeline = Pipeline::new(rules, DomainProfile::new("diag")).expect("pipeline");
-    let ks = pipeline.extract(&trace()).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&trace()))
+        .extract()
+        .expect("extract")
+        .frame;
     let rows = ks
         .sort_by(&[c::T], &[true])
         .expect("sort")

@@ -22,7 +22,8 @@ fn empty_trace_produces_empty_output() {
     let n = network();
     let output = Pipeline::new(RuleSet::from_network(&n), DomainProfile::new("empty"))
         .expect("pipeline")
-        .run(&Trace::new())
+        .session(RunOptions::trace(&Trace::new()))
+        .run()
         .expect("run");
     assert!(output.signals.is_empty());
     assert_eq!(output.state.num_rows(), 0);
@@ -41,7 +42,8 @@ fn trace_with_only_irrelevant_messages() {
     }]);
     let output = Pipeline::new(RuleSet::from_network(&n), DomainProfile::new("none"))
         .expect("pipeline")
-        .run(&trace)
+        .session(RunOptions::trace(&trace))
+        .run()
         .expect("run");
     assert!(output.signals.is_empty());
     assert_eq!(output.state.num_rows(), 0);
@@ -62,7 +64,8 @@ fn single_message_trace() {
         DomainProfile::new("single").with_signals(["wpos", "wvel"]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
     assert_eq!(output.signals.len(), 2);
     for s in &output.signals {
@@ -93,7 +96,8 @@ fn all_payloads_corrupt_still_flows() {
         DomainProfile::new("corrupt").with_signals(["wvel"]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
     let wvel = output.signal("wvel").expect("wvel present");
     // Every instance is a decode failure -> flagged outliers downstream.
@@ -112,7 +116,8 @@ fn profile_with_empty_constraint_list_keeps_everything() {
             .with_constraints(vec![]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
     let wpos = output.signal("wpos").expect("wpos");
     assert_eq!(wpos.rows_reduced, wpos.rows_interpreted);
@@ -143,7 +148,8 @@ fn zero_duration_trace_classifies_low_rate() {
         DomainProfile::new("instant").with_signals(["wpos"]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
     let wpos = output.signal("wpos").expect("wpos");
     assert_eq!(wpos.classification.criteria.measured_rate_hz, 0.0);

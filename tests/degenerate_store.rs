@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 
 use ivnt::cluster::{run_job, ClusterConfig, JobSpec};
 use ivnt::core::interpret::signal_schema;
+use ivnt::core::pipeline::RunOptions;
 use ivnt::simulator::scenario::{self, DataSetSpec};
 use ivnt::store::{StoreReader, StoreWriter, WriterOptions};
 
@@ -50,9 +51,11 @@ fn empty_store_extracts_empty_schemad_frame() {
     let job = JobSpec::new("syn", path.display().to_string()).with_seed(3);
     let pipeline = job.pipeline().expect("pipeline");
     let mut reader = StoreReader::open(&path).expect("store opens");
-    let (frame, stats) = pipeline
-        .extract_from_store_with_stats(&mut reader)
+    let ex = pipeline
+        .session(RunOptions::store(&mut reader))
+        .extract()
         .expect("empty store extracts");
+    let (frame, stats) = (ex.frame, ex.scan.expect("store sessions report scan stats"));
     assert_empty_signal_frame(&frame);
     assert_eq!(stats.chunks_total, 0);
     std::fs::remove_file(&path).ok();
@@ -65,9 +68,11 @@ fn all_pruning_predicate_extracts_empty_schemad_frame() {
     let job = JobSpec::new("syn", path.display().to_string()).with_seed(3);
     let pipeline = job.pipeline().expect("pipeline");
     let mut reader = StoreReader::open(&path).expect("store opens");
-    let (frame, stats) = pipeline
-        .extract_from_store_with_stats(&mut reader)
+    let ex = pipeline
+        .session(RunOptions::store(&mut reader))
+        .extract()
         .expect("fully pruned store extracts");
+    let (frame, stats) = (ex.frame, ex.scan.expect("store sessions report scan stats"));
     assert_empty_signal_frame(&frame);
     assert!(stats.chunks_total > 0, "the store is not empty");
     assert_eq!(stats.chunks_scanned, 0, "every chunk must be pruned");

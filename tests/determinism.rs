@@ -24,7 +24,8 @@ fn pipeline_output_identical_across_partition_counts() {
         let profile = DomainProfile::new("det").with_partitions(parts);
         Pipeline::new(u_rel.clone(), profile)
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace))
+            .run()
             .expect("run")
     };
     let reference = run(1);
@@ -55,7 +56,8 @@ fn pipeline_output_identical_across_worker_counts() {
             .with_workers(workers);
         let out = Pipeline::new(u_rel.clone(), profile)
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace))
+            .run()
             .expect("run");
         out.merged.collect_rows().expect("rows")
     };
@@ -70,8 +72,14 @@ fn repeated_runs_are_identical() {
     let u_rel = RuleSet::from_network(&data.network);
     let profile = DomainProfile::new("det");
     let pipeline = Pipeline::new(u_rel, profile).expect("pipeline");
-    let a = pipeline.run(&data.trace).expect("run");
-    let b = pipeline.run(&data.trace).expect("run");
+    let a = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .run()
+        .expect("run");
+    let b = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .run()
+        .expect("run");
     assert_eq!(
         a.state.collect_rows().expect("rows"),
         b.state.collect_rows().expect("rows")

@@ -41,7 +41,8 @@ fn full_vehicle_end_to_end() {
     let profile = DomainProfile::new("all-domains");
     let output = Pipeline::new(u_rel, profile)
         .expect("pipeline builds")
-        .run(&trace)
+        .session(RunOptions::trace(&trace))
+        .run()
         .expect("pipeline runs");
 
     // Every catalog signal produced a result.
@@ -76,7 +77,8 @@ fn downstream_analyses_consume_state_representation() {
         DomainProfile::new("analysis").with_signals(["state", "belt", "headlight"]),
     )
     .expect("pipeline builds")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("pipeline runs");
 
     // Association rules mine without error and respect thresholds.
@@ -123,8 +125,14 @@ fn trace_persistence_roundtrips_through_pipeline() {
         DomainProfile::new("roundtrip").with_signals(["speed"]),
     )
     .expect("pipeline builds");
-    let a = pipeline.run(&trace).expect("run original");
-    let b = pipeline.run(&reloaded).expect("run reloaded");
+    let a = pipeline
+        .session(RunOptions::trace(&trace))
+        .run()
+        .expect("run original");
+    let b = pipeline
+        .session(RunOptions::trace(&reloaded))
+        .run()
+        .expect("run reloaded");
     assert_eq!(
         a.merged.collect_rows().expect("rows"),
         b.merged.collect_rows().expect("rows")

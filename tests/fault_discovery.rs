@@ -32,7 +32,8 @@ fn outlier_spike_is_flagged_and_diagnosable() {
         DomainProfile::new("outliers").with_signals(["speed", "rpm"]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
 
     assert!(output.outlier_count().expect("count") >= 1);
@@ -71,7 +72,8 @@ fn cycle_violation_is_preserved_and_extended() {
             }),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
 
     // The violation appears as an extension element near t = 5 s.
@@ -100,7 +102,8 @@ fn forced_invalid_label_surfaces_as_rare_value() {
         DomainProfile::new("validity").with_signals(["wstat"]),
     )
     .expect("pipeline")
-    .run(&trace)
+    .session(RunOptions::trace(&trace))
+    .run()
     .expect("run");
 
     let anomalies = rare_values(
@@ -136,8 +139,18 @@ fn stuck_signal_changes_reduction_profile() {
         DomainProfile::new("stuck").with_signals(["speed"]),
     )
     .expect("pipeline");
-    let clean_rows = pipeline.run(&clean).expect("run").signals[0].rows_reduced;
-    let stuck_rows = pipeline.run(&stuck).expect("run").signals[0].rows_reduced;
+    let clean_rows = pipeline
+        .session(RunOptions::trace(&clean))
+        .run()
+        .expect("run")
+        .signals[0]
+        .rows_reduced;
+    let stuck_rows = pipeline
+        .session(RunOptions::trace(&stuck))
+        .run()
+        .expect("run")
+        .signals[0]
+        .rows_reduced;
     // A stuck signal repeats its value, so unchanged-repeat removal keeps
     // far fewer rows.
     assert!(

@@ -5,6 +5,7 @@
 
 use std::time::Instant;
 
+use ivnt::core::pipeline::RunOptions;
 use ivnt_bench::domain_pipeline;
 use ivnt_simulator::prelude::*;
 
@@ -17,11 +18,17 @@ fn extraction_scales_linearly() {
     let time_per_row = |n: usize| -> f64 {
         let prefix = data.trace.prefix(n);
         // Warm up once, then take the median of three runs.
-        pipeline.extract_reduced(&prefix).expect("extract");
+        pipeline
+            .session(RunOptions::trace(&prefix))
+            .extract_reduced()
+            .expect("extract");
         let mut samples: Vec<f64> = (0..3)
             .map(|_| {
                 let t0 = Instant::now();
-                pipeline.extract_reduced(&prefix).expect("extract");
+                pipeline
+                    .session(RunOptions::trace(&prefix))
+                    .extract_reduced()
+                    .expect("extract");
                 t0.elapsed().as_secs_f64() / n as f64
             })
             .collect();

@@ -72,7 +72,11 @@ fn mux_rules() -> RuleSet {
 #[test]
 fn multiplexed_signals_extract_per_page() {
     let pipeline = Pipeline::new(mux_rules(), DomainProfile::new("mux")).expect("pipeline");
-    let ks = pipeline.extract(&mux_trace()).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&mux_trace()))
+        .extract()
+        .expect("extract")
+        .frame;
     let rows = ks
         .sort_by(&[c::T, c::SIGNAL], &[true, true])
         .expect("sort")
@@ -98,7 +102,11 @@ fn multiplexed_signals_extract_per_page() {
 #[test]
 fn wrong_page_instances_are_dropped_not_nulled() {
     let pipeline = Pipeline::new(mux_rules(), DomainProfile::new("mux")).expect("pipeline");
-    let ks = pipeline.extract(&mux_trace()).expect("extract");
+    let ks = pipeline
+        .session(RunOptions::trace(&mux_trace()))
+        .extract()
+        .expect("extract")
+        .frame;
     assert_eq!(ks.num_rows(), 5); // 3 + 2, not 5 * 2
     for r in ks.collect_rows().expect("rows") {
         assert!(!r[3].is_null(), "dropped instance leaked as null: {r:?}");
@@ -109,7 +117,8 @@ fn wrong_page_instances_are_dropped_not_nulled() {
 fn multiplexed_signals_flow_through_pipeline() {
     let output = Pipeline::new(mux_rules(), DomainProfile::new("mux"))
         .expect("pipeline")
-        .run(&mux_trace())
+        .session(RunOptions::trace(&mux_trace()))
+        .run()
         .expect("run");
     assert_eq!(output.signals.len(), 2);
     assert!(output.state.schema().contains("oil_temp"));

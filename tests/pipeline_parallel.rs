@@ -67,7 +67,8 @@ fn parallel_pipeline_matches_serial_bit_for_bit() {
 
     let serial = Pipeline::new(u_rel.clone(), profile(&data, "serial").with_workers(1))
         .expect("pipeline")
-        .run_serial(&data.trace)
+        .session(RunOptions::trace(&data.trace).serial())
+        .run()
         .expect("run_serial");
     let expected = fingerprint(&serial);
     assert!(serial.merged.num_rows() > 0);
@@ -76,7 +77,8 @@ fn parallel_pipeline_matches_serial_bit_for_bit() {
     for workers in [1usize, 2, 8] {
         let run = Pipeline::new(u_rel.clone(), profile(&data, "par").with_workers(workers))
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace))
+            .run()
             .expect("run");
         assert_eq!(
             fingerprint(&run),
@@ -128,7 +130,8 @@ fn timing_is_populated_but_not_part_of_the_output_contract() {
     let u_rel = RuleSet::from_network(&data.network);
     let output = Pipeline::new(u_rel, profile(&data, "timing").with_workers(2))
         .expect("pipeline")
-        .run(&data.trace)
+        .session(RunOptions::trace(&data.trace))
+        .run()
         .expect("run");
     let t = output.timing;
     assert!(t.total > 0.0);

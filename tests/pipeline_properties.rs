@@ -40,10 +40,10 @@ proptest! {
         let n_rules = u_rel.len();
         let pipeline = Pipeline::new(u_rel, DomainProfile::new("prop")).expect("pipeline");
 
-        let ks = pipeline.extract(&data.trace).expect("extract");
+        let ks = pipeline.session(RunOptions::trace(&data.trace)).extract().expect("extract").frame;
         prop_assert!(ks.num_rows() <= data.trace.len() * n_rules.max(1));
 
-        let output = pipeline.run(&data.trace).expect("run");
+        let output = pipeline.session(RunOptions::trace(&data.trace)).run().expect("run");
         for s in &output.signals {
             prop_assert!(s.rows_reduced <= s.rows_interpreted,
                 "{}: reduced {} > interpreted {}", s.signal, s.rows_reduced, s.rows_interpreted);
@@ -67,7 +67,7 @@ proptest! {
         let u_rel = RuleSet::from_network(&data.network);
         let output = Pipeline::new(u_rel, DomainProfile::new("prop"))
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace)).run()
             .expect("run");
 
         let merged_ts: std::collections::BTreeSet<u64> = output
@@ -120,7 +120,7 @@ proptest! {
         let u_rel = RuleSet::from_network(&data.network);
         let with = Pipeline::new(u_rel.clone(), DomainProfile::new("with"))
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace)).run()
             .expect("run");
         // Every signal's representative covers its gateway copy.
         for s in &with.signals {
@@ -141,8 +141,8 @@ proptest! {
             DomainProfile::new("par").with_workers(workers),
         )
         .expect("pipeline");
-        let serial = pipeline.run_serial(&data.trace).expect("run_serial");
-        let parallel = pipeline.run(&data.trace).expect("run");
+        let serial = pipeline.session(RunOptions::trace(&data.trace).serial()).run().expect("run_serial");
+        let parallel = pipeline.session(RunOptions::trace(&data.trace)).run().expect("run");
         prop_assert_eq!(serial.signals.len(), parallel.signals.len());
         for (s, p) in serial.signals.iter().zip(&parallel.signals) {
             prop_assert_eq!(&s.signal, &p.signal);
@@ -194,7 +194,7 @@ proptest! {
         let u_rel = RuleSet::from_network(&data.network);
         let plain = Pipeline::new(u_rel.clone(), DomainProfile::new("plain"))
             .expect("pipeline")
-            .run(&data.trace)
+            .session(RunOptions::trace(&data.trace)).run()
             .expect("run");
         let clustered = Pipeline::new(
             u_rel,
@@ -204,7 +204,7 @@ proptest! {
             }),
         )
         .expect("pipeline")
-        .run(&data.trace)
+        .session(RunOptions::trace(&data.trace)).run()
         .expect("run");
         for (p, q) in plain.signals.iter().zip(&clustered.signals) {
             prop_assert!(q.rows_reduced <= p.rows_reduced,

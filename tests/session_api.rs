@@ -5,6 +5,7 @@
 //! `extract_store_shard`) must be bit-identical to the equivalent
 //! [`RunOptions`]-configured session, and installing an observability
 //! subscriber must not change any output bit.
+#![allow(deprecated)]
 
 use ivnt::cluster::codec::encode_batch;
 use ivnt::core::dedup::Dedup;

@@ -6,6 +6,7 @@
 //! with whole chunks skipped via zone maps and memory bounded by one group
 //! buffer even when the trace is several times larger.
 
+use ivnt::core::pipeline::RunOptions;
 use ivnt::simulator::store::to_store_record;
 use ivnt::store::{StoreReader, StoreWriter, WriterOptions};
 use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
@@ -44,11 +45,17 @@ fn store_extraction_is_bit_identical_and_out_of_core() {
         std::env::temp_dir().join(format!("ivnt-store-extraction-{}.ivns", std::process::id()));
     write_store(&data.trace, &path, options);
 
-    let baseline = pipeline.extract(&data.trace).expect("in-memory extract");
+    let baseline = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract()
+        .expect("in-memory extract")
+        .frame;
     let mut reader = StoreReader::open(&path).expect("open store");
-    let (frame, stats) = pipeline
-        .extract_from_store_with_stats(&mut reader)
+    let ex = pipeline
+        .session(RunOptions::store(&mut reader))
+        .extract()
         .expect("store extract");
+    let (frame, stats) = (ex.frame, ex.scan.expect("store sessions report scan stats"));
     let _ = std::fs::remove_file(&path);
 
     // Bit-identity: the pushed-down scan is invisible in the output.
@@ -101,11 +108,17 @@ fn unselective_extraction_still_matches_without_pruning() {
     ));
     write_store(&data.trace, &path, WriterOptions::default());
 
-    let baseline = pipeline.extract(&data.trace).expect("in-memory extract");
+    let baseline = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract()
+        .expect("in-memory extract")
+        .frame;
     let mut reader = StoreReader::open(&path).expect("open store");
-    let (frame, stats) = pipeline
-        .extract_from_store_with_stats(&mut reader)
+    let ex = pipeline
+        .session(RunOptions::store(&mut reader))
+        .extract()
         .expect("store extract");
+    let (frame, stats) = (ex.frame, ex.scan.expect("store sessions report scan stats"));
     let _ = std::fs::remove_file(&path);
 
     assert_eq!(

@@ -17,7 +17,10 @@ fn measure(spec: DataSetSpec, examples: usize) -> (usize, usize, usize) {
             .expect("hint applies");
     }
     let pipeline = Pipeline::new(u_rel, DomainProfile::new("table5-test")).expect("pipeline");
-    let reduced = pipeline.extract_reduced(&data.trace).expect("extract");
+    let reduced = pipeline
+        .session(RunOptions::trace(&data.trace))
+        .extract_reduced()
+        .expect("extract");
     let mut counts = (0usize, 0usize, 0usize);
     for (seq, _, _) in &reduced {
         let comparable = pipeline

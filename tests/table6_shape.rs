@@ -8,6 +8,7 @@
 
 use std::time::Instant;
 
+use ivnt::core::pipeline::RunOptions;
 use ivnt_baseline::SequentialAnalyzer;
 use ivnt_bench::{domain_pipeline, select_signals_for_fraction, vehicle_journey};
 
@@ -41,7 +42,10 @@ fn table6_shape_holds() {
 
     let pipeline_few = domain_pipeline(&data, &few).expect("pipeline");
     let proposed_few = median_ms(|| {
-        pipeline_few.extract_reduced(&data.trace).expect("extract");
+        pipeline_few
+            .session(RunOptions::trace(&data.trace))
+            .extract_reduced()
+            .expect("extract");
     });
 
     // Shape 1: in-house flat in #signals (within 50% either way).
